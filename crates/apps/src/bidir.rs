@@ -1,0 +1,48 @@
+//! Concurrent Rx + Tx data traffic (Figure 10).
+//!
+//! The paper's extreme-interference experiment runs on Ice Lake servers
+//! with more cores: `n` Rx flows and `n` Tx flows on disjoint cores in each
+//! direction. Rx throughput collapses by up to ~80% under stock protection
+//! (IOTLB + PTcache contention from both directions), while Tx degrades
+//! less because PCIe read transactions tolerate latency better \[44\].
+
+use fns_core::{ProtectionMode, SimConfig, Workload};
+use fns_mem::MemoryModel;
+
+/// Configuration for the Figure 10 experiment with `n` flows per direction.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_apps::bidirectional_config;
+/// use fns_core::{HostSim, ProtectionMode};
+///
+/// let m = HostSim::new(bidirectional_config(ProtectionMode::LinuxStrict, 4)).run();
+/// println!("Rx {:.1} / Tx {:.1} Gbps", m.rx_gbps(), m.tx_gbps());
+/// ```
+pub fn bidirectional_config(mode: ProtectionMode, n: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    // Ice Lake: 32 cores per socket, 8 memory channels.
+    cfg.memory = MemoryModel::ice_lake();
+    cfg.cores = (2 * n) as usize;
+    cfg.flows = n;
+    cfg.workload = Workload::Bidirectional { tx_flows: n };
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cores_between_directions() {
+        let c = bidirectional_config(ProtectionMode::FastAndSafe, 4);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.flows, 4);
+        assert!(matches!(
+            c.workload,
+            Workload::Bidirectional { tx_flows: 4 }
+        ));
+        assert!(c.memory.bandwidth_bytes_per_sec > 100_000_000_000);
+    }
+}

@@ -1,0 +1,37 @@
+//! iperf-style throughput microbenchmark (the paper's §2.2 default setup).
+
+use fns_core::{ProtectionMode, SimConfig, Workload};
+
+/// Configuration for the paper's microbenchmark: `flows` unbounded DCTCP
+/// flows into a 5-core receiver with `ring_packets`-deep rings.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_apps::iperf_config;
+/// use fns_core::{HostSim, ProtectionMode};
+///
+/// let cfg = iperf_config(ProtectionMode::LinuxStrict, 5, 256);
+/// let m = HostSim::new(cfg).run();
+/// assert!(m.rx_gbps() < 95.0, "strict mode should cost throughput");
+/// ```
+pub fn iperf_config(mode: ProtectionMode, flows: u32, ring_packets: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.flows = flows;
+    cfg.ring_packets = ring_packets;
+    cfg.workload = Workload::IperfRx;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_defaults() {
+        let c = iperf_config(ProtectionMode::IommuOff, 5, 256);
+        assert_eq!(c.cores, 5);
+        assert_eq!(c.flows, 5);
+        assert!(matches!(c.workload, Workload::IperfRx));
+    }
+}

@@ -1,0 +1,30 @@
+//! Application workload models (paper §4.2, Figures 9–11).
+//!
+//! Each module configures the host simulation the way the paper runs the
+//! corresponding real application:
+//!
+//! * [`iperf`] — the throughput microbenchmark (Figures 2/3/7/8),
+//! * [`rpc`] — the netperf-style latency-sensitive RPC colocated with iperf
+//!   (Figure 9),
+//! * [`redis`] — in-memory KV store, 100% SET, pipelined clients
+//!   (Figure 11a),
+//! * [`nginx`] — web server with 128 KB–2 MB pages and app-layer CPU cost
+//!   (Figure 11b),
+//! * [`spdk`] — remote-storage client issuing block reads at IO-depth 8
+//!   (Figure 11c),
+//! * [`bidir`] — concurrent Rx+Tx data traffic on an Ice Lake-like host
+//!   (Figure 10).
+
+pub mod bidir;
+pub mod iperf;
+pub mod nginx;
+pub mod redis;
+pub mod rpc;
+pub mod spdk;
+
+pub use bidir::bidirectional_config;
+pub use iperf::iperf_config;
+pub use nginx::nginx_config;
+pub use redis::redis_config;
+pub use rpc::rpc_config;
+pub use spdk::spdk_config;

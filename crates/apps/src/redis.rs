@@ -1,0 +1,67 @@
+//! Redis 100% SET workload (Figure 11a).
+//!
+//! The paper runs one Redis server instance per core on the measured host;
+//! peer clients send SET requests with 4 B keys and 4–128 KB values, 32
+//! requests pipelined per connection. The server replies (`+OK`) to every
+//! request — the reply-per-request Tx stream is what inflates IOTLB misses
+//! at small value sizes (§4.4).
+
+use fns_core::{ProtectionMode, SimConfig, Workload};
+
+/// Configuration for the Figure 11a experiment at one value size.
+///
+/// 8 cores and 9 KB MTU as in §4.2 (enough for the app to saturate
+/// 100 Gbps), one connection per core, depth 32.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_apps::redis_config;
+/// use fns_core::{HostSim, ProtectionMode};
+///
+/// let m = HostSim::new(redis_config(ProtectionMode::FastAndSafe, 64 * 1024)).run();
+/// println!("SET throughput: {:.1} Gbps", m.rx_gbps());
+/// ```
+pub fn redis_config(mode: ProtectionMode, value_bytes: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.cores = 8;
+    cfg.flows = 8; // one server instance / connection per core
+    cfg.mtu = 9000;
+    cfg.workload = Workload::RequestResponse {
+        // SET request: 4 B key + value + protocol overhead.
+        request_bytes: value_bytes + 32,
+        // "+OK" reply.
+        response_bytes: 64,
+        depth: 32,
+        dut_is_server: true,
+        // Redis command processing: hash insert + allocator.
+        app_cpu_per_request_ns: 1_500,
+        app_cpu_per_kb_ns: 30,
+    };
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dut_is_the_server() {
+        let c = redis_config(ProtectionMode::LinuxStrict, 4096);
+        match c.workload {
+            Workload::RequestResponse {
+                request_bytes,
+                dut_is_server,
+                depth,
+                ..
+            } => {
+                assert_eq!(request_bytes, 4096 + 32);
+                assert!(dut_is_server);
+                assert_eq!(depth, 32);
+            }
+            _ => panic!("wrong workload"),
+        }
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.mtu, 9000);
+    }
+}

@@ -1,0 +1,54 @@
+//! Latency-sensitive RPC colocated with throughput traffic (Figure 9).
+//!
+//! The paper runs a netperf request/response flow on its own core while
+//! iperf saturates the other cores, and reports P50–P99.99 latency for RPC
+//! sizes from 128 B to 32 KB. Tail inflation under stock protection comes
+//! from NIC-buffer queueing (P99) and retransmission timeouts after drops
+//! (P99.9+).
+
+use fns_core::{ProtectionMode, SimConfig, Workload};
+
+/// Configuration for the Figure 9 experiment: 5 iperf flows on 5 cores plus
+/// one closed-loop RPC connection (request of `rpc_bytes`, 64 B response)
+/// on a dedicated 6th core.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_apps::rpc_config;
+/// use fns_core::{HostSim, ProtectionMode};
+///
+/// let m = HostSim::new(rpc_config(ProtectionMode::FastAndSafe, 4096)).run();
+/// let p99 = m.latency.percentile(99.0);
+/// assert!(p99 > 0);
+/// ```
+pub fn rpc_config(mode: ProtectionMode, rpc_bytes: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    // 5 iperf cores + 1 dedicated RPC core (the paper isolates the RPC
+    // application from CPU interference).
+    cfg.cores = 6;
+    cfg.flows = 5;
+    cfg.workload = Workload::RpcColocated {
+        rpc_bytes,
+        response_bytes: 64,
+    };
+    // Tail percentiles need samples: run longer than the microbenchmarks.
+    cfg.measure = 120 * 1_000_000;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_gets_its_own_core() {
+        let c = rpc_config(ProtectionMode::LinuxStrict, 128);
+        assert_eq!(c.cores, 6);
+        assert_eq!(c.flows, 5);
+        assert!(matches!(
+            c.workload,
+            Workload::RpcColocated { rpc_bytes: 128, .. }
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! SPDK remote-storage client workload (Figure 11c).
+//!
+//! The measured host runs SPDK *clients* issuing block reads (32–256 KB) at
+//! IO-depth 8 against a remote storage server; the interesting datapath is
+//! the client's Rx side receiving block data, with small request packets on
+//! Tx (whose translations contend with Rx at small block sizes, §4.4).
+
+use fns_core::{ProtectionMode, SimConfig, Workload};
+
+/// Configuration for the Figure 11c experiment at one block size.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_apps::spdk_config;
+/// use fns_core::{HostSim, ProtectionMode};
+///
+/// let m = HostSim::new(spdk_config(ProtectionMode::LinuxStrict, 128 * 1024)).run();
+/// println!("read throughput: {:.1} Gbps", m.rx_gbps());
+/// ```
+pub fn spdk_config(mode: ProtectionMode, block_bytes: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.cores = 8;
+    cfg.flows = 8; // client threads distributed over the cores
+    cfg.mtu = 9000;
+    cfg.workload = Workload::RequestResponse {
+        // NVMe-oF-style read request capsule.
+        request_bytes: 128,
+        response_bytes: block_bytes,
+        depth: 8, // the paper's IO-depth
+        dut_is_server: false,
+        // Userspace polling stack: very low per-IO CPU.
+        app_cpu_per_request_ns: 800,
+        app_cpu_per_kb_ns: 10,
+    };
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dut_is_the_client() {
+        let c = spdk_config(ProtectionMode::IommuOff, 32 * 1024);
+        match c.workload {
+            Workload::RequestResponse {
+                dut_is_server,
+                depth,
+                response_bytes,
+                ..
+            } => {
+                assert!(!dut_is_server);
+                assert_eq!(depth, 8);
+                assert_eq!(response_bytes, 32 * 1024);
+            }
+            _ => panic!("wrong workload"),
+        }
+    }
+}

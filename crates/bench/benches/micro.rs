@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the hot substrate operations.
+//!
+//! These measure the *simulator's* own data structures (not simulated
+//! time): IOVA allocator paths, page-table map/unmap, translation with
+//! warm/cold caches, and invalidation processing. They guard against
+//! regressions that would make the figure harness slow.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use fns_iommu::{InvalidationScope, Iommu, IommuConfig};
+use fns_iova::types::{Iova, IovaRange};
+use fns_iova::{CachingAllocator, IovaAllocator, RbTreeAllocator};
+use fns_mem::PhysAddr;
+
+fn bench_iova(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iova");
+    g.bench_function("rcache_hit_alloc_free", |b| {
+        let mut a = CachingAllocator::with_defaults(1);
+        // Warm the magazine.
+        let r = a.alloc(1, 0).unwrap();
+        a.free(r, 0);
+        b.iter(|| {
+            let r = a.alloc(1, 0).unwrap();
+            a.free(r, 0);
+            r
+        });
+    });
+    g.bench_function("rbtree_alloc_free", |b| {
+        let mut a = RbTreeAllocator::new();
+        b.iter(|| {
+            let r = a.alloc(1, 0).unwrap();
+            a.free(r, 0);
+            r
+        });
+    });
+    g.bench_function("rbtree_alloc_free_under_load", |b| {
+        let mut a = RbTreeAllocator::new();
+        let live: Vec<_> = (0..10_000).map(|_| a.alloc(1, 0).unwrap()).collect();
+        b.iter(|| {
+            let r = a.alloc(64, 0).unwrap();
+            a.free(r, 0);
+            r
+        });
+        for r in live {
+            a.free(r, 0);
+        }
+    });
+    g.finish();
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagetable");
+    g.bench_function("map_unmap_page", |b| {
+        let mut mmu = Iommu::new(IommuConfig::default());
+        let iova = Iova::from_pfn(0x12345);
+        b.iter(|| {
+            mmu.map(iova, PhysAddr::from_pfn(1)).unwrap();
+            mmu.unmap_range(IovaRange::new(iova, 1)).unwrap();
+        });
+    });
+    g.bench_function("map_unmap_descriptor_64", |b| {
+        let mut mmu = Iommu::new(IommuConfig::default());
+        let range = IovaRange::new(Iova::from_pfn(0x40000), 64);
+        b.iter(|| {
+            for p in range.iter_pages() {
+                mmu.map(p, PhysAddr::from_pfn(p.pfn())).unwrap();
+            }
+            mmu.unmap_range(range).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate");
+    g.bench_function("iotlb_hit", |b| {
+        let mut mmu = Iommu::new(IommuConfig::default());
+        let iova = Iova::from_pfn(7);
+        mmu.map(iova, PhysAddr::from_pfn(1)).unwrap();
+        mmu.translate(iova);
+        b.iter(|| mmu.translate(iova));
+    });
+    g.bench_function("ptcache_l3_hit_walk", |b| {
+        // Strict-mode steady state: IOTLB invalidated per use, PTcache warm.
+        let mut mmu = Iommu::new(IommuConfig::default());
+        let range = IovaRange::new(Iova::from_pfn(0x80000), 64);
+        for p in range.iter_pages() {
+            mmu.map(p, PhysAddr::from_pfn(p.pfn())).unwrap();
+        }
+        mmu.translate(range.base());
+        b.iter_batched(
+            || (),
+            |_| {
+                let t = mmu.translate(range.base());
+                mmu.invalidate_range(
+                    IovaRange::new(range.base(), 1),
+                    InvalidationScope::IotlbOnly,
+                );
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("full_walk", |b| {
+        let mut mmu = Iommu::new(IommuConfig::default());
+        let range = IovaRange::new(Iova::from_pfn(0xC0000), 64);
+        for p in range.iter_pages() {
+            mmu.map(p, PhysAddr::from_pfn(p.pfn())).unwrap();
+        }
+        b.iter(|| {
+            let t = mmu.translate(range.base());
+            mmu.invalidate_range(
+                IovaRange::new(range.base(), 1),
+                InvalidationScope::IotlbAndFullPtcache,
+            );
+            t
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_iova, bench_pagetable, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 12: ablation — the necessity of each F&S idea.
+//!
+//! Runs the Redis 8 KB workload under four configurations: stock Linux,
+//! Linux + A (preserve PTcaches), Linux + B (contiguous IOVAs + batched
+//! invalidations), and full F&S. The paper: neither ingredient alone
+//! recovers the throughput; only their combination does.
+
+use fns_apps::redis_config;
+use fns_bench::{check_safety, run, MEASURE_NS};
+use fns_core::ProtectionMode;
+
+fn main() {
+    println!("=== Figure 12: ablation at Redis 8 KB values ===");
+    let modes = [
+        ProtectionMode::IommuOff,
+        ProtectionMode::LinuxStrict,
+        ProtectionMode::LinuxPreserve,
+        ProtectionMode::LinuxContig,
+        ProtectionMode::FastAndSafe,
+    ];
+    let mut results = Vec::new();
+    for mode in modes {
+        let mut cfg = redis_config(mode, 8 << 10);
+        cfg.measure = MEASURE_NS;
+        let m = run(cfg);
+        check_safety(mode, &m);
+        println!(
+            "{:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.2}  l1 {:5.3}  l2 {:5.3}  l3 {:5.3}  M {:5.2}  inval-cpu {:4} ms",
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.l1_misses_per_page(),
+            m.l2_misses_per_page(),
+            m.l3_misses_per_page(),
+            m.memory_reads_per_page(),
+            m.invalidation_cpu_ns / 1_000_000,
+        );
+        results.push((mode, m));
+    }
+    let g = |mo: ProtectionMode| {
+        results
+            .iter()
+            .find(|(m, _)| *m == mo)
+            .map(|(_, r)| r.rx_gbps())
+            .expect("ran")
+    };
+    println!(
+        "ordering check: linux {:.1} <= linux+A {:.1}, linux+B {:.1} <= F&S {:.1} (paper: each idea alone is insufficient)",
+        g(ProtectionMode::LinuxStrict),
+        g(ProtectionMode::LinuxPreserve),
+        g(ProtectionMode::LinuxContig),
+        g(ProtectionMode::FastAndSafe),
+    );
+}

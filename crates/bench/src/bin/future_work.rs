@@ -1,0 +1,65 @@
+//! Extension: F&S + hugepages with strict safety (the paper's §5 proposal).
+//!
+//! The paper closes by suggesting hugepages as a *complementary* direction:
+//! F&S cuts the cost of each IOTLB miss but not the miss count; hugepages
+//! cut the count through reach. `FnsHugeStrict` implements the combination
+//! with the strict safety property intact — Rx descriptors grow to 2 MB and
+//! are backed by a single huge mapping, unmapped and invalidated as one
+//! unit per descriptor.
+//!
+//! The §4.4 scenarios where plain F&S shows a residual gap (reply-heavy
+//! small-value Redis; high-flow-count IOTLB contention) are exactly where
+//! the combination should help.
+
+use fns_apps::{iperf_config, redis_config};
+use fns_bench::{check_safety, run, MEASURE_NS};
+use fns_core::ProtectionMode;
+
+fn main() {
+    println!("=== Future work (§5): F&S + strict hugepages ===");
+    println!("--- iperf flow sweep: IOTLB misses per page ---");
+    for flows in [5u32, 40] {
+        for mode in [
+            ProtectionMode::IommuOff,
+            ProtectionMode::FastAndSafe,
+            ProtectionMode::FnsHugeStrict,
+        ] {
+            let mut cfg = iperf_config(mode, flows, 256);
+            cfg.measure = MEASURE_NS;
+            let m = run(cfg);
+            check_safety(mode, &m);
+            println!(
+                "{:>9} {:>14}  rx {:6.1} Gbps  iotlb/pg {:5.3}  M {:5.2}  strict={}",
+                format!("flows={flows}"),
+                mode.label(),
+                m.rx_gbps(),
+                m.iotlb_misses_per_page(),
+                m.memory_reads_per_page(),
+                mode.is_strict_safe(),
+            );
+        }
+    }
+    println!("--- Redis 4 KB values (the paper's §4.4 residual-gap case) ---");
+    for mode in [
+        ProtectionMode::IommuOff,
+        ProtectionMode::FastAndSafe,
+        ProtectionMode::FnsHugeStrict,
+    ] {
+        let mut cfg = redis_config(mode, 4 << 10);
+        cfg.measure = MEASURE_NS;
+        let m = run(cfg);
+        check_safety(mode, &m);
+        println!(
+            "{:>9} {:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.3}",
+            "4K",
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+        );
+    }
+    println!(
+        "\nexpectation: FnsHugeStrict cuts IOTLB misses/page by ~5-6x vs F&S\n\
+         (one miss per 512 pages of Rx data instead of one per page) while\n\
+         keeping the strict unmap-per-descriptor safety property."
+    );
+}

@@ -1,0 +1,60 @@
+//! §2.2 model validation: `T = p / (l0 + M·lm)` vs simulated throughput.
+//!
+//! The paper fits `l0 = 65 ns`, `lm = 197 ns` from its 5- and 10-flow
+//! datapoints and reports the model predicts measured throughput within 10%
+//! across most experiments. This binary replays that validation against the
+//! simulator: for every flow-count and ring-size microbenchmark point, it
+//! feeds the simulator's own measured `M` into the analytical model and
+//! compares the prediction with the simulated throughput.
+
+use fns_apps::iperf_config;
+use fns_bench::{run, MEASURE_NS};
+use fns_core::model::ThroughputModel;
+use fns_core::ProtectionMode;
+
+fn main() {
+    println!("=== Section 2.2 analytical-model validation ===");
+    let model = ThroughputModel::paper_fit();
+    let mut worst: f64 = 0.0;
+    let mut rows = Vec::new();
+    for (flows, ring) in [
+        (5u32, 256u32),
+        (10, 256),
+        (20, 256),
+        (40, 256),
+        (5, 512),
+        (5, 1024),
+        (5, 2048),
+    ] {
+        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+            let mut cfg = iperf_config(mode, flows, ring);
+            cfg.measure = MEASURE_NS;
+            let m = run(cfg);
+            // CPU-bound points are outside the PCIe model's domain (the
+            // paper's model predicts the PCIe ceiling, not CPU ceilings).
+            if m.max_cpu() > 0.95 {
+                continue;
+            }
+            let predicted = model.predict_gbps(m.memory_reads_per_page(), 100.0);
+            let measured = m.rx_gbps();
+            let err = (predicted - measured).abs() / measured;
+            worst = worst.max(err);
+            rows.push((flows, ring, mode, measured, predicted, err));
+        }
+    }
+    println!(
+        "{:>6} {:>6} {:>14} {:>10} {:>10} {:>7}",
+        "flows", "ring", "mode", "measured", "model", "err"
+    );
+    for (flows, ring, mode, meas, pred, err) in &rows {
+        println!(
+            "{flows:>6} {ring:>6} {:>14} {meas:>9.1}G {pred:>9.1}G {:>6.1}%",
+            mode.label(),
+            err * 100.0
+        );
+    }
+    println!(
+        "worst-case model error: {:.1}% (paper: within 10% for most points)",
+        worst * 100.0
+    );
+}

@@ -1,0 +1,247 @@
+//! Simulation configuration: testbed parameters and workload selection.
+
+use fns_iommu::IommuConfig;
+use fns_mem::MemoryModel;
+use fns_pcie::PcieConfig;
+use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
+
+use crate::mode::ProtectionMode;
+
+/// CPU cost constants for the driver/stack work the datapath performs.
+///
+/// Calibrated against the qualitative statements in the paper: the CPU is
+/// "far from utilized" in the IOMMU-enabled microbenchmarks with 5 cores,
+/// F&S's map/unmap overhead is visible only when something else (ring-size
+/// driven cache misses, app-layer work) pushes a core near saturation.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCosts {
+    /// Per-packet network-stack processing (protocol, skb bookkeeping).
+    pub per_packet_ns: Nanos,
+    /// Per-NAPI-batch fixed cost (IRQ entry, poll loop, GRO flush).
+    pub per_batch_ns: Nanos,
+    /// IOVA allocation or free through the caching allocator fast path.
+    pub alloc_cache_ns: Nanos,
+    /// IOVA allocation or free through the red-black tree.
+    pub alloc_tree_ns: Nanos,
+    /// One page-table map operation.
+    pub map_ns: Nanos,
+    /// One unmap operation (per call, any size).
+    pub unmap_ns: Nanos,
+    /// Extra per-packet cost of reading packet data that missed the CPU
+    /// cache, applied in proportion to the ring-size-driven miss factor.
+    pub pkt_data_read_ns: Nanos,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        Self {
+            per_packet_ns: 450,
+            per_batch_ns: 1_500,
+            alloc_cache_ns: 40,
+            alloc_tree_ns: 400,
+            map_ns: 90,
+            unmap_ns: 120,
+            pkt_data_read_ns: 2_000,
+        }
+    }
+}
+
+/// The workload driving the simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload {
+    /// iperf-style unbounded peer→DUT flows (the paper's microbenchmarks,
+    /// Figures 2/3/7/8).
+    IperfRx,
+    /// Unbounded traffic in both directions on disjoint flows
+    /// (Figure 10). `tx_flows` DUT→peer flows are added on distinct cores.
+    Bidirectional {
+        /// Number of DUT→peer data flows.
+        tx_flows: u32,
+    },
+    /// Closed-loop request/response (Redis / Nginx / SPDK, Figure 11).
+    RequestResponse {
+        /// Bytes per request (client → server).
+        request_bytes: u64,
+        /// Bytes per response (server → client).
+        response_bytes: u64,
+        /// Outstanding requests per connection.
+        depth: u32,
+        /// If `true`, the DUT runs the server (Redis/Nginx); otherwise the
+        /// DUT runs the client (SPDK).
+        dut_is_server: bool,
+        /// Application CPU per request on the DUT, ns.
+        app_cpu_per_request_ns: Nanos,
+        /// Application CPU per KB of payload on the DUT, ns.
+        app_cpu_per_kb_ns: Nanos,
+    },
+    /// Latency-sensitive RPC flow colocated with iperf flows (Figure 9).
+    /// The RPC runs closed-loop depth-1 on its own core.
+    RpcColocated {
+        /// Request size, bytes (128 B – 32 KB in the paper).
+        rpc_bytes: u64,
+        /// Response size, bytes.
+        response_bytes: u64,
+    },
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Protection mode under test.
+    pub mode: ProtectionMode,
+    /// DUT cores processing network traffic.
+    pub cores: usize,
+    /// Data flows from the peer to the DUT (iperf-style workloads) or
+    /// connections (request/response workloads).
+    pub flows: u32,
+    /// MTU in bytes (paper default 4 KB; applications use 9 KB).
+    pub mtu: u32,
+    /// Ring buffer size per core, in MTU-sized packets (paper default 256).
+    pub ring_packets: u32,
+    /// Pages per Rx descriptor. Mellanox CX-5 uses 64 (the paper's
+    /// default); 1 models single-page-descriptor devices like Intel ICE
+    /// (§3's generality discussion).
+    pub pages_per_descriptor: u32,
+    /// NIC input buffer, bytes.
+    pub nic_buffer_bytes: u64,
+    /// Access link bandwidth.
+    pub link: Bandwidth,
+    /// One-way propagation + switching delay.
+    pub propagation_ns: Nanos,
+    /// DCTCP marking threshold at the switch, bytes. In the paper's
+    /// topology the switch queue only builds when the access link itself
+    /// saturates (IOMMU-off runs); host-bottlenecked runs are loss-driven
+    /// at the NIC buffer. The default threshold is above a single flow's
+    /// maximum window so ACK-compression bursts do not trigger spurious
+    /// marks.
+    pub ecn_k_bytes: u64,
+    /// GRO/coalescing factor: in-order packets per ACK.
+    pub ack_coalesce: u32,
+    /// Interrupt-moderation delay before a NAPI poll runs.
+    pub irq_delay_ns: Nanos,
+    /// Cross-core shift for Tx completion processing (0 = same core; 1 =
+    /// next core, Linux IRQ-steering-style). Drives allocator-cache mixing.
+    pub tx_completion_core_shift: usize,
+    /// Hardware models.
+    pub iommu: IommuConfig,
+    pub pcie: PcieConfig,
+    pub memory: MemoryModel,
+    pub cpu: CpuCosts,
+    /// Base (non-translation) root-complex residency per Rx page — the
+    /// paper's fitted `l0 = 65 ns`.
+    pub l0_rx_ns: Nanos,
+    /// Same for Tx page translations (reads pipeline deeper).
+    pub l0_tx_ns: Nanos,
+    /// Deferred-mode invalidation threshold, in pending unmapped IOVAs.
+    pub deferred_flush_threshold: u32,
+    /// Workload.
+    pub workload: Workload,
+    /// Warmup before measurement starts.
+    pub warmup: Nanos,
+    /// Measurement window.
+    pub measure: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on locality-trace samples (Figures 2e/3e/7e/8e).
+    pub locality_samples: usize,
+    /// Allocator aging, as a multiple of the IOVA working-set size (see
+    /// [`crate::driver::DmaDriver::age_allocator`]). 0 disables aging.
+    pub aging_factor: f64,
+}
+
+impl SimConfig {
+    /// The paper's default microbenchmark setup (§2.2): 5 cores, one flow
+    /// per core, 4 KB MTU, 256-packet rings, 100 Gbps link, Cascade Lake
+    /// memory.
+    pub fn paper_default(mode: ProtectionMode) -> Self {
+        Self {
+            mode,
+            cores: 5,
+            flows: 5,
+            mtu: 4096,
+            ring_packets: 256,
+            pages_per_descriptor: 64,
+            nic_buffer_bytes: 1 << 20,
+            link: Bandwidth::gbps(100),
+            propagation_ns: MICROS,
+            ecn_k_bytes: 512 * 1024,
+            ack_coalesce: 16,
+            irq_delay_ns: 25 * MICROS,
+            tx_completion_core_shift: 1,
+            iommu: IommuConfig::default(),
+            pcie: PcieConfig::gen3_x16(),
+            memory: MemoryModel::cascade_lake(),
+            cpu: CpuCosts::default(),
+            l0_rx_ns: 65,
+            l0_tx_ns: 30,
+            deferred_flush_threshold: 256,
+            workload: Workload::IperfRx,
+            warmup: 20 * MILLIS,
+            measure: 60 * MILLIS,
+            seed: 1,
+            locality_samples: 400_000,
+            aging_factor: 1.5,
+        }
+    }
+
+    /// IOVA working-set size in pages (the paper's §2.2 formula:
+    /// `2 x cores x MTU x ring size`).
+    pub fn working_set_pages(&self) -> u64 {
+        2 * self.cores as u64 * self.ring_packets as u64 * self.pages_for(self.mtu) as u64
+    }
+
+    /// Pages a packet of `bytes` occupies.
+    pub fn pages_for(&self, bytes: u32) -> u32 {
+        bytes.div_ceil(4096).max(1)
+    }
+
+    /// Ring size in descriptors, at least 1.
+    pub fn ring_descriptors(&self) -> usize {
+        // The paper's working-set formula allocates 2x the ring size in
+        // MTU-sized packets' worth of pages.
+        let pages = 2 * self.ring_packets as u64 * self.pages_for(self.mtu) as u64;
+        // At least two descriptors so one can be recycled while the NIC
+        // fills the other.
+        (pages / self.pages_per_descriptor as u64).max(2) as usize
+    }
+
+    /// Simulation end time.
+    pub fn end_time(&self) -> Nanos {
+        self.warmup + self.measure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_setup() {
+        let c = SimConfig::paper_default(ProtectionMode::LinuxStrict);
+        assert_eq!(c.cores, 5);
+        assert_eq!(c.flows, 5);
+        assert_eq!(c.mtu, 4096);
+        assert_eq!(c.ring_packets, 256);
+        assert_eq!(c.link.as_gbps(), 100.0);
+    }
+
+    #[test]
+    fn ring_descriptor_count() {
+        let c = SimConfig::paper_default(ProtectionMode::LinuxStrict);
+        // 2 * 256 packets * 1 page = 512 pages = 8 descriptors per core.
+        assert_eq!(c.ring_descriptors(), 8);
+        let mut c9k = c;
+        c9k.mtu = 9000;
+        // 2 * 256 * 3 pages = 1536 pages = 24 descriptors.
+        assert_eq!(c9k.ring_descriptors(), 24);
+    }
+
+    #[test]
+    fn pages_for_rounding() {
+        let c = SimConfig::paper_default(ProtectionMode::IommuOff);
+        assert_eq!(c.pages_for(64), 1);
+        assert_eq!(c.pages_for(4096), 1);
+        assert_eq!(c.pages_for(4097), 2);
+        assert_eq!(c.pages_for(9000), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! F&S core: protection-mode datapaths and the full-host simulation.
+//!
+//! This crate glues the substrates together into the system the paper
+//! evaluates:
+//!
+//! * [`mode`] — the protection-mode design space (Linux strict/deferred,
+//!   the two F&S ablations, full F&S),
+//! * [`driver`] — the mode-dependent map/unmap/invalidate datapaths (the
+//!   reproduction of the paper's 630-LoC kernel patch),
+//! * [`config`] — testbed and workload configuration,
+//! * [`resources`] — serial resources (CPU cores, the translation pipe),
+//! * [`sim`] — the discrete-event host simulation (NIC → IOMMU → memory →
+//!   transport → ACKs, with a peer host and a switch),
+//! * [`metrics`] — per-run results in the units the paper reports,
+//! * [`model`] — the analytical throughput model `T = p / (l0 + M·lm)`
+//!   of §2.2.
+
+pub mod config;
+pub mod driver;
+pub mod metrics;
+pub mod mode;
+pub mod model;
+pub mod resources;
+pub mod sim;
+
+pub use config::{CpuCosts, SimConfig, Workload};
+pub use driver::DmaDriver;
+pub use metrics::RunMetrics;
+pub use mode::ProtectionMode;
+pub use sim::HostSim;

@@ -1,0 +1,174 @@
+//! Per-run results in the units the paper reports.
+
+use fns_iommu::IommuStats;
+use fns_sim::stats::Histogram;
+use fns_sim::time::{throughput_gbps, Nanos};
+
+/// Everything one simulation run measures (over the measurement window,
+/// after warmup).
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Measurement window length.
+    pub window_ns: Nanos,
+    /// Application-level bytes delivered in order at the DUT (Rx direction).
+    pub rx_goodput_bytes: u64,
+    /// Application bytes the DUT transmitted that the peer delivered.
+    pub tx_goodput_bytes: u64,
+    /// Data packets arriving at the DUT NIC.
+    pub rx_packets: u64,
+    /// Packets dropped at the DUT NIC buffer.
+    pub nic_drops: u64,
+    /// Tx packets (ACKs + data) the DUT sent.
+    pub tx_packets: u64,
+    /// IOMMU counter delta over the window.
+    pub iommu: IommuStats,
+    /// Per-core CPU busy fractions.
+    pub cpu_utilization: Vec<f64>,
+    /// RPC / request latency histogram (ns), when the workload measures one.
+    pub latency: Histogram,
+    /// Deferred-mode safety violations observed (stale IOTLB hits).
+    pub stale_iotlb_hits: u64,
+    /// Use-after-free PTcache walks observed (must be 0 in all modes).
+    pub stale_ptcache_walks: u64,
+    /// Locality trace: reuse distances of allocated IOVAs' PT-L4 keys
+    /// (`None` = first access), the Figures 2e/3e/7e/8e panel.
+    pub locality_distances: Vec<Option<u64>>,
+    /// CPU ns spent in IOVA allocation + map/unmap over the whole run
+    /// (includes warmup; for coarse attribution only).
+    pub map_cpu_ns: u64,
+    /// CPU ns spent waiting on the invalidation queue over the whole run.
+    pub invalidation_cpu_ns: u64,
+}
+
+impl RunMetrics {
+    /// Rx goodput in Gbps.
+    pub fn rx_gbps(&self) -> f64 {
+        throughput_gbps(self.rx_goodput_bytes, self.window_ns)
+    }
+
+    /// Tx goodput in Gbps.
+    pub fn tx_gbps(&self) -> f64 {
+        throughput_gbps(self.tx_goodput_bytes, self.window_ns)
+    }
+
+    /// Fraction of arriving packets dropped at the NIC.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.rx_packets + self.nic_drops;
+        if total == 0 {
+            0.0
+        } else {
+            self.nic_drops as f64 / total as f64
+        }
+    }
+
+    /// 4 KB pages of Rx data delivered (the paper's normalization unit).
+    pub fn data_pages(&self) -> f64 {
+        self.rx_goodput_bytes as f64 / 4096.0
+    }
+
+    /// IOTLB misses per page of data.
+    pub fn iotlb_misses_per_page(&self) -> f64 {
+        self.iommu.iotlb_misses as f64 / self.data_pages().max(1.0)
+    }
+
+    /// PTcache-L1 misses per page (conditional, as the paper counts).
+    pub fn l1_misses_per_page(&self) -> f64 {
+        self.iommu.ptcache_l1_misses as f64 / self.data_pages().max(1.0)
+    }
+
+    /// PTcache-L2 misses per page.
+    pub fn l2_misses_per_page(&self) -> f64 {
+        self.iommu.ptcache_l2_misses as f64 / self.data_pages().max(1.0)
+    }
+
+    /// PTcache-L3 misses per page.
+    pub fn l3_misses_per_page(&self) -> f64 {
+        self.iommu.ptcache_l3_misses as f64 / self.data_pages().max(1.0)
+    }
+
+    /// Memory reads per page of data: the paper's `M`.
+    pub fn memory_reads_per_page(&self) -> f64 {
+        self.iommu.memory_reads as f64 / self.data_pages().max(1.0)
+    }
+
+    /// Tx packets per page of Rx data (the crosses in Figure 2c).
+    pub fn tx_packets_per_page(&self) -> f64 {
+        self.tx_packets as f64 / self.data_pages().max(1.0)
+    }
+
+    /// Maximum per-core CPU utilization.
+    pub fn max_cpu(&self) -> f64 {
+        self.cpu_utilization.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Fraction of locality-trace re-accesses at reuse distance >=
+    /// `threshold` (likely misses in a PTcache-L3 of that size).
+    pub fn locality_fraction_at_least(&self, threshold: u64) -> f64 {
+        let vals: Vec<u64> = self.locality_distances.iter().filter_map(|d| *d).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().filter(|&&v| v >= threshold).count() as f64 / vals.len() as f64
+    }
+
+    /// Mean reuse distance of the locality trace.
+    pub fn locality_mean(&self) -> f64 {
+        let vals: Vec<u64> = self.locality_distances.iter().filter_map(|d| *d).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().sum::<u64>() as f64 / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            window_ns: 1_000_000_000,
+            rx_goodput_bytes: 12_500_000_000 / 8, // 12.5 Gb worth
+            tx_goodput_bytes: 0,
+            rx_packets: 900,
+            nic_drops: 100,
+            tx_packets: 50,
+            iommu: IommuStats {
+                iotlb_misses: 500_000,
+                ptcache_l3_misses: 100_000,
+                memory_reads: 700_000,
+                ..Default::default()
+            },
+            cpu_utilization: vec![0.2, 0.6, 0.4],
+            latency: Histogram::new(),
+            stale_iotlb_hits: 0,
+            stale_ptcache_walks: 0,
+            locality_distances: vec![None, Some(10), Some(100), Some(1)],
+            map_cpu_ns: 0,
+            invalidation_cpu_ns: 0,
+        }
+    }
+
+    #[test]
+    fn gbps_and_drop_rate() {
+        let m = metrics();
+        assert!((m.rx_gbps() - 12.5).abs() < 1e-9);
+        assert!((m.drop_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_page_normalization() {
+        let m = metrics();
+        let pages = m.data_pages();
+        assert!((m.iotlb_misses_per_page() - 500_000.0 / pages).abs() < 1e-9);
+        assert!((m.memory_reads_per_page() - 700_000.0 / pages).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_summaries() {
+        let m = metrics();
+        assert!((m.locality_fraction_at_least(64) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.locality_mean() - 37.0).abs() < 1e-12);
+        assert_eq!(m.max_cpu(), 0.6);
+    }
+}

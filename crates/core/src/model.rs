@@ -1,0 +1,113 @@
+//! The analytical throughput model of §2.2.
+//!
+//! `T = p / (l0 + M * lm)` — with `p` the packet (page) size, `l0` the
+//! average non-translation per-page DMA cost, `M` the average memory reads
+//! for address translation per page, and `lm` the per-read latency. The
+//! paper fits `l0 = 65 ns` and `lm = 197 ns` on its testbed and reports
+//! that the model predicts measured throughput within 10% across most
+//! experiments; experiment E12 replays that validation against the
+//! simulator.
+
+/// Parameters of the analytical model.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    /// Page/packet size in bytes.
+    pub page_bytes: f64,
+    /// Non-translation per-page cost, ns (the paper's fitted 65).
+    pub l0_ns: f64,
+    /// Per-memory-read latency, ns (the paper's fitted 197).
+    pub lm_ns: f64,
+}
+
+impl ThroughputModel {
+    /// The paper's fitted model for 4 KB pages.
+    pub fn paper_fit() -> Self {
+        Self {
+            page_bytes: 4096.0,
+            l0_ns: 65.0,
+            lm_ns: 197.0,
+        }
+    }
+
+    /// Predicted maximum PCIe throughput in Gbps for `m` memory reads per
+    /// page, capped by `link_gbps`.
+    pub fn predict_gbps(&self, m: f64, link_gbps: f64) -> f64 {
+        let per_page_ns = self.l0_ns + m * self.lm_ns;
+        let gbps = self.page_bytes * 8.0 / per_page_ns;
+        gbps.min(link_gbps)
+    }
+
+    /// Fits `(l0, lm)` from two `(m, throughput_gbps)` observations, as the
+    /// paper does with its 5-flow and 10-flow datapoints.
+    ///
+    /// Returns `None` if the observations are degenerate (equal `m`).
+    pub fn fit_two_points(
+        page_bytes: f64,
+        (m1, t1): (f64, f64),
+        (m2, t2): (f64, f64),
+    ) -> Option<Self> {
+        if (m1 - m2).abs() < 1e-9 || t1 <= 0.0 || t2 <= 0.0 {
+            return None;
+        }
+        // t = 8p / (l0 + m*lm)  =>  8p/t = l0 + m*lm.
+        let y1 = 8.0 * page_bytes / t1;
+        let y2 = 8.0 * page_bytes / t2;
+        let lm = (y2 - y1) / (m2 - m1);
+        let l0 = y1 - m1 * lm;
+        Some(Self {
+            page_bytes,
+            l0_ns: l0,
+            lm_ns: lm,
+        })
+    }
+
+    /// Relative error of the model's prediction vs a measurement.
+    pub fn relative_error(&self, m: f64, link_gbps: f64, measured_gbps: f64) -> f64 {
+        let p = self.predict_gbps(m, link_gbps);
+        if measured_gbps == 0.0 {
+            return f64::INFINITY;
+        }
+        (p - measured_gbps).abs() / measured_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce_section_2_2() {
+        let m = ThroughputModel::paper_fit();
+        // 5-flow case: M = 1.76 -> ~79.5 Gbps.
+        let t5 = m.predict_gbps(1.76, 100.0);
+        assert!((t5 - 79.5).abs() < 2.0, "got {t5}");
+        // 40-flow case: M = 4.36 -> ~35 Gbps.
+        let t40 = m.predict_gbps(4.36, 100.0);
+        assert!((t40 - 35.5).abs() < 2.0, "got {t40}");
+        // M = 0 is link-limited.
+        assert_eq!(m.predict_gbps(0.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = ThroughputModel::paper_fit();
+        let p1 = (1.76, truth.predict_gbps(1.76, 1e9));
+        let p2 = (2.5, truth.predict_gbps(2.5, 1e9));
+        let fit = ThroughputModel::fit_two_points(4096.0, p1, p2).unwrap();
+        assert!((fit.l0_ns - 65.0).abs() < 0.5, "l0 {}", fit.l0_ns);
+        assert!((fit.lm_ns - 197.0).abs() < 0.5, "lm {}", fit.lm_ns);
+    }
+
+    #[test]
+    fn degenerate_fit_rejected() {
+        assert!(ThroughputModel::fit_two_points(4096.0, (1.0, 50.0), (1.0, 60.0)).is_none());
+    }
+
+    #[test]
+    fn relative_error() {
+        let m = ThroughputModel::paper_fit();
+        let exact = m.predict_gbps(2.0, 100.0);
+        assert!(m.relative_error(2.0, 100.0, exact) < 1e-12);
+        assert!((m.relative_error(2.0, 100.0, exact * 2.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1563 @@
+//! The discrete-event host simulation.
+//!
+//! Reproduces the paper's two-server testbed with the measured host (the
+//! "DUT") modelled in full detail and the peer host abstracted:
+//!
+//! ```text
+//!  peer senders ──► switch queue (ECN) ──► 100G link ──► NIC buffer
+//!                                                          │ (tail drop)
+//!       ▲                                                  ▼
+//!  peer receivers ◄── 100G link ◄── Tx pipeline    translation pipe
+//!   (ACKs back)                        ▲           (IOTLB walk + PCIe)
+//!                                      │                   │
+//!                                 NAPI/driver ◄── completions per core
+//!                               (unmap+invalidate, ACKs, replenish)
+//! ```
+//!
+//! The translation pipe is the serial root-complex/IOMMU resource whose
+//! per-page service time — `walk reads × lm + l0` — is exactly the paper's
+//! §2.2 model; every throughput collapse in the reproduction emerges from
+//! this resource backing up into the NIC buffer.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fns_iova::types::Iova;
+use fns_net::packet::{FlowId, Packet, PacketKind};
+use fns_net::receiver::FlowReceiver;
+use fns_net::sender::{DctcpConfig, DctcpSender};
+use fns_net::switchq::SwitchQueue;
+use fns_nic::buffer::NicBuffer;
+use fns_nic::descriptor::{Descriptor, DescriptorPage};
+use fns_nic::ring::RxRing;
+use fns_sim::queue::EventQueue;
+use fns_sim::rng::SimRng;
+use fns_sim::stats::Histogram;
+use fns_sim::time::Nanos;
+
+use crate::config::{SimConfig, Workload};
+use crate::driver::DmaDriver;
+use crate::metrics::RunMetrics;
+use crate::resources::SerialResource;
+
+/// Packets the NIC keeps in the translation pipe concurrently (the ~100
+/// cacheline write buffer is about 1.5 pages; 2 keeps the pipe busy).
+const RX_WINDOW_PKTS: u32 = 2;
+/// Concurrent Tx DMAs (read tag window covers several pages).
+const TX_WINDOW_PKTS: u32 = 6;
+/// NAPI poll budget, packets.
+const NAPI_BUDGET: usize = 64;
+/// Stride granularity for packing small packets into Rx pages.
+const STRIDE: u64 = 256;
+/// Flow-id offset for DUT→peer flows.
+const TX_FLOW_BASE: u32 = 1000;
+
+#[derive(Debug)]
+enum Ev {
+    /// A peer sender may have window to emit.
+    PeerPump(FlowId),
+    /// Drain the peer→DUT link.
+    ToDutDrain,
+    /// Packet lands at the DUT NIC (after propagation).
+    NicArrive(Packet),
+    /// The NIC tries to start DMAs.
+    NicPump,
+    /// An Rx DMA finished writing to host memory.
+    RxDmaDone { core: usize, pkt: Packet },
+    /// NAPI poll on a core.
+    NapiPoll(usize),
+    /// A DUT sender may have window to emit (data or responses).
+    DutPump(FlowId),
+    /// The DUT Tx pipeline may start more DMAs.
+    TxPump,
+    /// A Tx DMA (translation + PCIe read) finished; packet enters the
+    /// DUT→peer link.
+    TxDmaDone {
+        pkt: Packet,
+        pages: Vec<DescriptorPage>,
+        core: usize,
+    },
+    /// Drain the DUT→peer link.
+    ToPeerDrain,
+    /// Packet lands at the peer.
+    PeerDeliver(Packet),
+    /// Retransmission-timer check for a peer (`true`) or DUT sender.
+    RtoCheck { peer: bool, flow: FlowId },
+    /// Take the measurement-start snapshot.
+    WarmupDone,
+}
+
+/// Per-core Rx ring state with stride packing.
+struct RingState {
+    ring: RxRing,
+    /// Currently open (partially filled) page of the front descriptor.
+    open: Option<(Iova, u64)>,
+    /// Pages of the front descriptor already closed.
+    closed_in_front: usize,
+}
+
+/// Per-core NAPI state.
+#[derive(Default)]
+struct NapiState {
+    scheduled: bool,
+    /// The next poll is a budget-continuation of a running poll chain (no
+    /// IRQ entry cost).
+    chained: bool,
+    rx: VecDeque<Packet>,
+    /// Fully consumed Rx descriptors awaiting driver completion. Queued at
+    /// DMA-start (page-consume) time; NAPI processes them one interrupt
+    /// period later, by which point the last page's DMA write has long
+    /// finished, so the strict unmap-after-DMA ordering holds.
+    desc_done: VecDeque<Descriptor>,
+    tx_done: VecDeque<Vec<DescriptorPage>>,
+}
+
+/// Request/response connection bookkeeping.
+struct RrConn {
+    /// Flow carrying requests (or responses toward the DUT when the DUT is
+    /// the client).
+    inbound_flow: FlowId,
+    outbound_flow: FlowId,
+    /// Next in-order byte boundary completing an inbound message.
+    next_in_boundary: u64,
+    next_out_boundary: u64,
+    /// Issue timestamps of outstanding requests (latency accounting).
+    issue_times: VecDeque<Nanos>,
+    core: usize,
+}
+
+/// Measurement snapshot taken at warmup end.
+#[derive(Default, Clone)]
+struct Snapshot {
+    iommu: fns_iommu::IommuStats,
+    rx_delivered: u64,
+    tx_delivered: u64,
+    nic_enq: u64,
+    nic_drops: u64,
+    ring_drops: u64,
+    switch_drops: u64,
+    tx_pkts: u64,
+    core_busy: Vec<Nanos>,
+    locality_mark: usize,
+}
+
+/// The full host simulation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_core::{HostSim, ProtectionMode, SimConfig};
+///
+/// let cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+/// let metrics = HostSim::new(cfg).run();
+/// println!("Rx goodput: {:.1} Gbps", metrics.rx_gbps());
+/// ```
+pub struct HostSim {
+    cfg: SimConfig,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    drv: DmaDriver,
+    rings: Vec<RingState>,
+    nic_buf: NicBuffer<Packet>,
+    /// The Rx-direction translation pipeline (walker + write-buffer drain):
+    /// per-page service is exactly the paper's §2.2 model,
+    /// `reads x lm + l0`. ACK transmissions translate here too — the
+    /// paper's unidirectional model only fits its measurements if ACK walk
+    /// reads land on the same bottleneck as Rx walks.
+    pipe: SerialResource,
+    /// Separate translation engine for bulk Tx *data* (PCIe reads): the
+    /// paper's Figure 10 shows F&S sustaining line rate in both directions
+    /// simultaneously, which requires per-direction walk capacity; the
+    /// directions interfere through the shared IOTLB/PTcaches and memory
+    /// latency instead.
+    tx_pipe: SerialResource,
+    cores: Vec<SerialResource>,
+    napi: Vec<NapiState>,
+    rx_inflight: u32,
+    tx_inflight: u32,
+    /// Per-core Tx queues of mapped packets waiting for a pipe slot; the
+    /// NIC arbitrates round-robin so one core's bulk backlog cannot starve
+    /// another core's ACKs.
+    tx_queues: Vec<VecDeque<(Packet, Vec<DescriptorPage>)>>,
+    tx_rr: usize,
+    peer_senders: BTreeMap<FlowId, DctcpSender>,
+    dut_receivers: BTreeMap<FlowId, FlowReceiver>,
+    dut_senders: BTreeMap<FlowId, DctcpSender>,
+    peer_receivers: BTreeMap<FlowId, FlowReceiver>,
+    core_of: BTreeMap<FlowId, usize>,
+    to_dut: SwitchQueue,
+    to_dut_link: SerialResource,
+    to_dut_draining: bool,
+    to_peer: SwitchQueue,
+    to_peer_link: SerialResource,
+    to_peer_draining: bool,
+    rr_conns: Vec<RrConn>,
+    /// Flows with an outstanding RtoCheck event (`(is_peer, flow)`), so at
+    /// most one timer event exists per sender at a time.
+    rto_armed: std::collections::BTreeSet<(bool, u32)>,
+    latency: Histogram,
+    /// Drops due to descriptor exhaustion (ring empty) — distinct from NIC
+    /// buffer overflow but reported together.
+    ring_drops: u64,
+    tx_pkts_sent: u64,
+    /// Memory-traffic accounting for walk-latency inflation.
+    mem_epoch_start: Nanos,
+    mem_epoch_bytes: u64,
+    mem_util: f64,
+    snapshot: Snapshot,
+    warmed_up: bool,
+}
+
+impl HostSim {
+    /// Builds a simulation from a configuration.
+    pub fn new(mut cfg: SimConfig) -> Self {
+        if cfg.mode.huge_rx() {
+            // Strict huge-Rx requires 2 MB (512-page) descriptors so one
+            // huge mapping is exactly one descriptor.
+            cfg.pages_per_descriptor = 512;
+        }
+        let rng = SimRng::seed(cfg.seed);
+        let drv = DmaDriver::with_descriptor_pages(
+            cfg.mode,
+            cfg.cores,
+            cfg.iommu,
+            cfg.cpu,
+            cfg.deferred_flush_threshold,
+            cfg.locality_samples,
+            cfg.pages_per_descriptor as u64,
+        );
+        let mut sim = Self {
+            q: EventQueue::new(),
+            rng,
+            drv,
+            rings: Vec::new(),
+            nic_buf: NicBuffer::new(cfg.nic_buffer_bytes),
+            pipe: SerialResource::new(),
+            tx_pipe: SerialResource::new(),
+            cores: (0..cfg.cores).map(|_| SerialResource::new()).collect(),
+            napi: (0..cfg.cores).map(|_| NapiState::default()).collect(),
+            rx_inflight: 0,
+            tx_inflight: 0,
+            tx_queues: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
+            tx_rr: 0,
+            peer_senders: BTreeMap::new(),
+            dut_receivers: BTreeMap::new(),
+            dut_senders: BTreeMap::new(),
+            peer_receivers: BTreeMap::new(),
+            core_of: BTreeMap::new(),
+            to_dut: SwitchQueue::new(4 << 20, cfg.ecn_k_bytes),
+            to_dut_link: SerialResource::new(),
+            to_dut_draining: false,
+            to_peer: SwitchQueue::new(4 << 20, cfg.ecn_k_bytes),
+            to_peer_link: SerialResource::new(),
+            to_peer_draining: false,
+            rr_conns: Vec::new(),
+            rto_armed: std::collections::BTreeSet::new(),
+            latency: Histogram::new(),
+            ring_drops: 0,
+            tx_pkts_sent: 0,
+            mem_epoch_start: 0,
+            mem_epoch_bytes: 0,
+            mem_util: 0.0,
+            snapshot: Snapshot::default(),
+            warmed_up: false,
+            cfg,
+        };
+        sim.init();
+        sim
+    }
+
+    fn init(&mut self) {
+        // Age the allocator to long-running steady state before anything
+        // else touches it.
+        let aged_pages = (self.cfg.working_set_pages() as f64 * self.cfg.aging_factor) as u64;
+        if aged_pages > 0 {
+            let mut aging_rng = self.rng.fork(0xA6E);
+            self.drv.age_allocator(&mut aging_rng, aged_pages);
+        }
+        // Fill the Rx rings.
+        let descs = self.cfg.ring_descriptors();
+        for core in 0..self.cfg.cores {
+            // Replenish whenever a slot is free (mlx5 keeps its RQ full);
+            // anything lazier can strand a few pages below what a jumbo
+            // packet needs when descriptors are large and few.
+            let mut ring = RxRing::new(descs, descs);
+            for _ in 0..descs {
+                let (d, _) = self.drv.prepare_rx_descriptor(core);
+                ring.push(d);
+            }
+            self.rings.push(RingState {
+                ring,
+                open: None,
+                closed_in_front: 0,
+            });
+        }
+        if self.cfg.aging_factor > 0.0 {
+            self.churn_rings();
+        }
+        self.init_workload();
+        self.q.push(self.cfg.warmup, Ev::WarmupDone);
+    }
+
+    /// Init-time aging, part 2: cycles every ring several times with
+    /// interposed cross-core Tx alloc/free traffic, so each descriptor's 64
+    /// page-at-a-time IOVAs end up a shuffled sample of the whole working
+    /// set — the state a long-running host is measured in (Figures 2e/3e).
+    /// Only the allocator state matters here; the IOMMU caches are churned
+    /// too but re-warm during the simulation's warmup phase.
+    fn churn_rings(&mut self) {
+        self.drv.set_locality_recording(false);
+        let mut rng = self.rng.fork(0xC0_95);
+        const ROUNDS: usize = 24;
+        let descs = self.cfg.ring_descriptors();
+        for _ in 0..ROUNDS {
+            for _ in 0..descs {
+                for core in 0..self.cfg.cores {
+                    // Consume + complete the head descriptor.
+                    let rs = &mut self.rings[core];
+                    let head = rs.ring.head_mut().expect("ring filled at init");
+                    while head.consume_page().is_some() {}
+                    let d = rs.ring.pop_consumed().expect("fully consumed");
+                    self.drv.complete_rx_descriptor(core, &d);
+                    // Interposed ACK-style Tx churn, freed on another core.
+                    for _ in 0..rng.range(0, 24) {
+                        let (pages, _) = self.drv.tx_map(core, 1);
+                        let comp =
+                            (core + 1 + rng.index(self.cfg.cores.max(2) - 1)) % self.cfg.cores;
+                        self.drv.tx_complete(comp, &pages);
+                    }
+                    let (fresh, _) = self.drv.prepare_rx_descriptor(core);
+                    self.rings[core].ring.push(fresh);
+                }
+            }
+        }
+        self.drv.set_locality_recording(true);
+    }
+
+    fn dctcp(&self) -> DctcpConfig {
+        DctcpConfig {
+            mss: self.cfg.mtu,
+            ..DctcpConfig::default()
+        }
+    }
+
+    fn add_peer_flow(&mut self, flow: FlowId, core: usize, unbounded: bool) {
+        let mut s = DctcpSender::new(flow, self.dctcp(), 0);
+        if unbounded {
+            s.set_unbounded();
+        }
+        self.peer_senders.insert(flow, s);
+        self.dut_receivers
+            .insert(flow, FlowReceiver::new(flow, self.cfg.ack_coalesce));
+        self.core_of.insert(flow, core);
+        // Jittered start (spread over 2 ms) so slow starts do not
+        // synchronize into one giant loss burst.
+        let start = self.rng.range(1, 2_000_000);
+        self.q.push(start, Ev::PeerPump(flow));
+    }
+
+    fn add_dut_flow(&mut self, flow: FlowId, core: usize, unbounded: bool) {
+        let mut s = DctcpSender::new(flow, self.dctcp(), 0);
+        if unbounded {
+            s.set_unbounded();
+        }
+        self.dut_senders.insert(flow, s);
+        self.peer_receivers
+            .insert(flow, FlowReceiver::new(flow, self.cfg.ack_coalesce));
+        self.core_of.insert(flow, core);
+        if unbounded {
+            let start = self.rng.range(1, 50_000);
+            self.q.push(start, Ev::DutPump(flow));
+        }
+    }
+
+    fn init_workload(&mut self) {
+        let cores = self.cfg.cores;
+        match self.cfg.workload {
+            Workload::IperfRx => {
+                for i in 0..self.cfg.flows {
+                    self.add_peer_flow(FlowId(i), i as usize % cores, true);
+                }
+            }
+            Workload::Bidirectional { tx_flows } => {
+                // Rx flows on the first half of the cores, Tx flows on the
+                // second half (the paper runs them on distinct cores).
+                let rx_cores = (cores - tx_flows as usize).max(1);
+                for i in 0..self.cfg.flows {
+                    self.add_peer_flow(FlowId(i), i as usize % rx_cores, true);
+                }
+                for j in 0..tx_flows {
+                    let core = rx_cores + (j as usize % (cores - rx_cores).max(1));
+                    self.add_dut_flow(FlowId(TX_FLOW_BASE + j), core.min(cores - 1), true);
+                }
+            }
+            Workload::RequestResponse {
+                request_bytes,
+                response_bytes,
+                depth,
+                dut_is_server,
+                ..
+            } => {
+                for i in 0..self.cfg.flows {
+                    let core = i as usize % cores;
+                    let client_flow = FlowId(i);
+                    let server_flow = FlowId(TX_FLOW_BASE + i);
+                    if dut_is_server {
+                        // Peer clients send requests; DUT replies.
+                        self.add_peer_flow(client_flow, core, false);
+                        self.add_dut_flow(server_flow, core, false);
+                        let s = self.peer_senders.get_mut(&client_flow).unwrap();
+                        s.enqueue_app_bytes(request_bytes * depth as u64);
+                        self.rr_conns.push(RrConn {
+                            inbound_flow: client_flow,
+                            outbound_flow: server_flow,
+                            next_in_boundary: request_bytes,
+                            next_out_boundary: response_bytes,
+                            issue_times: (0..depth).map(|_| 0).collect(),
+                            core,
+                        });
+                    } else {
+                        // DUT clients send requests; peer replies arrive as
+                        // inbound data.
+                        self.add_dut_flow(server_flow, core, false);
+                        self.add_peer_flow(client_flow, core, false);
+                        let s = self.dut_senders.get_mut(&server_flow).unwrap();
+                        s.enqueue_app_bytes(request_bytes * depth as u64);
+                        self.q.push(1 + i as u64 * 97, Ev::DutPump(server_flow));
+                        self.rr_conns.push(RrConn {
+                            inbound_flow: client_flow,
+                            outbound_flow: server_flow,
+                            next_in_boundary: response_bytes,
+                            next_out_boundary: request_bytes,
+                            issue_times: (0..depth).map(|_| 0).collect(),
+                            core,
+                        });
+                    }
+                }
+            }
+            Workload::RpcColocated {
+                rpc_bytes,
+                response_bytes,
+            } => {
+                // iperf flows on all but the last core.
+                let iperf_cores = (cores - 1).max(1);
+                for i in 0..self.cfg.flows {
+                    self.add_peer_flow(FlowId(i), i as usize % iperf_cores, true);
+                }
+                // RPC connection on the last core, closed loop, depth 1.
+                let rpc_core = cores - 1;
+                let req_flow = FlowId(self.cfg.flows);
+                let resp_flow = FlowId(TX_FLOW_BASE + self.cfg.flows);
+                self.add_peer_flow(req_flow, rpc_core, false);
+                self.add_dut_flow(resp_flow, rpc_core, false);
+                self.peer_senders
+                    .get_mut(&req_flow)
+                    .unwrap()
+                    .enqueue_app_bytes(rpc_bytes);
+                self.rr_conns.push(RrConn {
+                    inbound_flow: req_flow,
+                    outbound_flow: resp_flow,
+                    next_in_boundary: rpc_bytes,
+                    next_out_boundary: response_bytes,
+                    issue_times: VecDeque::from([0]),
+                    core: rpc_core,
+                });
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and returns the measured metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let end = self.cfg.end_time();
+        self.step_until(end);
+        self.collect(end)
+    }
+
+    /// Processes events up to (and including) time `t`.
+    pub fn step_until(&mut self, t: Nanos) {
+        while let Some(next) = self.q.peek_time() {
+            if next > t {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked event vanished");
+            self.handle(now, ev);
+        }
+    }
+
+    /// Snapshot of the peer senders' transport state:
+    /// `(flow, snd_una, cwnd, timeouts, retransmits, rto_deadline)`.
+    /// Debug/inspection helper for tests and examples.
+    pub fn peer_flow_states(&self) -> Vec<(FlowId, u64, u64, u64, u64, Option<Nanos>)> {
+        self.peer_senders
+            .iter()
+            .map(|(f, s)| {
+                (
+                    *f,
+                    s.bytes_in_flight(),
+                    s.cwnd(),
+                    s.timeouts,
+                    s.retransmits,
+                    s.rto_deadline(),
+                )
+            })
+            .collect()
+    }
+
+    /// Finalizes the run at the configured end time (use after
+    /// [`HostSim::step_until`]).
+    pub fn finish(self) -> RunMetrics {
+        let end = self.cfg.end_time();
+        self.collect(end)
+    }
+
+    // ----- memory-utilization tracking ------------------------------------
+
+    fn note_mem_traffic(&mut self, now: Nanos, bytes: u64) {
+        const EPOCH: Nanos = 100_000; // 100 us
+        if now >= self.mem_epoch_start + EPOCH {
+            let elapsed = (now - self.mem_epoch_start).max(1);
+            let bps = self.mem_epoch_bytes as f64 * 1e9 / elapsed as f64;
+            self.mem_util = self.cfg.memory.utilization(bps);
+            self.mem_epoch_start = now;
+            self.mem_epoch_bytes = 0;
+        }
+        self.mem_epoch_bytes += bytes;
+    }
+
+    fn walk_read_ns(&self) -> Nanos {
+        self.cfg.memory.walk_read_ns(self.mem_util)
+    }
+
+    // ----- event dispatch --------------------------------------------------
+
+    fn handle(&mut self, now: Nanos, ev: Ev) {
+        match ev {
+            Ev::PeerPump(flow) => self.peer_pump(now, flow),
+            Ev::ToDutDrain => self.drain_to_dut(now),
+            Ev::NicArrive(pkt) => self.nic_arrive(now, pkt),
+            Ev::NicPump => self.nic_pump(now),
+            Ev::RxDmaDone { core, pkt } => self.rx_dma_done(now, core, pkt),
+            Ev::NapiPoll(core) => self.napi_poll(now, core),
+            Ev::DutPump(flow) => self.dut_pump(now, flow),
+            Ev::TxPump => self.tx_pump(now),
+            Ev::TxDmaDone { pkt, pages, core } => self.tx_dma_done(now, pkt, pages, core),
+            Ev::ToPeerDrain => self.drain_to_peer(now),
+            Ev::PeerDeliver(pkt) => self.peer_deliver(now, pkt),
+            Ev::RtoCheck { peer, flow } => self.rto_check(now, peer, flow),
+            Ev::WarmupDone => self.take_snapshot(),
+        }
+    }
+
+    /// Schedules an RtoCheck for a sender unless one is already pending.
+    fn arm_rto_check(&mut self, now: Nanos, peer: bool, flow: FlowId, deadline: Nanos) {
+        if self.rto_armed.insert((peer, flow.0)) {
+            self.q.push(deadline.max(now), Ev::RtoCheck { peer, flow });
+        }
+    }
+
+    // ----- peer (abstract) side ---------------------------------------------
+
+    fn peer_pump(&mut self, now: Nanos, flow: FlowId) {
+        let Some(s) = self.peer_senders.get_mut(&flow) else {
+            return;
+        };
+        let mut emitted = false;
+        while let Some(pkt) = s.next_packet(now) {
+            self.to_dut.enqueue(pkt);
+            emitted = true;
+        }
+        if emitted {
+            self.schedule_to_dut_drain(now);
+        }
+        if let Some(d) = self.peer_senders.get(&flow).and_then(|s| s.rto_deadline()) {
+            self.arm_rto_check(now, true, flow, d);
+        }
+    }
+
+    fn schedule_to_dut_drain(&mut self, now: Nanos) {
+        if !self.to_dut_draining && !self.to_dut.is_empty() {
+            self.to_dut_draining = true;
+            self.q
+                .push(now.max(self.to_dut_link.busy_until()), Ev::ToDutDrain);
+        }
+    }
+
+    fn drain_to_dut(&mut self, now: Nanos) {
+        self.to_dut_draining = false;
+        let Some(pkt) = self.to_dut.dequeue() else {
+            return;
+        };
+        let done = self.to_dut_link.run(now, self.link_serialize_ns(pkt.bytes));
+        self.q
+            .push(done + self.cfg.propagation_ns, Ev::NicArrive(pkt));
+        if !self.to_dut.is_empty() {
+            self.to_dut_draining = true;
+            self.q.push(done, Ev::ToDutDrain);
+        }
+    }
+
+    fn link_serialize_ns(&self, bytes: u32) -> Nanos {
+        self.cfg.link.transfer_time_ns(bytes as u64)
+    }
+
+    // ----- DUT NIC + DMA ----------------------------------------------------
+
+    fn nic_arrive(&mut self, now: Nanos, pkt: Packet) {
+        let bytes = pkt.bytes as u64;
+        self.nic_buf.enqueue(pkt, bytes);
+        self.nic_pump(now);
+    }
+
+    /// Takes Rx pages for a packet of `bytes`; returns the touched pages and
+    /// any descriptors that completed, or `None` if the ring is out of
+    /// descriptors (the packet cannot DMA yet).
+    fn take_rx_pages(&mut self, core: usize, bytes: u64) -> Option<Vec<Iova>> {
+        let rs = &mut self.rings[core];
+        let mut touched = Vec::new();
+        let mut completed = Vec::new();
+        // If the head descriptor is fully consumed but its last page is
+        // still open and cannot hold this packet, post (close) that page so
+        // the descriptor can complete and be replenished — otherwise a
+        // shallow ring deadlocks waiting for a page it can never get.
+        let space_in_open = rs.open.map(|(_, filled)| 4096 - filled).unwrap_or(0);
+        if rs.ring.head_remaining() == 0
+            && !rs.ring.is_empty()
+            && rs.open.is_some()
+            && bytes > space_in_open
+        {
+            rs.open = None;
+            Self::close_front_page(rs, &mut completed);
+        }
+        // MPWQE-style continuous packing: the packet starts in the open
+        // (partially filled) page if there is stride space, then spans as
+        // many fresh pages as needed. Check availability before consuming
+        // anything so a failed take is side-effect free.
+        let space_in_open = rs.open.map(|(_, filled)| 4096 - filled).unwrap_or(0);
+        let overflow = bytes.saturating_sub(space_in_open);
+        let needed = if bytes <= space_in_open && space_in_open > 0 {
+            0
+        } else {
+            overflow.div_ceil(4096).max(1)
+        };
+        let available = rs.ring.head_remaining() as u64
+            + rs.ring.queued_behind_head() as u64 * self.cfg.pages_per_descriptor as u64;
+        let mut result = None;
+        if available >= needed {
+            let rs = &mut self.rings[core];
+            let mut remaining = bytes;
+            loop {
+                if rs.open.is_none() {
+                    let page = rs
+                        .ring
+                        .head_mut()
+                        .expect("availability checked")
+                        .consume_page()
+                        .expect("availability checked");
+                    rs.open = Some((page.iova, 0));
+                }
+                let (iova, filled) = rs.open.expect("just ensured");
+                let take = remaining.min(4096 - filled);
+                // Occupancy rounds up to the 256 B stride within the page.
+                let new_filled = (filled + take.div_ceil(STRIDE) * STRIDE).min(4096);
+                touched.push(iova);
+                remaining -= take;
+                if new_filled >= 4096 {
+                    rs.open = None;
+                    Self::close_front_page(rs, &mut completed);
+                } else {
+                    rs.open = Some((iova, new_filled));
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            result = Some(touched);
+        }
+        if !completed.is_empty() {
+            self.napi[core].desc_done.extend(completed);
+        }
+        result
+    }
+
+    /// Records one closed page in the front descriptor; pops the descriptor
+    /// when all its pages are closed.
+    fn close_front_page(rs: &mut RingState, completed: &mut Vec<Descriptor>) {
+        rs.closed_in_front += 1;
+        let front_len = rs.ring.head_mut().expect("front exists").len();
+        let consumed = rs.ring.head_mut().expect("front exists").is_consumed();
+        if consumed && rs.closed_in_front == front_len {
+            let d = rs.ring.pop_consumed().expect("front fully consumed");
+            rs.closed_in_front = 0;
+            completed.push(d);
+        }
+    }
+
+    fn nic_pump(&mut self, now: Nanos) {
+        while self.rx_inflight < RX_WINDOW_PKTS {
+            let Some(&pkt) = self.nic_buf_peek() else {
+                break;
+            };
+            let core = self.core_for_packet(&pkt);
+            let had_desc_done = !self.napi[core].desc_done.is_empty();
+            let taken = self.take_rx_pages(core, pkt.bytes as u64);
+            if !self.napi[core].desc_done.is_empty() && !had_desc_done {
+                // A forced page-post completed a descriptor; make sure the
+                // driver gets to recycle it.
+                self.ensure_napi(now, core);
+            }
+            let Some(pages) = taken else {
+                // Out of descriptors: leave the packet queued; the buffer
+                // will tail-drop behind it if the stall persists.
+                self.ring_drops += self.drain_if_hopeless(core);
+                break;
+            };
+            let (pkt, bytes) = self.nic_buf.dequeue().expect("peeked packet");
+            debug_assert_eq!(bytes, pkt.bytes as u64);
+            // Retire pending PTcache wipes at page granularity — wipes and
+            // walks interleave on real hardware (see DmaDriver docs).
+            self.drv.drain_ptcache_wipes(pages.len());
+            // Translate every touched page (one translation per PCIe-level
+            // page access; repeat touches hit the IOTLB).
+            let mut reads = 0u32;
+            for &iova in &pages {
+                reads += self.drv.translate(iova);
+            }
+            let lm = self.walk_read_ns();
+            let l0 = (self.cfg.l0_rx_ns * pkt.bytes as u64)
+                .div_ceil(4096)
+                .max(10);
+            self.note_mem_traffic(now, pkt.bytes as u64 + reads as u64 * 64);
+            let done = self.pipe.run(now, reads as u64 * lm + l0);
+            self.rx_inflight += 1;
+            self.q.push(done, Ev::RxDmaDone { core, pkt });
+        }
+    }
+
+    /// Returns how many head-of-line packets to drop when the ring has been
+    /// starved (none: we rely on buffer tail-drop; hook kept for clarity).
+    fn drain_if_hopeless(&mut self, _core: usize) -> u64 {
+        0
+    }
+
+    fn nic_buf_peek(&self) -> Option<&Packet> {
+        self.nic_buf_head()
+    }
+
+    fn nic_buf_head(&self) -> Option<&Packet> {
+        // NicBuffer has no peek-of-packet; emulate via head_bytes +
+        // internal access. We add a tiny accessor below instead.
+        self.nic_buf.peek_packet()
+    }
+
+    fn core_for_packet(&self, pkt: &Packet) -> usize {
+        *self
+            .core_of
+            .get(&pkt.flow)
+            .unwrap_or(&((pkt.flow.0 as usize) % self.cfg.cores))
+    }
+
+    fn rx_dma_done(&mut self, now: Nanos, core: usize, pkt: Packet) {
+        self.rx_inflight -= 1;
+        self.napi[core].rx.push_back(pkt);
+        self.ensure_napi(now, core);
+        self.nic_pump(now);
+    }
+
+    fn ensure_napi(&mut self, now: Nanos, core: usize) {
+        if !self.napi[core].scheduled {
+            self.napi[core].scheduled = true;
+            // The poll cannot start before the core finishes its queued
+            // work — otherwise an oversubscribed core would keep processing
+            // at event rate and CPU saturation would never throttle the
+            // datapath.
+            let at = (now + self.cfg.irq_delay_ns).max(self.cores[core].busy_until());
+            self.q.push(at, Ev::NapiPoll(core));
+        }
+    }
+
+    // ----- NAPI: the driver's completion processing -------------------------
+
+    fn napi_poll(&mut self, now: Nanos, core: usize) {
+        self.napi[core].scheduled = false;
+        // IRQ entry/exit cost only on the first poll of a chain; continued
+        // polls (budget exceeded / arrivals during the poll) stay in softirq.
+        let mut cpu: Nanos = if self.napi[core].chained {
+            0
+        } else {
+            self.cfg.cpu.per_batch_ns
+        };
+        self.napi[core].chained = false;
+        let mut acks: Vec<(FlowId, fns_net::receiver::AckToSend)> = Vec::new();
+        let mut pump_dut_flows: Vec<FlowId> = Vec::new();
+        let mut dut_fast_rtx: Vec<FlowId> = Vec::new();
+        // 1. Replenish the ring first (mlx5 posts new WQEs at poll start),
+        // so refills draw on IOVAs freed by *previous* polls rather than
+        // immediately recycling this poll's frees.
+        while self.rings[core].ring.needs_replenish() && self.rings[core].ring.free_slots() > 0 {
+            let (d, c) = self.drv.prepare_rx_descriptor(core);
+            self.rings[core].ring.push(d);
+            cpu += c;
+        }
+        // 2. Tx completions (unmap + invalidate transmitted pages).
+        while let Some(pages) = self.napi[core].tx_done.pop_front() {
+            cpu += self.drv.tx_complete(core, &pages);
+        }
+        // 2b. Rx descriptor completions: unmap, invalidate, recycle.
+        while let Some(d) = self.napi[core].desc_done.pop_front() {
+            cpu += self.drv.complete_rx_descriptor(core, &d);
+        }
+        // 3. Rx packet completions.
+        let mut processed = 0;
+        let miss_factor = self.ring_miss_factor();
+        let mut touched_receivers: Vec<FlowId> = Vec::new();
+        while processed < NAPI_BUDGET {
+            let Some(pkt) = self.napi[core].rx.pop_front() else {
+                break;
+            };
+            processed += 1;
+            cpu += self.cfg.cpu.per_packet_ns
+                + (self.cfg.cpu.pkt_data_read_ns as f64 * miss_factor) as Nanos;
+            match pkt.kind {
+                PacketKind::Data => {
+                    if let Some(r) = self.dut_receivers.get_mut(&pkt.flow) {
+                        if let Some(a) = r.on_data(&pkt, now) {
+                            acks.push((pkt.flow, a));
+                        }
+                        if !touched_receivers.contains(&pkt.flow) {
+                            touched_receivers.push(pkt.flow);
+                        }
+                    }
+                }
+                PacketKind::Ack {
+                    ack_seq,
+                    ecn_echo,
+                    acked_pkts,
+                } => {
+                    if let Some(s) = self.dut_senders.get_mut(&pkt.flow) {
+                        let out = s.on_ack(ack_seq, ecn_echo, acked_pkts, now);
+                        if out.fast_retransmit {
+                            dut_fast_rtx.push(pkt.flow);
+                        }
+                        if out.newly_acked > 0 {
+                            pump_dut_flows.push(pkt.flow);
+                        }
+                    }
+                }
+            }
+        }
+        // 4. Flush coalesced ACKs (GRO flush at poll end).
+        for flow in touched_receivers {
+            if let Some(r) = self.dut_receivers.get_mut(&flow) {
+                if let Some(a) = r.flush_ack() {
+                    acks.push((flow, a));
+                }
+            }
+        }
+        // 5. Application-level message boundaries (request/response) for
+        // connections homed on this core.
+        let app_work = self.process_app_boundaries(now, core, &mut pump_dut_flows);
+        cpu += app_work;
+        // 6. Map ACK transmissions (driver work happens in this context).
+        let mut mapped_acks: Vec<(Packet, Vec<DescriptorPage>)> = Vec::new();
+        for (flow, a) in acks {
+            let (pages, c) = self.drv.tx_map(core, 1);
+            cpu += c;
+            let pkt = Packet::ack(flow, a.ack_seq, a.ecn_echo, a.acked_pkts, now);
+            mapped_acks.push((pkt, pages));
+        }
+        // 7. Fast retransmissions for DUT flows.
+        for flow in dut_fast_rtx {
+            if let Some(s) = self.dut_senders.get_mut(&flow) {
+                let pkt = s.fast_retransmit_packet(now);
+                let n_pages = self.cfg.pages_for(pkt.bytes);
+                let (pages, c) = self.drv.tx_map(core, n_pages);
+                cpu += c;
+                mapped_acks.push((pkt, pages));
+            }
+        }
+        // Charge the CPU and apply deferred effects at the finish time.
+        let finish = self.cores[core].run(now, cpu);
+        let any_tx = !mapped_acks.is_empty();
+        for (pkt, pages) in mapped_acks {
+            self.tx_queues[core].push_back((pkt, pages));
+        }
+        if any_tx {
+            self.q.push(finish, Ev::TxPump);
+        }
+        for flow in pump_dut_flows {
+            self.q.push(finish, Ev::DutPump(flow));
+        }
+        // More work pending? Re-poll right after (chained: no IRQ cost).
+        if !self.napi[core].rx.is_empty()
+            || !self.napi[core].tx_done.is_empty()
+            || !self.napi[core].desc_done.is_empty()
+        {
+            self.napi[core].scheduled = true;
+            self.napi[core].chained = true;
+            self.q.push(finish, Ev::NapiPoll(core));
+        }
+        // The ring may have been starved; retry DMA now that it is refilled.
+        self.q.push(finish, Ev::NicPump);
+    }
+
+    /// Per-packet CPU cache-miss factor driven by the Rx working-set size
+    /// (larger rings defeat the hardware prefetcher and LLC, §4.4).
+    fn ring_miss_factor(&self) -> f64 {
+        let ring_bytes =
+            self.cfg.ring_packets as f64 * self.cfg.mtu as f64 * 2.0 * self.cfg.cores as f64;
+        let llc = 25.0e6; // ~25 MB LLC slice budget for packet data
+        ((ring_bytes - llc) / (4.0 * llc)).clamp(0.0, 1.0)
+    }
+
+    /// Detects completed inbound messages on request/response connections,
+    /// performs app work, and enqueues outbound messages. Returns CPU ns.
+    fn process_app_boundaries(&mut self, now: Nanos, core: usize, pump: &mut Vec<FlowId>) -> Nanos {
+        let mut cpu = 0;
+        let (app_req_ns, app_kb_ns, out_bytes, in_bytes, closed_loop_inbound) =
+            match self.cfg.workload {
+                Workload::RequestResponse {
+                    request_bytes,
+                    response_bytes,
+                    dut_is_server,
+                    app_cpu_per_request_ns,
+                    app_cpu_per_kb_ns,
+                    ..
+                } => {
+                    if dut_is_server {
+                        (
+                            app_cpu_per_request_ns,
+                            app_cpu_per_kb_ns,
+                            response_bytes,
+                            request_bytes,
+                            false,
+                        )
+                    } else {
+                        (
+                            app_cpu_per_request_ns,
+                            app_cpu_per_kb_ns,
+                            request_bytes,
+                            response_bytes,
+                            true,
+                        )
+                    }
+                }
+                Workload::RpcColocated {
+                    rpc_bytes,
+                    response_bytes,
+                } => (500, 0, response_bytes, rpc_bytes, false),
+                _ => return 0,
+            };
+        for conn in &mut self.rr_conns {
+            if conn.core != core {
+                continue;
+            }
+            let Some(r) = self.dut_receivers.get(&conn.inbound_flow) else {
+                continue;
+            };
+            while r.delivered_bytes >= conn.next_in_boundary {
+                conn.next_in_boundary += in_bytes;
+                // App work covers both consuming the inbound message and
+                // producing the outbound one (e.g. nginx's cost is on the
+                // page it serves, Redis's on the value it stores).
+                cpu += app_req_ns + app_kb_ns * (in_bytes + out_bytes).div_ceil(1024);
+                if let Some(s) = self.dut_senders.get_mut(&conn.outbound_flow) {
+                    s.enqueue_app_bytes(out_bytes);
+                    pump.push(conn.outbound_flow);
+                }
+                if closed_loop_inbound {
+                    // DUT-as-client: a full response completes one RPC.
+                    if let Some(t) = conn.issue_times.pop_front() {
+                        if self.warmed_up {
+                            self.latency.record(now.saturating_sub(t));
+                        }
+                    }
+                    conn.issue_times.push_back(now);
+                }
+            }
+        }
+        let _ = now;
+        cpu
+    }
+
+    // ----- DUT transmit path -------------------------------------------------
+
+    fn dut_pump(&mut self, now: Nanos, flow: FlowId) {
+        let core = *self.core_of.get(&flow).unwrap_or(&0);
+        let mut cpu = 0;
+        let mut to_map: Vec<Packet> = Vec::new();
+        if let Some(s) = self.dut_senders.get_mut(&flow) {
+            while let Some(pkt) = s.next_packet(now) {
+                to_map.push(pkt);
+            }
+            if let Some(d) = s.rto_deadline() {
+                self.arm_rto_check(now, false, flow, d);
+            }
+        }
+        if to_map.is_empty() {
+            return;
+        }
+        cpu += to_map.len() as Nanos * self.cfg.cpu.per_packet_ns;
+        let mut mapped = Vec::new();
+        for pkt in to_map {
+            let pages = self.cfg.pages_for(pkt.bytes);
+            let (pg, c) = self.drv.tx_map(core, pages);
+            cpu += c;
+            mapped.push((pkt, pg, core));
+        }
+        let finish = self.cores[core].run(now, cpu);
+        for (pkt, pages, c) in mapped {
+            self.tx_queues[c].push_back((pkt, pages));
+        }
+        self.q.push(finish, Ev::TxPump);
+    }
+
+    fn tx_pump(&mut self, now: Nanos) {
+        while self.tx_inflight < TX_WINDOW_PKTS {
+            // Round-robin over the per-core Tx queues.
+            let cores = self.tx_queues.len();
+            let mut picked = None;
+            for i in 0..cores {
+                let c = (self.tx_rr + i) % cores;
+                if let Some((pkt, pages)) = self.tx_queues[c].pop_front() {
+                    self.tx_rr = (c + 1) % cores;
+                    picked = Some((pkt, pages, c));
+                    break;
+                }
+            }
+            let Some((pkt, pages, core)) = picked else {
+                break;
+            };
+            self.drv.drain_ptcache_wipes(pages.len());
+            let mut reads = 0u32;
+            for p in &pages {
+                reads += self.drv.translate(p.iova);
+            }
+            let lm = self.walk_read_ns();
+            self.note_mem_traffic(now, pkt.bytes as u64 + reads as u64 * 64);
+            let service = reads as u64 * lm + self.cfg.l0_tx_ns;
+            // ACKs (and other small control transmissions) translate on
+            // the Rx-direction engine; bulk Tx data has its own.
+            let done = if pkt.is_data() {
+                self.tx_pipe.run(now, service)
+            } else {
+                self.pipe.run(now, service)
+            };
+            self.tx_inflight += 1;
+            self.q.push(done, Ev::TxDmaDone { pkt, pages, core });
+        }
+    }
+
+    fn tx_dma_done(&mut self, now: Nanos, pkt: Packet, pages: Vec<DescriptorPage>, core: usize) {
+        self.tx_inflight -= 1;
+        self.tx_pkts_sent += 1;
+        // The packet enters the DUT→peer link.
+        self.to_peer.enqueue(pkt);
+        self.schedule_to_peer_drain(now);
+        // Tx completion lands on the (possibly shifted) completion core.
+        let comp_core = (core + self.cfg.tx_completion_core_shift) % self.cfg.cores;
+        self.napi[comp_core].tx_done.push_back(pages);
+        self.ensure_napi(now, comp_core);
+        self.tx_pump(now);
+    }
+
+    fn schedule_to_peer_drain(&mut self, now: Nanos) {
+        if !self.to_peer_draining && !self.to_peer.is_empty() {
+            self.to_peer_draining = true;
+            self.q
+                .push(now.max(self.to_peer_link.busy_until()), Ev::ToPeerDrain);
+        }
+    }
+
+    fn drain_to_peer(&mut self, now: Nanos) {
+        self.to_peer_draining = false;
+        let Some(pkt) = self.to_peer.dequeue() else {
+            return;
+        };
+        let done = self
+            .to_peer_link
+            .run(now, self.link_serialize_ns(pkt.bytes));
+        self.q
+            .push(done + self.cfg.propagation_ns, Ev::PeerDeliver(pkt));
+        if !self.to_peer.is_empty() {
+            self.to_peer_draining = true;
+            self.q.push(done, Ev::ToPeerDrain);
+        }
+    }
+
+    // ----- peer receive/ack side ----------------------------------------------
+
+    fn peer_deliver(&mut self, now: Nanos, pkt: Packet) {
+        const PEER_PROC_NS: Nanos = 2_000;
+        match pkt.kind {
+            PacketKind::Ack {
+                ack_seq,
+                ecn_echo,
+                acked_pkts,
+            } => {
+                // DUT's ACK for a peer→DUT flow.
+                if let Some(s) = self.peer_senders.get_mut(&pkt.flow) {
+                    let out = s.on_ack(ack_seq, ecn_echo, acked_pkts, now);
+                    if out.fast_retransmit {
+                        let rtx = s.fast_retransmit_packet(now);
+                        self.to_dut.enqueue(rtx);
+                        self.schedule_to_dut_drain(now + PEER_PROC_NS);
+                    }
+                    if out.newly_acked > 0 {
+                        self.q.push(now + PEER_PROC_NS, Ev::PeerPump(pkt.flow));
+                    }
+                }
+            }
+            PacketKind::Data => {
+                // DUT→peer data: peer receiver generates ACKs that travel
+                // back to the DUT as inbound packets.
+                let mut acks = Vec::new();
+                if let Some(r) = self.peer_receivers.get_mut(&pkt.flow) {
+                    if let Some(a) = r.on_data(&pkt, now) {
+                        acks.push(a);
+                    }
+                }
+                // Peer-side app boundaries (closed-loop clients when the DUT
+                // is the server; response completion ends an RPC).
+                self.peer_app_boundaries(now);
+                for a in acks {
+                    let ack = Packet::ack(pkt.flow, a.ack_seq, a.ecn_echo, a.acked_pkts, now);
+                    self.to_dut.enqueue(ack);
+                }
+                self.schedule_to_dut_drain(now + PEER_PROC_NS);
+            }
+        }
+    }
+
+    fn peer_app_boundaries(&mut self, now: Nanos) {
+        let (req_bytes, resp_bytes, dut_is_server) = match self.cfg.workload {
+            Workload::RequestResponse {
+                request_bytes,
+                response_bytes,
+                dut_is_server,
+                ..
+            } => (request_bytes, response_bytes, dut_is_server),
+            Workload::RpcColocated {
+                rpc_bytes,
+                response_bytes,
+            } => (rpc_bytes, response_bytes, true),
+            _ => return,
+        };
+        if !dut_is_server {
+            // The peer runs the server: on each fully received request, it
+            // queues a response back toward the DUT.
+            let mut pumps = Vec::new();
+            for conn in &mut self.rr_conns {
+                let Some(r) = self.peer_receivers.get(&conn.outbound_flow) else {
+                    continue;
+                };
+                while r.delivered_bytes >= conn.next_out_boundary {
+                    conn.next_out_boundary += req_bytes;
+                    if let Some(s) = self.peer_senders.get_mut(&conn.inbound_flow) {
+                        s.enqueue_app_bytes(resp_bytes);
+                        pumps.push(conn.inbound_flow);
+                    }
+                }
+            }
+            for f in pumps {
+                self.q.push(now + 2_000, Ev::PeerPump(f));
+            }
+            return;
+        }
+        let mut pumps = Vec::new();
+        for conn in &mut self.rr_conns {
+            let Some(r) = self.peer_receivers.get(&conn.outbound_flow) else {
+                continue;
+            };
+            while r.delivered_bytes >= conn.next_out_boundary {
+                conn.next_out_boundary += resp_bytes;
+                // Response completed: record latency, issue the next request.
+                if let Some(t) = conn.issue_times.pop_front() {
+                    if self.warmed_up {
+                        self.latency.record(now.saturating_sub(t));
+                    }
+                }
+                conn.issue_times.push_back(now);
+                if let Some(s) = self.peer_senders.get_mut(&conn.inbound_flow) {
+                    s.enqueue_app_bytes(req_bytes);
+                    pumps.push(conn.inbound_flow);
+                }
+            }
+        }
+        for f in pumps {
+            self.q.push(now + 2_000, Ev::PeerPump(f));
+        }
+    }
+
+    // ----- timers ---------------------------------------------------------------
+
+    fn rto_check(&mut self, now: Nanos, peer: bool, flow: FlowId) {
+        self.rto_armed.remove(&(peer, flow.0));
+        let sender = if peer {
+            self.peer_senders.get_mut(&flow)
+        } else {
+            self.dut_senders.get_mut(&flow)
+        };
+        let Some(s) = sender else { return };
+        match s.rto_deadline() {
+            Some(d) if d <= now => {
+                s.on_rto(now);
+                if peer {
+                    self.peer_pump(now, flow);
+                } else {
+                    self.q.push(now, Ev::DutPump(flow));
+                    if let Some(s) = self.dut_senders.get(&flow) {
+                        if let Some(d2) = s.rto_deadline() {
+                            self.arm_rto_check(now, peer, flow, d2);
+                        }
+                    }
+                }
+            }
+            Some(d) => {
+                self.arm_rto_check(now, peer, flow, d);
+            }
+            None => {}
+        }
+    }
+
+    // ----- measurement ------------------------------------------------------------
+
+    fn take_snapshot(&mut self) {
+        self.warmed_up = true;
+        self.snapshot = Snapshot {
+            iommu: self.drv.iommu.stats(),
+            rx_delivered: self.dut_receivers.values().map(|r| r.delivered_bytes).sum(),
+            tx_delivered: self
+                .peer_receivers
+                .values()
+                .map(|r| r.delivered_bytes)
+                .sum(),
+            nic_enq: self.nic_buf.enqueued_packets(),
+            nic_drops: self.nic_buf.dropped_packets(),
+            ring_drops: self.ring_drops,
+            switch_drops: self.to_dut.drops,
+            tx_pkts: self.tx_pkts_sent,
+            core_busy: self.cores.iter().map(|c| c.busy_time()).collect(),
+            locality_mark: self.drv.locality.len(),
+        };
+    }
+
+    fn collect(self, end: Nanos) -> RunMetrics {
+        let window = end - self.cfg.warmup;
+        let snap = &self.snapshot;
+        let iommu_now = self.drv.iommu.stats();
+        let rx_delivered: u64 = self.dut_receivers.values().map(|r| r.delivered_bytes).sum();
+        let tx_delivered: u64 = self
+            .peer_receivers
+            .values()
+            .map(|r| r.delivered_bytes)
+            .sum();
+        let cpu_utilization = self
+            .cores
+            .iter()
+            .zip(snap.core_busy.iter().chain(std::iter::repeat(&0)))
+            .map(|(c, &b)| c.utilization(b, window))
+            .collect();
+        let iommu = iommu_now.delta(&snap.iommu);
+        RunMetrics {
+            window_ns: window,
+            rx_goodput_bytes: rx_delivered - snap.rx_delivered,
+            tx_goodput_bytes: tx_delivered - snap.tx_delivered,
+            rx_packets: self.nic_buf.enqueued_packets() - snap.nic_enq,
+            nic_drops: (self.nic_buf.dropped_packets() - snap.nic_drops)
+                + (self.ring_drops - snap.ring_drops)
+                + (self.to_dut.drops - snap.switch_drops),
+            tx_packets: self.tx_pkts_sent - snap.tx_pkts,
+            stale_iotlb_hits: iommu.stale_iotlb_hits,
+            stale_ptcache_walks: iommu.stale_ptcache_walks,
+            iommu,
+            cpu_utilization,
+            latency: self.latency,
+            locality_distances: self.drv.locality.distances()[snap.locality_mark..].to_vec(),
+            map_cpu_ns: self.drv.map_cpu_ns,
+            invalidation_cpu_ns: self.drv.invalidation_cpu_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ProtectionMode;
+
+    fn tiny_sim(mode: ProtectionMode) -> HostSim {
+        let mut cfg = SimConfig::paper_default(mode);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        cfg.aging_factor = 0.0; // skip init churn: these tests probe mechanics
+        HostSim::new(cfg)
+    }
+
+    #[test]
+    fn full_page_packets_take_one_fresh_page_each() {
+        let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
+        let pages = sim.take_rx_pages(0, 4096).expect("ring filled");
+        assert_eq!(pages.len(), 1);
+        assert!(sim.napi[0].desc_done.is_empty());
+        let pages2 = sim.take_rx_pages(0, 4096).expect("ring filled");
+        assert_ne!(pages[0], pages2[0]);
+    }
+
+    #[test]
+    fn small_packets_share_a_page_by_stride() {
+        let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
+        // 64 B ACK-sized packets round to one 256 B stride each: 16 fit in
+        // a page, and all 16 translate the same IOVA.
+        let first = sim.take_rx_pages(0, 64).expect("ring filled");
+        for _ in 0..15 {
+            let pages = sim.take_rx_pages(0, 64).expect("ring filled");
+            assert_eq!(pages, first, "strides pack into the open page");
+        }
+        let next = sim.take_rx_pages(0, 64).expect("ring filled");
+        assert_ne!(next, first, "17th stride opens a fresh page");
+    }
+
+    #[test]
+    fn oversized_packet_spans_pages() {
+        let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
+        let pages = sim.take_rx_pages(0, 9000).expect("ring filled");
+        assert_eq!(pages.len(), 3, "9 KB = 3 pages");
+        // Pages come from one descriptor in order, so they are consecutive
+        // ring slots (not necessarily consecutive IOVAs under Linux mode).
+        assert_eq!(
+            pages.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn big_packet_spans_from_the_open_page() {
+        // MPWQE-style continuous packing: a 4 KB packet arriving after a
+        // small one starts in the open page's remaining strides and spills
+        // into a fresh page.
+        let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
+        let small = sim.take_rx_pages(0, 64).expect("ring filled");
+        let big = sim.take_rx_pages(0, 4096).expect("ring filled");
+        assert_eq!(big.len(), 2, "spans the open page plus one fresh page");
+        assert_eq!(big[0], small[0], "starts in the open page");
+        assert_ne!(big[1], small[0]);
+        // 64 B occupied one stride; 4096 B fills the rest (15 strides) plus
+        // 256 B in the next page, leaving it open for the next packet.
+        let next = sim.take_rx_pages(0, 64).expect("ring filled");
+        assert_eq!(next[0], big[1], "next packet continues in the spill page");
+    }
+
+    #[test]
+    fn descriptor_completes_after_64_closed_pages() {
+        let mut sim = tiny_sim(ProtectionMode::FastAndSafe);
+        for i in 0..128 {
+            sim.take_rx_pages(0, 4096).expect("ring filled");
+            if i < 63 {
+                assert_eq!(
+                    sim.napi[0].desc_done.len(),
+                    0,
+                    "descriptor must not complete early"
+                );
+            }
+        }
+        assert_eq!(
+            sim.napi[0].desc_done.len(),
+            2,
+            "128 full pages = exactly 2 descriptors"
+        );
+    }
+
+    #[test]
+    fn ring_exhaustion_returns_none_without_partial_consumption() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::LinuxStrict);
+        cfg.aging_factor = 0.0;
+        let mut sim = HostSim::new(cfg);
+        let total_pages = sim.rings[0].ring.head_remaining() as u64
+            + sim.rings[0].ring.queued_behind_head() as u64 * 64;
+        for _ in 0..total_pages {
+            sim.take_rx_pages(0, 4096).expect("pages available");
+        }
+        assert!(sim.take_rx_pages(0, 4096).is_none(), "ring exhausted");
+        // A small packet cannot squeeze in either.
+        assert!(sim.take_rx_pages(0, 64).is_none());
+    }
+
+    #[test]
+    fn all_modes_run_a_tiny_simulation() {
+        for mode in ProtectionMode::ALL {
+            let m = tiny_sim(mode).run();
+            assert!(m.rx_goodput_bytes > 0, "{mode}: no traffic flowed");
+            assert_eq!(m.stale_ptcache_walks, 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_a_tiny_simulation() {
+        let workloads = [
+            Workload::IperfRx,
+            Workload::Bidirectional { tx_flows: 2 },
+            Workload::RequestResponse {
+                request_bytes: 8192,
+                response_bytes: 64,
+                depth: 8,
+                dut_is_server: true,
+                app_cpu_per_request_ns: 500,
+                app_cpu_per_kb_ns: 10,
+            },
+            Workload::RequestResponse {
+                request_bytes: 128,
+                response_bytes: 65536,
+                depth: 8,
+                dut_is_server: false,
+                app_cpu_per_request_ns: 500,
+                app_cpu_per_kb_ns: 10,
+            },
+            Workload::RpcColocated {
+                rpc_bytes: 1024,
+                response_bytes: 64,
+            },
+        ];
+        for w in workloads {
+            let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+            cfg.workload = w;
+            cfg.cores = 6;
+            cfg.warmup = 2_000_000;
+            cfg.measure = 5_000_000;
+            let m = HostSim::new(cfg).run();
+            assert!(
+                m.rx_goodput_bytes + m.tx_goodput_bytes > 0,
+                "{w:?}: nothing moved"
+            );
+        }
+    }
+
+    #[test]
+    fn step_until_is_equivalent_to_run() {
+        let mut a = tiny_sim(ProtectionMode::LinuxStrict);
+        a.step_until(1_000_000);
+        a.step_until(2_500_000);
+        let ma = a.finish();
+        let mb = tiny_sim(ProtectionMode::LinuxStrict).run();
+        assert_eq!(ma.rx_goodput_bytes, mb.rx_goodput_bytes);
+        assert_eq!(ma.iommu, mb.iommu);
+    }
+
+    #[test]
+    fn frames_conserved_across_a_run() {
+        let mut sim = tiny_sim(ProtectionMode::FastAndSafe);
+        sim.step_until(2_500_000);
+        // Every frame is either free or accounted for by a live ring page,
+        // an open Tx mapping, or a packet in flight; at minimum, no frame
+        // was double-freed (the FrameAllocator would have panicked) and the
+        // leak bound is the prepared rings + in-flight traffic.
+        let in_use = sim.drv.frames().in_use() as u64;
+        let ring_pages: u64 = sim
+            .rings
+            .iter()
+            .map(|r| (r.ring.head_remaining() + r.ring.queued_behind_head() * 64) as u64)
+            .sum();
+        assert!(in_use >= ring_pages, "rings alone pin {ring_pages} frames");
+        // Generous upper bound: rings + full NIC buffer + tx windows.
+        assert!(
+            in_use < ring_pages + 3000,
+            "frame leak suspected: {in_use} in use vs {ring_pages} ring pages"
+        );
+    }
+}
+
+#[cfg(test)]
+mod huge_debug {
+    use super::*;
+    use crate::mode::ProtectionMode;
+
+    #[test]
+    fn huge_mode_sustains_request_response_traffic() {
+        // Regression for two historical deadlocks: shallow-ring open-page
+        // starvation and RtoCheck event leaks under high pump rates.
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FnsHugeStrict);
+        cfg.cores = 8;
+        cfg.flows = 8;
+        cfg.mtu = 9000;
+        cfg.workload = Workload::RequestResponse {
+            request_bytes: 4128,
+            response_bytes: 64,
+            depth: 32,
+            dut_is_server: true,
+            app_cpu_per_request_ns: 1_500,
+            app_cpu_per_kb_ns: 30,
+        };
+        cfg.warmup = 2_000_000;
+        cfg.measure = 6_000_000;
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(5_000_000);
+        assert!(
+            sim.q.len() < 2_000,
+            "event-queue leak: {} pending events",
+            sim.q.len()
+        );
+        let m = sim.finish();
+        assert!(
+            m.rx_gbps() > 20.0,
+            "traffic stalled: {:.1} Gbps",
+            m.rx_gbps()
+        );
+        assert_eq!(m.stale_iotlb_hits, 0, "strict safety");
+    }
+
+    #[test]
+    fn huge_take_pages_works() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FnsHugeStrict);
+        cfg.aging_factor = 0.0;
+        let mut sim = HostSim::new(cfg);
+        println!(
+            "descs={} head_rem={}",
+            sim.rings[0].ring.len(),
+            sim.rings[0].ring.head_remaining()
+        );
+        let got = sim.take_rx_pages(0, 4096);
+        assert!(got.is_some());
+        // Drive arrival path manually.
+        let pkt = Packet::data(FlowId(0), 0, 4096, 0);
+        sim.nic_arrive(100, pkt);
+        println!(
+            "nic enq={} drop={} rx_inflight={}",
+            sim.nic_buf.enqueued_packets(),
+            sim.nic_buf.dropped_packets(),
+            sim.rx_inflight
+        );
+        assert_eq!(sim.rx_inflight, 1);
+    }
+}
+
+#[cfg(test)]
+mod replenish_regression {
+    use super::*;
+    use crate::mode::ProtectionMode;
+
+    /// Regression: with large (512-page) descriptors and jumbo packets, a
+    /// lazy replenish threshold can strand a ring at 2 remaining pages —
+    /// below what one 9 KB packet needs — deadlocking the datapath. Rings
+    /// must therefore be kept topped up.
+    #[test]
+    fn jumbo_packets_never_deadlock_large_descriptors() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FnsHugeStrict);
+        cfg.cores = 8;
+        cfg.flows = 8;
+        cfg.mtu = 9000;
+        cfg.workload = Workload::RequestResponse {
+            request_bytes: 4128,
+            response_bytes: 64,
+            depth: 32,
+            dut_is_server: true,
+            app_cpu_per_request_ns: 1_500,
+            app_cpu_per_kb_ns: 30,
+        };
+        cfg.warmup = 10_000_000;
+        cfg.measure = 20_000_000;
+        let m = HostSim::new(cfg).run();
+        assert!(
+            m.rx_gbps() > 60.0,
+            "datapath stalled: {:.1} Gbps",
+            m.rx_gbps()
+        );
+        assert_eq!(m.stale_iotlb_hits, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the protection-mode driver: random interleavings of
+//! descriptor and Tx lifecycles must preserve the mode's safety contract
+//! and never leak or double-free resources.
+
+use proptest::prelude::*;
+
+use fns_core::driver::DmaDriver;
+use fns_core::{CpuCosts, ProtectionMode};
+use fns_iommu::IommuConfig;
+use fns_nic::descriptor::Descriptor;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Prepare a descriptor on a core (if under the in-flight cap).
+    Prepare(usize),
+    /// DMA (translate + consume) every page of the oldest descriptor.
+    ConsumeOldest,
+    /// Complete the oldest fully consumed descriptor on a core.
+    CompleteOldest(usize),
+    /// Map a Tx packet of 1-3 pages on a core.
+    TxMap(usize, u32),
+    /// Complete the oldest outstanding Tx packet on a core.
+    TxCompleteOldest(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..3).prop_map(Op::Prepare),
+            Just(Op::ConsumeOldest),
+            (0usize..3).prop_map(Op::CompleteOldest),
+            (0usize..3, 1u32..4).prop_map(|(c, p)| Op::TxMap(c, p)),
+            (0usize..3).prop_map(Op::TxCompleteOldest),
+        ],
+        1..120,
+    )
+}
+
+fn run_mode(mode: ProtectionMode, ops: &[Op]) {
+    let mut drv = DmaDriver::with_descriptor_pages(
+        mode,
+        3,
+        IommuConfig::default(),
+        CpuCosts::default(),
+        256,
+        1000,
+        if mode.huge_rx() { 512 } else { 64 },
+    );
+    let mut prepared: Vec<Descriptor> = Vec::new();
+    let mut consumed: Vec<Descriptor> = Vec::new();
+    let mut completed_pages = Vec::new();
+    let mut tx_outstanding: Vec<Vec<fns_nic::descriptor::DescriptorPage>> = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Prepare(core) => {
+                if prepared.len() + consumed.len() < 4 {
+                    let (d, _) = drv.prepare_rx_descriptor(core);
+                    prepared.push(d);
+                }
+            }
+            Op::ConsumeOldest => {
+                if !prepared.is_empty() {
+                    let mut d = prepared.remove(0);
+                    for p in d.pages().to_vec() {
+                        drv.translate(p.iova);
+                    }
+                    while d.consume_page().is_some() {}
+                    consumed.push(d);
+                }
+            }
+            Op::CompleteOldest(core) => {
+                if !consumed.is_empty() {
+                    let d = consumed.remove(0);
+                    drv.complete_rx_descriptor(core, &d);
+                    // Strict modes: the device must lose access the moment
+                    // the completion returns (checked here, before any later
+                    // allocation can legitimately recycle the IOVA).
+                    if mode.is_strict_safe() && mode != ProtectionMode::IommuOff {
+                        for p in d.pages() {
+                            assert!(
+                                drv.iommu.translate(p.iova).pa().is_none(),
+                                "{mode}: completed Rx page {} still reachable",
+                                p.iova
+                            );
+                        }
+                    }
+                    completed_pages.extend(d.pages().to_vec());
+                }
+            }
+            Op::TxMap(core, pages) => {
+                if tx_outstanding.len() < 8 {
+                    let (pg, _) = drv.tx_map(core, pages);
+                    for p in &pg {
+                        drv.translate(p.iova);
+                    }
+                    tx_outstanding.push(pg);
+                }
+            }
+            Op::TxCompleteOldest(core) => {
+                if !tx_outstanding.is_empty() {
+                    let pg = tx_outstanding.remove(0);
+                    drv.tx_complete(core, &pg);
+                    if mode.is_strict_safe() && mode != ProtectionMode::IommuOff {
+                        for p in &pg {
+                            assert!(
+                                drv.iommu.translate(p.iova).pa().is_none(),
+                                "{mode}: completed Tx page {} still reachable",
+                                p.iova
+                            );
+                        }
+                    }
+                    completed_pages.extend(pg);
+                }
+            }
+        }
+    }
+    // Safety contract per mode:
+    let stats = drv.iommu.stats();
+    assert_eq!(
+        stats.stale_ptcache_walks, 0,
+        "{mode}: use-after-free walk during the workload"
+    );
+    if mode.is_strict_safe() && mode != ProtectionMode::IommuOff {
+        assert_eq!(stats.stale_iotlb_hits, 0, "{mode}: strict safety violated");
+    }
+    if mode.is_pinned_pool() {
+        // Pool modes: completed buffers stay reachable (the weaker property)
+        // and are recycled rather than freed.
+        if let Some(p) = completed_pages.first() {
+            assert!(drv.iommu.translate(p.iova).pa().is_some(), "{mode}");
+        }
+        assert_eq!(
+            stats.iotlb_invalidations, 0,
+            "{mode}: pools never invalidate"
+        );
+    }
+    drv.iommu.page_table().check_invariants().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strict_modes_uphold_their_contract(ops in ops()) {
+        for mode in [
+            ProtectionMode::LinuxStrict,
+            ProtectionMode::LinuxPreserve,
+            ProtectionMode::LinuxContig,
+            ProtectionMode::FastAndSafe,
+            ProtectionMode::FnsHugeStrict,
+        ] {
+            run_mode(mode, &ops);
+        }
+    }
+
+    #[test]
+    fn weak_modes_do_not_corrupt_state(ops in ops()) {
+        for mode in [
+            ProtectionMode::IommuOff,
+            ProtectionMode::LinuxDeferred,
+            ProtectionMode::HugepagePinned,
+            ProtectionMode::DamnRecycle,
+        ] {
+            run_mode(mode, &ops);
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The IOMMU translation engine: IOTLB + page-structure caches + walker.
+//!
+//! Models the VT-d datapath of §2.1: a translation first consults the IOTLB;
+//! on a miss, the page-table walker consults the three page-structure caches
+//! (checked in parallel in hardware; the deepest hit determines how many of
+//! the four page-table levels must actually be read from memory). In the
+//! best case a walk costs a single memory read (the PT-L4 leaf entry), in
+//! the worst case four.
+
+use fns_iova::types::{Iova, IovaRange};
+use fns_mem::addr::PhysAddr;
+
+use crate::config::IommuConfig;
+use crate::iotlb::Iotlb;
+use crate::lru::LruCache;
+use crate::pagetable::{
+    IoPageTable, PageRef, PtEntryView, PtError, ReclaimedPage, UnmapOutcome, WalkResult,
+    L4_SPAN_PFNS,
+};
+use crate::stats::IommuStats;
+
+/// What an invalidation request should wipe.
+///
+/// VT-d's page-selective IOTLB invalidation descriptor carries an
+/// *invalidation hint* (IH) bit: with IH clear the paging-structure caches
+/// covering the range are invalidated too (Linux default); with IH set they
+/// are preserved (what F&S requests, §3).
+///
+/// The exact PWC-invalidation behaviour of real IOMMUs is not public. The
+/// paper's measurements (§2.2) pin down an asymmetry this model encodes:
+/// per-page Rx-path invalidations cost PTcache-L3 (leaf-level) entries but
+/// leave the shared PTcache-L1/L2 entries intact most of the time (else the
+/// measured L1/L2 miss rate would be ~1/page instead of 0.05), while Tx-path
+/// invalidations do knock out the L1/L2 entries — the paper explicitly
+/// correlates PTcache-L1/L2 misses one-to-one with the ACK (Tx) rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationScope {
+    /// Invalidate only the final IOVA translations (IH = 1). Safe whenever
+    /// the unmap did not reclaim page-table pages.
+    IotlbOnly,
+    /// Invalidate the IOTLB plus leaf-level (PTcache-L3) entries overlapping
+    /// the range; upper-level entries are wiped only when the range fully
+    /// contains their span (the safety-relevant case).
+    IotlbAndLeafPtcache,
+    /// Invalidate the IOTLB and every covering PTcache-L1/L2/L3 entry.
+    IotlbAndFullPtcache,
+}
+
+/// Result of one address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Successful translation.
+    Ok {
+        /// The physical address the device will access.
+        pa: PhysAddr,
+        /// Memory reads performed by the walker (0 on an IOTLB hit).
+        reads: u32,
+        /// Whether the IOTLB satisfied the translation directly.
+        iotlb_hit: bool,
+    },
+    /// No mapping exists (and no stale cached entry leaked one).
+    Fault {
+        /// Memory reads consumed before detecting the fault.
+        reads: u32,
+    },
+}
+
+impl Translation {
+    /// Memory reads this translation cost.
+    pub fn reads(&self) -> u32 {
+        match *self {
+            Translation::Ok { reads, .. } | Translation::Fault { reads } => reads,
+        }
+    }
+
+    /// The translated address, if successful.
+    pub fn pa(&self) -> Option<PhysAddr> {
+        match *self {
+            Translation::Ok { pa, .. } => Some(pa),
+            Translation::Fault { .. } => None,
+        }
+    }
+}
+
+/// The modelled IOMMU: page table, IOTLB, and page-structure caches.
+///
+/// # Examples
+///
+/// ```
+/// use fns_iommu::{Iommu, IommuConfig, InvalidationScope, Translation};
+/// use fns_iova::types::{Iova, IovaRange};
+/// use fns_mem::addr::PhysAddr;
+///
+/// let mut mmu = Iommu::new(IommuConfig::default());
+/// let iova = Iova::from_pfn(0xABCDE);
+/// mmu.map(iova, PhysAddr::from_pfn(42)).unwrap();
+///
+/// // First touch: IOTLB miss, full 4-read walk (caches cold).
+/// assert!(matches!(mmu.translate(iova), Translation::Ok { reads: 4, iotlb_hit: false, .. }));
+/// // Second touch: IOTLB hit.
+/// assert!(matches!(mmu.translate(iova), Translation::Ok { reads: 0, iotlb_hit: true, .. }));
+///
+/// // Strict unmap: invalidate, then the device faults.
+/// mmu.unmap_range(IovaRange::new(iova, 1)).unwrap();
+/// mmu.invalidate_range(IovaRange::new(iova, 1), InvalidationScope::IotlbAndFullPtcache);
+/// assert!(matches!(mmu.translate(iova), Translation::Fault { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iommu {
+    pt: IoPageTable,
+    iotlb: Iotlb,
+    /// Huge-page IOTLB: key = 2 MB region (l4 page key), value = physical
+    /// base of the region.
+    iotlb_huge: LruCache<u64, PhysAddr>,
+    /// key: iova bits 39.. (one entry covers 512 GB) -> PT-L2 page.
+    ptc_l1: LruCache<u64, PageRef>,
+    /// key: iova bits 30.. (1 GB) -> PT-L3 page.
+    ptc_l2: LruCache<u64, PageRef>,
+    /// key: iova bits 21.. (2 MB) -> PT-L4 page.
+    ptc_l3: LruCache<u64, PageRef>,
+    config: IommuConfig,
+    stats: IommuStats,
+}
+
+impl Iommu {
+    /// Creates an IOMMU with the given hardware configuration.
+    pub fn new(config: IommuConfig) -> Self {
+        Self {
+            pt: IoPageTable::new(),
+            iotlb: Iotlb::new(config.iotlb_entries, config.iotlb_assoc),
+            iotlb_huge: LruCache::new(config.iotlb_huge_entries),
+            ptc_l1: LruCache::new(config.ptcache_l1_entries),
+            ptc_l2: LruCache::new(config.ptcache_l2_entries),
+            ptc_l3: LruCache::new(config.ptcache_l3_entries),
+            config,
+            stats: IommuStats::default(),
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> IommuConfig {
+        self.config
+    }
+
+    /// Read access to the IO page table.
+    pub fn page_table(&self) -> &IoPageTable {
+        &self.pt
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> IommuStats {
+        self.stats
+    }
+
+    /// Maps `iova -> pa` in the IO page table (driver-side operation; does
+    /// not touch the hardware caches).
+    pub fn map(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
+        self.pt.map(iova, pa)
+    }
+
+    /// Maps a 2 MB huge page (see [`IoPageTable::map_huge`]), first
+    /// collapsing any empty PT-L4 directory left in the slot by earlier
+    /// 4 KB mappings — with the mandatory PTcache fixup for the reclaimed
+    /// page.
+    pub fn map_huge(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
+        if let Some(reclaimed) = self.pt.collapse_empty_l4(iova) {
+            self.invalidate_for_reclaimed(&[reclaimed]);
+        }
+        self.pt.map_huge(iova, pa)
+    }
+
+    /// Unmaps a 2 MB huge mapping (no cache invalidation — policy's job).
+    pub fn unmap_huge(&mut self, iova: Iova) -> Result<(), PtError> {
+        self.pt.unmap_huge(iova)
+    }
+
+    /// Unmaps `range` in a single operation (Linux reclamation rule applies;
+    /// see [`IoPageTable::unmap_range`]). Does *not* invalidate any caches —
+    /// that is the protection policy's job, which is the whole point of the
+    /// paper.
+    pub fn unmap_range(&mut self, range: IovaRange) -> Result<UnmapOutcome, PtError> {
+        self.pt.unmap_range(range)
+    }
+
+    /// Translates one device access. This is the hot path: IOTLB, then the
+    /// page-structure caches, then (partial) page-table walk.
+    pub fn translate(&mut self, iova: Iova) -> Translation {
+        self.stats.translations += 1;
+        let pfn = iova.pfn();
+        if let Some(pa) = self.iotlb.get(pfn) {
+            self.stats.iotlb_hits += 1;
+            if self.config.verify_safety && self.pt.lookup(iova) != Some(pa) {
+                // The device reached memory through a stale translation —
+                // exactly what the strict safety property forbids.
+                self.stats.stale_iotlb_hits += 1;
+            }
+            return Translation::Ok {
+                pa,
+                reads: 0,
+                iotlb_hit: true,
+            };
+        }
+        if let Some(&base) = self.iotlb_huge.get(&iova.l4_page_key()) {
+            self.stats.iotlb_hits += 1;
+            let pa = base.add((iova.pfn() % L4_SPAN_PFNS) << 12);
+            if self.config.verify_safety && self.pt.lookup(iova) != Some(pa) {
+                self.stats.stale_iotlb_hits += 1;
+            }
+            return Translation::Ok {
+                pa,
+                reads: 0,
+                iotlb_hit: true,
+            };
+        }
+        self.stats.iotlb_misses += 1;
+        self.walk(iova)
+    }
+
+    /// Completes a huge-page walk: refill the huge IOTLB and return the
+    /// 4 KB-granularity translation.
+    fn finish_huge(&mut self, iova: Iova, base: PhysAddr, reads: u32) -> Translation {
+        self.iotlb_huge.insert(iova.l4_page_key(), base);
+        self.stats.memory_reads += reads as u64;
+        Translation::Ok {
+            pa: base.add((iova.pfn() % L4_SPAN_PFNS) << 12),
+            reads,
+            iotlb_hit: false,
+        }
+    }
+
+    /// Page-table walk after an IOTLB miss, using the deepest live
+    /// page-structure cache hit.
+    fn walk(&mut self, iova: Iova) -> Translation {
+        // PTcache-L3: directly locates the PT-L4 leaf page (1 read).
+        if let Some(&l4) = self.ptc_l3.get(&iova.l4_page_key()) {
+            match self.pt.read_via(l4, iova) {
+                Ok(Some(PtEntryView::Leaf(pa))) => {
+                    self.iotlb.insert(iova.pfn(), pa);
+                    self.stats.memory_reads += 1;
+                    return Translation::Ok {
+                        pa,
+                        reads: 1,
+                        iotlb_hit: false,
+                    };
+                }
+                Ok(Some(PtEntryView::Child(_))) | Ok(Some(PtEntryView::HugeLeaf(_))) => {
+                    unreachable!("L4 page holds 4 KB leaves")
+                }
+                Ok(None) => {
+                    self.stats.memory_reads += 1;
+                    self.stats.faults += 1;
+                    return Translation::Fault { reads: 1 };
+                }
+                Err(_) => {
+                    // Use-after-free walk through a reclaimed PT-L4 page. On
+                    // hardware this reads freed memory; we record the safety
+                    // violation, drop the poisoned entry, and continue with
+                    // a deeper lookup so the simulation stays deterministic.
+                    self.stats.stale_ptcache_walks += 1;
+                    self.ptc_l3.remove(&iova.l4_page_key());
+                }
+            }
+        }
+        self.stats.ptcache_l3_misses += 1;
+        // PTcache-L2: locates the PT-L3 page (2 reads: L3 entry + L4 entry).
+        if let Some(&l3) = self.ptc_l2.get(&iova.l3_page_key()) {
+            match self.pt.read_via(l3, iova) {
+                Ok(Some(PtEntryView::Child(l4))) => {
+                    return self.finish_from_l4(iova, l4, 2);
+                }
+                Ok(Some(PtEntryView::HugeLeaf(base))) => {
+                    return self.finish_huge(iova, base, 1);
+                }
+                Ok(Some(PtEntryView::Leaf(_))) => unreachable!("L3 page holds children"),
+                Ok(None) => {
+                    self.stats.memory_reads += 1;
+                    self.stats.faults += 1;
+                    return Translation::Fault { reads: 1 };
+                }
+                Err(_) => {
+                    self.stats.stale_ptcache_walks += 1;
+                    self.ptc_l2.remove(&iova.l3_page_key());
+                }
+            }
+        }
+        self.stats.ptcache_l2_misses += 1;
+        // PTcache-L1: locates the PT-L2 page (3 reads).
+        if let Some(&l2) = self.ptc_l1.get(&iova.l2_page_key()) {
+            match self.pt.read_via(l2, iova) {
+                Ok(Some(PtEntryView::Child(l3))) => match self.pt.read_via(l3, iova) {
+                    Ok(Some(PtEntryView::Child(l4))) => {
+                        self.ptc_l2.insert(iova.l3_page_key(), l3);
+                        return self.finish_from_l4(iova, l4, 3);
+                    }
+                    Ok(Some(PtEntryView::HugeLeaf(base))) => {
+                        self.ptc_l2.insert(iova.l3_page_key(), l3);
+                        return self.finish_huge(iova, base, 2);
+                    }
+                    Ok(None) => {
+                        self.stats.memory_reads += 2;
+                        self.stats.faults += 1;
+                        return Translation::Fault { reads: 2 };
+                    }
+                    _ => unreachable!("fresh child ref cannot be stale or a 4 KB leaf"),
+                },
+                Ok(Some(PtEntryView::Leaf(_))) | Ok(Some(PtEntryView::HugeLeaf(_))) => {
+                    unreachable!("L2 page holds children")
+                }
+                Ok(None) => {
+                    self.stats.memory_reads += 1;
+                    self.stats.faults += 1;
+                    return Translation::Fault { reads: 1 };
+                }
+                Err(_) => {
+                    self.stats.stale_ptcache_walks += 1;
+                    self.ptc_l1.remove(&iova.l2_page_key());
+                }
+            }
+        }
+        self.stats.ptcache_l1_misses += 1;
+        // Full walk from the root (4 reads for 4 KB pages, 3 for huge).
+        match self.pt.walk(iova) {
+            Some(WalkResult::Page(path)) => {
+                self.ptc_l1.insert(iova.l2_page_key(), path.l2);
+                self.ptc_l2.insert(iova.l3_page_key(), path.l3);
+                self.ptc_l3.insert(iova.l4_page_key(), path.l4);
+                self.iotlb.insert(iova.pfn(), path.pa);
+                self.stats.memory_reads += 4;
+                Translation::Ok {
+                    pa: path.pa,
+                    reads: 4,
+                    iotlb_hit: false,
+                }
+            }
+            Some(WalkResult::Huge { l2, l3, pa_base }) => {
+                self.ptc_l1.insert(iova.l2_page_key(), l2);
+                self.ptc_l2.insert(iova.l3_page_key(), l3);
+                self.finish_huge(iova, pa_base, 3)
+            }
+            None => {
+                // The walk reads entries until it finds the absent one; the
+                // worst case (missing leaf) costs all 4 reads. We charge the
+                // full walk for simplicity; faults are not on any hot path.
+                self.stats.memory_reads += 4;
+                self.stats.faults += 1;
+                Translation::Fault { reads: 4 }
+            }
+        }
+    }
+
+    /// Completes a walk from a known-live PT-L4 ref, refilling PTcache-L3
+    /// and the IOTLB.
+    fn finish_from_l4(&mut self, iova: Iova, l4: PageRef, reads: u32) -> Translation {
+        match self.pt.read_via(l4, iova) {
+            Ok(Some(PtEntryView::Leaf(pa))) => {
+                self.ptc_l3.insert(iova.l4_page_key(), l4);
+                self.iotlb.insert(iova.pfn(), pa);
+                self.stats.memory_reads += reads as u64;
+                Translation::Ok {
+                    pa,
+                    reads,
+                    iotlb_hit: false,
+                }
+            }
+            Ok(None) => {
+                self.stats.memory_reads += reads as u64;
+                self.stats.faults += 1;
+                Translation::Fault { reads }
+            }
+            _ => unreachable!("fresh child ref cannot be stale or hold children"),
+        }
+    }
+
+    /// Executes one invalidation over `range`: always removes the covered
+    /// IOTLB entries, then wipes page-structure cache entries per `scope`.
+    pub fn invalidate_range(&mut self, range: IovaRange, scope: InvalidationScope) {
+        for iova in range.iter_pages() {
+            if self.iotlb.remove(iova.pfn()).is_some() {
+                self.stats.iotlb_invalidations += 1;
+            }
+        }
+        {
+            let lo = range.base().l4_page_key();
+            let hi = range.page(range.pages() - 1).l4_page_key();
+            for key in lo..=hi {
+                if self.iotlb_huge.remove(&key).is_some() {
+                    self.stats.iotlb_invalidations += 1;
+                }
+            }
+        }
+        match scope {
+            InvalidationScope::IotlbOnly => {}
+            InvalidationScope::IotlbAndLeafPtcache => self.invalidate_ptcache_leaf(range),
+            InvalidationScope::IotlbAndFullPtcache => {
+                self.invalidate_ptcache_leaf(range);
+                self.invalidate_ptcache_upper(range);
+            }
+        }
+    }
+
+    /// Wipes leaf-level (PTcache-L3) entries overlapping `range`, plus any
+    /// upper-level entry whose *entire span* lies inside the range (required
+    /// for safety when a large unmap reclaims intermediate pages). Exposed
+    /// separately so the datapath can model wipes retiring concurrently with
+    /// ongoing walks.
+    pub fn invalidate_ptcache_leaf(&mut self, range: IovaRange) {
+        let lo = range.base();
+        let hi = range.page(range.pages() - 1);
+        for key in lo.l4_page_key()..=hi.l4_page_key() {
+            if self.ptc_l3.remove(&key).is_some() {
+                self.stats.ptcache_invalidations += 1;
+            }
+        }
+        // Contained upper-level spans (1 GB / 512 GB) — only relevant for
+        // very large unmaps.
+        let pages = range.pages();
+        if pages >= crate::pagetable::L3_SPAN_PFNS {
+            let first = range.pfn_lo().div_ceil(crate::pagetable::L3_SPAN_PFNS);
+            let mut region = first;
+            while (region + 1) * crate::pagetable::L3_SPAN_PFNS - 1 <= range.pfn_hi() {
+                if self.ptc_l2.remove(&region).is_some() {
+                    self.stats.ptcache_invalidations += 1;
+                }
+                region += 1;
+            }
+        }
+        if pages >= crate::pagetable::L2_SPAN_PFNS {
+            let first = range.pfn_lo().div_ceil(crate::pagetable::L2_SPAN_PFNS);
+            let mut region = first;
+            while (region + 1) * crate::pagetable::L2_SPAN_PFNS - 1 <= range.pfn_hi() {
+                if self.ptc_l1.remove(&region).is_some() {
+                    self.stats.ptcache_invalidations += 1;
+                }
+                region += 1;
+            }
+        }
+    }
+
+    /// Wipes the upper-level (PTcache-L1/L2) entries covering `range` — the
+    /// collateral damage the paper attributes to Tx-path invalidations.
+    pub fn invalidate_ptcache_upper(&mut self, range: IovaRange) {
+        let lo = range.base();
+        let hi = range.page(range.pages() - 1);
+        for key in lo.l3_page_key()..=hi.l3_page_key() {
+            if self.ptc_l2.remove(&key).is_some() {
+                self.stats.ptcache_invalidations += 1;
+            }
+        }
+        for key in lo.l2_page_key()..=hi.l2_page_key() {
+            if self.ptc_l1.remove(&key).is_some() {
+                self.stats.ptcache_invalidations += 1;
+            }
+        }
+    }
+
+    /// Global flush: empties the IOTLB and all page-structure caches (the
+    /// deferred/lazy mode's batched flush, and the nuclear option for
+    /// domain teardown).
+    pub fn invalidate_all(&mut self) {
+        self.stats.iotlb_invalidations += (self.iotlb.len() + self.iotlb_huge.len()) as u64;
+        self.iotlb_huge.clear();
+        self.stats.ptcache_invalidations +=
+            (self.ptc_l1.len() + self.ptc_l2.len() + self.ptc_l3.len()) as u64;
+        self.iotlb.clear();
+        self.ptc_l1.clear();
+        self.ptc_l2.clear();
+        self.ptc_l3.clear();
+    }
+
+    /// Invalidates exactly the PTcache entries made stale by reclaimed
+    /// page-table pages — the F&S rule that keeps PTcache preservation safe
+    /// in the rare reclamation case (§3).
+    pub fn invalidate_for_reclaimed(&mut self, reclaimed: &[ReclaimedPage]) {
+        for r in reclaimed {
+            let removed = match r.level {
+                4 => self.ptc_l3.remove(&r.region_key).is_some(),
+                3 => self.ptc_l2.remove(&r.region_key).is_some(),
+                2 => self.ptc_l1.remove(&r.region_key).is_some(),
+                _ => unreachable!("root is never reclaimed"),
+            };
+            if removed {
+                self.stats.ptcache_invalidations += 1;
+            }
+        }
+    }
+
+    /// Records that `n` invalidation-queue entries were consumed (cost
+    /// accounting lives in [`crate::invalidation`]).
+    pub fn note_queue_entries(&mut self, n: u64) {
+        self.stats.invalidation_queue_entries += n;
+    }
+
+    /// Current IOTLB occupancy (test/inspection helper).
+    pub fn iotlb_len(&self) -> usize {
+        self.iotlb.len()
+    }
+
+    /// Current PTcache occupancies `(l1, l2, l3)` (test/inspection helper).
+    pub fn ptcache_lens(&self) -> (usize, usize, usize) {
+        (self.ptc_l1.len(), self.ptc_l2.len(), self.ptc_l3.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> Iommu {
+        Iommu::new(IommuConfig::default())
+    }
+
+    fn iova(pfn: u64) -> Iova {
+        Iova::from_pfn(pfn)
+    }
+
+    fn pa(pfn: u64) -> PhysAddr {
+        PhysAddr::from_pfn(pfn)
+    }
+
+    #[test]
+    fn walk_read_counts_by_cache_depth() {
+        let mut m = mmu();
+        // Map two IOVAs in the same 2 MB region and one in a different
+        // region of the same 1 GB.
+        m.map(iova(0x1000), pa(1)).unwrap();
+        m.map(iova(0x1001), pa(2)).unwrap();
+        m.map(iova(0x1000 + 512), pa(3)).unwrap();
+
+        // Cold: 4 reads.
+        assert!(matches!(
+            m.translate(iova(0x1000)),
+            Translation::Ok { reads: 4, .. }
+        ));
+        // Same 2 MB region, different page: PTcache-L3 hit, 1 read.
+        assert!(matches!(
+            m.translate(iova(0x1001)),
+            Translation::Ok { reads: 1, .. }
+        ));
+        // Different 2 MB region, same 1 GB: PTcache-L2 hit, 2 reads.
+        assert!(matches!(
+            m.translate(iova(0x1000 + 512)),
+            Translation::Ok { reads: 2, .. }
+        ));
+        let s = m.stats();
+        assert_eq!(s.iotlb_misses, 3);
+        assert_eq!(s.ptcache_l3_misses, 2);
+        assert_eq!(s.ptcache_l2_misses, 1);
+        assert_eq!(s.ptcache_l1_misses, 1);
+        assert_eq!(s.memory_reads, 7);
+    }
+
+    #[test]
+    fn ptcache_l1_hit_costs_three_reads() {
+        let mut m = mmu();
+        m.map(iova(0), pa(1)).unwrap();
+        // Same 512 GB region, different 1 GB region.
+        let far = crate::pagetable::L3_SPAN_PFNS;
+        m.map(iova(far), pa(2)).unwrap();
+        m.translate(iova(0));
+        assert!(matches!(
+            m.translate(iova(far)),
+            Translation::Ok { reads: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn strict_invalidation_blocks_device() {
+        let mut m = mmu();
+        let i = iova(0x42);
+        m.map(i, pa(9)).unwrap();
+        m.translate(i);
+        m.unmap_range(IovaRange::new(i, 1)).unwrap();
+        m.invalidate_range(IovaRange::new(i, 1), InvalidationScope::IotlbAndFullPtcache);
+        assert!(matches!(m.translate(i), Translation::Fault { .. }));
+        assert_eq!(m.stats().stale_iotlb_hits, 0);
+    }
+
+    #[test]
+    fn skipping_invalidation_leaks_stale_translation() {
+        // The deferred-mode hazard: unmap without invalidating and the
+        // device still reaches the old physical page.
+        let mut m = mmu();
+        let i = iova(0x99);
+        m.map(i, pa(7)).unwrap();
+        m.translate(i);
+        m.unmap_range(IovaRange::new(i, 1)).unwrap();
+        let t = m.translate(i);
+        assert_eq!(t.pa(), Some(pa(7)), "stale IOTLB entry still serves");
+        assert_eq!(m.stats().stale_iotlb_hits, 1);
+    }
+
+    #[test]
+    fn iotlb_only_invalidation_preserves_ptcaches() {
+        let mut m = mmu();
+        m.map(iova(0x2000), pa(1)).unwrap();
+        m.map(iova(0x2001), pa(2)).unwrap();
+        m.translate(iova(0x2000)); // fills caches
+        m.unmap_range(IovaRange::new(iova(0x2000), 1)).unwrap();
+        m.invalidate_range(
+            IovaRange::new(iova(0x2000), 1),
+            InvalidationScope::IotlbOnly,
+        );
+        // The neighbouring page now walks with a PTcache-L3 hit: 1 read.
+        assert!(matches!(
+            m.translate(iova(0x2001)),
+            Translation::Ok { reads: 1, .. }
+        ));
+        // And the unmapped page faults — safety is intact.
+        assert!(matches!(
+            m.translate(iova(0x2000)),
+            Translation::Fault { .. }
+        ));
+    }
+
+    #[test]
+    fn full_invalidation_wipes_ptcaches() {
+        let mut m = mmu();
+        m.map(iova(0x3000), pa(1)).unwrap();
+        m.map(iova(0x3001), pa(2)).unwrap();
+        m.translate(iova(0x3000));
+        m.unmap_range(IovaRange::new(iova(0x3000), 1)).unwrap();
+        m.invalidate_range(
+            IovaRange::new(iova(0x3000), 1),
+            InvalidationScope::IotlbAndFullPtcache,
+        );
+        // Linux behaviour: the neighbour's covering entries are gone too —
+        // full 4-read walk.
+        assert!(matches!(
+            m.translate(iova(0x3001)),
+            Translation::Ok { reads: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn reclaim_plus_preserve_without_fixup_is_detected() {
+        // Adversarial scenario: preserve PTcaches across an unmap that
+        // reclaims a PT-L4 page, *without* the F&S reclamation fixup. The
+        // next walk through the stale entry must be flagged.
+        let mut m = mmu();
+        let base = 512 * 100;
+        for k in 0..512u64 {
+            m.map(iova(base + k), pa(k + 1)).unwrap();
+        }
+        m.translate(iova(base)); // PTcache-L3 now points at the L4 page
+        let out = m.unmap_range(IovaRange::new(iova(base), 512)).unwrap();
+        assert_eq!(out.reclaimed.len(), 1);
+        m.invalidate_range(
+            IovaRange::new(iova(base), 512),
+            InvalidationScope::IotlbOnly,
+        );
+        // Remap one page of the region so a translation occurs again.
+        m.map(iova(base), pa(999)).unwrap();
+        let t = m.translate(iova(base));
+        assert_eq!(t.pa(), Some(pa(999)), "model recovers deterministically");
+        assert_eq!(m.stats().stale_ptcache_walks, 1, "violation recorded");
+    }
+
+    #[test]
+    fn fns_reclaim_fixup_prevents_stale_walks() {
+        let mut m = mmu();
+        let base = 512 * 200;
+        for k in 0..512u64 {
+            m.map(iova(base + k), pa(k + 1)).unwrap();
+        }
+        m.translate(iova(base));
+        let out = m.unmap_range(IovaRange::new(iova(base), 512)).unwrap();
+        m.invalidate_range(
+            IovaRange::new(iova(base), 512),
+            InvalidationScope::IotlbOnly,
+        );
+        m.invalidate_for_reclaimed(&out.reclaimed);
+        m.map(iova(base), pa(999)).unwrap();
+        let t = m.translate(iova(base));
+        assert_eq!(t.pa(), Some(pa(999)));
+        assert_eq!(m.stats().stale_ptcache_walks, 0);
+    }
+
+    #[test]
+    fn iotlb_capacity_evicts() {
+        let cfg = IommuConfig {
+            iotlb_entries: 4,
+            ..Default::default()
+        };
+        let mut m = Iommu::new(cfg);
+        for k in 0..5u64 {
+            m.map(iova(0x5000 + k), pa(k + 1)).unwrap();
+            m.translate(iova(0x5000 + k));
+        }
+        // First entry was evicted: translating it again misses the IOTLB
+        // but hits PTcache-L3 (1 read).
+        assert!(matches!(
+            m.translate(iova(0x5000)),
+            Translation::Ok {
+                reads: 1,
+                iotlb_hit: false,
+                ..
+            }
+        ));
+        assert_eq!(m.iotlb_len(), 4);
+    }
+
+    #[test]
+    fn fault_on_never_mapped() {
+        let mut m = mmu();
+        assert!(matches!(
+            m.translate(iova(0x7777)),
+            Translation::Fault { .. }
+        ));
+        assert_eq!(m.stats().faults, 1);
+    }
+
+    #[test]
+    fn translation_helpers() {
+        let t = Translation::Ok {
+            pa: pa(3),
+            reads: 2,
+            iotlb_hit: false,
+        };
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.pa(), Some(pa(3)));
+        assert_eq!(Translation::Fault { reads: 4 }.pa(), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! The IOTLB structure: fully associative or set-associative.
+//!
+//! Real IOTLB organizations are not public; measurements in the literature
+//! suggest set-associative arrays indexed by low IOVA bits, which means a
+//! hot working set whose addresses alias to one set suffers conflict misses
+//! a fully associative model would hide. Both organizations are provided;
+//! experiments default to fully associative (the conservative choice for
+//! reproducing the paper) and the `sweeps` harness can flip it.
+
+use fns_mem::addr::PhysAddr;
+
+use crate::lru::LruCache;
+
+/// An IOTLB holding 4 KB translations (pfn -> physical address).
+///
+/// # Examples
+///
+/// ```
+/// use fns_iommu::iotlb::Iotlb;
+/// use fns_mem::addr::PhysAddr;
+///
+/// // 8 entries, 2-way set associative = 4 sets indexed by pfn % 4.
+/// let mut tlb = Iotlb::new(8, Some(2));
+/// tlb.insert(0, PhysAddr::from_pfn(10));
+/// tlb.insert(4, PhysAddr::from_pfn(11)); // same set as pfn 0
+/// tlb.insert(8, PhysAddr::from_pfn(12)); // evicts pfn 0 (conflict)
+/// assert!(tlb.get(0).is_none());
+/// assert!(tlb.get(4).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub enum Iotlb {
+    /// One LRU array over all entries.
+    FullAssoc(LruCache<u64, PhysAddr>),
+    /// `sets.len()` independent LRU arrays of `ways` entries, indexed by
+    /// `pfn % sets.len()`.
+    SetAssoc {
+        /// The per-set LRU arrays.
+        sets: Vec<LruCache<u64, PhysAddr>>,
+    },
+}
+
+impl Iotlb {
+    /// Creates an IOTLB of `entries` total entries; `assoc = Some(ways)`
+    /// selects a set-associative organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero, or if `ways` is zero or does not divide
+    /// `entries`.
+    pub fn new(entries: usize, assoc: Option<usize>) -> Self {
+        match assoc {
+            None => Iotlb::FullAssoc(LruCache::new(entries)),
+            Some(ways) => {
+                assert!(ways > 0, "zero-way IOTLB");
+                assert!(
+                    entries.is_multiple_of(ways),
+                    "ways {ways} must divide entries {entries}"
+                );
+                let n_sets = entries / ways;
+                Iotlb::SetAssoc {
+                    sets: (0..n_sets).map(|_| LruCache::new(ways)).collect(),
+                }
+            }
+        }
+    }
+
+    fn set_for(sets: &[LruCache<u64, PhysAddr>], pfn: u64) -> usize {
+        (pfn % sets.len() as u64) as usize
+    }
+
+    /// Looks up a translation, refreshing recency on hit.
+    pub fn get(&mut self, pfn: u64) -> Option<PhysAddr> {
+        match self {
+            Iotlb::FullAssoc(c) => c.get(&pfn).copied(),
+            Iotlb::SetAssoc { sets } => {
+                let s = Self::set_for(sets, pfn);
+                sets[s].get(&pfn).copied()
+            }
+        }
+    }
+
+    /// Inserts a translation, evicting within the (set-)LRU policy.
+    pub fn insert(&mut self, pfn: u64, pa: PhysAddr) {
+        match self {
+            Iotlb::FullAssoc(c) => {
+                c.insert(pfn, pa);
+            }
+            Iotlb::SetAssoc { sets } => {
+                let s = Self::set_for(sets, pfn);
+                sets[s].insert(pfn, pa);
+            }
+        }
+    }
+
+    /// Removes (invalidates) a translation.
+    pub fn remove(&mut self, pfn: u64) -> Option<PhysAddr> {
+        match self {
+            Iotlb::FullAssoc(c) => c.remove(&pfn),
+            Iotlb::SetAssoc { sets } => {
+                let s = Self::set_for(sets, pfn);
+                sets[s].remove(&pfn)
+            }
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        match self {
+            Iotlb::FullAssoc(c) => c.len(),
+            Iotlb::SetAssoc { sets } => sets.iter().map(LruCache::len).sum(),
+        }
+    }
+
+    /// Returns `true` if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Invalidates everything.
+    pub fn clear(&mut self) {
+        match self {
+            Iotlb::FullAssoc(c) => c.clear(),
+            Iotlb::SetAssoc { sets } => sets.iter_mut().for_each(LruCache::clear),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(v: u64) -> PhysAddr {
+        PhysAddr::from_pfn(v)
+    }
+
+    #[test]
+    fn full_assoc_uses_global_lru() {
+        let mut t = Iotlb::new(2, None);
+        t.insert(0, pa(1));
+        t.insert(4, pa(2));
+        t.get(0);
+        t.insert(8, pa(3)); // evicts pfn 4 (LRU), not pfn 0
+        assert!(t.get(0).is_some());
+        assert!(t.get(4).is_none());
+    }
+
+    #[test]
+    fn set_assoc_conflicts_within_a_set() {
+        // 4 entries, 2 ways = 2 sets. Even pfns -> set 0, odd -> set 1.
+        let mut t = Iotlb::new(4, Some(2));
+        t.insert(0, pa(1));
+        t.insert(2, pa(2));
+        t.insert(4, pa(3)); // third even pfn: conflict-evicts pfn 0
+        assert!(t.get(0).is_none());
+        assert!(t.get(2).is_some());
+        assert!(t.get(4).is_some());
+        // The odd set is untouched.
+        t.insert(1, pa(9));
+        assert!(t.get(1).is_some());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = Iotlb::new(4, Some(2));
+        t.insert(0, pa(1));
+        t.insert(1, pa(2));
+        assert_eq!(t.remove(0), Some(pa(1)));
+        assert_eq!(t.remove(0), None);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn conflict_misses_exceed_capacity_misses() {
+        // A strided working set that fits in total capacity but aliases to
+        // one set: the set-associative array thrashes where the fully
+        // associative one would not.
+        let mut full = Iotlb::new(16, None);
+        let mut setassoc = Iotlb::new(16, Some(2)); // 8 sets
+        let stride = 8u64; // all pfns alias to set 0
+        let mut full_misses = 0;
+        let mut set_misses = 0;
+        for round in 0..10 {
+            for i in 0..4u64 {
+                let pfn = i * stride;
+                if full.get(pfn).is_none() {
+                    full_misses += 1;
+                    full.insert(pfn, pa(round));
+                }
+                if setassoc.get(pfn).is_none() {
+                    set_misses += 1;
+                    setassoc.insert(pfn, pa(round));
+                }
+            }
+        }
+        assert_eq!(full_misses, 4, "working set fits fully associative");
+        assert!(set_misses > 20, "aliased set thrashes: {set_misses}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn ways_must_divide_entries() {
+        Iotlb::new(10, Some(4));
+    }
+}

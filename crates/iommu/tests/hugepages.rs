@@ -1,0 +1,154 @@
+//! Tests for 2 MB huge-page mappings (the paper's §5 future-work direction:
+//! hugepages extend IOTLB reach, cutting miss counts rather than miss cost).
+
+use fns_iommu::{InvalidationScope, Iommu, IommuConfig, Translation};
+use fns_iova::types::{Iova, IovaRange};
+use fns_mem::addr::PhysAddr;
+
+const HUGE_PFNS: u64 = 512;
+
+fn aligned_iova(region: u64) -> Iova {
+    Iova::from_pfn(region * HUGE_PFNS)
+}
+
+fn aligned_pa(region: u64) -> PhysAddr {
+    PhysAddr::from_pfn(region * HUGE_PFNS)
+}
+
+#[test]
+fn huge_map_translates_every_4k_offset() {
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(5), aligned_pa(40)).unwrap();
+    for off in [0u64, 1, 17, 511] {
+        let iova = Iova::from_pfn(5 * HUGE_PFNS + off);
+        let t = m.translate(iova);
+        assert_eq!(
+            t.pa(),
+            Some(PhysAddr::from_pfn(40 * HUGE_PFNS + off)),
+            "offset {off}"
+        );
+    }
+    assert_eq!(m.stats().stale_iotlb_hits, 0);
+}
+
+#[test]
+fn huge_walk_costs_three_reads_cold_then_zero() {
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(9), aligned_pa(9)).unwrap();
+    // Cold: read L1, L2, then the L3 huge leaf = 3 reads.
+    assert!(matches!(
+        m.translate(aligned_iova(9)),
+        Translation::Ok {
+            reads: 3,
+            iotlb_hit: false,
+            ..
+        }
+    ));
+    // Any page in the same 2 MB region now hits the huge IOTLB entry.
+    let other = Iova::from_pfn(9 * HUGE_PFNS + 300);
+    assert!(matches!(
+        m.translate(other),
+        Translation::Ok {
+            reads: 0,
+            iotlb_hit: true,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn one_huge_entry_covers_512_pages() {
+    // The IOTLB-reach argument: 512 pages of traffic, 1 IOTLB miss total.
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(3), aligned_pa(3)).unwrap();
+    for off in 0..HUGE_PFNS {
+        m.translate(Iova::from_pfn(3 * HUGE_PFNS + off));
+    }
+    assert_eq!(m.stats().iotlb_misses, 1);
+    assert_eq!(m.stats().memory_reads, 3);
+}
+
+#[test]
+fn huge_and_4k_mappings_coexist() {
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(1), aligned_pa(100)).unwrap();
+    let small = Iova::from_pfn(2 * HUGE_PFNS + 7);
+    m.map(small, PhysAddr::from_pfn(999)).unwrap();
+    assert_eq!(m.translate(small).pa(), Some(PhysAddr::from_pfn(999)));
+    assert_eq!(m.translate(aligned_iova(1)).pa(), Some(aligned_pa(100)));
+}
+
+#[test]
+fn four_k_map_under_huge_rejected() {
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(2), aligned_pa(2)).unwrap();
+    assert!(m
+        .map(Iova::from_pfn(2 * HUGE_PFNS + 5), PhysAddr::from_pfn(1))
+        .is_err());
+    // And the reverse: huge over an existing 4 KB mapping.
+    m.map(Iova::from_pfn(7 * HUGE_PFNS), PhysAddr::from_pfn(2))
+        .unwrap();
+    assert!(m.map_huge(aligned_iova(7), aligned_pa(7)).is_err());
+}
+
+#[test]
+fn huge_unmap_plus_invalidate_blocks_device() {
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(4), aligned_pa(4)).unwrap();
+    m.translate(Iova::from_pfn(4 * HUGE_PFNS + 10));
+    m.unmap_huge(aligned_iova(4)).unwrap();
+    // Invalidate the whole 2 MB range.
+    m.invalidate_range(
+        IovaRange::new(aligned_iova(4), HUGE_PFNS),
+        InvalidationScope::IotlbOnly,
+    );
+    assert!(matches!(
+        m.translate(Iova::from_pfn(4 * HUGE_PFNS + 10)),
+        Translation::Fault { .. }
+    ));
+    assert_eq!(m.stats().stale_iotlb_hits, 0);
+}
+
+#[test]
+fn skipping_huge_invalidation_leaves_stale_reach() {
+    // The hazard of pinned-hugepage schemes, made visible: unmap without
+    // invalidation and the device still reaches all 2 MB.
+    let mut m = Iommu::new(IommuConfig::default());
+    m.map_huge(aligned_iova(6), aligned_pa(6)).unwrap();
+    m.translate(aligned_iova(6));
+    m.unmap_huge(aligned_iova(6)).unwrap();
+    let t = m.translate(Iova::from_pfn(6 * HUGE_PFNS + 42));
+    assert!(t.pa().is_some(), "stale huge entry still translates");
+    assert!(m.stats().stale_iotlb_hits > 0);
+}
+
+#[test]
+fn huge_iotlb_capacity_evicts() {
+    let cfg = IommuConfig {
+        iotlb_huge_entries: 2,
+        ..Default::default()
+    };
+    let mut m = Iommu::new(cfg);
+    for r in 10..13u64 {
+        m.map_huge(aligned_iova(r), aligned_pa(r)).unwrap();
+        m.translate(aligned_iova(r));
+    }
+    // Region 10 was evicted: translating again walks (PTcache-L2 hit -> the
+    // L3 huge leaf read).
+    let before = m.stats().memory_reads;
+    assert!(matches!(
+        m.translate(aligned_iova(10)),
+        Translation::Ok {
+            iotlb_hit: false,
+            ..
+        }
+    ));
+    assert!(m.stats().memory_reads > before);
+}
+
+#[test]
+#[should_panic(expected = "unaligned huge IOVA")]
+fn unaligned_huge_map_panics() {
+    let mut m = Iommu::new(IommuConfig::default());
+    let _ = m.map_huge(Iova::from_pfn(5), aligned_pa(1));
+}

@@ -1,0 +1,247 @@
+//! Ground-truth IOVA allocator: top-down first fit over the red-black tree.
+//!
+//! Mirrors Linux's `__alloc_and_insert_iova_range`: candidate ranges descend
+//! from the top of the 48-bit space, and each allocation is size-aligned
+//! (for power-of-two sizes), so the active working set stays compact in the
+//! highest PT-L1/PT-L2 region — the compactness §2.2 of the paper assumes.
+
+use crate::rbtree::RbIntervalTree;
+use crate::types::{Iova, IovaRange, IOVA_SPACE_TOP, PAGE_SHIFT};
+use crate::{AllocStats, IovaAllocator};
+
+/// Red-black-tree-backed IOVA allocator (no per-core caching).
+///
+/// Every operation touches the global tree; Linux avoids this cost with the
+/// per-core caches modelled in [`crate::rcache`], at the price of the
+/// locality decay the paper measures.
+///
+/// # Examples
+///
+/// ```
+/// use fns_iova::{IovaAllocator, RbTreeAllocator};
+///
+/// let mut a = RbTreeAllocator::new();
+/// let r1 = a.alloc(1, 0).unwrap();
+/// let r2 = a.alloc(1, 0).unwrap();
+/// // Top-down: the second allocation sits directly below the first.
+/// assert_eq!(r2.pfn_hi() + 1, r1.pfn_lo());
+/// a.free(r1, 0);
+/// a.free(r2, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbTreeAllocator {
+    tree: RbIntervalTree,
+    limit_pfn: u64,
+    align_to_size: bool,
+    /// Cached search start (Linux's `cached_node` optimization): everything
+    /// at or above this pfn is known-allocated, modulo alignment holes, so
+    /// the descending gap search can start here instead of at the top.
+    search_start: u64,
+    stats: AllocStats,
+}
+
+impl Default for RbTreeAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RbTreeAllocator {
+    /// Creates an allocator spanning the full 48-bit IOVA space.
+    pub fn new() -> Self {
+        Self::with_limit(IOVA_SPACE_TOP >> PAGE_SHIFT)
+    }
+
+    /// Creates an allocator whose highest allocatable pfn is `limit_pfn - 1`
+    /// (i.e. `limit_pfn` is one past the top).
+    pub fn with_limit(limit_pfn: u64) -> Self {
+        Self {
+            tree: RbIntervalTree::new(),
+            limit_pfn,
+            align_to_size: true,
+            search_start: limit_pfn,
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Disables size-alignment of allocations (Linux aligns; this exists for
+    /// ablation tests).
+    pub fn set_align_to_size(&mut self, align: bool) {
+        self.align_to_size = align;
+    }
+
+    /// Read access to the underlying interval tree (for tests/inspection).
+    pub fn tree(&self) -> &RbIntervalTree {
+        &self.tree
+    }
+
+    fn align_down(&self, pfn_lo: u64, pages: u64) -> u64 {
+        if self.align_to_size && pages.is_power_of_two() {
+            pfn_lo & !(pages - 1)
+        } else {
+            pfn_lo
+        }
+    }
+
+    /// Core top-down first-fit search; also used by the caching allocator's
+    /// fall-through path.
+    pub(crate) fn alloc_range(&mut self, pages: u64) -> Option<IovaRange> {
+        assert!(pages > 0, "zero-page allocation");
+        // Fast path starts from the cached position; if the space below it
+        // is exhausted, retry once from the true top (Linux's behaviour of
+        // resetting the cached node and rescanning), which also reclaims
+        // alignment holes skipped by the cache.
+        if let Some(r) = self.try_alloc_below(self.search_start, pages) {
+            return Some(r);
+        }
+        if self.search_start < self.limit_pfn {
+            if let Some(r) = self.try_alloc_below(self.limit_pfn, pages) {
+                return Some(r);
+            }
+        }
+        self.stats.failures += 1;
+        None
+    }
+
+    fn try_alloc_below(&mut self, start: u64, pages: u64) -> Option<IovaRange> {
+        let mut high = start; // candidate range must end below this
+        loop {
+            if high < pages {
+                return None;
+            }
+            let cand_lo = self.align_down(high - pages, pages);
+            // Highest existing range starting below the candidate's end.
+            match self.tree.prev_below(cand_lo + pages) {
+                Some((lo, hi)) if hi >= cand_lo => {
+                    // Conflict: slide the candidate below the blocking range.
+                    high = lo;
+                }
+                _ => {
+                    self.tree
+                        .insert(cand_lo, cand_lo + pages - 1)
+                        .expect("gap search found an overlapping slot");
+                    self.stats.allocs += 1;
+                    self.stats.tree_allocs += 1;
+                    self.search_start = cand_lo;
+                    return Some(IovaRange::new(Iova::from_pfn(cand_lo), pages));
+                }
+            }
+        }
+    }
+
+    /// Removes a range from the tree (panics if it was never allocated).
+    pub(crate) fn free_range(&mut self, range: IovaRange) {
+        let removed = self.tree.remove(range.pfn_lo());
+        assert!(removed, "freeing unallocated IOVA range {range}");
+        // Freed space above the cached search position becomes visible again.
+        self.search_start = self
+            .search_start
+            .max(range.pfn_hi() + 1)
+            .min(self.limit_pfn);
+        self.stats.frees += 1;
+        self.stats.tree_frees += 1;
+    }
+}
+
+impl IovaAllocator for RbTreeAllocator {
+    fn alloc(&mut self, pages: u64, _core: usize) -> Option<IovaRange> {
+        self.alloc_range(pages)
+    }
+
+    fn free(&mut self, range: IovaRange, _core: usize) {
+        self.free_range(range);
+    }
+
+    fn live_ranges(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_top_down() {
+        let mut a = RbTreeAllocator::new();
+        let r1 = a.alloc(1, 0).unwrap();
+        assert_eq!(r1.pfn_hi(), (IOVA_SPACE_TOP >> PAGE_SHIFT) - 1);
+        let r2 = a.alloc(1, 0).unwrap();
+        assert_eq!(r2.pfn_hi() + 1, r1.pfn_lo());
+    }
+
+    #[test]
+    fn size_alignment() {
+        let mut a = RbTreeAllocator::new();
+        let r = a.alloc(64, 0).unwrap();
+        assert_eq!(r.pfn_lo() % 64, 0);
+        let r2 = a.alloc(64, 0).unwrap();
+        assert_eq!(r2.pfn_lo() % 64, 0);
+        assert_eq!(r2.pfn_hi() + 1, r.pfn_lo());
+    }
+
+    #[test]
+    fn fills_gaps_after_free() {
+        let mut a = RbTreeAllocator::new();
+        let r1 = a.alloc(1, 0).unwrap();
+        let r2 = a.alloc(1, 0).unwrap();
+        let r3 = a.alloc(1, 0).unwrap();
+        a.free(r2, 0);
+        let r4 = a.alloc(1, 0).unwrap();
+        assert_eq!(r4, r2, "top-down first fit reuses the highest gap");
+        let _ = (r1, r3);
+    }
+
+    #[test]
+    fn skips_over_blocking_ranges() {
+        let mut a = RbTreeAllocator::new();
+        // Fill the top with single pages, then ask for a 64-page range: it
+        // must land below all of them.
+        let singles: Vec<_> = (0..10).map(|_| a.alloc(1, 0).unwrap()).collect();
+        let big = a.alloc(64, 0).unwrap();
+        assert!(big.pfn_hi() < singles.last().unwrap().pfn_lo());
+        assert_eq!(big.pfn_lo() % 64, 0);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let mut a = RbTreeAllocator::with_limit(8);
+        assert!(a.alloc(8, 0).is_some());
+        assert!(a.alloc(1, 0).is_none());
+        assert_eq!(a.stats().failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing unallocated")]
+    fn free_of_unallocated_panics() {
+        let mut a = RbTreeAllocator::new();
+        a.free(IovaRange::new(Iova::from_pfn(42), 1), 0);
+    }
+
+    #[test]
+    fn stats_track_ops() {
+        let mut a = RbTreeAllocator::new();
+        let r = a.alloc(2, 0).unwrap();
+        a.free(r, 0);
+        let s = a.stats();
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.tree_allocs, 1);
+        assert_eq!(s.tree_frees, 1);
+        assert_eq!(a.live_ranges(), 0);
+    }
+
+    #[test]
+    fn compactness_working_set_in_one_l2_region() {
+        // All of a 2^27-byte working set allocated top-down shares one
+        // PT-L2 page key — the paper's §2.2 coverage argument.
+        let mut a = RbTreeAllocator::new();
+        let ranges: Vec<_> = (0..(1 << 15)).map(|_| a.alloc(1, 0).unwrap()).collect();
+        let key0 = ranges[0].base().l3_page_key();
+        assert!(ranges.iter().all(|r| r.base().l3_page_key() == key0));
+    }
+}

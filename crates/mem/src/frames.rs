@@ -1,0 +1,219 @@
+//! Physical frame allocator.
+//!
+//! Backs both packet buffers (the frames the NIC driver hands to the IOMMU
+//! driver for Rx descriptors) and IO page-table pages. A free list keeps
+//! allocation O(1); an allocation bitmap catches double frees and frees of
+//! never-allocated frames, which in the real kernel would be memory
+//! corruption.
+
+use std::collections::HashSet;
+
+use crate::addr::{PhysAddr, PAGE_SIZE};
+
+/// Errors returned by [`FrameAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// No free frames remain.
+    OutOfMemory,
+    /// The frame was not currently allocated (double free or wild free).
+    NotAllocated(PhysAddr),
+    /// The address is not page aligned.
+    Unaligned(PhysAddr),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::OutOfMemory => write!(f, "out of physical frames"),
+            FrameError::NotAllocated(pa) => write!(f, "frame {pa} is not allocated"),
+            FrameError::Unaligned(pa) => write!(f, "address {pa} is not page aligned"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A 4 KB physical frame allocator over a contiguous physical range.
+///
+/// # Examples
+///
+/// ```
+/// use fns_mem::frames::FrameAllocator;
+///
+/// let mut fa = FrameAllocator::new(16);
+/// let f = fa.alloc().unwrap();
+/// assert!(f.is_page_aligned());
+/// fa.free(f).unwrap();
+/// assert!(fa.free(f).is_err()); // double free detected
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    free_list: Vec<PhysAddr>,
+    allocated: HashSet<u64>,
+    total: usize,
+    peak_allocated: usize,
+    alloc_count: u64,
+    free_count: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `frames` 4 KB frames, starting at
+    /// physical address `PAGE_SIZE` (frame 0 is reserved as a null sentinel,
+    /// matching the convention that physical address 0 is never a valid DMA
+    /// target).
+    pub fn new(frames: usize) -> Self {
+        // Reverse order so that the first allocation returns the lowest
+        // frame; purely cosmetic but keeps traces readable.
+        let free_list = (1..=frames as u64).rev().map(PhysAddr::from_pfn).collect();
+        Self {
+            free_list,
+            allocated: HashSet::new(),
+            total: frames,
+            peak_allocated: 0,
+            alloc_count: 0,
+            free_count: 0,
+        }
+    }
+
+    /// Allocates one frame.
+    pub fn alloc(&mut self) -> Result<PhysAddr, FrameError> {
+        let pa = self.free_list.pop().ok_or(FrameError::OutOfMemory)?;
+        self.allocated.insert(pa.pfn());
+        self.peak_allocated = self.peak_allocated.max(self.allocated.len());
+        self.alloc_count += 1;
+        Ok(pa)
+    }
+
+    /// Frees a previously allocated frame.
+    pub fn free(&mut self, pa: PhysAddr) -> Result<(), FrameError> {
+        if !pa.is_page_aligned() {
+            return Err(FrameError::Unaligned(pa));
+        }
+        if !self.allocated.remove(&pa.pfn()) {
+            return Err(FrameError::NotAllocated(pa));
+        }
+        self.free_count += 1;
+        self.free_list.push(pa);
+        Ok(())
+    }
+
+    /// Returns `true` if `pa`'s frame is currently allocated.
+    pub fn is_allocated(&self, pa: PhysAddr) -> bool {
+        self.allocated.contains(&pa.pfn())
+    }
+
+    /// Frames currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Frames currently free.
+    pub fn available(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Total frames managed.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// High-water mark of simultaneously allocated frames.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_allocated
+    }
+
+    /// Lifetime (alloc, free) operation counts.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.alloc_count, self.free_count)
+    }
+
+    /// Total bytes managed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total as u64 * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut fa = FrameAllocator::new(4);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.in_use(), 2);
+        fa.free(a).unwrap();
+        fa.free(b).unwrap();
+        assert_eq!(fa.in_use(), 0);
+        assert_eq!(fa.available(), 4);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut fa = FrameAllocator::new(2);
+        fa.alloc().unwrap();
+        fa.alloc().unwrap();
+        assert_eq!(fa.alloc(), Err(FrameError::OutOfMemory));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut fa = FrameAllocator::new(2);
+        let a = fa.alloc().unwrap();
+        fa.free(a).unwrap();
+        assert_eq!(fa.free(a), Err(FrameError::NotAllocated(a)));
+    }
+
+    #[test]
+    fn wild_free_detected() {
+        let mut fa = FrameAllocator::new(2);
+        assert!(matches!(
+            fa.free(PhysAddr::from_pfn(99)),
+            Err(FrameError::NotAllocated(_))
+        ));
+        assert_eq!(
+            fa.free(PhysAddr::new(5)),
+            Err(FrameError::Unaligned(PhysAddr::new(5)))
+        );
+    }
+
+    #[test]
+    fn frame_zero_reserved() {
+        let mut fa = FrameAllocator::new(8);
+        for _ in 0..8 {
+            let f = fa.alloc().unwrap();
+            assert!(f.pfn() >= 1, "frame 0 must stay reserved");
+        }
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut fa = FrameAllocator::new(8);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        let c = fa.alloc().unwrap();
+        fa.free(b).unwrap();
+        fa.free(c).unwrap();
+        fa.free(a).unwrap();
+        assert_eq!(fa.peak_in_use(), 3);
+        assert_eq!(fa.op_counts(), (3, 3));
+    }
+
+    #[test]
+    fn reuse_after_free() {
+        let mut fa = FrameAllocator::new(1);
+        let a = fa.alloc().unwrap();
+        fa.free(a).unwrap();
+        let b = fa.alloc().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_bytes() {
+        let fa = FrameAllocator::new(256);
+        assert_eq!(fa.total_bytes(), 1 << 20);
+        assert_eq!(fa.total(), 256);
+    }
+}

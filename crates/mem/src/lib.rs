@@ -1,0 +1,19 @@
+//! Host physical memory substrate: addresses, frame allocation, latency.
+//!
+//! The paper's testbed is a Cascade Lake server whose DRAM serves three
+//! consumers relevant to the experiments: packet buffers (DMA targets), the
+//! IO page table (walked by the IOMMU on IOTLB misses), and the CPU's own
+//! loads. This crate models the parts the reproduction needs:
+//!
+//! * [`addr`] — typed physical addresses and page/frame arithmetic,
+//! * [`frames`] — a physical frame allocator with double-free detection,
+//! * [`latency`] — the memory read-latency model (the paper's fitted
+//!   `lm ≈ 197 ns` per IOMMU page-walk read) including a contention knee.
+
+pub mod addr;
+pub mod frames;
+pub mod latency;
+
+pub use addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use frames::{FrameAllocator, FrameError};
+pub use latency::MemoryModel;

@@ -1,0 +1,24 @@
+//! Transport substrate: DCTCP flows, ECN switch queue, ACK generation.
+//!
+//! The paper's experiments run DCTCP over a single switch between two
+//! hosts. The transport matters to the memory-protection story through one
+//! causal chain (§2.2): more flows → AIMD drives higher drop rates → more
+//! out-of-order packets and duplicate ACKs → more Tx(ACK) DMAs per received
+//! page → more IOTLB/PTcache contention. This crate reproduces that chain:
+//!
+//! * [`packet`] — the wire unit,
+//! * [`sender`] — a DCTCP sender (slow start, ECN-fraction `alpha` window
+//!   reduction, fast retransmit, RTO with exponential backoff),
+//! * [`receiver`] — per-flow receive state with GRO-style ACK coalescing
+//!   and immediate duplicate ACKs on out-of-order arrival,
+//! * [`switchq`] — a finite FIFO queue with a DCTCP marking threshold.
+
+pub mod packet;
+pub mod receiver;
+pub mod sender;
+pub mod switchq;
+
+pub use packet::{FlowId, Packet, PacketKind};
+pub use receiver::{AckToSend, FlowReceiver};
+pub use sender::{AckOutcome, DctcpConfig, DctcpSender};
+pub use switchq::SwitchQueue;

@@ -1,0 +1,106 @@
+//! The wire unit exchanged between the two hosts.
+
+use fns_sim::time::Nanos;
+
+/// Identifier of one transport flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+/// Packet payload semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Data segment starting at byte `seq`.
+    Data,
+    /// Cumulative acknowledgement.
+    Ack {
+        /// Next byte expected by the receiver.
+        ack_seq: u64,
+        /// Number of ECN-marked data packets this ACK echoes (DCTCP carries
+        /// per-packet marks; we aggregate per ACK).
+        ecn_echo: u32,
+        /// Data packets covered by this ACK (for `alpha` accounting).
+        acked_pkts: u32,
+    },
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Starting byte sequence (data) or 0 (ACKs).
+    pub seq: u64,
+    /// Wire size in bytes, including payload (ACKs are 64 B).
+    pub bytes: u32,
+    /// Data or ACK.
+    pub kind: PacketKind,
+    /// Set by the switch when the queue exceeds the marking threshold.
+    pub ecn_marked: bool,
+    /// Transmission timestamp (for RTT/latency measurement).
+    pub sent_at: Nanos,
+}
+
+/// Wire size of a pure ACK.
+pub const ACK_BYTES: u32 = 64;
+
+impl Packet {
+    /// Creates a data packet.
+    pub fn data(flow: FlowId, seq: u64, bytes: u32, sent_at: Nanos) -> Self {
+        Self {
+            flow,
+            seq,
+            bytes,
+            kind: PacketKind::Data,
+            ecn_marked: false,
+            sent_at,
+        }
+    }
+
+    /// Creates an ACK packet.
+    pub fn ack(flow: FlowId, ack_seq: u64, ecn_echo: u32, acked_pkts: u32, sent_at: Nanos) -> Self {
+        Self {
+            flow,
+            seq: 0,
+            bytes: ACK_BYTES,
+            kind: PacketKind::Ack {
+                ack_seq,
+                ecn_echo,
+                acked_pkts,
+            },
+            ecn_marked: false,
+            sent_at,
+        }
+    }
+
+    /// Returns `true` for data packets.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let d = Packet::data(FlowId(1), 4096, 4096, 10);
+        assert!(d.is_data());
+        assert_eq!(d.seq, 4096);
+        let a = Packet::ack(FlowId(1), 8192, 2, 3, 20);
+        assert!(!a.is_data());
+        assert_eq!(a.bytes, ACK_BYTES);
+        match a.kind {
+            PacketKind::Ack {
+                ack_seq,
+                ecn_echo,
+                acked_pkts,
+            } => {
+                assert_eq!(ack_seq, 8192);
+                assert_eq!(ecn_echo, 2);
+                assert_eq!(acked_pkts, 3);
+            }
+            PacketKind::Data => panic!("expected ack"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the transport: sender invariants under adversarial
+//! ACK streams, and sender/receiver end-to-end conservation over lossy,
+//! reordering channels.
+
+use proptest::prelude::*;
+
+use fns_net::packet::{FlowId, PacketKind};
+use fns_net::receiver::FlowReceiver;
+use fns_net::sender::{DctcpConfig, DctcpSender};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sender never violates its structural invariants no matter what
+    /// ACK stream it sees (including bogus/duplicate/ancient ACKs), and
+    /// cwnd stays within [1 MSS, max].
+    #[test]
+    fn sender_invariants_under_adversarial_acks(
+        acks in proptest::collection::vec((0u64..1_000_000, 0u32..4, 1u32..16), 1..300),
+    ) {
+        let cfg = DctcpConfig::default();
+        let mut s = DctcpSender::new(FlowId(0), cfg, 0);
+        s.set_unbounded();
+        let mut now = 0u64;
+        for (i, (ack_seq, ecn, pkts)) in acks.iter().enumerate() {
+            // Interleave some sends.
+            for _ in 0..(i % 3) {
+                s.next_packet(now);
+            }
+            // Only deliver ACKs for bytes at or below what was sent —
+            // acking unsent data is the one thing a real peer cannot do.
+            let ack = (*ack_seq).min(s.bytes_in_flight() + 1);
+            s.on_ack(ack, *ecn, *pkts, now);
+            now += 1_000;
+            prop_assert!(s.cwnd() >= cfg.mss as u64, "cwnd collapsed below 1 MSS");
+            prop_assert!(s.cwnd() <= cfg.max_cwnd_bytes);
+            prop_assert!(s.alpha() >= 0.0 && s.alpha() <= 1.0);
+            // bytes_in_flight computed without underflow.
+            let _ = s.bytes_in_flight();
+        }
+    }
+
+    /// End-to-end conservation: over a channel with random drops and
+    /// reordering, retransmissions (fast + RTO) eventually deliver every
+    /// byte exactly once, in order.
+    #[test]
+    fn lossy_channel_delivers_exactly_once(
+        app_bytes in 4_096u64..300_000,
+        seed in 0u64..5_000,
+    ) {
+        let cfg = DctcpConfig::default();
+        let mut s = DctcpSender::new(FlowId(0), cfg, 0);
+        s.enqueue_app_bytes(app_bytes);
+        let mut r = FlowReceiver::new(FlowId(0), 4);
+        let mut rng = seed;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut now = 0u64;
+        let mut in_flight: Vec<fns_net::packet::Packet> = Vec::new();
+        let mut steps = 0;
+        while !s.is_drained() {
+            steps += 1;
+            prop_assert!(steps < 200_000, "transfer did not converge");
+            now += 10_000;
+            // Emit whatever the window allows.
+            while let Some(p) = s.next_packet(now) {
+                in_flight.push(p);
+            }
+            // Deliver up to 8 packets with 15% drop and occasional swap.
+            if in_flight.len() >= 2 && next() % 4 == 0 {
+                let n = in_flight.len();
+                in_flight.swap(n - 1, n - 2);
+            }
+            let deliver = in_flight.len().min(8);
+            let batch: Vec<_> = in_flight.drain(..deliver).collect();
+            for p in batch {
+                if next() % 100 < 15 {
+                    continue; // dropped
+                }
+                if let Some(a) = r.on_data(&p, now) {
+                    let out = s.on_ack(a.ack_seq, a.ecn_echo, a.acked_pkts, now);
+                    if out.fast_retransmit {
+                        in_flight.push(s.fast_retransmit_packet(now));
+                    }
+                }
+            }
+            // Flush receiver coalescing and fire RTOs.
+            if let Some(a) = r.flush_ack() {
+                let out = s.on_ack(a.ack_seq, a.ecn_echo, a.acked_pkts, now);
+                if out.fast_retransmit {
+                    in_flight.push(s.fast_retransmit_packet(now));
+                }
+            }
+            if let Some(d) = s.rto_deadline() {
+                if d <= now {
+                    s.on_rto(now);
+                }
+            }
+        }
+        prop_assert_eq!(r.delivered_bytes, app_bytes, "byte conservation");
+        prop_assert_eq!(r.rcv_nxt(), app_bytes);
+        prop_assert_eq!(r.ooo_segments(), 0);
+    }
+
+    /// The receiver's delivered-byte counter is monotone and never exceeds
+    /// the highest byte offered, for arbitrary segment streams.
+    #[test]
+    fn receiver_delivery_bounded_by_offered(
+        segs in proptest::collection::vec((0u64..64, 1u32..5), 1..200),
+    ) {
+        let mut r = FlowReceiver::new(FlowId(1), 3);
+        let mut highest = 0u64;
+        let mut last_delivered = 0u64;
+        for (start_pkts, len_pkts) in segs {
+            let seq = start_pkts * 1000;
+            let bytes = len_pkts * 1000;
+            highest = highest.max(seq + bytes as u64);
+            let p = fns_net::packet::Packet::data(FlowId(1), seq, bytes, 0);
+            r.on_data(&p, 0);
+            prop_assert!(r.delivered_bytes >= last_delivered, "monotone");
+            prop_assert!(r.delivered_bytes <= highest, "no invention of bytes");
+            last_delivered = r.delivered_bytes;
+        }
+    }
+}
+
+/// ACK metadata sanity: what the receiver claims to ack matches the data it
+/// has seen.
+#[test]
+fn ack_metadata_accounts_for_every_data_packet() {
+    let mut r = FlowReceiver::new(FlowId(0), 4);
+    let mut acked_pkts = 0u64;
+    for i in 0..97u64 {
+        let p = fns_net::packet::Packet::data(FlowId(0), i * 100, 100, 0);
+        assert!(matches!(p.kind, PacketKind::Data));
+        if let Some(a) = r.on_data(&p, 0) {
+            acked_pkts += a.acked_pkts as u64;
+        }
+    }
+    if let Some(a) = r.flush_ack() {
+        acked_pkts += a.acked_pkts as u64;
+    }
+    assert_eq!(acked_pkts, 97, "every data packet is covered by some ACK");
+}

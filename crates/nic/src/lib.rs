@@ -1,0 +1,16 @@
+//! NIC model: descriptor rings, multi-page descriptors, and the finite
+//! on-NIC packet buffer.
+//!
+//! Mirrors the Mellanox CX-5 receive datapath of §2.1: the driver prepares
+//! per-core rings of Rx descriptors, each carrying 64 page-sized IOVAs; the
+//! NIC buffers arriving packets in a finite input buffer (dropping on
+//! overflow — the paper's Figures 2b/3b) and DMAs them through the
+//! descriptors' IOVAs.
+
+pub mod buffer;
+pub mod descriptor;
+pub mod ring;
+
+pub use buffer::NicBuffer;
+pub use descriptor::{Descriptor, DescriptorPage, PAGES_PER_RX_DESCRIPTOR};
+pub use ring::RxRing;

@@ -1,0 +1,188 @@
+//! Per-core Rx descriptor ring.
+
+use std::collections::VecDeque;
+
+use crate::descriptor::Descriptor;
+
+/// A ring buffer of prepared Rx descriptors for one core.
+///
+/// The driver keeps the ring topped up ("replenished") whenever the number
+/// of prepared descriptors falls below a threshold; the NIC consumes pages
+/// from the head descriptor as packets arrive (paper §2.1, step 1).
+///
+/// # Examples
+///
+/// ```
+/// use fns_nic::ring::RxRing;
+/// use fns_nic::descriptor::{Descriptor, DescriptorPage};
+/// use fns_iova::types::Iova;
+/// use fns_mem::addr::PhysAddr;
+///
+/// let mut ring = RxRing::new(4, 2);
+/// assert!(ring.needs_replenish());
+/// for id in 0..4 {
+///     let pages = vec![DescriptorPage { iova: Iova::from_pfn(10 + id), pa: PhysAddr::from_pfn(id) }];
+///     ring.push(Descriptor::new(id, pages));
+/// }
+/// assert!(!ring.needs_replenish());
+/// assert!(ring.head_mut().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RxRing {
+    descriptors: VecDeque<Descriptor>,
+    capacity: usize,
+    replenish_threshold: usize,
+}
+
+impl RxRing {
+    /// Creates a ring holding up to `capacity` descriptors, replenished when
+    /// fewer than `replenish_threshold` remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the threshold exceeds the capacity.
+    pub fn new(capacity: usize, replenish_threshold: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity ring");
+        assert!(
+            replenish_threshold <= capacity,
+            "threshold above ring capacity"
+        );
+        Self {
+            descriptors: VecDeque::with_capacity(capacity),
+            capacity,
+            replenish_threshold,
+        }
+    }
+
+    /// Descriptors currently prepared.
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Returns `true` if no descriptors are available.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Ring capacity in descriptors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free descriptor slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.descriptors.len()
+    }
+
+    /// Returns `true` when the driver should prepare more descriptors.
+    pub fn needs_replenish(&self) -> bool {
+        self.descriptors.len() < self.replenish_threshold
+    }
+
+    /// Adds a prepared descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full.
+    pub fn push(&mut self, d: Descriptor) {
+        assert!(self.descriptors.len() < self.capacity, "ring overflow");
+        self.descriptors.push_back(d);
+    }
+
+    /// The head descriptor the NIC is currently filling.
+    pub fn head_mut(&mut self) -> Option<&mut Descriptor> {
+        self.descriptors.front_mut()
+    }
+
+    /// Unconsumed pages remaining in the head descriptor.
+    pub fn head_remaining(&self) -> usize {
+        self.descriptors.front().map_or(0, |d| d.remaining())
+    }
+
+    /// Fully prepared descriptors queued behind the head.
+    pub fn queued_behind_head(&self) -> usize {
+        self.descriptors.len().saturating_sub(1)
+    }
+
+    /// Pops the head descriptor once fully consumed, handing it to the
+    /// driver's completion path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not fully consumed — popping a live descriptor
+    /// would let the driver unmap pages the NIC may still write.
+    pub fn pop_consumed(&mut self) -> Option<Descriptor> {
+        if self.descriptors.front()?.is_consumed() {
+            self.descriptors.pop_front()
+        } else {
+            panic!("popping a descriptor the NIC is still filling");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescriptorPage;
+    use fns_iova::types::Iova;
+    use fns_mem::addr::PhysAddr;
+
+    fn desc(id: u64, pages: u64) -> Descriptor {
+        Descriptor::new(
+            id,
+            (0..pages)
+                .map(|i| DescriptorPage {
+                    iova: Iova::from_pfn(id * 100 + i),
+                    pa: PhysAddr::from_pfn(id * 100 + i),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn replenish_threshold() {
+        let mut r = RxRing::new(4, 2);
+        assert!(r.needs_replenish());
+        r.push(desc(0, 1));
+        r.push(desc(1, 1));
+        assert!(!r.needs_replenish());
+        r.head_mut().unwrap().consume_page();
+        r.pop_consumed().unwrap();
+        assert!(r.needs_replenish());
+    }
+
+    #[test]
+    fn consume_then_pop() {
+        let mut r = RxRing::new(2, 1);
+        r.push(desc(7, 2));
+        r.head_mut().unwrap().consume_page();
+        r.head_mut().unwrap().consume_page();
+        let d = r.pop_consumed().unwrap();
+        assert_eq!(d.id(), 7);
+        assert!(r.is_empty());
+        assert_eq!(r.free_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "still filling")]
+    fn pop_live_descriptor_panics() {
+        let mut r = RxRing::new(2, 1);
+        r.push(desc(7, 2));
+        r.head_mut().unwrap().consume_page();
+        r.pop_consumed();
+    }
+
+    #[test]
+    #[should_panic(expected = "ring overflow")]
+    fn overflow_panics() {
+        let mut r = RxRing::new(1, 0);
+        r.push(desc(0, 1));
+        r.push(desc(1, 1));
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut r = RxRing::new(1, 0);
+        assert!(r.pop_consumed().is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic event queue with a monotonic clock.
+//!
+//! The queue is a min-heap keyed by `(timestamp, sequence number)`. The
+//! sequence number breaks ties in insertion order, which makes every
+//! simulation run bit-reproducible: two events scheduled for the same
+//! nanosecond always fire in the order they were pushed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// An entry in the queue: ordering key plus opaque payload.
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events are popped in nondecreasing timestamp order; ties are broken by
+/// insertion order. Popping advances the queue's clock ([`EventQueue::now`]).
+///
+/// # Examples
+///
+/// ```
+/// use fns_sim::queue::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, 'a');
+/// q.push(10, 'b'); // same timestamp: fires after 'a'
+/// q.push(5, 'c');
+/// assert_eq!(q.pop(), Some((5, 'c')));
+/// assert_eq!(q.pop(), Some((10, 'a')));
+/// assert_eq!(q.pop(), Some((10, 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`EventQueue::now`]); scheduling
+    /// into the past would silently reorder causality.
+    pub fn push(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedules `event` to fire `delay` nanoseconds from now.
+    pub fn push_after(&mut self, delay: Nanos, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.push(at, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.push(7, ());
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(100, 'a');
+        q.pop();
+        q.push_after(50, 'b');
+        assert_eq!(q.pop(), Some((150, 'b')));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.push(100, ());
+        q.pop();
+        q.push(99, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(1));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(5, 0u32);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.push(3, 2);
+        q.push(2, 3);
+        assert_eq!(q.pop(), Some((2, 3)));
+        assert_eq!(q.pop(), Some((3, 2)));
+        assert_eq!(q.pop(), Some((5, 0)));
+    }
+}

@@ -1,0 +1,485 @@
+//! Measurement primitives: histograms, running means, reuse distances.
+//!
+//! These stand in for the paper's measurement tooling: PCM hardware counters
+//! (plain counters on each model), netperf latency percentiles
+//! ([`Histogram`]), and the PTcache-L3 locality analysis of Figures 2e/3e/7e/8e
+//! ([`ReuseDistance`]).
+
+use std::collections::HashMap;
+
+/// A log-linear histogram for latency-like values, HDR-histogram style.
+///
+/// Values are bucketed into octaves each split into 32 linear sub-buckets,
+/// giving a worst-case relative quantile error of ~3%. This is the same
+/// trade-off netperf-style tools make and is plenty for reproducing the
+/// paper's P50–P99.99 whisker plot (Figure 9).
+///
+/// # Examples
+///
+/// ```
+/// use fns_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((480..=530).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB_BUCKETS: u32 = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            // 64 octaves x 32 sub-buckets covers all of u64.
+            buckets: vec![0; (64 * SUB_BUCKETS) as usize],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS here
+        let octave = msb - SUB_BITS + 1;
+        let sub = (v >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1);
+        (octave * SUB_BUCKETS) as usize + sub as usize
+    }
+
+    /// Upper bound of the bucket with the given index (the value reported
+    /// for quantiles falling in that bucket).
+    fn bucket_upper(idx: usize) -> u64 {
+        let idx = idx as u64;
+        let octave = idx >> SUB_BITS;
+        let sub = idx & (SUB_BUCKETS as u64 - 1);
+        if octave == 0 {
+            return sub;
+        }
+        let shift = octave - 1;
+        ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of the recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate value at percentile `p` (0–100), within ~3% relative
+    /// error. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Running mean/total tracker for per-page rates (e.g. misses per page).
+///
+/// # Examples
+///
+/// ```
+/// use fns_sim::stats::MeanTracker;
+///
+/// let mut m = MeanTracker::new();
+/// m.add(2.0);
+/// m.add(4.0);
+/// assert_eq!(m.mean(), 3.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanTracker {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Reuse-distance tracker over an access stream of keys.
+///
+/// For each access, records the number of *distinct other keys* touched since
+/// the previous access to the same key (`None` on first access). This is
+/// exactly the Y axis of the paper's locality panels (Figures 2e, 3e, 7e,
+/// 8e), where keys are PTcache-L3 entries (i.e. PT-L4 page addresses) touched
+/// by successive IOVA allocations: an access whose reuse distance exceeds the
+/// cache size is a likely capacity miss.
+///
+/// Uses the classic Fenwick-tree (binary indexed tree) algorithm: O(log n)
+/// per access.
+///
+/// # Examples
+///
+/// ```
+/// use fns_sim::stats::ReuseDistance;
+///
+/// let mut rd = ReuseDistance::new();
+/// for k in [1u64, 2, 3, 1] {
+///     rd.access(k);
+/// }
+/// // Key 1 is re-accessed after 2 distinct other keys (2 and 3).
+/// assert_eq!(rd.distances(), &[None, None, None, Some(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseDistance {
+    // Fenwick tree over access positions; tree[i] counts "most recent
+    // occurrence" markers. 1-based internally. `markers` mirrors the raw
+    // per-position values so the tree can be rebuilt when it grows (a Fenwick
+    // tree cannot be extended by zero-filling).
+    tree: Vec<u64>,
+    markers: Vec<u64>,
+    last_pos: HashMap<u64, usize>,
+    distances: Vec<Option<u64>>,
+    n_accesses: usize,
+}
+
+impl ReuseDistance {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tree_add(&mut self, pos: usize, delta: i64) {
+        self.markers[pos] = self.markers[pos].wrapping_add(delta as u64);
+        let mut i = pos + 1;
+        while i <= self.tree.len() {
+            let slot = &mut self.tree[i - 1];
+            *slot = slot.wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Grows capacity to at least `cap` and rebuilds the Fenwick tree.
+    fn grow(&mut self, cap: usize) {
+        let cap = cap.next_power_of_two().max(64);
+        self.markers.resize(cap, 0);
+        self.tree = vec![0; cap];
+        for i in 1..=cap {
+            self.tree[i - 1] = self.tree[i - 1].wrapping_add(self.markers[i - 1]);
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                self.tree[parent - 1] = self.tree[parent - 1].wrapping_add(self.tree[i - 1]);
+            }
+        }
+    }
+
+    /// Sum of "most recent occurrence" markers in positions `[0, i]`.
+    fn tree_sum(&self, i: usize) -> u64 {
+        let mut s = 0u64;
+        let mut j = i + 1;
+        while j > 0 {
+            s = s.wrapping_add(self.tree[j - 1]);
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Records an access to `key` and returns its reuse distance.
+    pub fn access(&mut self, key: u64) -> Option<u64> {
+        let pos = self.n_accesses;
+        self.n_accesses += 1;
+        if self.tree.len() < self.n_accesses {
+            self.grow(self.n_accesses);
+        }
+        let dist = if let Some(&prev) = self.last_pos.get(&key) {
+            // Distinct keys strictly between prev and pos: markers in
+            // (prev, pos) = sum[0..pos-1] - sum[0..prev].
+            let upto_pos = if pos == 0 { 0 } else { self.tree_sum(pos - 1) };
+            let upto_prev = self.tree_sum(prev);
+            // Remove the old "most recent" marker for this key.
+            self.tree_add(prev, -1);
+            Some(upto_pos - upto_prev)
+        } else {
+            None
+        };
+        self.tree_add(pos, 1);
+        self.last_pos.insert(key, pos);
+        self.distances.push(dist);
+        dist
+    }
+
+    /// All recorded distances, in access order.
+    pub fn distances(&self) -> &[Option<u64>] {
+        &self.distances
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.n_accesses
+    }
+
+    /// Returns `true` if no accesses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n_accesses == 0
+    }
+
+    /// Fraction of re-accesses whose reuse distance is at least `threshold`
+    /// (i.e. likely misses in a cache of `threshold` entries).
+    pub fn fraction_at_least(&self, threshold: u64) -> f64 {
+        let reaccesses: Vec<u64> = self.distances.iter().filter_map(|d| *d).collect();
+        if reaccesses.is_empty() {
+            return 0.0;
+        }
+        let over = reaccesses.iter().filter(|&&d| d >= threshold).count();
+        over as f64 / reaccesses.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.percentile(0.0), 777);
+        assert_eq!(h.percentile(100.0), 777);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        // Sub-32 values are bucketed exactly.
+        assert_eq!(h.percentile(100.0), 31);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_accuracy() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let est = h.percentile(p) as f64;
+            let exact = p / 100.0 * 100_000.0;
+            let err = (est - exact).abs() / exact;
+            assert!(err < 0.04, "p{p}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.min(), 1);
+        let p50 = a.percentile(50.0);
+        assert!((480..=530).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert_eq!(h.mean(), 30.0);
+    }
+
+    #[test]
+    fn mean_tracker() {
+        let mut m = MeanTracker::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(2.0);
+        m.add(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.sum(), 6.0);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn reuse_distance_basic() {
+        let mut rd = ReuseDistance::new();
+        // a b c a b b
+        for k in [0u64, 1, 2, 0, 1, 1] {
+            rd.access(k);
+        }
+        assert_eq!(
+            rd.distances(),
+            &[None, None, None, Some(2), Some(2), Some(0)]
+        );
+    }
+
+    #[test]
+    fn reuse_distance_repeated_same_key() {
+        let mut rd = ReuseDistance::new();
+        for _ in 0..5 {
+            rd.access(42);
+        }
+        assert_eq!(rd.distances()[1..], [Some(0); 4]);
+    }
+
+    #[test]
+    fn reuse_distance_counts_distinct_not_total() {
+        let mut rd = ReuseDistance::new();
+        // a b b b a -> distance for final a is 1 (only b between).
+        for k in [0u64, 1, 1, 1, 0] {
+            rd.access(k);
+        }
+        assert_eq!(rd.distances()[4], Some(1));
+    }
+
+    #[test]
+    fn reuse_distance_fraction() {
+        let mut rd = ReuseDistance::new();
+        // Cyclic access over 4 keys: every re-access has distance 3.
+        for i in 0..40u64 {
+            rd.access(i % 4);
+        }
+        assert_eq!(rd.fraction_at_least(4), 0.0);
+        assert_eq!(rd.fraction_at_least(3), 1.0);
+        assert!(rd.fraction_at_least(2) > 0.99);
+    }
+
+    #[test]
+    fn reuse_distance_matches_naive_on_random_stream() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed(11);
+        let keys: Vec<u64> = (0..2000).map(|_| rng.range(0, 50)).collect();
+        let mut rd = ReuseDistance::new();
+        let mut naive_last: HashMap<u64, usize> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let got = rd.access(k);
+            let expected = naive_last.get(&k).map(|&p| {
+                let mut set = std::collections::HashSet::new();
+                for &kk in &keys[p + 1..i] {
+                    set.insert(kk);
+                }
+                set.len() as u64
+            });
+            assert_eq!(got, expected, "at access {i}");
+            naive_last.insert(k, i);
+        }
+    }
+}

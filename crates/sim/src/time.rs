@@ -1,0 +1,145 @@
+//! Simulation time and bandwidth arithmetic.
+//!
+//! All simulation time is measured in integer nanoseconds ([`Nanos`]). The
+//! paper's quantities of interest (memory read latency ≈ 197 ns, per-page
+//! PCIe cost ≈ 65 ns, RTO ≈ milliseconds) all fit comfortably in `u64`
+//! nanoseconds: 2^64 ns ≈ 584 years of simulated time.
+
+/// Simulation timestamp / duration, in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// A link or bus bandwidth, stored as bits per second.
+///
+/// Provides exact integer serialization-time computations so that simulation
+/// runs are bit-reproducible across platforms.
+///
+/// # Examples
+///
+/// ```
+/// use fns_sim::time::Bandwidth;
+///
+/// let link = Bandwidth::gbps(100);
+/// // 4 KB at 100 Gbps takes 327.68 ns, rounded up to 328 ns.
+/// assert_eq!(link.transfer_time_ns(4096), 328);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth {
+    bits_per_sec: u64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth of `g` gigabits per second.
+    pub const fn gbps(g: u64) -> Self {
+        Self {
+            bits_per_sec: g * 1_000_000_000,
+        }
+    }
+
+    /// Creates a bandwidth of `m` megabits per second.
+    pub const fn mbps(m: u64) -> Self {
+        Self {
+            bits_per_sec: m * 1_000_000,
+        }
+    }
+
+    /// Creates a bandwidth from raw bits per second.
+    pub const fn bps(bits_per_sec: u64) -> Self {
+        Self { bits_per_sec }
+    }
+
+    /// Returns the bandwidth in bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Returns the bandwidth in gigabits per second (floating point).
+    pub fn as_gbps(self) -> f64 {
+        self.bits_per_sec as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` bytes at this bandwidth, rounded up to the
+    /// next nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn transfer_time_ns(self, bytes: u64) -> Nanos {
+        assert!(self.bits_per_sec > 0, "zero bandwidth");
+        let bits = (bytes as u128) * 8;
+        let num = bits * (SECOND as u128);
+        let den = self.bits_per_sec as u128;
+        num.div_ceil(den) as Nanos
+    }
+
+    /// Bytes that can be serialized in `ns` nanoseconds at this bandwidth.
+    pub fn bytes_in(self, ns: Nanos) -> u64 {
+        ((self.bits_per_sec as u128 * ns as u128) / (8 * SECOND as u128)) as u64
+    }
+}
+
+/// Computes achieved throughput in Gbps given bytes moved over a duration.
+///
+/// Returns 0.0 for a zero-length interval.
+pub fn throughput_gbps(bytes: u64, elapsed: Nanos) -> f64 {
+    if elapsed == 0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) / elapsed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_construction() {
+        assert_eq!(Bandwidth::gbps(100).bits_per_sec(), 100_000_000_000);
+        assert_eq!(Bandwidth::mbps(100).bits_per_sec(), 100_000_000);
+        assert!((Bandwidth::gbps(100).as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let bw = Bandwidth::gbps(100);
+        // 32768 bits / 100 Gbps = 327.68 ns, rounded up to 328 ns.
+        assert_eq!(bw.transfer_time_ns(4096), 328);
+        assert_eq!(bw.transfer_time_ns(0), 0);
+    }
+
+    #[test]
+    fn transfer_time_exact_division() {
+        // 125 MBps = 1 Gbps; 125 bytes = 1000 bits -> exactly 1000 ns.
+        let bw = Bandwidth::gbps(1);
+        assert_eq!(bw.transfer_time_ns(125), 1000);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transfer_time() {
+        let bw = Bandwidth::gbps(100);
+        let t = bw.transfer_time_ns(1_000_000);
+        let b = bw.bytes_in(t);
+        assert!(b >= 1_000_000);
+        assert!(b < 1_000_100);
+    }
+
+    #[test]
+    fn throughput_helper() {
+        // 12.5 GB over 1 s = 100 Gbps.
+        let g = throughput_gbps(12_500_000_000, SECOND);
+        assert!((g - 100.0).abs() < 1e-6);
+        assert_eq!(throughput_gbps(100, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_panics() {
+        Bandwidth::bps(0).transfer_time_ns(1);
+    }
+}

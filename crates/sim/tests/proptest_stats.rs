@@ -1,0 +1,80 @@
+//! Property tests for the measurement primitives: histogram quantile
+//! accuracy against exact computation, and reuse-distance correctness
+//! against a quadratic reference.
+
+use proptest::prelude::*;
+
+use fns_sim::stats::{Histogram, ReuseDistance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram percentiles stay within the promised ~3% relative error of
+    /// the exact order statistic, for arbitrary value distributions.
+    #[test]
+    fn histogram_quantiles_within_error_bound(
+        mut values in proptest::collection::vec(1u64..10_000_000, 10..2000),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = values[rank] as f64;
+            let est = h.percentile(p) as f64;
+            let err = (est - exact).abs() / exact;
+            prop_assert!(err < 0.035, "p{p}: est {est} vs exact {exact} (err {err:.4})");
+        }
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact_mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+    }
+
+    /// Merged histograms agree with recording everything into one.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in proptest::collection::vec(1u64..100_000, 1..300),
+        b in proptest::collection::vec(1u64..100_000, 1..300),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for p in [25.0, 50.0, 75.0, 95.0] {
+            prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+        }
+    }
+
+    /// Fenwick-tree reuse distances match the O(n^2) definition.
+    #[test]
+    fn reuse_distance_matches_reference(
+        keys in proptest::collection::vec(0u64..40, 1..600),
+    ) {
+        let mut rd = ReuseDistance::new();
+        let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let got = rd.access(k);
+            let expected = last.get(&k).map(|&p| {
+                keys[p + 1..i].iter().collect::<std::collections::HashSet<_>>().len() as u64
+            });
+            prop_assert_eq!(got, expected, "access {}", i);
+            last.insert(k, i);
+        }
+        prop_assert_eq!(rd.len(), keys.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Multi-tenant tail latency: an RPC service colocated with bulk traffic.
+//!
+//! The scenario the paper's Figure 9 motivates: a latency-sensitive RPC
+//! application shares a host with throughput-bound tenants. With stock
+//! strict protection, the RPC's P99.9 inflates by orders of magnitude
+//! (retransmission timeouts after NIC drops); F&S keeps the tail within a
+//! small factor of running with the IOMMU off — while staying strictly
+//! safe.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant_latency
+//! ```
+
+use fns::apps::rpc_config;
+use fns::core::{HostSim, ProtectionMode};
+
+fn main() {
+    let rpc_bytes = 4096;
+    println!("4 KB RPCs on a dedicated core, colocated with 5 iperf flows:\n");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "p50 (us)", "p90 (us)", "p99 (us)", "p99.9", "p99.99"
+    );
+    let mut base_p99 = 0.0_f64;
+    for mode in [
+        ProtectionMode::IommuOff,
+        ProtectionMode::LinuxStrict,
+        ProtectionMode::FastAndSafe,
+    ] {
+        let m = HostSim::new(rpc_config(mode, rpc_bytes)).run();
+        let p = |q: f64| m.latency.percentile(q) as f64 / 1000.0;
+        println!(
+            "{:>14} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            mode.label(),
+            p(50.0),
+            p(90.0),
+            p(99.0),
+            p(99.9),
+            p(99.99)
+        );
+        match mode {
+            ProtectionMode::IommuOff => base_p99 = p(99.9),
+            ProtectionMode::FastAndSafe => {
+                let ratio = p(99.9) / base_p99.max(1.0);
+                println!(
+                    "\nF&S P99.9 is {ratio:.2}x the IOMMU-off tail \
+                     (paper: within 1.17x, 1.42x at P99.99)."
+                );
+            }
+            _ => {}
+        }
+    }
+}

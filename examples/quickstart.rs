@@ -1,0 +1,49 @@
+//! Quickstart: measure IO memory protection overheads and the F&S fix.
+//!
+//! Runs the paper's default microbenchmark (5 DCTCP flows into a 5-core,
+//! 100 Gbps host) under three protection modes and prints the headline
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fns::core::{HostSim, ProtectionMode, SimConfig};
+
+fn main() {
+    println!("F&S quickstart: 5 iperf flows into a 5-core 100 Gbps receiver\n");
+    println!(
+        "{:>14} {:>10} {:>8} {:>12} {:>14} {:>10}",
+        "mode", "goodput", "drops", "IOTLB/page", "PTcache(L1-3)", "reads/pg"
+    );
+    for mode in [
+        ProtectionMode::IommuOff,
+        ProtectionMode::LinuxStrict,
+        ProtectionMode::FastAndSafe,
+    ] {
+        let cfg = SimConfig::paper_default(mode);
+        let m = HostSim::new(cfg).run();
+        println!(
+            "{:>14} {:>8.1} G {:>7.2}% {:>12.2} {:>4.2}/{:.2}/{:.2} {:>10.2}",
+            mode.label(),
+            m.rx_gbps(),
+            m.drop_rate() * 100.0,
+            m.iotlb_misses_per_page(),
+            m.l1_misses_per_page(),
+            m.l2_misses_per_page(),
+            m.l3_misses_per_page(),
+            m.memory_reads_per_page(),
+        );
+        // Every strict-safe mode must keep the device away from unmapped
+        // memory — this is checked inside the simulation.
+        if mode.is_strict_safe() {
+            assert_eq!(m.stale_iotlb_hits, 0);
+        }
+        assert_eq!(m.stale_ptcache_walks, 0);
+    }
+    println!(
+        "\nFast & Safe provides the same strict safety as linux-strict while \
+         matching iommu-off throughput:\nit reduces the *cost* of each IOTLB miss \
+         (1 memory read instead of up to 4) rather than the miss count."
+    );
+}

@@ -1,0 +1,172 @@
+//! `fns-sim` — command-line driver for the F&S host simulation.
+//!
+//! Runs one experiment configuration and prints the standard metric row
+//! (plus latency percentiles for RPC workloads).
+//!
+//! ```text
+//! fns-sim [--mode M|--all-modes] [--workload W] [--flows N] [--ring N]
+//!         [--mtu BYTES] [--cores N] [--pages-per-desc N] [--measure-ms N]
+//!         [--seed N] [--msg BYTES]
+//!
+//! modes:     off linux deferred linux+A linux+B fns hugepage damn
+//! workloads: iperf bidir redis nginx spdk rpc
+//! ```
+
+use fns::apps::{
+    bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
+};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+
+struct Args {
+    modes: Vec<ProtectionMode>,
+    workload: String,
+    flows: u32,
+    ring: u32,
+    mtu: u32,
+    cores: Option<usize>,
+    pages_per_desc: u32,
+    measure_ms: u64,
+    seed: u64,
+    msg_bytes: u64,
+}
+
+fn parse_mode(s: &str) -> Option<ProtectionMode> {
+    Some(match s {
+        "off" | "iommu-off" => ProtectionMode::IommuOff,
+        "linux" | "strict" | "linux-strict" => ProtectionMode::LinuxStrict,
+        "deferred" | "lazy" | "linux-deferred" => ProtectionMode::LinuxDeferred,
+        "linux+A" | "preserve" => ProtectionMode::LinuxPreserve,
+        "linux+B" | "contig" => ProtectionMode::LinuxContig,
+        "fns" | "fas" | "fast-and-safe" => ProtectionMode::FastAndSafe,
+        "hugepage" | "hugepage-pin" => ProtectionMode::HugepagePinned,
+        "damn" | "damn-recycle" => ProtectionMode::DamnRecycle,
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fns-sim [--mode M|--all-modes] [--workload iperf|bidir|redis|nginx|spdk|rpc]\n\
+         \x20              [--flows N] [--ring N] [--mtu BYTES] [--cores N]\n\
+         \x20              [--pages-per-desc N] [--measure-ms N] [--seed N] [--msg BYTES]\n\
+         modes: off linux deferred linux+A linux+B fns hugepage damn"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        modes: vec![ProtectionMode::FastAndSafe],
+        workload: "iperf".into(),
+        flows: 5,
+        ring: 256,
+        mtu: 4096,
+        cores: None,
+        pages_per_desc: 64,
+        measure_ms: 60,
+        seed: 1,
+        msg_bytes: 8192,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--mode" => {
+                let v = val();
+                args.modes = vec![parse_mode(&v).unwrap_or_else(|| usage())];
+            }
+            "--all-modes" => args.modes = ProtectionMode::ALL.to_vec(),
+            "--workload" => args.workload = val(),
+            "--flows" => args.flows = val().parse().unwrap_or_else(|_| usage()),
+            "--ring" => args.ring = val().parse().unwrap_or_else(|_| usage()),
+            "--mtu" => args.mtu = val().parse().unwrap_or_else(|_| usage()),
+            "--cores" => args.cores = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--pages-per-desc" => args.pages_per_desc = val().parse().unwrap_or_else(|_| usage()),
+            "--measure-ms" => args.measure_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--msg" => args.msg_bytes = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
+    let mut cfg = match args.workload.as_str() {
+        "iperf" => iperf_config(mode, args.flows, args.ring),
+        "bidir" => bidirectional_config(mode, args.flows),
+        "redis" => redis_config(mode, args.msg_bytes),
+        "nginx" => nginx_config(mode, args.msg_bytes),
+        "spdk" => spdk_config(mode, args.msg_bytes),
+        "rpc" => rpc_config(mode, args.msg_bytes),
+        _ => usage(),
+    };
+    if args.workload == "iperf" {
+        cfg.mtu = args.mtu;
+        cfg.ring_packets = args.ring;
+    }
+    if let Some(c) = args.cores {
+        cfg.cores = c;
+    }
+    cfg.pages_per_descriptor = args.pages_per_desc;
+    cfg.measure = args.measure_ms * 1_000_000;
+    cfg.seed = args.seed;
+    cfg
+}
+
+fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
+    println!(
+        "{:>14}  rx {:6.1} Gbps  tx {:6.1} Gbps  drops {:5.2}%  iotlb/pg {:5.2}  \
+         ptcache l1/l2/l3 {:.3}/{:.3}/{:.3}  M {:5.2}  cpu {:4.2}  safety {}",
+        mode.label(),
+        m.rx_gbps(),
+        m.tx_gbps(),
+        m.drop_rate() * 100.0,
+        m.iotlb_misses_per_page(),
+        m.l1_misses_per_page(),
+        m.l2_misses_per_page(),
+        m.l3_misses_per_page(),
+        m.memory_reads_per_page(),
+        m.max_cpu(),
+        if mode == ProtectionMode::IommuOff {
+            "none"
+        } else if mode.is_strict_safe() {
+            "strict"
+        } else {
+            "weakened"
+        },
+    );
+    if args.workload == "rpc" && m.latency.count() > 0 {
+        let p = |q: f64| m.latency.percentile(q) as f64 / 1000.0;
+        println!(
+            "{:>14}  rpc latency us: p50 {:.1}  p90 {:.1}  p99 {:.1}  p99.9 {:.1}  p99.99 {:.1}",
+            "",
+            p(50.0),
+            p(90.0),
+            p(99.0),
+            p(99.9),
+            p(99.99)
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "workload={} flows={} ring={} mtu={} pages/desc={} measure={}ms seed={}",
+        args.workload,
+        args.flows,
+        args.ring,
+        args.mtu,
+        args.pages_per_desc,
+        args.measure_ms,
+        args.seed
+    );
+    for mode in args.modes.clone() {
+        let cfg = build_config(&args, mode);
+        let m = HostSim::new(cfg).run();
+        print_result(&args, mode, &m);
+        assert_eq!(m.stale_ptcache_walks, 0, "use-after-free walk detected");
+    }
+}

@@ -1,0 +1,15 @@
+//! Fast & Safe IO memory protection (SOSP '24) — full-system reproduction.
+//!
+//! Facade crate re-exporting every subsystem of the workspace. See the
+//! repository README for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+pub use fns_apps as apps;
+pub use fns_core as core;
+pub use fns_iommu as iommu;
+pub use fns_iova as iova;
+pub use fns_mem as mem;
+pub use fns_net as net;
+pub use fns_nic as nic;
+pub use fns_pcie as pcie;
+pub use fns_sim as sim;

@@ -1,0 +1,132 @@
+//! Integration tests for the extension features: the §5 related-work
+//! baselines, the F&S+hugepages future-work mode, descriptor-size
+//! generality, and the Figure 10 bidirectional experiment.
+
+use fns::apps::{bidirectional_config, iperf_config};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+
+fn quick(mut cfg: SimConfig) -> RunMetrics {
+    cfg.warmup = 15_000_000;
+    cfg.measure = 30_000_000;
+    let m = HostSim::new(cfg).run();
+    assert_eq!(m.stale_ptcache_walks, 0);
+    m
+}
+
+#[test]
+fn hugepage_pinning_buys_reach_by_weakening_safety() {
+    let m = quick(iperf_config(ProtectionMode::HugepagePinned, 40, 256));
+    assert!(m.rx_gbps() > 95.0);
+    // One IOTLB entry covers 2 MB: essentially no misses.
+    assert!(
+        m.iotlb_misses_per_page() < 0.05,
+        "got {:.3}",
+        m.iotlb_misses_per_page()
+    );
+    assert!(!ProtectionMode::HugepagePinned.is_strict_safe());
+    // Pool modes never invalidate anything.
+    assert_eq!(m.iommu.invalidation_queue_entries, 0);
+}
+
+#[test]
+fn damn_recycling_is_fast_in_the_happy_path() {
+    // The paper (§5) grants DAMN's performance mechanism while disputing
+    // its safety claim: with consumption keeping up, recycled persistent
+    // mappings cost nothing per DMA.
+    let m = quick(iperf_config(ProtectionMode::DamnRecycle, 40, 256));
+    assert!(m.rx_gbps() > 95.0);
+    assert_eq!(m.iommu.invalidation_queue_entries, 0);
+    assert_eq!(m.iommu.ptcache_l1_misses + m.iommu.ptcache_l2_misses, 0);
+    assert!(!ProtectionMode::DamnRecycle.is_strict_safe());
+}
+
+#[test]
+fn fns_plus_hugepages_cuts_miss_count_with_strict_safety() {
+    let fns_m = quick(iperf_config(ProtectionMode::FastAndSafe, 40, 256));
+    let huge = quick(iperf_config(ProtectionMode::FnsHugeStrict, 40, 256));
+    assert!(huge.rx_gbps() > 95.0);
+    assert!(
+        huge.iotlb_misses_per_page() < fns_m.iotlb_misses_per_page() / 3.0,
+        "hugepages should slash miss count: {:.3} vs {:.3}",
+        huge.iotlb_misses_per_page(),
+        fns_m.iotlb_misses_per_page()
+    );
+    assert!(ProtectionMode::FnsHugeStrict.is_strict_safe());
+    assert_eq!(huge.stale_iotlb_hits, 0);
+    // Invalidations still happen — one per descriptor — unlike the pinned
+    // pool modes.
+    assert!(huge.iommu.invalidation_queue_entries > 0);
+}
+
+#[test]
+fn single_page_descriptors_keep_ptcache_wins_lose_batching() {
+    // §3's generality argument, as a test.
+    let mk = |mode, pages| {
+        let mut cfg = iperf_config(mode, 5, 256);
+        cfg.pages_per_descriptor = pages;
+        quick(cfg)
+    };
+    let fns64 = mk(ProtectionMode::FastAndSafe, 64);
+    let fns1 = mk(ProtectionMode::FastAndSafe, 1);
+    // PTcache preservation + cross-descriptor contiguity survive.
+    assert_eq!(
+        fns1.iommu.ptcache_l1_misses + fns1.iommu.ptcache_l2_misses,
+        0
+    );
+    assert!(fns1.l3_misses_per_page() < 0.054);
+    assert!(fns1.rx_gbps() > 90.0);
+    // Batched invalidation does not: one queue entry per descriptor.
+    assert!(
+        fns1.iommu.invalidation_queue_entries > 5 * fns64.iommu.invalidation_queue_entries,
+        "{} vs {}",
+        fns1.iommu.invalidation_queue_entries,
+        fns64.iommu.invalidation_queue_entries
+    );
+}
+
+#[test]
+fn bidirectional_interference_shapes() {
+    // Figure 10 at n = 4: Linux Rx collapses hardest, Tx less (PCIe reads
+    // tolerate latency), F&S recovers both directions.
+    // Needs the full Figure 10 window: the bidirectional equilibrium takes
+    // tens of milliseconds to settle.
+    let run = |mode| {
+        let m = HostSim::new(bidirectional_config(mode, 4)).run();
+        assert_eq!(m.stale_ptcache_walks, 0);
+        m
+    };
+    let off = run(ProtectionMode::IommuOff);
+    let linux = run(ProtectionMode::LinuxStrict);
+    let fns_m = run(ProtectionMode::FastAndSafe);
+    assert!(
+        linux.rx_gbps() < 0.8 * off.rx_gbps(),
+        "linux rx {:.1} vs off {:.1}",
+        linux.rx_gbps(),
+        off.rx_gbps()
+    );
+    let rx_deg = 1.0 - linux.rx_gbps() / off.rx_gbps();
+    let tx_deg = 1.0 - linux.tx_gbps() / off.tx_gbps();
+    assert!(
+        tx_deg < rx_deg,
+        "Tx should degrade less: rx {rx_deg:.2} vs tx {tx_deg:.2}"
+    );
+    assert!(
+        fns_m.rx_gbps() > 0.85 * off.rx_gbps(),
+        "F&S rx {:.1} vs off {:.1}",
+        fns_m.rx_gbps(),
+        off.rx_gbps()
+    );
+}
+
+#[test]
+fn every_mode_is_deterministic() {
+    for mode in ProtectionMode::ALL {
+        let mut cfg = iperf_config(mode, 5, 256);
+        cfg.warmup = 5_000_000;
+        cfg.measure = 10_000_000;
+        let a = HostSim::new(cfg).run();
+        let b = HostSim::new(cfg).run();
+        assert_eq!(a.rx_goodput_bytes, b.rx_goodput_bytes, "{mode}");
+        assert_eq!(a.iommu, b.iommu, "{mode}");
+    }
+}

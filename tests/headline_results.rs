@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the paper's headline results must hold.
+//!
+//! These are the load-bearing claims of the reproduction, checked as
+//! *shapes* (who wins, roughly by how much) rather than absolute numbers.
+//! Runs use shortened windows to keep the suite fast; the full-length
+//! figures live in `fns-bench`.
+
+use fns::apps::{iperf_config, redis_config, rpc_config};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+
+fn quick(mut cfg: SimConfig) -> RunMetrics {
+    cfg.warmup = 15_000_000;
+    cfg.measure = 30_000_000;
+    let m = HostSim::new(cfg).run();
+    // Universal invariants: no use-after-free walks ever; no stale IOTLB
+    // hits in strict-safe modes.
+    assert_eq!(m.stale_ptcache_walks, 0);
+    m
+}
+
+#[test]
+fn iommu_off_saturates_the_link() {
+    let m = quick(iperf_config(ProtectionMode::IommuOff, 5, 256));
+    assert!(m.rx_gbps() > 95.0, "got {:.1} Gbps", m.rx_gbps());
+    assert_eq!(m.iommu.translations, 0);
+}
+
+#[test]
+fn linux_strict_degrades_throughput() {
+    let m = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    assert_eq!(m.stale_iotlb_hits, 0, "strict mode must be safe");
+    assert!(
+        m.rx_gbps() < 90.0 && m.rx_gbps() > 40.0,
+        "expected 20-60% degradation, got {:.1} Gbps",
+        m.rx_gbps()
+    );
+    // At least one IOTLB miss per page is fundamental under strict unmap.
+    assert!(m.iotlb_misses_per_page() >= 1.0);
+    // Linux's invalidations leave PTcache misses on the table.
+    assert!(m.l3_misses_per_page() > 0.1);
+}
+
+#[test]
+fn fns_matches_iommu_off_with_strict_safety() {
+    let m = quick(iperf_config(ProtectionMode::FastAndSafe, 5, 256));
+    assert_eq!(m.stale_iotlb_hits, 0, "F&S must be strictly safe");
+    assert!(m.rx_gbps() > 95.0, "got {:.1} Gbps", m.rx_gbps());
+    // Still at least one (unavoidable) IOTLB miss per page...
+    assert!(m.iotlb_misses_per_page() >= 1.0);
+    // ...but the cost per miss is ~1 memory read, not ~2-4.
+    assert_eq!(m.iommu.ptcache_l1_misses, 0);
+    assert_eq!(m.iommu.ptcache_l2_misses, 0);
+    assert!(
+        m.l3_misses_per_page() < 0.054,
+        "paper bound: {:.3}",
+        m.l3_misses_per_page()
+    );
+    let per_walk = m.iommu.memory_reads as f64 / m.iommu.iotlb_misses.max(1) as f64;
+    assert!(
+        per_walk < 1.1,
+        "F&S walk cost should be ~1 read, got {per_walk:.2}"
+    );
+}
+
+#[test]
+fn degradation_grows_with_flow_count() {
+    let m5 = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    let m40 = quick(iperf_config(ProtectionMode::LinuxStrict, 40, 256));
+    assert!(
+        m40.rx_gbps() < m5.rx_gbps() - 5.0,
+        "40 flows ({:.1}) should be clearly worse than 5 ({:.1})",
+        m40.rx_gbps(),
+        m5.rx_gbps()
+    );
+    // The causal chain: more drops -> more ACKs -> more misses.
+    assert!(m40.drop_rate() > m5.drop_rate());
+    assert!(m40.tx_packets_per_page() > 2.0 * m5.tx_packets_per_page());
+    assert!(m40.memory_reads_per_page() > m5.memory_reads_per_page());
+}
+
+#[test]
+fn fns_is_flat_across_flow_counts() {
+    let m40 = quick(iperf_config(ProtectionMode::FastAndSafe, 40, 256));
+    assert!(m40.rx_gbps() > 93.0, "got {:.1} Gbps", m40.rx_gbps());
+    assert_eq!(m40.iommu.ptcache_l1_misses + m40.iommu.ptcache_l2_misses, 0);
+}
+
+#[test]
+fn locality_worsens_with_ring_size_for_linux_only() {
+    let small = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    let large = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 2048));
+    assert!(
+        large.locality_mean() > 2.0 * small.locality_mean(),
+        "ring 2048 locality {:.1} vs ring 256 {:.1}",
+        large.locality_mean(),
+        small.locality_mean()
+    );
+    let fns_large = quick(iperf_config(ProtectionMode::FastAndSafe, 5, 2048));
+    assert!(
+        fns_large.locality_mean() < 2.0,
+        "F&S locality must stay per-descriptor bounded, got {:.2}",
+        fns_large.locality_mean()
+    );
+}
+
+#[test]
+fn deferred_mode_is_fast_because_it_skips_invalidations() {
+    // Lazy mode trades the strict safety property for speed: invalidations
+    // are batched ~256 pages at a time instead of per unmap. A benign NIC
+    // never exploits the stale window (so no violations fire here — the
+    // exploitable window itself is demonstrated in the fns-core driver
+    // unit tests); the performance side is what this checks.
+    let lazy = quick(iperf_config(ProtectionMode::LinuxDeferred, 5, 256));
+    let strict = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    assert!(lazy.rx_gbps() > 90.0, "got {:.1} Gbps", lazy.rx_gbps());
+    assert!(
+        lazy.iommu.invalidation_queue_entries * 10 < strict.iommu.invalidation_queue_entries,
+        "lazy mode must batch invalidations: {} vs {}",
+        lazy.iommu.invalidation_queue_entries,
+        strict.iommu.invalidation_queue_entries
+    );
+    assert!(!ProtectionMode::LinuxDeferred.is_strict_safe());
+}
+
+#[test]
+fn rpc_tail_latency_story() {
+    // Uses the full Figure 9 window: RTO-driven tail events are rare, so a
+    // shortened run can miss them entirely.
+    let linux = HostSim::new(rpc_config(ProtectionMode::LinuxStrict, 4096)).run();
+    let fns_m = HostSim::new(rpc_config(ProtectionMode::FastAndSafe, 4096)).run();
+    assert!(linux.latency.count() > 100);
+    assert!(fns_m.latency.count() > 100);
+    // Stock protection: P99.9 inflated into the milliseconds by RTOs.
+    assert!(
+        linux.latency.percentile(99.9) > 1_000_000,
+        "expected ms-scale tail, got {} ns",
+        linux.latency.percentile(99.9)
+    );
+    // F&S keeps the whole distribution in the microseconds.
+    assert!(
+        fns_m.latency.percentile(99.9) < 300_000,
+        "F&S P99.9 {} ns",
+        fns_m.latency.percentile(99.9)
+    );
+}
+
+#[test]
+fn ablation_ordering_holds() {
+    // Figure 12: each F&S idea alone is insufficient.
+    let g = |mode| {
+        let mut cfg = redis_config(mode, 8 << 10);
+        cfg.warmup = 15_000_000;
+        cfg.measure = 30_000_000;
+        HostSim::new(cfg).run().rx_gbps()
+    };
+    let linux = g(ProtectionMode::LinuxStrict);
+    let a = g(ProtectionMode::LinuxPreserve);
+    let b = g(ProtectionMode::LinuxContig);
+    let fns_g = g(ProtectionMode::FastAndSafe);
+    let off = g(ProtectionMode::IommuOff);
+    assert!(linux < fns_g, "linux {linux:.1} vs F&S {fns_g:.1}");
+    assert!(
+        a < fns_g - 1.0,
+        "A alone must not reach F&S: {a:.1} vs {fns_g:.1}"
+    );
+    assert!(a > linux - 2.0, "A should not hurt: {a:.1} vs {linux:.1}");
+    assert!(
+        b <= fns_g + 1.0,
+        "B alone at most F&S: {b:.1} vs {fns_g:.1}"
+    );
+    assert!(fns_g > 0.9 * off, "F&S ~ IOMMU off: {fns_g:.1} vs {off:.1}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    let b = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    assert_eq!(a.rx_goodput_bytes, b.rx_goodput_bytes);
+    assert_eq!(a.iommu, b.iommu);
+    let mut seeded = iperf_config(ProtectionMode::LinuxStrict, 5, 256);
+    seeded.seed = 99;
+    let c = quick(seeded);
+    assert_ne!(
+        a.iommu.translations, c.iommu.translations,
+        "different seeds should perturb the run"
+    );
+}
