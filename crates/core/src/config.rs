@@ -1,5 +1,6 @@
 //! Simulation configuration: testbed parameters and workload selection.
 
+use fns_faults::FaultConfig;
 use fns_iommu::IommuConfig;
 use fns_mem::MemoryModel;
 use fns_pcie::PcieConfig;
@@ -147,6 +148,11 @@ pub struct SimConfig {
     /// Allocator aging, as a multiple of the IOVA working-set size (see
     /// [`crate::driver::DmaDriver::age_allocator`]). 0 disables aging.
     pub aging_factor: f64,
+    /// Fault-injection mix. Disabled by default; when any site is enabled
+    /// the simulation installs seeded [`fns_faults::FaultPlane`]s (forked
+    /// from [`SimConfig::seed`]) on the driver and the wire, so runs stay
+    /// bit-identical for a fixed seed.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -181,6 +187,7 @@ impl SimConfig {
             seed: 1,
             locality_samples: 400_000,
             aging_factor: 1.5,
+            faults: FaultConfig::disabled(),
         }
     }
 

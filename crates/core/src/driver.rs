@@ -16,16 +16,18 @@
 
 use std::collections::HashMap;
 
+use fns_faults::{FaultKind, FaultPlane};
 use fns_iommu::{InvalidationQueue, InvalidationRequest, InvalidationScope, Iommu, IommuConfig};
 use fns_iova::carver::ChunkCarver;
 use fns_iova::types::{Iova, IovaRange};
-use fns_iova::{AllocStats, CachingAllocator, IovaAllocator};
+use fns_iova::{AllocError, AllocStats, CachingAllocator, IovaAllocator};
 use fns_mem::{FrameAllocator, PhysAddr};
 use fns_nic::descriptor::{Descriptor, DescriptorPage};
 use fns_sim::stats::ReuseDistance;
 use fns_sim::time::Nanos;
 
 use crate::config::CpuCosts;
+use crate::errors::DmaError;
 use crate::mode::ProtectionMode;
 
 /// Pages per F&S Tx chunk (same 256 KB granularity as Rx descriptors, §3).
@@ -85,6 +87,10 @@ pub struct DmaDriver {
     pub map_cpu_ns: Nanos,
     /// Deferred-mode flushes executed.
     pub deferred_flushes: u64,
+    /// Fault-injection plane for the driver-side sites (descriptor
+    /// preparation, frame/IOVA allocation, invalidation submission).
+    /// Disabled by default; the simulation installs a seeded plane.
+    faults: FaultPlane,
     next_desc_id: u64,
 }
 
@@ -145,6 +151,7 @@ impl DmaDriver {
             invalidation_cpu_ns: 0,
             map_cpu_ns: 0,
             deferred_flushes: 0,
+            faults: FaultPlane::disabled(),
             next_desc_id: 0,
         }
     }
@@ -152,6 +159,23 @@ impl DmaDriver {
     /// The active protection mode.
     pub fn mode(&self) -> ProtectionMode {
         self.mode
+    }
+
+    /// Installs a fault-injection plane for the driver-side sites. The
+    /// plane must own its own RNG stream (fork one from the experiment
+    /// seed) so enabling faults never perturbs the workload trajectory.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.faults = plane;
+    }
+
+    /// The driver's fault plane (stats/log access).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable access to the driver's fault plane (probe accounting).
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// Ages the IOVA allocator to the shuffled steady state of a
@@ -238,8 +262,28 @@ impl DmaDriver {
                 .expect("non-empty queue");
             Self::apply_epoch(&mut self.iommu, &epoch);
         }
+        // The IOTLB entries are gone at this point in *every* outcome below
+        // (the strict safety property never rides on the happy path); what
+        // remains is how long the submitting core waits on the queue.
         let cost = if per_call_sync {
             self.invq.cost_ns(1) * reqs.len() as Nanos
+        } else if self.faults.is_enabled() {
+            // Fault-aware path: the queue sync may stall (injected
+            // InvalidationTimeout). The recovery ladder retries with
+            // exponential backoff and degrades the batch to per-page
+            // replay if the stall persists; the replay re-applies the
+            // (idempotent) IOTLB invalidations page by page.
+            let iotlb_only: Vec<InvalidationRequest> = reqs
+                .iter()
+                .map(|r| InvalidationRequest {
+                    range: r.range,
+                    scope: InvalidationScope::IotlbOnly,
+                })
+                .collect();
+            let report = self
+                .invq
+                .execute_with(&mut self.iommu, &iotlb_only, &mut self.faults);
+            report.cost_ns
         } else {
             self.invq.cost_ns(reqs.len())
         };
@@ -301,29 +345,41 @@ impl DmaDriver {
         tree * self.costs.alloc_tree_ns + cached * self.costs.alloc_cache_ns
     }
 
-    /// Takes `n` buffer slots from the pinned pool, growing it as needed
-    /// (pinned-pool modes only).
-    fn take_pinned(&mut self, core: usize, n: usize) -> Vec<DescriptorPage> {
-        while self.pinned_free.len() < n {
-            self.grow_pinned(core);
+    /// Allocates an IOVA range, surfacing exhaustion (real or injected) as
+    /// a typed error instead of panicking.
+    fn alloc_iova(&mut self, pages: u64, core: usize) -> Result<IovaRange, DmaError> {
+        if self.faults.roll(FaultKind::IovaExhaustion) {
+            return Err(AllocError::Injected.into());
         }
-        self.pinned_free.drain(..n).collect()
+        self.alloc
+            .alloc(pages, core)
+            .ok_or_else(|| AllocError::Exhausted { pages }.into())
     }
 
-    fn grow_pinned(&mut self, core: usize) {
+    /// Allocates a physical frame under fault injection.
+    fn alloc_frame(&mut self) -> Result<PhysAddr, DmaError> {
+        Ok(self.frames.alloc_with(&mut self.faults)?)
+    }
+
+    /// Takes `n` buffer slots from the pinned pool, growing it as needed
+    /// (pinned-pool modes only). On failure the pool keeps whatever growth
+    /// already landed — slots are never leaked, only deferred.
+    fn take_pinned(&mut self, core: usize, n: usize) -> Result<Vec<DescriptorPage>, DmaError> {
+        while self.pinned_free.len() < n {
+            self.grow_pinned(core)?;
+        }
+        Ok(self.pinned_free.drain(..n).collect())
+    }
+
+    fn grow_pinned(&mut self, core: usize) -> Result<(), DmaError> {
         match self.mode {
             ProtectionMode::HugepagePinned => {
                 // One 2 MB hugepage: a 512-page aligned IOVA chunk mapped to
                 // 2 MB of contiguous reserved physical memory.
-                let chunk = self
-                    .alloc
-                    .alloc(HUGE_PAGES, core)
-                    .expect("IOVA space exhausted");
+                let chunk = self.alloc_iova(HUGE_PAGES, core)?;
                 let pa_base = PhysAddr::from_pfn(self.next_pinned_pfn);
                 self.next_pinned_pfn += HUGE_PAGES;
-                self.iommu
-                    .map_huge(chunk.base(), pa_base)
-                    .expect("fresh hugepage already mapped");
+                self.iommu.map_huge(chunk.base(), pa_base)?;
                 for i in 0..HUGE_PAGES {
                     self.pinned_free.push_back(DescriptorPage {
                         iova: chunk.page(i),
@@ -335,23 +391,89 @@ impl DmaDriver {
                 // DAMN grows its pre-mapped pool 64 pages at a time through
                 // the ordinary allocator + 4 KB mappings.
                 for _ in 0..64 {
-                    let pa = self.frames.alloc().expect("out of DMA memory");
-                    let r = self.alloc.alloc(1, core).expect("IOVA space exhausted");
-                    self.iommu
-                        .map(r.base(), pa)
-                        .expect("fresh IOVA already mapped");
+                    let pa = self.alloc_frame()?;
+                    let r = match self.alloc_iova(1, core) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            // Return the orphaned frame before bailing.
+                            self.frames.free(pa).expect("fresh frame refused");
+                            return Err(e);
+                        }
+                    };
+                    self.iommu.map(r.base(), pa)?;
                     self.pinned_free
                         .push_back(DescriptorPage { iova: r.base(), pa });
                 }
             }
             _ => unreachable!("pinned pool used by pool modes only"),
         }
+        Ok(())
+    }
+
+    /// Releases one page-sized IOVA back to the allocator, honouring the
+    /// chunk-retirement bookkeeping of contiguous modes. The error path
+    /// reports structural double-free/unknown-chunk conditions.
+    fn release_iova_page(&mut self, iova: Iova, core: usize) -> Result<(), DmaError> {
+        if self.mode.contiguous_iova() {
+            let base = iova.pfn() & !(TX_CHUNK_PAGES - 1);
+            let range = IovaRange::new(iova, 1);
+            let done = self
+                .chunks
+                .get_mut(&base)
+                .ok_or(DmaError::Iova(AllocError::UnbalancedFree { range }))?
+                .note_unmapped();
+            if done {
+                let chunk = self.chunks.remove(&base).expect("chunk vanished");
+                // A core may still point at this chunk as its carving
+                // target (retirement can race ahead on the completion
+                // core); clear the pointer so it is not dereferenced.
+                for slot in self.tx_chunk.iter_mut().chain(self.rx_chunk.iter_mut()) {
+                    if *slot == Some(base) {
+                        *slot = None;
+                    }
+                }
+                self.alloc.try_free(chunk.range(), core)?;
+            }
+        } else {
+            self.alloc.try_free(IovaRange::new(iova, 1), core)?;
+        }
+        Ok(())
+    }
+
+    /// Rolls back pages already mapped by a multi-page operation that failed
+    /// part-way: unmap, release the IOVA (with chunk bookkeeping), free the
+    /// frame. The pages were never handed to the device, so nothing can have
+    /// cached their translations; only reclaimed page-table pages need the
+    /// preserve-mode fixup.
+    fn unwind_pages(&mut self, core: usize, pages: &[DescriptorPage]) {
+        let mut reclaimed = Vec::new();
+        for p in pages {
+            let out = self
+                .iommu
+                .unmap_range(IovaRange::new(p.iova, 1))
+                .expect("unwinding a just-mapped page");
+            reclaimed.extend(out.reclaimed);
+            self.release_iova_page(p.iova, core)
+                .expect("unwinding a just-allocated IOVA");
+            self.frames.free(p.pa).expect("unwinding a fresh frame");
+        }
+        self.iommu.invalidate_for_reclaimed(&reclaimed);
     }
 
     /// Prepares one Rx descriptor for `core`: allocates frames, assigns
     /// IOVAs per the active mode, and installs the page-table mappings.
     /// Returns the descriptor and the CPU time spent.
-    pub fn prepare_rx_descriptor(&mut self, core: usize) -> (Descriptor, Nanos) {
+    ///
+    /// # Errors
+    ///
+    /// Fails on frame/IOVA exhaustion (real or injected) or injected
+    /// descriptor-pool exhaustion. Failure is all-or-nothing: any pages
+    /// mapped before the failing one are unwound, so the caller may simply
+    /// retry on the next poll.
+    pub fn prepare_rx_descriptor(&mut self, core: usize) -> Result<(Descriptor, Nanos), DmaError> {
+        if self.faults.roll(FaultKind::DescriptorExhaustion) {
+            return Err(DmaError::DescriptorExhausted);
+        }
         let id = self.next_desc_id;
         self.next_desc_id += 1;
         let n = self.rx_desc_pages;
@@ -362,19 +484,18 @@ impl DmaDriver {
                 "FnsHugeStrict needs 512-page (2 MB) descriptors"
             );
             let before = self.alloc.stats();
-            let chunk = self
-                .alloc
-                .alloc(HUGE_PAGES, core)
-                .expect("IOVA space exhausted");
+            let chunk = self.alloc_iova(HUGE_PAGES, core)?;
             let base_pfn = self.huge_frames.pop().unwrap_or_else(|| {
                 let b = self.next_pinned_pfn;
                 self.next_pinned_pfn += HUGE_PAGES;
                 b
             });
             let pa_base = PhysAddr::from_pfn(base_pfn);
-            self.iommu
-                .map_huge(chunk.base(), pa_base)
-                .expect("fresh hugepage already mapped");
+            if let Err(e) = self.iommu.map_huge(chunk.base(), pa_base) {
+                self.huge_frames.push(base_pfn);
+                self.alloc.free(chunk, core);
+                return Err(e.into());
+            }
             for i in 0..HUGE_PAGES {
                 let iova = chunk.page(i);
                 self.record_locality(iova);
@@ -386,21 +507,29 @@ impl DmaDriver {
             // One huge map per 512 pages: far cheaper than 512 4 KB maps.
             let cpu = self.costs.map_ns + self.alloc_cost_since(before);
             self.map_cpu_ns += cpu;
-            return (Descriptor::new(id, pages), cpu);
+            return Ok((Descriptor::new(id, pages), cpu));
         }
         if self.mode.is_pinned_pool() {
-            let slots = self.take_pinned(core, n as usize);
+            let slots = self.take_pinned(core, n as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
             }
             // Recycling bookkeeping only: no map, no allocation fast path.
             let cpu = n * self.costs.alloc_cache_ns / 2;
             self.map_cpu_ns += cpu;
-            return (Descriptor::new(id, slots), cpu);
+            return Ok((Descriptor::new(id, slots), cpu));
         }
         if self.mode == ProtectionMode::IommuOff {
             for _ in 0..n {
-                let pa = self.frames.alloc().expect("out of DMA memory");
+                let pa = match self.alloc_frame() {
+                    Ok(pa) => pa,
+                    Err(e) => {
+                        for p in &pages {
+                            self.frames.free(p.pa).expect("unwinding a fresh frame");
+                        }
+                        return Err(e);
+                    }
+                };
                 // Device uses physical addresses directly; the IOVA field is
                 // an identity placeholder that is never translated.
                 pages.push(DescriptorPage {
@@ -408,17 +537,35 @@ impl DmaDriver {
                     pa,
                 });
             }
-            return (Descriptor::new(id, pages), 0);
+            return Ok((Descriptor::new(id, pages), 0));
         }
         let before = self.alloc.stats();
         let mut cpu = 0;
         if self.mode.contiguous_iova() {
             if n >= TX_CHUNK_PAGES {
-                let chunk = self.alloc.alloc(n, core).expect("IOVA space exhausted");
+                let chunk = self.alloc_iova(n, core)?;
                 for i in 0..n {
-                    let pa = self.frames.alloc().expect("out of DMA memory");
+                    let pa = match self.alloc_frame() {
+                        Ok(pa) => pa,
+                        Err(e) => {
+                            // The chunk was allocated whole (not carved), so
+                            // undo the page mappings and return it whole.
+                            let mut reclaimed = Vec::new();
+                            for p in &pages {
+                                let out = self
+                                    .iommu
+                                    .unmap_range(IovaRange::new(p.iova, 1))
+                                    .expect("unwinding a just-mapped page");
+                                reclaimed.extend(out.reclaimed);
+                                self.frames.free(p.pa).expect("unwinding a fresh frame");
+                            }
+                            self.iommu.invalidate_for_reclaimed(&reclaimed);
+                            self.alloc.free(chunk, core);
+                            return Err(e);
+                        }
+                    };
                     let iova = chunk.page(i);
-                    self.iommu.map(iova, pa).expect("fresh IOVA already mapped");
+                    self.iommu.map(iova, pa)?;
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
@@ -426,38 +573,74 @@ impl DmaDriver {
                 // Small descriptors: carve contiguous pages from a chunk
                 // spanning descriptors, exactly like the Tx datapath (§3).
                 for _ in 0..n {
-                    let pa = self.frames.alloc().expect("out of DMA memory");
-                    let iova = self.carve_page(core, false);
-                    self.iommu.map(iova, pa).expect("fresh IOVA already mapped");
+                    let pa = match self.alloc_frame() {
+                        Ok(pa) => pa,
+                        Err(e) => {
+                            self.unwind_pages(core, &pages);
+                            return Err(e);
+                        }
+                    };
+                    let iova = match self.carve_page(core, false) {
+                        Ok(iova) => iova,
+                        Err(e) => {
+                            self.frames.free(pa).expect("unwinding a fresh frame");
+                            self.unwind_pages(core, &pages);
+                            return Err(e);
+                        }
+                    };
+                    self.iommu.map(iova, pa)?;
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
             }
         } else {
             for _ in 0..n {
-                let pa = self.frames.alloc().expect("out of DMA memory");
-                let r = self.alloc.alloc(1, core).expect("IOVA space exhausted");
+                let pa = match self.alloc_frame() {
+                    Ok(pa) => pa,
+                    Err(e) => {
+                        self.unwind_pages(core, &pages);
+                        return Err(e);
+                    }
+                };
+                let r = match self.alloc_iova(1, core) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.frames.free(pa).expect("unwinding a fresh frame");
+                        self.unwind_pages(core, &pages);
+                        return Err(e);
+                    }
+                };
                 let iova = r.base();
-                self.iommu.map(iova, pa).expect("fresh IOVA already mapped");
+                self.iommu.map(iova, pa)?;
                 self.record_locality(iova);
                 pages.push(DescriptorPage { iova, pa });
             }
         }
         cpu += n * self.costs.map_ns + self.alloc_cost_since(before);
         self.map_cpu_ns += cpu;
-        (Descriptor::new(id, pages), cpu)
+        Ok((Descriptor::new(id, pages), cpu))
     }
 
     /// Completes a fully consumed Rx descriptor: unmap, invalidate, release
     /// frames and IOVAs. Returns the CPU time spent. `core` is the core
     /// running the completion (NAPI) processing.
-    pub fn complete_rx_descriptor(&mut self, core: usize, desc: &Descriptor) -> Nanos {
+    ///
+    /// # Errors
+    ///
+    /// Fails only on structural invariant violations (double free, unmap of
+    /// an unmapped page) — injected faults on the completion path (queue
+    /// stalls) are recovered internally and never propagate.
+    pub fn complete_rx_descriptor(
+        &mut self,
+        core: usize,
+        desc: &Descriptor,
+    ) -> Result<Nanos, DmaError> {
         if self.mode.huge_rx() {
             // Strict teardown as one unit: clear the huge leaf, invalidate
             // the (single) huge IOTLB entry, release IOVA + frames.
             let before = self.alloc.stats();
             let base = desc.pages()[0].iova;
-            self.iommu.unmap_huge(base).expect("descriptor not mapped");
+            self.iommu.unmap_huge(base)?;
             let range = IovaRange::new(base, desc.len() as u64);
             let mut cpu = self.costs.unmap_ns;
             cpu += self.submit_invalidations(
@@ -468,10 +651,10 @@ impl DmaDriver {
                 false,
             );
             self.huge_frames.push(desc.pages()[0].pa.pfn());
-            self.alloc.free(range, core);
+            self.alloc.try_free(range, core)?;
             cpu += self.alloc_cost_since(before);
             self.map_cpu_ns += cpu;
-            return cpu;
+            return Ok(cpu);
         }
         if self.mode.is_pinned_pool() {
             // No unmap, no invalidation: the device keeps access (this is
@@ -480,16 +663,14 @@ impl DmaDriver {
             let cpu = desc.len() as Nanos * self.costs.alloc_cache_ns / 2;
             self.map_cpu_ns += cpu;
             let _ = core;
-            return cpu;
+            return Ok(cpu);
         }
         if self.mode == ProtectionMode::IommuOff {
             for p in desc.pages() {
-                self.frames.free(p.pa).expect("double free of Rx frame");
+                self.frames.free(p.pa)?;
             }
-            return 0;
+            return Ok(0);
         }
-        let before = self.alloc.stats();
-        let mut cpu = 0;
         let scope = if self.mode.preserves_ptcache() {
             InvalidationScope::IotlbOnly
         } else {
@@ -500,27 +681,21 @@ impl DmaDriver {
             // chunks: unmap at descriptor granularity through the common
             // carved-buffer path (§3's generality case). Rx invalidations
             // wipe leaf-level PTcache entries only.
-            let scope = if self.mode.preserves_ptcache() {
-                InvalidationScope::IotlbOnly
-            } else {
-                InvalidationScope::IotlbAndLeafPtcache
-            };
             return self.complete_pages(core, desc.pages(), scope);
         }
+        let before = self.alloc.stats();
+        let mut cpu = 0;
         if self.mode.contiguous_iova() {
             // One unmap op covering the whole 256 KB chunk + one ranged
             // invalidation-queue entry (Figure 6b).
             let range = IovaRange::new(desc.pages()[0].iova, desc.len() as u64);
-            let out = self
-                .iommu
-                .unmap_range(range)
-                .expect("descriptor not mapped");
+            let out = self.iommu.unmap_range(range)?;
             cpu += self.costs.unmap_ns;
             cpu += self.submit_invalidations(&[InvalidationRequest { range, scope }], false);
             if self.mode.preserves_ptcache() {
                 self.iommu.invalidate_for_reclaimed(&out.reclaimed);
             }
-            self.alloc.free(range, core);
+            self.alloc.try_free(range, core)?;
         } else {
             // Stock Linux: page-at-a-time unmap, one queue entry each
             // (Figure 6a).
@@ -528,11 +703,11 @@ impl DmaDriver {
             let mut reclaimed = Vec::new();
             for p in desc.pages() {
                 let range = IovaRange::new(p.iova, 1);
-                let out = self.iommu.unmap_range(range).expect("page not mapped");
+                let out = self.iommu.unmap_range(range)?;
                 reclaimed.extend(out.reclaimed);
                 cpu += self.costs.unmap_ns;
                 reqs.push(InvalidationRequest { range, scope });
-                self.alloc.free(range, core);
+                self.alloc.try_free(range, core)?;
             }
             if self.mode == ProtectionMode::LinuxDeferred {
                 self.deferred_pending += desc.len() as u32;
@@ -551,11 +726,11 @@ impl DmaDriver {
             }
         }
         for p in desc.pages() {
-            self.frames.free(p.pa).expect("double free of Rx frame");
+            self.frames.free(p.pa)?;
         }
         cpu += self.alloc_cost_since(before);
         self.map_cpu_ns += cpu;
-        cpu
+        Ok(cpu)
     }
 
     fn maybe_deferred_flush(&mut self) -> Nanos {
@@ -574,49 +749,78 @@ impl DmaDriver {
 
     /// Maps `pages` Tx pages for a packet sent from `core`. Returns the
     /// mapped pages and CPU time.
-    pub fn tx_map(&mut self, core: usize, pages: u32) -> (Vec<DescriptorPage>, Nanos) {
-        let mut out = Vec::with_capacity(pages as usize);
+    ///
+    /// # Errors
+    ///
+    /// Fails on frame/IOVA exhaustion (real or injected). Failure is
+    /// all-or-nothing: pages mapped before the failing one are unwound, so
+    /// the caller can drop the packet and lean on transport-level recovery.
+    pub fn tx_map(
+        &mut self,
+        core: usize,
+        pages: u32,
+    ) -> Result<(Vec<DescriptorPage>, Nanos), DmaError> {
+        let mut out: Vec<DescriptorPage> = Vec::with_capacity(pages as usize);
         if self.mode.is_pinned_pool() {
-            let slots = self.take_pinned(core, pages as usize);
+            let slots = self.take_pinned(core, pages as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
             }
             let cpu = pages as Nanos * self.costs.alloc_cache_ns / 2;
             self.map_cpu_ns += cpu;
-            return (slots, cpu);
+            return Ok((slots, cpu));
         }
         if self.mode == ProtectionMode::IommuOff {
             for _ in 0..pages {
-                let pa = self.frames.alloc().expect("out of DMA memory");
+                let pa = match self.alloc_frame() {
+                    Ok(pa) => pa,
+                    Err(e) => {
+                        for p in &out {
+                            self.frames.free(p.pa).expect("unwinding a fresh frame");
+                        }
+                        return Err(e);
+                    }
+                };
                 out.push(DescriptorPage {
                     iova: Iova::from_pfn(pa.pfn()),
                     pa,
                 });
             }
-            return (out, 0);
+            return Ok((out, 0));
         }
         let before = self.alloc.stats();
         let mut cpu = 0;
         for _ in 0..pages {
-            let pa = self.frames.alloc().expect("out of DMA memory");
+            let pa = match self.alloc_frame() {
+                Ok(pa) => pa,
+                Err(e) => {
+                    self.unwind_pages(core, &out);
+                    return Err(e);
+                }
+            };
             let iova = if self.mode.contiguous_iova() {
                 self.carve_page(core, true)
             } else {
-                self.alloc
-                    .alloc(1, core)
-                    .expect("IOVA space exhausted")
-                    .base()
+                self.alloc_iova(1, core).map(|r| r.base())
             };
-            self.iommu.map(iova, pa).expect("fresh IOVA already mapped");
+            let iova = match iova {
+                Ok(iova) => iova,
+                Err(e) => {
+                    self.frames.free(pa).expect("unwinding a fresh frame");
+                    self.unwind_pages(core, &out);
+                    return Err(e);
+                }
+            };
+            self.iommu.map(iova, pa)?;
             self.record_locality(iova);
             out.push(DescriptorPage { iova, pa });
         }
         cpu += pages as u64 * self.costs.map_ns + self.alloc_cost_since(before);
         self.map_cpu_ns += cpu;
-        (out, cpu)
+        Ok((out, cpu))
     }
 
-    fn carve_page(&mut self, core: usize, is_tx: bool) -> Iova {
+    fn carve_page(&mut self, core: usize, is_tx: bool) -> Result<Iova, DmaError> {
         loop {
             let slot = if is_tx {
                 &mut self.tx_chunk[core]
@@ -626,14 +830,11 @@ impl DmaDriver {
             if let Some(base) = *slot {
                 let carver = self.chunks.get_mut(&base).expect("chunk vanished");
                 if let Some(iova) = carver.take_page() {
-                    return iova;
+                    return Ok(iova);
                 }
                 *slot = None;
             }
-            let chunk = self
-                .alloc
-                .alloc(TX_CHUNK_PAGES, core)
-                .expect("IOVA space exhausted");
+            let chunk = self.alloc_iova(TX_CHUNK_PAGES, core)?;
             let base = chunk.pfn_lo();
             if is_tx {
                 self.tx_chunk[core] = Some(base);
@@ -647,19 +848,28 @@ impl DmaDriver {
     /// Completes transmitted pages (wire done): unmap + invalidate per the
     /// mode, on `core` (the completion-IRQ core, possibly different from
     /// the mapping core). Returns CPU time.
-    pub fn tx_complete(&mut self, core: usize, pages: &[DescriptorPage]) -> Nanos {
+    ///
+    /// # Errors
+    ///
+    /// Fails only on structural invariant violations; injected queue stalls
+    /// are recovered internally.
+    pub fn tx_complete(
+        &mut self,
+        core: usize,
+        pages: &[DescriptorPage],
+    ) -> Result<Nanos, DmaError> {
         if self.mode.is_pinned_pool() {
             self.pinned_free.extend(pages.iter().copied());
             let cpu = pages.len() as Nanos * self.costs.alloc_cache_ns / 2;
             self.map_cpu_ns += cpu;
             let _ = core;
-            return cpu;
+            return Ok(cpu);
         }
         if self.mode == ProtectionMode::IommuOff {
             for p in pages {
-                self.frames.free(p.pa).expect("double free of Tx frame");
+                self.frames.free(p.pa)?;
             }
-            return 0;
+            return Ok(0);
         }
         // Tx-path invalidations are the ones the paper blames for wiping
         // the shared PTcache-L1/L2 entries.
@@ -680,14 +890,14 @@ impl DmaDriver {
         core: usize,
         pages: &[DescriptorPage],
         scope: InvalidationScope,
-    ) -> Nanos {
+    ) -> Result<Nanos, DmaError> {
         let before = self.alloc.stats();
         let mut cpu = 0;
         let mut reqs: Vec<InvalidationRequest> = Vec::new();
         let mut reclaimed = Vec::new();
         for p in pages {
             let range = IovaRange::new(p.iova, 1);
-            let out = self.iommu.unmap_range(range).expect("Tx page not mapped");
+            let out = self.iommu.unmap_range(range)?;
             reclaimed.extend(out.reclaimed);
             cpu += self.costs.unmap_ns;
             if self.mode.batched_invalidation() {
@@ -705,29 +915,8 @@ impl DmaDriver {
             }
             // IOVA release: chunk modes retire whole chunks; page modes free
             // each page to this core's magazine.
-            if self.mode.contiguous_iova() {
-                let base = p.iova.pfn() & !(TX_CHUNK_PAGES - 1);
-                let done = self
-                    .chunks
-                    .get_mut(&base)
-                    .expect("Tx page from unknown chunk")
-                    .note_unmapped();
-                if done {
-                    let chunk = self.chunks.remove(&base).expect("chunk vanished");
-                    // A core may still point at this chunk as its carving
-                    // target (retirement can race ahead on the completion
-                    // core); clear the pointer so it is not dereferenced.
-                    for slot in self.tx_chunk.iter_mut().chain(self.rx_chunk.iter_mut()) {
-                        if *slot == Some(base) {
-                            *slot = None;
-                        }
-                    }
-                    self.alloc.free(chunk.range(), core);
-                }
-            } else {
-                self.alloc.free(range, core);
-            }
-            self.frames.free(p.pa).expect("double free of Tx frame");
+            self.release_iova_page(p.iova, core)?;
+            self.frames.free(p.pa)?;
         }
         if self.mode == ProtectionMode::LinuxDeferred {
             self.deferred_pending += pages.len() as u32;
@@ -749,7 +938,7 @@ impl DmaDriver {
         }
         cpu += self.alloc_cost_since(before);
         self.map_cpu_ns += cpu;
-        cpu
+        Ok(cpu)
     }
 
     /// Translates a device access; returns the number of page-walk memory
@@ -800,13 +989,13 @@ mod tests {
             ProtectionMode::FastAndSafe,
         ] {
             let mut drv = driver(mode);
-            let (mut desc, _) = drv.prepare_rx_descriptor(0);
+            let (mut desc, _) = drv.prepare_rx_descriptor(0).unwrap();
             // Device DMAs every page.
             for p in desc.pages().to_vec() {
                 drv.translate(p.iova);
             }
             consume_all(&mut desc);
-            drv.complete_rx_descriptor(0, &desc);
+            drv.complete_rx_descriptor(0, &desc).unwrap();
             // After completion, no page is reachable by the device.
             for p in desc.pages() {
                 let t = drv.iommu.translate(p.iova);
@@ -820,7 +1009,7 @@ mod tests {
     #[test]
     fn contiguous_modes_use_one_chunk_per_descriptor() {
         let mut drv = driver(ProtectionMode::FastAndSafe);
-        let (desc, _) = drv.prepare_rx_descriptor(0);
+        let (desc, _) = drv.prepare_rx_descriptor(0).unwrap();
         let keys: std::collections::HashSet<u64> =
             desc.pages().iter().map(|p| p.iova.l4_page_key()).collect();
         assert!(
@@ -839,11 +1028,11 @@ mod tests {
         let mut drv = driver(ProtectionMode::LinuxStrict);
         // Warm the allocator with churn so magazines shuffle.
         for _ in 0..4 {
-            let (mut d, _) = drv.prepare_rx_descriptor(0);
+            let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
             consume_all(&mut d);
-            drv.complete_rx_descriptor(1, &d); // cross-core completion
+            drv.complete_rx_descriptor(1, &d).unwrap(); // cross-core completion
         }
-        let (desc, _) = drv.prepare_rx_descriptor(0);
+        let (desc, _) = drv.prepare_rx_descriptor(0).unwrap();
         let contiguous = desc
             .pages()
             .windows(2)
@@ -855,29 +1044,29 @@ mod tests {
     #[test]
     fn invalidation_entry_counts_differ_64x() {
         let mut linux = driver(ProtectionMode::LinuxStrict);
-        let (mut d, _) = linux.prepare_rx_descriptor(0);
+        let (mut d, _) = linux.prepare_rx_descriptor(0).unwrap();
         consume_all(&mut d);
-        linux.complete_rx_descriptor(0, &d);
+        linux.complete_rx_descriptor(0, &d).unwrap();
         assert_eq!(linux.iommu.stats().invalidation_queue_entries, 64);
 
         let mut fns = driver(ProtectionMode::FastAndSafe);
-        let (mut d, _) = fns.prepare_rx_descriptor(0);
+        let (mut d, _) = fns.prepare_rx_descriptor(0).unwrap();
         consume_all(&mut d);
-        fns.complete_rx_descriptor(0, &d);
+        fns.complete_rx_descriptor(0, &d).unwrap();
         assert_eq!(fns.iommu.stats().invalidation_queue_entries, 1);
     }
 
     #[test]
     fn fns_descriptor_cpu_is_much_cheaper() {
         let mut linux = driver(ProtectionMode::LinuxStrict);
-        let (mut d, _) = linux.prepare_rx_descriptor(0);
+        let (mut d, _) = linux.prepare_rx_descriptor(0).unwrap();
         consume_all(&mut d);
-        let linux_cpu = linux.complete_rx_descriptor(0, &d);
+        let linux_cpu = linux.complete_rx_descriptor(0, &d).unwrap();
 
         let mut fns = driver(ProtectionMode::FastAndSafe);
-        let (mut d, _) = fns.prepare_rx_descriptor(0);
+        let (mut d, _) = fns.prepare_rx_descriptor(0).unwrap();
         consume_all(&mut d);
-        let fns_cpu = fns.complete_rx_descriptor(0, &d);
+        let fns_cpu = fns.complete_rx_descriptor(0, &d).unwrap();
         assert!(
             linux_cpu > 3 * fns_cpu,
             "linux {linux_cpu} ns vs F&S {fns_cpu} ns"
@@ -890,7 +1079,7 @@ mod tests {
         let mut all = Vec::new();
         // 32 packets x 2 pages: fills exactly one 64-page chunk.
         for _ in 0..32 {
-            let (pages, _) = drv.tx_map(0, 2);
+            let (pages, _) = drv.tx_map(0, 2).unwrap();
             all.extend(pages);
         }
         let bases: std::collections::HashSet<u64> =
@@ -898,7 +1087,7 @@ mod tests {
         assert_eq!(bases.len(), 1, "one chunk spans all 32 packets");
         // Complete them all: the chunk must retire (be freeable again).
         let live_before = drv.allocator().live_ranges();
-        drv.tx_complete(0, &all);
+        drv.tx_complete(0, &all).unwrap();
         assert_eq!(drv.allocator().live_ranges(), live_before - 1);
         assert_eq!(drv.iommu.stats().stale_ptcache_walks, 0);
     }
@@ -906,14 +1095,14 @@ mod tests {
     #[test]
     fn tx_batched_invalidation_merges_contiguous_ranges() {
         let mut drv = driver(ProtectionMode::FastAndSafe);
-        let (pages, _) = drv.tx_map(0, 8);
-        drv.tx_complete(0, &pages);
+        let (pages, _) = drv.tx_map(0, 8).unwrap();
+        drv.tx_complete(0, &pages).unwrap();
         // All 8 pages were contiguous within the chunk: one queue entry.
         assert_eq!(drv.iommu.stats().invalidation_queue_entries, 1);
 
         let mut linux = driver(ProtectionMode::LinuxStrict);
-        let (pages, _) = linux.tx_map(0, 8);
-        linux.tx_complete(0, &pages);
+        let (pages, _) = linux.tx_map(0, 8).unwrap();
+        linux.tx_complete(0, &pages).unwrap();
         assert_eq!(linux.iommu.stats().invalidation_queue_entries, 8);
     }
 
@@ -927,22 +1116,22 @@ mod tests {
             128,
             1000,
         );
-        let (mut d, _) = drv.prepare_rx_descriptor(0);
+        let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
         let pages = d.pages().to_vec();
         for p in &pages {
             drv.translate(p.iova);
         }
         consume_all(&mut d);
-        drv.complete_rx_descriptor(0, &d);
+        drv.complete_rx_descriptor(0, &d).unwrap();
         assert_eq!(drv.deferred_flushes, 0, "64 < 128 threshold: no flush yet");
         // The device can still hit the stale IOTLB entries: safety hole.
         let t = drv.iommu.translate(pages[0].iova);
         assert!(t.pa().is_some(), "deferred mode leaks stale translations");
         assert!(drv.iommu.stats().stale_iotlb_hits > 0);
         // Second descriptor crosses the threshold: flush happens.
-        let (mut d2, _) = drv.prepare_rx_descriptor(0);
+        let (mut d2, _) = drv.prepare_rx_descriptor(0).unwrap();
         consume_all(&mut d2);
-        drv.complete_rx_descriptor(0, &d2);
+        drv.complete_rx_descriptor(0, &d2).unwrap();
         assert_eq!(drv.deferred_flushes, 1);
         assert!(
             drv.iommu.translate(pages[0].iova).pa().is_none(),
@@ -953,11 +1142,11 @@ mod tests {
     #[test]
     fn iommu_off_costs_nothing_and_never_translates() {
         let mut drv = driver(ProtectionMode::IommuOff);
-        let (mut d, cpu) = drv.prepare_rx_descriptor(0);
+        let (mut d, cpu) = drv.prepare_rx_descriptor(0).unwrap();
         assert_eq!(cpu, 0);
         assert_eq!(drv.translate(d.pages()[0].iova), 0);
         consume_all(&mut d);
-        assert_eq!(drv.complete_rx_descriptor(0, &d), 0);
+        assert_eq!(drv.complete_rx_descriptor(0, &d).unwrap(), 0);
         assert_eq!(drv.iommu.stats().translations, 0);
     }
 
@@ -972,9 +1161,9 @@ mod tests {
             10,
         );
         for _ in 0..3 {
-            let (mut d, _) = drv.prepare_rx_descriptor(0);
+            let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
             consume_all(&mut d);
-            drv.complete_rx_descriptor(0, &d);
+            drv.complete_rx_descriptor(0, &d).unwrap();
         }
         assert_eq!(drv.locality.len(), 10);
     }
@@ -984,11 +1173,11 @@ mod tests {
         let mut drv = driver(ProtectionMode::FastAndSafe);
         let base = drv.frames().in_use();
         for _ in 0..20 {
-            let (mut d, _) = drv.prepare_rx_descriptor(0);
+            let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
             consume_all(&mut d);
-            drv.complete_rx_descriptor(0, &d);
-            let (tx, _) = drv.tx_map(0, 1);
-            drv.tx_complete(1, &tx);
+            drv.complete_rx_descriptor(0, &d).unwrap();
+            let (tx, _) = drv.tx_map(0, 1).unwrap();
+            drv.tx_complete(1, &tx).unwrap();
         }
         // Tx chunks may keep partially carved IOVA space alive, but frames
         // must balance exactly.
@@ -1014,7 +1203,7 @@ mod pinned_tests {
     #[test]
     fn hugepage_pool_translates_with_reach() {
         let mut drv = driver(ProtectionMode::HugepagePinned);
-        let (desc, cpu) = drv.prepare_rx_descriptor(0);
+        let (desc, cpu) = drv.prepare_rx_descriptor(0).unwrap();
         assert!(cpu < 64 * 100, "recycling must be cheap");
         // All 64 pages of the descriptor live in one 2 MB hugepage.
         for p in desc.pages() {
@@ -1030,10 +1219,10 @@ mod pinned_tests {
     fn pinned_pool_recycles_without_unmap() {
         for mode in [ProtectionMode::HugepagePinned, ProtectionMode::DamnRecycle] {
             let mut drv = driver(mode);
-            let (mut d, _) = drv.prepare_rx_descriptor(0);
+            let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
             let first = d.pages().to_vec();
             while d.consume_page().is_some() {}
-            drv.complete_rx_descriptor(0, &d);
+            drv.complete_rx_descriptor(0, &d).unwrap();
             assert_eq!(
                 drv.iommu.stats().iotlb_invalidations,
                 0,
@@ -1048,7 +1237,7 @@ mod pinned_tests {
             // grew by at least one descriptor's worth, FIFO order).
             let mut seen_again = false;
             for _ in 0..16 {
-                let (d2, _) = drv.prepare_rx_descriptor(0);
+                let (d2, _) = drv.prepare_rx_descriptor(0).unwrap();
                 if d2.pages()[0] == first[0] {
                     seen_again = true;
                     break;
@@ -1062,9 +1251,9 @@ mod pinned_tests {
     fn damn_pool_grows_on_demand() {
         let mut drv = driver(ProtectionMode::DamnRecycle);
         // Take three descriptors without returning any: the pool must grow.
-        let a = drv.prepare_rx_descriptor(0).0;
-        let b = drv.prepare_rx_descriptor(0).0;
-        let c = drv.prepare_rx_descriptor(0).0;
+        let a = drv.prepare_rx_descriptor(0).unwrap().0;
+        let b = drv.prepare_rx_descriptor(0).unwrap().0;
+        let c = drv.prepare_rx_descriptor(0).unwrap().0;
         let all: std::collections::HashSet<_> = a
             .pages()
             .iter()
@@ -1079,12 +1268,123 @@ mod pinned_tests {
     #[test]
     fn hugepage_tx_and_rx_share_the_pool() {
         let mut drv = driver(ProtectionMode::HugepagePinned);
-        let (tx, _) = drv.tx_map(0, 4);
+        let (tx, _) = drv.tx_map(0, 4).unwrap();
         assert_eq!(tx.len(), 4);
-        drv.tx_complete(1, &tx);
-        let (desc, _) = drv.prepare_rx_descriptor(0);
+        drv.tx_complete(1, &tx).unwrap();
+        let (desc, _) = drv.prepare_rx_descriptor(0).unwrap();
         assert_eq!(desc.len(), 64);
         // One hugepage (512 slots) covers all of this: a single map ever.
         assert_eq!(drv.iommu.page_table().stats().maps, 1);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use fns_faults::FaultConfig;
+
+    fn driver(mode: ProtectionMode) -> DmaDriver {
+        DmaDriver::new(
+            mode,
+            2,
+            IommuConfig::default(),
+            CpuCosts::default(),
+            256,
+            10_000,
+        )
+    }
+
+    fn consume_all(d: &mut Descriptor) {
+        while d.consume_page().is_some() {}
+    }
+
+    #[test]
+    fn injected_descriptor_exhaustion_is_side_effect_free() {
+        let mut drv = driver(ProtectionMode::LinuxStrict);
+        let cfg = FaultConfig::disabled().with_every(FaultKind::DescriptorExhaustion, 1);
+        drv.set_fault_plane(FaultPlane::from_seed(cfg, 7, 0));
+        let frames_before = drv.frames.in_use();
+        let maps_before = drv.iommu.page_table().stats().maps;
+        let err = drv.prepare_rx_descriptor(0).unwrap_err();
+        assert!(matches!(err, DmaError::DescriptorExhausted), "{err}");
+        // Nothing was allocated or mapped before the roll.
+        assert_eq!(drv.frames.in_use(), frames_before);
+        assert_eq!(drv.iommu.page_table().stats().maps, maps_before);
+        assert_eq!(
+            drv.faults()
+                .stats()
+                .injected_of(FaultKind::DescriptorExhaustion),
+            1
+        );
+        drv.set_fault_plane(FaultPlane::disabled());
+        let (d, _) = drv.prepare_rx_descriptor(0).unwrap();
+        assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    fn injected_frame_exhaustion_unwinds_mid_descriptor() {
+        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+            let mut drv = driver(mode);
+            // Fire on the 10th frame allocation: nine pages are already
+            // allocated + mapped when the descriptor fails.
+            let cfg = FaultConfig::disabled().with_every(FaultKind::FrameExhaustion, 10);
+            drv.set_fault_plane(FaultPlane::from_seed(cfg, 7, 0));
+            let frames_before = drv.frames.in_use();
+            let err = drv.prepare_rx_descriptor(0).unwrap_err();
+            assert!(matches!(err, DmaError::Frame(_)), "{mode}: {err}");
+            // All-or-nothing: partially built state is fully unwound.
+            assert_eq!(drv.frames.in_use(), frames_before, "{mode}: leaked frames");
+            let pt = drv.iommu.page_table().stats();
+            assert_eq!(pt.maps, pt.unmaps, "{mode}: leaked mappings");
+            // The datapath stays usable after recovery.
+            drv.set_fault_plane(FaultPlane::disabled());
+            let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
+            assert_eq!(d.len(), 64);
+            consume_all(&mut d);
+            drv.complete_rx_descriptor(0, &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_iova_exhaustion_unwinds_tx_map() {
+        let mut drv = driver(ProtectionMode::LinuxStrict);
+        let cfg = FaultConfig::disabled().with_every(FaultKind::IovaExhaustion, 3);
+        drv.set_fault_plane(FaultPlane::from_seed(cfg, 7, 0));
+        let frames_before = drv.frames.in_use();
+        let err = drv.tx_map(0, 4).unwrap_err();
+        assert!(matches!(err, DmaError::Iova(AllocError::Injected)), "{err}");
+        assert_eq!(drv.frames.in_use(), frames_before, "leaked frames");
+        let pt = drv.iommu.page_table().stats();
+        assert_eq!(pt.maps, pt.unmaps, "leaked mappings");
+        drv.set_fault_plane(FaultPlane::disabled());
+        let (pages, _) = drv.tx_map(0, 4).unwrap();
+        assert_eq!(pages.len(), 4);
+        drv.tx_complete(0, &pages).unwrap();
+    }
+
+    #[test]
+    fn invalidation_timeout_degrades_but_stays_safe() {
+        use fns_iommu::MAX_INVALIDATION_RETRIES;
+        let mut drv = driver(ProtectionMode::FastAndSafe);
+        let (mut d, _) = drv.prepare_rx_descriptor(0).unwrap();
+        consume_all(&mut d);
+        // Every queue submission stalls: the batched range invalidation
+        // must exhaust its retry budget and degrade to per-page replay.
+        let cfg = FaultConfig::disabled().with_every(FaultKind::InvalidationTimeout, 1);
+        drv.set_fault_plane(FaultPlane::from_seed(cfg, 7, 0));
+        let cpu = drv.complete_rx_descriptor(0, &d).unwrap();
+        assert!(cpu > 0);
+        let stats = drv.faults().stats();
+        assert!(stats.batch_fallbacks >= 1, "batch must degrade");
+        assert!(stats.invalidation_retries >= MAX_INVALIDATION_RETRIES as u64);
+        // The F&S safety invariant survives the degraded path: every page
+        // of the completed descriptor is unreachable.
+        for p in d.pages() {
+            assert!(
+                drv.iommu.translate(p.iova).pa().is_none(),
+                "page reachable after degraded invalidation"
+            );
+        }
+        assert_eq!(drv.iommu.stats().stale_iotlb_hits, 0);
     }
 }

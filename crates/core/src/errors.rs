@@ -1,0 +1,111 @@
+//! Typed errors for the driver datapaths.
+//!
+//! The map/unmap/invalidate hot paths can fail for four substrate reasons —
+//! physical-frame exhaustion, IOVA-space exhaustion, an IOMMU fault, or a
+//! descriptor-ring error — plus injected descriptor-pool exhaustion.
+//! [`DmaError`] unifies them so `prepare_rx_descriptor` /
+//! `complete_rx_descriptor` / `tx_map` / `tx_complete` propagate one error
+//! type and callers pick a recovery policy (recycle, retry, drop-account)
+//! instead of unwinding the whole simulation.
+
+use fns_iommu::IommuFault;
+use fns_iova::AllocError;
+use fns_mem::FrameError;
+use fns_nic::RingError;
+
+/// A failure on one of the driver's DMA datapaths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// Physical frame allocation or release failed.
+    Frame(FrameError),
+    /// IOVA allocation or release failed.
+    Iova(AllocError),
+    /// The IOMMU raised a fault (translation, invalidation timeout, or a
+    /// page-table structural error).
+    Iommu(IommuFault),
+    /// The Rx descriptor ring refused the operation.
+    Ring(RingError),
+    /// Injected descriptor-pool exhaustion: no Rx descriptor can be
+    /// prepared right now.
+    DescriptorExhausted,
+}
+
+impl std::fmt::Display for DmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmaError::Frame(e) => write!(f, "frame allocator: {e}"),
+            DmaError::Iova(e) => write!(f, "IOVA allocator: {e}"),
+            DmaError::Iommu(e) => write!(f, "IOMMU: {e}"),
+            DmaError::Ring(e) => write!(f, "Rx ring: {e}"),
+            DmaError::DescriptorExhausted => write!(f, "Rx descriptor pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmaError::Frame(e) => Some(e),
+            DmaError::Iova(e) => Some(e),
+            DmaError::Iommu(e) => Some(e),
+            DmaError::Ring(e) => Some(e),
+            DmaError::DescriptorExhausted => None,
+        }
+    }
+}
+
+impl From<FrameError> for DmaError {
+    fn from(e: FrameError) -> Self {
+        DmaError::Frame(e)
+    }
+}
+
+impl From<AllocError> for DmaError {
+    fn from(e: AllocError) -> Self {
+        DmaError::Iova(e)
+    }
+}
+
+impl From<IommuFault> for DmaError {
+    fn from(e: IommuFault) -> Self {
+        DmaError::Iommu(e)
+    }
+}
+
+impl From<fns_iommu::PtError> for DmaError {
+    fn from(e: fns_iommu::PtError) -> Self {
+        DmaError::Iommu(IommuFault::Pt(e))
+    }
+}
+
+impl From<RingError> for DmaError {
+    fn from(e: RingError) -> Self {
+        DmaError::Ring(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: DmaError = FrameError::OutOfMemory.into();
+        assert!(e.to_string().contains("frame allocator"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: DmaError = AllocError::Exhausted { pages: 64 }.into();
+        assert!(e.to_string().contains("IOVA"));
+
+        let e: DmaError = RingError::Overflow { capacity: 8 }.into();
+        assert!(e.to_string().contains("ring"));
+
+        assert!(std::error::Error::source(&DmaError::DescriptorExhausted).is_none());
+    }
+
+    #[test]
+    fn pt_error_wraps_as_iommu_fault() {
+        let e: DmaError = fns_iommu::PtError::NotMapped(7).into();
+        assert!(matches!(e, DmaError::Iommu(IommuFault::Pt(_))));
+    }
+}

@@ -7,6 +7,8 @@
 //!   the two F&S ablations, full F&S),
 //! * [`driver`] — the mode-dependent map/unmap/invalidate datapaths (the
 //!   reproduction of the paper's 630-LoC kernel patch),
+//! * [`errors`] — the typed datapath error ([`DmaError`]) those paths
+//!   surface instead of panicking,
 //! * [`config`] — testbed and workload configuration,
 //! * [`resources`] — serial resources (CPU cores, the translation pipe),
 //! * [`sim`] — the discrete-event host simulation (NIC → IOMMU → memory →
@@ -17,6 +19,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod errors;
 pub mod metrics;
 pub mod mode;
 pub mod model;
@@ -25,6 +28,7 @@ pub mod sim;
 
 pub use config::{CpuCosts, SimConfig, Workload};
 pub use driver::DmaDriver;
+pub use errors::DmaError;
 pub use metrics::RunMetrics;
 pub use mode::ProtectionMode;
 pub use sim::HostSim;

@@ -38,6 +38,12 @@ pub struct RunMetrics {
     pub map_cpu_ns: u64,
     /// CPU ns spent waiting on the invalidation queue over the whole run.
     pub invalidation_cpu_ns: u64,
+    /// Merged fault-injection/recovery counters from the driver and wire
+    /// planes, over the whole run (like `map_cpu_ns`, not windowed).
+    pub faults: fns_faults::FaultStats,
+    /// Chronological injection log (driver sites first, then wire sites),
+    /// for reconciling counters against observed behaviour.
+    pub fault_log: Vec<fns_faults::FaultRecord>,
 }
 
 impl RunMetrics {
@@ -146,6 +152,8 @@ mod tests {
             locality_distances: vec![None, Some(10), Some(100), Some(1)],
             map_cpu_ns: 0,
             invalidation_cpu_ns: 0,
+            faults: Default::default(),
+            fault_log: Vec::new(),
         }
     }
 

@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use fns_faults::{FaultKind, FaultPlane};
 use fns_iova::types::Iova;
 use fns_net::packet::{FlowId, Packet, PacketKind};
 use fns_net::receiver::FlowReceiver;
@@ -50,6 +51,12 @@ const NAPI_BUDGET: usize = 64;
 const STRIDE: u64 = 256;
 /// Flow-id offset for DUT→peer flows.
 const TX_FLOW_BASE: u32 = 1000;
+/// RNG-fork salt for the driver-side fault plane. Each plane owns its own
+/// stream forked from the experiment seed, so enabling faults (or changing
+/// one plane's mix) never perturbs the baseline workload trajectory.
+const DRIVER_FAULT_SALT: u64 = 0xFA17;
+/// RNG-fork salt for the wire-side (switch-queue) fault plane.
+const NET_FAULT_SALT: u64 = 0xFA18;
 
 #[derive(Debug)]
 enum Ev {
@@ -205,6 +212,9 @@ pub struct HostSim {
     mem_util: f64,
     snapshot: Snapshot,
     warmed_up: bool,
+    /// Fault plane for the wire (switch-queue) sites. The driver-side plane
+    /// lives inside [`DmaDriver`].
+    net_faults: FaultPlane,
 }
 
 impl HostSim {
@@ -260,9 +270,22 @@ impl HostSim {
             mem_util: 0.0,
             snapshot: Snapshot::default(),
             warmed_up: false,
+            net_faults: FaultPlane::disabled(),
             cfg,
         };
         sim.init();
+        // Install the fault planes only after init: ring fill and aging
+        // churn run fault-free so every configuration starts from the same
+        // state, and the planes' forked RNG streams leave the workload
+        // trajectory untouched.
+        if sim.cfg.faults.any_enabled() {
+            sim.drv.set_fault_plane(FaultPlane::from_seed(
+                sim.cfg.faults,
+                sim.cfg.seed,
+                DRIVER_FAULT_SALT,
+            ));
+            sim.net_faults = FaultPlane::from_seed(sim.cfg.faults, sim.cfg.seed, NET_FAULT_SALT);
+        }
         sim
     }
 
@@ -282,7 +305,12 @@ impl HostSim {
             // packet needs when descriptors are large and few.
             let mut ring = RxRing::new(descs, descs);
             for _ in 0..descs {
-                let (d, _) = self.drv.prepare_rx_descriptor(core);
+                // The fault plane is installed after init: failure here is a
+                // real resource bug, not an injected one.
+                let (d, _) = self
+                    .drv
+                    .prepare_rx_descriptor(core)
+                    .expect("fault-free init fill");
                 ring.push(d);
             }
             self.rings.push(RingState {
@@ -317,15 +345,22 @@ impl HostSim {
                     let head = rs.ring.head_mut().expect("ring filled at init");
                     while head.consume_page().is_some() {}
                     let d = rs.ring.pop_consumed().expect("fully consumed");
-                    self.drv.complete_rx_descriptor(core, &d);
+                    self.drv
+                        .complete_rx_descriptor(core, &d)
+                        .expect("fault-free init churn");
                     // Interposed ACK-style Tx churn, freed on another core.
                     for _ in 0..rng.range(0, 24) {
-                        let (pages, _) = self.drv.tx_map(core, 1);
+                        let (pages, _) = self.drv.tx_map(core, 1).expect("fault-free init churn");
                         let comp =
                             (core + 1 + rng.index(self.cfg.cores.max(2) - 1)) % self.cfg.cores;
-                        self.drv.tx_complete(comp, &pages);
+                        self.drv
+                            .tx_complete(comp, &pages)
+                            .expect("fault-free init churn");
                     }
-                    let (fresh, _) = self.drv.prepare_rx_descriptor(core);
+                    let (fresh, _) = self
+                        .drv
+                        .prepare_rx_descriptor(core)
+                        .expect("fault-free init churn");
                     self.rings[core].ring.push(fresh);
                 }
             }
@@ -556,14 +591,31 @@ impl HostSim {
 
     // ----- peer (abstract) side ---------------------------------------------
 
+    /// Enqueues a packet on the peer→DUT wire through the fault plane.
+    /// Injected drops (and switch-queue overflow) vanish here; corruption,
+    /// duplication, and reordering alter what arrives. Recovery is the
+    /// transport's job, so errors are accounted and swallowed.
+    fn enqueue_to_dut(&mut self, pkt: Packet) {
+        let _ = self.to_dut.enqueue_with(pkt, &mut self.net_faults);
+    }
+
+    /// Same as [`HostSim::enqueue_to_dut`] for the DUT→peer wire.
+    fn enqueue_to_peer(&mut self, pkt: Packet) {
+        let _ = self.to_peer.enqueue_with(pkt, &mut self.net_faults);
+    }
+
     fn peer_pump(&mut self, now: Nanos, flow: FlowId) {
         let Some(s) = self.peer_senders.get_mut(&flow) else {
             return;
         };
         let mut emitted = false;
+        let mut to_send = Vec::new();
         while let Some(pkt) = s.next_packet(now) {
-            self.to_dut.enqueue(pkt);
+            to_send.push(pkt);
             emitted = true;
+        }
+        for pkt in to_send {
+            self.enqueue_to_dut(pkt);
         }
         if emitted {
             self.schedule_to_dut_drain(now);
@@ -793,17 +845,61 @@ impl HostSim {
         // so refills draw on IOVAs freed by *previous* polls rather than
         // immediately recycling this poll's frees.
         while self.rings[core].ring.needs_replenish() && self.rings[core].ring.free_slots() > 0 {
-            let (d, c) = self.drv.prepare_rx_descriptor(core);
-            self.rings[core].ring.push(d);
+            let (d, c) = match self.drv.prepare_rx_descriptor(core) {
+                Ok(dc) => dc,
+                Err(_) => {
+                    // Descriptor/frame/IOVA exhaustion (real or injected):
+                    // the ring runs shallow this poll and the NIC tail-drops
+                    // behind it. Account it as a ring drop and retry on the
+                    // next poll — graceful degradation, not a crash.
+                    self.ring_drops += 1;
+                    break;
+                }
+            };
             cpu += c;
+            if let Err((d, _overrun)) = self.rings[core].ring.push_with(d, &mut self.net_faults) {
+                // Injected ring overrun: the producer index raced past the
+                // consumer and the descriptor never landed. Recycle it
+                // (unmap + invalidate + free) so no resources leak, charge
+                // the recycle to this poll, and count the lost slot.
+                cpu += self
+                    .drv
+                    .complete_rx_descriptor(core, &d)
+                    .expect("recycling a refused descriptor");
+                self.drv.faults_mut().note_descriptor_recycle();
+                self.drv.faults_mut().note_recovery(FaultKind::RingOverrun);
+                self.ring_drops += 1;
+                break;
+            }
         }
         // 2. Tx completions (unmap + invalidate transmitted pages).
         while let Some(pages) = self.napi[core].tx_done.pop_front() {
-            cpu += self.drv.tx_complete(core, &pages);
+            cpu += self.drv.tx_complete(core, &pages).expect("Tx completion");
         }
         // 2b. Rx descriptor completions: unmap, invalidate, recycle.
         while let Some(d) = self.napi[core].desc_done.pop_front() {
-            cpu += self.drv.complete_rx_descriptor(core, &d);
+            let probe = d.pages()[0].iova;
+            cpu += self
+                .drv
+                .complete_rx_descriptor(core, &d)
+                .expect("Rx completion");
+            // Injected stale-DMA probe: the device races one last access
+            // against the unmap that just completed — the exact window the
+            // strict safety property closes. Probing here, before any later
+            // allocation can legitimately recycle the IOVA, means a
+            // successful translation is always a real leak: strict modes
+            // must block it, pool/deferred modes honestly report it.
+            if self.drv.faults().is_enabled()
+                && self.drv.faults_mut().roll(FaultKind::TranslationFault)
+            {
+                let leaked = self.drv.iommu.translate_checked(probe).is_ok();
+                self.drv.faults_mut().note_stale_probe(leaked);
+                if !leaked {
+                    self.drv
+                        .faults_mut()
+                        .note_recovery(FaultKind::TranslationFault);
+                }
+            }
         }
         // 3. Rx packet completions.
         let mut processed = 0;
@@ -816,6 +912,12 @@ impl HostSim {
             processed += 1;
             cpu += self.cfg.cpu.per_packet_ns
                 + (self.cfg.cpu.pkt_data_read_ns as f64 * miss_factor) as Nanos;
+            if pkt.corrupted {
+                // Checksum failure: the stack discards the packet and the
+                // sender's retransmission recovers the data.
+                self.net_faults.note_recovery(FaultKind::PacketCorrupt);
+                continue;
+            }
             match pkt.kind {
                 PacketKind::Data => {
                     if let Some(r) = self.dut_receivers.get_mut(&pkt.flow) {
@@ -859,7 +961,11 @@ impl HostSim {
         // 6. Map ACK transmissions (driver work happens in this context).
         let mut mapped_acks: Vec<(Packet, Vec<DescriptorPage>)> = Vec::new();
         for (flow, a) in acks {
-            let (pages, c) = self.drv.tx_map(core, 1);
+            // A failed ACK mapping (injected exhaustion) skips the ACK; the
+            // peer's retransmission machinery re-elicits it.
+            let Ok((pages, c)) = self.drv.tx_map(core, 1) else {
+                continue;
+            };
             cpu += c;
             let pkt = Packet::ack(flow, a.ack_seq, a.ecn_echo, a.acked_pkts, now);
             mapped_acks.push((pkt, pages));
@@ -869,7 +975,10 @@ impl HostSim {
             if let Some(s) = self.dut_senders.get_mut(&flow) {
                 let pkt = s.fast_retransmit_packet(now);
                 let n_pages = self.cfg.pages_for(pkt.bytes);
-                let (pages, c) = self.drv.tx_map(core, n_pages);
+                // A failed mapping drops the retransmission; RTO recovers.
+                let Ok((pages, c)) = self.drv.tx_map(core, n_pages) else {
+                    continue;
+                };
                 cpu += c;
                 mapped_acks.push((pkt, pages));
             }
@@ -999,7 +1108,11 @@ impl HostSim {
         let mut mapped = Vec::new();
         for pkt in to_map {
             let pages = self.cfg.pages_for(pkt.bytes);
-            let (pg, c) = self.drv.tx_map(core, pages);
+            // Injected mapping exhaustion drops the packet pre-wire; the
+            // sender's RTO treats it like any other loss.
+            let Ok((pg, c)) = self.drv.tx_map(core, pages) else {
+                continue;
+            };
             cpu += c;
             mapped.push((pkt, pg, core));
         }
@@ -1050,7 +1163,7 @@ impl HostSim {
         self.tx_inflight -= 1;
         self.tx_pkts_sent += 1;
         // The packet enters the DUT→peer link.
-        self.to_peer.enqueue(pkt);
+        self.enqueue_to_peer(pkt);
         self.schedule_to_peer_drain(now);
         // Tx completion lands on the (possibly shifted) completion core.
         let comp_core = (core + self.cfg.tx_completion_core_shift) % self.cfg.cores;
@@ -1087,6 +1200,12 @@ impl HostSim {
 
     fn peer_deliver(&mut self, now: Nanos, pkt: Packet) {
         const PEER_PROC_NS: Nanos = 2_000;
+        if pkt.corrupted {
+            // The peer's checksum rejects the packet; the DUT transport's
+            // retransmission recovers the data.
+            self.net_faults.note_recovery(FaultKind::PacketCorrupt);
+            return;
+        }
         match pkt.kind {
             PacketKind::Ack {
                 ack_seq,
@@ -1098,7 +1217,7 @@ impl HostSim {
                     let out = s.on_ack(ack_seq, ecn_echo, acked_pkts, now);
                     if out.fast_retransmit {
                         let rtx = s.fast_retransmit_packet(now);
-                        self.to_dut.enqueue(rtx);
+                        self.enqueue_to_dut(rtx);
                         self.schedule_to_dut_drain(now + PEER_PROC_NS);
                     }
                     if out.newly_acked > 0 {
@@ -1120,7 +1239,7 @@ impl HostSim {
                 self.peer_app_boundaries(now);
                 for a in acks {
                     let ack = Packet::ack(pkt.flow, a.ack_seq, a.ecn_echo, a.acked_pkts, now);
-                    self.to_dut.enqueue(ack);
+                    self.enqueue_to_dut(ack);
                 }
                 self.schedule_to_dut_drain(now + PEER_PROC_NS);
             }
@@ -1257,6 +1376,9 @@ impl HostSim {
             .map(|(c, &b)| c.utilization(b, window))
             .collect();
         let iommu = iommu_now.delta(&snap.iommu);
+        let faults = self.drv.faults().stats().merge(&self.net_faults.stats());
+        let mut fault_log = self.drv.faults().log().to_vec();
+        fault_log.extend_from_slice(self.net_faults.log());
         RunMetrics {
             window_ns: window,
             rx_goodput_bytes: rx_delivered - snap.rx_delivered,
@@ -1274,6 +1396,8 @@ impl HostSim {
             locality_distances: self.drv.locality.distances()[snap.locality_mark..].to_vec(),
             map_cpu_ns: self.drv.map_cpu_ns,
             invalidation_cpu_ns: self.drv.invalidation_cpu_ns,
+            faults,
+            fault_log,
         }
     }
 }

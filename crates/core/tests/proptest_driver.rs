@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Property tests for the protection-mode driver: random interleavings of
 //! descriptor and Tx lifecycles must preserve the mode's safety contract
 //! and never leak or double-free resources.
@@ -54,7 +57,7 @@ fn run_mode(mode: ProtectionMode, ops: &[Op]) {
         match op {
             Op::Prepare(core) => {
                 if prepared.len() + consumed.len() < 4 {
-                    let (d, _) = drv.prepare_rx_descriptor(core);
+                    let (d, _) = drv.prepare_rx_descriptor(core).unwrap();
                     prepared.push(d);
                 }
             }
@@ -71,7 +74,7 @@ fn run_mode(mode: ProtectionMode, ops: &[Op]) {
             Op::CompleteOldest(core) => {
                 if !consumed.is_empty() {
                     let d = consumed.remove(0);
-                    drv.complete_rx_descriptor(core, &d);
+                    drv.complete_rx_descriptor(core, &d).unwrap();
                     // Strict modes: the device must lose access the moment
                     // the completion returns (checked here, before any later
                     // allocation can legitimately recycle the IOVA).
@@ -89,7 +92,7 @@ fn run_mode(mode: ProtectionMode, ops: &[Op]) {
             }
             Op::TxMap(core, pages) => {
                 if tx_outstanding.len() < 8 {
-                    let (pg, _) = drv.tx_map(core, pages);
+                    let (pg, _) = drv.tx_map(core, pages).unwrap();
                     for p in &pg {
                         drv.translate(p.iova);
                     }
@@ -99,7 +102,7 @@ fn run_mode(mode: ProtectionMode, ops: &[Op]) {
             Op::TxCompleteOldest(core) => {
                 if !tx_outstanding.is_empty() {
                     let pg = tx_outstanding.remove(0);
-                    drv.tx_complete(core, &pg);
+                    drv.tx_complete(core, &pg).unwrap();
                     if mode.is_strict_safe() && mode != ProtectionMode::IommuOff {
                         for p in &pg {
                             assert!(

@@ -182,6 +182,21 @@ impl Iommu {
         self.pt.unmap_range(range)
     }
 
+    /// Translates one device access, surfacing a failed translation as a
+    /// typed [`crate::fault::IommuFault::Translation`] (the DMAR-fault view
+    /// of [`Iommu::translate`]).
+    pub fn translate_checked(
+        &mut self,
+        iova: Iova,
+    ) -> Result<(PhysAddr, u32), crate::fault::IommuFault> {
+        match self.translate(iova) {
+            Translation::Ok { pa, reads, .. } => Ok((pa, reads)),
+            Translation::Fault { reads } => {
+                Err(crate::fault::IommuFault::Translation { iova, reads })
+            }
+        }
+    }
+
     /// Translates one device access. This is the hot path: IOTLB, then the
     /// page-structure caches, then (partial) page-table walk.
     pub fn translate(&mut self, iova: Iova) -> Translation {

@@ -17,6 +17,7 @@
 //! * [`config`], [`stats`] — hardware knobs and PCM-style counters.
 
 pub mod config;
+pub mod fault;
 pub mod invalidation;
 #[allow(clippy::module_inception)]
 pub mod iommu;
@@ -26,6 +27,7 @@ pub mod pagetable;
 pub mod stats;
 
 pub use config::IommuConfig;
+pub use fault::{InvalidationReport, IommuFault, MAX_INVALIDATION_RETRIES};
 pub use invalidation::{InvalidationQueue, InvalidationRequest};
 pub use iommu::{InvalidationScope, Iommu, Translation};
 pub use pagetable::{IoPageTable, PtError, ReclaimedPage, UnmapOutcome};

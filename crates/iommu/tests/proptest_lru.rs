@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Model-checking the O(1) LRU cache against a naive reference
 //! implementation, under arbitrary operation sequences.
 

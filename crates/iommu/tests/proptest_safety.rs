@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Property tests for the IOMMU model: the strict safety property and the
 //! F&S PTcache-preservation rule (DESIGN.md §6, paper §3).
 
@@ -142,75 +145,5 @@ proptest! {
     }
 }
 
-/// Runs a pipelined descriptor cycle — translate a page of descriptor `d`
-/// while unmapping + invalidating the matching page of descriptor `d-1`,
-/// which is how translations and invalidations interleave in the steady
-/// state — and returns the average memory reads per page-table walk.
-fn pipelined_walk_cost(base: u64, scope: InvalidationScope) -> (f64, Iommu) {
-    let mut m = Iommu::new(IommuConfig::default());
-    let desc = |d: u64| IovaRange::new(Iova::from_pfn(base + (d % 8) * 64), 64);
-    let mut total_walk_reads = 0u64;
-    let mut walks = 0u64;
-    for p in desc(0).iter_pages() {
-        m.map(p, PhysAddr::from_pfn(p.pfn())).unwrap();
-    }
-    for d in 0..100u64 {
-        for p in desc(d + 1).iter_pages() {
-            m.map(p, PhysAddr::from_pfn(p.pfn())).unwrap();
-        }
-        for i in 0..64 {
-            let p = desc(d).page(i);
-            let before = m.stats().memory_reads;
-            let t = m.translate(p);
-            assert!(t.pa().is_some());
-            if !matches!(
-                t,
-                Translation::Ok {
-                    iotlb_hit: true,
-                    ..
-                }
-            ) {
-                total_walk_reads += m.stats().memory_reads - before;
-                walks += 1;
-            }
-            // Pipelined strict unmap of the previous descriptor's page.
-            if d > 0 {
-                let prev = desc(d - 1).page(i);
-                let r = IovaRange::new(prev, 1);
-                let out = m.unmap_range(r).unwrap();
-                m.invalidate_range(r, scope);
-                if scope == InvalidationScope::IotlbOnly {
-                    m.invalidate_for_reclaimed(&out.reclaimed);
-                }
-            }
-        }
-    }
-    (total_walk_reads as f64 / walks as f64, m)
-}
-
-/// Deterministic end-to-end check of the paper's central cost claim: with
-/// PTcaches preserved across invalidations, a strict-mode IOTLB miss costs
-/// one memory read even with invalidations interleaved into the datapath.
-#[test]
-fn warm_preserved_ptcache_gives_one_read_walks() {
-    let (avg, m) = pipelined_walk_cost(0x80_0000, InvalidationScope::IotlbOnly);
-    assert!(
-        avg < 1.01,
-        "expected ~1 read per walk with preserved PTcaches, got {avg:.3}"
-    );
-    assert_eq!(m.stats().stale_iotlb_hits, 0);
-    assert_eq!(m.stats().stale_ptcache_walks, 0);
-}
-
-/// The same pipelined cycle under stock-Linux full invalidation pays
-/// (nearly) full walks: every interleaved unmap wipes the shared PTcache
-/// entries the next translation needs.
-#[test]
-fn linux_invalidation_forces_full_walks() {
-    let (avg, m) = pipelined_walk_cost(0x90_0000, InvalidationScope::IotlbAndFullPtcache);
-    assert!(
-        avg > 3.5,
-        "expected ~4 reads per walk under full invalidation, got {avg:.3}"
-    );
-    assert_eq!(m.stats().stale_iotlb_hits, 0);
-}
+// The dependency-free pipelined-walk-cost tests moved to
+// `randomized_safety.rs`, which runs in the offline tier-1 suite.

@@ -38,6 +38,39 @@ pub use rbtree_alloc::RbTreeAllocator;
 pub use rcache::{CachingAllocator, RcacheConfig};
 pub use types::{Iova, IovaRange, IOVA_SPACE_TOP};
 
+/// Typed IOVA-allocation errors.
+///
+/// `alloc` keeps its `Option` shape (callers mostly want "did it fit"); the
+/// error type carries the *why* for layers — like the DMA driver — that
+/// propagate failures instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The address space (or configured retry budget) could not satisfy a
+    /// request for `pages` contiguous pages.
+    Exhausted { pages: u64 },
+    /// A range was freed that was never allocated — in the kernel this is
+    /// address-space corruption.
+    UnbalancedFree { range: IovaRange },
+    /// Fault injection forced this allocation to fail.
+    Injected,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Exhausted { pages } => {
+                write!(f, "IOVA space exhausted allocating {pages} pages")
+            }
+            AllocError::UnbalancedFree { range } => {
+                write!(f, "free of unallocated IOVA range {range}")
+            }
+            AllocError::Injected => write!(f, "injected IOVA allocation failure"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// Statistics every allocator implementation keeps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
@@ -70,8 +103,13 @@ pub trait IovaAllocator {
     /// # Panics
     ///
     /// Implementations panic on frees of ranges that were never allocated —
-    /// in the kernel that is address-space corruption.
+    /// in the kernel that is address-space corruption. Fault-tolerant
+    /// callers use [`IovaAllocator::try_free`] instead.
     fn free(&mut self, range: IovaRange, core: usize);
+
+    /// Non-panicking free: reports an unbalanced free as
+    /// [`AllocError::UnbalancedFree`] instead of aborting.
+    fn try_free(&mut self, range: IovaRange, core: usize) -> Result<(), AllocError>;
 
     /// Number of ranges currently live (allocated and not freed).
     fn live_ranges(&self) -> usize;

@@ -7,7 +7,7 @@
 
 use crate::rbtree::RbIntervalTree;
 use crate::types::{Iova, IovaRange, IOVA_SPACE_TOP, PAGE_SHIFT};
-use crate::{AllocStats, IovaAllocator};
+use crate::{AllocError, AllocStats, IovaAllocator};
 
 /// Red-black-tree-backed IOVA allocator (no per-core caching).
 ///
@@ -131,8 +131,16 @@ impl RbTreeAllocator {
 
     /// Removes a range from the tree (panics if it was never allocated).
     pub(crate) fn free_range(&mut self, range: IovaRange) {
-        let removed = self.tree.remove(range.pfn_lo());
-        assert!(removed, "freeing unallocated IOVA range {range}");
+        self.try_free_range(range)
+            .unwrap_or_else(|_| panic!("freeing unallocated IOVA range {range}"));
+    }
+
+    /// Removes a range from the tree, reporting an unbalanced free as an
+    /// error instead of panicking.
+    pub(crate) fn try_free_range(&mut self, range: IovaRange) -> Result<(), AllocError> {
+        if !self.tree.remove(range.pfn_lo()) {
+            return Err(AllocError::UnbalancedFree { range });
+        }
         // Freed space above the cached search position becomes visible again.
         self.search_start = self
             .search_start
@@ -140,6 +148,7 @@ impl RbTreeAllocator {
             .min(self.limit_pfn);
         self.stats.frees += 1;
         self.stats.tree_frees += 1;
+        Ok(())
     }
 }
 
@@ -150,6 +159,10 @@ impl IovaAllocator for RbTreeAllocator {
 
     fn free(&mut self, range: IovaRange, _core: usize) {
         self.free_range(range);
+    }
+
+    fn try_free(&mut self, range: IovaRange, _core: usize) -> Result<(), AllocError> {
+        self.try_free_range(range)
     }
 
     fn live_ranges(&self) -> usize {

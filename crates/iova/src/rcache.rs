@@ -14,7 +14,7 @@
 
 use crate::rbtree_alloc::RbTreeAllocator;
 use crate::types::IovaRange;
-use crate::{AllocStats, IovaAllocator};
+use crate::{AllocError, AllocStats, IovaAllocator};
 
 /// Configuration of the magazine cache hierarchy.
 #[derive(Debug, Clone, Copy)]
@@ -215,28 +215,40 @@ impl IovaAllocator for CachingAllocator {
     }
 
     fn free(&mut self, range: IovaRange, core: usize) {
-        self.live = self
+        self.try_free(range, core)
+            .expect("free without matching alloc");
+    }
+
+    fn try_free(&mut self, range: IovaRange, core: usize) -> Result<(), AllocError> {
+        // A live count of zero means this range cannot have a matching
+        // alloc; report it instead of underflowing.
+        let live = self
             .live
             .checked_sub(1)
-            .expect("free without matching alloc");
-        self.stats.frees += 1;
+            .ok_or(AllocError::UnbalancedFree { range })?;
         let Some(cls) = self.class(range.pages()) else {
-            self.tree.free_range(range);
+            // Oversized: straight back to the tree, which verifies the
+            // range really was allocated.
+            self.tree.try_free_range(range)?;
+            self.live = live;
+            self.stats.frees += 1;
             self.stats.tree_frees += 1;
-            return;
+            return Ok(());
         };
+        self.live = live;
+        self.stats.frees += 1;
         let mag_size = self.config.magazine_size;
         let cache = &mut self.caches[core][cls];
         if cache.loaded.len() < mag_size {
             cache.loaded.push(range.pfn_lo());
-            return;
+            return Ok(());
         }
         if cache.prev.len() < mag_size {
             // Loaded is full: rotate it to prev (Linux swaps and starts a
             // fresh loaded magazine).
             std::mem::swap(&mut cache.loaded, &mut cache.prev);
             cache.loaded.push(range.pfn_lo());
-            return;
+            return Ok(());
         }
         // Both magazines full: push the full prev magazine to the depot.
         let full = std::mem::take(&mut cache.prev);
@@ -254,6 +266,7 @@ impl IovaAllocator for CachingAllocator {
                 self.stats.tree_frees += 1;
             }
         }
+        Ok(())
     }
 
     fn live_ranges(&self) -> usize {
@@ -377,6 +390,34 @@ mod tests {
     fn unbalanced_free_panics() {
         let mut a = CachingAllocator::with_defaults(1);
         a.free(IovaRange::new(Iova::from_pfn(3), 1), 0);
+    }
+
+    #[test]
+    fn try_free_reports_unbalanced_free() {
+        let mut a = CachingAllocator::with_defaults(1);
+        let r = IovaRange::new(Iova::from_pfn(3), 1);
+        assert_eq!(
+            a.try_free(r, 0),
+            Err(AllocError::UnbalancedFree { range: r })
+        );
+        // Allocator state is untouched by the failed free.
+        assert_eq!(a.live_ranges(), 0);
+        assert_eq!(a.stats().frees, 0);
+    }
+
+    #[test]
+    fn try_free_reports_unknown_oversized_range() {
+        let mut a = CachingAllocator::with_defaults(1);
+        // One live range so the live counter cannot catch the bad free; the
+        // tree lookup must.
+        let keep = a.alloc(64, 0).unwrap();
+        let bogus = IovaRange::new(Iova::from_pfn(7), 64);
+        assert_eq!(
+            a.try_free(bogus, 0),
+            Err(AllocError::UnbalancedFree { range: bogus })
+        );
+        assert_eq!(a.live_ranges(), 1);
+        a.free(keep, 0);
     }
 
     #[test]

@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Property tests for the IOVA allocation substrate.
 //!
 //! These encode the safety-critical allocator invariants from DESIGN.md §6:
@@ -138,74 +141,5 @@ proptest! {
     }
 }
 
-/// Drives a multi-core Rx + Tx(ACK) alloc/free pattern against the caching
-/// allocator and returns the mean reuse distance of PT-L4 page keys over the
-/// second half of the allocation stream (the measurement behind Figures
-/// 2e/3e).
-///
-/// Tx frees land on the *next* core — in Linux the Tx completion IRQ often
-/// runs on a different core than the one that allocated the IOVA — which is
-/// the cross-core churn §2.2 blames for locality decay.
-fn locality_mean_reuse_distance(cores: usize, ring_pages: usize, rounds: usize) -> f64 {
-    use fns_sim::stats::ReuseDistance;
-    use std::collections::VecDeque;
-
-    let mut a = CachingAllocator::with_defaults(cores);
-    let mut rx: Vec<VecDeque<IovaRange>> = vec![VecDeque::new(); cores];
-    let mut tx: Vec<VecDeque<IovaRange>> = vec![VecDeque::new(); cores];
-    let mut rd = ReuseDistance::new();
-    let mut state: u64 = 999;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for _ in 0..rounds {
-        for c in 0..cores {
-            // Descriptor refill: 64 pages.
-            for _ in 0..64 {
-                let r = a.alloc(1, c).unwrap();
-                rd.access(r.base().l4_page_key());
-                rx[c].push_back(r);
-            }
-            // ACK transmissions, freed by the completion core.
-            for _ in 0..(next() % 21) {
-                let r = a.alloc(1, c).unwrap();
-                rd.access(r.base().l4_page_key());
-                tx[c].push_back(r);
-            }
-            while tx[c].len() > 8 {
-                let r = tx[c].pop_front().unwrap();
-                a.free(r, (c + 1) % cores);
-            }
-            while rx[c].len() > ring_pages {
-                for _ in 0..64 {
-                    let r = rx[c].pop_front().unwrap();
-                    a.free(r, c);
-                }
-            }
-        }
-    }
-    let ds = rd.distances();
-    let vals: Vec<u64> = ds[ds.len() / 2..].iter().filter_map(|d| *d).collect();
-    vals.iter().sum::<u64>() as f64 / vals.len().max(1) as f64
-}
-
-#[test]
-fn locality_decays_with_working_set_size() {
-    // The Figure 3e mechanism: an 8x larger ring buffer spreads the IOVA
-    // working set over many more PT-L4 pages, and the per-core caches mix
-    // them, inflating reuse distances well past the F&S per-descriptor bound
-    // of <= 2 unique PTcache-L3 entries.
-    let small = locality_mean_reuse_distance(5, 512, 1500);
-    let large = locality_mean_reuse_distance(5, 4096, 1500);
-    assert!(
-        large > 2.0 * small,
-        "expected ring-size-driven decay: small={small:.2} large={large:.2}"
-    );
-    assert!(
-        large > 2.0,
-        "stock allocator should exceed the F&S locality bound, got {large:.2}"
-    );
-}
+// The dependency-free locality-decay test moved to
+// `randomized_allocator.rs`, which runs in the offline tier-1 suite.

@@ -84,6 +84,19 @@ impl FrameAllocator {
         Ok(pa)
     }
 
+    /// Allocates one frame through a fault plane: the plane may force an
+    /// `OutOfMemory` result even while frames remain, modelling transient
+    /// memory pressure.
+    pub fn alloc_with(
+        &mut self,
+        faults: &mut fns_faults::FaultPlane,
+    ) -> Result<PhysAddr, FrameError> {
+        if faults.roll(fns_faults::FaultKind::FrameExhaustion) {
+            return Err(FrameError::OutOfMemory);
+        }
+        self.alloc()
+    }
+
     /// Frees a previously allocated frame.
     pub fn free(&mut self, pa: PhysAddr) -> Result<(), FrameError> {
         if !pa.is_page_aligned() {
@@ -208,6 +221,22 @@ mod tests {
         fa.free(a).unwrap();
         let b = fa.alloc().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_exhaustion_fails_without_consuming_frames() {
+        use fns_faults::{FaultConfig, FaultKind, FaultPlane};
+        use fns_sim::rng::SimRng;
+
+        let cfg = FaultConfig::disabled().with_every(FaultKind::FrameExhaustion, 2);
+        let mut plane = FaultPlane::new(cfg, SimRng::seed(1));
+        let mut fa = FrameAllocator::new(4);
+        assert!(fa.alloc_with(&mut plane).is_ok());
+        assert_eq!(fa.alloc_with(&mut plane), Err(FrameError::OutOfMemory));
+        // The injected failure must not leak a frame.
+        assert_eq!(fa.in_use(), 1);
+        assert_eq!(fa.available(), 3);
+        assert_eq!(plane.stats().injected_of(FaultKind::FrameExhaustion), 1);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Typed network faults and the fault-aware link model.
+//!
+//! The wire between the hosts is where real deployments see loss,
+//! corruption, reordering, and duplication. [`SwitchQueue::enqueue_with`]
+//! applies a [`FaultPlane`]'s packet-level fault mix at the enqueue point:
+//!
+//! * **drop** — the packet never enters the queue ([`NetFault::Dropped`]),
+//! * **corrupt** — delivered with [`Packet::corrupted`] set; the receiver's
+//!   checksum rejects it and the transport retransmits,
+//! * **reorder** — swapped behind the packet queued before it,
+//! * **duplicate** — enqueued twice.
+//!
+//! Recovery is the transport's job (DCTCP retransmission), so this module
+//! only injects and accounts; the chaos harness checks goodput survives.
+
+use fns_faults::{FaultKind, FaultPlane};
+
+use crate::packet::{FlowId, Packet};
+use crate::switchq::SwitchQueue;
+
+/// Typed faults raised on the simulated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The packet was dropped (injected loss or switch-queue overflow).
+    Dropped { flow: FlowId, injected: bool },
+}
+
+impl std::fmt::Display for NetFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetFault::Dropped { flow, injected } => {
+                let why = if *injected {
+                    "injected loss"
+                } else {
+                    "queue overflow"
+                };
+                write!(f, "packet on flow {} dropped ({why})", flow.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetFault {}
+
+impl SwitchQueue {
+    /// Enqueues a packet under fault injection.
+    ///
+    /// Rolls the plane's packet-fault kinds in a fixed order (drop,
+    /// corrupt, duplicate, reorder) and applies whichever fire. A capacity
+    /// drop at the switch is reported the same way as an injected drop so
+    /// callers have one error path.
+    pub fn enqueue_with(&mut self, mut p: Packet, faults: &mut FaultPlane) -> Result<(), NetFault> {
+        let flow = p.flow;
+        if faults.roll(FaultKind::PacketDrop) {
+            return Err(NetFault::Dropped {
+                flow,
+                injected: true,
+            });
+        }
+        if faults.roll(FaultKind::PacketCorrupt) {
+            p.corrupted = true;
+        }
+        let duplicate = faults.roll(FaultKind::PacketDuplicate);
+        let reorder = faults.roll(FaultKind::PacketReorder);
+        if !self.enqueue(p) {
+            return Err(NetFault::Dropped {
+                flow,
+                injected: false,
+            });
+        }
+        if duplicate {
+            // Best effort: a duplicate that hits the capacity wall just
+            // vanishes, which is what a real switch would do.
+            self.enqueue(p);
+        }
+        if reorder {
+            self.swap_tail();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fns_faults::FaultConfig;
+    use fns_sim::rng::SimRng;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(FlowId(0), seq, 100, 0)
+    }
+
+    fn plane(kind: FaultKind) -> FaultPlane {
+        // Fire on every visit of `kind`, nothing else.
+        FaultPlane::new(FaultConfig::disabled().with_every(kind, 1), SimRng::seed(1))
+    }
+
+    #[test]
+    fn injected_drop_never_enqueues() {
+        let mut q = SwitchQueue::new(10_000, 10_000);
+        let mut f = plane(FaultKind::PacketDrop);
+        assert_eq!(
+            q.enqueue_with(pkt(0), &mut f),
+            Err(NetFault::Dropped {
+                flow: FlowId(0),
+                injected: true
+            })
+        );
+        assert!(q.is_empty());
+        assert_eq!(f.stats().injected_of(FaultKind::PacketDrop), 1);
+    }
+
+    #[test]
+    fn corruption_marks_the_packet() {
+        let mut q = SwitchQueue::new(10_000, 10_000);
+        let mut f = plane(FaultKind::PacketCorrupt);
+        q.enqueue_with(pkt(0), &mut f).unwrap();
+        assert!(q.dequeue().unwrap().corrupted);
+    }
+
+    #[test]
+    fn duplication_enqueues_twice() {
+        let mut q = SwitchQueue::new(10_000, 10_000);
+        let mut f = plane(FaultKind::PacketDuplicate);
+        q.enqueue_with(pkt(7), &mut f).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue().unwrap().seq, 7);
+        assert_eq!(q.dequeue().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn reordering_swaps_the_tail() {
+        let mut q = SwitchQueue::new(10_000, 10_000);
+        let mut off = FaultPlane::disabled();
+        q.enqueue_with(pkt(0), &mut off).unwrap();
+        let mut f = plane(FaultKind::PacketReorder);
+        q.enqueue_with(pkt(1), &mut f).unwrap();
+        // The reordered packet jumps ahead of its predecessor.
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.dequeue().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn capacity_drop_reports_uninjected() {
+        let mut q = SwitchQueue::new(150, 0);
+        let mut off = FaultPlane::disabled();
+        q.enqueue_with(pkt(0), &mut off).unwrap();
+        assert_eq!(
+            q.enqueue_with(pkt(1), &mut off),
+            Err(NetFault::Dropped {
+                flow: FlowId(0),
+                injected: false
+            })
+        );
+    }
+
+    #[test]
+    fn disabled_plane_is_transparent() {
+        let mut q = SwitchQueue::new(10_000, 10_000);
+        let mut off = FaultPlane::disabled();
+        for s in 0..5 {
+            q.enqueue_with(pkt(s), &mut off).unwrap();
+        }
+        for s in 0..5 {
+            let p = q.dequeue().unwrap();
+            assert_eq!(p.seq, s);
+            assert!(!p.corrupted);
+        }
+    }
+}

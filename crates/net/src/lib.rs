@@ -13,11 +13,13 @@
 //!   and immediate duplicate ACKs on out-of-order arrival,
 //! * [`switchq`] — a finite FIFO queue with a DCTCP marking threshold.
 
+pub mod fault;
 pub mod packet;
 pub mod receiver;
 pub mod sender;
 pub mod switchq;
 
+pub use fault::NetFault;
 pub use packet::{FlowId, Packet, PacketKind};
 pub use receiver::{AckToSend, FlowReceiver};
 pub use sender::{AckOutcome, DctcpConfig, DctcpSender};

@@ -36,6 +36,9 @@ pub struct Packet {
     pub kind: PacketKind,
     /// Set by the switch when the queue exceeds the marking threshold.
     pub ecn_marked: bool,
+    /// Set by fault injection: the payload is damaged and the receiver's
+    /// checksum will reject it on delivery.
+    pub corrupted: bool,
     /// Transmission timestamp (for RTT/latency measurement).
     pub sent_at: Nanos,
 }
@@ -52,6 +55,7 @@ impl Packet {
             bytes,
             kind: PacketKind::Data,
             ecn_marked: false,
+            corrupted: false,
             sent_at,
         }
     }
@@ -68,6 +72,7 @@ impl Packet {
                 acked_pkts,
             },
             ecn_marked: false,
+            corrupted: false,
             sent_at,
         }
     }

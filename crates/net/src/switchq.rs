@@ -95,6 +95,15 @@ impl SwitchQueue {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Swaps the two most recently enqueued packets (fault-injected
+    /// reordering). No-op with fewer than two packets queued.
+    pub(crate) fn swap_tail(&mut self) {
+        let n = self.queue.len();
+        if n >= 2 {
+            self.queue.swap(n - 1, n - 2);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Property tests for the transport: sender invariants under adversarial
 //! ACK streams, and sender/receiver end-to-end conservation over lossy,
 //! reordering channels.

@@ -13,4 +13,4 @@ pub mod ring;
 
 pub use buffer::NicBuffer;
 pub use descriptor::{Descriptor, DescriptorPage, PAGES_PER_RX_DESCRIPTOR};
-pub use ring::RxRing;
+pub use ring::{RingError, RxRing};

@@ -2,7 +2,35 @@
 
 use std::collections::VecDeque;
 
+use fns_faults::{FaultKind, FaultPlane};
+
 use crate::descriptor::Descriptor;
+
+/// Typed Rx-ring errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// The producer index caught the consumer: no free slot for the
+    /// descriptor (real or injected ring overrun).
+    Overflow { capacity: usize },
+    /// The head descriptor still has unconsumed pages — popping it would
+    /// let the driver unmap pages the NIC may still write.
+    HeadLive { remaining: usize },
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Overflow { capacity } => {
+                write!(f, "Rx ring overflow (capacity {capacity})")
+            }
+            RingError::HeadLive { remaining } => {
+                write!(f, "head descriptor live with {remaining} pages unconsumed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
 
 /// A ring buffer of prepared Rx descriptors for one core.
 ///
@@ -83,10 +111,45 @@ impl RxRing {
     ///
     /// # Panics
     ///
-    /// Panics if the ring is full.
+    /// Panics if the ring is full. Fault-tolerant callers use
+    /// [`RxRing::try_push`] or [`RxRing::push_with`].
     pub fn push(&mut self, d: Descriptor) {
-        assert!(self.descriptors.len() < self.capacity, "ring overflow");
+        self.try_push(d).expect("ring overflow");
+    }
+
+    /// Adds a prepared descriptor, reporting a full ring as
+    /// [`RingError::Overflow`] and returning the descriptor for recycling.
+    pub fn try_push(&mut self, d: Descriptor) -> Result<(), (Descriptor, RingError)> {
+        if self.descriptors.len() >= self.capacity {
+            return Err((
+                d,
+                RingError::Overflow {
+                    capacity: self.capacity,
+                },
+            ));
+        }
         self.descriptors.push_back(d);
+        Ok(())
+    }
+
+    /// Adds a prepared descriptor under fault injection: the plane may
+    /// refuse the push as a ring overrun even while slots remain (modelling
+    /// a producer index racing past the consumer). The refused descriptor
+    /// comes back to the caller for recycling.
+    pub fn push_with(
+        &mut self,
+        d: Descriptor,
+        faults: &mut FaultPlane,
+    ) -> Result<(), (Descriptor, RingError)> {
+        if faults.roll(FaultKind::RingOverrun) {
+            return Err((
+                d,
+                RingError::Overflow {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        self.try_push(d)
     }
 
     /// The head descriptor the NIC is currently filling.
@@ -112,10 +175,22 @@ impl RxRing {
     /// Panics if the head is not fully consumed — popping a live descriptor
     /// would let the driver unmap pages the NIC may still write.
     pub fn pop_consumed(&mut self) -> Option<Descriptor> {
-        if self.descriptors.front()?.is_consumed() {
-            self.descriptors.pop_front()
+        self.try_pop_consumed()
+            .expect("popping a descriptor the NIC is still filling")
+    }
+
+    /// Pops the head descriptor once fully consumed, reporting a
+    /// still-live head as [`RingError::HeadLive`] instead of panicking.
+    pub fn try_pop_consumed(&mut self) -> Result<Option<Descriptor>, RingError> {
+        let Some(head) = self.descriptors.front() else {
+            return Ok(None);
+        };
+        if head.is_consumed() {
+            Ok(self.descriptors.pop_front())
         } else {
-            panic!("popping a descriptor the NIC is still filling");
+            Err(RingError::HeadLive {
+                remaining: head.remaining(),
+            })
         }
     }
 }
@@ -184,5 +259,44 @@ mod tests {
     fn pop_empty_is_none() {
         let mut r = RxRing::new(1, 0);
         assert!(r.pop_consumed().is_none());
+    }
+
+    #[test]
+    fn try_push_returns_descriptor_on_overflow() {
+        let mut r = RxRing::new(1, 0);
+        r.push(desc(0, 1));
+        let (d, e) = r.try_push(desc(1, 1)).unwrap_err();
+        assert_eq!(d.id(), 1);
+        assert_eq!(e, RingError::Overflow { capacity: 1 });
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn try_pop_live_head_is_error() {
+        let mut r = RxRing::new(2, 1);
+        r.push(desc(7, 2));
+        r.head_mut().unwrap().consume_page();
+        assert_eq!(
+            r.try_pop_consumed().unwrap_err(),
+            RingError::HeadLive { remaining: 1 }
+        );
+        // The head stays in place for the NIC to finish.
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn push_with_injected_overrun_refuses_despite_space() {
+        use fns_faults::{FaultConfig, FaultPlane};
+        use fns_sim::rng::SimRng;
+
+        let cfg = FaultConfig::disabled().with_every(FaultKind::RingOverrun, 2);
+        let mut plane = FaultPlane::new(cfg, SimRng::seed(1));
+        let mut r = RxRing::new(8, 0);
+        assert!(r.push_with(desc(0, 1), &mut plane).is_ok());
+        let (d, e) = r.push_with(desc(1, 1), &mut plane).unwrap_err();
+        assert_eq!(d.id(), 1);
+        assert!(matches!(e, RingError::Overflow { .. }));
+        assert_eq!(r.len(), 1, "injected overrun must not enqueue");
+        assert_eq!(plane.stats().injected_of(FaultKind::RingOverrun), 1);
     }
 }

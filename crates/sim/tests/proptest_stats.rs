@@ -1,3 +1,6 @@
+#![cfg(feature = "proptest")]
+//! Requires re-adding `proptest` to this crate's [dev-dependencies].
+
 //! Property tests for the measurement primitives: histogram quantile
 //! accuracy against exact computation, and reuse-distance correctness
 //! against a quadratic reference.

@@ -6,7 +6,7 @@
 //! ```text
 //! fns-sim [--mode M|--all-modes] [--workload W] [--flows N] [--ring N]
 //!         [--mtu BYTES] [--cores N] [--pages-per-desc N] [--measure-ms N]
-//!         [--seed N] [--msg BYTES]
+//!         [--seed N] [--msg BYTES] [--faults P]
 //!
 //! modes:     off linux deferred linux+A linux+B fns hugepage damn
 //! workloads: iperf bidir redis nginx spdk rpc
@@ -16,6 +16,7 @@ use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
 };
 use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::faults::FaultConfig;
 
 struct Args {
     modes: Vec<ProtectionMode>,
@@ -28,6 +29,7 @@ struct Args {
     measure_ms: u64,
     seed: u64,
     msg_bytes: u64,
+    faults: f64,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -49,6 +51,7 @@ fn usage() -> ! {
         "usage: fns-sim [--mode M|--all-modes] [--workload iperf|bidir|redis|nginx|spdk|rpc]\n\
          \x20              [--flows N] [--ring N] [--mtu BYTES] [--cores N]\n\
          \x20              [--pages-per-desc N] [--measure-ms N] [--seed N] [--msg BYTES]\n\
+         \x20              [--faults P]    inject faults at every site with probability P in [0,1]\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
     std::process::exit(2);
@@ -66,6 +69,7 @@ fn parse_args() -> Args {
         measure_ms: 60,
         seed: 1,
         msg_bytes: 8192,
+        faults: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,6 +89,12 @@ fn parse_args() -> Args {
             "--measure-ms" => args.measure_ms = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--msg" => args.msg_bytes = val().parse().unwrap_or_else(|_| usage()),
+            "--faults" => {
+                args.faults = val().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.faults) {
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -112,6 +122,7 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
     cfg.pages_per_descriptor = args.pages_per_desc;
     cfg.measure = args.measure_ms * 1_000_000;
     cfg.seed = args.seed;
+    cfg.faults = FaultConfig::uniform(args.faults);
     cfg
 }
 
@@ -137,6 +148,20 @@ fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
             "weakened"
         },
     );
+    if args.faults > 0.0 {
+        println!(
+            "{:>14}  faults: {} injected  {} recovered  {} inv-retries  {} batch-fallbacks  \
+             {} recycles  stale-dma {} blocked / {} leaked",
+            "",
+            m.faults.total_injected(),
+            m.faults.total_recovered(),
+            m.faults.invalidation_retries,
+            m.faults.batch_fallbacks,
+            m.faults.descriptor_recycles,
+            m.faults.stale_dma_blocked,
+            m.faults.stale_dma_leaked,
+        );
+    }
     if args.workload == "rpc" && m.latency.count() > 0 {
         let p = |q: f64| m.latency.percentile(q) as f64 / 1000.0;
         println!(
