@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-40c3a3008429a30a.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-40c3a3008429a30a.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-e75c5385642ee6d5.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-e75c5385642ee6d5: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/descriptor_ablation-4212ca8e3ed5621b.d: crates/bench/src/bin/descriptor_ablation.rs
+
+/root/repo/target/debug/deps/descriptor_ablation-4212ca8e3ed5621b: crates/bench/src/bin/descriptor_ablation.rs
+
+crates/bench/src/bin/descriptor_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/descriptor_ablation-8a99ce469cd07089.d: crates/bench/src/bin/descriptor_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdescriptor_ablation-8a99ce469cd07089.rmeta: crates/bench/src/bin/descriptor_ablation.rs Cargo.toml
+
+crates/bench/src/bin/descriptor_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

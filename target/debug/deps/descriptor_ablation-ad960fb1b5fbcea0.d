@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/descriptor_ablation-ad960fb1b5fbcea0.d: crates/bench/src/bin/descriptor_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdescriptor_ablation-ad960fb1b5fbcea0.rmeta: crates/bench/src/bin/descriptor_ablation.rs Cargo.toml
+
+crates/bench/src/bin/descriptor_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

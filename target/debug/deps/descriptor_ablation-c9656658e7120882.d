@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/descriptor_ablation-c9656658e7120882.d: crates/bench/src/bin/descriptor_ablation.rs
+
+/root/repo/target/debug/deps/descriptor_ablation-c9656658e7120882: crates/bench/src/bin/descriptor_ablation.rs
+
+crates/bench/src/bin/descriptor_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-d9fda3261d22ba01.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-d9fda3261d22ba01.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

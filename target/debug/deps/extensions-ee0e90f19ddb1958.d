@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-ee0e90f19ddb1958.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-ee0e90f19ddb1958: tests/extensions.rs
+
+tests/extensions.rs:

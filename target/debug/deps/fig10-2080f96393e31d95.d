@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-2080f96393e31d95.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-2080f96393e31d95: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ba305767696203e6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-ba305767696203e6: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-229c689b59fd2b2e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-229c689b59fd2b2e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-989155064cbe62c2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-989155064cbe62c2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

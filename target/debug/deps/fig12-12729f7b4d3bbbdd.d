@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-12729f7b4d3bbbdd.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-12729f7b4d3bbbdd: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

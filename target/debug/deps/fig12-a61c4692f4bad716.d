@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-a61c4692f4bad716.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-a61c4692f4bad716: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

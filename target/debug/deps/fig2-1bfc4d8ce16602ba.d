@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-1bfc4d8ce16602ba.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-1bfc4d8ce16602ba: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-98dbb83748d82306.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-98dbb83748d82306: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

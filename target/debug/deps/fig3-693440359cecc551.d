@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-693440359cecc551.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-693440359cecc551: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-e8adc53178edbc6f.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-e8adc53178edbc6f: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c92885a83c15115d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c92885a83c15115d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

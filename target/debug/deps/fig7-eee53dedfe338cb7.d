@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-eee53dedfe338cb7.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-eee53dedfe338cb7: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-1aa8a54e373691e9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-1aa8a54e373691e9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-75acc9830b2dbd99.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-75acc9830b2dbd99: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2cd764d48100b7c6.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2cd764d48100b7c6: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

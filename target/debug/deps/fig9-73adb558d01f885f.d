@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-73adb558d01f885f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-73adb558d01f885f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fns-2d5a97db9a924b54.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfns-2d5a97db9a924b54.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfns-2d5a97db9a924b54.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns-4c82ba3c7fbebe88.d: src/lib.rs
+
+/root/repo/target/debug/deps/fns-4c82ba3c7fbebe88: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns-4f982ba5c826306b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns-4f982ba5c826306b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns-e470f3de69e8bfaa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns-e470f3de69e8bfaa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

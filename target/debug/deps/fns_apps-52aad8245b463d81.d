@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fns_apps-52aad8245b463d81.d: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+/root/repo/target/debug/deps/fns_apps-52aad8245b463d81: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bidir.rs:
+crates/apps/src/iperf.rs:
+crates/apps/src/nginx.rs:
+crates/apps/src/redis.rs:
+crates/apps/src/rpc.rs:
+crates/apps/src/spdk.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fns_apps-95d33177a932d2de.d: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_apps-95d33177a932d2de.rmeta: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bidir.rs:
+crates/apps/src/iperf.rs:
+crates/apps/src/nginx.rs:
+crates/apps/src/redis.rs:
+crates/apps/src/rpc.rs:
+crates/apps/src/spdk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

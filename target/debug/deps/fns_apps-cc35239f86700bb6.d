@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fns_apps-cc35239f86700bb6.d: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+/root/repo/target/debug/deps/libfns_apps-cc35239f86700bb6.rlib: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+/root/repo/target/debug/deps/libfns_apps-cc35239f86700bb6.rmeta: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bidir.rs:
+crates/apps/src/iperf.rs:
+crates/apps/src/nginx.rs:
+crates/apps/src/redis.rs:
+crates/apps/src/rpc.rs:
+crates/apps/src/spdk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns_bench-204008653b37372b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fns_bench-204008653b37372b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

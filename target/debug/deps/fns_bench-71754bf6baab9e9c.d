@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fns_bench-71754bf6baab9e9c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_bench-71754bf6baab9e9c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_bench-71754bf6baab9e9c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

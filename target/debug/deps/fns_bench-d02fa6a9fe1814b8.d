@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_bench-d02fa6a9fe1814b8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_bench-d02fa6a9fe1814b8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

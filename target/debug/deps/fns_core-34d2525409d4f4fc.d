@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fns_core-34d2525409d4f4fc.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/fns_core-34d2525409d4f4fc: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/errors.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/model.rs:
+crates/core/src/resources.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fns_core-54828a1447bf8326.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_core-54828a1447bf8326.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/errors.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/model.rs:
+crates/core/src/resources.rs:
+crates/core/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

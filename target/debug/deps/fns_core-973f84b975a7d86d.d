@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fns_core-973f84b975a7d86d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libfns_core-973f84b975a7d86d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libfns_core-973f84b975a7d86d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/errors.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/model.rs:
+crates/core/src/resources.rs:
+crates/core/src/sim.rs:

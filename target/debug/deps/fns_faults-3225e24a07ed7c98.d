@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns_faults-3225e24a07ed7c98.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/fns_faults-3225e24a07ed7c98: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

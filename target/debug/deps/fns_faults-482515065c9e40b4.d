@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fns_faults-482515065c9e40b4.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_faults-482515065c9e40b4.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_faults-482515065c9e40b4.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_faults-49a4318365b7c664.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_faults-49a4318365b7c664.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

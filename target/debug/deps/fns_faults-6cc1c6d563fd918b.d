@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_faults-6cc1c6d563fd918b.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_faults-6cc1c6d563fd918b.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fns_iommu-011bbef46bb9f19e.d: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+/root/repo/target/debug/deps/libfns_iommu-011bbef46bb9f19e.rlib: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+/root/repo/target/debug/deps/libfns_iommu-011bbef46bb9f19e.rmeta: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/config.rs:
+crates/iommu/src/fault.rs:
+crates/iommu/src/invalidation.rs:
+crates/iommu/src/iommu.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/lru.rs:
+crates/iommu/src/pagetable.rs:
+crates/iommu/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fns_iommu-72cc601fe26897e3.d: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_iommu-72cc601fe26897e3.rmeta: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs Cargo.toml
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/config.rs:
+crates/iommu/src/fault.rs:
+crates/iommu/src/invalidation.rs:
+crates/iommu/src/iommu.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/lru.rs:
+crates/iommu/src/pagetable.rs:
+crates/iommu/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fns_iommu-b03389f870b19ceb.d: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_iommu-b03389f870b19ceb.rmeta: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs Cargo.toml
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/config.rs:
+crates/iommu/src/fault.rs:
+crates/iommu/src/invalidation.rs:
+crates/iommu/src/iommu.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/lru.rs:
+crates/iommu/src/pagetable.rs:
+crates/iommu/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fns_iova-60ab849f2b095513.d: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_iova-60ab849f2b095513.rmeta: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs Cargo.toml
+
+crates/iova/src/lib.rs:
+crates/iova/src/carver.rs:
+crates/iova/src/rbtree.rs:
+crates/iova/src/rbtree_alloc.rs:
+crates/iova/src/rcache.rs:
+crates/iova/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fns_iova-6edc9e849a604775.d: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+/root/repo/target/debug/deps/fns_iova-6edc9e849a604775: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+crates/iova/src/lib.rs:
+crates/iova/src/carver.rs:
+crates/iova/src/rbtree.rs:
+crates/iova/src/rbtree_alloc.rs:
+crates/iova/src/rcache.rs:
+crates/iova/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fns_iova-c9ae8ae0867523e7.d: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+/root/repo/target/debug/deps/libfns_iova-c9ae8ae0867523e7.rlib: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+/root/repo/target/debug/deps/libfns_iova-c9ae8ae0867523e7.rmeta: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+crates/iova/src/lib.rs:
+crates/iova/src/carver.rs:
+crates/iova/src/rbtree.rs:
+crates/iova/src/rbtree_alloc.rs:
+crates/iova/src/rcache.rs:
+crates/iova/src/types.rs:

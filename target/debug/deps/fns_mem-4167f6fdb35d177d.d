@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fns_mem-4167f6fdb35d177d.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+/root/repo/target/debug/deps/fns_mem-4167f6fdb35d177d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/latency.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fns_mem-5590f523716306c7.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+/root/repo/target/debug/deps/libfns_mem-5590f523716306c7.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+/root/repo/target/debug/deps/libfns_mem-5590f523716306c7.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/latency.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fns_mem-edaa4166c7da5bcd.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_mem-edaa4166c7da5bcd.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fns_net-4c2d56086108aece.d: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+/root/repo/target/debug/deps/libfns_net-4c2d56086108aece.rlib: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+/root/repo/target/debug/deps/libfns_net-4c2d56086108aece.rmeta: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fault.rs:
+crates/net/src/packet.rs:
+crates/net/src/receiver.rs:
+crates/net/src/sender.rs:
+crates/net/src/switchq.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fns_net-754c39fd2239e1b8.d: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_net-754c39fd2239e1b8.rmeta: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/fault.rs:
+crates/net/src/packet.rs:
+crates/net/src/receiver.rs:
+crates/net/src/sender.rs:
+crates/net/src/switchq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

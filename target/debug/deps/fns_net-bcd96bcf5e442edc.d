@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fns_net-bcd96bcf5e442edc.d: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+/root/repo/target/debug/deps/fns_net-bcd96bcf5e442edc: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fault.rs:
+crates/net/src/packet.rs:
+crates/net/src/receiver.rs:
+crates/net/src/sender.rs:
+crates/net/src/switchq.rs:

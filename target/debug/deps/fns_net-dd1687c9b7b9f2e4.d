@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fns_net-dd1687c9b7b9f2e4.d: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_net-dd1687c9b7b9f2e4.rmeta: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/fault.rs:
+crates/net/src/packet.rs:
+crates/net/src/receiver.rs:
+crates/net/src/sender.rs:
+crates/net/src/switchq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fns_nic-64a7c8caaa643e96.d: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_nic-64a7c8caaa643e96.rmeta: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/buffer.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

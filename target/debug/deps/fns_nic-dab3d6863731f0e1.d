@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fns_nic-dab3d6863731f0e1.d: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/fns_nic-dab3d6863731f0e1: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/buffer.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/ring.rs:

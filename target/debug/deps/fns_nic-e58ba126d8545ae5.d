@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fns_nic-e58ba126d8545ae5.d: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/libfns_nic-e58ba126d8545ae5.rlib: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/libfns_nic-e58ba126d8545ae5.rmeta: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/buffer.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/ring.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fns_pcie-547f89dcb30d9b28.d: crates/pcie/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_pcie-547f89dcb30d9b28.rlib: crates/pcie/src/lib.rs
+
+/root/repo/target/debug/deps/libfns_pcie-547f89dcb30d9b28.rmeta: crates/pcie/src/lib.rs
+
+crates/pcie/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns_pcie-6bdb1e4150ceddf0.d: crates/pcie/src/lib.rs
+
+/root/repo/target/debug/deps/fns_pcie-6bdb1e4150ceddf0: crates/pcie/src/lib.rs
+
+crates/pcie/src/lib.rs:

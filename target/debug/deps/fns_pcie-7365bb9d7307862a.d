@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_pcie-7365bb9d7307862a.d: crates/pcie/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_pcie-7365bb9d7307862a.rmeta: crates/pcie/src/lib.rs Cargo.toml
+
+crates/pcie/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

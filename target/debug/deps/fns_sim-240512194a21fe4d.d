@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_sim-240512194a21fe4d.d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/fns_sim-240512194a21fe4d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns_sim-74832c842b6be011.d: src/bin/fns-sim.rs
+
+/root/repo/target/debug/deps/fns_sim-74832c842b6be011: src/bin/fns-sim.rs
+
+src/bin/fns-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fns_sim-a6579ddd80b1f227.d: src/bin/fns-sim.rs
+
+/root/repo/target/debug/deps/fns_sim-a6579ddd80b1f227: src/bin/fns-sim.rs
+
+src/bin/fns-sim.rs:

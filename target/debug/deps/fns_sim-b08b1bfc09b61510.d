@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fns_sim-b08b1bfc09b61510.d: src/bin/fns-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfns_sim-b08b1bfc09b61510.rmeta: src/bin/fns-sim.rs Cargo.toml
+
+src/bin/fns-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

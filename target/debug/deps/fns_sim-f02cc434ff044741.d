@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fns_sim-f02cc434ff044741.d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libfns_sim-f02cc434ff044741.rlib: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libfns_sim-f02cc434ff044741.rmeta: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

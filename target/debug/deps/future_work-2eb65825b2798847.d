@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_work-2eb65825b2798847.d: crates/bench/src/bin/future_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_work-2eb65825b2798847.rmeta: crates/bench/src/bin/future_work.rs Cargo.toml
+
+crates/bench/src/bin/future_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

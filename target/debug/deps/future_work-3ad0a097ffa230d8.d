@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-3ad0a097ffa230d8.d: crates/bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/future_work-3ad0a097ffa230d8: crates/bench/src/bin/future_work.rs
+
+crates/bench/src/bin/future_work.rs:

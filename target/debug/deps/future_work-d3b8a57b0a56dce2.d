@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-d3b8a57b0a56dce2.d: crates/bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/future_work-d3b8a57b0a56dce2: crates/bench/src/bin/future_work.rs
+
+crates/bench/src/bin/future_work.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline_results-a023b0ab08774ccb.d: tests/headline_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline_results-a023b0ab08774ccb.rmeta: tests/headline_results.rs Cargo.toml
+
+tests/headline_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_results-aa934a38e23a7e99.d: tests/headline_results.rs
+
+/root/repo/target/debug/deps/headline_results-aa934a38e23a7e99: tests/headline_results.rs
+
+tests/headline_results.rs:

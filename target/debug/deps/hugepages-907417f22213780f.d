@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hugepages-907417f22213780f.d: crates/iommu/tests/hugepages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhugepages-907417f22213780f.rmeta: crates/iommu/tests/hugepages.rs Cargo.toml
+
+crates/iommu/tests/hugepages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

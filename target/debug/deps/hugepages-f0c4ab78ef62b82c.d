@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hugepages-f0c4ab78ef62b82c.d: crates/iommu/tests/hugepages.rs
+
+/root/repo/target/debug/deps/hugepages-f0c4ab78ef62b82c: crates/iommu/tests/hugepages.rs
+
+crates/iommu/tests/hugepages.rs:

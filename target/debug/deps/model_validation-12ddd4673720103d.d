@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-12ddd4673720103d.d: crates/bench/src/bin/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-12ddd4673720103d: crates/bench/src/bin/model_validation.rs
+
+crates/bench/src/bin/model_validation.rs:

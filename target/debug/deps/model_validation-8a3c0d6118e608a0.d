@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_validation-8a3c0d6118e608a0.d: crates/bench/src/bin/model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_validation-8a3c0d6118e608a0.rmeta: crates/bench/src/bin/model_validation.rs Cargo.toml
+
+crates/bench/src/bin/model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

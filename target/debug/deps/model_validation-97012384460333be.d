@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-97012384460333be.d: crates/bench/src/bin/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-97012384460333be: crates/bench/src/bin/model_validation.rs
+
+crates/bench/src/bin/model_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_allocator-63c730043b6b2e50.d: crates/iova/tests/proptest_allocator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_allocator-63c730043b6b2e50.rmeta: crates/iova/tests/proptest_allocator.rs Cargo.toml
+
+crates/iova/tests/proptest_allocator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_allocator-cd19fcd9cb388582.d: crates/iova/tests/proptest_allocator.rs
+
+/root/repo/target/debug/deps/proptest_allocator-cd19fcd9cb388582: crates/iova/tests/proptest_allocator.rs
+
+crates/iova/tests/proptest_allocator.rs:

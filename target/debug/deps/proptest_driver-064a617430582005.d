@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_driver-064a617430582005.d: crates/core/tests/proptest_driver.rs
+
+/root/repo/target/debug/deps/proptest_driver-064a617430582005: crates/core/tests/proptest_driver.rs
+
+crates/core/tests/proptest_driver.rs:

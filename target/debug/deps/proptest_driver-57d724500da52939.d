@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_driver-57d724500da52939.d: crates/core/tests/proptest_driver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_driver-57d724500da52939.rmeta: crates/core/tests/proptest_driver.rs Cargo.toml
+
+crates/core/tests/proptest_driver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

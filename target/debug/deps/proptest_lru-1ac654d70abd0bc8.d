@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lru-1ac654d70abd0bc8.d: crates/iommu/tests/proptest_lru.rs
+
+/root/repo/target/debug/deps/proptest_lru-1ac654d70abd0bc8: crates/iommu/tests/proptest_lru.rs
+
+crates/iommu/tests/proptest_lru.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_lru-77ee28bf1baf0960.d: crates/iommu/tests/proptest_lru.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_lru-77ee28bf1baf0960.rmeta: crates/iommu/tests/proptest_lru.rs Cargo.toml
+
+crates/iommu/tests/proptest_lru.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_safety-94e46f3982445ffa.d: crates/iommu/tests/proptest_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_safety-94e46f3982445ffa.rmeta: crates/iommu/tests/proptest_safety.rs Cargo.toml
+
+crates/iommu/tests/proptest_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_safety-fea84500b84d2413.d: crates/iommu/tests/proptest_safety.rs
+
+/root/repo/target/debug/deps/proptest_safety-fea84500b84d2413: crates/iommu/tests/proptest_safety.rs
+
+crates/iommu/tests/proptest_safety.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stats-93aca0c6e63a6f6d.d: crates/sim/tests/proptest_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stats-93aca0c6e63a6f6d.rmeta: crates/sim/tests/proptest_stats.rs Cargo.toml
+
+crates/sim/tests/proptest_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stats-a572f59c937ee7b3.d: crates/sim/tests/proptest_stats.rs
+
+/root/repo/target/debug/deps/proptest_stats-a572f59c937ee7b3: crates/sim/tests/proptest_stats.rs
+
+crates/sim/tests/proptest_stats.rs:

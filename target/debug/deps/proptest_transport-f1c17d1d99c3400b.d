@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_transport-f1c17d1d99c3400b.d: crates/net/tests/proptest_transport.rs
+
+/root/repo/target/debug/deps/proptest_transport-f1c17d1d99c3400b: crates/net/tests/proptest_transport.rs
+
+crates/net/tests/proptest_transport.rs:

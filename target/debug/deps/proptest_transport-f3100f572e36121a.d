@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_transport-f3100f572e36121a.d: crates/net/tests/proptest_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_transport-f3100f572e36121a.rmeta: crates/net/tests/proptest_transport.rs Cargo.toml
+
+crates/net/tests/proptest_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

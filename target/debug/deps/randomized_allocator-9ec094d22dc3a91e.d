@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/randomized_allocator-9ec094d22dc3a91e.d: crates/iova/tests/randomized_allocator.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandomized_allocator-9ec094d22dc3a91e.rmeta: crates/iova/tests/randomized_allocator.rs Cargo.toml
+
+crates/iova/tests/randomized_allocator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

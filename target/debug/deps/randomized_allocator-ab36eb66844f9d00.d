@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/randomized_allocator-ab36eb66844f9d00.d: crates/iova/tests/randomized_allocator.rs
+
+/root/repo/target/debug/deps/randomized_allocator-ab36eb66844f9d00: crates/iova/tests/randomized_allocator.rs
+
+crates/iova/tests/randomized_allocator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/randomized_safety-19e6552e0356612c.d: crates/iommu/tests/randomized_safety.rs
+
+/root/repo/target/debug/deps/randomized_safety-19e6552e0356612c: crates/iommu/tests/randomized_safety.rs
+
+crates/iommu/tests/randomized_safety.rs:

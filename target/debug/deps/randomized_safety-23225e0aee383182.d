@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/randomized_safety-23225e0aee383182.d: crates/iommu/tests/randomized_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandomized_safety-23225e0aee383182.rmeta: crates/iommu/tests/randomized_safety.rs Cargo.toml
+
+crates/iommu/tests/randomized_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

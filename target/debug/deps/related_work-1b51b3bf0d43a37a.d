@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-1b51b3bf0d43a37a.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-1b51b3bf0d43a37a: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

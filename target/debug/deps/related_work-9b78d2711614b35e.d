@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-9b78d2711614b35e.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-9b78d2711614b35e: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_work-c6e7d159bfb22dd9.d: crates/bench/src/bin/related_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_work-c6e7d159bfb22dd9.rmeta: crates/bench/src/bin/related_work.rs Cargo.toml
+
+crates/bench/src/bin/related_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

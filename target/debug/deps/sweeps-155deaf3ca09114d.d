@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweeps-155deaf3ca09114d.d: crates/bench/src/bin/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweeps-155deaf3ca09114d.rmeta: crates/bench/src/bin/sweeps.rs Cargo.toml
+
+crates/bench/src/bin/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweeps-2066dae747eff399.d: crates/bench/src/bin/sweeps.rs
+
+/root/repo/target/debug/deps/sweeps-2066dae747eff399: crates/bench/src/bin/sweeps.rs
+
+crates/bench/src/bin/sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweeps-d0774f3997a5d242.d: crates/bench/src/bin/sweeps.rs
+
+/root/repo/target/debug/deps/sweeps-d0774f3997a5d242: crates/bench/src/bin/sweeps.rs
+
+crates/bench/src/bin/sweeps.rs:

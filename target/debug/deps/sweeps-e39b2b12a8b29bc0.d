@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweeps-e39b2b12a8b29bc0.d: crates/bench/src/bin/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweeps-e39b2b12a8b29bc0.rmeta: crates/bench/src/bin/sweeps.rs Cargo.toml
+
+crates/bench/src/bin/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

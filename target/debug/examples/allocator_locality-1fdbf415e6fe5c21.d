@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/allocator_locality-1fdbf415e6fe5c21.d: examples/allocator_locality.rs
+
+/root/repo/target/debug/examples/allocator_locality-1fdbf415e6fe5c21: examples/allocator_locality.rs
+
+examples/allocator_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/allocator_locality-55173eed5483247d.d: examples/allocator_locality.rs Cargo.toml
+
+/root/repo/target/debug/examples/liballocator_locality-55173eed5483247d.rmeta: examples/allocator_locality.rs Cargo.toml
+
+examples/allocator_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

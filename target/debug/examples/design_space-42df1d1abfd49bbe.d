@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-42df1d1abfd49bbe.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-42df1d1abfd49bbe: examples/design_space.rs
+
+examples/design_space.rs:

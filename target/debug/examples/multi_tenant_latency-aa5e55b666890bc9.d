@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_latency-aa5e55b666890bc9.d: examples/multi_tenant_latency.rs
+
+/root/repo/target/debug/examples/multi_tenant_latency-aa5e55b666890bc9: examples/multi_tenant_latency.rs
+
+examples/multi_tenant_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant_latency-af1f919b24549fef.d: examples/multi_tenant_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant_latency-af1f919b24549fef.rmeta: examples/multi_tenant_latency.rs Cargo.toml
+
+examples/multi_tenant_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

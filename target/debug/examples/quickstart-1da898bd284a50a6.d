@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1da898bd284a50a6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1da898bd284a50a6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_disaggregation-17a6e1502630332e.d: examples/storage_disaggregation.rs
+
+/root/repo/target/debug/examples/storage_disaggregation-17a6e1502630332e: examples/storage_disaggregation.rs
+
+examples/storage_disaggregation.rs:

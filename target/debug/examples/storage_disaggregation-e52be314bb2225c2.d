@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_disaggregation-e52be314bb2225c2.d: examples/storage_disaggregation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_disaggregation-e52be314bb2225c2.rmeta: examples/storage_disaggregation.rs Cargo.toml
+
+examples/storage_disaggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

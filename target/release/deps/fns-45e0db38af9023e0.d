@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fns-45e0db38af9023e0.d: src/lib.rs
+
+/root/repo/target/release/deps/libfns-45e0db38af9023e0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfns-45e0db38af9023e0.rmeta: src/lib.rs
+
+src/lib.rs:

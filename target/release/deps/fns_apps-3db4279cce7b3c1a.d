@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fns_apps-3db4279cce7b3c1a.d: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+/root/repo/target/release/deps/libfns_apps-3db4279cce7b3c1a.rlib: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+/root/repo/target/release/deps/libfns_apps-3db4279cce7b3c1a.rmeta: crates/apps/src/lib.rs crates/apps/src/bidir.rs crates/apps/src/iperf.rs crates/apps/src/nginx.rs crates/apps/src/redis.rs crates/apps/src/rpc.rs crates/apps/src/spdk.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bidir.rs:
+crates/apps/src/iperf.rs:
+crates/apps/src/nginx.rs:
+crates/apps/src/redis.rs:
+crates/apps/src/rpc.rs:
+crates/apps/src/spdk.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fns_core-cf1a2a74502b1c76.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libfns_core-cf1a2a74502b1c76.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libfns_core-cf1a2a74502b1c76.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/errors.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/model.rs crates/core/src/resources.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/errors.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/model.rs:
+crates/core/src/resources.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fns_faults-2a4744ab8ffbbf89.d: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/libfns_faults-2a4744ab8ffbbf89.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/libfns_faults-2a4744ab8ffbbf89.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fns_iommu-a5b92e98a06c3feb.d: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+/root/repo/target/release/deps/libfns_iommu-a5b92e98a06c3feb.rlib: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+/root/repo/target/release/deps/libfns_iommu-a5b92e98a06c3feb.rmeta: crates/iommu/src/lib.rs crates/iommu/src/config.rs crates/iommu/src/fault.rs crates/iommu/src/invalidation.rs crates/iommu/src/iommu.rs crates/iommu/src/iotlb.rs crates/iommu/src/lru.rs crates/iommu/src/pagetable.rs crates/iommu/src/stats.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/config.rs:
+crates/iommu/src/fault.rs:
+crates/iommu/src/invalidation.rs:
+crates/iommu/src/iommu.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/lru.rs:
+crates/iommu/src/pagetable.rs:
+crates/iommu/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fns_iova-bec2cb197bcf1915.d: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+/root/repo/target/release/deps/libfns_iova-bec2cb197bcf1915.rlib: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+/root/repo/target/release/deps/libfns_iova-bec2cb197bcf1915.rmeta: crates/iova/src/lib.rs crates/iova/src/carver.rs crates/iova/src/rbtree.rs crates/iova/src/rbtree_alloc.rs crates/iova/src/rcache.rs crates/iova/src/types.rs
+
+crates/iova/src/lib.rs:
+crates/iova/src/carver.rs:
+crates/iova/src/rbtree.rs:
+crates/iova/src/rbtree_alloc.rs:
+crates/iova/src/rcache.rs:
+crates/iova/src/types.rs:

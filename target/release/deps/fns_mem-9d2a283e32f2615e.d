@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fns_mem-9d2a283e32f2615e.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+/root/repo/target/release/deps/libfns_mem-9d2a283e32f2615e.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+/root/repo/target/release/deps/libfns_mem-9d2a283e32f2615e.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/frames.rs crates/mem/src/latency.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/latency.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fns_net-dd879d55d474f7c9.d: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+/root/repo/target/release/deps/libfns_net-dd879d55d474f7c9.rlib: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+/root/repo/target/release/deps/libfns_net-dd879d55d474f7c9.rmeta: crates/net/src/lib.rs crates/net/src/fault.rs crates/net/src/packet.rs crates/net/src/receiver.rs crates/net/src/sender.rs crates/net/src/switchq.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fault.rs:
+crates/net/src/packet.rs:
+crates/net/src/receiver.rs:
+crates/net/src/sender.rs:
+crates/net/src/switchq.rs:

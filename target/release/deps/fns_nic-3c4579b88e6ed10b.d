@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fns_nic-3c4579b88e6ed10b.d: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+/root/repo/target/release/deps/libfns_nic-3c4579b88e6ed10b.rlib: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+/root/repo/target/release/deps/libfns_nic-3c4579b88e6ed10b.rmeta: crates/nic/src/lib.rs crates/nic/src/buffer.rs crates/nic/src/descriptor.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/buffer.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/ring.rs:

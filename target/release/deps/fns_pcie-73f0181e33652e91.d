@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fns_pcie-73f0181e33652e91.d: crates/pcie/src/lib.rs
+
+/root/repo/target/release/deps/libfns_pcie-73f0181e33652e91.rlib: crates/pcie/src/lib.rs
+
+/root/repo/target/release/deps/libfns_pcie-73f0181e33652e91.rmeta: crates/pcie/src/lib.rs
+
+crates/pcie/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fns_sim-d2e7e12bf757782d.d: src/bin/fns-sim.rs
+
+/root/repo/target/release/deps/fns_sim-d2e7e12bf757782d: src/bin/fns-sim.rs
+
+src/bin/fns-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3e76f9a6a7ffcd14.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3e76f9a6a7ffcd14: examples/quickstart.rs
+
+examples/quickstart.rs:
