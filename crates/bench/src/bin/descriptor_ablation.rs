@@ -8,7 +8,7 @@
 //! This sweep makes that argument measurable.
 
 use fns_apps::iperf_config;
-use fns_bench::{check_safety, run, MEASURE_NS};
+use fns_bench::{check_safety, runner, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn main() {
@@ -17,26 +17,37 @@ fn main() {
         "{:>10} {:>14} {:>10} {:>8} {:>9} {:>12} {:>10}",
         "desc", "mode", "goodput", "M", "l3/pg", "inval-entr.", "inval-cpu"
     );
-    for pages in [64u32, 8, 1] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+    let results = runner().run_grid(
+        &[64u32, 8, 1],
+        &[ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe],
+        |pages, mode| {
             let mut cfg = iperf_config(mode, 5, 256);
             cfg.pages_per_descriptor = pages;
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>10} {:>14} {:>8.1} G {:>8.2} {:>9.3} {:>12} {:>8}ms",
-                format!("{pages}pg"),
-                mode.label(),
-                m.rx_gbps(),
-                m.memory_reads_per_page(),
-                m.l3_misses_per_page(),
-                m.iommu.invalidation_queue_entries,
-                m.invalidation_cpu_ns / 1_000_000,
-            );
+            cfg
+        },
+    );
+    let mut current_pages = u32::MAX;
+    for (pages, mode, m) in &results {
+        if *pages != current_pages {
+            if current_pages != u32::MAX {
+                println!();
+            }
+            current_pages = *pages;
         }
-        println!();
+        check_safety(*mode, m);
+        println!(
+            "{:>10} {:>14} {:>8.1} G {:>8.2} {:>9.3} {:>12} {:>8}ms",
+            format!("{pages}pg"),
+            mode.label(),
+            m.rx_gbps(),
+            m.memory_reads_per_page(),
+            m.l3_misses_per_page(),
+            m.iommu.invalidation_queue_entries,
+            m.invalidation_cpu_ns / 1_000_000,
+        );
     }
+    println!();
     println!(
         "expectation: F&S keeps PTcache misses ~0 at every descriptor size\n\
          (contiguity + preservation survive), but its invalidation batching\n\

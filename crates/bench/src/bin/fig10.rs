@@ -7,27 +7,31 @@
 //! with a small Rx gap below 4 cores (§4.4).
 
 use fns_apps::bidirectional_config;
-use fns_bench::{check_safety, run, HEADLINE_MODES, MEASURE_NS};
+use fns_bench::{check_safety, runner, HEADLINE_MODES, MEASURE_NS};
 
 fn main() {
     println!("=== Figure 10: Rx/Tx interference, n flows per direction ===");
-    for n in [1u32, 2, 3, 4] {
-        println!("--- {n} flow(s) per direction ---");
-        for mode in HEADLINE_MODES {
-            let mut cfg = bidirectional_config(mode, n);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>6} {:>14}  rx {:6.1} Gbps  tx {:6.1} Gbps  iotlb/pg {:5.2}  M {:5.2}",
-                format!("n={n}"),
-                mode.label(),
-                m.rx_gbps(),
-                m.tx_gbps(),
-                m.iotlb_misses_per_page(),
-                m.memory_reads_per_page(),
-            );
+    let results = runner().run_grid(&[1u32, 2, 3, 4], &HEADLINE_MODES, |n, mode| {
+        let mut cfg = bidirectional_config(mode, n);
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    let mut current_n = 0u32;
+    for (n, mode, m) in &results {
+        if *n != current_n {
+            current_n = *n;
+            println!("--- {n} flow(s) per direction ---");
         }
+        check_safety(*mode, m);
+        println!(
+            "{:>6} {:>14}  rx {:6.1} Gbps  tx {:6.1} Gbps  iotlb/pg {:5.2}  M {:5.2}",
+            format!("n={n}"),
+            mode.label(),
+            m.rx_gbps(),
+            m.tx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.memory_reads_per_page(),
+        );
     }
     println!("expectation: linux Rx collapses hardest; Tx degrades less; F&S recovers most");
 }

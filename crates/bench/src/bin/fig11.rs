@@ -10,63 +10,75 @@
 //! Usage: `fig11 [redis|nginx|spdk|all]` (default: all).
 
 use fns_apps::{nginx_config, redis_config, spdk_config};
-use fns_bench::{check_safety, run, HEADLINE_MODES, MEASURE_NS};
+use fns_bench::{check_safety, runner, HEADLINE_MODES, MEASURE_NS};
 
 fn redis() {
     println!("--- Figure 11a: Redis 100% SET, value-size sweep ---");
-    for value in [4u64 << 10, 8 << 10, 32 << 10, 128 << 10] {
-        for mode in HEADLINE_MODES {
+    let results = runner().run_grid(
+        &[4u64 << 10, 8 << 10, 32 << 10, 128 << 10],
+        &HEADLINE_MODES,
+        |value, mode| {
             let mut cfg = redis_config(mode, value);
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>7} {:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.2}  drops {:5.2} %",
-                format!("{}K", value >> 10),
-                mode.label(),
-                m.rx_gbps(),
-                m.iotlb_misses_per_page(),
-                m.drop_rate() * 100.0,
-            );
-        }
+            cfg
+        },
+    );
+    for (value, mode, m) in &results {
+        check_safety(*mode, m);
+        println!(
+            "{:>7} {:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.2}  drops {:5.2} %",
+            format!("{}K", value >> 10),
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.drop_rate() * 100.0,
+        );
     }
 }
 
 fn nginx() {
     println!("--- Figure 11b: Nginx web serving, page-size sweep ---");
-    for page in [128u64 << 10, 512 << 10, 2 << 20] {
-        for mode in HEADLINE_MODES {
+    let results = runner().run_grid(
+        &[128u64 << 10, 512 << 10, 2 << 20],
+        &HEADLINE_MODES,
+        |page, mode| {
             let mut cfg = nginx_config(mode, page);
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>7} {:>14}  page-throughput {:6.1} Gbps  cpu {:4.2}",
-                format!("{}K", page >> 10),
-                mode.label(),
-                m.tx_gbps(),
-                m.max_cpu(),
-            );
-        }
+            cfg
+        },
+    );
+    for (page, mode, m) in &results {
+        check_safety(*mode, m);
+        println!(
+            "{:>7} {:>14}  page-throughput {:6.1} Gbps  cpu {:4.2}",
+            format!("{}K", page >> 10),
+            mode.label(),
+            m.tx_gbps(),
+            m.max_cpu(),
+        );
     }
 }
 
 fn spdk() {
     println!("--- Figure 11c: SPDK remote reads, block-size sweep ---");
-    for block in [32u64 << 10, 64 << 10, 128 << 10, 256 << 10] {
-        for mode in HEADLINE_MODES {
+    let results = runner().run_grid(
+        &[32u64 << 10, 64 << 10, 128 << 10, 256 << 10],
+        &HEADLINE_MODES,
+        |block, mode| {
             let mut cfg = spdk_config(mode, block);
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>7} {:>14}  read-throughput {:6.1} Gbps  iotlb/pg {:5.2}",
-                format!("{}K", block >> 10),
-                mode.label(),
-                m.rx_gbps(),
-                m.iotlb_misses_per_page(),
-            );
-        }
+            cfg
+        },
+    );
+    for (block, mode, m) in &results {
+        check_safety(*mode, m);
+        println!(
+            "{:>7} {:>14}  read-throughput {:6.1} Gbps  iotlb/pg {:5.2}",
+            format!("{}K", block >> 10),
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+        );
     }
 }
 

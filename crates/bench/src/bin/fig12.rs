@@ -6,7 +6,7 @@
 //! recovers the throughput; only their combination does.
 
 use fns_apps::redis_config;
-use fns_bench::{check_safety, run, MEASURE_NS};
+use fns_bench::{check_safety, runner, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn main() {
@@ -18,12 +18,19 @@ fn main() {
         ProtectionMode::LinuxContig,
         ProtectionMode::FastAndSafe,
     ];
-    let mut results = Vec::new();
-    for mode in modes {
-        let mut cfg = redis_config(mode, 8 << 10);
-        cfg.measure = MEASURE_NS;
-        let m = run(cfg);
-        check_safety(mode, &m);
+    let metrics = runner().run_sims(
+        modes
+            .iter()
+            .map(|&mode| {
+                let mut cfg = redis_config(mode, 8 << 10);
+                cfg.measure = MEASURE_NS;
+                cfg
+            })
+            .collect(),
+    );
+    let results: Vec<_> = modes.into_iter().zip(metrics).collect();
+    for (mode, m) in &results {
+        check_safety(*mode, m);
         println!(
             "{:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.2}  l1 {:5.3}  l2 {:5.3}  l3 {:5.3}  M {:5.2}  inval-cpu {:4} ms",
             mode.label(),
@@ -35,7 +42,6 @@ fn main() {
             m.memory_reads_per_page(),
             m.invalidation_cpu_ns / 1_000_000,
         );
-        results.push((mode, m));
     }
     let g = |mo: ProtectionMode| {
         results

@@ -7,7 +7,7 @@
 //! (d), and the IOVA locality trace summary (e).
 
 use fns_apps::iperf_config;
-use fns_bench::{check_safety, print_locality_row, print_micro_row, run, MEASURE_NS};
+use fns_bench::{check_safety, print_locality_row, print_micro_row, runner, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn main() {
@@ -15,18 +15,19 @@ fn main() {
     println!("(paper: 20-65% throughput loss, drops up to 4%, IOTLB 1.3->2.2/page,");
     println!(" PTcache-L1/L2 0.05->0.63, PTcache-L3 0.36->0.90 as flows go 5->40)");
     let mut csv = fns_bench::CsvSink::create("fig2");
-    let mut results = Vec::new();
-    for flows in [5u32, 10, 20, 40] {
-        for mode in [ProtectionMode::IommuOff, ProtectionMode::LinuxStrict] {
+    let results = runner().run_grid(
+        &[5u32, 10, 20, 40],
+        &[ProtectionMode::IommuOff, ProtectionMode::LinuxStrict],
+        |flows, mode| {
             let mut cfg = iperf_config(mode, flows, 256);
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            let label = format!("flows={flows}");
-            print_micro_row(&label, mode, &m);
-            fns_bench::csv_micro_row(&mut csv, "flows", flows as u64, mode, &m);
-            results.push((flows, mode, m));
-        }
+            cfg
+        },
+    );
+    for (flows, mode, m) in &results {
+        check_safety(*mode, m);
+        print_micro_row(&format!("flows={flows}"), *mode, m);
+        fns_bench::csv_micro_row(&mut csv, "flows", *flows as u64, *mode, m);
     }
     println!("--- panel (e): IOVA allocation locality ---");
     for (flows, mode, m) in &results {

@@ -6,7 +6,7 @@
 //! misses stay roughly constant, and throughput degrades further.
 
 use fns_apps::iperf_config;
-use fns_bench::{check_safety, print_locality_row, print_micro_row, run, MEASURE_NS};
+use fns_bench::{check_safety, print_locality_row, print_micro_row, runner, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn main() {
@@ -14,17 +14,19 @@ fn main() {
     println!("(paper: throughput down to ~65G at ring 2048; PTcache-L3 misses grow");
     println!(" 0.36->0.9/page from locality loss; IOTLB misses roughly constant)");
     let mut csv = fns_bench::CsvSink::create("fig3");
-    let mut results = Vec::new();
-    for ring in [256u32, 512, 1024, 2048] {
-        for mode in [ProtectionMode::IommuOff, ProtectionMode::LinuxStrict] {
+    let results = runner().run_grid(
+        &[256u32, 512, 1024, 2048],
+        &[ProtectionMode::IommuOff, ProtectionMode::LinuxStrict],
+        |ring, mode| {
             let mut cfg = iperf_config(mode, 5, ring);
             cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            print_micro_row(&format!("ring={ring}"), mode, &m);
-            fns_bench::csv_micro_row(&mut csv, "ring", ring as u64, mode, &m);
-            results.push((ring, mode, m));
-        }
+            cfg
+        },
+    );
+    for (ring, mode, m) in &results {
+        check_safety(*mode, m);
+        print_micro_row(&format!("ring={ring}"), *mode, m);
+        fns_bench::csv_micro_row(&mut csv, "ring", *ring as u64, *mode, m);
     }
     println!("--- panel (e): IOVA allocation locality ---");
     for (ring, mode, m) in &results {

@@ -7,24 +7,22 @@
 
 use fns_apps::iperf_config;
 use fns_bench::{
-    check_safety, print_locality_row, print_micro_row, run, HEADLINE_MODES, MEASURE_NS,
+    check_safety, print_locality_row, print_micro_row, runner, HEADLINE_MODES, MEASURE_NS,
 };
 use fns_core::ProtectionMode;
 
 fn main() {
     println!("=== Figure 7: F&S vs Linux strict vs IOMMU off, flow sweep ===");
     let mut csv = fns_bench::CsvSink::create("fig7");
-    let mut results = Vec::new();
-    for flows in [5u32, 10, 20, 40] {
-        for mode in HEADLINE_MODES {
-            let mut cfg = iperf_config(mode, flows, 256);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            print_micro_row(&format!("flows={flows}"), mode, &m);
-            fns_bench::csv_micro_row(&mut csv, "flows", flows as u64, mode, &m);
-            results.push((flows, mode, m));
-        }
+    let results = runner().run_grid(&[5u32, 10, 20, 40], &HEADLINE_MODES, |flows, mode| {
+        let mut cfg = iperf_config(mode, flows, 256);
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (flows, mode, m) in &results {
+        check_safety(*mode, m);
+        print_micro_row(&format!("flows={flows}"), *mode, m);
+        fns_bench::csv_micro_row(&mut csv, "flows", *flows as u64, *mode, m);
     }
     println!("--- panel (e): IOVA allocation locality ---");
     for (flows, mode, m) in &results {

@@ -7,24 +7,22 @@
 
 use fns_apps::iperf_config;
 use fns_bench::{
-    check_safety, print_locality_row, print_micro_row, run, HEADLINE_MODES, MEASURE_NS,
+    check_safety, print_locality_row, print_micro_row, runner, HEADLINE_MODES, MEASURE_NS,
 };
 use fns_core::ProtectionMode;
 
 fn main() {
     println!("=== Figure 8: F&S vs Linux strict vs IOMMU off, ring-size sweep ===");
     let mut csv = fns_bench::CsvSink::create("fig8");
-    let mut results = Vec::new();
-    for ring in [256u32, 512, 1024, 2048] {
-        for mode in HEADLINE_MODES {
-            let mut cfg = iperf_config(mode, 5, ring);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            print_micro_row(&format!("ring={ring}"), mode, &m);
-            fns_bench::csv_micro_row(&mut csv, "ring", ring as u64, mode, &m);
-            results.push((ring, mode, m));
-        }
+    let results = runner().run_grid(&[256u32, 512, 1024, 2048], &HEADLINE_MODES, |ring, mode| {
+        let mut cfg = iperf_config(mode, 5, ring);
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (ring, mode, m) in &results {
+        check_safety(*mode, m);
+        print_micro_row(&format!("ring={ring}"), *mode, m);
+        fns_bench::csv_micro_row(&mut csv, "ring", *ring as u64, *mode, m);
     }
     println!("--- panel (e): IOVA allocation locality ---");
     for (ring, mode, m) in &results {

@@ -7,17 +7,23 @@
 //! ~1.2x of IOMMU-off (1.42x at P99.99).
 
 use fns_apps::rpc_config;
-use fns_bench::{check_safety, print_latency_row, run, HEADLINE_MODES};
+use fns_bench::{check_safety, print_latency_row, runner, HEADLINE_MODES};
 
 fn main() {
     println!("=== Figure 9: RPC tail latency colocated with iperf ===");
-    for rpc_bytes in [128u64, 1024, 4096, 32 * 1024] {
-        println!("--- RPC size {rpc_bytes} B ---");
-        for mode in HEADLINE_MODES {
-            let m = run(rpc_config(mode, rpc_bytes));
-            check_safety(mode, &m);
-            print_latency_row(&format!("{rpc_bytes}B"), mode, &m);
+    let results = runner().run_grid(
+        &[128u64, 1024, 4096, 32 * 1024],
+        &HEADLINE_MODES,
+        |rpc_bytes, mode| rpc_config(mode, rpc_bytes),
+    );
+    let mut current_size = 0u64;
+    for (rpc_bytes, mode, m) in &results {
+        if *rpc_bytes != current_size {
+            current_size = *rpc_bytes;
+            println!("--- RPC size {rpc_bytes} B ---");
         }
+        check_safety(*mode, m);
+        print_latency_row(&format!("{rpc_bytes}B"), *mode, m);
     }
     println!(
         "expectation: linux-strict P99.9 in the milliseconds (RTO-driven), \

@@ -12,43 +12,50 @@
 //! the combination should help.
 
 use fns_apps::{iperf_config, redis_config};
-use fns_bench::{check_safety, run, MEASURE_NS};
+use fns_bench::{check_safety, runner, MEASURE_NS};
 use fns_core::ProtectionMode;
+
+const MODES: [ProtectionMode; 3] = [
+    ProtectionMode::IommuOff,
+    ProtectionMode::FastAndSafe,
+    ProtectionMode::FnsHugeStrict,
+];
 
 fn main() {
     println!("=== Future work (§5): F&S + strict hugepages ===");
+    // One combined submission: the iperf grid points are flows=5/40, the
+    // redis point rides along as flows=0 so the whole basket shares the pool.
+    let results = runner().run_grid(&[5u32, 40, 0], &MODES, |flows, mode| {
+        let mut cfg = if flows == 0 {
+            redis_config(mode, 4 << 10)
+        } else {
+            iperf_config(mode, flows, 256)
+        };
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
     println!("--- iperf flow sweep: IOTLB misses per page ---");
-    for flows in [5u32, 40] {
-        for mode in [
-            ProtectionMode::IommuOff,
-            ProtectionMode::FastAndSafe,
-            ProtectionMode::FnsHugeStrict,
-        ] {
-            let mut cfg = iperf_config(mode, flows, 256);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            check_safety(mode, &m);
-            println!(
-                "{:>9} {:>14}  rx {:6.1} Gbps  iotlb/pg {:5.3}  M {:5.2}  strict={}",
-                format!("flows={flows}"),
-                mode.label(),
-                m.rx_gbps(),
-                m.iotlb_misses_per_page(),
-                m.memory_reads_per_page(),
-                mode.is_strict_safe(),
-            );
+    for (flows, mode, m) in &results {
+        if *flows == 0 {
+            continue;
         }
+        check_safety(*mode, m);
+        println!(
+            "{:>9} {:>14}  rx {:6.1} Gbps  iotlb/pg {:5.3}  M {:5.2}  strict={}",
+            format!("flows={flows}"),
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.memory_reads_per_page(),
+            mode.is_strict_safe(),
+        );
     }
     println!("--- Redis 4 KB values (the paper's §4.4 residual-gap case) ---");
-    for mode in [
-        ProtectionMode::IommuOff,
-        ProtectionMode::FastAndSafe,
-        ProtectionMode::FnsHugeStrict,
-    ] {
-        let mut cfg = redis_config(mode, 4 << 10);
-        cfg.measure = MEASURE_NS;
-        let m = run(cfg);
-        check_safety(mode, &m);
+    for (flows, mode, m) in &results {
+        if *flows != 0 {
+            continue;
+        }
+        check_safety(*mode, m);
         println!(
             "{:>9} {:>14}  set-throughput {:6.1} Gbps  iotlb/pg {:5.3}",
             "4K",

@@ -8,16 +8,14 @@
 //! compares the prediction with the simulated throughput.
 
 use fns_apps::iperf_config;
-use fns_bench::{run, MEASURE_NS};
+use fns_bench::{runner, MEASURE_NS};
 use fns_core::model::ThroughputModel;
 use fns_core::ProtectionMode;
 
 fn main() {
     println!("=== Section 2.2 analytical-model validation ===");
     let model = ThroughputModel::paper_fit();
-    let mut worst: f64 = 0.0;
-    let mut rows = Vec::new();
-    for (flows, ring) in [
+    let points = [
         (5u32, 256u32),
         (10, 256),
         (20, 256),
@@ -25,22 +23,26 @@ fn main() {
         (5, 512),
         (5, 1024),
         (5, 2048),
-    ] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-            let mut cfg = iperf_config(mode, flows, ring);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            // CPU-bound points are outside the PCIe model's domain (the
-            // paper's model predicts the PCIe ceiling, not CPU ceilings).
-            if m.max_cpu() > 0.95 {
-                continue;
-            }
-            let predicted = model.predict_gbps(m.memory_reads_per_page(), 100.0);
-            let measured = m.rx_gbps();
-            let err = (predicted - measured).abs() / measured;
-            worst = worst.max(err);
-            rows.push((flows, ring, mode, measured, predicted, err));
+    ];
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let results = runner().run_grid(&points, &modes, |(flows, ring), mode| {
+        let mut cfg = iperf_config(mode, flows, ring);
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    let mut worst: f64 = 0.0;
+    let mut rows = Vec::new();
+    for ((flows, ring), mode, m) in &results {
+        // CPU-bound points are outside the PCIe model's domain (the
+        // paper's model predicts the PCIe ceiling, not CPU ceilings).
+        if m.max_cpu() > 0.95 {
+            continue;
         }
+        let predicted = model.predict_gbps(m.memory_reads_per_page(), 100.0);
+        let measured = m.rx_gbps();
+        let err = (predicted - measured).abs() / measured;
+        worst = worst.max(err);
+        rows.push((*flows, *ring, *mode, measured, predicted, err));
     }
     println!(
         "{:>6} {:>6} {:>14} {:>10} {:>10} {:>7}",

@@ -1,0 +1,215 @@
+//! Simulator-performance smoke benchmark.
+//!
+//! Times a fixed basket of figure-shaped sweeps twice — once sequentially
+//! (1 worker) and once on the parallel sweep runner — and writes the
+//! wall-clock numbers, events/sec and ns/translation to
+//! `BENCH_simcore.json` (override the path with `FNS_BENCH_OUT`). The two
+//! passes run identical configurations, so the basket doubles as an
+//! end-to-end determinism check: any metric divergence between the
+//! sequential and parallel pass aborts the benchmark.
+//!
+//! This measures the *simulator's* performance, not the simulated system's;
+//! the JSON is a tracking artifact (CI uploads it), and nothing fails on a
+//! regression — only on a panic or a determinism violation.
+
+use std::time::Instant;
+
+use fns_apps::{iperf_config, redis_config};
+use fns_bench::SweepRunner;
+use fns_core::{ProtectionMode, RunMetrics, SimConfig};
+
+/// Shortened windows: the basket must finish in CI seconds, not minutes.
+const SMOKE_WARMUP_NS: u64 = 5_000_000;
+const SMOKE_MEASURE_NS: u64 = 10_000_000;
+
+fn smoke(mut cfg: SimConfig) -> SimConfig {
+    cfg.warmup = SMOKE_WARMUP_NS;
+    cfg.measure = SMOKE_MEASURE_NS;
+    cfg
+}
+
+/// The basket: one sweep per headline figure shape.
+fn basket() -> Vec<(&'static str, Vec<SimConfig>)> {
+    let headline = [
+        ProtectionMode::IommuOff,
+        ProtectionMode::LinuxStrict,
+        ProtectionMode::FastAndSafe,
+    ];
+    let mut figures = Vec::new();
+
+    let mut fig2 = Vec::new();
+    for flows in [5u32, 10, 20, 40] {
+        for mode in [ProtectionMode::IommuOff, ProtectionMode::LinuxStrict] {
+            fig2.push(smoke(iperf_config(mode, flows, 256)));
+        }
+    }
+    figures.push(("fig2_flow_sweep", fig2));
+
+    let mut fig7 = Vec::new();
+    for flows in [5u32, 10, 20, 40] {
+        for mode in headline {
+            fig7.push(smoke(iperf_config(mode, flows, 256)));
+        }
+    }
+    figures.push(("fig7_flow_sweep", fig7));
+
+    let mut fig8 = Vec::new();
+    for ring in [256u32, 512, 1024, 2048] {
+        for mode in headline {
+            fig8.push(smoke(iperf_config(mode, 5, ring)));
+        }
+    }
+    figures.push(("fig8_ring_sweep", fig8));
+
+    let mut fig11a = Vec::new();
+    for value in [4u64 << 10, 8 << 10, 32 << 10, 128 << 10] {
+        for mode in headline {
+            fig11a.push(smoke(redis_config(mode, value)));
+        }
+    }
+    figures.push(("fig11a_redis_sweep", fig11a));
+
+    figures
+}
+
+/// A compact equality fingerprint of one run's metrics: enough to catch any
+/// sequential/parallel divergence without a full PartialEq on RunMetrics.
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, usize) {
+    (
+        m.rx_goodput_bytes,
+        m.tx_goodput_bytes,
+        m.events_processed,
+        m.iommu.translations,
+        m.iommu.memory_reads,
+        m.fault_log.len(),
+    )
+}
+
+struct FigureResult {
+    name: &'static str,
+    runs: usize,
+    events: u64,
+    translations: u64,
+    seq_wall_ns: u128,
+    par_wall_ns: u128,
+}
+
+impl FigureResult {
+    fn speedup(&self) -> f64 {
+        self.seq_wall_ns as f64 / self.par_wall_ns.max(1) as f64
+    }
+    fn events_per_sec(&self, wall_ns: u128) -> f64 {
+        self.events as f64 / (wall_ns as f64 / 1e9)
+    }
+    fn ns_per_translation(&self, wall_ns: u128) -> f64 {
+        wall_ns as f64 / self.translations.max(1) as f64
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Figure names are static identifiers; keep the writer honest anyway.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "figure name {name:?} would need JSON escaping"
+    );
+    name
+}
+
+fn main() {
+    let parallel = SweepRunner::from_env();
+    let sequential = SweepRunner::new(1);
+    println!(
+        "=== perf_smoke: simulator wall-clock, sequential vs {} workers ===",
+        parallel.jobs()
+    );
+
+    let mut figures = Vec::new();
+    for (name, configs) in basket() {
+        let runs = configs.len();
+
+        let t0 = Instant::now();
+        let seq = sequential.run_sims(configs.clone());
+        let seq_wall_ns = t0.elapsed().as_nanos();
+
+        let t1 = Instant::now();
+        let par = parallel.run_sims(configs);
+        let par_wall_ns = t1.elapsed().as_nanos();
+
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{name} run {i}: parallel metrics diverged from sequential"
+            );
+        }
+
+        let fig = FigureResult {
+            name,
+            runs,
+            events: seq.iter().map(|m| m.events_processed).sum(),
+            translations: seq.iter().map(|m| m.iommu.translations).sum(),
+            seq_wall_ns,
+            par_wall_ns,
+        };
+        println!(
+            "{:>20}: {:2} runs  seq {:7.2} ms  par {:7.2} ms  speedup {:4.2}x  \
+             {:6.2} Mev/s par  {:6.1} ns/translation par",
+            fig.name,
+            fig.runs,
+            seq_wall_ns as f64 / 1e6,
+            par_wall_ns as f64 / 1e6,
+            fig.speedup(),
+            fig.events_per_sec(par_wall_ns) / 1e6,
+            fig.ns_per_translation(par_wall_ns),
+        );
+        figures.push(fig);
+    }
+
+    let seq_total: u128 = figures.iter().map(|f| f.seq_wall_ns).sum();
+    let par_total: u128 = figures.iter().map(|f| f.par_wall_ns).sum();
+    let basket_speedup = seq_total as f64 / par_total.max(1) as f64;
+    println!(
+        "basket: seq {:.2} ms, par {:.2} ms, speedup {:.2}x with {} workers",
+        seq_total as f64 / 1e6,
+        par_total as f64 / 1e6,
+        basket_speedup,
+        parallel.jobs()
+    );
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"jobs\": {},\n", parallel.jobs()));
+    out.push_str(&format!(
+        "  \"basket_seq_wall_ms\": {:.3},\n  \"basket_par_wall_ms\": {:.3},\n  \"basket_speedup\": {:.3},\n",
+        seq_total as f64 / 1e6,
+        par_total as f64 / 1e6,
+        basket_speedup
+    ));
+    out.push_str("  \"figures\": [\n");
+    for (i, f) in figures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"translations\": {}, \
+             \"seq_wall_ms\": {:.3}, \"par_wall_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"seq_events_per_sec\": {:.0}, \"par_events_per_sec\": {:.0}, \
+             \"seq_ns_per_translation\": {:.1}, \"par_ns_per_translation\": {:.1}}}{}\n",
+            json_escape_free(f.name),
+            f.runs,
+            f.events,
+            f.translations,
+            f.seq_wall_ns as f64 / 1e6,
+            f.par_wall_ns as f64 / 1e6,
+            f.speedup(),
+            f.events_per_sec(f.seq_wall_ns),
+            f.events_per_sec(f.par_wall_ns),
+            f.ns_per_translation(f.seq_wall_ns),
+            f.ns_per_translation(f.par_wall_ns),
+            if i + 1 == figures.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = std::env::var("FNS_BENCH_OUT").unwrap_or_else(|_| "BENCH_simcore.json".into());
+    std::fs::write(&path, out).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

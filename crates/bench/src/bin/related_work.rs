@@ -8,7 +8,7 @@
 //! safety; F&S is the only strict-safe design at line rate.
 
 use fns_apps::iperf_config;
-use fns_bench::{run, MEASURE_NS};
+use fns_bench::{runner, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn main() {
@@ -17,37 +17,45 @@ fn main() {
         "{:>6} {:>15} {:>10} {:>11} {:>9} {:>14}",
         "flows", "mode", "goodput", "IOTLB/page", "reads/pg", "safety"
     );
-    for flows in [5u32, 40] {
-        for mode in [
-            ProtectionMode::IommuOff,
-            ProtectionMode::LinuxStrict,
-            ProtectionMode::LinuxDeferred,
-            ProtectionMode::DamnRecycle,
-            ProtectionMode::HugepagePinned,
-            ProtectionMode::FastAndSafe,
-        ] {
-            let mut cfg = iperf_config(mode, flows, 256);
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            let safety = if mode == ProtectionMode::IommuOff {
-                "none"
-            } else if mode.is_strict_safe() {
-                "STRICT"
-            } else {
-                "weakened"
-            };
-            println!(
-                "{flows:>6} {:>15} {:>8.1} G {:>11.2} {:>9.2} {:>14}",
-                mode.label(),
-                m.rx_gbps(),
-                m.iotlb_misses_per_page(),
-                m.memory_reads_per_page(),
-                safety,
-            );
-            assert_eq!(m.stale_ptcache_walks, 0);
+    let modes = [
+        ProtectionMode::IommuOff,
+        ProtectionMode::LinuxStrict,
+        ProtectionMode::LinuxDeferred,
+        ProtectionMode::DamnRecycle,
+        ProtectionMode::HugepagePinned,
+        ProtectionMode::FastAndSafe,
+    ];
+    let results = runner().run_grid(&[5u32, 40], &modes, |flows, mode| {
+        let mut cfg = iperf_config(mode, flows, 256);
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    let mut current_flows = 0u32;
+    for (flows, mode, m) in &results {
+        if *flows != current_flows {
+            if current_flows != 0 {
+                println!();
+            }
+            current_flows = *flows;
         }
-        println!();
+        let safety = if *mode == ProtectionMode::IommuOff {
+            "none"
+        } else if mode.is_strict_safe() {
+            "STRICT"
+        } else {
+            "weakened"
+        };
+        println!(
+            "{flows:>6} {:>15} {:>8.1} G {:>11.2} {:>9.2} {:>14}",
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.memory_reads_per_page(),
+            safety,
+        );
+        assert_eq!(m.stale_ptcache_walks, 0);
     }
+    println!();
     println!(
         "hugepage-pin reaches 2 MB per IOTLB entry (misses ~0) and damn-recycle\n\
          skips all unmap/invalidate work — but both leave buffers permanently\n\

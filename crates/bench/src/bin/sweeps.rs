@@ -9,7 +9,7 @@
 //! Usage: `sweeps [mtu|cores|ddio|ptcache|aging|assoc|all]` (default: all).
 
 use fns_apps::iperf_config;
-use fns_bench::{run, HEADLINE_MODES, MEASURE_NS};
+use fns_bench::{runner, HEADLINE_MODES, MEASURE_NS};
 use fns_core::ProtectionMode;
 
 fn row(label: &str, mode: ProtectionMode, m: &fns_core::RunMetrics) {
@@ -25,40 +25,41 @@ fn row(label: &str, mode: ProtectionMode, m: &fns_core::RunMetrics) {
 
 fn mtu_sweep() {
     println!("--- MTU sweep (tech report: F&S benefits hold across sizes) ---");
-    for mtu in [1500u32, 4096, 9000] {
-        for mode in HEADLINE_MODES {
-            let mut cfg = iperf_config(mode, 5, 256);
-            cfg.mtu = mtu;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            row(&format!("mtu={mtu}"), mode, &m);
-        }
+    let results = runner().run_grid(&[1500u32, 4096, 9000], &HEADLINE_MODES, |mtu, mode| {
+        let mut cfg = iperf_config(mode, 5, 256);
+        cfg.mtu = mtu;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (mtu, mode, m) in &results {
+        row(&format!("mtu={mtu}"), *mode, m);
     }
 }
 
 fn core_sweep() {
     println!("--- core-count sweep (one flow per core) ---");
-    for cores in [3usize, 5, 8] {
-        for mode in HEADLINE_MODES {
-            let mut cfg = iperf_config(mode, cores as u32, 256);
-            cfg.cores = cores;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            row(&format!("cores={cores}"), mode, &m);
-        }
+    let results = runner().run_grid(&[3usize, 5, 8], &HEADLINE_MODES, |cores, mode| {
+        let mut cfg = iperf_config(mode, cores as u32, 256);
+        cfg.cores = cores;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (cores, mode, m) in &results {
+        row(&format!("cores={cores}"), *mode, m);
     }
 }
 
 fn ddio_sweep() {
     println!("--- DDIO on/off (tech report: negligible impact on IOMMU behaviour) ---");
-    for (label, data_read_ns) in [("ddio-off", 2_000u64), ("ddio-on", 400)] {
-        for mode in HEADLINE_MODES {
-            let mut cfg = iperf_config(mode, 5, 2048);
-            cfg.cpu.pkt_data_read_ns = data_read_ns;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            row(label, mode, &m);
-        }
+    let points = [("ddio-off", 2_000u64), ("ddio-on", 400)];
+    let results = runner().run_grid(&points, &HEADLINE_MODES, |(_, data_read_ns), mode| {
+        let mut cfg = iperf_config(mode, 5, 2048);
+        cfg.cpu.pkt_data_read_ns = data_read_ns;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for ((label, _), mode, m) in &results {
+        row(label, *mode, m);
     }
     println!("(DDIO lands DMA data in the LLC: lower per-packet read cost, so the");
     println!(" ring-2048 CPU bottleneck of Figure 8a relaxes; misses are unchanged.)");
@@ -66,14 +67,15 @@ fn ddio_sweep() {
 
 fn ptcache_sweep() {
     println!("--- PTcache-L3 size ablation (hardware sizes are not public) ---");
-    for entries in [8usize, 16, 32, 64] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-            let mut cfg = iperf_config(mode, 5, 2048);
-            cfg.iommu.ptcache_l3_entries = entries;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            row(&format!("l3={entries}"), mode, &m);
-        }
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let results = runner().run_grid(&[8usize, 16, 32, 64], &modes, |entries, mode| {
+        let mut cfg = iperf_config(mode, 5, 2048);
+        cfg.iommu.ptcache_l3_entries = entries;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (entries, mode, m) in &results {
+        row(&format!("l3={entries}"), *mode, m);
     }
     println!("(F&S is insensitive to the PTcache-L3 size — its working set is <=2");
     println!(" entries per descriptor; Linux leans on capacity it may not have.)");
@@ -81,20 +83,23 @@ fn ptcache_sweep() {
 
 fn assoc_sweep() {
     println!("--- IOTLB associativity ablation (organization is not public) ---");
-    for (label, assoc) in [("full", None), ("8-way", Some(8)), ("4-way", Some(4))] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-            let mut cfg = iperf_config(mode, 40, 256);
-            cfg.iommu.iotlb_assoc = assoc;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            println!(
-                "{label:>12} {:>14}  rx {:6.1} Gbps  iotlb/pg {:5.2}  M {:5.2}",
-                mode.label(),
-                m.rx_gbps(),
-                m.iotlb_misses_per_page(),
-                m.memory_reads_per_page(),
-            );
-        }
+    let points: [(&str, Option<usize>); 3] =
+        [("full", None), ("8-way", Some(8)), ("4-way", Some(4))];
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let results = runner().run_grid(&points, &modes, |(_, assoc), mode| {
+        let mut cfg = iperf_config(mode, 40, 256);
+        cfg.iommu.iotlb_assoc = assoc;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for ((label, _), mode, m) in &results {
+        println!(
+            "{label:>12} {:>14}  rx {:6.1} Gbps  iotlb/pg {:5.2}  M {:5.2}",
+            mode.label(),
+            m.rx_gbps(),
+            m.iotlb_misses_per_page(),
+            m.memory_reads_per_page(),
+        );
     }
     println!("(Strict invalidation makes every first touch miss regardless of");
     println!(" organization; associativity only adds conflict misses on top.)");
@@ -102,14 +107,15 @@ fn assoc_sweep() {
 
 fn aging_sweep() {
     println!("--- allocator-aging ablation (pristine vs long-running allocator) ---");
-    for aging in [0.0f64, 1.5] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-            let mut cfg = iperf_config(mode, 5, 2048);
-            cfg.aging_factor = aging;
-            cfg.measure = MEASURE_NS;
-            let m = run(cfg);
-            row(&format!("aging={aging}"), mode, &m);
-        }
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let results = runner().run_grid(&[0.0f64, 1.5], &modes, |aging, mode| {
+        let mut cfg = iperf_config(mode, 5, 2048);
+        cfg.aging_factor = aging;
+        cfg.measure = MEASURE_NS;
+        cfg
+    });
+    for (aging, mode, m) in &results {
+        row(&format!("aging={aging}"), *mode, m);
     }
     println!("(A freshly booted allocator hands out near-contiguous IOVAs, hiding");
     println!(" the locality problem; aged caches reveal the Figure 3 behaviour.)");

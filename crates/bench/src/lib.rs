@@ -6,6 +6,8 @@
 
 use fns_core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
 
+pub use fns_harness::SweepRunner;
+
 /// Measurement duration used by the figure binaries (ns). Long enough for
 /// stable steady-state averages, short enough that a full figure regenerates
 /// in seconds.
@@ -14,6 +16,13 @@ pub const MEASURE_NS: u64 = 60_000_000;
 /// Runs one configuration to completion.
 pub fn run(cfg: SimConfig) -> RunMetrics {
     HostSim::new(cfg).run()
+}
+
+/// The sweep runner every figure binary uses: `FNS_JOBS` workers (default:
+/// the machine's available parallelism), results in submission order, so
+/// figure output is byte-identical at any job count.
+pub fn runner() -> SweepRunner {
+    SweepRunner::from_env()
 }
 
 /// The three modes every figure compares.

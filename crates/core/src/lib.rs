@@ -20,6 +20,7 @@
 pub mod config;
 pub mod driver;
 pub mod errors;
+pub mod flow_table;
 pub mod metrics;
 pub mod mode;
 pub mod model;

@@ -6,7 +6,9 @@ use fns_sim::time::{throughput_gbps, Nanos};
 
 /// Everything one simulation run measures (over the measurement window,
 /// after warmup).
-#[derive(Debug, Clone)]
+/// `PartialEq` exists for the golden-determinism tests: two runs of the
+/// same config must be bit-identical, every field included.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Measurement window length.
     pub window_ns: Nanos,
@@ -38,6 +40,10 @@ pub struct RunMetrics {
     pub map_cpu_ns: u64,
     /// CPU ns spent waiting on the invalidation queue over the whole run.
     pub invalidation_cpu_ns: u64,
+    /// Total simulator events processed over the whole run (warmup
+    /// included; the numerator of the harness's events/sec rate). Purely a
+    /// simulator-performance observable — no simulated behaviour reads it.
+    pub events_processed: u64,
     /// Merged fault-injection/recovery counters from the driver and wire
     /// planes, over the whole run (like `map_cpu_ns`, not windowed).
     pub faults: fns_faults::FaultStats,
@@ -152,6 +158,7 @@ mod tests {
             locality_distances: vec![None, Some(10), Some(100), Some(1)],
             map_cpu_ns: 0,
             invalidation_cpu_ns: 0,
+            events_processed: 0,
             faults: Default::default(),
             fault_log: Vec::new(),
         }

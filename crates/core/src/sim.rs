@@ -19,7 +19,7 @@
 //! §2.2 model; every throughput collapse in the reproduction emerges from
 //! this resource backing up into the NIC buffer.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use fns_faults::{FaultKind, FaultPlane};
 use fns_iova::types::Iova;
@@ -37,6 +37,7 @@ use fns_sim::time::Nanos;
 
 use crate::config::{SimConfig, Workload};
 use crate::driver::DmaDriver;
+use crate::flow_table::{FlowSet, FlowTable};
 use crate::metrics::RunMetrics;
 use crate::resources::SerialResource;
 
@@ -50,7 +51,7 @@ const NAPI_BUDGET: usize = 64;
 /// Stride granularity for packing small packets into Rx pages.
 const STRIDE: u64 = 256;
 /// Flow-id offset for DUT→peer flows.
-const TX_FLOW_BASE: u32 = 1000;
+const TX_FLOW_BASE: u32 = crate::flow_table::TX_FLOW_BASE;
 /// RNG-fork salt for the driver-side fault plane. Each plane owns its own
 /// stream forked from the experiment seed, so enabling faults (or changing
 /// one plane's mix) never perturbs the baseline workload trajectory.
@@ -186,11 +187,11 @@ pub struct HostSim {
     /// another core's ACKs.
     tx_queues: Vec<VecDeque<(Packet, Vec<DescriptorPage>)>>,
     tx_rr: usize,
-    peer_senders: BTreeMap<FlowId, DctcpSender>,
-    dut_receivers: BTreeMap<FlowId, FlowReceiver>,
-    dut_senders: BTreeMap<FlowId, DctcpSender>,
-    peer_receivers: BTreeMap<FlowId, FlowReceiver>,
-    core_of: BTreeMap<FlowId, usize>,
+    peer_senders: FlowTable<DctcpSender>,
+    dut_receivers: FlowTable<FlowReceiver>,
+    dut_senders: FlowTable<DctcpSender>,
+    peer_receivers: FlowTable<FlowReceiver>,
+    core_of: FlowTable<usize>,
     to_dut: SwitchQueue,
     to_dut_link: SerialResource,
     to_dut_draining: bool,
@@ -198,9 +199,11 @@ pub struct HostSim {
     to_peer_link: SerialResource,
     to_peer_draining: bool,
     rr_conns: Vec<RrConn>,
-    /// Flows with an outstanding RtoCheck event (`(is_peer, flow)`), so at
-    /// most one timer event exists per sender at a time.
-    rto_armed: std::collections::BTreeSet<(bool, u32)>,
+    /// Flows with an outstanding RtoCheck event (peer-side and DUT-side
+    /// senders tracked separately), so at most one timer event exists per
+    /// sender at a time.
+    rto_armed_peer: FlowSet,
+    rto_armed_dut: FlowSet,
     latency: Histogram,
     /// Drops due to descriptor exhaustion (ring empty) — distinct from NIC
     /// buffer overflow but reported together.
@@ -236,7 +239,9 @@ impl HostSim {
             cfg.pages_per_descriptor as u64,
         );
         let mut sim = Self {
-            q: EventQueue::new(),
+            // Pre-sized so steady-state event churn never reallocates the
+            // heap (the deepest observed backlogs stay well below this).
+            q: EventQueue::with_capacity(4096),
             rng,
             drv,
             rings: Vec::new(),
@@ -249,11 +254,11 @@ impl HostSim {
             tx_inflight: 0,
             tx_queues: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
             tx_rr: 0,
-            peer_senders: BTreeMap::new(),
-            dut_receivers: BTreeMap::new(),
-            dut_senders: BTreeMap::new(),
-            peer_receivers: BTreeMap::new(),
-            core_of: BTreeMap::new(),
+            peer_senders: FlowTable::new(),
+            dut_receivers: FlowTable::new(),
+            dut_senders: FlowTable::new(),
+            peer_receivers: FlowTable::new(),
+            core_of: FlowTable::new(),
             to_dut: SwitchQueue::new(4 << 20, cfg.ecn_k_bytes),
             to_dut_link: SerialResource::new(),
             to_dut_draining: false,
@@ -261,7 +266,8 @@ impl HostSim {
             to_peer_link: SerialResource::new(),
             to_peer_draining: false,
             rr_conns: Vec::new(),
-            rto_armed: std::collections::BTreeSet::new(),
+            rto_armed_peer: FlowSet::new(),
+            rto_armed_dut: FlowSet::new(),
             latency: Histogram::new(),
             ring_drops: 0,
             tx_pkts_sent: 0,
@@ -440,7 +446,7 @@ impl HostSim {
                         // Peer clients send requests; DUT replies.
                         self.add_peer_flow(client_flow, core, false);
                         self.add_dut_flow(server_flow, core, false);
-                        let s = self.peer_senders.get_mut(&client_flow).unwrap();
+                        let s = self.peer_senders.get_mut(client_flow).unwrap();
                         s.enqueue_app_bytes(request_bytes * depth as u64);
                         self.rr_conns.push(RrConn {
                             inbound_flow: client_flow,
@@ -455,7 +461,7 @@ impl HostSim {
                         // inbound data.
                         self.add_dut_flow(server_flow, core, false);
                         self.add_peer_flow(client_flow, core, false);
-                        let s = self.dut_senders.get_mut(&server_flow).unwrap();
+                        let s = self.dut_senders.get_mut(server_flow).unwrap();
                         s.enqueue_app_bytes(request_bytes * depth as u64);
                         self.q.push(1 + i as u64 * 97, Ev::DutPump(server_flow));
                         self.rr_conns.push(RrConn {
@@ -485,7 +491,7 @@ impl HostSim {
                 self.add_peer_flow(req_flow, rpc_core, false);
                 self.add_dut_flow(resp_flow, rpc_core, false);
                 self.peer_senders
-                    .get_mut(&req_flow)
+                    .get_mut(req_flow)
                     .unwrap()
                     .enqueue_app_bytes(rpc_bytes);
                 self.rr_conns.push(RrConn {
@@ -526,7 +532,7 @@ impl HostSim {
             .iter()
             .map(|(f, s)| {
                 (
-                    *f,
+                    f,
                     s.bytes_in_flight(),
                     s.cwnd(),
                     s.timeouts,
@@ -584,7 +590,12 @@ impl HostSim {
 
     /// Schedules an RtoCheck for a sender unless one is already pending.
     fn arm_rto_check(&mut self, now: Nanos, peer: bool, flow: FlowId, deadline: Nanos) {
-        if self.rto_armed.insert((peer, flow.0)) {
+        let armed = if peer {
+            &mut self.rto_armed_peer
+        } else {
+            &mut self.rto_armed_dut
+        };
+        if armed.insert(flow) {
             self.q.push(deadline.max(now), Ev::RtoCheck { peer, flow });
         }
     }
@@ -605,7 +616,7 @@ impl HostSim {
     }
 
     fn peer_pump(&mut self, now: Nanos, flow: FlowId) {
-        let Some(s) = self.peer_senders.get_mut(&flow) else {
+        let Some(s) = self.peer_senders.get_mut(flow) else {
             return;
         };
         let mut emitted = false;
@@ -620,7 +631,7 @@ impl HostSim {
         if emitted {
             self.schedule_to_dut_drain(now);
         }
-        if let Some(d) = self.peer_senders.get(&flow).and_then(|s| s.rto_deadline()) {
+        if let Some(d) = self.peer_senders.get(flow).and_then(|s| s.rto_deadline()) {
             self.arm_rto_check(now, true, flow, d);
         }
     }
@@ -801,10 +812,10 @@ impl HostSim {
     }
 
     fn core_for_packet(&self, pkt: &Packet) -> usize {
-        *self
-            .core_of
-            .get(&pkt.flow)
-            .unwrap_or(&((pkt.flow.0 as usize) % self.cfg.cores))
+        self.core_of
+            .get(pkt.flow)
+            .copied()
+            .unwrap_or((pkt.flow.0 as usize) % self.cfg.cores)
     }
 
     fn rx_dma_done(&mut self, now: Nanos, core: usize, pkt: Packet) {
@@ -920,7 +931,7 @@ impl HostSim {
             }
             match pkt.kind {
                 PacketKind::Data => {
-                    if let Some(r) = self.dut_receivers.get_mut(&pkt.flow) {
+                    if let Some(r) = self.dut_receivers.get_mut(pkt.flow) {
                         if let Some(a) = r.on_data(&pkt, now) {
                             acks.push((pkt.flow, a));
                         }
@@ -934,7 +945,7 @@ impl HostSim {
                     ecn_echo,
                     acked_pkts,
                 } => {
-                    if let Some(s) = self.dut_senders.get_mut(&pkt.flow) {
+                    if let Some(s) = self.dut_senders.get_mut(pkt.flow) {
                         let out = s.on_ack(ack_seq, ecn_echo, acked_pkts, now);
                         if out.fast_retransmit {
                             dut_fast_rtx.push(pkt.flow);
@@ -948,7 +959,7 @@ impl HostSim {
         }
         // 4. Flush coalesced ACKs (GRO flush at poll end).
         for flow in touched_receivers {
-            if let Some(r) = self.dut_receivers.get_mut(&flow) {
+            if let Some(r) = self.dut_receivers.get_mut(flow) {
                 if let Some(a) = r.flush_ack() {
                     acks.push((flow, a));
                 }
@@ -972,7 +983,7 @@ impl HostSim {
         }
         // 7. Fast retransmissions for DUT flows.
         for flow in dut_fast_rtx {
-            if let Some(s) = self.dut_senders.get_mut(&flow) {
+            if let Some(s) = self.dut_senders.get_mut(flow) {
                 let pkt = s.fast_retransmit_packet(now);
                 let n_pages = self.cfg.pages_for(pkt.bytes);
                 // A failed mapping drops the retransmission; RTO recovers.
@@ -1059,7 +1070,7 @@ impl HostSim {
             if conn.core != core {
                 continue;
             }
-            let Some(r) = self.dut_receivers.get(&conn.inbound_flow) else {
+            let Some(r) = self.dut_receivers.get(conn.inbound_flow) else {
                 continue;
             };
             while r.delivered_bytes >= conn.next_in_boundary {
@@ -1068,7 +1079,7 @@ impl HostSim {
                 // producing the outbound one (e.g. nginx's cost is on the
                 // page it serves, Redis's on the value it stores).
                 cpu += app_req_ns + app_kb_ns * (in_bytes + out_bytes).div_ceil(1024);
-                if let Some(s) = self.dut_senders.get_mut(&conn.outbound_flow) {
+                if let Some(s) = self.dut_senders.get_mut(conn.outbound_flow) {
                     s.enqueue_app_bytes(out_bytes);
                     pump.push(conn.outbound_flow);
                 }
@@ -1090,10 +1101,10 @@ impl HostSim {
     // ----- DUT transmit path -------------------------------------------------
 
     fn dut_pump(&mut self, now: Nanos, flow: FlowId) {
-        let core = *self.core_of.get(&flow).unwrap_or(&0);
+        let core = self.core_of.get(flow).copied().unwrap_or(0);
         let mut cpu = 0;
         let mut to_map: Vec<Packet> = Vec::new();
-        if let Some(s) = self.dut_senders.get_mut(&flow) {
+        if let Some(s) = self.dut_senders.get_mut(flow) {
             while let Some(pkt) = s.next_packet(now) {
                 to_map.push(pkt);
             }
@@ -1213,7 +1224,7 @@ impl HostSim {
                 acked_pkts,
             } => {
                 // DUT's ACK for a peer→DUT flow.
-                if let Some(s) = self.peer_senders.get_mut(&pkt.flow) {
+                if let Some(s) = self.peer_senders.get_mut(pkt.flow) {
                     let out = s.on_ack(ack_seq, ecn_echo, acked_pkts, now);
                     if out.fast_retransmit {
                         let rtx = s.fast_retransmit_packet(now);
@@ -1229,7 +1240,7 @@ impl HostSim {
                 // DUT→peer data: peer receiver generates ACKs that travel
                 // back to the DUT as inbound packets.
                 let mut acks = Vec::new();
-                if let Some(r) = self.peer_receivers.get_mut(&pkt.flow) {
+                if let Some(r) = self.peer_receivers.get_mut(pkt.flow) {
                     if let Some(a) = r.on_data(&pkt, now) {
                         acks.push(a);
                     }
@@ -1265,12 +1276,12 @@ impl HostSim {
             // queues a response back toward the DUT.
             let mut pumps = Vec::new();
             for conn in &mut self.rr_conns {
-                let Some(r) = self.peer_receivers.get(&conn.outbound_flow) else {
+                let Some(r) = self.peer_receivers.get(conn.outbound_flow) else {
                     continue;
                 };
                 while r.delivered_bytes >= conn.next_out_boundary {
                     conn.next_out_boundary += req_bytes;
-                    if let Some(s) = self.peer_senders.get_mut(&conn.inbound_flow) {
+                    if let Some(s) = self.peer_senders.get_mut(conn.inbound_flow) {
                         s.enqueue_app_bytes(resp_bytes);
                         pumps.push(conn.inbound_flow);
                     }
@@ -1283,7 +1294,7 @@ impl HostSim {
         }
         let mut pumps = Vec::new();
         for conn in &mut self.rr_conns {
-            let Some(r) = self.peer_receivers.get(&conn.outbound_flow) else {
+            let Some(r) = self.peer_receivers.get(conn.outbound_flow) else {
                 continue;
             };
             while r.delivered_bytes >= conn.next_out_boundary {
@@ -1295,7 +1306,7 @@ impl HostSim {
                     }
                 }
                 conn.issue_times.push_back(now);
-                if let Some(s) = self.peer_senders.get_mut(&conn.inbound_flow) {
+                if let Some(s) = self.peer_senders.get_mut(conn.inbound_flow) {
                     s.enqueue_app_bytes(req_bytes);
                     pumps.push(conn.inbound_flow);
                 }
@@ -1309,11 +1320,15 @@ impl HostSim {
     // ----- timers ---------------------------------------------------------------
 
     fn rto_check(&mut self, now: Nanos, peer: bool, flow: FlowId) {
-        self.rto_armed.remove(&(peer, flow.0));
-        let sender = if peer {
-            self.peer_senders.get_mut(&flow)
+        if peer {
+            self.rto_armed_peer.remove(flow);
         } else {
-            self.dut_senders.get_mut(&flow)
+            self.rto_armed_dut.remove(flow);
+        }
+        let sender = if peer {
+            self.peer_senders.get_mut(flow)
+        } else {
+            self.dut_senders.get_mut(flow)
         };
         let Some(s) = sender else { return };
         match s.rto_deadline() {
@@ -1323,7 +1338,7 @@ impl HostSim {
                     self.peer_pump(now, flow);
                 } else {
                     self.q.push(now, Ev::DutPump(flow));
-                    if let Some(s) = self.dut_senders.get(&flow) {
+                    if let Some(s) = self.dut_senders.get(flow) {
                         if let Some(d2) = s.rto_deadline() {
                             self.arm_rto_check(now, peer, flow, d2);
                         }
@@ -1396,6 +1411,7 @@ impl HostSim {
             locality_distances: self.drv.locality.distances()[snap.locality_mark..].to_vec(),
             map_cpu_ns: self.drv.map_cpu_ns,
             invalidation_cpu_ns: self.drv.invalidation_cpu_ns,
+            events_processed: self.q.total_popped(),
             faults,
             fault_log,
         }

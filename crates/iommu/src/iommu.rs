@@ -12,7 +12,7 @@ use fns_mem::addr::PhysAddr;
 
 use crate::config::IommuConfig;
 use crate::iotlb::Iotlb;
-use crate::lru::LruCache;
+use crate::lru64::Lru64;
 use crate::pagetable::{
     IoPageTable, PageRef, PtEntryView, PtError, ReclaimedPage, UnmapOutcome, WalkResult,
     L4_SPAN_PFNS,
@@ -111,13 +111,13 @@ pub struct Iommu {
     iotlb: Iotlb,
     /// Huge-page IOTLB: key = 2 MB region (l4 page key), value = physical
     /// base of the region.
-    iotlb_huge: LruCache<u64, PhysAddr>,
+    iotlb_huge: Lru64<PhysAddr>,
     /// key: iova bits 39.. (one entry covers 512 GB) -> PT-L2 page.
-    ptc_l1: LruCache<u64, PageRef>,
+    ptc_l1: Lru64<PageRef>,
     /// key: iova bits 30.. (1 GB) -> PT-L3 page.
-    ptc_l2: LruCache<u64, PageRef>,
+    ptc_l2: Lru64<PageRef>,
     /// key: iova bits 21.. (2 MB) -> PT-L4 page.
-    ptc_l3: LruCache<u64, PageRef>,
+    ptc_l3: Lru64<PageRef>,
     config: IommuConfig,
     stats: IommuStats,
 }
@@ -128,10 +128,10 @@ impl Iommu {
         Self {
             pt: IoPageTable::new(),
             iotlb: Iotlb::new(config.iotlb_entries, config.iotlb_assoc),
-            iotlb_huge: LruCache::new(config.iotlb_huge_entries),
-            ptc_l1: LruCache::new(config.ptcache_l1_entries),
-            ptc_l2: LruCache::new(config.ptcache_l2_entries),
-            ptc_l3: LruCache::new(config.ptcache_l3_entries),
+            iotlb_huge: Lru64::new(config.iotlb_huge_entries),
+            ptc_l1: Lru64::new(config.ptcache_l1_entries),
+            ptc_l2: Lru64::new(config.ptcache_l2_entries),
+            ptc_l3: Lru64::new(config.ptcache_l3_entries),
             config,
             stats: IommuStats::default(),
         }
@@ -215,7 +215,7 @@ impl Iommu {
                 iotlb_hit: true,
             };
         }
-        if let Some(&base) = self.iotlb_huge.get(&iova.l4_page_key()) {
+        if let Some(base) = self.iotlb_huge.get(iova.l4_page_key()) {
             self.stats.iotlb_hits += 1;
             let pa = base.add((iova.pfn() % L4_SPAN_PFNS) << 12);
             if self.config.verify_safety && self.pt.lookup(iova) != Some(pa) {
@@ -247,7 +247,7 @@ impl Iommu {
     /// page-structure cache hit.
     fn walk(&mut self, iova: Iova) -> Translation {
         // PTcache-L3: directly locates the PT-L4 leaf page (1 read).
-        if let Some(&l4) = self.ptc_l3.get(&iova.l4_page_key()) {
+        if let Some(l4) = self.ptc_l3.get(iova.l4_page_key()) {
             match self.pt.read_via(l4, iova) {
                 Ok(Some(PtEntryView::Leaf(pa))) => {
                     self.iotlb.insert(iova.pfn(), pa);
@@ -272,13 +272,13 @@ impl Iommu {
                     // violation, drop the poisoned entry, and continue with
                     // a deeper lookup so the simulation stays deterministic.
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l3.remove(&iova.l4_page_key());
+                    self.ptc_l3.remove(iova.l4_page_key());
                 }
             }
         }
         self.stats.ptcache_l3_misses += 1;
         // PTcache-L2: locates the PT-L3 page (2 reads: L3 entry + L4 entry).
-        if let Some(&l3) = self.ptc_l2.get(&iova.l3_page_key()) {
+        if let Some(l3) = self.ptc_l2.get(iova.l3_page_key()) {
             match self.pt.read_via(l3, iova) {
                 Ok(Some(PtEntryView::Child(l4))) => {
                     return self.finish_from_l4(iova, l4, 2);
@@ -294,13 +294,13 @@ impl Iommu {
                 }
                 Err(_) => {
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l2.remove(&iova.l3_page_key());
+                    self.ptc_l2.remove(iova.l3_page_key());
                 }
             }
         }
         self.stats.ptcache_l2_misses += 1;
         // PTcache-L1: locates the PT-L2 page (3 reads).
-        if let Some(&l2) = self.ptc_l1.get(&iova.l2_page_key()) {
+        if let Some(l2) = self.ptc_l1.get(iova.l2_page_key()) {
             match self.pt.read_via(l2, iova) {
                 Ok(Some(PtEntryView::Child(l3))) => match self.pt.read_via(l3, iova) {
                     Ok(Some(PtEntryView::Child(l4))) => {
@@ -328,7 +328,7 @@ impl Iommu {
                 }
                 Err(_) => {
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l1.remove(&iova.l2_page_key());
+                    self.ptc_l1.remove(iova.l2_page_key());
                 }
             }
         }
@@ -398,7 +398,7 @@ impl Iommu {
             let lo = range.base().l4_page_key();
             let hi = range.page(range.pages() - 1).l4_page_key();
             for key in lo..=hi {
-                if self.iotlb_huge.remove(&key).is_some() {
+                if self.iotlb_huge.remove(key).is_some() {
                     self.stats.iotlb_invalidations += 1;
                 }
             }
@@ -422,7 +422,7 @@ impl Iommu {
         let lo = range.base();
         let hi = range.page(range.pages() - 1);
         for key in lo.l4_page_key()..=hi.l4_page_key() {
-            if self.ptc_l3.remove(&key).is_some() {
+            if self.ptc_l3.remove(key).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
@@ -433,7 +433,7 @@ impl Iommu {
             let first = range.pfn_lo().div_ceil(crate::pagetable::L3_SPAN_PFNS);
             let mut region = first;
             while (region + 1) * crate::pagetable::L3_SPAN_PFNS - 1 <= range.pfn_hi() {
-                if self.ptc_l2.remove(&region).is_some() {
+                if self.ptc_l2.remove(region).is_some() {
                     self.stats.ptcache_invalidations += 1;
                 }
                 region += 1;
@@ -443,7 +443,7 @@ impl Iommu {
             let first = range.pfn_lo().div_ceil(crate::pagetable::L2_SPAN_PFNS);
             let mut region = first;
             while (region + 1) * crate::pagetable::L2_SPAN_PFNS - 1 <= range.pfn_hi() {
-                if self.ptc_l1.remove(&region).is_some() {
+                if self.ptc_l1.remove(region).is_some() {
                     self.stats.ptcache_invalidations += 1;
                 }
                 region += 1;
@@ -457,12 +457,12 @@ impl Iommu {
         let lo = range.base();
         let hi = range.page(range.pages() - 1);
         for key in lo.l3_page_key()..=hi.l3_page_key() {
-            if self.ptc_l2.remove(&key).is_some() {
+            if self.ptc_l2.remove(key).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
         for key in lo.l2_page_key()..=hi.l2_page_key() {
-            if self.ptc_l1.remove(&key).is_some() {
+            if self.ptc_l1.remove(key).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
@@ -488,9 +488,9 @@ impl Iommu {
     pub fn invalidate_for_reclaimed(&mut self, reclaimed: &[ReclaimedPage]) {
         for r in reclaimed {
             let removed = match r.level {
-                4 => self.ptc_l3.remove(&r.region_key).is_some(),
-                3 => self.ptc_l2.remove(&r.region_key).is_some(),
-                2 => self.ptc_l1.remove(&r.region_key).is_some(),
+                4 => self.ptc_l3.remove(r.region_key).is_some(),
+                3 => self.ptc_l2.remove(r.region_key).is_some(),
+                2 => self.ptc_l1.remove(r.region_key).is_some(),
                 _ => unreachable!("root is never reclaimed"),
             };
             if removed {

@@ -9,7 +9,7 @@
 
 use fns_mem::addr::PhysAddr;
 
-use crate::lru::LruCache;
+use crate::lru64::Lru64;
 
 /// An IOTLB holding 4 KB translations (pfn -> physical address).
 ///
@@ -30,12 +30,12 @@ use crate::lru::LruCache;
 #[derive(Debug, Clone)]
 pub enum Iotlb {
     /// One LRU array over all entries.
-    FullAssoc(LruCache<u64, PhysAddr>),
+    FullAssoc(Lru64<PhysAddr>),
     /// `sets.len()` independent LRU arrays of `ways` entries, indexed by
     /// `pfn % sets.len()`.
     SetAssoc {
         /// The per-set LRU arrays.
-        sets: Vec<LruCache<u64, PhysAddr>>,
+        sets: Vec<Lru64<PhysAddr>>,
     },
 }
 
@@ -49,7 +49,7 @@ impl Iotlb {
     /// `entries`.
     pub fn new(entries: usize, assoc: Option<usize>) -> Self {
         match assoc {
-            None => Iotlb::FullAssoc(LruCache::new(entries)),
+            None => Iotlb::FullAssoc(Lru64::new(entries)),
             Some(ways) => {
                 assert!(ways > 0, "zero-way IOTLB");
                 assert!(
@@ -58,23 +58,23 @@ impl Iotlb {
                 );
                 let n_sets = entries / ways;
                 Iotlb::SetAssoc {
-                    sets: (0..n_sets).map(|_| LruCache::new(ways)).collect(),
+                    sets: (0..n_sets).map(|_| Lru64::new(ways)).collect(),
                 }
             }
         }
     }
 
-    fn set_for(sets: &[LruCache<u64, PhysAddr>], pfn: u64) -> usize {
+    fn set_for(sets: &[Lru64<PhysAddr>], pfn: u64) -> usize {
         (pfn % sets.len() as u64) as usize
     }
 
     /// Looks up a translation, refreshing recency on hit.
     pub fn get(&mut self, pfn: u64) -> Option<PhysAddr> {
         match self {
-            Iotlb::FullAssoc(c) => c.get(&pfn).copied(),
+            Iotlb::FullAssoc(c) => c.get(pfn),
             Iotlb::SetAssoc { sets } => {
                 let s = Self::set_for(sets, pfn);
-                sets[s].get(&pfn).copied()
+                sets[s].get(pfn)
             }
         }
     }
@@ -95,10 +95,10 @@ impl Iotlb {
     /// Removes (invalidates) a translation.
     pub fn remove(&mut self, pfn: u64) -> Option<PhysAddr> {
         match self {
-            Iotlb::FullAssoc(c) => c.remove(&pfn),
+            Iotlb::FullAssoc(c) => c.remove(pfn),
             Iotlb::SetAssoc { sets } => {
                 let s = Self::set_for(sets, pfn);
-                sets[s].remove(&pfn)
+                sets[s].remove(pfn)
             }
         }
     }
@@ -107,7 +107,7 @@ impl Iotlb {
     pub fn len(&self) -> usize {
         match self {
             Iotlb::FullAssoc(c) => c.len(),
-            Iotlb::SetAssoc { sets } => sets.iter().map(LruCache::len).sum(),
+            Iotlb::SetAssoc { sets } => sets.iter().map(Lru64::len).sum(),
         }
     }
 
@@ -120,7 +120,7 @@ impl Iotlb {
     pub fn clear(&mut self) {
         match self {
             Iotlb::FullAssoc(c) => c.clear(),
-            Iotlb::SetAssoc { sets } => sets.iter_mut().for_each(LruCache::clear),
+            Iotlb::SetAssoc { sets } => sets.iter_mut().for_each(Lru64::clear),
         }
     }
 }

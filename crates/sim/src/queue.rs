@@ -17,9 +17,18 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E> Entry<E> {
+    /// The single source of ordering truth: `(timestamp, sequence)`. Every
+    /// comparator below derives from this key so the eq/ord impls can never
+    /// drift apart.
+    fn key(&self) -> (Nanos, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -30,7 +39,7 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -57,6 +66,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: Nanos,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,11 +78,35 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events, so a
+    /// workload whose steady-state backlog stays below it never reallocates
+    /// on push.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: 0,
+            popped: 0,
         }
+    }
+
+    /// Reserves capacity for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Total events popped over the queue's lifetime (the denominator of
+    /// the harness's events/sec throughput metric).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -118,6 +152,7 @@ impl<E> EventQueue<E> {
         let Reverse(e) = self.heap.pop()?;
         debug_assert!(e.at >= self.now);
         self.now = e.at;
+        self.popped += 1;
         Some((e.at, e.event))
     }
 
@@ -188,6 +223,37 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
         assert_eq!(q.peek_time(), Some(1));
+    }
+
+    #[test]
+    fn steady_state_churn_never_reallocates() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        // Fill to half capacity, then churn pop/push far past the initial
+        // fill: a steady-state backlog below capacity must never grow the
+        // heap allocation.
+        for i in 0..32u64 {
+            q.push(i, i);
+        }
+        for i in 32..10_000u64 {
+            let (_, _) = q.pop().expect("backlog nonempty");
+            q.push(i, i);
+            assert_eq!(q.capacity(), cap, "steady-state push reallocated");
+        }
+        assert_eq!(q.total_popped(), 10_000 - 32);
+    }
+
+    #[test]
+    fn reserve_grows_capacity_up_front() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.reserve(1000);
+        assert!(q.capacity() >= 1000);
+        let cap = q.capacity();
+        for i in 0..1000 {
+            q.push(i, ());
+        }
+        assert_eq!(q.capacity(), cap);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 /// let p50 = h.percentile(50.0);
 /// assert!((480..=530).contains(&p50));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

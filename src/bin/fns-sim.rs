@@ -6,17 +6,24 @@
 //! ```text
 //! fns-sim [--mode M|--all-modes] [--workload W] [--flows N] [--ring N]
 //!         [--mtu BYTES] [--cores N] [--pages-per-desc N] [--measure-ms N]
-//!         [--seed N] [--msg BYTES] [--faults P]
+//!         [--seed N] [--msg BYTES] [--faults P] [--jobs N]
+//! fns-sim --list-scenarios
 //!
 //! modes:     off linux deferred linux+A linux+B fns hugepage damn
 //! workloads: iperf bidir redis nginx spdk rpc
 //! ```
+//!
+//! With `--all-modes` (or any multi-mode invocation) the runs execute on
+//! the parallel sweep runner; `--jobs N` sets the worker count (default:
+//! `FNS_JOBS` or the machine's parallelism). Results always print in mode
+//! order regardless of the job count.
 
 use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
 };
-use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::core::{ProtectionMode, RunMetrics, SimConfig};
 use fns::faults::FaultConfig;
+use fns::harness::{SweepRunner, SCENARIOS};
 
 struct Args {
     modes: Vec<ProtectionMode>,
@@ -30,6 +37,7 @@ struct Args {
     seed: u64,
     msg_bytes: u64,
     faults: f64,
+    jobs: Option<usize>,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -52,9 +60,19 @@ fn usage() -> ! {
          \x20              [--flows N] [--ring N] [--mtu BYTES] [--cores N]\n\
          \x20              [--pages-per-desc N] [--measure-ms N] [--seed N] [--msg BYTES]\n\
          \x20              [--faults P]    inject faults at every site with probability P in [0,1]\n\
+         \x20              [--jobs N]      run multi-mode sweeps on N worker threads\n\
+         \x20              [--list-scenarios]  list the named scenario registry and exit\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
     std::process::exit(2);
+}
+
+fn list_scenarios() -> ! {
+    println!("named scenarios (canonical configs from the fns-harness registry):");
+    for s in SCENARIOS {
+        println!("  {:<18} {}", s.name, s.description);
+    }
+    std::process::exit(0);
 }
 
 fn parse_args() -> Args {
@@ -70,6 +88,7 @@ fn parse_args() -> Args {
         seed: 1,
         msg_bytes: 8192,
         faults: 0.0,
+        jobs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,6 +114,14 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--jobs" => {
+                let n: usize = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage()
+                }
+                args.jobs = Some(n);
+            }
+            "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -188,9 +215,17 @@ fn main() {
         args.measure_ms,
         args.seed
     );
-    for mode in args.modes.clone() {
-        let cfg = build_config(&args, mode);
-        let m = HostSim::new(cfg).run();
+    let runner = match args.jobs {
+        Some(n) => SweepRunner::new(n),
+        None => SweepRunner::from_env(),
+    };
+    let modes = args.modes.clone();
+    let configs = modes
+        .iter()
+        .map(|&mode| build_config(&args, mode))
+        .collect();
+    let results = runner.run_sims(configs);
+    for (mode, m) in modes.into_iter().zip(results) {
         print_result(&args, mode, &m);
         assert_eq!(m.stale_ptcache_walks, 0, "use-after-free walk detected");
     }

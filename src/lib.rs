@@ -7,6 +7,7 @@
 pub use fns_apps as apps;
 pub use fns_core as core;
 pub use fns_faults as faults;
+pub use fns_harness as harness;
 pub use fns_iommu as iommu;
 pub use fns_iova as iova;
 pub use fns_mem as mem;

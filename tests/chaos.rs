@@ -16,6 +16,7 @@
 use fns::apps::iperf_config;
 use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
 use fns::faults::{FaultConfig, FaultKind};
+use fns::harness::SweepRunner;
 
 /// A small, fast configuration: 2 cores, 2 flows, short windows, no
 /// allocator aging (aging is irrelevant to fault handling and dominates
@@ -39,30 +40,38 @@ fn run(mode: ProtectionMode, faults: FaultConfig) -> RunMetrics {
 /// no stale DMA may ever translate successfully.
 #[test]
 fn safety_invariant_survives_every_fault_mix() {
-    for &p in &[0.0, 0.001, 0.01, 0.05] {
-        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-            let m = run(mode, FaultConfig::uniform(p));
-            assert_eq!(m.stale_iotlb_hits, 0, "{mode} p={p}: stale IOTLB hit");
-            assert_eq!(m.stale_ptcache_walks, 0, "{mode} p={p}: stale walk");
-            assert_eq!(
-                m.faults.stale_dma_blocked + m.faults.stale_dma_leaked,
-                m.faults.injected_of(FaultKind::TranslationFault),
-                "{mode} p={p}: every stale-DMA probe must be accounted"
+    let probabilities = [0.0, 0.001, 0.01, 0.05];
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let mut points = Vec::new();
+    let mut configs = Vec::new();
+    for &p in &probabilities {
+        for mode in modes {
+            points.push((p, mode));
+            configs.push(chaos_config(mode, FaultConfig::uniform(p)));
+        }
+    }
+    let results = SweepRunner::from_env().run_sims(configs);
+    for ((p, mode), m) in points.into_iter().zip(results) {
+        assert_eq!(m.stale_iotlb_hits, 0, "{mode} p={p}: stale IOTLB hit");
+        assert_eq!(m.stale_ptcache_walks, 0, "{mode} p={p}: stale walk");
+        assert_eq!(
+            m.faults.stale_dma_blocked + m.faults.stale_dma_leaked,
+            m.faults.injected_of(FaultKind::TranslationFault),
+            "{mode} p={p}: every stale-DMA probe must be accounted"
+        );
+        assert_eq!(
+            m.faults.stale_dma_leaked, 0,
+            "{mode} p={p}: device reached an unmapped IOVA"
+        );
+        if p >= 0.01 {
+            assert!(
+                m.faults.total_injected() > 0,
+                "{mode} p={p}: the plane never fired"
             );
-            assert_eq!(
-                m.faults.stale_dma_leaked, 0,
-                "{mode} p={p}: device reached an unmapped IOVA"
-            );
-            if p >= 0.01 {
-                assert!(
-                    m.faults.total_injected() > 0,
-                    "{mode} p={p}: the plane never fired"
-                );
-            }
-            if p == 0.0 {
-                assert_eq!(m.faults.total_injected(), 0);
-                assert!(m.fault_log.is_empty());
-            }
+        }
+        if p == 0.0 {
+            assert_eq!(m.faults.total_injected(), 0);
+            assert!(m.fault_log.is_empty());
         }
     }
 }
@@ -166,13 +175,17 @@ fn ring_overruns_recycle_descriptors() {
     assert!(m.rx_goodput_bytes > 0);
 }
 
-/// Runs with an IOTLB so large nothing is ever evicted: any blocked probe
-/// is then blocked by *invalidation*, not by capacity-eviction luck.
-fn probe_run(mode: ProtectionMode) -> RunMetrics {
+/// Config with an IOTLB so large nothing is ever evicted: any blocked
+/// probe is then blocked by *invalidation*, not by capacity-eviction luck.
+fn probe_config(mode: ProtectionMode) -> SimConfig {
     let faults = FaultConfig::disabled().with(FaultKind::TranslationFault, 0.5);
     let mut cfg = chaos_config(mode, faults);
     cfg.iommu.iotlb_entries = 1 << 16;
-    HostSim::new(cfg).run()
+    cfg
+}
+
+fn probe_run(mode: ProtectionMode) -> RunMetrics {
+    HostSim::new(probe_config(mode)).run()
 }
 
 /// Strict modes block every stale-DMA probe, even when the IOTLB never
@@ -180,8 +193,10 @@ fn probe_run(mode: ProtectionMode) -> RunMetrics {
 /// window.
 #[test]
 fn strict_modes_block_stale_dma_probes() {
-    for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
-        let m = probe_run(mode);
+    let modes = [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe];
+    let results =
+        SweepRunner::from_env().run_sims(modes.iter().map(|&m| probe_config(m)).collect());
+    for (mode, m) in modes.into_iter().zip(results) {
         assert!(m.faults.stale_dma_blocked > 0, "{mode}: no probes ran");
         assert_eq!(m.faults.stale_dma_leaked, 0, "{mode}: probe leaked");
         assert_eq!(m.stale_iotlb_hits, 0, "{mode}");

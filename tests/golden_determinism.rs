@@ -1,0 +1,105 @@
+//! Golden determinism: the parallel sweep runner and the hot-path
+//! specializations (packed-u64 LRU, dense flow tables, reusable event
+//! queue) must be invisible in the results.
+//!
+//! Every test drives the same configurations through the plain sequential
+//! path (`HostSim::run` on the calling thread) and through `SweepRunner`
+//! with several workers, then requires **bit-identical** `RunMetrics` —
+//! every counter, the latency histogram, the locality trace, and the full
+//! chronological fault log.
+
+use fns::apps::{iperf_config, rpc_config};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::faults::FaultConfig;
+use fns::harness::SweepRunner;
+
+/// Fig2-shaped sweep points (shortened windows): flow counts crossed with
+/// the stock-overhead modes.
+fn fig2_shaped() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for flows in [5u32, 20] {
+        for mode in [ProtectionMode::IommuOff, ProtectionMode::LinuxStrict] {
+            let mut cfg = iperf_config(mode, flows, 256);
+            cfg.warmup = 2_000_000;
+            cfg.measure = 5_000_000;
+            configs.push(cfg);
+        }
+    }
+    configs
+}
+
+/// Chaos-shaped sweep points: small fault-injected runs whose fault logs
+/// exercise the forked RNG planes.
+fn chaos_shaped() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for &p in &[0.0, 0.01, 0.05] {
+        for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+            let mut cfg = iperf_config(mode, 2, 64);
+            cfg.cores = 2;
+            cfg.warmup = 500_000;
+            cfg.measure = 2_000_000;
+            cfg.aging_factor = 0.0;
+            cfg.faults = FaultConfig::uniform(p);
+            configs.push(cfg);
+        }
+    }
+    configs
+}
+
+fn run_sequentially(configs: &[SimConfig]) -> Vec<RunMetrics> {
+    configs.iter().map(|cfg| HostSim::new(*cfg).run()).collect()
+}
+
+fn assert_identical(golden: &[RunMetrics], candidate: &[RunMetrics], what: &str) {
+    assert_eq!(golden.len(), candidate.len(), "{what}: result count");
+    for (i, (a, b)) in golden.iter().zip(candidate).enumerate() {
+        assert_eq!(
+            a.fault_log, b.fault_log,
+            "{what} run {i}: fault logs diverged"
+        );
+        assert_eq!(a, b, "{what} run {i}: metrics diverged");
+    }
+}
+
+#[test]
+fn fig2_shaped_sweep_is_identical_under_parallelism() {
+    let configs = fig2_shaped();
+    let golden = run_sequentially(&configs);
+    for jobs in [1, 4] {
+        let par = SweepRunner::new(jobs).run_sims(configs.clone());
+        assert_identical(&golden, &par, &format!("fig2-shaped jobs={jobs}"));
+    }
+}
+
+#[test]
+fn chaos_shaped_sweep_is_identical_under_parallelism() {
+    let configs = chaos_shaped();
+    let golden = run_sequentially(&configs);
+    for jobs in [2, 8] {
+        let par = SweepRunner::new(jobs).run_sims(configs.clone());
+        assert_identical(&golden, &par, &format!("chaos-shaped jobs={jobs}"));
+    }
+}
+
+#[test]
+fn latency_histograms_survive_the_parallel_path() {
+    // Fig9-shaped: the histogram is the one RunMetrics field with interior
+    // structure (bucket vector), so cover it explicitly.
+    let mut cfg = rpc_config(ProtectionMode::FastAndSafe, 4096);
+    cfg.measure = 20_000_000;
+    let configs = vec![cfg, cfg];
+    let golden = run_sequentially(&configs);
+    assert!(golden[0].latency.count() > 0, "no latency samples recorded");
+    let par = SweepRunner::new(2).run_sims(configs);
+    assert_identical(&golden, &par, "fig9-shaped");
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_identical_to_each_other() {
+    // Not just parallel == sequential: two parallel executions must agree
+    // with each other even when thread scheduling differs.
+    let configs = chaos_shaped();
+    let first = SweepRunner::new(4).run_sims(configs.clone());
+    let second = SweepRunner::new(4).run_sims(configs);
+    assert_identical(&first, &second, "parallel repeat");
+}

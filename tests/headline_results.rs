@@ -7,6 +7,7 @@
 
 use fns::apps::{iperf_config, redis_config, rpc_config};
 use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::harness::SweepRunner;
 
 fn quick(mut cfg: SimConfig) -> RunMetrics {
     cfg.warmup = 15_000_000;
@@ -16,6 +17,27 @@ fn quick(mut cfg: SimConfig) -> RunMetrics {
     // hits in strict-safe modes.
     assert_eq!(m.stale_ptcache_walks, 0);
     m
+}
+
+/// Multi-run variant of [`quick`]: the whole batch goes through the sweep
+/// runner (results in submission order), with the same shortened windows
+/// and universal invariants.
+fn quick_all<const N: usize>(configs: [SimConfig; N]) -> [RunMetrics; N] {
+    let shortened = configs
+        .into_iter()
+        .map(|mut cfg| {
+            cfg.warmup = 15_000_000;
+            cfg.measure = 30_000_000;
+            cfg
+        })
+        .collect();
+    let results = SweepRunner::from_env().run_sims(shortened);
+    for m in &results {
+        assert_eq!(m.stale_ptcache_walks, 0);
+    }
+    results
+        .try_into()
+        .expect("runner returns one result per config")
 }
 
 #[test]
@@ -64,8 +86,10 @@ fn fns_matches_iommu_off_with_strict_safety() {
 
 #[test]
 fn degradation_grows_with_flow_count() {
-    let m5 = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
-    let m40 = quick(iperf_config(ProtectionMode::LinuxStrict, 40, 256));
+    let [m5, m40] = quick_all([
+        iperf_config(ProtectionMode::LinuxStrict, 5, 256),
+        iperf_config(ProtectionMode::LinuxStrict, 40, 256),
+    ]);
     assert!(
         m40.rx_gbps() < m5.rx_gbps() - 5.0,
         "40 flows ({:.1}) should be clearly worse than 5 ({:.1})",
@@ -87,15 +111,17 @@ fn fns_is_flat_across_flow_counts() {
 
 #[test]
 fn locality_worsens_with_ring_size_for_linux_only() {
-    let small = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
-    let large = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 2048));
+    let [small, large, fns_large] = quick_all([
+        iperf_config(ProtectionMode::LinuxStrict, 5, 256),
+        iperf_config(ProtectionMode::LinuxStrict, 5, 2048),
+        iperf_config(ProtectionMode::FastAndSafe, 5, 2048),
+    ]);
     assert!(
         large.locality_mean() > 2.0 * small.locality_mean(),
         "ring 2048 locality {:.1} vs ring 256 {:.1}",
         large.locality_mean(),
         small.locality_mean()
     );
-    let fns_large = quick(iperf_config(ProtectionMode::FastAndSafe, 5, 2048));
     assert!(
         fns_large.locality_mean() < 2.0,
         "F&S locality must stay per-descriptor bounded, got {:.2}",
@@ -110,8 +136,10 @@ fn deferred_mode_is_fast_because_it_skips_invalidations() {
     // never exploits the stale window (so no violations fire here — the
     // exploitable window itself is demonstrated in the fns-core driver
     // unit tests); the performance side is what this checks.
-    let lazy = quick(iperf_config(ProtectionMode::LinuxDeferred, 5, 256));
-    let strict = quick(iperf_config(ProtectionMode::LinuxStrict, 5, 256));
+    let [lazy, strict] = quick_all([
+        iperf_config(ProtectionMode::LinuxDeferred, 5, 256),
+        iperf_config(ProtectionMode::LinuxStrict, 5, 256),
+    ]);
     assert!(lazy.rx_gbps() > 90.0, "got {:.1} Gbps", lazy.rx_gbps());
     assert!(
         lazy.iommu.invalidation_queue_entries * 10 < strict.iommu.invalidation_queue_entries,
@@ -126,8 +154,11 @@ fn deferred_mode_is_fast_because_it_skips_invalidations() {
 fn rpc_tail_latency_story() {
     // Uses the full Figure 9 window: RTO-driven tail events are rare, so a
     // shortened run can miss them entirely.
-    let linux = HostSim::new(rpc_config(ProtectionMode::LinuxStrict, 4096)).run();
-    let fns_m = HostSim::new(rpc_config(ProtectionMode::FastAndSafe, 4096)).run();
+    let results = SweepRunner::from_env().run_sims(vec![
+        rpc_config(ProtectionMode::LinuxStrict, 4096),
+        rpc_config(ProtectionMode::FastAndSafe, 4096),
+    ]);
+    let [linux, fns_m]: [RunMetrics; 2] = results.try_into().expect("two runs");
     assert!(linux.latency.count() > 100);
     assert!(fns_m.latency.count() > 100);
     // Stock protection: P99.9 inflated into the milliseconds by RTOs.
@@ -147,17 +178,14 @@ fn rpc_tail_latency_story() {
 #[test]
 fn ablation_ordering_holds() {
     // Figure 12: each F&S idea alone is insufficient.
-    let g = |mode| {
-        let mut cfg = redis_config(mode, 8 << 10);
-        cfg.warmup = 15_000_000;
-        cfg.measure = 30_000_000;
-        HostSim::new(cfg).run().rx_gbps()
-    };
-    let linux = g(ProtectionMode::LinuxStrict);
-    let a = g(ProtectionMode::LinuxPreserve);
-    let b = g(ProtectionMode::LinuxContig);
-    let fns_g = g(ProtectionMode::FastAndSafe);
-    let off = g(ProtectionMode::IommuOff);
+    let [linux, a, b, fns_g, off] = quick_all([
+        redis_config(ProtectionMode::LinuxStrict, 8 << 10),
+        redis_config(ProtectionMode::LinuxPreserve, 8 << 10),
+        redis_config(ProtectionMode::LinuxContig, 8 << 10),
+        redis_config(ProtectionMode::FastAndSafe, 8 << 10),
+        redis_config(ProtectionMode::IommuOff, 8 << 10),
+    ])
+    .map(|m| m.rx_gbps());
     assert!(linux < fns_g, "linux {linux:.1} vs F&S {fns_g:.1}");
     assert!(
         a < fns_g - 1.0,
