@@ -17,6 +17,7 @@ use std::time::Instant;
 use fns_apps::{iperf_config, redis_config};
 use fns_bench::SweepRunner;
 use fns_core::{ProtectionMode, RunMetrics, SimConfig};
+use fns_trace::{JsonWriter, Span, SpanSet};
 
 /// Shortened windows: the basket must finish in CI seconds, not minutes.
 const SMOKE_WARMUP_NS: u64 = 5_000_000;
@@ -90,6 +91,9 @@ struct FigureResult {
     runs: usize,
     events: u64,
     translations: u64,
+    /// CPU-span attribution summed over the figure's runs (simulated CPU
+    /// ns, not wall clock) — tracks where the modelled driver time goes.
+    spans: SpanSet,
     seq_wall_ns: u128,
     par_wall_ns: u128,
 }
@@ -104,15 +108,6 @@ impl FigureResult {
     fn ns_per_translation(&self, wall_ns: u128) -> f64 {
         wall_ns as f64 / self.translations.max(1) as f64
     }
-}
-
-fn json_escape_free(name: &str) -> &str {
-    // Figure names are static identifiers; keep the writer honest anyway.
-    assert!(
-        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
-        "figure name {name:?} would need JSON escaping"
-    );
-    name
 }
 
 fn main() {
@@ -143,11 +138,16 @@ fn main() {
             );
         }
 
+        let mut spans = SpanSet::default();
+        for m in &seq {
+            spans.merge(&m.spans);
+        }
         let fig = FigureResult {
             name,
             runs,
             events: seq.iter().map(|m| m.events_processed).sum(),
             translations: seq.iter().map(|m| m.iommu.translations).sum(),
+            spans,
             seq_wall_ns,
             par_wall_ns,
         };
@@ -176,40 +176,47 @@ fn main() {
         parallel.jobs()
     );
 
-    // Hand-rolled JSON: the workspace is offline, no serde.
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"jobs\": {},\n", parallel.jobs()));
-    out.push_str(&format!(
-        "  \"basket_seq_wall_ms\": {:.3},\n  \"basket_par_wall_ms\": {:.3},\n  \"basket_speedup\": {:.3},\n",
-        seq_total as f64 / 1e6,
-        par_total as f64 / 1e6,
-        basket_speedup
-    ));
-    out.push_str("  \"figures\": [\n");
-    for (i, f) in figures.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"translations\": {}, \
-             \"seq_wall_ms\": {:.3}, \"par_wall_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"seq_events_per_sec\": {:.0}, \"par_events_per_sec\": {:.0}, \
-             \"seq_ns_per_translation\": {:.1}, \"par_ns_per_translation\": {:.1}}}{}\n",
-            json_escape_free(f.name),
-            f.runs,
-            f.events,
-            f.translations,
-            f.seq_wall_ns as f64 / 1e6,
-            f.par_wall_ns as f64 / 1e6,
-            f.speedup(),
-            f.events_per_sec(f.seq_wall_ns),
-            f.events_per_sec(f.par_wall_ns),
+    // Hand-rolled JSON through the fns-trace writer: the workspace is
+    // offline, no serde.
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    w.field_u64("jobs", parallel.jobs() as u64);
+    w.field_f64("basket_seq_wall_ms", seq_total as f64 / 1e6);
+    w.field_f64("basket_par_wall_ms", par_total as f64 / 1e6);
+    w.field_f64("basket_speedup", basket_speedup);
+    w.key("figures");
+    w.begin_array();
+    for f in &figures {
+        w.begin_object();
+        w.field_str("name", f.name);
+        w.field_u64("runs", f.runs as u64);
+        w.field_u64("events", f.events);
+        w.field_u64("translations", f.translations);
+        w.field_f64("seq_wall_ms", f.seq_wall_ns as f64 / 1e6);
+        w.field_f64("par_wall_ms", f.par_wall_ns as f64 / 1e6);
+        w.field_f64("speedup", f.speedup());
+        w.field_f64("seq_events_per_sec", f.events_per_sec(f.seq_wall_ns));
+        w.field_f64("par_events_per_sec", f.events_per_sec(f.par_wall_ns));
+        w.field_f64(
+            "seq_ns_per_translation",
             f.ns_per_translation(f.seq_wall_ns),
+        );
+        w.field_f64(
+            "par_ns_per_translation",
             f.ns_per_translation(f.par_wall_ns),
-            if i + 1 == figures.len() { "" } else { "," }
-        ));
+        );
+        w.key("spans");
+        w.begin_object();
+        for span in Span::ALL {
+            w.field_u64(span.name(), f.spans.get(span));
+        }
+        w.end_object();
+        w.end_object();
     }
-    out.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
 
     let path = std::env::var("FNS_BENCH_OUT").unwrap_or_else(|_| "BENCH_simcore.json".into());
-    std::fs::write(&path, out).expect("write benchmark JSON");
+    std::fs::write(&path, w.finish()).expect("write benchmark JSON");
     println!("wrote {path}");
 }

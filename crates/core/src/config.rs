@@ -5,6 +5,7 @@ use fns_iommu::IommuConfig;
 use fns_mem::MemoryModel;
 use fns_pcie::PcieConfig;
 use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
+use fns_trace::{ProbeConfig, TraceConfig};
 
 use crate::mode::ProtectionMode;
 
@@ -153,6 +154,11 @@ pub struct SimConfig {
     /// from [`SimConfig::seed`]) on the driver and the wire, so runs stay
     /// bit-identical for a fixed seed.
     pub faults: FaultConfig,
+    /// Event-trace selection (category mask + ring capacity). Off by
+    /// default; output destinations live on the CLI side, never here.
+    pub trace: TraceConfig,
+    /// Time-series gauge probes (sampling interval). Off by default.
+    pub probes: ProbeConfig,
 }
 
 impl SimConfig {
@@ -188,6 +194,8 @@ impl SimConfig {
             locality_samples: 400_000,
             aging_factor: 1.5,
             faults: FaultConfig::disabled(),
+            trace: TraceConfig::off(),
+            probes: ProbeConfig::off(),
         }
     }
 

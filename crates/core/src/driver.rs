@@ -25,6 +25,7 @@ use fns_mem::{FrameAllocator, PhysAddr};
 use fns_nic::descriptor::{Descriptor, DescriptorPage};
 use fns_sim::stats::ReuseDistance;
 use fns_sim::time::Nanos;
+use fns_trace::{Span, SpanSet, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::CpuCosts;
 use crate::errors::DmaError;
@@ -81,16 +82,23 @@ pub struct DmaDriver {
     pub locality: ReuseDistance,
     locality_cap: usize,
     locality_recording: bool,
-    /// Total CPU ns spent waiting on the invalidation queue.
+    /// Total CPU ns spent waiting on the invalidation queue (a subset of
+    /// `map_cpu_ns`, whole-run). Equals `spans.invalidation_ns()`.
     pub invalidation_cpu_ns: Nanos,
-    /// Total CPU ns spent on IOVA allocation + page-table map/unmap.
+    /// Total driver datapath CPU ns — allocation, map/unmap, *and*
+    /// invalidation waits (whole-run). Equals `spans.total_ns()`.
     pub map_cpu_ns: Nanos,
+    /// Disjoint CPU attribution of the same charges (alloc / map / unmap /
+    /// invalidation-wait / completion / recovery).
+    pub spans: SpanSet,
     /// Deferred-mode flushes executed.
     pub deferred_flushes: u64,
     /// Fault-injection plane for the driver-side sites (descriptor
     /// preparation, frame/IOVA allocation, invalidation submission).
     /// Disabled by default; the simulation installs a seeded plane.
     faults: FaultPlane,
+    /// Telemetry recorder handle (off by default; ~0 cost when off).
+    trace: TraceHandle,
     next_desc_id: u64,
 }
 
@@ -150,8 +158,10 @@ impl DmaDriver {
             locality_recording: true,
             invalidation_cpu_ns: 0,
             map_cpu_ns: 0,
+            spans: SpanSet::default(),
             deferred_flushes: 0,
             faults: FaultPlane::disabled(),
+            trace: TraceHandle::default(),
             next_desc_id: 0,
         }
     }
@@ -166,6 +176,15 @@ impl DmaDriver {
     /// seed) so enabling faults never perturbs the workload trajectory.
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
         self.faults = plane;
+        self.faults.set_trace(self.trace.clone());
+    }
+
+    /// Attaches the telemetry recorder. Events emitted before this call
+    /// (init-time churn) are not recorded, matching the fault-plane
+    /// install ordering.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+        self.faults.set_trace(self.trace.clone());
     }
 
     /// The driver's fault plane (stats/log access).
@@ -265,6 +284,7 @@ impl DmaDriver {
         // The IOTLB entries are gone at this point in *every* outcome below
         // (the strict safety property never rides on the happy path); what
         // remains is how long the submitting core waits on the queue.
+        let mut fallback_retries = None;
         let cost = if per_call_sync {
             self.invq.cost_ns(1) * reqs.len() as Nanos
         } else if self.faults.is_enabled() {
@@ -283,11 +303,32 @@ impl DmaDriver {
             let report = self
                 .invq
                 .execute_with(&mut self.iommu, &iotlb_only, &mut self.faults);
+            if report.per_page_fallback {
+                fallback_retries = Some(report.retries);
+            }
             report.cost_ns
         } else {
             self.invq.cost_ns(reqs.len())
         };
+        // Span split: the fault-free wait is InvalidationWait; anything
+        // beyond it (retry backoff, per-page replay) is Recovery.
+        let base = if per_call_sync {
+            cost
+        } else {
+            self.invq.cost_ns(reqs.len())
+        };
+        self.spans.charge(Span::InvalidationWait, base.min(cost));
+        self.spans.charge(Span::Recovery, cost.saturating_sub(base));
         self.invalidation_cpu_ns += cost;
+        if self.trace.wants(TraceCategory::Invalidation) {
+            self.trace.emit(TraceData::InvEnqueue {
+                entries: reqs.len() as u32,
+                cost_ns: cost,
+            });
+            if let Some(retries) = fallback_retries {
+                self.trace.emit(TraceData::InvBatchFallback { retries });
+            }
+        }
         cost
     }
 
@@ -309,11 +350,16 @@ impl DmaDriver {
     /// Retires up to `max` queued PTcache wipe epochs (called by the
     /// datapath between translations).
     pub fn drain_ptcache_wipes(&mut self, max: usize) {
+        let mut drained = 0u32;
         for _ in 0..max {
             let Some(epoch) = self.pending_ptcache_wipes.pop_front() else {
                 break;
             };
             Self::apply_epoch(&mut self.iommu, &epoch);
+            drained += 1;
+        }
+        if drained > 0 {
+            self.trace.emit(TraceData::InvDrain { epochs: drained });
         }
     }
 
@@ -505,8 +551,12 @@ impl DmaDriver {
                 });
             }
             // One huge map per 512 pages: far cheaper than 512 4 KB maps.
-            let cpu = self.costs.map_ns + self.alloc_cost_since(before);
+            let alloc_cost = self.alloc_cost_since(before);
+            let cpu = self.costs.map_ns + alloc_cost;
+            self.spans.charge(Span::Map, self.costs.map_ns);
+            self.spans.charge(Span::Alloc, alloc_cost);
             self.map_cpu_ns += cpu;
+            self.trace.emit(TraceData::Map { pages: n as u32 });
             return Ok((Descriptor::new(id, pages), cpu));
         }
         if self.mode.is_pinned_pool() {
@@ -516,6 +566,7 @@ impl DmaDriver {
             }
             // Recycling bookkeeping only: no map, no allocation fast path.
             let cpu = n * self.costs.alloc_cache_ns / 2;
+            self.spans.charge(Span::Alloc, cpu);
             self.map_cpu_ns += cpu;
             return Ok((Descriptor::new(id, slots), cpu));
         }
@@ -616,8 +667,12 @@ impl DmaDriver {
                 pages.push(DescriptorPage { iova, pa });
             }
         }
-        cpu += n * self.costs.map_ns + self.alloc_cost_since(before);
+        let alloc_cost = self.alloc_cost_since(before);
+        cpu += n * self.costs.map_ns + alloc_cost;
+        self.spans.charge(Span::Map, n * self.costs.map_ns);
+        self.spans.charge(Span::Alloc, alloc_cost);
         self.map_cpu_ns += cpu;
+        self.trace.emit(TraceData::Map { pages: n as u32 });
         Ok((Descriptor::new(id, pages), cpu))
     }
 
@@ -643,6 +698,7 @@ impl DmaDriver {
             self.iommu.unmap_huge(base)?;
             let range = IovaRange::new(base, desc.len() as u64);
             let mut cpu = self.costs.unmap_ns;
+            self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             cpu += self.submit_invalidations(
                 &[InvalidationRequest {
                     range,
@@ -652,8 +708,13 @@ impl DmaDriver {
             );
             self.huge_frames.push(desc.pages()[0].pa.pfn());
             self.alloc.try_free(range, core)?;
-            cpu += self.alloc_cost_since(before);
+            let alloc_cost = self.alloc_cost_since(before);
+            cpu += alloc_cost;
+            self.spans.charge(Span::Completion, alloc_cost);
             self.map_cpu_ns += cpu;
+            self.trace.emit(TraceData::Unmap {
+                pages: desc.len() as u32,
+            });
             return Ok(cpu);
         }
         if self.mode.is_pinned_pool() {
@@ -661,6 +722,7 @@ impl DmaDriver {
             // exactly the weaker safety property of these schemes).
             self.pinned_free.extend(desc.pages().iter().copied());
             let cpu = desc.len() as Nanos * self.costs.alloc_cache_ns / 2;
+            self.spans.charge(Span::Completion, cpu);
             self.map_cpu_ns += cpu;
             let _ = core;
             return Ok(cpu);
@@ -691,8 +753,10 @@ impl DmaDriver {
             let range = IovaRange::new(desc.pages()[0].iova, desc.len() as u64);
             let out = self.iommu.unmap_range(range)?;
             cpu += self.costs.unmap_ns;
+            self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             cpu += self.submit_invalidations(&[InvalidationRequest { range, scope }], false);
             if self.mode.preserves_ptcache() {
+                self.note_reclaim(&out.reclaimed);
                 self.iommu.invalidate_for_reclaimed(&out.reclaimed);
             }
             self.alloc.try_free(range, core)?;
@@ -709,6 +773,8 @@ impl DmaDriver {
                 reqs.push(InvalidationRequest { range, scope });
                 self.alloc.try_free(range, core)?;
             }
+            self.spans
+                .charge(Span::Unmap, desc.len() as Nanos * self.costs.unmap_ns);
             if self.mode == ProtectionMode::LinuxDeferred {
                 self.deferred_pending += desc.len() as u32;
                 cpu += self.maybe_deferred_flush();
@@ -721,6 +787,7 @@ impl DmaDriver {
                     cpu += self.submit_invalidations(std::slice::from_ref(r), true);
                 }
                 if self.mode.preserves_ptcache() {
+                    self.note_reclaim(&reclaimed);
                     self.iommu.invalidate_for_reclaimed(&reclaimed);
                 }
             }
@@ -728,8 +795,13 @@ impl DmaDriver {
         for p in desc.pages() {
             self.frames.free(p.pa)?;
         }
-        cpu += self.alloc_cost_since(before);
+        let alloc_cost = self.alloc_cost_since(before);
+        cpu += alloc_cost;
+        self.spans.charge(Span::Completion, alloc_cost);
         self.map_cpu_ns += cpu;
+        self.trace.emit(TraceData::Unmap {
+            pages: desc.len() as u32,
+        });
         Ok(cpu)
     }
 
@@ -743,7 +815,9 @@ impl DmaDriver {
         self.iommu.invalidate_all();
         self.iommu.note_queue_entries(1);
         let cost = self.invq.cost_ns(1);
+        self.spans.charge(Span::InvalidationWait, cost);
         self.invalidation_cpu_ns += cost;
+        self.trace.emit(TraceData::InvFlush { cost_ns: cost });
         cost
     }
 
@@ -767,6 +841,7 @@ impl DmaDriver {
                 self.record_locality(s.iova);
             }
             let cpu = pages as Nanos * self.costs.alloc_cache_ns / 2;
+            self.spans.charge(Span::Alloc, cpu);
             self.map_cpu_ns += cpu;
             return Ok((slots, cpu));
         }
@@ -815,8 +890,13 @@ impl DmaDriver {
             self.record_locality(iova);
             out.push(DescriptorPage { iova, pa });
         }
-        cpu += pages as u64 * self.costs.map_ns + self.alloc_cost_since(before);
+        let alloc_cost = self.alloc_cost_since(before);
+        cpu += pages as u64 * self.costs.map_ns + alloc_cost;
+        self.spans
+            .charge(Span::Map, pages as u64 * self.costs.map_ns);
+        self.spans.charge(Span::Alloc, alloc_cost);
         self.map_cpu_ns += cpu;
+        self.trace.emit(TraceData::Map { pages });
         Ok((out, cpu))
     }
 
@@ -861,6 +941,7 @@ impl DmaDriver {
         if self.mode.is_pinned_pool() {
             self.pinned_free.extend(pages.iter().copied());
             let cpu = pages.len() as Nanos * self.costs.alloc_cache_ns / 2;
+            self.spans.charge(Span::Completion, cpu);
             self.map_cpu_ns += cpu;
             let _ = core;
             return Ok(cpu);
@@ -900,6 +981,7 @@ impl DmaDriver {
             let out = self.iommu.unmap_range(range)?;
             reclaimed.extend(out.reclaimed);
             cpu += self.costs.unmap_ns;
+            self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             if self.mode.batched_invalidation() {
                 // Merge with the previous request when contiguous.
                 match reqs.last_mut() {
@@ -924,6 +1006,7 @@ impl DmaDriver {
         } else if self.mode.batched_invalidation() {
             cpu += self.submit_invalidations(&reqs, false);
             if self.mode.preserves_ptcache() {
+                self.note_reclaim(&reclaimed);
                 self.iommu.invalidate_for_reclaimed(&reclaimed);
             }
         } else {
@@ -933,12 +1016,28 @@ impl DmaDriver {
                 cpu += self.submit_invalidations(std::slice::from_ref(r), true);
             }
             if self.mode.preserves_ptcache() {
+                self.note_reclaim(&reclaimed);
                 self.iommu.invalidate_for_reclaimed(&reclaimed);
             }
         }
-        cpu += self.alloc_cost_since(before);
+        let alloc_cost = self.alloc_cost_since(before);
+        cpu += alloc_cost;
+        self.spans.charge(Span::Completion, alloc_cost);
         self.map_cpu_ns += cpu;
+        self.trace.emit(TraceData::Unmap {
+            pages: pages.len() as u32,
+        });
         Ok(cpu)
+    }
+
+    /// Records a PTcache-fixup reclaim (preserve-mode invalidation of
+    /// reclaimed page-table pages) in the trace.
+    fn note_reclaim(&mut self, reclaimed: &[fns_iommu::ReclaimedPage]) {
+        if !reclaimed.is_empty() && self.trace.wants(TraceCategory::Translate) {
+            self.trace.emit(TraceData::PtcacheReclaim {
+                entries: reclaimed.len() as u32,
+            });
+        }
     }
 
     /// Translates a device access; returns the number of page-walk memory
@@ -947,11 +1046,59 @@ impl DmaDriver {
         if self.mode == ProtectionMode::IommuOff {
             return 0;
         }
+        if self.trace.wants(TraceCategory::Translate) {
+            return self.translate_traced(iova);
+        }
         let t = self.iommu.translate(iova);
         debug_assert!(
             t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
             "device fault on a supposedly mapped IOVA ({iova})"
         );
+        t.reads()
+    }
+
+    /// Traced translation: identical behaviour to [`DmaDriver::translate`]
+    /// plus IOTLB/PTcache events derived from the counter deltas. Kept out
+    /// of line so the untraced hot path stays branch-plus-call free.
+    fn translate_traced(&mut self, iova: Iova) -> u32 {
+        let before = self.iommu.stats();
+        let lens_before = self.iommu.ptcache_lens();
+        let t = self.iommu.translate(iova);
+        debug_assert!(
+            t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
+            "device fault on a supposedly mapped IOVA ({iova})"
+        );
+        let after = self.iommu.stats();
+        if after.iotlb_hits > before.iotlb_hits {
+            self.trace.emit(TraceData::IotlbHit);
+        }
+        if after.iotlb_misses > before.iotlb_misses {
+            self.trace.emit(TraceData::IotlbMiss { reads: t.reads() });
+            // A PTcache miss at level N means the walk filled that level;
+            // the fill evicted an entry when the cache did not grow.
+            let lens_after = self.iommu.ptcache_lens();
+            let fills = [
+                (1u8, after.ptcache_l1_misses > before.ptcache_l1_misses),
+                (2u8, after.ptcache_l2_misses > before.ptcache_l2_misses),
+                (3u8, after.ptcache_l3_misses > before.ptcache_l3_misses),
+            ];
+            let grew = [
+                lens_after.0 > lens_before.0,
+                lens_after.1 > lens_before.1,
+                lens_after.2 > lens_before.2,
+            ];
+            for (level, missed) in fills {
+                if missed {
+                    self.trace.emit(TraceData::PtcacheFill {
+                        level,
+                        evicted: !grew[level as usize - 1],
+                    });
+                }
+            }
+        }
+        if after.faults > before.faults {
+            self.trace.emit(TraceData::TranslationFault);
+        }
         t.reads()
     }
 }

@@ -3,6 +3,7 @@
 use fns_iommu::IommuStats;
 use fns_sim::stats::Histogram;
 use fns_sim::time::{throughput_gbps, Nanos};
+use fns_trace::{JsonWriter, SampleSet, Span, SpanSet, Trace};
 
 /// Everything one simulation run measures (over the measurement window,
 /// after warmup).
@@ -35,11 +36,20 @@ pub struct RunMetrics {
     /// Locality trace: reuse distances of allocated IOVAs' PT-L4 keys
     /// (`None` = first access), the Figures 2e/3e/7e/8e panel.
     pub locality_distances: Vec<Option<u64>>,
-    /// CPU ns spent in IOVA allocation + map/unmap over the whole run
-    /// (includes warmup; for coarse attribution only).
+    /// Total driver datapath CPU ns — IOVA allocation, map/unmap, *and*
+    /// invalidation-queue waits — over the **whole run** (warmup included,
+    /// unlike the windowed counters above). Kept for continuity; equals
+    /// `spans.total_ns()`, which breaks the same charges into disjoint
+    /// buckets. The windowing rule is documented once in DESIGN.md §9.
     pub map_cpu_ns: u64,
-    /// CPU ns spent waiting on the invalidation queue over the whole run.
+    /// The invalidation-attributed subset of `map_cpu_ns` (queue waits +
+    /// fault-recovery retries), also whole-run. Not additive with
+    /// `map_cpu_ns`; equals `spans.invalidation_ns()`.
     pub invalidation_cpu_ns: u64,
+    /// Disjoint CPU-span attribution of the driver datapath (whole-run,
+    /// same windowing as `map_cpu_ns`): alloc / map / unmap /
+    /// invalidation-wait / completion / recovery.
+    pub spans: SpanSet,
     /// Total simulator events processed over the whole run (warmup
     /// included; the numerator of the harness's events/sec rate). Purely a
     /// simulator-performance observable — no simulated behaviour reads it.
@@ -47,9 +57,18 @@ pub struct RunMetrics {
     /// Merged fault-injection/recovery counters from the driver and wire
     /// planes, over the whole run (like `map_cpu_ns`, not windowed).
     pub faults: fns_faults::FaultStats,
-    /// Chronological injection log (driver sites first, then wire sites),
-    /// for reconciling counters against observed behaviour.
+    /// Chronological injection log, interleaved across the driver and wire
+    /// planes in injection order. A filtered view of `trace` (fault
+    /// events only), derived via [`fns_faults::fault_log_from`].
     pub fault_log: Vec<fns_faults::FaultRecord>,
+    /// Gauge time series collected when `SimConfig::probes` is enabled
+    /// (empty otherwise).
+    pub samples: SampleSet,
+    /// Drained event trace. Populated by the categories selected in
+    /// `SimConfig::trace`; fault events are always recorded when fault
+    /// injection is enabled (they back `fault_log`). Empty when neither
+    /// applies.
+    pub trace: Trace,
 }
 
 impl RunMetrics {
@@ -131,6 +150,122 @@ impl RunMetrics {
         }
         vals.iter().sum::<u64>() as f64 / vals.len() as f64
     }
+
+    /// Serializes the run for post-processing (`fns-sim --metrics-json`).
+    ///
+    /// Hand-rolled through [`JsonWriter`] (the workspace has no serde).
+    /// The raw locality vector is summarized rather than dumped (it can
+    /// hold hundreds of thousands of entries); the event trace is reported
+    /// by size only — use `--trace` for the full Chrome export.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(4096);
+        w.begin_object();
+        w.field_u64("window_ns", self.window_ns);
+        w.field_u64("rx_goodput_bytes", self.rx_goodput_bytes);
+        w.field_u64("tx_goodput_bytes", self.tx_goodput_bytes);
+        w.field_f64("rx_gbps", self.rx_gbps());
+        w.field_f64("tx_gbps", self.tx_gbps());
+        w.field_u64("rx_packets", self.rx_packets);
+        w.field_u64("nic_drops", self.nic_drops);
+        w.field_u64("tx_packets", self.tx_packets);
+        w.key("iommu");
+        w.begin_object();
+        w.field_u64("translations", self.iommu.translations);
+        w.field_u64("iotlb_hits", self.iommu.iotlb_hits);
+        w.field_u64("iotlb_misses", self.iommu.iotlb_misses);
+        w.field_u64("ptcache_l3_misses", self.iommu.ptcache_l3_misses);
+        w.field_u64("ptcache_l2_misses", self.iommu.ptcache_l2_misses);
+        w.field_u64("ptcache_l1_misses", self.iommu.ptcache_l1_misses);
+        w.field_u64("memory_reads", self.iommu.memory_reads);
+        w.field_u64("faults", self.iommu.faults);
+        w.field_u64("iotlb_invalidations", self.iommu.iotlb_invalidations);
+        w.field_u64("ptcache_invalidations", self.iommu.ptcache_invalidations);
+        w.field_u64(
+            "invalidation_queue_entries",
+            self.iommu.invalidation_queue_entries,
+        );
+        w.end_object();
+        w.key("cpu_utilization");
+        w.begin_array();
+        for &u in &self.cpu_utilization {
+            w.f64(u);
+        }
+        w.end_array();
+        w.key("latency");
+        w.begin_object();
+        w.field_u64("count", self.latency.count());
+        if self.latency.count() > 0 {
+            w.field_u64("p50_ns", self.latency.percentile(50.0));
+            w.field_u64("p99_ns", self.latency.percentile(99.0));
+            w.field_u64("p999_ns", self.latency.percentile(99.9));
+        }
+        w.end_object();
+        w.field_u64("stale_iotlb_hits", self.stale_iotlb_hits);
+        w.field_u64("stale_ptcache_walks", self.stale_ptcache_walks);
+        w.key("locality");
+        w.begin_object();
+        w.field_u64("samples", self.locality_distances.len() as u64);
+        w.field_f64("mean_distance", self.locality_mean());
+        w.end_object();
+        w.field_u64("map_cpu_ns", self.map_cpu_ns);
+        w.field_u64("invalidation_cpu_ns", self.invalidation_cpu_ns);
+        w.key("spans");
+        w.begin_object();
+        for span in Span::ALL {
+            w.field_u64(span.name(), self.spans.get(span));
+        }
+        w.end_object();
+        w.field_u64("events_processed", self.events_processed);
+        w.key("faults");
+        w.begin_object();
+        w.field_u64("total_injected", self.faults.total_injected());
+        w.field_u64("total_recovered", self.faults.total_recovered());
+        w.key("injected");
+        w.begin_object();
+        for kind in fns_faults::FaultKind::ALL {
+            let n = self.faults.injected_of(kind);
+            if n > 0 {
+                w.field_u64(kind.name(), n);
+            }
+        }
+        w.end_object();
+        w.field_u64("invalidation_retries", self.faults.invalidation_retries);
+        w.field_u64("batch_fallbacks", self.faults.batch_fallbacks);
+        w.field_u64("descriptor_recycles", self.faults.descriptor_recycles);
+        w.field_u64("stale_dma_blocked", self.faults.stale_dma_blocked);
+        w.field_u64("stale_dma_leaked", self.faults.stale_dma_leaked);
+        w.end_object();
+        w.field_u64("fault_log_len", self.fault_log.len() as u64);
+        w.key("samples");
+        w.begin_object();
+        w.field_u64("interval_ns", self.samples.interval_ns);
+        w.key("series");
+        w.begin_array();
+        for s in &self.samples.samples {
+            w.begin_object();
+            w.field_u64("at", s.at);
+            w.field_u64("iotlb_occupancy", s.iotlb_occupancy as u64);
+            w.field_u64("iotlb_hit_rate_bp", s.iotlb_hit_rate_bp as u64);
+            w.field_u64("ptcache_l1", s.ptcache_l1 as u64);
+            w.field_u64("ptcache_l2", s.ptcache_l2 as u64);
+            w.field_u64("ptcache_l3", s.ptcache_l3 as u64);
+            w.field_u64("inv_queue_depth", s.inv_queue_depth as u64);
+            w.field_u64("ring_occupancy", s.ring_occupancy as u64);
+            w.field_u64("nic_buffer_bytes", s.nic_buffer_bytes);
+            w.field_u64("switch_queue_bytes", s.switch_queue_bytes);
+            w.field_u64("iova_live_bytes", s.iova_live_bytes);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.key("trace");
+        w.begin_object();
+        w.field_u64("events", self.trace.len() as u64);
+        w.field_u64("dropped", self.trace.dropped);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -158,9 +293,12 @@ mod tests {
             locality_distances: vec![None, Some(10), Some(100), Some(1)],
             map_cpu_ns: 0,
             invalidation_cpu_ns: 0,
+            spans: SpanSet::default(),
             events_processed: 0,
             faults: Default::default(),
             fault_log: Vec::new(),
+            samples: SampleSet::default(),
+            trace: Trace::default(),
         }
     }
 

@@ -34,6 +34,7 @@ use fns_sim::queue::EventQueue;
 use fns_sim::rng::SimRng;
 use fns_sim::stats::Histogram;
 use fns_sim::time::Nanos;
+use fns_trace::{Sample, Sampler, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::{SimConfig, Workload};
 use crate::driver::DmaDriver;
@@ -92,6 +93,8 @@ enum Ev {
     RtoCheck { peer: bool, flow: FlowId },
     /// Take the measurement-start snapshot.
     WarmupDone,
+    /// Telemetry gauge probe (only scheduled when probes are enabled).
+    Sample,
 }
 
 /// Per-core Rx ring state with stride packing.
@@ -218,6 +221,12 @@ pub struct HostSim {
     /// Fault plane for the wire (switch-queue) sites. The driver-side plane
     /// lives inside [`DmaDriver`].
     net_faults: FaultPlane,
+    /// Event-trace recorder handle. `Off` unless tracing is requested or a
+    /// fault plane is enabled (fault records flow through the trace); the
+    /// driver and both fault planes hold clones of the same recorder.
+    trace: TraceHandle,
+    /// Time-series gauge sampler (disabled unless `cfg.probes` enables it).
+    sampler: Sampler,
 }
 
 impl HostSim {
@@ -277,9 +286,27 @@ impl HostSim {
             snapshot: Snapshot::default(),
             warmed_up: false,
             net_faults: FaultPlane::disabled(),
+            trace: TraceHandle::default(),
+            sampler: Sampler::new(cfg.probes),
             cfg,
         };
         sim.init();
+        // Create the trace recorder only after init: ring-fill and aging
+        // churn stay untraced so the recorder starts at the same point the
+        // fault planes do. Fault records always flow through the trace
+        // (RunMetrics::fault_log is a filtered view of it), so an enabled
+        // fault plane forces the Fault category on with enough capacity to
+        // hold every record the chaos suites expect.
+        let mut mask = sim.cfg.trace.mask & TraceCategory::ALL_MASK;
+        let mut capacity = sim.cfg.trace.capacity as usize;
+        if sim.cfg.faults.any_enabled() {
+            mask |= TraceCategory::Fault.bit();
+            capacity = capacity.max(fns_faults::LOG_CAP);
+        }
+        if mask != 0 {
+            sim.trace = TraceHandle::recording(mask, capacity);
+            sim.drv.set_trace(sim.trace.clone());
+        }
         // Install the fault planes only after init: ring fill and aging
         // churn run fault-free so every configuration starts from the same
         // state, and the planes' forked RNG streams leave the workload
@@ -291,6 +318,10 @@ impl HostSim {
                 DRIVER_FAULT_SALT,
             ));
             sim.net_faults = FaultPlane::from_seed(sim.cfg.faults, sim.cfg.seed, NET_FAULT_SALT);
+            sim.net_faults.set_trace(sim.trace.clone());
+        }
+        if sim.sampler.enabled() {
+            sim.q.push(sim.sampler.interval_ns(), Ev::Sample);
         }
         sim
     }
@@ -571,6 +602,7 @@ impl HostSim {
     // ----- event dispatch --------------------------------------------------
 
     fn handle(&mut self, now: Nanos, ev: Ev) {
+        self.trace.set_now(now);
         match ev {
             Ev::PeerPump(flow) => self.peer_pump(now, flow),
             Ev::ToDutDrain => self.drain_to_dut(now),
@@ -585,6 +617,35 @@ impl HostSim {
             Ev::PeerDeliver(pkt) => self.peer_deliver(now, pkt),
             Ev::RtoCheck { peer, flow } => self.rto_check(now, peer, flow),
             Ev::WarmupDone => self.take_snapshot(),
+            Ev::Sample => self.take_sample(now),
+        }
+    }
+
+    /// Snapshots the gauge probes into the sampler's series and reschedules
+    /// the next probe while the series has room and the run has time left.
+    fn take_sample(&mut self, now: Nanos) {
+        let stats = self.drv.iommu.stats();
+        let (l1, l2, l3) = self.drv.iommu.ptcache_lens();
+        let hit_rate = self
+            .sampler
+            .rolling_hit_rate_bp(stats.translations, stats.iotlb_hits);
+        let sample = Sample {
+            at: now,
+            iotlb_occupancy: self.drv.iommu.iotlb_len() as u32,
+            iotlb_hit_rate_bp: hit_rate,
+            ptcache_l1: l1 as u32,
+            ptcache_l2: l2 as u32,
+            ptcache_l3: l3 as u32,
+            inv_queue_depth: self.drv.pending_wipes() as u32,
+            ring_occupancy: self.rings.iter().map(|r| r.ring.len() as u32).sum(),
+            nic_buffer_bytes: self.nic_buf.used_bytes(),
+            switch_queue_bytes: self.to_dut.used_bytes(),
+            iova_live_bytes: self.drv.allocator().live_pages() * 4096,
+        };
+        let pushed = self.sampler.push(sample);
+        let next = now + self.sampler.interval_ns();
+        if pushed && next <= self.cfg.end_time() {
+            self.q.push(next, Ev::Sample);
         }
     }
 
@@ -873,6 +934,9 @@ impl HostSim {
                 // consumer and the descriptor never landed. Recycle it
                 // (unmap + invalidate + free) so no resources leak, charge
                 // the recycle to this poll, and count the lost slot.
+                if self.trace.wants(TraceCategory::Ring) {
+                    self.trace.emit(TraceData::RingOverrun { core: core as u8 });
+                }
                 cpu += self
                     .drv
                     .complete_rx_descriptor(core, &d)
@@ -882,6 +946,9 @@ impl HostSim {
                 self.ring_drops += 1;
                 break;
             }
+            if self.trace.wants(TraceCategory::Ring) {
+                self.trace.emit(TraceData::RingPost { core: core as u8 });
+            }
         }
         // 2. Tx completions (unmap + invalidate transmitted pages).
         while let Some(pages) = self.napi[core].tx_done.pop_front() {
@@ -890,6 +957,10 @@ impl HostSim {
         // 2b. Rx descriptor completions: unmap, invalidate, recycle.
         while let Some(d) = self.napi[core].desc_done.pop_front() {
             let probe = d.pages()[0].iova;
+            if self.trace.wants(TraceCategory::Ring) {
+                self.trace
+                    .emit(TraceData::RingComplete { core: core as u8 });
+            }
             cpu += self
                 .drv
                 .complete_rx_descriptor(core, &d)
@@ -1392,8 +1463,10 @@ impl HostSim {
             .collect();
         let iommu = iommu_now.delta(&snap.iommu);
         let faults = self.drv.faults().stats().merge(&self.net_faults.stats());
-        let mut fault_log = self.drv.faults().log().to_vec();
-        fault_log.extend_from_slice(self.net_faults.log());
+        // Drain the shared recorder once; the fault log is its filtered
+        // view (chronological across the driver and wire planes).
+        let trace = self.trace.drain();
+        let fault_log = fns_faults::fault_log_from(&trace);
         RunMetrics {
             window_ns: window,
             rx_goodput_bytes: rx_delivered - snap.rx_delivered,
@@ -1411,9 +1484,12 @@ impl HostSim {
             locality_distances: self.drv.locality.distances()[snap.locality_mark..].to_vec(),
             map_cpu_ns: self.drv.map_cpu_ns,
             invalidation_cpu_ns: self.drv.invalidation_cpu_ns,
+            spans: self.drv.spans,
             events_processed: self.q.total_popped(),
             faults,
             fault_log,
+            samples: self.sampler.take(),
+            trace,
         }
     }
 }

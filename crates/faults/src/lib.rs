@@ -15,10 +15,13 @@
 //!   never consumes draws from the workload generators, and a disabled
 //!   plane consumes no draws at all — the baseline trajectory is unchanged.
 //! * **Accountable.** Every injection is counted per [`FaultKind`] and
-//!   appended to a bounded log, so tests can reconcile observed recoveries
-//!   against what was actually injected.
+//!   emitted through the telemetry recorder (the `fault` trace category),
+//!   so tests can reconcile observed recoveries against what was actually
+//!   injected. `RunMetrics::fault_log` is a filtered view of that trace —
+//!   see [`fault_log_from`].
 
 use fns_sim::rng::SimRng;
+use fns_trace::{Trace, TraceData, TraceHandle};
 
 /// The kinds of fault the plane can inject, one per injection site class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -229,9 +232,29 @@ impl FaultStats {
     }
 }
 
-/// Cap on the injection log; beyond this, injections are still counted but
-/// no longer logged.
-const LOG_CAP: usize = 65_536;
+/// Minimum recorder capacity guaranteed for fault events when faults are
+/// enabled (the pre-telemetry side log kept this many records; the sim
+/// sizes the shared trace ring to at least this so the derived fault log
+/// does not shrink).
+pub const LOG_CAP: usize = 65_536;
+
+/// Derives the chronological fault log from a drained trace — the filtered
+/// view backing `RunMetrics::fault_log`. Fault events from every plane
+/// (driver-side and wire-side) land in one shared ring, so the result is
+/// interleaved in injection order.
+pub fn fault_log_from(trace: &Trace) -> Vec<FaultRecord> {
+    trace
+        .events
+        .iter()
+        .filter_map(|ev| match ev.data {
+            TraceData::FaultInject { kind, visit } => Some(FaultRecord {
+                kind: FaultKind::ALL[kind as usize],
+                visit,
+            }),
+            _ => None,
+        })
+        .collect()
+}
 
 /// A live fault-injection plane: configuration + RNG stream + accounting.
 ///
@@ -246,7 +269,9 @@ pub struct FaultPlane {
     /// Per-kind site-visit counters (drives the `every` schedule).
     visits: [u64; FaultKind::COUNT],
     stats: FaultStats,
-    log: Vec<FaultRecord>,
+    /// Telemetry sink; injections and recoveries are emitted here under
+    /// the `fault` category.
+    trace: TraceHandle,
     enabled: bool,
 }
 
@@ -265,7 +290,7 @@ impl FaultPlane {
             rng,
             visits: [0; FaultKind::COUNT],
             stats: FaultStats::default(),
-            log: Vec::new(),
+            trace: TraceHandle::default(),
         }
     }
 
@@ -277,6 +302,11 @@ impl FaultPlane {
     /// Whether any fault kind can ever fire.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Attaches the telemetry recorder this plane emits fault events into.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Visits an injection site: returns `true` when the caller should
@@ -300,12 +330,10 @@ impl FaultPlane {
             return false;
         }
         self.stats.injected[i] += 1;
-        if self.log.len() < LOG_CAP {
-            self.log.push(FaultRecord {
-                kind,
-                visit: self.visits[i],
-            });
-        }
+        self.trace.emit(TraceData::FaultInject {
+            kind: i as u8,
+            visit: self.visits[i],
+        });
         true
     }
 
@@ -313,6 +341,9 @@ impl FaultPlane {
     /// from (retried successfully, retransmitted, recycled, ...).
     pub fn note_recovery(&mut self, kind: FaultKind) {
         self.stats.recovered[kind.index()] += 1;
+        self.trace.emit(TraceData::FaultRecover {
+            kind: kind.index() as u8,
+        });
     }
 
     /// Accounts `n` invalidation-queue retries.
@@ -344,27 +375,30 @@ impl FaultPlane {
     pub fn stats(&self) -> FaultStats {
         self.stats
     }
-
-    /// The (bounded) injection log, in injection order.
-    pub fn log(&self) -> &[FaultRecord] {
-        &self.log
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fns_trace::TraceCategory;
+
+    /// A recording handle scoped to fault events, as the sim attaches one.
+    fn fault_trace() -> TraceHandle {
+        TraceHandle::recording(TraceCategory::Fault.bit(), LOG_CAP)
+    }
 
     #[test]
     fn disabled_plane_never_fires_and_consumes_no_draws() {
         let mut p = FaultPlane::disabled();
+        let t = fault_trace();
+        p.set_trace(t.clone());
         for kind in FaultKind::ALL {
             for _ in 0..100 {
                 assert!(!p.roll(kind));
             }
         }
         assert_eq!(p.stats().total_injected(), 0);
-        assert!(p.log().is_empty());
+        assert!(fault_log_from(&t.drain()).is_empty());
     }
 
     #[test]
@@ -387,15 +421,18 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let cfg = FaultConfig::uniform(0.3);
+        let (ta, tb) = (fault_trace(), fault_trace());
         let mut a = FaultPlane::new(cfg, SimRng::seed(42));
         let mut b = FaultPlane::new(cfg, SimRng::seed(42));
+        a.set_trace(ta.clone());
+        b.set_trace(tb.clone());
         for _ in 0..500 {
             for kind in FaultKind::ALL {
                 assert_eq!(a.roll(kind), b.roll(kind));
             }
         }
         assert_eq!(a.stats(), b.stats());
-        assert_eq!(a.log(), b.log());
+        assert_eq!(fault_log_from(&ta.drain()), fault_log_from(&tb.drain()));
     }
 
     #[test]
@@ -423,18 +460,47 @@ mod tests {
     #[test]
     fn log_reconciles_with_counters() {
         let cfg = FaultConfig::uniform(0.2).with_every(FaultKind::RingOverrun, 3);
+        let t = fault_trace();
         let mut p = FaultPlane::new(cfg, SimRng::seed(5));
+        p.set_trace(t.clone());
         for _ in 0..300 {
             for kind in FaultKind::ALL {
                 p.roll(kind);
             }
         }
         let stats = p.stats();
+        let log = fault_log_from(&t.drain());
         for kind in FaultKind::ALL {
-            let logged = p.log().iter().filter(|r| r.kind == kind).count() as u64;
+            let logged = log.iter().filter(|r| r.kind == kind).count() as u64;
             assert_eq!(logged, stats.injected_of(kind), "{kind}");
         }
         assert!(stats.total_injected() > 0);
+    }
+
+    #[test]
+    fn recoveries_are_emitted_as_trace_events() {
+        let t = fault_trace();
+        let mut p = FaultPlane::new(FaultConfig::uniform(1.0), SimRng::seed(3));
+        p.set_trace(t.clone());
+        assert!(p.roll(FaultKind::RingOverrun));
+        p.note_recovery(FaultKind::RingOverrun);
+        let trace = t.drain();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            trace.events[0].data,
+            TraceData::FaultInject {
+                kind: FaultKind::RingOverrun.index() as u8,
+                visit: 1
+            }
+        );
+        assert_eq!(
+            trace.events[1].data,
+            TraceData::FaultRecover {
+                kind: FaultKind::RingOverrun.index() as u8
+            }
+        );
+        // The derived log only contains the injection.
+        assert_eq!(fault_log_from(&trace).len(), 1);
     }
 
     #[test]

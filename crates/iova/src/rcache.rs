@@ -79,6 +79,8 @@ pub struct CachingAllocator {
     /// `depots[pages - 1]`.
     depots: Vec<Depot>,
     live: usize,
+    /// Total pages across currently-live allocations (telemetry gauge).
+    live_pages: u64,
     stats: AllocStats,
     /// Allocations satisfied from a per-core magazine.
     pub cache_hits: u64,
@@ -103,6 +105,7 @@ impl CachingAllocator {
             caches: vec![vec![CpuRcache::default(); classes]; cores],
             depots: vec![Depot::default(); classes],
             live: 0,
+            live_pages: 0,
             stats: AllocStats::default(),
             cache_hits: 0,
             depot_refills: 0,
@@ -117,6 +120,12 @@ impl CachingAllocator {
     /// Read access to the backing tree allocator.
     pub fn tree(&self) -> &RbTreeAllocator {
         &self.tree
+    }
+
+    /// Total pages held by live allocations (outstanding mapped address
+    /// space, before the cache layer's parked ranges).
+    pub fn live_pages(&self) -> u64 {
+        self.live_pages
     }
 
     fn class(&self, pages: u64) -> Option<usize> {
@@ -172,6 +181,7 @@ impl IovaAllocator for CachingAllocator {
             let r = self.tree.alloc_range(pages);
             if r.is_some() {
                 self.live += 1;
+                self.live_pages += pages;
                 self.stats.allocs += 1;
                 self.stats.tree_allocs += 1;
             } else {
@@ -199,6 +209,7 @@ impl IovaAllocator for CachingAllocator {
         };
         if let Some(pfn) = pfn {
             self.live += 1;
+            self.live_pages += pages;
             self.stats.allocs += 1;
             return Some(IovaRange::new(crate::types::Iova::from_pfn(pfn), pages));
         }
@@ -206,6 +217,7 @@ impl IovaAllocator for CachingAllocator {
         let r = self.tree.alloc_range(pages);
         if r.is_some() {
             self.live += 1;
+            self.live_pages += pages;
             self.stats.allocs += 1;
             self.stats.tree_allocs += 1;
         } else {
@@ -231,11 +243,13 @@ impl IovaAllocator for CachingAllocator {
             // range really was allocated.
             self.tree.try_free_range(range)?;
             self.live = live;
+            self.live_pages = self.live_pages.saturating_sub(range.pages());
             self.stats.frees += 1;
             self.stats.tree_frees += 1;
             return Ok(());
         };
         self.live = live;
+        self.live_pages = self.live_pages.saturating_sub(range.pages());
         self.stats.frees += 1;
         let mag_size = self.config.magazine_size;
         let cache = &mut self.caches[core][cls];

@@ -1,0 +1,227 @@
+//! Chrome `trace_event` export.
+//!
+//! Serializes a drained [`Trace`] plus a [`SampleSet`] into the JSON
+//! object format (`{"traceEvents":[...]}`) understood by Perfetto and
+//! `chrome://tracing`. Discrete events become global instants
+//! (`"ph":"i","s":"g"`); gauge samples become counter tracks (`"ph":"C"`).
+//! Timestamps are microseconds with fixed three-digit nanosecond
+//! fractions, formatted with pure integer arithmetic so the output is
+//! byte-identical on every platform and at every `--jobs` count.
+
+use crate::json::JsonWriter;
+use crate::record::{Trace, TraceData};
+use crate::sampler::SampleSet;
+use fns_sim::time::Nanos;
+
+/// Formats sim-time `ns` as a Chrome `ts` value (microseconds) with a
+/// fixed `.xxx` fraction, using only integer math.
+fn ts_micros(ns: Nanos) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn instant(w: &mut JsonWriter, name: &str, cat: &str, at: Nanos) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", cat);
+    w.field_str("ph", "i");
+    w.field_str("s", "g");
+    w.key("ts");
+    w.raw(&ts_micros(at));
+    w.field_u64("pid", 1);
+    w.field_u64("tid", 1);
+}
+
+fn counter(w: &mut JsonWriter, name: &str, at: Nanos, value: u64) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", "probe");
+    w.field_str("ph", "C");
+    w.key("ts");
+    w.raw(&ts_micros(at));
+    w.field_u64("pid", 1);
+    w.key("args");
+    w.begin_object();
+    w.field_u64("value", value);
+    w.end_object();
+    w.end_object();
+}
+
+/// Renders `trace` and `samples` as a Chrome `trace_event` JSON document.
+///
+/// `fault_kinds` maps the `u8` kind index carried by fault events back to
+/// a human-readable name (pass `FaultKind::ALL` names); out-of-range
+/// indices fall back to the raw number.
+pub fn chrome_trace_json(trace: &Trace, samples: &SampleSet, fault_kinds: &[&str]) -> String {
+    let mut w = JsonWriter::with_capacity(128 * trace.len() + 256 * samples.len() + 256);
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    for ev in &trace.events {
+        instant(&mut w, ev.data.name(), ev.data.category().name(), ev.at);
+        w.key("args");
+        w.begin_object();
+        match ev.data {
+            TraceData::Map { pages } | TraceData::Unmap { pages } => {
+                w.field_u64("pages", pages as u64);
+            }
+            TraceData::IotlbHit | TraceData::TranslationFault => {}
+            TraceData::IotlbMiss { reads } => {
+                w.field_u64("reads", reads as u64);
+            }
+            TraceData::PtcacheFill { level, evicted } => {
+                w.field_u64("level", level as u64);
+                w.field_bool("evicted", evicted);
+            }
+            TraceData::PtcacheReclaim { entries } => {
+                w.field_u64("entries", entries as u64);
+            }
+            TraceData::InvEnqueue { entries, cost_ns } => {
+                w.field_u64("entries", entries as u64);
+                w.field_u64("cost_ns", cost_ns);
+            }
+            TraceData::InvDrain { epochs } => {
+                w.field_u64("epochs", epochs as u64);
+            }
+            TraceData::InvFlush { cost_ns } => {
+                w.field_u64("cost_ns", cost_ns);
+            }
+            TraceData::InvBatchFallback { retries } => {
+                w.field_u64("retries", retries as u64);
+            }
+            TraceData::RingPost { core }
+            | TraceData::RingComplete { core }
+            | TraceData::RingOverrun { core } => {
+                w.field_u64("core", core as u64);
+            }
+            TraceData::FaultInject { kind, visit } => {
+                w.key("kind");
+                match fault_kinds.get(kind as usize) {
+                    Some(name) => w.string(name),
+                    None => w.u64(kind as u64),
+                }
+                w.field_u64("visit", visit);
+            }
+            TraceData::FaultRecover { kind } => {
+                w.key("kind");
+                match fault_kinds.get(kind as usize) {
+                    Some(name) => w.string(name),
+                    None => w.u64(kind as u64),
+                }
+            }
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    for s in &samples.samples {
+        counter(&mut w, "iotlb_occupancy", s.at, s.iotlb_occupancy as u64);
+        counter(
+            &mut w,
+            "iotlb_hit_rate_bp",
+            s.at,
+            s.iotlb_hit_rate_bp as u64,
+        );
+        counter(&mut w, "ptcache_l1", s.at, s.ptcache_l1 as u64);
+        counter(&mut w, "ptcache_l2", s.at, s.ptcache_l2 as u64);
+        counter(&mut w, "ptcache_l3", s.at, s.ptcache_l3 as u64);
+        counter(&mut w, "inv_queue_depth", s.at, s.inv_queue_depth as u64);
+        counter(&mut w, "ring_occupancy", s.at, s.ring_occupancy as u64);
+        counter(&mut w, "nic_buffer_bytes", s.at, s.nic_buffer_bytes);
+        counter(&mut w, "switch_queue_bytes", s.at, s.switch_queue_bytes);
+        counter(&mut w, "iova_live_bytes", s.at, s.iova_live_bytes);
+    }
+
+    w.end_array();
+    w.field_str("displayTimeUnit", "ns");
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TraceCategory, TraceHandle};
+    use crate::sampler::Sample;
+
+    #[test]
+    fn timestamps_are_fixed_point_micros() {
+        assert_eq!(ts_micros(0), "0.000");
+        assert_eq!(ts_micros(999), "0.999");
+        assert_eq!(ts_micros(1_000), "1.000");
+        assert_eq!(ts_micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn exports_instants_counters_and_fault_names() {
+        let h = TraceHandle::recording(TraceCategory::ALL_MASK, 16);
+        h.set_now(1_500);
+        h.emit(TraceData::Map { pages: 4 });
+        h.set_now(2_000);
+        h.emit(TraceData::FaultInject { kind: 0, visit: 3 });
+        h.emit(TraceData::FaultInject { kind: 9, visit: 1 });
+        let trace = h.drain();
+        let samples = SampleSet {
+            interval_ns: 1_000,
+            samples: vec![Sample {
+                at: 1_000,
+                iotlb_occupancy: 7,
+                ..Sample::default()
+            }],
+        };
+        let json = chrome_trace_json(&trace, &samples, &["iotlb_drop"]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(
+            r#"{"name":"map","cat":"map","ph":"i","s":"g","ts":1.500,"pid":1,"tid":1,"args":{"pages":4}}"#
+        ));
+        // Known kind resolves to its name; unknown index falls back to the number.
+        assert!(json.contains(r#""kind":"iotlb_drop","visit":3"#));
+        assert!(json.contains(r#""kind":9,"visit":1"#));
+        assert!(json.contains(
+            r#"{"name":"iotlb_occupancy","cat":"probe","ph":"C","ts":1.000,"pid":1,"args":{"value":7}}"#
+        ));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"));
+    }
+
+    #[test]
+    fn every_event_variant_serializes() {
+        let h = TraceHandle::recording(TraceCategory::ALL_MASK, 64);
+        let all = [
+            TraceData::Map { pages: 1 },
+            TraceData::Unmap { pages: 2 },
+            TraceData::IotlbHit,
+            TraceData::IotlbMiss { reads: 3 },
+            TraceData::TranslationFault,
+            TraceData::PtcacheFill {
+                level: 1,
+                evicted: true,
+            },
+            TraceData::PtcacheReclaim { entries: 5 },
+            TraceData::InvEnqueue {
+                entries: 8,
+                cost_ns: 700,
+            },
+            TraceData::InvDrain { epochs: 2 },
+            TraceData::InvFlush { cost_ns: 300 },
+            TraceData::InvBatchFallback { retries: 1 },
+            TraceData::RingPost { core: 0 },
+            TraceData::RingComplete { core: 1 },
+            TraceData::RingOverrun { core: 2 },
+            TraceData::FaultInject { kind: 1, visit: 9 },
+            TraceData::FaultRecover { kind: 1 },
+        ];
+        for d in all {
+            h.emit(d);
+        }
+        let trace = h.drain();
+        assert_eq!(trace.len(), all.len());
+        let json = chrome_trace_json(&trace, &SampleSet::default(), &["a", "b"]);
+        for ev in &trace.events {
+            assert!(
+                json.contains(&format!("\"name\":\"{}\"", ev.data.name())),
+                "missing {}",
+                ev.data.name()
+            );
+        }
+    }
+}

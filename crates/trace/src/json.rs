@@ -1,0 +1,299 @@
+//! A minimal, dependency-free JSON writer.
+//!
+//! The workspace builds offline, so there is no serde; every JSON artifact
+//! (Chrome traces, `--metrics-json`, `BENCH_simcore.json`) goes through
+//! this writer instead of ad-hoc `format!` strings. Output is fully
+//! deterministic: fields appear exactly in emission order and integers are
+//! formatted with no locale or platform variation.
+
+/// Appends `s` to `buf` with JSON string escaping (quotes, backslashes,
+/// and control characters; non-ASCII passes through as UTF-8).
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// ```
+/// use fns_trace::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("runs");
+/// w.begin_array();
+/// w.u64(3);
+/// w.u64(4);
+/// w.end_array();
+/// w.key("label");
+/// w.string("fig2");
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"runs":[3,4],"label":"fig2"}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once it holds an element.
+    has_elem: Vec<bool>,
+    /// A key was just written; the next value must not emit a comma.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with a preallocated buffer (for large traces).
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: String::with_capacity(bytes),
+            ..Self::default()
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens an object (`{`) in value position.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.has_elem.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.has_elem.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`) in value position.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.has_elem.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.has_elem.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an object key; the next write supplies its value.
+    pub fn key(&mut self, k: &str) {
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        self.after_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        self.buf.push_str(itoa(v).as_str());
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.pre_value();
+        if v < 0 {
+            self.buf.push('-');
+            self.buf.push_str(itoa(v.unsigned_abs()).as_str());
+        } else {
+            self.buf.push_str(itoa(v as u64).as_str());
+        }
+    }
+
+    /// Writes a float value (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let s = format!("{v}");
+            self.buf.push_str(&s);
+            // `{}` renders integral floats without a fraction; keep the
+            // value typed as a float for strict consumers.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a pre-formatted raw token (caller guarantees valid JSON).
+    /// Used for the fixed-point Chrome timestamps, which must be emitted
+    /// digit-for-digit identically on every platform.
+    pub fn raw(&mut self, token: &str) {
+        self.pre_value();
+        self.buf.push_str(token);
+    }
+
+    /// Convenience: `key` + `u64` value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// Convenience: `key` + bool value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Allocation-free u64 formatting into a stack buffer.
+fn itoa(mut v: u64) -> ItoaBuf {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    ItoaBuf { buf, start: i }
+}
+
+struct ItoaBuf {
+    buf: [u8; 20],
+    start: usize,
+}
+
+impl ItoaBuf {
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[self.start..]).expect("ASCII digits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\r\u{1}π");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\r\\u0001π");
+    }
+
+    #[test]
+    fn nested_containers_place_commas_correctly() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.begin_object();
+        w.field_u64("x", 1);
+        w.end_object();
+        w.begin_object();
+        w.field_u64("x", 2);
+        w.field_str("y", "z");
+        w.end_object();
+        w.end_array();
+        w.field_bool("ok", true);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[{"x":1},{"x":2,"y":"z"}],"ok":true}"#);
+    }
+
+    #[test]
+    fn numbers_format_plainly() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.u64(0);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(1.5);
+        w.f64(3.0);
+        w.f64(f64::NAN);
+        w.end_array();
+        assert_eq!(w.finish(), "[0,18446744073709551615,-42,1.5,3.0,null]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.key("b");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+}

@@ -7,6 +7,8 @@
 //! fns-sim [--mode M|--all-modes] [--workload W] [--flows N] [--ring N]
 //!         [--mtu BYTES] [--cores N] [--pages-per-desc N] [--measure-ms N]
 //!         [--seed N] [--msg BYTES] [--faults P] [--jobs N]
+//!         [--trace PATH] [--trace-cats LIST] [--sample-us N]
+//!         [--profile] [--metrics-json PATH]
 //! fns-sim --list-scenarios
 //!
 //! modes:     off linux deferred linux+A linux+B fns hugepage damn
@@ -17,13 +19,28 @@
 //! the parallel sweep runner; `--jobs N` sets the worker count (default:
 //! `FNS_JOBS` or the machine's parallelism). Results always print in mode
 //! order regardless of the job count.
+//!
+//! Telemetry: `--trace PATH` records the event trace and writes Chrome
+//! `trace_event` JSON (load it at <https://ui.perfetto.dev>); multi-mode
+//! sweeps write one file per mode (`out.json` → `out.<mode>.json`).
+//! `--trace-cats map,ring,...` narrows the recorded categories (default:
+//! all). `--sample-us N` probes the telemetry gauges every N microseconds
+//! of sim time; the series rides along in the trace as counter tracks.
+//! `--profile` prints the CPU-span attribution table, and
+//! `--metrics-json PATH` dumps the full `RunMetrics` as JSON. All of this
+//! is deterministic: the same seed yields byte-identical files at any
+//! `--jobs` count.
 
 use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
 };
 use fns::core::{ProtectionMode, RunMetrics, SimConfig};
-use fns::faults::FaultConfig;
+use fns::faults::{FaultConfig, FaultKind};
 use fns::harness::{SweepRunner, SCENARIOS};
+use fns::trace::{
+    chrome_trace_json, JsonWriter, ProbeConfig, Span, TraceCategory, TraceConfig,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 struct Args {
     modes: Vec<ProtectionMode>,
@@ -38,6 +55,11 @@ struct Args {
     msg_bytes: u64,
     faults: f64,
     jobs: Option<usize>,
+    trace_path: Option<String>,
+    trace_mask: u8,
+    sample_us: u64,
+    profile: bool,
+    metrics_json: Option<String>,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -61,6 +83,11 @@ fn usage() -> ! {
          \x20              [--pages-per-desc N] [--measure-ms N] [--seed N] [--msg BYTES]\n\
          \x20              [--faults P]    inject faults at every site with probability P in [0,1]\n\
          \x20              [--jobs N]      run multi-mode sweeps on N worker threads\n\
+         \x20              [--trace PATH]  write a Chrome trace_event JSON (Perfetto-loadable)\n\
+         \x20              [--trace-cats L]  categories to record: all | map,translate,invalidation,ring,fault\n\
+         \x20              [--sample-us N] probe telemetry gauges every N us of sim time\n\
+         \x20              [--profile]     print the CPU-span attribution table\n\
+         \x20              [--metrics-json PATH]  dump full RunMetrics as JSON\n\
          \x20              [--list-scenarios]  list the named scenario registry and exit\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
@@ -89,6 +116,11 @@ fn parse_args() -> Args {
         msg_bytes: 8192,
         faults: 0.0,
         jobs: None,
+        trace_path: None,
+        trace_mask: TraceCategory::ALL_MASK,
+        sample_us: 0,
+        profile: false,
+        metrics_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,6 +153,18 @@ fn parse_args() -> Args {
                 }
                 args.jobs = Some(n);
             }
+            "--trace" => args.trace_path = Some(val()),
+            "--trace-cats" => {
+                args.trace_mask = TraceCategory::parse_mask(&val()).unwrap_or_else(|| usage());
+            }
+            "--sample-us" => {
+                args.sample_us = val().parse().unwrap_or_else(|_| usage());
+                if args.sample_us == 0 {
+                    usage()
+                }
+            }
+            "--profile" => args.profile = true,
+            "--metrics-json" => args.metrics_json = Some(val()),
             "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -150,7 +194,59 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
     cfg.measure = args.measure_ms * 1_000_000;
     cfg.seed = args.seed;
     cfg.faults = FaultConfig::uniform(args.faults);
+    if args.trace_path.is_some() {
+        cfg.trace = TraceConfig {
+            mask: args.trace_mask,
+            capacity: DEFAULT_TRACE_CAPACITY,
+        };
+    }
+    if args.sample_us > 0 {
+        cfg.probes = ProbeConfig::every(args.sample_us * 1_000);
+    }
     cfg
+}
+
+/// Output path for one mode of a (possibly multi-mode) sweep: the exact
+/// path for a single mode, `stem.<mode>.ext` otherwise.
+fn mode_path(path: &str, mode: ProtectionMode, multi: bool) -> String {
+    if !multi {
+        return path.to_string();
+    }
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{}.{}.{}", stem, mode.label(), ext),
+        None => format!("{}.{}", path, mode.label()),
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("fns-sim: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_profile(mode: ProtectionMode, m: &RunMetrics) {
+    let total = m.spans.total_ns();
+    println!(
+        "{:>14}  CPU-span attribution ({} ns total):",
+        mode.label(),
+        total
+    );
+    for span in Span::ALL {
+        let ns = m.spans.get(span);
+        let pct = if total > 0 {
+            ns as f64 * 100.0 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>14}    {:<18} {:>14} ns  {:5.1}%",
+            "",
+            span.name(),
+            ns,
+            pct
+        );
+    }
 }
 
 fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
@@ -225,8 +321,48 @@ fn main() {
         .map(|&mode| build_config(&args, mode))
         .collect();
     let results = runner.run_sims(configs);
-    for (mode, m) in modes.into_iter().zip(results) {
-        print_result(&args, mode, &m);
+    for (mode, m) in modes.iter().zip(results.iter()) {
+        print_result(&args, *mode, m);
         assert_eq!(m.stale_ptcache_walks, 0, "use-after-free walk detected");
+        if args.profile {
+            print_profile(*mode, m);
+        }
+    }
+    let multi = modes.len() > 1;
+    if let Some(path) = &args.trace_path {
+        let fault_kinds: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        for (mode, m) in modes.iter().zip(results.iter()) {
+            let out = mode_path(path, *mode, multi);
+            write_or_die(&out, &chrome_trace_json(&m.trace, &m.samples, &fault_kinds));
+            println!(
+                "trace: {} events ({} dropped), {} samples -> {}",
+                m.trace.len(),
+                m.trace.dropped,
+                m.samples.samples.len(),
+                out
+            );
+        }
+    }
+    if let Some(path) = &args.metrics_json {
+        let mut w = JsonWriter::with_capacity(4096);
+        w.begin_object();
+        w.key("workload");
+        w.string(&args.workload);
+        w.key("seed");
+        w.u64(args.seed);
+        w.key("runs");
+        w.begin_array();
+        for (mode, m) in modes.iter().zip(results.iter()) {
+            w.begin_object();
+            w.key("mode");
+            w.string(mode.label());
+            w.key("metrics");
+            w.raw(&m.to_json());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        write_or_die(path, &w.finish());
+        println!("metrics: {} run(s) -> {}", results.len(), path);
     }
 }

@@ -15,3 +15,4 @@ pub use fns_net as net;
 pub use fns_nic as nic;
 pub use fns_pcie as pcie;
 pub use fns_sim as sim;
+pub use fns_trace as trace;

@@ -12,6 +12,7 @@ use fns::apps::{iperf_config, rpc_config};
 use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
 use fns::faults::FaultConfig;
 use fns::harness::SweepRunner;
+use fns::trace::{ProbeConfig, TraceConfig};
 
 /// Fig2-shaped sweep points (shortened windows): flow counts crossed with
 /// the stock-overhead modes.
@@ -68,6 +69,42 @@ fn fig2_shaped_sweep_is_identical_under_parallelism() {
     for jobs in [1, 4] {
         let par = SweepRunner::new(jobs).run_sims(configs.clone());
         assert_identical(&golden, &par, &format!("fig2-shaped jobs={jobs}"));
+    }
+}
+
+#[test]
+fn traced_fig2_shaped_sweep_is_identical_under_parallelism() {
+    // Full-telemetry configs: every trace category recorded plus the gauge
+    // sampler. RunMetrics PartialEq covers the event trace, the sampler
+    // series, and the span table, so bit-identical results here mean the
+    // whole telemetry plane is deterministic under parallelism.
+    let configs: Vec<SimConfig> = fig2_shaped()
+        .into_iter()
+        .map(|mut cfg| {
+            cfg.trace = TraceConfig::all();
+            cfg.probes = ProbeConfig::every(100_000);
+            cfg
+        })
+        .collect();
+    let golden = run_sequentially(&configs);
+    assert!(
+        golden.iter().all(|m| !m.trace.is_empty()),
+        "traced runs recorded no events"
+    );
+    assert!(
+        golden.iter().all(|m| !m.samples.samples.is_empty()),
+        "probed runs recorded no samples"
+    );
+    for jobs in [1, 8] {
+        let par = SweepRunner::new(jobs).run_sims(configs.clone());
+        assert_identical(&golden, &par, &format!("traced fig2-shaped jobs={jobs}"));
+        for (a, b) in golden.iter().zip(&par) {
+            assert_eq!(a.trace, b.trace, "trace diverged at jobs={jobs}");
+            assert_eq!(
+                a.samples, b.samples,
+                "sampler series diverged at jobs={jobs}"
+            );
+        }
     }
 }
 
