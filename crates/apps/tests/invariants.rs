@@ -1,0 +1,187 @@
+//! Structural invariants + deterministic replay per app workload.
+//!
+//! The oracle sweeps (`tests/audit_sweep.rs` at the workspace root) drive
+//! every workload through the safety audit, so the workloads themselves
+//! need a pinned baseline: each builder's descriptor-size and
+//! arrival-pattern parameters are asserted here field by field, and every
+//! workload is replayed twice under a fixed seed to prove bit-identical
+//! metrics. A builder drifting (say, nginx silently growing its pipeline
+//! depth) would otherwise change what the sweeps actually audit.
+
+use fns_apps::{
+    bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
+};
+use fns_core::{HostSim, ProtectionMode, RunMetrics, SimConfig, Workload};
+
+const MODE: ProtectionMode = ProtectionMode::FastAndSafe;
+
+/// Runs a shrunk copy of `cfg` (short windows, no aging) twice with the
+/// same seed; returns both results.
+fn replay_pair(mut cfg: SimConfig, measure: u64) -> (RunMetrics, RunMetrics) {
+    cfg.warmup = 300_000;
+    cfg.measure = measure;
+    cfg.aging_factor = 0.0;
+    cfg.seed = 11;
+    let a = HostSim::new(cfg).run();
+    let b = HostSim::new(cfg).run();
+    (a, b)
+}
+
+fn assert_deterministic(name: &str, cfg: SimConfig) -> RunMetrics {
+    let (a, b) = replay_pair(cfg, 1_000_000);
+    assert_eq!(a, b, "{name}: same seed must replay bit-identically");
+    assert!(
+        a.rx_packets + a.tx_packets > 0,
+        "{name}: workload moved no packets"
+    );
+    a
+}
+
+#[test]
+fn iperf_shape_and_replay() {
+    let cfg = iperf_config(MODE, 8, 256);
+    assert_eq!(cfg.flows, 8);
+    assert_eq!(cfg.ring_packets, 256);
+    assert!(matches!(cfg.workload, Workload::IperfRx));
+    // Paper microbenchmark shape: 4 KB MTU ⇒ 1 page per packet, 64-page
+    // descriptor chains.
+    assert_eq!(cfg.mtu, 4096);
+    assert_eq!(cfg.pages_for(cfg.mtu), 1);
+    assert_eq!(cfg.pages_per_descriptor, 64);
+    assert_deterministic("iperf", cfg);
+}
+
+#[test]
+fn bidir_shape_and_replay() {
+    let cfg = bidirectional_config(MODE, 4);
+    // Symmetric shape: one Rx and one Tx core per flow pair.
+    assert_eq!(cfg.cores, 8);
+    assert_eq!(cfg.flows, 4);
+    match cfg.workload {
+        Workload::Bidirectional { tx_flows } => assert_eq!(tx_flows, 4),
+        w => panic!("bidir built {w:?}"),
+    }
+    assert_deterministic("bidir", cfg);
+}
+
+#[test]
+fn redis_shape_and_replay() {
+    let cfg = redis_config(MODE, 1024);
+    assert_eq!(cfg.cores, 8);
+    assert_eq!(cfg.flows, 8);
+    assert_eq!(cfg.mtu, 9000);
+    match cfg.workload {
+        Workload::RequestResponse {
+            request_bytes,
+            response_bytes,
+            depth,
+            dut_is_server,
+            ..
+        } => {
+            // SET request carries the value (+32 B of protocol), the "+OK"
+            // reply is fixed-size, 32 requests stay in flight, and the DUT
+            // is the server.
+            assert_eq!(request_bytes, 1024 + 32);
+            assert_eq!(response_bytes, 64);
+            assert_eq!(depth, 32);
+            assert!(dut_is_server);
+        }
+        w => panic!("redis built {w:?}"),
+    }
+    assert_deterministic("redis", cfg);
+}
+
+#[test]
+fn nginx_shape_and_replay() {
+    let cfg = nginx_config(MODE, 16 * 1024);
+    assert_eq!((cfg.cores, cfg.flows, cfg.mtu), (8, 8, 9000));
+    match cfg.workload {
+        Workload::RequestResponse {
+            request_bytes,
+            response_bytes,
+            depth,
+            dut_is_server,
+            ..
+        } => {
+            // GET request is fixed-size, the page rides in the response,
+            // HTTP/1.1-style shallow pipelining, DUT serves.
+            assert_eq!(request_bytes, 256);
+            assert_eq!(response_bytes, 16 * 1024);
+            assert_eq!(depth, 4);
+            assert!(dut_is_server);
+        }
+        w => panic!("nginx built {w:?}"),
+    }
+    assert_deterministic("nginx", cfg);
+}
+
+#[test]
+fn spdk_shape_and_replay() {
+    let cfg = spdk_config(MODE, 64 * 1024);
+    assert_eq!((cfg.cores, cfg.flows, cfg.mtu), (8, 8, 9000));
+    match cfg.workload {
+        Workload::RequestResponse {
+            request_bytes,
+            response_bytes,
+            depth,
+            dut_is_server,
+            ..
+        } => {
+            // NVMe-oF read: small request capsule out, the block back,
+            // IO-depth 8, and the DUT is the *client* — its datapath load
+            // is Rx-dominated by the block payloads.
+            assert_eq!(request_bytes, 128);
+            assert_eq!(response_bytes, 64 * 1024);
+            assert_eq!(depth, 8);
+            assert!(!dut_is_server);
+        }
+        w => panic!("spdk built {w:?}"),
+    }
+    assert_deterministic("spdk", cfg);
+}
+
+#[test]
+fn rpc_shape_and_replay() {
+    let cfg = rpc_config(MODE, 4096);
+    // 5 iperf flows + 1 dedicated RPC core.
+    assert_eq!(cfg.cores, 6);
+    assert_eq!(cfg.flows, 5);
+    match cfg.workload {
+        Workload::RpcColocated {
+            rpc_bytes,
+            response_bytes,
+        } => {
+            assert_eq!(rpc_bytes, 4096);
+            assert_eq!(response_bytes, 64);
+        }
+        w => panic!("rpc built {w:?}"),
+    }
+    // RPCs are sparse relative to the bulk flows, so the latency
+    // histogram — the whole point of the workload — needs a longer
+    // window before its first completion lands.
+    let (a, b) = replay_pair(cfg, 10_000_000);
+    assert_eq!(a, b, "rpc: same seed must replay bit-identically");
+    assert!(a.latency.count() > 0, "rpc produced no latency samples");
+}
+
+/// Every workload shares the paper-default protection-plane shape: the
+/// same descriptor geometry and flush threshold the oracle contracts are
+/// derived from.
+#[test]
+fn all_builders_share_the_paper_protection_defaults() {
+    let configs = [
+        ("iperf", iperf_config(MODE, 8, 256)),
+        ("bidir", bidirectional_config(MODE, 4)),
+        ("redis", redis_config(MODE, 1024)),
+        ("nginx", nginx_config(MODE, 16 * 1024)),
+        ("spdk", spdk_config(MODE, 64 * 1024)),
+        ("rpc", rpc_config(MODE, 4096)),
+    ];
+    for (name, cfg) in configs {
+        assert_eq!(cfg.mode, MODE, "{name}");
+        assert_eq!(cfg.pages_per_descriptor, 64, "{name}");
+        assert_eq!(cfg.deferred_flush_threshold, 256, "{name}");
+        assert!(!cfg.audit.enabled, "{name}: auditing must be opt-in");
+        assert!(cfg.ring_descriptors() > 0, "{name}");
+    }
+}

@@ -3,6 +3,7 @@
 use fns_faults::FaultConfig;
 use fns_iommu::IommuConfig;
 use fns_mem::MemoryModel;
+use fns_oracle::AuditConfig;
 use fns_pcie::PcieConfig;
 use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
 use fns_trace::{ProbeConfig, TraceConfig};
@@ -159,6 +160,11 @@ pub struct SimConfig {
     pub trace: TraceConfig,
     /// Time-series gauge probes (sampling interval). Off by default.
     pub probes: ProbeConfig,
+    /// Safety-oracle auditing (see `fns-oracle`). Off by default; when
+    /// enabled the driver installs a reference-model auditor *before*
+    /// init so every mapping is observed. Consumes no RNG — a run's
+    /// metrics are bit-identical with auditing on or off.
+    pub audit: AuditConfig,
 }
 
 impl SimConfig {
@@ -196,6 +202,7 @@ impl SimConfig {
             faults: FaultConfig::disabled(),
             trace: TraceConfig::off(),
             probes: ProbeConfig::off(),
+            audit: AuditConfig::off(),
         }
     }
 

@@ -23,6 +23,7 @@ use fns_iova::types::{Iova, IovaRange};
 use fns_iova::{AllocError, AllocStats, CachingAllocator, IovaAllocator};
 use fns_mem::{FrameAllocator, PhysAddr};
 use fns_nic::descriptor::{Descriptor, DescriptorPage};
+use fns_oracle::AuditHandle;
 use fns_sim::stats::ReuseDistance;
 use fns_sim::time::Nanos;
 use fns_trace::{Span, SpanSet, TraceCategory, TraceData, TraceHandle};
@@ -36,6 +37,28 @@ pub const TX_CHUNK_PAGES: u64 = 64;
 
 /// 4 KB pages per 2 MB hugepage.
 pub const HUGE_PAGES: u64 = 512;
+
+/// Test-only seeded driver bugs, used by the oracle corpus to prove each
+/// invariant class is still caught. `None` in every production path; the
+/// other variants suppress exactly one safety-relevant action *and* its
+/// audit bookkeeping, modelling a driver that silently forgot the step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Sabotage {
+    /// No seeded bug.
+    #[default]
+    None,
+    /// Drop the `nth` (1-based, whole-run ordinal) submitted invalidation
+    /// request: its IOTLB entries survive the unmap.
+    SkipRangeInvalidation {
+        /// Ordinal of the request to drop.
+        nth: u64,
+    },
+    /// Skip the preserve-mode PTcache fixup for reclaimed PT pages.
+    SkipReclaimFixup,
+    /// Never run the deferred-mode threshold flush: the invalidation
+    /// backlog grows without bound.
+    SkipDeferredFlush,
+}
 
 /// The protection-layer driver state for one host.
 pub struct DmaDriver {
@@ -99,6 +122,13 @@ pub struct DmaDriver {
     faults: FaultPlane,
     /// Telemetry recorder handle (off by default; ~0 cost when off).
     trace: TraceHandle,
+    /// Safety-oracle handle (off by default; ~0 cost when off).
+    audit: AuditHandle,
+    /// Seeded test-only bug (always `None` outside the oracle corpus).
+    sabotage: Sabotage,
+    /// Whole-run ordinal of submitted invalidation requests, the
+    /// coordinate system for [`Sabotage::SkipRangeInvalidation`].
+    inv_submit_seq: u64,
     next_desc_id: u64,
 }
 
@@ -162,6 +192,9 @@ impl DmaDriver {
             deferred_flushes: 0,
             faults: FaultPlane::disabled(),
             trace: TraceHandle::default(),
+            audit: AuditHandle::default(),
+            sabotage: Sabotage::None,
+            inv_submit_seq: 0,
             next_desc_id: 0,
         }
     }
@@ -185,6 +218,26 @@ impl DmaDriver {
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
         self.faults.set_trace(self.trace.clone());
+    }
+
+    /// Installs the safety-oracle handle. Unlike the fault and trace
+    /// planes, the oracle is installed *before* `init()` so it observes
+    /// init-time mappings; otherwise steady-state accesses to init-mapped
+    /// pages would read as never-mapped violations.
+    pub fn set_audit(&mut self, audit: AuditHandle) {
+        self.audit = audit;
+    }
+
+    /// The driver's safety-oracle handle (report access; off by default).
+    pub fn audit(&self) -> &AuditHandle {
+        &self.audit
+    }
+
+    /// Arms a seeded test-only driver bug for the oracle corpus. Never
+    /// called outside tests; see [`Sabotage`].
+    #[doc(hidden)]
+    pub fn set_sabotage(&mut self, sabotage: Sabotage) {
+        self.sabotage = sabotage;
     }
 
     /// The driver's fault plane (stats/log access).
@@ -216,19 +269,22 @@ impl DmaDriver {
             return;
         }
         let cores = self.tx_chunk.len();
-        let mut live: Vec<IovaRange> = (0..pages)
-            .map(|i| {
-                self.alloc
-                    .alloc(1, (i as usize) % cores)
-                    .expect("IOVA space exhausted during aging")
-            })
-            .collect();
+        let mut live: Vec<IovaRange> = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let r = self
+                .alloc
+                .alloc(1, (i as usize) % cores)
+                .expect("IOVA space exhausted during aging");
+            self.audit.on_alloc(r);
+            live.push(r);
+        }
         // Fisher-Yates shuffle of the free order.
         for i in (1..live.len()).rev() {
             let j = rng.index(i + 1);
             live.swap(i, j);
         }
         for r in live {
+            self.audit.on_free(r);
             self.alloc.free(r, rng.index(cores));
         }
     }
@@ -262,13 +318,21 @@ impl DmaDriver {
         }
         let mut epoch = Vec::new();
         for r in reqs {
+            self.inv_submit_seq += 1;
+            if let Sabotage::SkipRangeInvalidation { nth } = self.sabotage {
+                if nth == self.inv_submit_seq {
+                    continue;
+                }
+            }
             self.iommu
                 .invalidate_range(r.range, InvalidationScope::IotlbOnly);
+            self.audit.on_invalidate(r.range);
             if r.scope != InvalidationScope::IotlbOnly {
                 epoch.push(*r);
             }
         }
         if !epoch.is_empty() {
+            self.audit.on_wipe_queued();
             self.pending_ptcache_wipes.push_back(epoch);
         }
         self.iommu.note_queue_entries(reqs.len() as u64);
@@ -280,6 +344,14 @@ impl DmaDriver {
                 .pop_front()
                 .expect("non-empty queue");
             Self::apply_epoch(&mut self.iommu, &epoch);
+            self.audit.on_wipe_applied(&epoch);
+        }
+        // Differential cross-check: no request submitted above may leave a
+        // live IOTLB entry (the sabotaged one deliberately does).
+        if self.audit.is_on() {
+            for r in reqs {
+                self.audit.crosscheck_invalidated(&self.iommu, r.range);
+            }
         }
         // The IOTLB entries are gone at this point in *every* outcome below
         // (the strict safety property never rides on the happy path); what
@@ -356,6 +428,7 @@ impl DmaDriver {
                 break;
             };
             Self::apply_epoch(&mut self.iommu, &epoch);
+            self.audit.on_wipe_applied(&epoch);
             drained += 1;
         }
         if drained > 0 {
@@ -397,9 +470,12 @@ impl DmaDriver {
         if self.faults.roll(FaultKind::IovaExhaustion) {
             return Err(AllocError::Injected.into());
         }
-        self.alloc
+        let r = self
+            .alloc
             .alloc(pages, core)
-            .ok_or_else(|| AllocError::Exhausted { pages }.into())
+            .ok_or(AllocError::Exhausted { pages })?;
+        self.audit.on_alloc(r);
+        Ok(r)
     }
 
     /// Allocates a physical frame under fault injection.
@@ -426,6 +502,7 @@ impl DmaDriver {
                 let pa_base = PhysAddr::from_pfn(self.next_pinned_pfn);
                 self.next_pinned_pfn += HUGE_PAGES;
                 self.iommu.map_huge(chunk.base(), pa_base)?;
+                self.audit.on_map_huge(chunk.base(), pa_base);
                 for i in 0..HUGE_PAGES {
                     self.pinned_free.push_back(DescriptorPage {
                         iova: chunk.page(i),
@@ -447,6 +524,7 @@ impl DmaDriver {
                         }
                     };
                     self.iommu.map(r.base(), pa)?;
+                    self.audit.on_map(r.base(), pa);
                     self.pinned_free
                         .push_back(DescriptorPage { iova: r.base(), pa });
                 }
@@ -479,9 +557,12 @@ impl DmaDriver {
                     }
                 }
                 self.alloc.try_free(chunk.range(), core)?;
+                self.audit.on_free(chunk.range());
             }
         } else {
-            self.alloc.try_free(IovaRange::new(iova, 1), core)?;
+            let range = IovaRange::new(iova, 1);
+            self.alloc.try_free(range, core)?;
+            self.audit.on_free(range);
         }
         Ok(())
     }
@@ -494,16 +575,20 @@ impl DmaDriver {
     fn unwind_pages(&mut self, core: usize, pages: &[DescriptorPage]) {
         let mut reclaimed = Vec::new();
         for p in pages {
+            let range = IovaRange::new(p.iova, 1);
             let out = self
                 .iommu
-                .unmap_range(IovaRange::new(p.iova, 1))
+                .unmap_range(range)
                 .expect("unwinding a just-mapped page");
+            self.audit.on_pt_reclaimed(&out.reclaimed);
+            self.audit.on_unwound(range);
             reclaimed.extend(out.reclaimed);
             self.release_iova_page(p.iova, core)
                 .expect("unwinding a just-allocated IOVA");
             self.frames.free(p.pa).expect("unwinding a fresh frame");
         }
         self.iommu.invalidate_for_reclaimed(&reclaimed);
+        self.audit.on_reclaim_fixup(&reclaimed);
     }
 
     /// Prepares one Rx descriptor for `core`: allocates frames, assigns
@@ -539,9 +624,11 @@ impl DmaDriver {
             let pa_base = PhysAddr::from_pfn(base_pfn);
             if let Err(e) = self.iommu.map_huge(chunk.base(), pa_base) {
                 self.huge_frames.push(base_pfn);
+                self.audit.on_free(chunk);
                 self.alloc.free(chunk, core);
                 return Err(e.into());
             }
+            self.audit.on_map_huge(chunk.base(), pa_base);
             for i in 0..HUGE_PAGES {
                 let iova = chunk.page(i);
                 self.record_locality(iova);
@@ -603,20 +690,26 @@ impl DmaDriver {
                             // undo the page mappings and return it whole.
                             let mut reclaimed = Vec::new();
                             for p in &pages {
+                                let r1 = IovaRange::new(p.iova, 1);
                                 let out = self
                                     .iommu
-                                    .unmap_range(IovaRange::new(p.iova, 1))
+                                    .unmap_range(r1)
                                     .expect("unwinding a just-mapped page");
+                                self.audit.on_pt_reclaimed(&out.reclaimed);
+                                self.audit.on_unwound(r1);
                                 reclaimed.extend(out.reclaimed);
                                 self.frames.free(p.pa).expect("unwinding a fresh frame");
                             }
                             self.iommu.invalidate_for_reclaimed(&reclaimed);
+                            self.audit.on_reclaim_fixup(&reclaimed);
+                            self.audit.on_free(chunk);
                             self.alloc.free(chunk, core);
                             return Err(e);
                         }
                     };
                     let iova = chunk.page(i);
                     self.iommu.map(iova, pa)?;
+                    self.audit.on_map(iova, pa);
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
@@ -640,6 +733,7 @@ impl DmaDriver {
                         }
                     };
                     self.iommu.map(iova, pa)?;
+                    self.audit.on_map(iova, pa);
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
@@ -663,6 +757,7 @@ impl DmaDriver {
                 };
                 let iova = r.base();
                 self.iommu.map(iova, pa)?;
+                self.audit.on_map(iova, pa);
                 self.record_locality(iova);
                 pages.push(DescriptorPage { iova, pa });
             }
@@ -697,6 +792,7 @@ impl DmaDriver {
             let base = desc.pages()[0].iova;
             self.iommu.unmap_huge(base)?;
             let range = IovaRange::new(base, desc.len() as u64);
+            self.audit.on_unmap(range);
             let mut cpu = self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             cpu += self.submit_invalidations(
@@ -708,6 +804,7 @@ impl DmaDriver {
             );
             self.huge_frames.push(desc.pages()[0].pa.pfn());
             self.alloc.try_free(range, core)?;
+            self.audit.on_free(range);
             let alloc_cost = self.alloc_cost_since(before);
             cpu += alloc_cost;
             self.spans.charge(Span::Completion, alloc_cost);
@@ -752,14 +849,16 @@ impl DmaDriver {
             // invalidation-queue entry (Figure 6b).
             let range = IovaRange::new(desc.pages()[0].iova, desc.len() as u64);
             let out = self.iommu.unmap_range(range)?;
+            self.audit.on_unmap(range);
+            self.audit.on_pt_reclaimed(&out.reclaimed);
             cpu += self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             cpu += self.submit_invalidations(&[InvalidationRequest { range, scope }], false);
             if self.mode.preserves_ptcache() {
-                self.note_reclaim(&out.reclaimed);
-                self.iommu.invalidate_for_reclaimed(&out.reclaimed);
+                self.reclaim_fixup(&out.reclaimed);
             }
             self.alloc.try_free(range, core)?;
+            self.audit.on_free(range);
         } else {
             // Stock Linux: page-at-a-time unmap, one queue entry each
             // (Figure 6a).
@@ -768,10 +867,13 @@ impl DmaDriver {
             for p in desc.pages() {
                 let range = IovaRange::new(p.iova, 1);
                 let out = self.iommu.unmap_range(range)?;
+                self.audit.on_unmap(range);
+                self.audit.on_pt_reclaimed(&out.reclaimed);
                 reclaimed.extend(out.reclaimed);
                 cpu += self.costs.unmap_ns;
                 reqs.push(InvalidationRequest { range, scope });
                 self.alloc.try_free(range, core)?;
+                self.audit.on_free(range);
             }
             self.spans
                 .charge(Span::Unmap, desc.len() as Nanos * self.costs.unmap_ns);
@@ -787,8 +889,7 @@ impl DmaDriver {
                     cpu += self.submit_invalidations(std::slice::from_ref(r), true);
                 }
                 if self.mode.preserves_ptcache() {
-                    self.note_reclaim(&reclaimed);
-                    self.iommu.invalidate_for_reclaimed(&reclaimed);
+                    self.reclaim_fixup(&reclaimed);
                 }
             }
         }
@@ -809,10 +910,14 @@ impl DmaDriver {
         if self.deferred_pending < self.deferred_threshold {
             return 0;
         }
+        if self.sabotage == Sabotage::SkipDeferredFlush {
+            return 0;
+        }
         self.deferred_pending = 0;
         self.deferred_flushes += 1;
         // One global flush descriptor.
         self.iommu.invalidate_all();
+        self.audit.on_invalidate_all();
         self.iommu.note_queue_entries(1);
         let cost = self.invq.cost_ns(1);
         self.spans.charge(Span::InvalidationWait, cost);
@@ -887,6 +992,7 @@ impl DmaDriver {
                 }
             };
             self.iommu.map(iova, pa)?;
+            self.audit.on_map(iova, pa);
             self.record_locality(iova);
             out.push(DescriptorPage { iova, pa });
         }
@@ -979,6 +1085,8 @@ impl DmaDriver {
         for p in pages {
             let range = IovaRange::new(p.iova, 1);
             let out = self.iommu.unmap_range(range)?;
+            self.audit.on_unmap(range);
+            self.audit.on_pt_reclaimed(&out.reclaimed);
             reclaimed.extend(out.reclaimed);
             cpu += self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
@@ -1006,8 +1114,7 @@ impl DmaDriver {
         } else if self.mode.batched_invalidation() {
             cpu += self.submit_invalidations(&reqs, false);
             if self.mode.preserves_ptcache() {
-                self.note_reclaim(&reclaimed);
-                self.iommu.invalidate_for_reclaimed(&reclaimed);
+                self.reclaim_fixup(&reclaimed);
             }
         } else {
             // Stock Linux: each transmitted packet's unmap is its own
@@ -1016,8 +1123,7 @@ impl DmaDriver {
                 cpu += self.submit_invalidations(std::slice::from_ref(r), true);
             }
             if self.mode.preserves_ptcache() {
-                self.note_reclaim(&reclaimed);
-                self.iommu.invalidate_for_reclaimed(&reclaimed);
+                self.reclaim_fixup(&reclaimed);
             }
         }
         let alloc_cost = self.alloc_cost_since(before);
@@ -1040,14 +1146,28 @@ impl DmaDriver {
         }
     }
 
+    /// The preserve-mode synchronous PTcache fixup for reclaimed PT pages
+    /// (the paper's Figure 5 rule), with its trace and audit bookkeeping.
+    fn reclaim_fixup(&mut self, reclaimed: &[fns_iommu::ReclaimedPage]) {
+        self.note_reclaim(reclaimed);
+        if self.sabotage == Sabotage::SkipReclaimFixup {
+            return;
+        }
+        self.iommu.invalidate_for_reclaimed(reclaimed);
+        self.audit.on_reclaim_fixup(reclaimed);
+    }
+
     /// Translates a device access; returns the number of page-walk memory
     /// reads (0 for IOMMU-off or IOTLB hits).
     pub fn translate(&mut self, iova: Iova) -> u32 {
         if self.mode == ProtectionMode::IommuOff {
             return 0;
         }
+        if self.audit.is_on() {
+            return self.translate_audited(iova).reads();
+        }
         if self.trace.wants(TraceCategory::Translate) {
-            return self.translate_traced(iova);
+            return self.translate_traced(iova).reads();
         }
         let t = self.iommu.translate(iova);
         debug_assert!(
@@ -1057,10 +1177,49 @@ impl DmaDriver {
         t.reads()
     }
 
+    /// Audited translation: wraps the (possibly traced) translation with
+    /// the oracle's per-access check, feeding it the stale-walk counter
+    /// delta as ground truth for PT use-after-free.
+    fn translate_audited(&mut self, iova: Iova) -> fns_iommu::Translation {
+        let stale_before = self.iommu.stats().stale_ptcache_walks;
+        let t = if self.trace.wants(TraceCategory::Translate) {
+            self.translate_traced(iova)
+        } else {
+            let t = self.iommu.translate(iova);
+            debug_assert!(
+                t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
+                "device fault on a supposedly mapped IOVA ({iova})"
+            );
+            t
+        };
+        let stale = self.iommu.stats().stale_ptcache_walks - stale_before;
+        self.audit.on_translate(iova, t.pa(), stale);
+        t
+    }
+
+    /// Translates a *possibly-unmapped* IOVA (the chaos plane's stale-DMA
+    /// probe): a checked translation, audited like any device access but
+    /// never debug-asserted — faulting is the expected strict-mode
+    /// outcome. Returns whether the access leaked through.
+    pub fn probe_translate(&mut self, iova: Iova) -> bool {
+        if self.mode == ProtectionMode::IommuOff {
+            return false;
+        }
+        if self.audit.is_on() {
+            let stale_before = self.iommu.stats().stale_ptcache_walks;
+            let pa = self.iommu.translate_checked(iova).ok().map(|(pa, _)| pa);
+            let stale = self.iommu.stats().stale_ptcache_walks - stale_before;
+            self.audit.on_translate(iova, pa, stale);
+            pa.is_some()
+        } else {
+            self.iommu.translate_checked(iova).is_ok()
+        }
+    }
+
     /// Traced translation: identical behaviour to [`DmaDriver::translate`]
     /// plus IOTLB/PTcache events derived from the counter deltas. Kept out
     /// of line so the untraced hot path stays branch-plus-call free.
-    fn translate_traced(&mut self, iova: Iova) -> u32 {
+    fn translate_traced(&mut self, iova: Iova) -> fns_iommu::Translation {
         let before = self.iommu.stats();
         let lens_before = self.iommu.ptcache_lens();
         let t = self.iommu.translate(iova);
@@ -1099,7 +1258,7 @@ impl DmaDriver {
         if after.faults > before.faults {
             self.trace.emit(TraceData::TranslationFault);
         }
-        t.reads()
+        t
     }
 }
 

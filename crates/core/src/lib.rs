@@ -28,7 +28,7 @@ pub mod resources;
 pub mod sim;
 
 pub use config::{CpuCosts, SimConfig, Workload};
-pub use driver::DmaDriver;
+pub use driver::{DmaDriver, Sabotage};
 pub use errors::DmaError;
 pub use metrics::RunMetrics;
 pub use mode::ProtectionMode;

@@ -69,6 +69,8 @@ pub struct RunMetrics {
     /// injection is enabled (they back `fault_log`). Empty when neither
     /// applies.
     pub trace: Trace,
+    /// Safety-oracle summary (default/empty when auditing was off).
+    pub audit: fns_oracle::AuditReport,
 }
 
 impl RunMetrics {
@@ -263,6 +265,19 @@ impl RunMetrics {
         w.field_u64("events", self.trace.len() as u64);
         w.field_u64("dropped", self.trace.dropped);
         w.end_object();
+        w.key("audit");
+        w.begin_object();
+        w.field_bool("enabled", self.audit.enabled);
+        w.field_u64("checks", self.audit.checks);
+        w.field_u64("ops", self.audit.ops);
+        w.field_u64("violations", self.audit.violations);
+        w.key("by_invariant");
+        w.begin_object();
+        for inv in fns_oracle::Invariant::ALL {
+            w.field_u64(inv.name(), self.audit.of(inv));
+        }
+        w.end_object();
+        w.end_object();
         w.end_object();
         w.finish()
     }
@@ -299,6 +314,7 @@ mod tests {
             fault_log: Vec::new(),
             samples: SampleSet::default(),
             trace: Trace::default(),
+            audit: Default::default(),
         }
     }
 

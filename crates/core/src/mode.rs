@@ -122,6 +122,25 @@ impl ProtectionMode {
         )
     }
 
+    /// The safety contract this mode claims, audited by `fns-oracle`.
+    ///
+    /// `deferred_window` bounds the invalidation backlog tolerated in
+    /// deferred mode (the flush threshold plus one completion batch of
+    /// slack); every other mode ignores it. Strict modes claim safety and
+    /// invalidation completeness; PTcache-preserving modes additionally
+    /// claim coherence via synchronous reclaim fixups; pinned pools claim
+    /// only stable mappings (`unmaps: false`); `IommuOff` claims nothing.
+    pub fn contract(self, deferred_window: u64) -> fns_oracle::ModeContract {
+        fns_oracle::ModeContract {
+            translates: self.iommu_enabled(),
+            unmaps: self.iommu_enabled() && !self.is_pinned_pool(),
+            strict_safety: self.is_strict_safe(),
+            ptcache_coherence: self.preserves_ptcache(),
+            invalidation_completeness: self.is_strict_safe(),
+            deferred_window: (self == ProtectionMode::LinuxDeferred).then_some(deferred_window),
+        }
+    }
+
     /// Short display label used by the benchmark tables.
     pub fn label(self) -> &'static str {
         match self {

@@ -30,6 +30,7 @@ use fns_net::switchq::SwitchQueue;
 use fns_nic::buffer::NicBuffer;
 use fns_nic::descriptor::{Descriptor, DescriptorPage};
 use fns_nic::ring::RxRing;
+use fns_oracle::AuditHandle;
 use fns_sim::queue::EventQueue;
 use fns_sim::rng::SimRng;
 use fns_sim::stats::Histogram;
@@ -290,6 +291,18 @@ impl HostSim {
             sampler: Sampler::new(cfg.probes),
             cfg,
         };
+        // The safety oracle must observe *every* mapping, including the
+        // init-time ring fill and churn — unlike the trace/fault planes it
+        // installs before init, otherwise steady-state accesses to
+        // init-mapped pages would read as never-mapped violations. It
+        // consumes no RNG, so the workload trajectory is unaffected.
+        if sim.cfg.audit.enabled {
+            let window =
+                sim.cfg.deferred_flush_threshold as u64 + sim.cfg.pages_per_descriptor as u64;
+            let contract = sim.cfg.mode.contract(window);
+            sim.drv
+                .set_audit(AuditHandle::recording(contract, sim.cfg.audit.fatal));
+        }
         sim.init();
         // Create the trace recorder only after init: ring-fill and aging
         // churn stay untraced so the recorder starts at the same point the
@@ -303,9 +316,15 @@ impl HostSim {
             mask |= TraceCategory::Fault.bit();
             capacity = capacity.max(fns_faults::LOG_CAP);
         }
+        if sim.cfg.audit.enabled && mask != 0 {
+            mask |= TraceCategory::Audit.bit();
+        }
         if mask != 0 {
             sim.trace = TraceHandle::recording(mask, capacity);
             sim.drv.set_trace(sim.trace.clone());
+            // No-op unless auditing is on: violations then land in the
+            // trace as audit_violation events alongside the datapath's.
+            sim.drv.audit().set_trace(sim.trace.clone());
         }
         // Install the fault planes only after init: ring fill and aging
         // churn run fault-free so every configuration starts from the same
@@ -974,7 +993,7 @@ impl HostSim {
             if self.drv.faults().is_enabled()
                 && self.drv.faults_mut().roll(FaultKind::TranslationFault)
             {
-                let leaked = self.drv.iommu.translate_checked(probe).is_ok();
+                let leaked = self.drv.probe_translate(probe);
                 self.drv.faults_mut().note_stale_probe(leaked);
                 if !leaked {
                     self.drv
@@ -1490,6 +1509,7 @@ impl HostSim {
             fault_log,
             samples: self.sampler.take(),
             trace,
+            audit: self.drv.audit().report(),
         }
     }
 }

@@ -32,8 +32,10 @@ use std::sync::Mutex;
 
 use fns_core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
 
+pub mod mbt;
 pub mod scenarios;
 
+pub use mbt::{CorpusCase, MbtConfig, Op};
 pub use scenarios::{scenario_config, scenario_names, Scenario, SCENARIOS};
 
 /// Executes independent simulation runs on a thread pool, returning

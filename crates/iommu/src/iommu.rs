@@ -152,6 +152,13 @@ impl Iommu {
         self.stats
     }
 
+    /// Whether any IOTLB entry (4 KB or huge) would serve `iova`, without
+    /// touching LRU recency state or counters. Audit tap for the safety
+    /// oracle's invalidation cross-check; never used by the datapath.
+    pub fn iotlb_contains(&self, iova: Iova) -> bool {
+        self.iotlb.contains(iova.pfn()) || self.iotlb_huge.contains(iova.l4_page_key())
+    }
+
     /// Maps `iova -> pa` in the IO page table (driver-side operation; does
     /// not touch the hardware caches).
     pub fn map(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {

@@ -79,6 +79,25 @@ impl Iotlb {
         }
     }
 
+    /// Looks up a translation without touching recency state. This is the
+    /// audit tap: the safety oracle may inspect the IOTLB between
+    /// simulated accesses without perturbing LRU order (which would change
+    /// eviction behaviour and break audit-on/audit-off determinism).
+    pub fn peek(&self, pfn: u64) -> Option<PhysAddr> {
+        match self {
+            Iotlb::FullAssoc(c) => c.peek(pfn),
+            Iotlb::SetAssoc { sets } => {
+                let s = Self::set_for(sets, pfn);
+                sets[s].peek(pfn)
+            }
+        }
+    }
+
+    /// Whether a translation is cached, without touching recency state.
+    pub fn contains(&self, pfn: u64) -> bool {
+        self.peek(pfn).is_some()
+    }
+
     /// Inserts a translation, evicting within the (set-)LRU policy.
     pub fn insert(&mut self, pfn: u64, pa: PhysAddr) {
         match self {

@@ -1,0 +1,1171 @@
+//! Reference-model safety oracle for the DMA protection state machine.
+//!
+//! The simulator measures performance; this crate checks *correctness*. It
+//! keeps a deliberately-naive shadow model of everything the protection
+//! planes are supposed to guarantee — per-page lifecycle
+//! (`Mapped → Unmapped{invalidated?}`), per-entry IOTLB / PTcache shadow
+//! state, invalidation-queue completion accounting, and live-IOVA ownership
+//! — and audits every device-side translation against the contract the
+//! active [`ModeContract`] claims:
+//!
+//! 1. **Strict safety** — no translation succeeds for a page whose unmap
+//!    has completed, in every mode that claims strictness.
+//! 2. **PTcache coherence** — cached page-table entries are only consulted
+//!    while the backing PT page has not been reclaimed (and, in preserving
+//!    modes, reclaim fixups are synchronous with the unmap that triggered
+//!    them).
+//! 3. **Invalidation completeness** — every unmap in strict modes is
+//!    covered by an IOTLB invalidation before the next device access, with
+//!    batched range invalidations credited correctly; deferred mode gets a
+//!    documented bounded backlog instead.
+//!
+//! The model is naive on purpose: plain `BTreeMap`/`BTreeSet` bookkeeping,
+//! no caching tricks, no shared code with the production-path crates it
+//! audits. Divergence between the two implementations is the signal.
+//!
+//! Hook dispatch follows the `TraceHandle` idiom: [`AuditHandle`] is an
+//! enum whose `Off` variant reduces every hook to one discriminant branch,
+//! so audit-off simulations pay nothing measurable.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use fns_iommu::pagetable::ReclaimedPage;
+use fns_iommu::{InvalidationRequest, InvalidationScope, Iommu};
+use fns_iova::{Iova, IovaRange};
+use fns_mem::PhysAddr;
+use fns_trace::{TraceData, TraceHandle};
+
+/// Pages spanned by one leaf (L4) page-table page / huge mapping.
+const L4_SPAN_PFNS: u64 = 512;
+
+/// Cap on retained violation samples; counters keep exact totals beyond it.
+const SAMPLE_CAP: usize = 64;
+
+/// Whether the simulation audits itself, carried inside `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditConfig {
+    /// Install the oracle and check every hook.
+    pub enabled: bool,
+    /// Panic on the first violation instead of counting it.
+    pub fatal: bool,
+}
+
+impl AuditConfig {
+    /// Auditing disabled (the perf-measurement default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Auditing enabled, violations counted and reported.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            fatal: false,
+        }
+    }
+
+    /// Auditing enabled, first violation panics with its detail string.
+    pub fn fatal() -> Self {
+        Self {
+            enabled: true,
+            fatal: true,
+        }
+    }
+}
+
+/// The safety properties a protection mode claims. Produced per mode by
+/// `ProtectionMode::contract` in `fns-core`; the oracle only ever checks
+/// what the contract claims, so documented exceptions (deferred windows,
+/// pinned pools) are encoded here rather than special-cased in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeContract {
+    /// Device accesses go through the IOMMU at all (false ⇒ nothing to audit).
+    pub translates: bool,
+    /// The datapath unmaps pages after use (false for pinned-pool modes,
+    /// which promise a stable mapping forever instead).
+    pub unmaps: bool,
+    /// Claims strict safety: unmapped ⇒ un-translatable before the next
+    /// device access.
+    pub strict_safety: bool,
+    /// Claims PTcache coherence via synchronous reclaim fixups.
+    pub ptcache_coherence: bool,
+    /// Claims every unmap is covered by an invalidation before the next
+    /// device access.
+    pub invalidation_completeness: bool,
+    /// Deferred mode's documented exception: the invalidation backlog may
+    /// grow to this many pages before a full flush must have happened.
+    pub deferred_window: Option<u64>,
+}
+
+impl ModeContract {
+    /// The empty contract (IOMMU off): nothing is claimed, nothing checked.
+    pub fn none() -> Self {
+        Self {
+            translates: false,
+            unmaps: false,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: None,
+        }
+    }
+}
+
+/// The invariant classes the oracle distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// A translation succeeded for a page that was never mapped, or whose
+    /// unmap (and, where claimed, invalidation) had completed.
+    StrictSafety,
+    /// A live mapping translated to the wrong frame, faulted, or a page
+    /// was unmapped that the model does not hold mapped.
+    MappingIntegrity,
+    /// An unmapped page reached a device access without a covering IOTLB
+    /// invalidation (or the deferred backlog exceeded its bounded window,
+    /// or an invalidated entry survived in the real IOTLB).
+    InvalidationCompleteness,
+    /// A translation walk consulted a reclaimed page-table page, or a
+    /// preserving mode left reclaim fixups pending across a device access.
+    PtcacheCoherence,
+    /// IOVA allocator discipline: overlapping allocations or frees of
+    /// ranges the model does not hold live.
+    IovaDiscipline,
+}
+
+impl Invariant {
+    /// Every invariant, in `index()` order.
+    pub const ALL: [Invariant; 5] = [
+        Invariant::StrictSafety,
+        Invariant::MappingIntegrity,
+        Invariant::InvalidationCompleteness,
+        Invariant::PtcacheCoherence,
+        Invariant::IovaDiscipline,
+    ];
+
+    /// Stable dense index for counters and trace records.
+    pub fn index(self) -> usize {
+        match self {
+            Invariant::StrictSafety => 0,
+            Invariant::MappingIntegrity => 1,
+            Invariant::InvalidationCompleteness => 2,
+            Invariant::PtcacheCoherence => 3,
+            Invariant::IovaDiscipline => 4,
+        }
+    }
+
+    /// Stable kebab-case name, used in reports and corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::StrictSafety => "strict-safety",
+            Invariant::MappingIntegrity => "mapping-integrity",
+            Invariant::InvalidationCompleteness => "invalidation-completeness",
+            Invariant::PtcacheCoherence => "ptcache-coherence",
+            Invariant::IovaDiscipline => "iova-discipline",
+        }
+    }
+
+    /// Inverse of [`Invariant::name`].
+    pub fn from_name(s: &str) -> Option<Invariant> {
+        Invariant::ALL.into_iter().find(|i| i.name() == s)
+    }
+}
+
+/// One recorded contract violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant class broke.
+    pub invariant: Invariant,
+    /// The page (or region key) the violation is anchored on.
+    pub pfn: u64,
+    /// Ordinal of the audited translation at which it was detected
+    /// (0 ⇒ detected outside a translation, e.g. at unmap/free time).
+    pub check: u64,
+    /// Deterministic human-readable diagnosis.
+    pub detail: String,
+}
+
+/// Per-page lifecycle in the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    /// Mapped at `pa_pfn`; `huge` if established by a 2MB mapping.
+    Mapped { pa_pfn: u64, huge: bool },
+    /// Unmapped; `invalidated` once an IOTLB invalidation covered it.
+    Unmapped { invalidated: bool },
+}
+
+/// Summary of an audited run, embedded in `RunMetrics`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Whether an oracle was attached at all.
+    pub enabled: bool,
+    /// Audited device-side translations.
+    pub checks: u64,
+    /// Audited state-machine operations (map/unmap/alloc/free/invalidate).
+    pub ops: u64,
+    /// Total violations across all invariants.
+    pub violations: u64,
+    /// Per-invariant totals, indexed by [`Invariant::index`].
+    pub by_invariant: [u64; 5],
+    /// Invalidation-queue epochs queued / applied over the run.
+    pub epochs_queued: u64,
+    /// See [`AuditReport::epochs_queued`].
+    pub epochs_applied: u64,
+    /// End-of-run gauges: unmapped pages still awaiting invalidation.
+    pub pending_invalidation: u64,
+    /// End-of-run gauges: reclaimed PT pages still awaiting fixup.
+    pub pending_reclaim: u64,
+    /// End-of-run gauges: live IOVA ranges in the shadow allocator.
+    pub live_iova_ranges: u64,
+    /// End-of-run gauges: shadow-IOTLB entries (4K + huge).
+    pub shadow_iotlb: u64,
+    /// First [`SAMPLE_CAP`] violations, in detection order.
+    pub samples: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Count for one invariant class.
+    pub fn of(&self, inv: Invariant) -> u64 {
+        self.by_invariant[inv.index()]
+    }
+
+    /// No violations recorded (vacuously true when auditing was off).
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// One-line summary for CLI output and failure artifacts.
+    pub fn summary(&self) -> String {
+        if !self.enabled {
+            return "audit off".to_string();
+        }
+        let mut s = format!(
+            "audit: {} checks, {} ops, {} violations",
+            self.checks, self.ops, self.violations
+        );
+        for inv in Invariant::ALL {
+            if self.of(inv) > 0 {
+                s.push_str(&format!(" [{}: {}]", inv.name(), self.of(inv)));
+            }
+        }
+        s
+    }
+}
+
+/// The hook surface the instrumented datapath drives. `SafetyOracle` is
+/// the only production implementation; the trait exists so the audited
+/// code depends on the hook contract, not the model's internals, and so
+/// tests can substitute counting stubs.
+pub trait SafetyAuditor {
+    /// An IOVA range left the allocator.
+    fn on_alloc(&mut self, range: IovaRange);
+    /// An IOVA range returned to the allocator.
+    fn on_free(&mut self, range: IovaRange);
+    /// A 4K page was mapped at `pa`.
+    fn on_map(&mut self, iova: Iova, pa: PhysAddr);
+    /// A 2MB-aligned 512-page span was mapped starting at `pa_base`.
+    fn on_map_huge(&mut self, base: Iova, pa_base: PhysAddr);
+    /// A range was unmapped by the datapath (device may still race it).
+    fn on_unmap(&mut self, range: IovaRange);
+    /// A range was unmapped during error unwind, before any device access
+    /// could have observed it.
+    fn on_unwound(&mut self, range: IovaRange);
+    /// A synchronous IOTLB invalidation covered `range`.
+    fn on_invalidate(&mut self, range: IovaRange);
+    /// A global invalidation (IOTLB + PTcaches) completed.
+    fn on_invalidate_all(&mut self);
+    /// Unmapping reclaimed these page-table pages.
+    fn on_pt_reclaimed(&mut self, reclaimed: &[ReclaimedPage]);
+    /// The PTcache fixup for these reclaimed PT pages completed.
+    fn on_reclaim_fixup(&mut self, reclaimed: &[ReclaimedPage]);
+    /// A PTcache-wipe epoch was queued on the invalidation queue.
+    fn on_wipe_queued(&mut self);
+    /// A queued PTcache-wipe epoch was applied.
+    fn on_wipe_applied(&mut self, epoch: &[InvalidationRequest]);
+    /// A device-side translation of `iova` completed; `pa` is its outcome
+    /// and `stale_walks` how many reclaimed PT pages the real walk
+    /// consulted while serving it (ground truth from the IOMMU model).
+    fn on_translate(&mut self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64);
+}
+
+/// The naive reference model. See the crate docs for the invariants.
+#[derive(Debug)]
+pub struct SafetyOracle {
+    contract: ModeContract,
+    fatal: bool,
+    /// Per-page lifecycle, keyed by IOVA pfn. Pages absent were never mapped.
+    pages: HashMap<u64, PageState>,
+    /// Unmapped pages whose covering IOTLB invalidation has not happened.
+    pending_inval: BTreeSet<u64>,
+    /// Reclaimed PT pages whose PTcache fixup has not happened, as
+    /// `(level, region_key)`.
+    pending_reclaim: BTreeSet<(u8, u64)>,
+    /// Live IOVA allocations: base pfn → page count.
+    live_iova: BTreeMap<u64, u64>,
+    /// Pfns that may be cached in the real 4K IOTLB.
+    shadow_iotlb: BTreeSet<u64>,
+    /// L4 keys that may be cached in the real huge-entry IOTLB.
+    shadow_iotlb_huge: BTreeSet<u64>,
+    /// Region keys possibly live in PTcache L3/L2/L1 (indexed 0/1/2 =
+    /// keys at L4/L3/L2 granularity, mirroring `ReclaimedPage::level`).
+    shadow_ptc: [BTreeSet<u64>; 3],
+    epochs_queued: u64,
+    epochs_applied: u64,
+    checks: u64,
+    ops: u64,
+    counts: [u64; 5],
+    samples: Vec<Violation>,
+    trace: TraceHandle,
+}
+
+impl SafetyOracle {
+    /// A fresh model for one simulated driver under `contract`.
+    pub fn new(contract: ModeContract, fatal: bool) -> Self {
+        Self {
+            contract,
+            fatal,
+            pages: HashMap::new(),
+            pending_inval: BTreeSet::new(),
+            pending_reclaim: BTreeSet::new(),
+            live_iova: BTreeMap::new(),
+            shadow_iotlb: BTreeSet::new(),
+            shadow_iotlb_huge: BTreeSet::new(),
+            shadow_ptc: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+            epochs_queued: 0,
+            epochs_applied: 0,
+            checks: 0,
+            ops: 0,
+            counts: [0; 5],
+            samples: Vec::new(),
+            trace: TraceHandle::Off,
+        }
+    }
+
+    /// Attach a trace ring; violations then emit `TraceData::AuditViolation`.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The contract being audited.
+    pub fn contract(&self) -> ModeContract {
+        self.contract
+    }
+
+    /// Total violations so far.
+    pub fn violations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Snapshot the run summary.
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            enabled: true,
+            checks: self.checks,
+            ops: self.ops,
+            violations: self.violations(),
+            by_invariant: self.counts,
+            epochs_queued: self.epochs_queued,
+            epochs_applied: self.epochs_applied,
+            pending_invalidation: self.pending_inval.len() as u64,
+            pending_reclaim: self.pending_reclaim.len() as u64,
+            live_iova_ranges: self.live_iova.len() as u64,
+            shadow_iotlb: (self.shadow_iotlb.len() + self.shadow_iotlb_huge.len()) as u64,
+            samples: self.samples.clone(),
+        }
+    }
+
+    fn record(&mut self, invariant: Invariant, pfn: u64, detail: String) {
+        self.counts[invariant.index()] += 1;
+        self.trace.emit(TraceData::AuditViolation {
+            invariant: invariant.index() as u8,
+            pfn,
+        });
+        if self.fatal {
+            panic!(
+                "safety-audit violation [{}] pfn {:#x} at check {}: {}",
+                invariant.name(),
+                pfn,
+                self.checks,
+                detail
+            );
+        }
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(Violation {
+                invariant,
+                pfn,
+                check: self.checks,
+                detail,
+            });
+        }
+    }
+
+    /// Mark one page invalidated: clear backlog and shadow entries, and
+    /// complete the `Unmapped{false} → Unmapped{true}` transition.
+    fn invalidate_pfn(&mut self, pfn: u64) {
+        self.pending_inval.remove(&pfn);
+        self.shadow_iotlb.remove(&pfn);
+        if let Some(PageState::Unmapped { invalidated }) = self.pages.get_mut(&pfn) {
+            *invalidated = true;
+        }
+    }
+
+    /// Remove huge-IOTLB shadow entries for every L4 span fully covered
+    /// by `range` (a huge entry is only credited as invalidated when the
+    /// whole 512-page span it maps was invalidated).
+    fn invalidate_covered_huge(&mut self, range: IovaRange) {
+        let lo = range.pfn_lo();
+        let hi = range.pfn_hi();
+        let mut key = range.base().l4_page_key();
+        if key * L4_SPAN_PFNS < lo {
+            key += 1;
+        }
+        while key * L4_SPAN_PFNS + (L4_SPAN_PFNS - 1) <= hi {
+            self.shadow_iotlb_huge.remove(&key);
+            key += 1;
+        }
+    }
+
+    /// Drop `pending_reclaim` entries (and PTcache shadows) for keys of
+    /// `level` whose region intersects `range`.
+    fn credit_reclaim_wipe(&mut self, level: u8, range: IovaRange) {
+        let (klo, khi) = match level {
+            4 => (
+                range.base().l4_page_key(),
+                range.page(range.pages() - 1).l4_page_key(),
+            ),
+            3 => (
+                range.base().l3_page_key(),
+                range.page(range.pages() - 1).l3_page_key(),
+            ),
+            2 => (
+                range.base().l2_page_key(),
+                range.page(range.pages() - 1).l2_page_key(),
+            ),
+            _ => return,
+        };
+        let stale: Vec<(u8, u64)> = self
+            .pending_reclaim
+            .range((level, klo)..=(level, khi))
+            .cloned()
+            .collect();
+        for k in stale {
+            self.pending_reclaim.remove(&k);
+        }
+        let shadow = &mut self.shadow_ptc[(4 - level) as usize];
+        let keys: Vec<u64> = shadow.range(klo..=khi).cloned().collect();
+        for k in keys {
+            shadow.remove(&k);
+        }
+    }
+
+    /// Differential cross-check, called by the driver right after it
+    /// submits synchronous invalidations: no page of `range` may still
+    /// have a live entry in the real IOTLB.
+    pub fn crosscheck_invalidated(&mut self, iommu: &Iommu, range: IovaRange) {
+        for iova in range.iter_pages() {
+            if iommu.iotlb_contains(iova) {
+                self.record(
+                    Invariant::InvalidationCompleteness,
+                    iova.pfn(),
+                    format!(
+                        "IOTLB entry for pfn {:#x} survived an invalidation covering \
+                         [{:#x}+{}]",
+                        iova.pfn(),
+                        range.pfn_lo(),
+                        range.pages()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+impl SafetyAuditor for SafetyOracle {
+    fn on_alloc(&mut self, range: IovaRange) {
+        self.ops += 1;
+        let lo = range.pfn_lo();
+        if let Some((&base, &pages)) = self.live_iova.range(..=range.pfn_hi()).next_back() {
+            if base + pages > lo {
+                self.record(
+                    Invariant::IovaDiscipline,
+                    lo,
+                    format!(
+                        "alloc [{:#x}+{}] overlaps live range [{:#x}+{}]",
+                        lo,
+                        range.pages(),
+                        base,
+                        pages
+                    ),
+                );
+            }
+        }
+        self.live_iova.insert(lo, range.pages());
+    }
+
+    fn on_free(&mut self, range: IovaRange) {
+        self.ops += 1;
+        let lo = range.pfn_lo();
+        match self.live_iova.remove(&lo) {
+            Some(pages) if pages == range.pages() => {}
+            Some(pages) => self.record(
+                Invariant::IovaDiscipline,
+                lo,
+                format!(
+                    "free of [{:#x}+{}] but the live range there holds {} pages",
+                    lo,
+                    range.pages(),
+                    pages
+                ),
+            ),
+            None => self.record(
+                Invariant::IovaDiscipline,
+                lo,
+                format!("free of [{:#x}+{}] which is not live", lo, range.pages()),
+            ),
+        }
+    }
+
+    fn on_map(&mut self, iova: Iova, pa: PhysAddr) {
+        self.ops += 1;
+        let pfn = iova.pfn();
+        self.pages.insert(
+            pfn,
+            PageState::Mapped {
+                pa_pfn: pa.pfn(),
+                huge: false,
+            },
+        );
+        // A remap launders any still-pending invalidation: the entry that
+        // might be cached now translates to a *live* page again, so the
+        // hazard the backlog tracked no longer exists for this pfn.
+        self.pending_inval.remove(&pfn);
+    }
+
+    fn on_map_huge(&mut self, base: Iova, pa_base: PhysAddr) {
+        for i in 0..L4_SPAN_PFNS {
+            self.ops += 1;
+            let iova = base.add(i << 12);
+            self.pages.insert(
+                iova.pfn(),
+                PageState::Mapped {
+                    pa_pfn: pa_base.pfn() + i,
+                    huge: true,
+                },
+            );
+            self.pending_inval.remove(&iova.pfn());
+        }
+    }
+
+    fn on_unmap(&mut self, range: IovaRange) {
+        if !self.contract.unmaps && self.contract.translates {
+            self.record(
+                Invariant::MappingIntegrity,
+                range.pfn_lo(),
+                format!(
+                    "pinned-pool mode unmapped [{:#x}+{}] despite promising stable mappings",
+                    range.pfn_lo(),
+                    range.pages()
+                ),
+            );
+        }
+        for iova in range.iter_pages() {
+            self.ops += 1;
+            let pfn = iova.pfn();
+            match self
+                .pages
+                .insert(pfn, PageState::Unmapped { invalidated: false })
+            {
+                Some(PageState::Mapped { .. }) => {}
+                prior => self.record(
+                    Invariant::MappingIntegrity,
+                    pfn,
+                    format!(
+                        "unmap of pfn {:#x} which the model holds as {:?}",
+                        pfn, prior
+                    ),
+                ),
+            }
+            self.pending_inval.insert(pfn);
+        }
+    }
+
+    fn on_unwound(&mut self, range: IovaRange) {
+        // Unwound pages were mapped and torn down inside one driver call;
+        // no device access can have cached them, so they carry no pending
+        // invalidation. Strict modes still invalidate defensively — model
+        // that as already-invalidated either way.
+        for iova in range.iter_pages() {
+            self.ops += 1;
+            self.pages
+                .insert(iova.pfn(), PageState::Unmapped { invalidated: true });
+            self.pending_inval.remove(&iova.pfn());
+        }
+    }
+
+    fn on_invalidate(&mut self, range: IovaRange) {
+        self.ops += 1;
+        for iova in range.iter_pages() {
+            self.invalidate_pfn(iova.pfn());
+        }
+        self.invalidate_covered_huge(range);
+    }
+
+    fn on_invalidate_all(&mut self) {
+        self.ops += 1;
+        let backlog: Vec<u64> = self.pending_inval.iter().cloned().collect();
+        for pfn in backlog {
+            self.invalidate_pfn(pfn);
+        }
+        self.shadow_iotlb.clear();
+        self.shadow_iotlb_huge.clear();
+        // A global flush wipes the PTcaches too, so every pending reclaim
+        // fixup is implicitly credited.
+        self.pending_reclaim.clear();
+        for s in &mut self.shadow_ptc {
+            s.clear();
+        }
+    }
+
+    fn on_pt_reclaimed(&mut self, reclaimed: &[ReclaimedPage]) {
+        for r in reclaimed {
+            self.ops += 1;
+            self.pending_reclaim.insert((r.level, r.region_key));
+        }
+    }
+
+    fn on_reclaim_fixup(&mut self, reclaimed: &[ReclaimedPage]) {
+        for r in reclaimed {
+            self.ops += 1;
+            self.pending_reclaim.remove(&(r.level, r.region_key));
+            if (2..=4).contains(&r.level) {
+                self.shadow_ptc[(4 - r.level) as usize].remove(&r.region_key);
+            }
+        }
+    }
+
+    fn on_wipe_queued(&mut self) {
+        self.epochs_queued += 1;
+    }
+
+    fn on_wipe_applied(&mut self, epoch: &[InvalidationRequest]) {
+        self.epochs_applied += 1;
+        if self.epochs_applied > self.epochs_queued {
+            self.record(
+                Invariant::InvalidationCompleteness,
+                0,
+                format!(
+                    "invalidation-queue accounting: {} epochs applied but only {} queued",
+                    self.epochs_applied, self.epochs_queued
+                ),
+            );
+        }
+        for req in epoch {
+            match req.scope {
+                InvalidationScope::IotlbOnly => {}
+                InvalidationScope::IotlbAndLeafPtcache => {
+                    self.credit_reclaim_wipe(4, req.range);
+                }
+                InvalidationScope::IotlbAndFullPtcache => {
+                    self.credit_reclaim_wipe(4, req.range);
+                    self.credit_reclaim_wipe(3, req.range);
+                    self.credit_reclaim_wipe(2, req.range);
+                }
+            }
+        }
+    }
+
+    fn on_translate(&mut self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
+        if !self.contract.translates {
+            return;
+        }
+        self.checks += 1;
+        let pfn = iova.pfn();
+
+        // Ground truth from the IOMMU model: the walk consulted a PT page
+        // that was reclaimed. This is a PT use-after-free in any mode.
+        if stale_walks > 0 {
+            self.record(
+                Invariant::PtcacheCoherence,
+                pfn,
+                format!(
+                    "translation walk for pfn {:#x} consulted {} reclaimed page-table page(s)",
+                    pfn, stale_walks
+                ),
+            );
+        }
+
+        // Preserving modes promise the PTcache fixup happens inside the
+        // unmap that reclaimed the PT page — reaching a device access with
+        // the fixup still pending breaks that promise even if this
+        // particular walk dodged the stale entry.
+        if self.contract.ptcache_coherence {
+            if let Some(&(level, key)) = self.pending_reclaim.iter().next() {
+                self.record(
+                    Invariant::PtcacheCoherence,
+                    key,
+                    format!(
+                        "{} reclaimed PT page(s) awaiting fixup at device access \
+                         (first: level {} key {:#x})",
+                        self.pending_reclaim.len(),
+                        level,
+                        key
+                    ),
+                );
+            }
+        }
+
+        if self.contract.invalidation_completeness && !self.pending_inval.is_empty() {
+            let first = *self.pending_inval.iter().next().unwrap();
+            self.record(
+                Invariant::InvalidationCompleteness,
+                first,
+                format!(
+                    "{} unmapped page(s) not yet invalidated at device access \
+                     (first pfn {:#x})",
+                    self.pending_inval.len(),
+                    first
+                ),
+            );
+        }
+
+        if let Some(bound) = self.contract.deferred_window {
+            if self.pending_inval.len() as u64 > bound {
+                let first = *self.pending_inval.iter().next().unwrap();
+                self.record(
+                    Invariant::InvalidationCompleteness,
+                    first,
+                    format!(
+                        "deferred invalidation backlog {} exceeds its bounded window {}",
+                        self.pending_inval.len(),
+                        bound
+                    ),
+                );
+            }
+        }
+
+        match (self.pages.get(&pfn).copied(), pa) {
+            (None, Some(got)) => self.record(
+                Invariant::StrictSafety,
+                pfn,
+                format!(
+                    "translation of never-mapped pfn {:#x} succeeded (pa {:#x})",
+                    pfn,
+                    got.as_u64()
+                ),
+            ),
+            (None, None) => {}
+            (Some(PageState::Mapped { pa_pfn, huge }), Some(got)) => {
+                // In deferred mode a stale IOTLB entry may legitimately
+                // serve an *old* frame for a re-used IOVA inside the
+                // window, so the pa cross-check only binds where staleness
+                // is ruled out: strict modes and never-unmapping pools.
+                if (self.contract.strict_safety || !self.contract.unmaps) && got.pfn() != pa_pfn {
+                    self.record(
+                        Invariant::MappingIntegrity,
+                        pfn,
+                        format!(
+                            "pfn {:#x} translated to frame {:#x}, model holds {:#x}",
+                            pfn,
+                            got.pfn(),
+                            pa_pfn
+                        ),
+                    );
+                }
+                if huge {
+                    self.shadow_iotlb_huge.insert(iova.l4_page_key());
+                } else {
+                    self.shadow_iotlb.insert(pfn);
+                }
+                self.shadow_ptc[0].insert(iova.l4_page_key());
+                self.shadow_ptc[1].insert(iova.l3_page_key());
+                self.shadow_ptc[2].insert(iova.l2_page_key());
+            }
+            (Some(PageState::Mapped { .. }), None) => self.record(
+                Invariant::MappingIntegrity,
+                pfn,
+                format!("device fault on live mapping of pfn {:#x}", pfn),
+            ),
+            (Some(PageState::Unmapped { invalidated }), Some(_)) => {
+                if self.contract.strict_safety {
+                    self.record(
+                        Invariant::StrictSafety,
+                        pfn,
+                        format!(
+                            "translation of unmapped pfn {:#x} succeeded in a strict mode \
+                             (invalidated: {})",
+                            pfn, invalidated
+                        ),
+                    );
+                } else if invalidated {
+                    // Even lax modes may not serve a page whose unmap AND
+                    // covering invalidation both completed.
+                    self.record(
+                        Invariant::StrictSafety,
+                        pfn,
+                        format!(
+                            "translation of pfn {:#x} succeeded after unmap and \
+                             invalidation both completed",
+                            pfn
+                        ),
+                    );
+                }
+                // Unmapped+uninvalidated in a lax mode: the documented
+                // deferred window. Allowed; bounded by deferred_window.
+            }
+            (Some(PageState::Unmapped { .. }), None) => {}
+        }
+    }
+}
+
+/// Enum-dispatch handle held by the driver, mirroring `TraceHandle`:
+/// `Off` (the default) makes every hook one discriminant branch.
+#[derive(Debug, Clone, Default)]
+pub enum AuditHandle {
+    /// No auditing; every hook is a no-op.
+    #[default]
+    Off,
+    /// Auditing through a shared [`SafetyOracle`].
+    On(Rc<RefCell<SafetyOracle>>),
+}
+
+macro_rules! forward {
+    ($self:ident, $($call:tt)*) => {
+        if let AuditHandle::On(o) = $self {
+            o.borrow_mut().$($call)*;
+        }
+    };
+}
+
+impl AuditHandle {
+    /// An auditing handle over a fresh oracle for `contract`.
+    pub fn recording(contract: ModeContract, fatal: bool) -> Self {
+        AuditHandle::On(Rc::new(RefCell::new(SafetyOracle::new(contract, fatal))))
+    }
+
+    /// Whether any oracle is attached.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, AuditHandle::On(_))
+    }
+
+    /// Attach a trace ring to the oracle (no-op when off).
+    pub fn set_trace(&self, trace: TraceHandle) {
+        forward!(self, set_trace(trace));
+    }
+
+    /// Snapshot the run summary ([`AuditReport::default`] when off).
+    pub fn report(&self) -> AuditReport {
+        match self {
+            AuditHandle::Off => AuditReport::default(),
+            AuditHandle::On(o) => o.borrow().report(),
+        }
+    }
+
+    /// Total violations so far (0 when off).
+    pub fn violations(&self) -> u64 {
+        match self {
+            AuditHandle::Off => 0,
+            AuditHandle::On(o) => o.borrow().violations(),
+        }
+    }
+
+    /// See [`SafetyAuditor::on_alloc`].
+    #[inline]
+    pub fn on_alloc(&self, range: IovaRange) {
+        forward!(self, on_alloc(range));
+    }
+
+    /// See [`SafetyAuditor::on_free`].
+    #[inline]
+    pub fn on_free(&self, range: IovaRange) {
+        forward!(self, on_free(range));
+    }
+
+    /// See [`SafetyAuditor::on_map`].
+    #[inline]
+    pub fn on_map(&self, iova: Iova, pa: PhysAddr) {
+        forward!(self, on_map(iova, pa));
+    }
+
+    /// See [`SafetyAuditor::on_map_huge`].
+    #[inline]
+    pub fn on_map_huge(&self, base: Iova, pa_base: PhysAddr) {
+        forward!(self, on_map_huge(base, pa_base));
+    }
+
+    /// See [`SafetyAuditor::on_unmap`].
+    #[inline]
+    pub fn on_unmap(&self, range: IovaRange) {
+        forward!(self, on_unmap(range));
+    }
+
+    /// See [`SafetyAuditor::on_unwound`].
+    #[inline]
+    pub fn on_unwound(&self, range: IovaRange) {
+        forward!(self, on_unwound(range));
+    }
+
+    /// See [`SafetyAuditor::on_invalidate`].
+    #[inline]
+    pub fn on_invalidate(&self, range: IovaRange) {
+        forward!(self, on_invalidate(range));
+    }
+
+    /// See [`SafetyAuditor::on_invalidate_all`].
+    #[inline]
+    pub fn on_invalidate_all(&self) {
+        forward!(self, on_invalidate_all());
+    }
+
+    /// See [`SafetyAuditor::on_pt_reclaimed`].
+    #[inline]
+    pub fn on_pt_reclaimed(&self, reclaimed: &[ReclaimedPage]) {
+        forward!(self, on_pt_reclaimed(reclaimed));
+    }
+
+    /// See [`SafetyAuditor::on_reclaim_fixup`].
+    #[inline]
+    pub fn on_reclaim_fixup(&self, reclaimed: &[ReclaimedPage]) {
+        forward!(self, on_reclaim_fixup(reclaimed));
+    }
+
+    /// See [`SafetyAuditor::on_wipe_queued`].
+    #[inline]
+    pub fn on_wipe_queued(&self) {
+        forward!(self, on_wipe_queued());
+    }
+
+    /// See [`SafetyAuditor::on_wipe_applied`].
+    #[inline]
+    pub fn on_wipe_applied(&self, epoch: &[InvalidationRequest]) {
+        forward!(self, on_wipe_applied(epoch));
+    }
+
+    /// See [`SafetyAuditor::on_translate`].
+    #[inline]
+    pub fn on_translate(&self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
+        forward!(self, on_translate(iova, pa, stale_walks));
+    }
+
+    /// See [`SafetyOracle::crosscheck_invalidated`].
+    #[inline]
+    pub fn crosscheck_invalidated(&self, iommu: &Iommu, range: IovaRange) {
+        if let AuditHandle::On(o) = self {
+            o.borrow_mut().crosscheck_invalidated(iommu, range);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict() -> ModeContract {
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: true,
+            invalidation_completeness: true,
+            deferred_window: None,
+        }
+    }
+
+    fn deferred(window: u64) -> ModeContract {
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: Some(window),
+        }
+    }
+
+    fn pa(pfn: u64) -> PhysAddr {
+        PhysAddr::new(pfn << 12)
+    }
+
+    fn iova(pfn: u64) -> Iova {
+        Iova::from_pfn(pfn)
+    }
+
+    #[test]
+    fn clean_lifecycle_records_nothing() {
+        let mut o = SafetyOracle::new(strict(), false);
+        let r = IovaRange::new(iova(0x40), 1);
+        o.on_alloc(r);
+        o.on_map(iova(0x40), pa(0x100));
+        o.on_translate(iova(0x40), Some(pa(0x100)), 0);
+        o.on_unmap(r);
+        o.on_invalidate(r);
+        o.on_free(r);
+        o.on_translate(iova(0x40), None, 0);
+        assert_eq!(o.violations(), 0, "{:?}", o.report().samples);
+        assert_eq!(o.report().checks, 2);
+    }
+
+    #[test]
+    fn translate_after_unmap_is_strict_violation() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(iova(7), pa(9));
+        o.on_unmap(IovaRange::new(iova(7), 1));
+        o.on_invalidate(IovaRange::new(iova(7), 1));
+        o.on_translate(iova(7), Some(pa(9)), 0);
+        let rep = o.report();
+        assert_eq!(rep.of(Invariant::StrictSafety), 1);
+    }
+
+    #[test]
+    fn pending_invalidation_at_access_is_incompleteness() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(iova(7), pa(9));
+        o.on_map(iova(8), pa(10));
+        o.on_unmap(IovaRange::new(iova(7), 1));
+        // Access another page while pfn 7's invalidation is outstanding.
+        o.on_translate(iova(8), Some(pa(10)), 0);
+        assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
+        // Strict-safety also fires if the *unmapped* page itself translates.
+        o.on_translate(iova(7), Some(pa(9)), 0);
+        assert_eq!(o.report().of(Invariant::StrictSafety), 1);
+    }
+
+    #[test]
+    fn deferred_window_is_tolerated_until_bound() {
+        let mut o = SafetyOracle::new(deferred(4), false);
+        for p in 0..4 {
+            o.on_map(iova(p), pa(100 + p));
+            o.on_unmap(IovaRange::new(iova(p), 1));
+        }
+        // Stale hit inside the window: allowed.
+        o.on_translate(iova(0), Some(pa(100)), 0);
+        assert_eq!(o.violations(), 0);
+        // Fifth pending unmap exceeds the bound.
+        o.on_map(iova(4), pa(104));
+        o.on_unmap(IovaRange::new(iova(4), 1));
+        o.on_translate(iova(0), Some(pa(100)), 0);
+        assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
+        // A full flush drains the backlog and completes the invalidations.
+        o.on_invalidate_all();
+        o.on_translate(iova(9), None, 0);
+        assert_eq!(o.violations(), 1);
+        // Post-flush success on a drained page is a violation even here.
+        o.on_translate(iova(0), Some(pa(100)), 0);
+        assert_eq!(o.report().of(Invariant::StrictSafety), 1);
+    }
+
+    #[test]
+    fn stale_walk_ground_truth_is_ptcache_violation() {
+        let mut o = SafetyOracle::new(deferred(1000), false);
+        o.on_map(iova(1), pa(2));
+        o.on_translate(iova(1), Some(pa(2)), 1);
+        assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
+    }
+
+    #[test]
+    fn pending_reclaim_fixup_is_coherence_violation_in_preserving_modes() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(iova(1), pa(2));
+        let reclaimed = [ReclaimedPage {
+            level: 4,
+            region_key: 0,
+        }];
+        o.on_pt_reclaimed(&reclaimed);
+        o.on_translate(iova(1), Some(pa(2)), 0);
+        assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
+        o.on_reclaim_fixup(&reclaimed);
+        o.on_translate(iova(1), Some(pa(2)), 0);
+        assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
+    }
+
+    #[test]
+    fn queued_wipe_epoch_credits_reclaims_by_scope() {
+        let mut o = SafetyOracle::new(deferred(1000), false);
+        let reclaimed = [ReclaimedPage {
+            level: 4,
+            region_key: 1,
+        }];
+        o.on_pt_reclaimed(&reclaimed);
+        o.on_wipe_queued();
+        let epoch = [InvalidationRequest {
+            range: IovaRange::new(iova(512), 512),
+            scope: InvalidationScope::IotlbAndLeafPtcache,
+        }];
+        o.on_wipe_applied(&epoch);
+        assert_eq!(o.report().pending_reclaim, 0);
+        assert_eq!(o.report().epochs_queued, 1);
+        assert_eq!(o.report().epochs_applied, 1);
+    }
+
+    #[test]
+    fn pa_mismatch_is_mapping_integrity() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(iova(3), pa(50));
+        o.on_translate(iova(3), Some(pa(51)), 0);
+        assert_eq!(o.report().of(Invariant::MappingIntegrity), 1);
+    }
+
+    #[test]
+    fn overlapping_alloc_and_stray_free_are_iova_discipline() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_alloc(IovaRange::new(iova(0x100), 64));
+        o.on_alloc(IovaRange::new(iova(0x120), 8));
+        assert_eq!(o.report().of(Invariant::IovaDiscipline), 1);
+        o.on_free(IovaRange::new(iova(0x500), 1));
+        assert_eq!(o.report().of(Invariant::IovaDiscipline), 2);
+    }
+
+    #[test]
+    fn unwound_pages_carry_no_pending_invalidation() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(iova(5), pa(6));
+        o.on_unwound(IovaRange::new(iova(5), 1));
+        o.on_translate(iova(9), None, 0);
+        assert_eq!(o.violations(), 0);
+        // But a later successful translation of the unwound page is stale.
+        o.on_translate(iova(5), Some(pa(6)), 0);
+        assert_eq!(o.report().of(Invariant::StrictSafety), 1);
+    }
+
+    #[test]
+    fn huge_invalidation_credit_requires_full_span() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map_huge(iova(512), pa(0x4000));
+        o.on_translate(iova(513), Some(pa(0x4001)), 0);
+        assert!(o.shadow_iotlb_huge.contains(&1));
+        // Partial-range invalidation must not credit the huge entry.
+        o.on_invalidate(IovaRange::new(iova(512), 64));
+        assert!(o.shadow_iotlb_huge.contains(&1));
+        o.on_invalidate(IovaRange::new(iova(512), 512));
+        assert!(!o.shadow_iotlb_huge.contains(&1));
+        assert_eq!(o.violations(), 0);
+    }
+
+    #[test]
+    fn off_handle_is_inert_and_reports_default() {
+        let h = AuditHandle::default();
+        h.on_map(iova(1), pa(1));
+        h.on_translate(iova(1), None, 5);
+        assert!(!h.is_on());
+        assert_eq!(h.report(), AuditReport::default());
+        assert!(h.report().is_clean());
+    }
+
+    #[test]
+    fn fatal_oracle_panics_on_first_violation() {
+        let res = std::panic::catch_unwind(|| {
+            let mut o = SafetyOracle::new(strict(), true);
+            o.on_translate(iova(1), Some(pa(1)), 0);
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn invariant_names_roundtrip() {
+        for inv in Invariant::ALL {
+            assert_eq!(Invariant::from_name(inv.name()), Some(inv));
+        }
+        assert_eq!(Invariant::from_name("nonsense"), None);
+    }
+}

@@ -109,6 +109,10 @@ pub fn chrome_trace_json(trace: &Trace, samples: &SampleSet, fault_kinds: &[&str
                     None => w.u64(kind as u64),
                 }
             }
+            TraceData::AuditViolation { invariant, pfn } => {
+                w.field_u64("invariant", invariant as u64);
+                w.field_u64("pfn", pfn);
+            }
         }
         w.end_object();
         w.end_object();
@@ -209,6 +213,10 @@ mod tests {
             TraceData::RingOverrun { core: 2 },
             TraceData::FaultInject { kind: 1, visit: 9 },
             TraceData::FaultRecover { kind: 1 },
+            TraceData::AuditViolation {
+                invariant: 0,
+                pfn: 0x40,
+            },
         ];
         for d in all {
             h.emit(d);

@@ -34,20 +34,23 @@ pub enum TraceCategory {
     Ring = 8,
     /// Fault-plane injections and recoveries.
     Fault = 16,
+    /// Safety-oracle audit findings (see `fns-oracle`).
+    Audit = 32,
 }
 
 impl TraceCategory {
     /// All categories, in mask-bit order.
-    pub const ALL: [TraceCategory; 5] = [
+    pub const ALL: [TraceCategory; 6] = [
         TraceCategory::Map,
         TraceCategory::Translate,
         TraceCategory::Invalidation,
         TraceCategory::Ring,
         TraceCategory::Fault,
+        TraceCategory::Audit,
     ];
 
     /// Mask with every category enabled.
-    pub const ALL_MASK: u8 = 31;
+    pub const ALL_MASK: u8 = 63;
 
     /// This category's mask bit.
     pub fn bit(self) -> u8 {
@@ -62,6 +65,7 @@ impl TraceCategory {
             TraceCategory::Invalidation => "invalidation",
             TraceCategory::Ring => "ring",
             TraceCategory::Fault => "fault",
+            TraceCategory::Audit => "audit",
         }
     }
 
@@ -161,6 +165,9 @@ pub enum TraceData {
     FaultInject { kind: u8, visit: u64 },
     /// A recovery path completed for fault `kind`.
     FaultRecover { kind: u8 },
+    /// The safety oracle recorded a violation of `invariant` (index into
+    /// `fns_oracle::Invariant::ALL`) anchored on `pfn`.
+    AuditViolation { invariant: u8, pfn: u64 },
 }
 
 impl TraceData {
@@ -181,6 +188,7 @@ impl TraceData {
             | TraceData::RingComplete { .. }
             | TraceData::RingOverrun { .. } => TraceCategory::Ring,
             TraceData::FaultInject { .. } | TraceData::FaultRecover { .. } => TraceCategory::Fault,
+            TraceData::AuditViolation { .. } => TraceCategory::Audit,
         }
     }
 
@@ -203,6 +211,7 @@ impl TraceData {
             TraceData::RingOverrun { .. } => "ring_overrun",
             TraceData::FaultInject { .. } => "fault_inject",
             TraceData::FaultRecover { .. } => "fault_recover",
+            TraceData::AuditViolation { .. } => "audit_violation",
         }
     }
 }
@@ -421,7 +430,8 @@ mod tests {
 
     #[test]
     fn parse_mask_understands_lists_and_all() {
-        assert_eq!(TraceCategory::parse_mask("all"), Some(31));
+        assert_eq!(TraceCategory::parse_mask("all"), Some(63));
+        assert_eq!(TraceCategory::parse_mask("audit"), Some(32));
         assert_eq!(
             TraceCategory::parse_mask("map,ring"),
             Some(TraceCategory::Map.bit() | TraceCategory::Ring.bit())

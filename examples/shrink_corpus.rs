@@ -1,0 +1,136 @@
+//! Regenerates the oracle-violation corpus under `tests/corpus/`.
+//!
+//! Each corpus case arms one seeded driver bug ([`Sabotage`]), replays a
+//! seeded random op trace through the audited driver to confirm the
+//! oracle catches it, then ddmin-shrinks the trace to a minimal
+//! reproducer and writes it out. `tests/oracle_corpus.rs` replays the
+//! checked-in files forever after, proving each violation class stays
+//! caught.
+//!
+//! ```sh
+//! cargo run --release --example shrink_corpus
+//! ```
+//!
+//! Deterministic: re-running rewrites byte-identical files unless the
+//! driver, oracle, or generator changed. If a case no longer violates,
+//! this tool exits non-zero rather than writing a vacuous corpus file.
+
+use fns::core::{ProtectionMode, Sabotage};
+use fns::harness::mbt::{generate, replay, shrink, violates, CorpusCase, MbtConfig, Op};
+use fns::oracle::Invariant;
+
+struct Case {
+    file: &'static str,
+    comment: &'static str,
+    cfg: MbtConfig,
+    expect: Invariant,
+    seed: u64,
+    len: usize,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            file: "skip_inval_fns.txt",
+            comment: "F&S batched path: dropping one range invalidation leaves \
+                      the whole 64-page descriptor live in the IOTLB",
+            cfg: MbtConfig {
+                sabotage: Sabotage::SkipRangeInvalidation { nth: 1 },
+                ..MbtConfig::for_mode(ProtectionMode::FastAndSafe)
+            },
+            expect: Invariant::InvalidationCompleteness,
+            seed: 0xF45,
+            len: 150,
+        },
+        Case {
+            file: "skip_inval_linux_strict.txt",
+            comment: "Stock-Linux per-page path: dropping one of the 64 per-page \
+                      invalidations of a completion",
+            cfg: MbtConfig {
+                sabotage: Sabotage::SkipRangeInvalidation { nth: 1 },
+                ..MbtConfig::for_mode(ProtectionMode::LinuxStrict)
+            },
+            expect: Invariant::InvalidationCompleteness,
+            seed: 0x11,
+            len: 150,
+        },
+        Case {
+            file: "skip_reclaim_fixup.txt",
+            comment: "Preserve-mode PT reclamation without the synchronous PTcache \
+                      fixup (1024-page descriptors guarantee a fully-covered L4 span)",
+            cfg: MbtConfig {
+                desc_pages: 1024,
+                sabotage: Sabotage::SkipReclaimFixup,
+                ..MbtConfig::for_mode(ProtectionMode::FastAndSafe)
+            },
+            expect: Invariant::PtcacheCoherence,
+            seed: 0x9C,
+            len: 150,
+        },
+        Case {
+            file: "skip_deferred_flush.txt",
+            comment: "Deferred mode with the threshold flush suppressed: the \
+                      invalidation backlog outgrows its documented bounded window",
+            cfg: MbtConfig {
+                deferred_threshold: 64,
+                sabotage: Sabotage::SkipDeferredFlush,
+                ..MbtConfig::for_mode(ProtectionMode::LinuxDeferred)
+            },
+            expect: Invariant::InvalidationCompleteness,
+            seed: 0xDEF,
+            len: 200,
+        },
+        Case {
+            file: "skip_inval_huge.txt",
+            comment: "Hugepage-Rx strict mode: dropping the single huge-entry \
+                      invalidation of a 512-page descriptor teardown",
+            cfg: MbtConfig {
+                sabotage: Sabotage::SkipRangeInvalidation { nth: 1 },
+                ..MbtConfig::for_mode(ProtectionMode::FnsHugeStrict)
+            },
+            expect: Invariant::InvalidationCompleteness,
+            seed: 0x4E6,
+            len: 150,
+        },
+    ]
+}
+
+fn main() {
+    let dir = std::path::Path::new("tests/corpus");
+    std::fs::create_dir_all(dir).expect("create tests/corpus");
+    let mut failed = false;
+    for case in cases() {
+        let ops = generate(case.seed, case.len);
+        let report = replay(case.cfg, &ops);
+        if !violates(&report, Some(case.expect)) {
+            eprintln!(
+                "{}: seed {:#x} no longer violates {} ({})",
+                case.file,
+                case.seed,
+                case.expect.name(),
+                report.summary()
+            );
+            failed = true;
+            continue;
+        }
+        let small: Vec<Op> = shrink(case.cfg, &ops, Some(case.expect));
+        let corpus = CorpusCase {
+            cfg: case.cfg,
+            expect: case.expect,
+            ops: small.clone(),
+        };
+        let text = format!("# {}\n{}", case.comment, corpus.to_text());
+        let path = dir.join(case.file);
+        std::fs::write(&path, &text).expect("write corpus file");
+        println!(
+            "{}: {} ops -> {} ops ({})",
+            path.display(),
+            ops.len(),
+            small.len(),
+            case.expect.name()
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@
 //!         [--mtu BYTES] [--cores N] [--pages-per-desc N] [--measure-ms N]
 //!         [--seed N] [--msg BYTES] [--faults P] [--jobs N]
 //!         [--trace PATH] [--trace-cats LIST] [--sample-us N]
-//!         [--profile] [--metrics-json PATH]
+//!         [--profile] [--metrics-json PATH] [--audit] [--audit-fatal]
 //! fns-sim --list-scenarios
 //!
 //! modes:     off linux deferred linux+A linux+B fns hugepage damn
@@ -30,6 +30,12 @@
 //! `--metrics-json PATH` dumps the full `RunMetrics` as JSON. All of this
 //! is deterministic: the same seed yields byte-identical files at any
 //! `--jobs` count.
+//!
+//! Correctness: `--audit` attaches the `fns-oracle` reference model to
+//! every run and exits non-zero if any safety invariant was violated;
+//! `--audit-fatal` panics at the first violation instead (best combined
+//! with a shrunk reproducer from the MBT harness). Auditing consumes no
+//! RNG, so metrics match the unaudited run bit for bit.
 
 use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
@@ -37,6 +43,7 @@ use fns::apps::{
 use fns::core::{ProtectionMode, RunMetrics, SimConfig};
 use fns::faults::{FaultConfig, FaultKind};
 use fns::harness::{SweepRunner, SCENARIOS};
+use fns::oracle::AuditConfig;
 use fns::trace::{
     chrome_trace_json, JsonWriter, ProbeConfig, Span, TraceCategory, TraceConfig,
     DEFAULT_TRACE_CAPACITY,
@@ -60,6 +67,8 @@ struct Args {
     sample_us: u64,
     profile: bool,
     metrics_json: Option<String>,
+    audit: bool,
+    audit_fatal: bool,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -88,6 +97,8 @@ fn usage() -> ! {
          \x20              [--sample-us N] probe telemetry gauges every N us of sim time\n\
          \x20              [--profile]     print the CPU-span attribution table\n\
          \x20              [--metrics-json PATH]  dump full RunMetrics as JSON\n\
+         \x20              [--audit]       attach the safety oracle; exit 1 on any violation\n\
+         \x20              [--audit-fatal] panic at the first violation (implies --audit)\n\
          \x20              [--list-scenarios]  list the named scenario registry and exit\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
@@ -121,6 +132,8 @@ fn parse_args() -> Args {
         sample_us: 0,
         profile: false,
         metrics_json: None,
+        audit: false,
+        audit_fatal: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -165,6 +178,11 @@ fn parse_args() -> Args {
             }
             "--profile" => args.profile = true,
             "--metrics-json" => args.metrics_json = Some(val()),
+            "--audit" => args.audit = true,
+            "--audit-fatal" => {
+                args.audit = true;
+                args.audit_fatal = true;
+            }
             "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -202,6 +220,12 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
     }
     if args.sample_us > 0 {
         cfg.probes = ProbeConfig::every(args.sample_us * 1_000);
+    }
+    if args.audit {
+        cfg.audit = AuditConfig {
+            enabled: true,
+            fatal: args.audit_fatal,
+        };
     }
     cfg
 }
@@ -321,9 +345,24 @@ fn main() {
         .map(|&mode| build_config(&args, mode))
         .collect();
     let results = runner.run_sims(configs);
+    let mut audit_violations = 0u64;
     for (mode, m) in modes.iter().zip(results.iter()) {
         print_result(&args, *mode, m);
         assert_eq!(m.stale_ptcache_walks, 0, "use-after-free walk detected");
+        if args.audit {
+            println!("{:>14}  {}", "", m.audit.summary());
+            for v in &m.audit.samples {
+                println!(
+                    "{:>14}    [{}] pfn {:#x} at check {}: {}",
+                    "",
+                    v.invariant.name(),
+                    v.pfn,
+                    v.check,
+                    v.detail
+                );
+            }
+            audit_violations += m.audit.violations;
+        }
         if args.profile {
             print_profile(*mode, m);
         }
@@ -364,5 +403,9 @@ fn main() {
         w.end_object();
         write_or_die(path, &w.finish());
         println!("metrics: {} run(s) -> {}", results.len(), path);
+    }
+    if audit_violations > 0 {
+        eprintln!("fns-sim: safety audit found {audit_violations} violation(s)");
+        std::process::exit(1);
     }
 }

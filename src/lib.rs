@@ -13,6 +13,7 @@ pub use fns_iova as iova;
 pub use fns_mem as mem;
 pub use fns_net as net;
 pub use fns_nic as nic;
+pub use fns_oracle as oracle;
 pub use fns_pcie as pcie;
 pub use fns_sim as sim;
 pub use fns_trace as trace;

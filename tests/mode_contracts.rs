@@ -1,0 +1,203 @@
+//! Pins each protection mode's safety contract.
+//!
+//! The oracle audits exactly what `ProtectionMode::contract` claims, so
+//! the contract *is* the safety spec: a new mode (or a refactor of an old
+//! one) that silently weakened its claims would also silently weaken the
+//! auditing. This table makes that impossible — every mode's claims are
+//! spelled out here and compared field by field, and the table itself is
+//! checked for exhaustiveness against `ProtectionMode::ALL`.
+
+use fns::core::ProtectionMode;
+use fns::oracle::ModeContract;
+
+const WINDOW: u64 = 320;
+
+/// The expected contract per mode label. Strict modes claim safety and
+/// invalidation completeness; PTcache-preserving modes additionally claim
+/// coherence; deferred mode claims only its documented bounded window;
+/// pinned pools promise stable mappings and never unmap; IOMMU-off claims
+/// nothing at all.
+const EXPECTED: &[(&str, ModeContract)] = &[
+    (
+        "iommu-off",
+        ModeContract {
+            translates: false,
+            unmaps: false,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: None,
+        },
+    ),
+    (
+        "linux-strict",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: false,
+            invalidation_completeness: true,
+            deferred_window: None,
+        },
+    ),
+    (
+        "linux-deferred",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: Some(WINDOW),
+        },
+    ),
+    (
+        "linux+A",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: true,
+            invalidation_completeness: true,
+            deferred_window: None,
+        },
+    ),
+    (
+        "linux+B",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: false,
+            invalidation_completeness: true,
+            deferred_window: None,
+        },
+    ),
+    (
+        "fast-and-safe",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: true,
+            invalidation_completeness: true,
+            deferred_window: None,
+        },
+    ),
+    (
+        "hugepage-pin",
+        ModeContract {
+            translates: true,
+            unmaps: false,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: None,
+        },
+    ),
+    (
+        "damn-recycle",
+        ModeContract {
+            translates: true,
+            unmaps: false,
+            strict_safety: false,
+            ptcache_coherence: false,
+            invalidation_completeness: false,
+            deferred_window: None,
+        },
+    ),
+    (
+        "fns+hugepages",
+        ModeContract {
+            translates: true,
+            unmaps: true,
+            strict_safety: true,
+            ptcache_coherence: true,
+            invalidation_completeness: true,
+            deferred_window: None,
+        },
+    ),
+];
+
+#[test]
+fn every_mode_claims_exactly_its_documented_contract() {
+    assert_eq!(
+        EXPECTED.len(),
+        ProtectionMode::ALL.len(),
+        "contract table out of sync with ProtectionMode::ALL"
+    );
+    for mode in ProtectionMode::ALL {
+        let expected = EXPECTED
+            .iter()
+            .find(|(label, _)| *label == mode.label())
+            .unwrap_or_else(|| panic!("mode {} missing from the contract table", mode.label()))
+            .1;
+        assert_eq!(
+            mode.contract(WINDOW),
+            expected,
+            "contract drift for mode {}",
+            mode.label()
+        );
+    }
+}
+
+/// Cross-checks between contract claims and the mode predicates the
+/// datapath branches on: a contract may never claim more than the
+/// datapath implements, nor the datapath more than the contract audits.
+#[test]
+fn contract_claims_match_mode_predicates() {
+    for mode in ProtectionMode::ALL {
+        let c = mode.contract(WINDOW);
+        assert_eq!(c.translates, mode.iommu_enabled(), "{}", mode.label());
+        assert_eq!(c.strict_safety, mode.is_strict_safe(), "{}", mode.label());
+        assert_eq!(
+            c.ptcache_coherence,
+            mode.preserves_ptcache(),
+            "{}",
+            mode.label()
+        );
+        assert_eq!(
+            c.unmaps,
+            mode.iommu_enabled() && !mode.is_pinned_pool(),
+            "{}",
+            mode.label()
+        );
+        // Strictness and completeness travel together: an unmap you never
+        // invalidate is exactly the stale window strictness forbids.
+        assert_eq!(
+            c.strict_safety,
+            c.invalidation_completeness,
+            "{}",
+            mode.label()
+        );
+        // Only deferred mode gets a bounded-backlog exception, and only
+        // non-strict modes may have one at all.
+        assert_eq!(
+            c.deferred_window.is_some(),
+            mode == ProtectionMode::LinuxDeferred,
+            "{}",
+            mode.label()
+        );
+        if c.deferred_window.is_some() {
+            assert!(!c.strict_safety, "a strict mode cannot have a window");
+        }
+        // PTcache coherence is only claimable by modes that actually keep
+        // PTcache state across unmaps.
+        if c.ptcache_coherence {
+            assert!(mode.preserves_ptcache(), "{}", mode.label());
+        }
+    }
+}
+
+/// The window parameter flows through verbatim for deferred mode.
+#[test]
+fn deferred_window_is_parameterized() {
+    assert_eq!(
+        ProtectionMode::LinuxDeferred.contract(99).deferred_window,
+        Some(99)
+    );
+    assert_eq!(
+        ProtectionMode::FastAndSafe.contract(99).deferred_window,
+        None
+    );
+}
