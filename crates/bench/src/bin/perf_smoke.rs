@@ -1,27 +1,39 @@
 //! Simulator-performance smoke benchmark.
 //!
-//! Times a fixed basket of figure-shaped sweeps twice — once sequentially
-//! (1 worker) and once on the parallel sweep runner — and writes the
-//! wall-clock numbers, events/sec and ns/translation to
-//! `BENCH_simcore.json` (override the path with `FNS_BENCH_OUT`). The two
-//! passes run identical configurations, so the basket doubles as an
-//! end-to-end determinism check: any metric divergence between the
-//! sequential and parallel pass aborts the benchmark.
+//! Times a fixed basket of figure-shaped sweeps — sequentially and across
+//! a worker-count curve (1/2/4/8 jobs) — and writes the wall-clock
+//! numbers, events/sec, ns/event and ns/translation to
+//! `BENCH_simcore.json` (override the path with `FNS_BENCH_OUT`). Every
+//! timing is best-of-N wall clock (`FNS_BENCH_REPEATS`, default 3): the
+//! simulator is deterministic, so the *minimum* wall time is the least
+//! noise-contaminated estimate of its true cost — means and single shots
+//! on a shared box swing 2–3x with scheduler interference.
 //!
-//! This measures the *simulator's* performance, not the simulated system's;
-//! the JSON is a tracking artifact (CI uploads it), and nothing fails on a
-//! regression — only on a panic or a determinism violation.
+//! The sequential and parallel passes run identical configurations, so the
+//! basket doubles as an end-to-end determinism check: any metric
+//! divergence between passes aborts the benchmark. A warm-arena pass also
+//! asserts the recycled event queue never grows in steady state.
+//!
+//! This measures the *simulator's* performance, not the simulated
+//! system's; the JSON is a tracking artifact. The only perf *assertion*
+//! here is the 8-job basket speedup (> 1.5x), and it is skipped — loudly —
+//! when the host has fewer than 4 CPUs or `FNS_SKIP_SPEEDUP_ASSERT` is
+//! set, because a 1-CPU container cannot exhibit parallel speedup no
+//! matter how scalable the runner is (see DESIGN.md §11).
 
 use std::time::Instant;
 
 use fns_apps::{iperf_config, redis_config};
 use fns_bench::SweepRunner;
-use fns_core::{ProtectionMode, RunMetrics, SimConfig};
+use fns_core::{HostSim, ProtectionMode, RunArena, RunMetrics, SimConfig};
 use fns_trace::{JsonWriter, Span, SpanSet};
 
 /// Shortened windows: the basket must finish in CI seconds, not minutes.
 const SMOKE_WARMUP_NS: u64 = 5_000_000;
 const SMOKE_MEASURE_NS: u64 = 10_000_000;
+
+/// Worker counts for the scaling curve.
+const JOBS_CURVE: [usize; 4] = [1, 2, 4, 8];
 
 fn smoke(mut cfg: SimConfig) -> SimConfig {
     cfg.warmup = SMOKE_WARMUP_NS;
@@ -86,6 +98,27 @@ fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, usize) {
     )
 }
 
+/// Runs `sweep` `repeats` times and returns the results plus the minimum
+/// wall-clock time in nanoseconds. Determinism makes the repeats free of
+/// result ambiguity; the min strips scheduler noise.
+fn best_of<F>(repeats: u32, mut sweep: F) -> (Vec<RunMetrics>, u128)
+where
+    F: FnMut() -> Vec<RunMetrics>,
+{
+    let mut best_wall = u128::MAX;
+    let mut out = Vec::new();
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let results = sweep();
+        let wall = t.elapsed().as_nanos();
+        if wall < best_wall {
+            best_wall = wall;
+        }
+        out = results;
+    }
+    (out, best_wall)
+}
+
 struct FigureResult {
     name: &'static str,
     runs: usize,
@@ -105,30 +138,65 @@ impl FigureResult {
     fn events_per_sec(&self, wall_ns: u128) -> f64 {
         self.events as f64 / (wall_ns as f64 / 1e9)
     }
+    fn ns_per_event(&self, wall_ns: u128) -> f64 {
+        wall_ns as f64 / self.events.max(1) as f64
+    }
     fn ns_per_translation(&self, wall_ns: u128) -> f64 {
         wall_ns as f64 / self.translations.max(1) as f64
     }
 }
 
+struct CurvePoint {
+    jobs: usize,
+    wall_ns: u128,
+    events: u64,
+}
+
+/// Warm-arena steady-state check: after one priming run, a recycled event
+/// queue must absorb an identical run without growing its storage.
+fn assert_steady_state_reallocs() {
+    let cfg = smoke(iperf_config(ProtectionMode::FastAndSafe, 5, 256));
+    let mut arena = RunArena::new();
+    let prime = HostSim::run_in(cfg, &mut arena);
+    let warm = HostSim::run_in(cfg, &mut arena);
+    assert_eq!(
+        fingerprint(&prime),
+        fingerprint(&warm),
+        "warm-arena run diverged from priming run"
+    );
+    assert_eq!(
+        arena.last_queue_reallocs(),
+        0,
+        "recycled event queue grew during a steady-state run"
+    );
+    println!("steady-state check: warm-arena event queue reallocs = 0");
+}
+
 fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let repeats = std::env::var("FNS_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
     let parallel = SweepRunner::from_env();
     let sequential = SweepRunner::new(1);
     println!(
-        "=== perf_smoke: simulator wall-clock, sequential vs {} workers ===",
+        "=== perf_smoke: best of {repeats} wall-clock runs, sequential vs {} workers, \
+         {host_cpus} host CPUs ===",
         parallel.jobs()
     );
+
+    assert_steady_state_reallocs();
 
     let mut figures = Vec::new();
     for (name, configs) in basket() {
         let runs = configs.len();
 
-        let t0 = Instant::now();
-        let seq = sequential.run_sims(configs.clone());
-        let seq_wall_ns = t0.elapsed().as_nanos();
-
-        let t1 = Instant::now();
-        let par = parallel.run_sims(configs);
-        let par_wall_ns = t1.elapsed().as_nanos();
+        let (seq, seq_wall_ns) = best_of(repeats, || sequential.run_sims(configs.clone()));
+        let (par, par_wall_ns) = best_of(repeats, || parallel.run_sims(configs.clone()));
 
         for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
             assert_eq!(
@@ -153,37 +221,97 @@ fn main() {
         };
         println!(
             "{:>20}: {:2} runs  seq {:7.2} ms  par {:7.2} ms  speedup {:4.2}x  \
-             {:6.2} Mev/s par  {:6.1} ns/translation par",
+             {:6.2} Mev/s seq  {:6.1} ns/event seq  {:6.1} ns/translation seq",
             fig.name,
             fig.runs,
             seq_wall_ns as f64 / 1e6,
             par_wall_ns as f64 / 1e6,
             fig.speedup(),
-            fig.events_per_sec(par_wall_ns) / 1e6,
-            fig.ns_per_translation(par_wall_ns),
+            fig.events_per_sec(seq_wall_ns) / 1e6,
+            fig.ns_per_event(seq_wall_ns),
+            fig.ns_per_translation(seq_wall_ns),
         );
         figures.push(fig);
     }
 
-    let seq_total: u128 = figures.iter().map(|f| f.seq_wall_ns).sum();
-    let par_total: u128 = figures.iter().map(|f| f.par_wall_ns).sum();
-    let basket_speedup = seq_total as f64 / par_total.max(1) as f64;
+    // Worker-count scaling curve over the concatenated basket. Each point
+    // is best-of-N of the full basket through one runner.
+    let all_configs: Vec<SimConfig> = basket().into_iter().flat_map(|(_, c)| c).collect();
+    let mut curve = Vec::new();
+    for &jobs in &JOBS_CURVE {
+        let runner = SweepRunner::new(jobs);
+        let (results, wall_ns) = best_of(repeats, || runner.run_sims(all_configs.clone()));
+        let events: u64 = results.iter().map(|m| m.events_processed).sum();
+        println!(
+            "jobs curve: {jobs} workers  {:7.2} ms  {:6.2} Mev/s",
+            wall_ns as f64 / 1e6,
+            events as f64 / (wall_ns as f64 / 1e9) / 1e6,
+        );
+        curve.push(CurvePoint {
+            jobs,
+            wall_ns,
+            events,
+        });
+    }
+    let basket_speedup = curve[0].wall_ns as f64 / curve.last().unwrap().wall_ns.max(1) as f64;
     println!(
-        "basket: seq {:.2} ms, par {:.2} ms, speedup {:.2}x with {} workers",
-        seq_total as f64 / 1e6,
-        par_total as f64 / 1e6,
+        "basket: {:.2} ms at 1 worker, {:.2} ms at {} workers, speedup {:.2}x \
+         ({host_cpus} host CPUs)",
+        curve[0].wall_ns as f64 / 1e6,
+        curve.last().unwrap().wall_ns as f64 / 1e6,
+        curve.last().unwrap().jobs,
         basket_speedup,
-        parallel.jobs()
     );
+
+    // The one hard perf gate: the 8-job basket must beat sequential by
+    // 1.5x. Guarded because speedup physically requires cores — on a
+    // starved runner the gate would only measure the container, not the
+    // code. FNS_SKIP_SPEEDUP_ASSERT=1 force-skips on flaky shared hosts.
+    let skip_env = std::env::var("FNS_SKIP_SPEEDUP_ASSERT").is_ok();
+    if skip_env || host_cpus < 4 {
+        println!(
+            "speedup assert SKIPPED ({})",
+            if skip_env {
+                "FNS_SKIP_SPEEDUP_ASSERT set".to_string()
+            } else {
+                format!("{host_cpus} host CPUs < 4")
+            }
+        );
+    } else {
+        assert!(
+            basket_speedup > 1.5,
+            "8-job basket speedup {basket_speedup:.2}x <= 1.5x on a {host_cpus}-CPU host"
+        );
+        println!("speedup assert PASSED: {basket_speedup:.2}x > 1.5x");
+    }
 
     // Hand-rolled JSON through the fns-trace writer: the workspace is
     // offline, no serde.
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object();
     w.field_u64("jobs", parallel.jobs() as u64);
-    w.field_f64("basket_seq_wall_ms", seq_total as f64 / 1e6);
-    w.field_f64("basket_par_wall_ms", par_total as f64 / 1e6);
+    w.field_u64("host_cpus", host_cpus as u64);
+    w.field_u64("repeats", repeats as u64);
+    w.field_f64("basket_seq_wall_ms", curve[0].wall_ns as f64 / 1e6);
+    w.field_f64(
+        "basket_par_wall_ms",
+        curve.last().unwrap().wall_ns as f64 / 1e6,
+    );
     w.field_f64("basket_speedup", basket_speedup);
+    w.key("jobs_curve");
+    w.begin_array();
+    for p in &curve {
+        w.begin_object();
+        w.field_u64("jobs", p.jobs as u64);
+        w.field_f64("wall_ms", p.wall_ns as f64 / 1e6);
+        w.field_f64("events_per_sec", p.events as f64 / (p.wall_ns as f64 / 1e9));
+        w.field_f64(
+            "speedup_vs_seq",
+            curve[0].wall_ns as f64 / p.wall_ns.max(1) as f64,
+        );
+        w.end_object();
+    }
+    w.end_array();
     w.key("figures");
     w.begin_array();
     for f in &figures {
@@ -197,6 +325,8 @@ fn main() {
         w.field_f64("speedup", f.speedup());
         w.field_f64("seq_events_per_sec", f.events_per_sec(f.seq_wall_ns));
         w.field_f64("par_events_per_sec", f.events_per_sec(f.par_wall_ns));
+        w.field_f64("seq_ns_per_event", f.ns_per_event(f.seq_wall_ns));
+        w.field_f64("par_ns_per_event", f.ns_per_event(f.par_wall_ns));
         w.field_f64(
             "seq_ns_per_translation",
             f.ns_per_translation(f.seq_wall_ns),

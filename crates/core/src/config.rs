@@ -5,6 +5,7 @@ use fns_iommu::IommuConfig;
 use fns_mem::MemoryModel;
 use fns_oracle::AuditConfig;
 use fns_pcie::PcieConfig;
+use fns_sim::queue::QueueKind;
 use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
 use fns_trace::{ProbeConfig, TraceConfig};
 
@@ -165,6 +166,11 @@ pub struct SimConfig {
     /// init so every mapping is observed. Consumes no RNG — a run's
     /// metrics are bit-identical with auditing on or off.
     pub audit: AuditConfig,
+    /// Event-queue implementation. Defaults to the hierarchical timing
+    /// wheel; the binary-heap reference exists for differential testing
+    /// (results are bit-identical either way — `tests/golden_determinism.rs`
+    /// pins that).
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -203,6 +209,7 @@ impl SimConfig {
             trace: TraceConfig::off(),
             probes: ProbeConfig::off(),
             audit: AuditConfig::off(),
+            queue: QueueKind::Wheel,
         }
     }
 

@@ -15,6 +15,7 @@
 //!   Figure 6).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use fns_faults::{FaultKind, FaultPlane};
 use fns_iommu::{InvalidationQueue, InvalidationRequest, InvalidationScope, Iommu, IommuConfig};
@@ -38,6 +39,38 @@ pub const TX_CHUNK_PAGES: u64 = 64;
 /// 4 KB pages per 2 MB hugepage.
 pub const HUGE_PAGES: u64 = 512;
 
+/// Multiply-rotate hasher for pfn-keyed maps. The chunk map is keyed by
+/// 64-aligned base pfns and hit on every carve/release, where SipHash's
+/// per-lookup cost is measurable; a Fibonacci multiply mixes those keys
+/// well and is deterministic across runs (no per-process seed), which the
+/// bit-identical-replay guarantee requires anyway.
+#[derive(Default, Clone, Copy)]
+struct PfnHasher(u64);
+
+impl Hasher for PfnHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(23);
+    }
+}
+
+type PfnMap<V> = HashMap<u64, V, BuildHasherDefault<PfnHasher>>;
+
+/// Upper bound on pooled scratch vectors kept for reuse; anything beyond
+/// this is dropped rather than hoarded.
+const POOL_CAP: usize = 256;
+
 /// Test-only seeded driver bugs, used by the oracle corpus to prove each
 /// invariant class is still caught. `None` in every production path; the
 /// other variants suppress exactly one safety-relevant action *and* its
@@ -60,6 +93,24 @@ pub enum Sabotage {
     SkipDeferredFlush,
 }
 
+/// Storage harvested from a finished [`DmaDriver`] — the driver's share of
+/// a run arena. Opaque: produced by [`DmaDriver::salvage`], consumed by
+/// [`DmaDriver::with_descriptor_pages_in`], which rewinds every component
+/// to its freshly-constructed state while keeping the big allocations
+/// (page-table slab, cache tables, frame bitmap, pooled vectors) alive.
+pub struct DriverSalvage {
+    iommu: Iommu,
+    frames: FrameAllocator,
+    chunks: PfnMap<ChunkCarver>,
+    pinned_free: std::collections::VecDeque<DescriptorPage>,
+    huge_frames: Vec<u64>,
+    epoch_pool: Vec<Vec<InvalidationRequest>>,
+    page_pool: Vec<Vec<DescriptorPage>>,
+    req_scratch: Vec<InvalidationRequest>,
+    reclaim_scratch: Vec<fns_iommu::ReclaimedPage>,
+    locality: ReuseDistance,
+}
+
 /// The protection-layer driver state for one host.
 pub struct DmaDriver {
     mode: ProtectionMode,
@@ -78,7 +129,7 @@ pub struct DmaDriver {
     /// descriptors are smaller than a chunk (cross-descriptor carving, §3).
     rx_chunk: Vec<Option<u64>>,
     /// Live Tx chunks by base pfn.
-    chunks: HashMap<u64, ChunkCarver>,
+    chunks: PfnMap<ChunkCarver>,
     /// Deferred mode: unmapped-but-not-yet-invalidated page count.
     deferred_pending: u32,
     deferred_threshold: u32,
@@ -100,6 +151,16 @@ pub struct DmaDriver {
     /// The IOTLB-entry invalidation itself is always synchronous, so the
     /// strict safety property is unaffected.
     pending_ptcache_wipes: std::collections::VecDeque<Vec<InvalidationRequest>>,
+    /// Retired wipe-epoch vectors, reused by `submit_invalidations` so the
+    /// steady-state unmap path allocates nothing.
+    epoch_pool: Vec<Vec<InvalidationRequest>>,
+    /// Recycled descriptor-page vectors (from completed Rx descriptors and
+    /// Tx packets), reused by `prepare_rx_descriptor`/`tx_map`.
+    page_pool: Vec<Vec<DescriptorPage>>,
+    /// Scratch invalidation-request buffer for the completion paths.
+    req_scratch: Vec<InvalidationRequest>,
+    /// Scratch reclaimed-PT-page buffer for the completion paths.
+    reclaim_scratch: Vec<fns_iommu::ReclaimedPage>,
     /// Locality trace of allocated/mapped IOVAs (PT-L4 page keys), the
     /// measurement behind Figures 2e/3e/7e/8e.
     pub locality: ReuseDistance,
@@ -164,26 +225,83 @@ impl DmaDriver {
         locality_cap: usize,
         rx_desc_pages: u64,
     ) -> Self {
+        Self::with_descriptor_pages_in(
+            mode,
+            cores,
+            iommu_cfg,
+            costs,
+            deferred_threshold,
+            locality_cap,
+            rx_desc_pages,
+            None,
+        )
+    }
+
+    /// Like [`DmaDriver::with_descriptor_pages`], optionally rebuilding on
+    /// top of storage salvaged from a previous run. The resulting driver is
+    /// behaviorally identical to a freshly constructed one — salvaged
+    /// components are rewound to their as-new state, only their heap
+    /// storage survives.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_descriptor_pages_in(
+        mode: ProtectionMode,
+        cores: usize,
+        iommu_cfg: IommuConfig,
+        costs: CpuCosts,
+        deferred_threshold: u32,
+        locality_cap: usize,
+        rx_desc_pages: u64,
+        salvage: Option<DriverSalvage>,
+    ) -> Self {
+        let parts = match salvage {
+            Some(mut s) => {
+                s.iommu.reset(iommu_cfg);
+                // 16 GB of DMA-able memory: far more than any workload needs.
+                s.frames.reset(4 << 20);
+                s.chunks.clear();
+                s.pinned_free.clear();
+                s.huge_frames.clear();
+                s.locality.reset();
+                s.req_scratch.clear();
+                s.reclaim_scratch.clear();
+                s
+            }
+            None => DriverSalvage {
+                iommu: Iommu::new(iommu_cfg),
+                frames: FrameAllocator::new(4 << 20),
+                chunks: PfnMap::default(),
+                pinned_free: std::collections::VecDeque::new(),
+                huge_frames: Vec::new(),
+                epoch_pool: Vec::new(),
+                page_pool: Vec::new(),
+                req_scratch: Vec::new(),
+                reclaim_scratch: Vec::new(),
+                locality: ReuseDistance::new(),
+            },
+        };
         Self {
             mode,
-            iommu: Iommu::new(iommu_cfg),
+            iommu: parts.iommu,
             alloc: CachingAllocator::with_defaults(cores),
-            // 16 GB of DMA-able memory: far more than any workload needs.
-            frames: FrameAllocator::new(4 << 20),
+            frames: parts.frames,
             invq: InvalidationQueue::default(),
             costs,
             rx_desc_pages,
             tx_chunk: vec![None; cores],
             rx_chunk: vec![None; cores],
-            chunks: HashMap::new(),
+            chunks: parts.chunks,
             deferred_pending: 0,
             deferred_threshold,
-            pinned_free: std::collections::VecDeque::new(),
+            pinned_free: parts.pinned_free,
             // Above the 16 GB frame-allocator range, 2 MB aligned.
             next_pinned_pfn: 8 << 20,
-            huge_frames: Vec::new(),
+            huge_frames: parts.huge_frames,
             pending_ptcache_wipes: std::collections::VecDeque::new(),
-            locality: ReuseDistance::new(),
+            epoch_pool: parts.epoch_pool,
+            page_pool: parts.page_pool,
+            req_scratch: parts.req_scratch,
+            reclaim_scratch: parts.reclaim_scratch,
+            locality: parts.locality,
             locality_cap,
             locality_recording: true,
             invalidation_cpu_ns: 0,
@@ -196,6 +314,27 @@ impl DmaDriver {
             sabotage: Sabotage::None,
             inv_submit_seq: 0,
             next_desc_id: 0,
+        }
+    }
+
+    /// Tears the driver down into its reusable storage (see
+    /// [`DriverSalvage`]). Outstanding wipe epochs are returned to the
+    /// epoch pool on the way out.
+    pub fn salvage(mut self) -> DriverSalvage {
+        while let Some(epoch) = self.pending_ptcache_wipes.pop_front() {
+            self.recycle_epoch(epoch);
+        }
+        DriverSalvage {
+            iommu: self.iommu,
+            frames: self.frames,
+            chunks: self.chunks,
+            pinned_free: self.pinned_free,
+            huge_frames: self.huge_frames,
+            epoch_pool: self.epoch_pool,
+            page_pool: self.page_pool,
+            req_scratch: self.req_scratch,
+            reclaim_scratch: self.reclaim_scratch,
+            locality: self.locality,
         }
     }
 
@@ -299,6 +438,35 @@ impl DmaDriver {
         &self.frames
     }
 
+    /// Pops a recycled (cleared) page vector, or allocates one sized `cap`.
+    fn take_page_vec(&mut self, cap: usize) -> Vec<DescriptorPage> {
+        self.page_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(cap))
+    }
+
+    /// Returns a completed packet's page vector to the pool so the next
+    /// `prepare_rx_descriptor`/`tx_map` call reuses its storage.
+    pub fn recycle_pages(&mut self, mut pages: Vec<DescriptorPage>) {
+        if self.page_pool.len() < POOL_CAP {
+            pages.clear();
+            self.page_pool.push(pages);
+        }
+    }
+
+    /// Recycles a completed Rx descriptor's page storage.
+    pub fn recycle_descriptor(&mut self, desc: Descriptor) {
+        self.recycle_pages(desc.into_pages());
+    }
+
+    /// Returns a retired wipe epoch's storage to the pool.
+    fn recycle_epoch(&mut self, mut epoch: Vec<InvalidationRequest>) {
+        if self.epoch_pool.len() < POOL_CAP {
+            epoch.clear();
+            self.epoch_pool.push(epoch);
+        }
+    }
+
     /// Submits one invalidation *epoch*: IOTLB entries are removed
     /// synchronously (the unmap path waits for them — the strict safety
     /// property), while the requests' PTcache wipes queue as a single unit
@@ -316,7 +484,7 @@ impl DmaDriver {
         if reqs.is_empty() {
             return 0;
         }
-        let mut epoch = Vec::new();
+        let mut epoch = self.epoch_pool.pop().unwrap_or_default();
         for r in reqs {
             self.inv_submit_seq += 1;
             if let Sabotage::SkipRangeInvalidation { nth } = self.sabotage {
@@ -331,7 +499,9 @@ impl DmaDriver {
                 epoch.push(*r);
             }
         }
-        if !epoch.is_empty() {
+        if epoch.is_empty() {
+            self.recycle_epoch(epoch);
+        } else {
             self.audit.on_wipe_queued();
             self.pending_ptcache_wipes.push_back(epoch);
         }
@@ -345,6 +515,7 @@ impl DmaDriver {
                 .expect("non-empty queue");
             Self::apply_epoch(&mut self.iommu, &epoch);
             self.audit.on_wipe_applied(&epoch);
+            self.recycle_epoch(epoch);
         }
         // Differential cross-check: no request submitted above may leave a
         // live IOTLB entry (the sabotaged one deliberately does).
@@ -429,6 +600,7 @@ impl DmaDriver {
             };
             Self::apply_epoch(&mut self.iommu, &epoch);
             self.audit.on_wipe_applied(&epoch);
+            self.recycle_epoch(epoch);
             drained += 1;
         }
         if drained > 0 {
@@ -490,7 +662,9 @@ impl DmaDriver {
         while self.pinned_free.len() < n {
             self.grow_pinned(core)?;
         }
-        Ok(self.pinned_free.drain(..n).collect())
+        let mut slots = self.take_page_vec(n);
+        slots.extend(self.pinned_free.drain(..n));
+        Ok(slots)
     }
 
     fn grow_pinned(&mut self, core: usize) -> Result<(), DmaError> {
@@ -608,7 +782,7 @@ impl DmaDriver {
         let id = self.next_desc_id;
         self.next_desc_id += 1;
         let n = self.rx_desc_pages;
-        let mut pages = Vec::with_capacity(n as usize);
+        let mut pages = self.take_page_vec(n as usize);
         if self.mode.huge_rx() {
             assert_eq!(
                 n, HUGE_PAGES,
@@ -647,6 +821,7 @@ impl DmaDriver {
             return Ok((Descriptor::new(id, pages), cpu));
         }
         if self.mode.is_pinned_pool() {
+            self.recycle_pages(pages);
             let slots = self.take_pinned(core, n as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
@@ -862,8 +1037,8 @@ impl DmaDriver {
         } else {
             // Stock Linux: page-at-a-time unmap, one queue entry each
             // (Figure 6a).
-            let mut reqs = Vec::with_capacity(desc.len());
-            let mut reclaimed = Vec::new();
+            let mut reqs = std::mem::take(&mut self.req_scratch);
+            let mut reclaimed = std::mem::take(&mut self.reclaim_scratch);
             for p in desc.pages() {
                 let range = IovaRange::new(p.iova, 1);
                 let out = self.iommu.unmap_range(range)?;
@@ -892,6 +1067,10 @@ impl DmaDriver {
                     self.reclaim_fixup(&reclaimed);
                 }
             }
+            reqs.clear();
+            reclaimed.clear();
+            self.req_scratch = reqs;
+            self.reclaim_scratch = reclaimed;
         }
         for p in desc.pages() {
             self.frames.free(p.pa)?;
@@ -939,8 +1118,9 @@ impl DmaDriver {
         core: usize,
         pages: u32,
     ) -> Result<(Vec<DescriptorPage>, Nanos), DmaError> {
-        let mut out: Vec<DescriptorPage> = Vec::with_capacity(pages as usize);
+        let mut out: Vec<DescriptorPage> = self.take_page_vec(pages as usize);
         if self.mode.is_pinned_pool() {
+            self.recycle_pages(out);
             let slots = self.take_pinned(core, pages as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
@@ -1080,8 +1260,8 @@ impl DmaDriver {
     ) -> Result<Nanos, DmaError> {
         let before = self.alloc.stats();
         let mut cpu = 0;
-        let mut reqs: Vec<InvalidationRequest> = Vec::new();
-        let mut reclaimed = Vec::new();
+        let mut reqs = std::mem::take(&mut self.req_scratch);
+        let mut reclaimed = std::mem::take(&mut self.reclaim_scratch);
         for p in pages {
             let range = IovaRange::new(p.iova, 1);
             let out = self.iommu.unmap_range(range)?;
@@ -1126,6 +1306,10 @@ impl DmaDriver {
                 self.reclaim_fixup(&reclaimed);
             }
         }
+        reqs.clear();
+        reclaimed.clear();
+        self.req_scratch = reqs;
+        self.reclaim_scratch = reclaimed;
         let alloc_cost = self.alloc_cost_since(before);
         cpu += alloc_cost;
         self.spans.charge(Span::Completion, alloc_cost);

@@ -93,6 +93,14 @@ impl<T> FlowTable<T> {
         }
     }
 
+    /// Removes every flow while keeping both segments' storage — the
+    /// arena hook for back-to-back runs.
+    pub fn clear(&mut self) {
+        self.low.clear();
+        self.high.clear();
+        self.len = 0;
+    }
+
     /// Inserts (or replaces) the state for `flow`; returns the old value.
     pub fn insert(&mut self, flow: FlowId, value: T) -> Option<T> {
         let (hi, idx) = split(flow);

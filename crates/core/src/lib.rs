@@ -32,4 +32,4 @@ pub use driver::{DmaDriver, Sabotage};
 pub use errors::DmaError;
 pub use metrics::RunMetrics;
 pub use mode::ProtectionMode;
-pub use sim::HostSim;
+pub use sim::{HostSim, RunArena};

@@ -38,7 +38,7 @@ use fns_sim::time::Nanos;
 use fns_trace::{Sample, Sampler, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::{SimConfig, Workload};
-use crate::driver::DmaDriver;
+use crate::driver::{DmaDriver, DriverSalvage};
 use crate::flow_table::{FlowSet, FlowTable};
 use crate::metrics::RunMetrics;
 use crate::resources::SerialResource;
@@ -152,6 +152,56 @@ struct Snapshot {
     locality_mark: usize,
 }
 
+/// Reusable cross-run storage for back-to-back simulations — the *run
+/// arena*. A sweep worker owns one arena and threads it through
+/// [`HostSim::run_in`]; each finished run hands its big allocations back
+/// (event-queue node slab, IO page-table slab, IOTLB/PTcache tables, frame
+/// bitmap, flow tables, pooled descriptor-page and invalidation vectors)
+/// and the next run rewinds them instead of reallocating. Every salvaged
+/// component resets to its exact as-new state, so a run executed in a
+/// recycled arena is bit-identical to one executed fresh —
+/// `tests/golden_determinism.rs` pins that.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fns_core::{HostSim, ProtectionMode, RunArena, SimConfig};
+///
+/// let mut arena = RunArena::new();
+/// for flows in [5, 10, 20] {
+///     let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+///     cfg.flows = flows;
+///     let m = HostSim::run_in(cfg, &mut arena);
+///     println!("{flows} flows: {:.1} Gbps", m.rx_gbps());
+/// }
+/// ```
+#[derive(Default)]
+pub struct RunArena {
+    queue: Option<EventQueue<Ev>>,
+    driver: Option<DriverSalvage>,
+    peer_senders: FlowTable<DctcpSender>,
+    dut_receivers: FlowTable<FlowReceiver>,
+    dut_senders: FlowTable<DctcpSender>,
+    peer_receivers: FlowTable<FlowReceiver>,
+    core_of: FlowTable<usize>,
+    last_queue_reallocs: u64,
+}
+
+impl RunArena {
+    /// Creates an empty arena. The first run through it allocates
+    /// everything fresh; subsequent runs recycle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times the event queue grew its storage during the most
+    /// recently harvested run. A warm arena on a steady workload reports
+    /// zero — the smoke benchmark asserts exactly that.
+    pub fn last_queue_reallocs(&self) -> u64 {
+        self.last_queue_reallocs
+    }
+}
+
 /// The full host simulation.
 ///
 /// # Examples
@@ -232,14 +282,21 @@ pub struct HostSim {
 
 impl HostSim {
     /// Builds a simulation from a configuration.
-    pub fn new(mut cfg: SimConfig) -> Self {
+    pub fn new(cfg: SimConfig) -> Self {
+        Self::new_in(cfg, &mut RunArena::new())
+    }
+
+    /// Builds a simulation on top of an arena's recycled storage. The
+    /// result is behaviorally identical to [`HostSim::new`] — only heap
+    /// allocations are saved, never state.
+    pub fn new_in(mut cfg: SimConfig, arena: &mut RunArena) -> Self {
         if cfg.mode.huge_rx() {
             // Strict huge-Rx requires 2 MB (512-page) descriptors so one
             // huge mapping is exactly one descriptor.
             cfg.pages_per_descriptor = 512;
         }
         let rng = SimRng::seed(cfg.seed);
-        let drv = DmaDriver::with_descriptor_pages(
+        let drv = DmaDriver::with_descriptor_pages_in(
             cfg.mode,
             cfg.cores,
             cfg.iommu,
@@ -247,11 +304,22 @@ impl HostSim {
             cfg.deferred_flush_threshold,
             cfg.locality_samples,
             cfg.pages_per_descriptor as u64,
+            arena.driver.take(),
         );
-        let mut sim = Self {
+        // Recycle the event queue only when the configured implementation
+        // matches; a sweep mixing wheel and heap runs rebuilds on the
+        // transition.
+        let q = match arena.queue.take() {
+            Some(mut q) if q.kind() == cfg.queue => {
+                q.reset();
+                q
+            }
             // Pre-sized so steady-state event churn never reallocates the
-            // heap (the deepest observed backlogs stay well below this).
-            q: EventQueue::with_capacity(4096),
+            // backlog (the deepest observed backlogs stay well below this).
+            _ => EventQueue::with_kind(cfg.queue, 4096),
+        };
+        let mut sim = Self {
+            q,
             rng,
             drv,
             rings: Vec::new(),
@@ -264,11 +332,11 @@ impl HostSim {
             tx_inflight: 0,
             tx_queues: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
             tx_rr: 0,
-            peer_senders: FlowTable::new(),
-            dut_receivers: FlowTable::new(),
-            dut_senders: FlowTable::new(),
-            peer_receivers: FlowTable::new(),
-            core_of: FlowTable::new(),
+            peer_senders: std::mem::take(&mut arena.peer_senders),
+            dut_receivers: std::mem::take(&mut arena.dut_receivers),
+            dut_senders: std::mem::take(&mut arena.dut_senders),
+            peer_receivers: std::mem::take(&mut arena.peer_receivers),
+            core_of: std::mem::take(&mut arena.core_of),
             to_dut: SwitchQueue::new(4 << 20, cfg.ecn_k_bytes),
             to_dut_link: SerialResource::new(),
             to_dut_draining: false,
@@ -404,6 +472,7 @@ impl HostSim {
                     self.drv
                         .complete_rx_descriptor(core, &d)
                         .expect("fault-free init churn");
+                    self.drv.recycle_descriptor(d);
                     // Interposed ACK-style Tx churn, freed on another core.
                     for _ in 0..rng.range(0, 24) {
                         let (pages, _) = self.drv.tx_map(core, 1).expect("fault-free init churn");
@@ -412,6 +481,7 @@ impl HostSim {
                         self.drv
                             .tx_complete(comp, &pages)
                             .expect("fault-free init churn");
+                        self.drv.recycle_pages(pages);
                     }
                     let (fresh, _) = self
                         .drv
@@ -561,6 +631,17 @@ impl HostSim {
         let end = self.cfg.end_time();
         self.step_until(end);
         self.collect(end)
+    }
+
+    /// Runs `cfg` to completion inside `arena`: construction recycles the
+    /// arena's storage, and the finished run's allocations are harvested
+    /// back for the next call. Metrics are bit-identical to
+    /// `HostSim::new(cfg).run()`.
+    pub fn run_in(cfg: SimConfig, arena: &mut RunArena) -> RunMetrics {
+        let mut sim = Self::new_in(cfg, arena);
+        let end = sim.cfg.end_time();
+        sim.step_until(end);
+        sim.collect_into(end, Some(arena))
     }
 
     /// Processes events up to (and including) time `t`.
@@ -960,6 +1041,7 @@ impl HostSim {
                     .drv
                     .complete_rx_descriptor(core, &d)
                     .expect("recycling a refused descriptor");
+                self.drv.recycle_descriptor(d);
                 self.drv.faults_mut().note_descriptor_recycle();
                 self.drv.faults_mut().note_recovery(FaultKind::RingOverrun);
                 self.ring_drops += 1;
@@ -972,6 +1054,7 @@ impl HostSim {
         // 2. Tx completions (unmap + invalidate transmitted pages).
         while let Some(pages) = self.napi[core].tx_done.pop_front() {
             cpu += self.drv.tx_complete(core, &pages).expect("Tx completion");
+            self.drv.recycle_pages(pages);
         }
         // 2b. Rx descriptor completions: unmap, invalidate, recycle.
         while let Some(d) = self.napi[core].desc_done.pop_front() {
@@ -984,6 +1067,7 @@ impl HostSim {
                 .drv
                 .complete_rx_descriptor(core, &d)
                 .expect("Rx completion");
+            self.drv.recycle_descriptor(d);
             // Injected stale-DMA probe: the device races one last access
             // against the unmap that just completed — the exact window the
             // strict safety property closes. Probing here, before any later
@@ -1465,6 +1549,10 @@ impl HostSim {
     }
 
     fn collect(self, end: Nanos) -> RunMetrics {
+        self.collect_into(end, None)
+    }
+
+    fn collect_into(mut self, end: Nanos, arena: Option<&mut RunArena>) -> RunMetrics {
         let window = end - self.cfg.warmup;
         let snap = &self.snapshot;
         let iommu_now = self.drv.iommu.stats();
@@ -1486,7 +1574,7 @@ impl HostSim {
         // view (chronological across the driver and wire planes).
         let trace = self.trace.drain();
         let fault_log = fns_faults::fault_log_from(&trace);
-        RunMetrics {
+        let metrics = RunMetrics {
             window_ns: window,
             rx_goodput_bytes: rx_delivered - snap.rx_delivered,
             tx_goodput_bytes: tx_delivered - snap.tx_delivered,
@@ -1510,7 +1598,33 @@ impl HostSim {
             samples: self.sampler.take(),
             trace,
             audit: self.drv.audit().report(),
+        };
+        // Harvest the run's storage back into the arena. Still-posted ring
+        // descriptors feed the driver's page pool first, so the next run's
+        // ring fill starts from recycled vectors.
+        if let Some(arena) = arena {
+            for rs in &mut self.rings {
+                while let Some(d) = rs.ring.pop_any() {
+                    self.drv.recycle_descriptor(d);
+                }
+            }
+            let mut q = self.q;
+            arena.last_queue_reallocs = q.reallocs();
+            q.reset();
+            arena.queue = Some(q);
+            arena.driver = Some(self.drv.salvage());
+            self.peer_senders.clear();
+            self.dut_receivers.clear();
+            self.dut_senders.clear();
+            self.peer_receivers.clear();
+            self.core_of.clear();
+            arena.peer_senders = self.peer_senders;
+            arena.dut_receivers = self.dut_receivers;
+            arena.dut_senders = self.dut_senders;
+            arena.peer_receivers = self.peer_receivers;
+            arena.core_of = self.core_of;
         }
+        metrics
     }
 }
 

@@ -30,7 +30,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fns_core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns_core::{HostSim, ProtectionMode, RunArena, RunMetrics, SimConfig};
 
 pub mod mbt;
 pub mod scenarios;
@@ -89,9 +89,30 @@ impl SweepRunner {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        self.map_with(inputs, || (), |(), t| f(t))
+    }
+
+    /// Like [`SweepRunner::map`], but each worker thread carries a mutable
+    /// state built once by `init` and threaded through every call that
+    /// worker makes. This is the arena hook: a worker's scratch allocations
+    /// (event-queue slab, page tables, flow tables, pools) survive from one
+    /// sweep point to the next instead of being rebuilt per run.
+    ///
+    /// The sequential path (one worker or one input) builds a single state
+    /// and reuses it across every input — the maximum-recycling baseline.
+    /// `f` must not let the state affect results: `results[i]` must equal
+    /// `f(fresh_state, inputs[i])` regardless of which worker ran it.
+    pub fn map_with<T, R, S, I, F>(&self, inputs: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
         let n = inputs.len();
         if self.jobs == 1 || n <= 1 {
-            return inputs.into_iter().map(f).collect();
+            let mut state = init();
+            return inputs.into_iter().map(|t| f(&mut state, t)).collect();
         }
         // Dynamic scheduling: workers race on an atomic cursor so a slow
         // point (e.g. a 40-flow run) does not leave a statically assigned
@@ -101,18 +122,21 @@ impl SweepRunner {
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..self.jobs.min(n) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let input = work[i]
+                            .lock()
+                            .expect("input slot poisoned")
+                            .take()
+                            .expect("each index claimed once");
+                        let result = f(&mut state, input);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
-                    let input = work[i]
-                        .lock()
-                        .expect("input slot poisoned")
-                        .take()
-                        .expect("each index claimed once");
-                    let result = f(input);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
@@ -127,9 +151,12 @@ impl SweepRunner {
     }
 
     /// Runs every configuration to completion; `results[i]` corresponds to
-    /// `configs[i]`.
+    /// `configs[i]`. Each worker reuses a [`RunArena`] across its runs, so
+    /// back-to-back sweep points recycle their big allocations.
     pub fn run_sims(&self, configs: Vec<SimConfig>) -> Vec<RunMetrics> {
-        self.map(configs, |cfg| HostSim::new(cfg).run())
+        self.map_with(configs, RunArena::new, |arena, cfg| {
+            HostSim::run_in(cfg, arena)
+        })
     }
 
     /// Sweep helper for the common figure shape: the cartesian product of

@@ -137,6 +137,24 @@ impl Iommu {
         }
     }
 
+    /// Rewinds to the freshly-constructed state for `config`, reusing the
+    /// page-table slab and cache tables when the hardware shape is
+    /// unchanged (the common case across a sweep) — the arena hook for
+    /// back-to-back runs. Behaviorally identical to `Iommu::new(config)`.
+    pub fn reset(&mut self, config: IommuConfig) {
+        if config == self.config {
+            self.pt.reset();
+            self.iotlb.clear();
+            self.iotlb_huge.clear();
+            self.ptc_l1.clear();
+            self.ptc_l2.clear();
+            self.ptc_l3.clear();
+            self.stats = IommuStats::default();
+        } else {
+            *self = Iommu::new(config);
+        }
+    }
+
     /// The hardware configuration.
     pub fn config(&self) -> IommuConfig {
         self.config

@@ -65,6 +65,20 @@ impl PtPage {
             live: 0,
         }
     }
+
+    /// Like [`PtPage::new`] but reusing a recycled entries vector. The
+    /// vector must already be all-`None` — guaranteed for pages coming off
+    /// `free_page`, which only reclaims pages whose `live` count hit zero
+    /// (and `live` equals the number of `Some` entries by invariant).
+    fn with_entries(level: u8, entries: Vec<Option<PtEntry>>) -> Self {
+        debug_assert_eq!(entries.len(), ENTRIES_PER_PAGE);
+        debug_assert!(entries.iter().all(Option::is_none));
+        Self {
+            level,
+            entries,
+            live: 0,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -186,6 +200,10 @@ pub struct PtStats {
 pub struct IoPageTable {
     slots: Vec<Slot>,
     free: Vec<usize>,
+    /// Entries vectors stashed from reclaimed pages, reused by
+    /// `alloc_page` so the map/unmap churn of chunk-granular modes stops
+    /// hitting the allocator for every 4 KB page-table page.
+    entries_pool: Vec<Vec<Option<PtEntry>>>,
     root: PageRef,
     stats: PtStats,
 }
@@ -202,6 +220,7 @@ impl IoPageTable {
         let mut pt = Self {
             slots: Vec::new(),
             free: Vec::new(),
+            entries_pool: Vec::new(),
             root: PageRef {
                 idx: 0,
                 generation: 0,
@@ -212,12 +231,37 @@ impl IoPageTable {
         pt
     }
 
+    /// Rewinds to the freshly-constructed state (just a root page, zeroed
+    /// counters) while keeping every page's entries vector pooled for
+    /// reuse — the arena hook for back-to-back simulation runs. The
+    /// resulting table is behaviorally identical to `IoPageTable::new()`.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(mut page) = slot.page.take() {
+                page.entries.fill(None);
+                self.entries_pool.push(page.entries);
+            }
+        }
+        self.slots.clear();
+        self.free.clear();
+        self.stats = PtStats::default();
+        self.root = PageRef {
+            idx: 0,
+            generation: 0,
+        };
+        self.root = self.alloc_page(1);
+    }
+
     fn alloc_page(&mut self, level: u8) -> PageRef {
         self.stats.pages_allocated += 1;
+        let page = match self.entries_pool.pop() {
+            Some(entries) => PtPage::with_entries(level, entries),
+            None => PtPage::new(level),
+        };
         if let Some(idx) = self.free.pop() {
             let slot = &mut self.slots[idx];
             debug_assert!(slot.page.is_none());
-            slot.page = Some(PtPage::new(level));
+            slot.page = Some(page);
             PageRef {
                 idx: idx as u32,
                 generation: slot.generation,
@@ -225,7 +269,7 @@ impl IoPageTable {
         } else {
             self.slots.push(Slot {
                 generation: 0,
-                page: Some(PtPage::new(level)),
+                page: Some(page),
             });
             PageRef {
                 idx: (self.slots.len() - 1) as u32,
@@ -237,7 +281,12 @@ impl IoPageTable {
     fn free_page(&mut self, r: PageRef) {
         let slot = &mut self.slots[r.idx as usize];
         debug_assert_eq!(slot.generation, r.generation);
-        slot.page = None;
+        // Only empty pages are reclaimed (`live == 0`, all entries `None`),
+        // so the entries vector can be reused verbatim by `alloc_page`.
+        if let Some(page) = slot.page.take() {
+            debug_assert_eq!(page.live, 0, "reclaiming a non-empty PT page");
+            self.entries_pool.push(page.entries);
+        }
         slot.generation += 1;
         self.free.push(r.idx as usize);
         self.stats.pages_reclaimed += 1;

@@ -6,8 +6,6 @@
 //! never-allocated frames, which in the real kernel would be memory
 //! corruption.
 
-use std::collections::HashSet;
-
 use crate::addr::{PhysAddr, PAGE_SIZE};
 
 /// Errors returned by [`FrameAllocator`].
@@ -35,6 +33,15 @@ impl std::error::Error for FrameError {}
 
 /// A 4 KB physical frame allocator over a contiguous physical range.
 ///
+/// Never-allocated frames are represented by a watermark (`next_pfn`), so
+/// construction is O(1) in the pool size instead of materializing a
+/// multi-megabyte free list; frames that have been freed sit on a LIFO
+/// recycle stack. Allocation order is identical to the historical
+/// explicit-free-list implementation: fresh frames come out lowest-first,
+/// recycled frames most-recently-freed-first. Allocation state lives in a
+/// bitmap (one bit per frame) rather than a hash set, so double-free and
+/// wild-free detection is a mask test with no hashing on the hot path.
+///
 /// # Examples
 ///
 /// ```
@@ -48,8 +55,13 @@ impl std::error::Error for FrameError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
-    free_list: Vec<PhysAddr>,
-    allocated: HashSet<u64>,
+    /// Freed frames, reallocated LIFO.
+    recycled: Vec<PhysAddr>,
+    /// Lowest pfn that has never been handed out.
+    next_pfn: u64,
+    /// One bit per frame (bit index == pfn); set while allocated.
+    bitmap: Vec<u64>,
+    in_use: usize,
     total: usize,
     peak_allocated: usize,
     alloc_count: u64,
@@ -62,12 +74,11 @@ impl FrameAllocator {
     /// matching the convention that physical address 0 is never a valid DMA
     /// target).
     pub fn new(frames: usize) -> Self {
-        // Reverse order so that the first allocation returns the lowest
-        // frame; purely cosmetic but keeps traces readable.
-        let free_list = (1..=frames as u64).rev().map(PhysAddr::from_pfn).collect();
         Self {
-            free_list,
-            allocated: HashSet::new(),
+            recycled: Vec::new(),
+            next_pfn: 1,
+            bitmap: vec![0u64; (frames + 1).div_ceil(64)],
+            in_use: 0,
             total: frames,
             peak_allocated: 0,
             alloc_count: 0,
@@ -75,11 +86,53 @@ impl FrameAllocator {
         }
     }
 
+    /// Rewinds to the freshly-constructed state (all frames free, counters
+    /// zeroed) while keeping the bitmap and recycle-stack storage allocated —
+    /// the arena-reuse hook for back-to-back simulation runs.
+    pub fn reset(&mut self, frames: usize) {
+        let words = (frames + 1).div_ceil(64);
+        self.bitmap.clear();
+        self.bitmap.resize(words, 0);
+        self.recycled.clear();
+        self.next_pfn = 1;
+        self.in_use = 0;
+        self.total = frames;
+        self.peak_allocated = 0;
+        self.alloc_count = 0;
+        self.free_count = 0;
+    }
+
+    #[inline]
+    fn bit_set(&mut self, pfn: u64) {
+        self.bitmap[(pfn / 64) as usize] |= 1u64 << (pfn % 64);
+    }
+
+    #[inline]
+    fn bit_test(&self, pfn: u64) -> bool {
+        pfn <= self.total as u64 && self.bitmap[(pfn / 64) as usize] & (1u64 << (pfn % 64)) != 0
+    }
+
+    #[inline]
+    fn bit_clear(&mut self, pfn: u64) {
+        self.bitmap[(pfn / 64) as usize] &= !(1u64 << (pfn % 64));
+    }
+
     /// Allocates one frame.
     pub fn alloc(&mut self) -> Result<PhysAddr, FrameError> {
-        let pa = self.free_list.pop().ok_or(FrameError::OutOfMemory)?;
-        self.allocated.insert(pa.pfn());
-        self.peak_allocated = self.peak_allocated.max(self.allocated.len());
+        let pa = match self.recycled.pop() {
+            Some(pa) => pa,
+            None => {
+                if self.next_pfn > self.total as u64 {
+                    return Err(FrameError::OutOfMemory);
+                }
+                let pa = PhysAddr::from_pfn(self.next_pfn);
+                self.next_pfn += 1;
+                pa
+            }
+        };
+        self.bit_set(pa.pfn());
+        self.in_use += 1;
+        self.peak_allocated = self.peak_allocated.max(self.in_use);
         self.alloc_count += 1;
         Ok(pa)
     }
@@ -102,27 +155,29 @@ impl FrameAllocator {
         if !pa.is_page_aligned() {
             return Err(FrameError::Unaligned(pa));
         }
-        if !self.allocated.remove(&pa.pfn()) {
+        if !self.bit_test(pa.pfn()) {
             return Err(FrameError::NotAllocated(pa));
         }
+        self.bit_clear(pa.pfn());
+        self.in_use -= 1;
         self.free_count += 1;
-        self.free_list.push(pa);
+        self.recycled.push(pa);
         Ok(())
     }
 
     /// Returns `true` if `pa`'s frame is currently allocated.
     pub fn is_allocated(&self, pa: PhysAddr) -> bool {
-        self.allocated.contains(&pa.pfn())
+        self.bit_test(pa.pfn())
     }
 
     /// Frames currently allocated.
     pub fn in_use(&self) -> usize {
-        self.allocated.len()
+        self.in_use
     }
 
     /// Frames currently free.
     pub fn available(&self) -> usize {
-        self.free_list.len()
+        self.total - (self.next_pfn as usize - 1) + self.recycled.len()
     }
 
     /// Total frames managed.

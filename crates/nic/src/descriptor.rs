@@ -94,6 +94,12 @@ impl Descriptor {
     pub fn pages(&self) -> &[DescriptorPage] {
         &self.pages
     }
+
+    /// Consumes the descriptor and returns its page vector, letting the
+    /// driver recycle the allocation for the next prepared descriptor.
+    pub fn into_pages(self) -> Vec<DescriptorPage> {
+        self.pages
+    }
 }
 
 #[cfg(test)]

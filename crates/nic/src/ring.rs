@@ -179,6 +179,14 @@ impl RxRing {
             .expect("popping a descriptor the NIC is still filling")
     }
 
+    /// Pops the head descriptor regardless of consumption state. This is
+    /// the end-of-run teardown hook: once the simulation clock stops, the
+    /// modelled NIC writes nothing further, so still-posted descriptors can
+    /// be handed back for page-storage recycling.
+    pub fn pop_any(&mut self) -> Option<Descriptor> {
+        self.descriptors.pop_front()
+    }
+
     /// Pops the head descriptor once fully consumed, reporting a
     /// still-live head as [`RingError::HeadLive`] instead of panicking.
     pub fn try_pop_consumed(&mut self) -> Result<Option<Descriptor>, RingError> {

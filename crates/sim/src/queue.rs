@@ -1,16 +1,48 @@
 //! Deterministic event queue with a monotonic clock.
 //!
-//! The queue is a min-heap keyed by `(timestamp, sequence number)`. The
-//! sequence number breaks ties in insertion order, which makes every
-//! simulation run bit-reproducible: two events scheduled for the same
-//! nanosecond always fire in the order they were pushed.
+//! Events are ordered by `(timestamp, sequence number)`. The sequence number
+//! breaks ties in insertion order, which makes every simulation run
+//! bit-reproducible: two events scheduled for the same nanosecond always
+//! fire in the order they were pushed.
+//!
+//! Two implementations live behind the same API, selected by [`QueueKind`]:
+//!
+//! * [`QueueKind::Wheel`] (the default) — a hierarchical timing wheel:
+//!   `LEVELS` levels of `SLOTS` slots each, where a level-`l` slot covers
+//!   `SLOTS^l` nanoseconds. Level-0 slots are one nanosecond wide, so every
+//!   entry in a level-0 slot shares a timestamp and plain append order *is*
+//!   FIFO order — no comparisons on the hot path. Entries live in a slab of
+//!   intrusively linked nodes; moving an entry between slots is a pointer
+//!   relink, never a payload copy. Events beyond the wheel's horizon
+//!   (`SLOTS^LEVELS` ns ≈ 16.8 ms of absolute-time blocks) overflow into a
+//!   sorted spill heap and migrate back a block at a time when the wheel
+//!   drains; the invariant "every wheel entry precedes every spill entry"
+//!   keeps the two regions totally ordered.
+//! * [`QueueKind::Heap`] — the original binary min-heap, kept as the
+//!   reference implementation for the step-for-step differential test
+//!   (`tests/queue_equivalence.rs`) and the bit-identical `RunMetrics`
+//!   cross-check in `tests/golden_determinism.rs`.
+//!
+//! Both honor `with_capacity`/`reserve`, and both count storage growths
+//! ([`EventQueue::reallocs`]) so benchmarks can assert that a pre-sized
+//! queue never reallocates in steady state.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
 
-/// An entry in the queue: ordering key plus opaque payload.
+/// Which queue implementation an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Hierarchical timing wheel (the fast default).
+    #[default]
+    Wheel,
+    /// Binary min-heap (the differential-testing reference).
+    Heap,
+}
+
+/// An entry in the heap variant: ordering key plus opaque payload.
 struct Entry<E> {
     at: Nanos,
     seq: u64,
@@ -43,6 +75,232 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// log2 of the slot count per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level (64).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. A level-`l` slot spans `SLOTS^l` ns, so four levels cover
+/// an absolute-time block of `SLOTS^4 = 2^24` ns (~16.8 ms) before events
+/// overflow to the spill heap.
+const LEVELS: usize = 4;
+/// Bits of absolute time covered by the whole wheel.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// Null link in the node slab.
+const NIL: u32 = u32::MAX;
+
+/// Slab node: ordering key, payload, and an intrusive singly-linked chain
+/// through whichever slot (or the free list) currently owns it.
+struct Node<E> {
+    at: Nanos,
+    seq: u64,
+    next: u32,
+    event: Option<E>,
+}
+
+/// The timing-wheel implementation. See the module docs for the layout.
+///
+/// Invariants:
+/// * `base[l]` is the absolute-time block (`at >> (SLOT_BITS*(l+1))`)
+///   currently represented by level `l`; every entry parked at level `l`
+///   satisfies `block(at, l) == base[l]`.
+/// * Every entry is parked at the *lowest* level whose block matches, so
+///   the lowest occupied slot of the lowest occupied level always holds the
+///   global minimum (after `settle`).
+/// * Every spill entry is strictly beyond level `LEVELS-1`'s current block,
+///   so the wheel's minimum always precedes the spill's minimum.
+struct Wheel<E> {
+    nodes: Vec<Node<E>>,
+    free: u32,
+    head: [[u32; SLOTS]; LEVELS],
+    tail: [[u32; SLOTS]; LEVELS],
+    occupied: [u64; LEVELS],
+    base: [Nanos; LEVELS],
+    spill: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
+    len: usize,
+    grew: u64,
+}
+
+#[inline]
+fn block(at: Nanos, level: usize) -> Nanos {
+    at >> (SLOT_BITS * (level as u32 + 1))
+}
+
+#[inline]
+fn slot(at: Nanos, level: usize) -> usize {
+    ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+}
+
+impl<E> Wheel<E> {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: NIL,
+            head: [[NIL; SLOTS]; LEVELS],
+            tail: [[NIL; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            base: [0; LEVELS],
+            spill: BinaryHeap::new(),
+            len: 0,
+            grew: 0,
+        }
+    }
+
+    fn alloc_node(&mut self, at: Nanos, seq: u64, event: E) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.at = at;
+            node.seq = seq;
+            node.next = NIL;
+            node.event = Some(event);
+            return idx;
+        }
+        if self.nodes.len() == self.nodes.capacity() {
+            self.grew += 1;
+        }
+        self.nodes.push(Node {
+            at,
+            seq,
+            next: NIL,
+            event: Some(event),
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    #[inline]
+    fn append(&mut self, level: usize, s: usize, idx: u32) {
+        self.nodes[idx as usize].next = NIL;
+        let tail = self.tail[level][s];
+        if tail == NIL {
+            self.head[level][s] = idx;
+        } else {
+            self.nodes[tail as usize].next = idx;
+        }
+        self.tail[level][s] = idx;
+        self.occupied[level] |= 1u64 << s;
+    }
+
+    /// Parks node `idx` at the lowest level whose current block contains
+    /// its timestamp, or spills it past the horizon.
+    fn place(&mut self, idx: u32) {
+        let at = self.nodes[idx as usize].at;
+        for l in 0..LEVELS {
+            if block(at, l) == self.base[l] {
+                self.append(l, slot(at, l), idx);
+                return;
+            }
+        }
+        let seq = self.nodes[idx as usize].seq;
+        self.spill.push(Reverse((at, seq, idx)));
+    }
+
+    fn push(&mut self, at: Nanos, seq: u64, event: E) {
+        let idx = self.alloc_node(at, seq, event);
+        self.place(idx);
+        self.len += 1;
+    }
+
+    /// Cascades until the global minimum sits in a level-0 slot. No-op when
+    /// the queue is empty or level 0 is already occupied. Cascading only
+    /// relinks nodes between slots; it never reorders the pop sequence.
+    fn settle(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        loop {
+            if self.occupied[0] != 0 {
+                return;
+            }
+            if let Some(l) = (1..LEVELS).find(|&l| self.occupied[l] != 0) {
+                // Drain the lowest occupied slot of the lowest occupied
+                // level one level down; its slot index pins level l-1's
+                // new block.
+                let s = self.occupied[l].trailing_zeros() as usize;
+                self.base[l - 1] = (self.base[l] << SLOT_BITS) | s as u64;
+                let mut cur = self.head[l][s];
+                self.head[l][s] = NIL;
+                self.tail[l][s] = NIL;
+                self.occupied[l] &= !(1u64 << s);
+                while cur != NIL {
+                    let next = self.nodes[cur as usize].next;
+                    let at = self.nodes[cur as usize].at;
+                    debug_assert_eq!(block(at, l - 1), self.base[l - 1]);
+                    self.append(l - 1, slot(at, l - 1), cur);
+                    cur = next;
+                }
+                continue;
+            }
+            // Wheel empty but events pending: rebase onto the next spill
+            // block and migrate every entry inside it. The block's earliest
+            // entry lands at level 0, so the loop terminates next pass.
+            let t = self
+                .spill
+                .peek()
+                .expect("pending events must be spilled")
+                .0
+                 .0;
+            for (l, b) in self.base.iter_mut().enumerate() {
+                *b = block(t, l);
+            }
+            while let Some(&Reverse((at, _, idx))) = self.spill.peek() {
+                if (at >> HORIZON_BITS) != self.base[LEVELS - 1] {
+                    break;
+                }
+                self.spill.pop();
+                self.place(idx);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let s = self.occupied[0].trailing_zeros() as usize;
+        let idx = self.head[0][s];
+        debug_assert_ne!(idx, NIL);
+        let node = &mut self.nodes[idx as usize];
+        let at = node.at;
+        debug_assert_eq!(at, (self.base[0] << SLOT_BITS) | s as u64);
+        let event = node.event.take().expect("parked node holds its payload");
+        let next = node.next;
+        node.next = self.free;
+        self.free = idx;
+        self.head[0][s] = next;
+        if next == NIL {
+            self.tail[0][s] = NIL;
+            self.occupied[0] &= !(1u64 << s);
+        }
+        self.len -= 1;
+        Some((at, event))
+    }
+
+    /// Timestamp of the earliest pending event. Settles first so the
+    /// answer is a level-0 slot read; settling never changes pop order.
+    fn peek_time(&mut self) -> Option<Nanos> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let s = self.occupied[0].trailing_zeros() as u64;
+        Some((self.base[0] << SLOT_BITS) | s)
+    }
+
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.free = NIL;
+        self.head = [[NIL; SLOTS]; LEVELS];
+        self.tail = [[NIL; SLOTS]; LEVELS];
+        self.occupied = [0; LEVELS];
+        self.base = [0; LEVELS];
+        self.spill.clear();
+        self.len = 0;
+        self.grew = 0;
+    }
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Events are popped in nondecreasing timestamp order; ties are broken by
@@ -63,10 +321,20 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    imp: Imp<E>,
     seq: u64,
     now: Nanos,
     popped: u64,
+}
+
+// The wheel variant inlines its per-level slot-head/tail arrays (~2 KiB):
+// one queue exists per simulation, so the footprint is irrelevant, while
+// boxing would put an extra indirection on every push/pop of the hottest
+// structure in the simulator.
+#[allow(clippy::large_enum_variant)]
+enum Imp<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Reverse<Entry<E>>>, u64),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -85,22 +353,56 @@ impl<E> EventQueue<E> {
     /// workload whose steady-state backlog stays below it never reallocates
     /// on push.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_kind(QueueKind::Wheel, capacity)
+    }
+
+    /// Creates an empty queue on the chosen implementation.
+    pub fn with_kind(kind: QueueKind, capacity: usize) -> Self {
+        let imp = match kind {
+            QueueKind::Wheel => Imp::Wheel(Wheel::with_capacity(capacity)),
+            QueueKind::Heap => Imp::Heap(BinaryHeap::with_capacity(capacity), 0),
+        };
         Self {
-            heap: BinaryHeap::with_capacity(capacity),
+            imp,
             seq: 0,
             now: 0,
             popped: 0,
         }
     }
 
+    /// Which implementation this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match &self.imp {
+            Imp::Wheel(_) => QueueKind::Wheel,
+            Imp::Heap(..) => QueueKind::Heap,
+        }
+    }
+
     /// Reserves capacity for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        match &mut self.imp {
+            Imp::Wheel(w) => w.nodes.reserve(additional),
+            Imp::Heap(h, _) => h.reserve(additional),
+        }
     }
 
     /// Number of pending events the queue can hold without reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.imp {
+            Imp::Wheel(w) => w.nodes.capacity(),
+            Imp::Heap(h, _) => h.capacity(),
+        }
+    }
+
+    /// How many times event storage has grown since creation (or the last
+    /// [`EventQueue::reset`]). A queue sized with `with_capacity` above its
+    /// steady-state backlog reports zero — the benchmark smoke run asserts
+    /// exactly that.
+    pub fn reallocs(&self) -> u64 {
+        match &self.imp {
+            Imp::Wheel(w) => w.grew,
+            Imp::Heap(_, grew) => *grew,
+        }
     }
 
     /// Total events popped over the queue's lifetime (the denominator of
@@ -116,12 +418,15 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            Imp::Wheel(w) => w.len,
+            Imp::Heap(h, _) => h.len(),
+        }
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -138,7 +443,15 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        match &mut self.imp {
+            Imp::Wheel(w) => w.push(at, seq, event),
+            Imp::Heap(h, grew) => {
+                if h.len() == h.capacity() {
+                    *grew += 1;
+                }
+                h.push(Reverse(Entry { at, seq, event }));
+            }
+        }
     }
 
     /// Schedules `event` to fire `delay` nanoseconds from now.
@@ -149,16 +462,40 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event and advances the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        debug_assert!(e.at >= self.now);
-        self.now = e.at;
+        let (at, event) = match &mut self.imp {
+            Imp::Wheel(w) => w.pop()?,
+            Imp::Heap(h, _) => {
+                let Reverse(e) = h.pop()?;
+                (e.at, e.event)
+            }
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.popped += 1;
-        Some((e.at, e.event))
+        Some((at, event))
     }
 
     /// Timestamp of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        match &mut self.imp {
+            Imp::Wheel(w) => w.peek_time(),
+            Imp::Heap(h, _) => h.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
+    /// Rewinds the queue to an empty, time-zero state while keeping its
+    /// storage (node slab / heap buffer) allocated — the arena-reuse hook.
+    pub fn reset(&mut self) {
+        match &mut self.imp {
+            Imp::Wheel(w) => w.reset(),
+            Imp::Heap(h, grew) => {
+                h.clear();
+                *grew = 0;
+            }
+        }
+        self.seq = 0;
+        self.now = 0;
+        self.popped = 0;
     }
 }
 
@@ -179,12 +516,14 @@ mod tests {
 
     #[test]
     fn fifo_within_same_timestamp() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(42, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((42, i)));
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind, 0);
+            for i in 0..100 {
+                q.push(42, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((42, i)));
+            }
         }
     }
 
@@ -227,33 +566,41 @@ mod tests {
 
     #[test]
     fn steady_state_churn_never_reallocates() {
-        let mut q = EventQueue::with_capacity(64);
-        let cap = q.capacity();
-        assert!(cap >= 64);
-        // Fill to half capacity, then churn pop/push far past the initial
-        // fill: a steady-state backlog below capacity must never grow the
-        // heap allocation.
-        for i in 0..32u64 {
-            q.push(i, i);
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind, 64);
+            let cap = q.capacity();
+            assert!(cap >= 64);
+            // Fill to half capacity, then churn pop/push far past the initial
+            // fill: a steady-state backlog below capacity must never grow the
+            // event storage.
+            for i in 0..32u64 {
+                q.push(i, i);
+            }
+            for i in 32..10_000u64 {
+                let (_, _) = q.pop().expect("backlog nonempty");
+                q.push(i, i);
+                assert_eq!(q.capacity(), cap, "steady-state push reallocated");
+            }
+            assert_eq!(q.total_popped(), 10_000 - 32);
+            assert_eq!(q.reallocs(), 0, "steady-state churn grew {kind:?} storage");
         }
-        for i in 32..10_000u64 {
-            let (_, _) = q.pop().expect("backlog nonempty");
-            q.push(i, i);
-            assert_eq!(q.capacity(), cap, "steady-state push reallocated");
-        }
-        assert_eq!(q.total_popped(), 10_000 - 32);
     }
 
     #[test]
     fn reserve_grows_capacity_up_front() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        q.reserve(1000);
-        assert!(q.capacity() >= 1000);
-        let cap = q.capacity();
-        for i in 0..1000 {
-            q.push(i, ());
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q: EventQueue<()> = EventQueue::with_kind(kind, 0);
+            q.reserve(1000);
+            assert!(q.capacity() >= 1000);
+            let cap = q.capacity();
+            for i in 0..1000 {
+                q.push(i, ());
+            }
+            assert_eq!(q.capacity(), cap);
+            // An explicit up-front reserve is planned growth, not a
+            // steady-state reallocation.
+            assert_eq!(q.reallocs(), 0);
         }
-        assert_eq!(q.capacity(), cap);
     }
 
     #[test]
@@ -267,5 +614,75 @@ mod tests {
         assert_eq!(q.pop(), Some((2, 3)));
         assert_eq!(q.pop(), Some((3, 2)));
         assert_eq!(q.pop(), Some((5, 0)));
+    }
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        // Beyond the 2^24 ns wheel horizon, events overflow to the spill
+        // heap; they must still come back in (time, seq) order.
+        let mut q = EventQueue::new();
+        q.push(3 << HORIZON_BITS, 'c');
+        q.push(1, 'a');
+        q.push((3 << HORIZON_BITS) + 1, 'd');
+        q.push(1 << HORIZON_BITS, 'b');
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.peek_time(), Some(1 << HORIZON_BITS));
+        assert_eq!(q.pop(), Some((1 << HORIZON_BITS, 'b')));
+        assert_eq!(q.pop(), Some((3 << HORIZON_BITS, 'c')));
+        assert_eq!(q.pop(), Some(((3 << HORIZON_BITS) + 1, 'd')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn spill_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let far = 5 << HORIZON_BITS;
+        for i in 0..10u32 {
+            q.push(far, i);
+        }
+        q.push(0, 100);
+        assert_eq!(q.pop(), Some((0, 100)));
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((far, i)));
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_clock_and_keeps_capacity() {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind, 128);
+            let cap = q.capacity();
+            for i in 0..100u64 {
+                q.push(i * 3, i);
+            }
+            for _ in 0..50 {
+                q.pop();
+            }
+            q.reset();
+            assert!(q.is_empty());
+            assert_eq!(q.now(), 0);
+            assert_eq!(q.total_popped(), 0);
+            assert_eq!(q.capacity(), cap);
+            // A reset queue behaves like a fresh one, including FIFO ties.
+            q.push(4, 1000);
+            q.push(4, 1001);
+            assert_eq!(q.pop(), Some((4, 1000)));
+            assert_eq!(q.pop(), Some((4, 1001)));
+        }
+    }
+
+    #[test]
+    fn node_slab_recycles_after_pop() {
+        let mut q = EventQueue::with_capacity(8);
+        // Drive the clock past several level-0 blocks: slab nodes freed by
+        // pops must be reused, so the backlog of 4 never grows storage.
+        for i in 0..4u64 {
+            q.push(i * 100, i);
+        }
+        for i in 4..2000u64 {
+            q.pop().unwrap();
+            q.push(i * 100, i);
+        }
+        assert_eq!(q.reallocs(), 0);
     }
 }

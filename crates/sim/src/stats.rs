@@ -304,6 +304,16 @@ impl ReuseDistance {
         dist
     }
 
+    /// Forgets every recorded access while keeping the marker, distance and
+    /// position-map storage — the arena hook for back-to-back runs.
+    pub fn reset(&mut self) {
+        self.tree.clear();
+        self.markers.clear();
+        self.last_pos.clear();
+        self.distances.clear();
+        self.n_accesses = 0;
+    }
+
     /// All recorded distances, in access order.
     pub fn distances(&self) -> &[Option<u64>] {
         &self.distances

@@ -1,0 +1,158 @@
+//! Differential test: the hierarchical timing wheel must produce exactly
+//! the pop sequence of the reference binary heap — same timestamps, same
+//! FIFO tie order — over randomized schedules, the same way `lru64` was
+//! proven against the map-based `lru`.
+
+use fns_sim::queue::{EventQueue, QueueKind};
+use fns_sim::rng::SimRng;
+use fns_sim::Nanos;
+
+/// Drives both implementations through an identical push/pop script and
+/// asserts every observable agrees step for step.
+struct Pair {
+    wheel: EventQueue<u32>,
+    heap: EventQueue<u32>,
+}
+
+impl Pair {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            wheel: EventQueue::with_kind(QueueKind::Wheel, capacity),
+            heap: EventQueue::with_kind(QueueKind::Heap, capacity),
+        }
+    }
+
+    fn push(&mut self, at: Nanos, id: u32) {
+        self.wheel.push(at, id);
+        self.heap.push(at, id);
+        assert_eq!(self.wheel.len(), self.heap.len());
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, u32)> {
+        let w = self.wheel.pop();
+        let h = self.heap.pop();
+        assert_eq!(w, h, "pop diverged at event #{}", self.heap.total_popped());
+        assert_eq!(self.wheel.now(), self.heap.now());
+        assert_eq!(self.wheel.total_popped(), self.heap.total_popped());
+        w
+    }
+
+    fn drain(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// Random interleaving of pushes and pops with a delay mix that exercises
+/// every wheel level: same-nanosecond ties (level-0 FIFO), short and medium
+/// delays (levels 0–2), block-boundary crossings (level 3 cascades), and
+/// far-future events beyond the 2^24 ns horizon (spill heap + migration).
+#[test]
+fn randomized_schedules_agree() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed(0xC0FFEE ^ seed);
+        let mut pair = Pair::with_capacity(64);
+        let mut id = 0u32;
+        for _ in 0..20_000 {
+            let action = rng.range(0, 100);
+            if action < 55 {
+                let now = pair.heap.now();
+                let delay = match rng.range(0, 10) {
+                    0 => 0,                           // exact tie at `now`
+                    1..=4 => rng.range(1, 200),       // short: levels 0-1
+                    5..=7 => rng.range(200, 1 << 14), // medium: levels 1-2
+                    8 => rng.range(1 << 14, 1 << 22), // long: level 3
+                    _ => rng.range(1 << 24, 1 << 27), // beyond horizon: spill
+                };
+                pair.push(now + delay, id);
+                id += 1;
+            } else {
+                pair.pop();
+            }
+        }
+        pair.drain();
+        assert_eq!(pair.wheel.pop(), None);
+    }
+}
+
+/// Bursts of identical timestamps: FIFO tie order is the property the
+/// simulator's determinism rests on.
+#[test]
+fn dense_tie_bursts_preserve_fifo() {
+    let mut rng = SimRng::seed(7);
+    let mut pair = Pair::with_capacity(0);
+    let mut id = 0u32;
+    for round in 0..200u64 {
+        let t = pair.heap.now() + rng.range(0, 5);
+        for _ in 0..rng.range(1, 20) {
+            pair.push(t, id);
+            id += 1;
+        }
+        if round % 3 != 0 {
+            for _ in 0..rng.range(1, 25) {
+                if pair.pop().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+    pair.drain();
+}
+
+/// Far-future-heavy workload: most events overflow the wheel horizon, so
+/// migration back out of the spill heap carries the ordering.
+#[test]
+fn spill_dominated_workload_agrees() {
+    let mut rng = SimRng::seed(99);
+    let mut pair = Pair::with_capacity(16);
+    for id in 0..2_000u32 {
+        let now = pair.heap.now();
+        // Land most pushes 1-4 horizon blocks out, with duplicates.
+        let delay = rng.range(1 << 23, 1 << 26) & !0x3ff;
+        pair.push(now + delay, id);
+        if id % 3 == 0 {
+            pair.pop();
+        }
+    }
+    pair.drain();
+}
+
+/// `reserve`/`with_capacity` paths: growth bookkeeping must not perturb
+/// ordering, and a queue pre-sized above its backlog must never regrow.
+#[test]
+fn capacity_paths_agree_and_wheel_presizes() {
+    let mut pair = Pair::with_capacity(0);
+    pair.wheel.reserve(512);
+    pair.heap.reserve(512);
+    assert!(pair.wheel.capacity() >= 512);
+    let cap = pair.wheel.capacity();
+    let mut rng = SimRng::seed(0xAB);
+    for id in 0..5_000u32 {
+        let now = pair.heap.now();
+        pair.push(now + rng.range(0, 4096), id);
+        if id % 2 == 1 {
+            pair.pop();
+            pair.pop();
+        }
+    }
+    pair.drain();
+    assert_eq!(pair.wheel.capacity(), cap, "pre-sized wheel slab regrew");
+    assert_eq!(pair.wheel.reallocs(), 0);
+}
+
+/// The wheel honors `with_capacity` exactly like the heap: zero-capacity
+/// queues grow, pre-sized queues don't.
+#[test]
+fn with_capacity_is_honored_by_both() {
+    for kind in [QueueKind::Wheel, QueueKind::Heap] {
+        let mut q = EventQueue::with_kind(kind, 256);
+        for i in 0..256u64 {
+            q.push(i, i as u32);
+        }
+        assert_eq!(q.reallocs(), 0, "{kind:?} grew despite with_capacity");
+        let mut q0: EventQueue<u32> = EventQueue::with_kind(kind, 0);
+        for i in 0..256u64 {
+            q0.push(i, i as u32);
+        }
+        assert!(q0.reallocs() > 0, "{kind:?} reported no growth from zero");
+    }
+}

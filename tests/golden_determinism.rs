@@ -9,9 +9,10 @@
 //! chronological fault log.
 
 use fns::apps::{iperf_config, rpc_config};
-use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::core::{HostSim, ProtectionMode, RunArena, RunMetrics, SimConfig};
 use fns::faults::FaultConfig;
 use fns::harness::SweepRunner;
+use fns::sim::queue::QueueKind;
 use fns::trace::{ProbeConfig, TraceConfig};
 
 /// Fig2-shaped sweep points (shortened windows): flow counts crossed with
@@ -129,6 +130,67 @@ fn latency_histograms_survive_the_parallel_path() {
     assert!(golden[0].latency.count() > 0, "no latency samples recorded");
     let par = SweepRunner::new(2).run_sims(configs);
     assert_identical(&golden, &par, "fig9-shaped");
+}
+
+#[test]
+fn arena_recycled_runs_match_fresh_runs() {
+    // One arena threaded through a heterogeneous mix of configurations
+    // (different modes, flow counts, fault planes, trace settings) must
+    // yield the exact metrics of a fresh simulation per point: the
+    // recycled event-queue slab, page tables, pools, and flow tables are
+    // storage-only and must never leak state between runs.
+    let mut configs = fig2_shaped();
+    configs.extend(chaos_shaped());
+    configs[0].trace = TraceConfig::all();
+    configs[0].probes = ProbeConfig::every(100_000);
+    let golden = run_sequentially(&configs);
+    let mut arena = RunArena::new();
+    let recycled: Vec<RunMetrics> = configs
+        .iter()
+        .map(|cfg| HostSim::run_in(*cfg, &mut arena))
+        .collect();
+    assert_identical(&golden, &recycled, "arena-recycled");
+    // Re-running the same sequence through the now-warm arena must also
+    // agree — the arena's steady state is as clean as its first use.
+    let warm: Vec<RunMetrics> = configs
+        .iter()
+        .map(|cfg| HostSim::run_in(*cfg, &mut arena))
+        .collect();
+    assert_identical(&golden, &warm, "warm-arena repeat");
+}
+
+#[test]
+fn wheel_and_heap_queues_agree_end_to_end() {
+    // The timing-wheel queue must be invisible in simulation results: the
+    // same sweep run with the reference binary-heap queue yields
+    // bit-identical metrics, including fault logs under chaos configs.
+    let mut configs = fig2_shaped();
+    configs.extend(chaos_shaped());
+    let wheel = run_sequentially(&configs);
+    let heap_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.queue = QueueKind::Heap;
+            c
+        })
+        .collect();
+    let heap = run_sequentially(&heap_cfgs);
+    assert_identical(&wheel, &heap, "wheel-vs-heap");
+    // And the heap path must survive arena recycling too (the arena drops
+    // a recycled wheel when the config asks for a heap, and vice versa).
+    let mut arena = RunArena::new();
+    let mut mixed = Vec::new();
+    for (w, h) in configs.iter().zip(&heap_cfgs) {
+        mixed.push(HostSim::run_in(*w, &mut arena));
+        mixed.push(HostSim::run_in(*h, &mut arena));
+    }
+    let interleaved: Vec<RunMetrics> = wheel
+        .iter()
+        .zip(&heap)
+        .flat_map(|(w, h)| [w.clone(), h.clone()])
+        .collect();
+    assert_identical(&interleaved, &mixed, "interleaved wheel/heap arena");
 }
 
 #[test]
