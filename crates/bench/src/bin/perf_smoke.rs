@@ -172,6 +172,33 @@ fn assert_steady_state_reallocs() {
     println!("steady-state check: warm-arena event queue reallocs = 0");
 }
 
+/// Snapshot round-trip gate. Two parts: every basket config must be
+/// checkpointable — a non-snapshottable config is an explicit error
+/// naming the reason, never a silently skipped round-trip — and one
+/// representative run per figure must reproduce its uninterrupted
+/// fingerprint after a mid-run snapshot/restore (the full mode × backend
+/// matrix lives in tests/golden_determinism.rs; this is the smoke gate).
+fn assert_snapshot_roundtrip(name: &str, configs: &[SimConfig], golden: &RunMetrics) {
+    for (i, cfg) in configs.iter().enumerate() {
+        if let Some(reason) = cfg.snapshot_ineligibility() {
+            panic!("{name} run {i}: config cannot be checkpointed: {reason}");
+        }
+    }
+    let cfg = configs[0];
+    let mut sim = HostSim::new(cfg);
+    sim.step_until(cfg.warmup + cfg.measure / 2);
+    let bytes = sim.snapshot();
+    drop(sim);
+    let resumed = HostSim::restore(cfg, &bytes)
+        .unwrap_or_else(|e| panic!("{name}: snapshot failed to restore: {e:?}"))
+        .run();
+    assert_eq!(
+        fingerprint(golden),
+        fingerprint(&resumed),
+        "{name}: snapshot/restore diverged from the uninterrupted run"
+    );
+}
+
 fn main() {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -205,6 +232,7 @@ fn main() {
                 "{name} run {i}: parallel metrics diverged from sequential"
             );
         }
+        assert_snapshot_roundtrip(name, &configs, &seq[0]);
 
         let mut spans = SpanSet::default();
         for m in &seq {

@@ -10,6 +10,7 @@ use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
 use fns_trace::{ProbeConfig, TraceConfig};
 
 use crate::mode::ProtectionMode;
+use crate::watchdog::WatchdogConfig;
 
 /// CPU cost constants for the driver/stack work the datapath performs.
 ///
@@ -171,6 +172,10 @@ pub struct SimConfig {
     /// (results are bit-identical either way — `tests/golden_determinism.rs`
     /// pins that).
     pub queue: QueueKind,
+    /// Degradation watchdog for long-horizon soak runs (see
+    /// [`crate::watchdog`]). Off by default; a disabled watchdog changes
+    /// no run by a single bit.
+    pub watchdog: WatchdogConfig,
 }
 
 impl SimConfig {
@@ -210,6 +215,7 @@ impl SimConfig {
             probes: ProbeConfig::off(),
             audit: AuditConfig::off(),
             queue: QueueKind::Wheel,
+            watchdog: WatchdogConfig::off(),
         }
     }
 
@@ -237,6 +243,25 @@ impl SimConfig {
     /// Simulation end time.
     pub fn end_time(&self) -> Nanos {
         self.warmup + self.measure
+    }
+
+    /// Why this configuration cannot be checkpointed, if it can't — `None`
+    /// means `HostSim::snapshot`/`restore` round-trips it bit-identically.
+    ///
+    /// Checkpointing callers (the CLI's `--snapshot-every`/`--resume`, the
+    /// soak runner, the perf-smoke snapshot gate) must surface this reason
+    /// as a hard error instead of silently dropping state.
+    pub fn snapshot_ineligibility(&self) -> Option<&'static str> {
+        if self.audit.enabled && self.audit.fatal {
+            // The fatal oracle panics at the first violation, so a resumed
+            // run can never carry a violation forward into its report —
+            // checkpoint flows need the recording oracle.
+            return Some(
+                "audit.fatal: the fatal safety oracle panics mid-run; \
+                 checkpoint/resume requires the recording oracle (audit without fatal)",
+            );
+        }
+        None
     }
 }
 

@@ -613,6 +613,225 @@ impl DmaDriver {
         self.pending_ptcache_wipes.len()
     }
 
+    /// Watchdog degradation hook (rung 2): collapses deferred-mode
+    /// invalidation batching to per-page by dropping the flush threshold
+    /// to 1 — every subsequent unmap flushes immediately, trading the
+    /// batching throughput win for a minimal stale window. Returns whether
+    /// anything changed (strict modes, already at threshold 1 or never
+    /// deferring, report `false`). Irreversible for the rest of the run.
+    pub fn force_per_page_invalidation(&mut self) -> bool {
+        if self.deferred_threshold <= 1 {
+            return false;
+        }
+        self.deferred_threshold = 1;
+        true
+    }
+
+    fn snap_request(w: &mut fns_snap::SnapWriter, r: &InvalidationRequest) {
+        w.u64(r.range.base().as_u64());
+        w.u64(r.range.pages());
+        w.u8(match r.scope {
+            InvalidationScope::IotlbOnly => 0,
+            InvalidationScope::IotlbAndLeafPtcache => 1,
+            InvalidationScope::IotlbAndFullPtcache => 2,
+        });
+    }
+
+    fn unsnap_request(
+        r: &mut fns_snap::SnapReader,
+    ) -> Result<InvalidationRequest, fns_snap::SnapError> {
+        let base = Iova::new(r.u64()?);
+        let pages = r.u64()?;
+        let scope = match r.u8()? {
+            0 => InvalidationScope::IotlbOnly,
+            1 => InvalidationScope::IotlbAndLeafPtcache,
+            2 => InvalidationScope::IotlbAndFullPtcache,
+            t => {
+                return Err(fns_snap::SnapError::BadTag {
+                    what: "invalidation scope",
+                    tag: t as u64,
+                })
+            }
+        };
+        Ok(InvalidationRequest {
+            range: IovaRange::new(base, pages),
+            scope,
+        })
+    }
+
+    /// Serializes the full driver state for checkpointing. Scratch pools
+    /// (`epoch_pool`, `page_pool`, `req_scratch`, `reclaim_scratch`) are
+    /// not serialized — they are behaviorally invisible storage caches and
+    /// come back empty. The trace/audit/fault planes' *handles* are also
+    /// excluded: the simulation owns those and reattaches them on restore.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        self.iommu.snap(w);
+        self.alloc.snap(w);
+        self.frames.snap(w);
+        w.u64(self.rx_desc_pages);
+        w.seq(self.tx_chunk.len());
+        for slot in &self.tx_chunk {
+            w.opt(slot, |w, &b| w.u64(b));
+        }
+        w.seq(self.rx_chunk.len());
+        for slot in &self.rx_chunk {
+            w.opt(slot, |w, &b| w.u64(b));
+        }
+        let mut bases: Vec<u64> = self.chunks.keys().copied().collect();
+        bases.sort_unstable();
+        w.seq(bases.len());
+        for base in bases {
+            w.u64(base);
+            self.chunks[&base].snap(w);
+        }
+        w.u32(self.deferred_pending);
+        w.u32(self.deferred_threshold);
+        w.seq(self.pinned_free.len());
+        for p in &self.pinned_free {
+            w.u64(p.iova.as_u64());
+            w.u64(p.pa.as_u64());
+        }
+        w.u64(self.next_pinned_pfn);
+        w.u64_slice(&self.huge_frames);
+        w.seq(self.pending_ptcache_wipes.len());
+        for epoch in &self.pending_ptcache_wipes {
+            w.seq(epoch.len());
+            for req in epoch {
+                Self::snap_request(w, req);
+            }
+        }
+        self.locality.snap(w);
+        w.usize(self.locality_cap);
+        w.bool(self.locality_recording);
+        w.u64(self.invalidation_cpu_ns);
+        w.u64(self.map_cpu_ns);
+        self.spans.snap(w);
+        w.u64(self.deferred_flushes);
+        self.faults.snap(w);
+        match self.sabotage {
+            Sabotage::None => w.u8(0),
+            Sabotage::SkipRangeInvalidation { nth } => {
+                w.u8(1);
+                w.u64(nth);
+            }
+            Sabotage::SkipReclaimFixup => w.u8(2),
+            Sabotage::SkipDeferredFlush => w.u8(3),
+        }
+        w.u64(self.inv_submit_seq);
+        w.u64(self.next_desc_id);
+    }
+
+    /// Rebuilds a driver captured by [`DmaDriver::snap`]. `mode`, `costs`,
+    /// and `fault_cfg` come from the (caller-validated) run configuration;
+    /// everything stateful comes from the snapshot. The trace and audit
+    /// handles come back `Off` — reattach with [`DmaDriver::set_trace`] /
+    /// [`DmaDriver::set_audit`].
+    pub fn unsnap(
+        r: &mut fns_snap::SnapReader,
+        mode: ProtectionMode,
+        costs: CpuCosts,
+        fault_cfg: fns_faults::FaultConfig,
+    ) -> Result<Self, fns_snap::SnapError> {
+        let iommu = Iommu::unsnap(r)?;
+        let alloc = CachingAllocator::unsnap(r)?;
+        let frames = FrameAllocator::unsnap(r)?;
+        let rx_desc_pages = r.u64()?;
+        let n = r.seq()?;
+        let mut tx_chunk = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            tx_chunk.push(r.opt(|r| r.u64())?);
+        }
+        let n = r.seq()?;
+        let mut rx_chunk = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            rx_chunk.push(r.opt(|r| r.u64())?);
+        }
+        let n = r.seq()?;
+        let mut chunks = PfnMap::default();
+        for _ in 0..n {
+            let base = r.u64()?;
+            chunks.insert(base, ChunkCarver::unsnap(r)?);
+        }
+        let deferred_pending = r.u32()?;
+        let deferred_threshold = r.u32()?;
+        let n = r.seq()?;
+        let mut pinned_free = std::collections::VecDeque::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let iova = Iova::new(r.u64()?);
+            let pa = PhysAddr::new(r.u64()?);
+            pinned_free.push_back(DescriptorPage { iova, pa });
+        }
+        let next_pinned_pfn = r.u64()?;
+        let huge_frames = r.u64_vec()?;
+        let n = r.seq()?;
+        let mut pending_ptcache_wipes = std::collections::VecDeque::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let m = r.seq()?;
+            let mut epoch = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                epoch.push(Self::unsnap_request(r)?);
+            }
+            pending_ptcache_wipes.push_back(epoch);
+        }
+        let locality = ReuseDistance::unsnap(r)?;
+        let locality_cap = r.usize()?;
+        let locality_recording = r.bool()?;
+        let invalidation_cpu_ns = r.u64()?;
+        let map_cpu_ns = r.u64()?;
+        let spans = SpanSet::unsnap(r)?;
+        let deferred_flushes = r.u64()?;
+        let faults = FaultPlane::unsnap(fault_cfg, r)?;
+        let sabotage = match r.u8()? {
+            0 => Sabotage::None,
+            1 => Sabotage::SkipRangeInvalidation { nth: r.u64()? },
+            2 => Sabotage::SkipReclaimFixup,
+            3 => Sabotage::SkipDeferredFlush,
+            t => {
+                return Err(fns_snap::SnapError::BadTag {
+                    what: "sabotage",
+                    tag: t as u64,
+                })
+            }
+        };
+        let inv_submit_seq = r.u64()?;
+        let next_desc_id = r.u64()?;
+        Ok(Self {
+            mode,
+            iommu,
+            alloc,
+            frames,
+            invq: InvalidationQueue::default(),
+            costs,
+            rx_desc_pages,
+            tx_chunk,
+            rx_chunk,
+            chunks,
+            deferred_pending,
+            deferred_threshold,
+            pinned_free,
+            next_pinned_pfn,
+            huge_frames,
+            pending_ptcache_wipes,
+            epoch_pool: Vec::new(),
+            page_pool: Vec::new(),
+            req_scratch: Vec::new(),
+            reclaim_scratch: Vec::new(),
+            locality,
+            locality_cap,
+            locality_recording,
+            invalidation_cpu_ns,
+            map_cpu_ns,
+            spans,
+            deferred_flushes,
+            faults,
+            trace: TraceHandle::default(),
+            audit: AuditHandle::default(),
+            sabotage,
+            inv_submit_seq,
+            next_desc_id,
+        })
+    }
+
     /// Enables/disables locality-trace recording (off during init-time
     /// aging churn so the trace reflects steady state only).
     pub fn set_locality_recording(&mut self, on: bool) {

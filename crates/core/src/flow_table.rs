@@ -157,6 +157,35 @@ impl<T> FlowTable<T> {
             .chain(self.high.iter_mut())
             .filter_map(|v| v.as_mut())
     }
+
+    /// Serializes the table as `(flow, value)` pairs in ascending flow-id
+    /// order for checkpointing.
+    pub fn snap_with(
+        &self,
+        w: &mut fns_snap::SnapWriter,
+        mut f: impl FnMut(&mut fns_snap::SnapWriter, &T),
+    ) {
+        w.seq(self.len);
+        for (flow, v) in self.iter() {
+            w.u32(flow.0);
+            f(w, v);
+        }
+    }
+
+    /// Rebuilds a table captured by [`FlowTable::snap_with`].
+    pub fn unsnap_with(
+        r: &mut fns_snap::SnapReader,
+        mut f: impl FnMut(&mut fns_snap::SnapReader) -> Result<T, fns_snap::SnapError>,
+    ) -> Result<Self, fns_snap::SnapError> {
+        let n = r.seq()?;
+        let mut t = Self::new();
+        for _ in 0..n {
+            let flow = FlowId(r.u32()?);
+            let v = f(r)?;
+            t.insert(flow, v);
+        }
+        Ok(t)
+    }
 }
 
 /// A dense set of flow ids (same segmentation as [`FlowTable`]); used for
@@ -198,6 +227,33 @@ impl FlowSet {
         let (hi, idx) = split(flow);
         let seg = if hi { &self.high } else { &self.low };
         seg.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Serializes both segments verbatim for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.seq(self.low.len());
+        for &b in &self.low {
+            w.bool(b);
+        }
+        w.seq(self.high.len());
+        for &b in &self.high {
+            w.bool(b);
+        }
+    }
+
+    /// Rebuilds a set captured by [`FlowSet::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let n = r.seq()?;
+        let mut low = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            low.push(r.bool()?);
+        }
+        let n = r.seq()?;
+        let mut high = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            high.push(r.bool()?);
+        }
+        Ok(Self { low, high })
     }
 }
 

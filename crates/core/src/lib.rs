@@ -26,6 +26,7 @@ pub mod mode;
 pub mod model;
 pub mod resources;
 pub mod sim;
+pub mod watchdog;
 
 pub use config::{CpuCosts, SimConfig, Workload};
 pub use driver::{DmaDriver, Sabotage};
@@ -33,3 +34,4 @@ pub use errors::DmaError;
 pub use metrics::RunMetrics;
 pub use mode::ProtectionMode;
 pub use sim::{HostSim, RunArena};
+pub use watchdog::{WatchdogConfig, WatchdogReport};

@@ -71,6 +71,10 @@ pub struct RunMetrics {
     pub trace: Trace,
     /// Safety-oracle summary (default/empty when auditing was off).
     pub audit: fns_oracle::AuditReport,
+    /// Degradation-watchdog summary (default/empty when the watchdog was
+    /// off). Relief drains, storm detections, and the per-page fallback
+    /// flag land here so soak runs surface degradation in the metrics.
+    pub watchdog: crate::watchdog::WatchdogReport,
 }
 
 impl RunMetrics {
@@ -256,6 +260,8 @@ impl RunMetrics {
             w.field_u64("nic_buffer_bytes", s.nic_buffer_bytes);
             w.field_u64("switch_queue_bytes", s.switch_queue_bytes);
             w.field_u64("iova_live_bytes", s.iova_live_bytes);
+            w.field_u64("iova_free_spans", s.iova_free_spans);
+            w.field_u64("iova_largest_free_run", s.iova_largest_free_run);
             w.end_object();
         }
         w.end_array();
@@ -277,6 +283,16 @@ impl RunMetrics {
             w.field_u64(inv.name(), self.audit.of(inv));
         }
         w.end_object();
+        w.end_object();
+        w.key("watchdog");
+        w.begin_object();
+        w.field_bool("enabled", self.watchdog.enabled);
+        w.field_u64("checks", self.watchdog.checks);
+        w.field_u64("relief_drains", self.watchdog.relief_drains);
+        w.field_u64("storms", self.watchdog.storms);
+        w.field_u64("max_backlog_seen", self.watchdog.max_backlog_seen);
+        w.field_bool("degraded", self.watchdog.degraded);
+        w.field_bool("aborted", self.watchdog.aborted);
         w.end_object();
         w.end_object();
         w.finish()
@@ -315,6 +331,7 @@ mod tests {
             samples: SampleSet::default(),
             trace: Trace::default(),
             audit: Default::default(),
+            watchdog: Default::default(),
         }
     }
 

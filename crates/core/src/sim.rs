@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 
 use fns_faults::{FaultKind, FaultPlane};
 use fns_iova::types::Iova;
+use fns_mem::addr::PhysAddr;
 use fns_net::packet::{FlowId, Packet, PacketKind};
 use fns_net::receiver::FlowReceiver;
 use fns_net::sender::{DctcpConfig, DctcpSender};
@@ -35,6 +36,7 @@ use fns_sim::queue::EventQueue;
 use fns_sim::rng::SimRng;
 use fns_sim::stats::Histogram;
 use fns_sim::time::Nanos;
+use fns_snap::{fnv1a, SnapError, SnapReader, SnapWriter};
 use fns_trace::{Sample, Sampler, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::{SimConfig, Workload};
@@ -42,6 +44,7 @@ use crate::driver::{DmaDriver, DriverSalvage};
 use crate::flow_table::{FlowSet, FlowTable};
 use crate::metrics::RunMetrics;
 use crate::resources::SerialResource;
+use crate::watchdog::WatchdogState;
 
 /// Packets the NIC keeps in the translation pipe concurrently (the ~100
 /// cacheline write buffer is about 1.5 pages; 2 keeps the pipe busy).
@@ -60,6 +63,15 @@ const TX_FLOW_BASE: u32 = crate::flow_table::TX_FLOW_BASE;
 const DRIVER_FAULT_SALT: u64 = 0xFA17;
 /// RNG-fork salt for the wire-side (switch-queue) fault plane.
 const NET_FAULT_SALT: u64 = 0xFA18;
+
+/// Fingerprint of a (normalized) configuration, stored in checkpoints so
+/// [`HostSim::restore`] can refuse to resume under a different experiment.
+/// `SimConfig` is plain data with a total `Debug` rendering, so hashing the
+/// debug string covers every field — including ones added later — without a
+/// hand-maintained field list.
+fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
 
 #[derive(Debug)]
 enum Ev {
@@ -96,6 +108,110 @@ enum Ev {
     WarmupDone,
     /// Telemetry gauge probe (only scheduled when probes are enabled).
     Sample,
+    /// Degradation-watchdog check (only scheduled when the watchdog is
+    /// enabled).
+    WatchdogCheck,
+}
+
+impl Ev {
+    /// Serializes one event for checkpointing (tag in declaration order,
+    /// then payload fields).
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::PeerPump(flow) => {
+                w.u8(0);
+                w.u32(flow.0);
+            }
+            Ev::ToDutDrain => w.u8(1),
+            Ev::NicArrive(pkt) => {
+                w.u8(2);
+                pkt.snap(w);
+            }
+            Ev::NicPump => w.u8(3),
+            Ev::RxDmaDone { core, pkt } => {
+                w.u8(4);
+                w.usize(*core);
+                pkt.snap(w);
+            }
+            Ev::NapiPoll(core) => {
+                w.u8(5);
+                w.usize(*core);
+            }
+            Ev::DutPump(flow) => {
+                w.u8(6);
+                w.u32(flow.0);
+            }
+            Ev::TxPump => w.u8(7),
+            Ev::TxDmaDone { pkt, pages, core } => {
+                w.u8(8);
+                pkt.snap(w);
+                w.seq(pages.len());
+                for p in pages {
+                    w.u64(p.iova.as_u64());
+                    w.u64(p.pa.as_u64());
+                }
+                w.usize(*core);
+            }
+            Ev::ToPeerDrain => w.u8(9),
+            Ev::PeerDeliver(pkt) => {
+                w.u8(10);
+                pkt.snap(w);
+            }
+            Ev::RtoCheck { peer, flow } => {
+                w.u8(11);
+                w.bool(*peer);
+                w.u32(flow.0);
+            }
+            Ev::WarmupDone => w.u8(12),
+            Ev::Sample => w.u8(13),
+            Ev::WatchdogCheck => w.u8(14),
+        }
+    }
+
+    /// Rebuilds an event captured by [`Ev::snap`].
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Ev::PeerPump(FlowId(r.u32()?)),
+            1 => Ev::ToDutDrain,
+            2 => Ev::NicArrive(Packet::unsnap(r)?),
+            3 => Ev::NicPump,
+            4 => Ev::RxDmaDone {
+                core: r.usize()?,
+                pkt: Packet::unsnap(r)?,
+            },
+            5 => Ev::NapiPoll(r.usize()?),
+            6 => Ev::DutPump(FlowId(r.u32()?)),
+            7 => Ev::TxPump,
+            8 => {
+                let pkt = Packet::unsnap(r)?;
+                let n = r.seq()?;
+                let mut pages = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pages.push(DescriptorPage {
+                        iova: Iova::new(r.u64()?),
+                        pa: PhysAddr::new(r.u64()?),
+                    });
+                }
+                let core = r.usize()?;
+                Ev::TxDmaDone { pkt, pages, core }
+            }
+            9 => Ev::ToPeerDrain,
+            10 => Ev::PeerDeliver(Packet::unsnap(r)?),
+            11 => Ev::RtoCheck {
+                peer: r.bool()?,
+                flow: FlowId(r.u32()?),
+            },
+            12 => Ev::WarmupDone,
+            13 => Ev::Sample,
+            14 => Ev::WatchdogCheck,
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "sim event",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
 }
 
 /// Per-core Rx ring state with stride packing.
@@ -105,6 +221,25 @@ struct RingState {
     open: Option<(Iova, u64)>,
     /// Pages of the front descriptor already closed.
     closed_in_front: usize,
+}
+
+impl RingState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.ring.snap(w);
+        w.opt(&self.open, |w, &(iova, filled)| {
+            w.u64(iova.as_u64());
+            w.u64(filled);
+        });
+        w.usize(self.closed_in_front);
+    }
+
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Self {
+            ring: RxRing::unsnap(r)?,
+            open: r.opt(|r| Ok((Iova::new(r.u64()?), r.u64()?)))?,
+            closed_in_front: r.usize()?,
+        })
+    }
 }
 
 /// Per-core NAPI state.
@@ -123,6 +258,64 @@ struct NapiState {
     tx_done: VecDeque<Vec<DescriptorPage>>,
 }
 
+impl NapiState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.bool(self.scheduled);
+        w.bool(self.chained);
+        w.seq(self.rx.len());
+        for pkt in &self.rx {
+            pkt.snap(w);
+        }
+        w.seq(self.desc_done.len());
+        for d in &self.desc_done {
+            d.snap(w);
+        }
+        w.seq(self.tx_done.len());
+        for pages in &self.tx_done {
+            w.seq(pages.len());
+            for p in pages {
+                w.u64(p.iova.as_u64());
+                w.u64(p.pa.as_u64());
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let scheduled = r.bool()?;
+        let chained = r.bool()?;
+        let n = r.seq()?;
+        let mut rx = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            rx.push_back(Packet::unsnap(r)?);
+        }
+        let n = r.seq()?;
+        let mut desc_done = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            desc_done.push_back(Descriptor::unsnap(r)?);
+        }
+        let n = r.seq()?;
+        let mut tx_done = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let m = r.seq()?;
+            let mut pages = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                pages.push(DescriptorPage {
+                    iova: Iova::new(r.u64()?),
+                    pa: PhysAddr::new(r.u64()?),
+                });
+            }
+            tx_done.push_back(pages);
+        }
+        Ok(Self {
+            scheduled,
+            chained,
+            rx,
+            desc_done,
+            tx_done,
+        })
+    }
+}
+
 /// Request/response connection bookkeeping.
 struct RrConn {
     /// Flow carrying requests (or responses toward the DUT when the DUT is
@@ -135,6 +328,40 @@ struct RrConn {
     /// Issue timestamps of outstanding requests (latency accounting).
     issue_times: VecDeque<Nanos>,
     core: usize,
+}
+
+impl RrConn {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u32(self.inbound_flow.0);
+        w.u32(self.outbound_flow.0);
+        w.u64(self.next_in_boundary);
+        w.u64(self.next_out_boundary);
+        w.seq(self.issue_times.len());
+        for &t in &self.issue_times {
+            w.u64(t);
+        }
+        w.usize(self.core);
+    }
+
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let inbound_flow = FlowId(r.u32()?);
+        let outbound_flow = FlowId(r.u32()?);
+        let next_in_boundary = r.u64()?;
+        let next_out_boundary = r.u64()?;
+        let n = r.seq()?;
+        let mut issue_times = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            issue_times.push_back(r.u64()?);
+        }
+        Ok(Self {
+            inbound_flow,
+            outbound_flow,
+            next_in_boundary,
+            next_out_boundary,
+            issue_times,
+            core: r.usize()?,
+        })
+    }
 }
 
 /// Measurement snapshot taken at warmup end.
@@ -150,6 +377,36 @@ struct Snapshot {
     tx_pkts: u64,
     core_busy: Vec<Nanos>,
     locality_mark: usize,
+}
+
+impl Snapshot {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.iommu.snap(w);
+        w.u64(self.rx_delivered);
+        w.u64(self.tx_delivered);
+        w.u64(self.nic_enq);
+        w.u64(self.nic_drops);
+        w.u64(self.ring_drops);
+        w.u64(self.switch_drops);
+        w.u64(self.tx_pkts);
+        w.u64_slice(&self.core_busy);
+        w.usize(self.locality_mark);
+    }
+
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Self {
+            iommu: fns_iommu::IommuStats::unsnap(r)?,
+            rx_delivered: r.u64()?,
+            tx_delivered: r.u64()?,
+            nic_enq: r.u64()?,
+            nic_drops: r.u64()?,
+            ring_drops: r.u64()?,
+            switch_drops: r.u64()?,
+            tx_pkts: r.u64()?,
+            core_busy: r.u64_vec()?,
+            locality_mark: r.usize()?,
+        })
+    }
 }
 
 /// Reusable cross-run storage for back-to-back simulations — the *run
@@ -278,6 +535,8 @@ pub struct HostSim {
     trace: TraceHandle,
     /// Time-series gauge sampler (disabled unless `cfg.probes` enables it).
     sampler: Sampler,
+    /// Degradation-watchdog state (inert unless `cfg.watchdog` enables it).
+    wd: WatchdogState,
 }
 
 impl HostSim {
@@ -357,8 +616,10 @@ impl HostSim {
             net_faults: FaultPlane::disabled(),
             trace: TraceHandle::default(),
             sampler: Sampler::new(cfg.probes),
+            wd: WatchdogState::default(),
             cfg,
         };
+        sim.wd.report.enabled = sim.cfg.watchdog.enabled;
         // The safety oracle must observe *every* mapping, including the
         // init-time ring fill and churn — unlike the trace/fault planes it
         // installs before init, otherwise steady-state accesses to
@@ -409,6 +670,10 @@ impl HostSim {
         }
         if sim.sampler.enabled() {
             sim.q.push(sim.sampler.interval_ns(), Ev::Sample);
+        }
+        if sim.cfg.watchdog.enabled {
+            sim.q
+                .push(sim.cfg.watchdog.check_interval_ns.max(1), Ev::WatchdogCheck);
         }
         sim
     }
@@ -681,6 +946,261 @@ impl HostSim {
         self.collect(end)
     }
 
+    // ----- checkpoint / restore --------------------------------------------
+
+    /// Serializes the complete simulation state into a versioned `fns-snap`
+    /// checkpoint. Restoring it with [`HostSim::restore`] under the same
+    /// configuration and running to the end produces **bit-identical**
+    /// [`RunMetrics`] (fault log and trace included) versus the
+    /// uninterrupted run — `tests/golden_determinism.rs` pins that.
+    ///
+    /// Takes `&mut self` because the event backlog must be drained to
+    /// serialize it in deterministic pop order. The backlog is then rebuilt
+    /// in a *fresh* queue rather than re-pushed in place: the timing
+    /// wheel's spill invariant (every heap spill lies beyond the top
+    /// level's current block) does not survive re-pushing into a drained
+    /// wheel whose cursors have advanced. Rebuilding also leaves the
+    /// continuing simulation with exactly the queue a restore would build,
+    /// so both futures are the same by construction.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(config_fingerprint(&self.cfg));
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        // Event backlog, in deterministic (time, seq) pop order.
+        let (qnow, popped, seq) = self.q.counters();
+        let mut events = Vec::with_capacity(self.q.len());
+        while let Some(e) = self.q.pop() {
+            events.push(e);
+        }
+        w.u64(qnow);
+        w.u64(popped);
+        w.u64(seq);
+        w.seq(events.len());
+        for (at, ev) in &events {
+            w.u64(*at);
+            ev.snap(&mut w);
+        }
+        let mut q = EventQueue::with_kind(self.q.kind(), 4096);
+        for (at, ev) in events {
+            q.push(at, ev);
+        }
+        q.set_counters(qnow, popped, seq);
+        self.q = q;
+        self.drv.snap(&mut w);
+        self.drv.audit().snap(&mut w);
+        self.trace.snap(&mut w);
+        w.seq(self.rings.len());
+        for rs in &self.rings {
+            rs.snap(&mut w);
+        }
+        self.nic_buf.snap_with(&mut w, |w, p| p.snap(w));
+        self.pipe.snap(&mut w);
+        self.tx_pipe.snap(&mut w);
+        w.seq(self.cores.len());
+        for c in &self.cores {
+            c.snap(&mut w);
+        }
+        w.seq(self.napi.len());
+        for n in &self.napi {
+            n.snap(&mut w);
+        }
+        w.u32(self.rx_inflight);
+        w.u32(self.tx_inflight);
+        w.seq(self.tx_queues.len());
+        for queue in &self.tx_queues {
+            w.seq(queue.len());
+            for (pkt, pages) in queue {
+                pkt.snap(&mut w);
+                w.seq(pages.len());
+                for p in pages {
+                    w.u64(p.iova.as_u64());
+                    w.u64(p.pa.as_u64());
+                }
+            }
+        }
+        w.usize(self.tx_rr);
+        self.peer_senders.snap_with(&mut w, |w, s| s.snap(w));
+        self.dut_receivers.snap_with(&mut w, |w, r| r.snap(w));
+        self.dut_senders.snap_with(&mut w, |w, s| s.snap(w));
+        self.peer_receivers.snap_with(&mut w, |w, r| r.snap(w));
+        self.core_of.snap_with(&mut w, |w, &c| w.usize(c));
+        self.to_dut.snap(&mut w);
+        self.to_dut_link.snap(&mut w);
+        w.bool(self.to_dut_draining);
+        self.to_peer.snap(&mut w);
+        self.to_peer_link.snap(&mut w);
+        w.bool(self.to_peer_draining);
+        w.seq(self.rr_conns.len());
+        for conn in &self.rr_conns {
+            conn.snap(&mut w);
+        }
+        self.rto_armed_peer.snap(&mut w);
+        self.rto_armed_dut.snap(&mut w);
+        self.latency.snap(&mut w);
+        w.u64(self.ring_drops);
+        w.u64(self.tx_pkts_sent);
+        w.u64(self.mem_epoch_start);
+        w.u64(self.mem_epoch_bytes);
+        w.f64(self.mem_util);
+        self.snapshot.snap(&mut w);
+        w.bool(self.warmed_up);
+        self.net_faults.snap(&mut w);
+        self.sampler.snap(&mut w);
+        self.wd.snap(&mut w);
+        w.finish()
+    }
+
+    /// Rebuilds a simulation from a [`HostSim::snapshot`] checkpoint.
+    ///
+    /// `cfg` must be the configuration the checkpoint was taken under: the
+    /// snapshot stores a fingerprint of the (normalized) config and restore
+    /// refuses a mismatch with [`SnapError::ConfigMismatch`] rather than
+    /// silently resuming a different experiment. Corrupt or truncated bytes
+    /// fail the checksum/length checks inside `fns-snap`.
+    pub fn restore(mut cfg: SimConfig, bytes: &[u8]) -> Result<Self, SnapError> {
+        // Apply the same normalization `new_in` does before fingerprinting.
+        if cfg.mode.huge_rx() {
+            cfg.pages_per_descriptor = 512;
+        }
+        let mut r = SnapReader::new(bytes)?;
+        if r.u64()? != config_fingerprint(&cfg) {
+            return Err(SnapError::ConfigMismatch { what: "SimConfig" });
+        }
+        let rng = SimRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let qnow = r.u64()?;
+        let popped = r.u64()?;
+        let seq = r.u64()?;
+        let n = r.seq()?;
+        let mut q = EventQueue::with_kind(cfg.queue, 4096);
+        for _ in 0..n {
+            let at = r.u64()?;
+            q.push(at, Ev::unsnap(&mut r)?);
+        }
+        q.set_counters(qnow, popped, seq);
+        let mut drv = DmaDriver::unsnap(&mut r, cfg.mode, cfg.cpu, cfg.faults)?;
+        drv.set_audit(AuditHandle::unsnap(&mut r)?);
+        let trace = TraceHandle::unsnap(&mut r)?;
+        let n = r.seq()?;
+        let mut rings = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            rings.push(RingState::unsnap(&mut r)?);
+        }
+        let nic_buf = NicBuffer::unsnap_with(&mut r, Packet::unsnap)?;
+        let pipe = SerialResource::unsnap(&mut r)?;
+        let tx_pipe = SerialResource::unsnap(&mut r)?;
+        let n = r.seq()?;
+        let mut cores = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            cores.push(SerialResource::unsnap(&mut r)?);
+        }
+        let n = r.seq()?;
+        let mut napi = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            napi.push(NapiState::unsnap(&mut r)?);
+        }
+        let rx_inflight = r.u32()?;
+        let tx_inflight = r.u32()?;
+        let n = r.seq()?;
+        let mut tx_queues = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            let m = r.seq()?;
+            let mut queue = VecDeque::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                let pkt = Packet::unsnap(&mut r)?;
+                let k = r.seq()?;
+                let mut pages = Vec::with_capacity(k.min(1 << 16));
+                for _ in 0..k {
+                    pages.push(DescriptorPage {
+                        iova: Iova::new(r.u64()?),
+                        pa: PhysAddr::new(r.u64()?),
+                    });
+                }
+                queue.push_back((pkt, pages));
+            }
+            tx_queues.push(queue);
+        }
+        let tx_rr = r.usize()?;
+        let peer_senders = FlowTable::unsnap_with(&mut r, DctcpSender::unsnap)?;
+        let dut_receivers = FlowTable::unsnap_with(&mut r, FlowReceiver::unsnap)?;
+        let dut_senders = FlowTable::unsnap_with(&mut r, DctcpSender::unsnap)?;
+        let peer_receivers = FlowTable::unsnap_with(&mut r, FlowReceiver::unsnap)?;
+        let core_of = FlowTable::unsnap_with(&mut r, |r| r.usize())?;
+        let to_dut = SwitchQueue::unsnap(&mut r)?;
+        let to_dut_link = SerialResource::unsnap(&mut r)?;
+        let to_dut_draining = r.bool()?;
+        let to_peer = SwitchQueue::unsnap(&mut r)?;
+        let to_peer_link = SerialResource::unsnap(&mut r)?;
+        let to_peer_draining = r.bool()?;
+        let n = r.seq()?;
+        let mut rr_conns = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            rr_conns.push(RrConn::unsnap(&mut r)?);
+        }
+        let rto_armed_peer = FlowSet::unsnap(&mut r)?;
+        let rto_armed_dut = FlowSet::unsnap(&mut r)?;
+        let latency = Histogram::unsnap(&mut r)?;
+        let ring_drops = r.u64()?;
+        let tx_pkts_sent = r.u64()?;
+        let mem_epoch_start = r.u64()?;
+        let mem_epoch_bytes = r.u64()?;
+        let mem_util = r.f64()?;
+        let snapshot = Snapshot::unsnap(&mut r)?;
+        let warmed_up = r.bool()?;
+        let mut net_faults = FaultPlane::unsnap(cfg.faults, &mut r)?;
+        let sampler = Sampler::unsnap(&mut r)?;
+        let wd = WatchdogState::unsnap(&mut r)?;
+        r.done()?;
+        // Reattach the shared trace recorder everywhere the original held a
+        // clone (the driver hands its own clone on to its fault plane).
+        drv.set_trace(trace.clone());
+        drv.audit().set_trace(trace.clone());
+        net_faults.set_trace(trace.clone());
+        Ok(Self {
+            cfg,
+            q,
+            rng,
+            drv,
+            rings,
+            nic_buf,
+            pipe,
+            tx_pipe,
+            cores,
+            napi,
+            rx_inflight,
+            tx_inflight,
+            tx_queues,
+            tx_rr,
+            peer_senders,
+            dut_receivers,
+            dut_senders,
+            peer_receivers,
+            core_of,
+            to_dut,
+            to_dut_link,
+            to_dut_draining,
+            to_peer,
+            to_peer_link,
+            to_peer_draining,
+            rr_conns,
+            rto_armed_peer,
+            rto_armed_dut,
+            latency,
+            ring_drops,
+            tx_pkts_sent,
+            mem_epoch_start,
+            mem_epoch_bytes,
+            mem_util,
+            snapshot,
+            warmed_up,
+            net_faults,
+            trace,
+            sampler,
+            wd,
+        })
+    }
+
     // ----- memory-utilization tracking ------------------------------------
 
     fn note_mem_traffic(&mut self, now: Nanos, bytes: u64) {
@@ -718,7 +1238,86 @@ impl HostSim {
             Ev::RtoCheck { peer, flow } => self.rto_check(now, peer, flow),
             Ev::WarmupDone => self.take_snapshot(),
             Ev::Sample => self.take_sample(now),
+            Ev::WatchdogCheck => self.watchdog_check(now),
         }
+    }
+
+    /// One degradation-watchdog check: walks the relief-drain → per-page
+    /// fallback → abort ladder (see [`crate::watchdog`]) and reschedules
+    /// itself unless the run aborted.
+    fn watchdog_check(&mut self, now: Nanos) {
+        let cfg = self.cfg.watchdog;
+        self.wd.report.checks += 1;
+        let mut degraded = false;
+        // Rung 1: bound the pending PTcache-wipe backlog. The wipes were
+        // already owed; a relief drain only moves their schedule forward.
+        let backlog = self.drv.pending_wipes() as u64;
+        self.wd.report.max_backlog_seen = self.wd.report.max_backlog_seen.max(backlog);
+        if backlog > cfg.max_wipe_backlog as u64 {
+            self.drv.drain_ptcache_wipes(backlog as usize);
+            self.wd.report.relief_drains += 1;
+            degraded = true;
+        }
+        // Rung 2: invalidation-storm detection over one check window.
+        let inv = self.drv.iommu.stats().iotlb_invalidations;
+        let delta = inv - self.wd.prev_invalidations;
+        self.wd.prev_invalidations = inv;
+        if cfg.storm_invalidations > 0 && delta > cfg.storm_invalidations {
+            self.wd.report.storms += 1;
+            if self.drv.force_per_page_invalidation() {
+                self.wd.report.degraded = true;
+            }
+            degraded = true;
+        }
+        // Rung 3: persistent degradation aborts the run (the soak runner
+        // checkpoints and stops when it sees the flag).
+        if degraded {
+            self.wd.consecutive_degraded += 1;
+            if cfg.abort_after_degraded > 0
+                && self.wd.consecutive_degraded >= cfg.abort_after_degraded
+            {
+                self.wd.report.aborted = true;
+                return;
+            }
+        } else {
+            self.wd.consecutive_degraded = 0;
+        }
+        let next = now + cfg.check_interval_ns.max(1);
+        if next <= self.cfg.end_time() {
+            self.q.push(next, Ev::WatchdogCheck);
+        }
+    }
+
+    /// Whether the watchdog demanded an abort (rung 3). The soak runner
+    /// polls this between checkpoint intervals.
+    pub fn watchdog_aborted(&self) -> bool {
+        self.wd.report.aborted
+    }
+
+    /// Current simulated time (timestamp of the last processed event).
+    pub fn now(&self) -> Nanos {
+        self.q.now()
+    }
+
+    /// The run configuration (normalized — e.g. huge-Rx modes force
+    /// 512-page descriptors).
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Safety-oracle violations observed so far (0 when auditing is off).
+    /// The soak bisector reads this between checkpoint boundaries to
+    /// localize a mid-soak violation without waiting for [`RunMetrics`].
+    pub fn audit_violations(&self) -> u64 {
+        self.drv.audit().violations()
+    }
+
+    /// Arms a seeded driver bug (test/soak-bisect corpus only; see
+    /// [`crate::driver::Sabotage`]). Serialized with the driver, so a
+    /// checkpointed sabotage replays identically after restore.
+    #[doc(hidden)]
+    pub fn set_sabotage(&mut self, sabotage: crate::driver::Sabotage) {
+        self.drv.set_sabotage(sabotage);
     }
 
     /// Snapshots the gauge probes into the sampler's series and reschedules
@@ -729,6 +1328,7 @@ impl HostSim {
         let hit_rate = self
             .sampler
             .rolling_hit_rate_bp(stats.translations, stats.iotlb_hits);
+        let (iova_free_spans, iova_largest_free_run) = self.drv.allocator().fragmentation();
         let sample = Sample {
             at: now,
             iotlb_occupancy: self.drv.iommu.iotlb_len() as u32,
@@ -741,6 +1341,8 @@ impl HostSim {
             nic_buffer_bytes: self.nic_buf.used_bytes(),
             switch_queue_bytes: self.to_dut.used_bytes(),
             iova_live_bytes: self.drv.allocator().live_pages() * 4096,
+            iova_free_spans,
+            iova_largest_free_run,
         };
         let pushed = self.sampler.push(sample);
         let next = now + self.sampler.interval_ns();
@@ -1598,6 +2200,7 @@ impl HostSim {
             samples: self.sampler.take(),
             trace,
             audit: self.drv.audit().report(),
+            watchdog: self.wd.report,
         };
         // Harvest the run's storage back into the arena. Still-posted ring
         // descriptors feed the driver's page pool first, so the next run's
@@ -1788,6 +2391,164 @@ mod tests {
         let mb = tiny_sim(ProtectionMode::LinuxStrict).run();
         assert_eq!(ma.rx_goodput_bytes, mb.rx_goodput_bytes);
         assert_eq!(ma.iommu, mb.iommu);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically_in_every_mode() {
+        for mode in ProtectionMode::ALL {
+            let mut cfg = SimConfig::paper_default(mode);
+            cfg.warmup = 500_000;
+            cfg.measure = 2_000_000;
+            cfg.aging_factor = 0.0;
+            let golden = HostSim::new(cfg).run();
+            let mut sim = HostSim::new(cfg);
+            sim.step_until(1_200_000); // mid-measurement, past warmup
+            let bytes = sim.snapshot();
+            let resumed = HostSim::restore(cfg, &bytes).expect("restore").run();
+            assert_eq!(golden, resumed, "{mode}: restored run diverged");
+            // The snapshotted sim itself must also continue unperturbed.
+            let continued = sim.run();
+            assert_eq!(golden, continued, "{mode}: snapshot perturbed the run");
+        }
+    }
+
+    #[test]
+    fn snapshot_before_warmup_round_trips() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        let golden = HostSim::new(cfg).run();
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(200_000); // warmup snapshot not yet taken
+        let bytes = sim.snapshot();
+        let resumed = HostSim::restore(cfg, &bytes).expect("restore").run();
+        assert_eq!(golden, resumed);
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_config() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(1_000_000);
+        let bytes = sim.snapshot();
+        let mut other = cfg;
+        other.flows += 1;
+        match HostSim::restore(other, &bytes) {
+            Err(SnapError::ConfigMismatch { .. }) => {}
+            Err(e) => panic!("expected ConfigMismatch, got {e:?}"),
+            Ok(_) => panic!("restore accepted a mismatched config"),
+        }
+        // Corruption fails the checksum rather than restoring garbage.
+        let mut corrupt = sim.snapshot();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(HostSim::restore(cfg, &corrupt).is_err());
+    }
+
+    #[test]
+    fn watchdog_relief_drain_bounds_the_wipe_backlog() {
+        // The datapath drains PTcache wipes before every translation, so a
+        // healthy run never shows the watchdog a backlog. Stall the
+        // datapath by hand — complete descriptors with no intervening
+        // translations — and the relief rung must retire the queue. Linux
+        // strict queues a leaf-PTcache wipe per completed descriptor (F&S
+        // preserves the PTcache, so it has no wipes to back up).
+        let mut cfg = SimConfig::paper_default(ProtectionMode::LinuxStrict);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        cfg.aging_factor = 0.0;
+        cfg.watchdog = crate::watchdog::WatchdogConfig {
+            enabled: true,
+            check_interval_ns: 50_000,
+            max_wipe_backlog: 2,
+            storm_invalidations: 0,
+            abort_after_degraded: 0,
+        };
+        let mut sim = HostSim::new(cfg);
+        for _ in 0..8 {
+            let (d, _) = sim.drv.prepare_rx_descriptor(0).expect("fault-free");
+            sim.drv.complete_rx_descriptor(0, &d).expect("fault-free");
+            sim.drv.recycle_descriptor(d);
+        }
+        let backlog = sim.drv.pending_wipes();
+        assert!(backlog > 2, "no wipe backlog to test against: {backlog}");
+        sim.watchdog_check(0);
+        assert_eq!(sim.drv.pending_wipes(), 0, "relief drain left a backlog");
+        assert_eq!(sim.wd.report.relief_drains, 1);
+        assert_eq!(sim.wd.report.max_backlog_seen, backlog as u64);
+        assert!(!sim.wd.report.aborted);
+    }
+
+    #[test]
+    fn watchdog_storm_detection_degrades_to_per_page() {
+        // An absurdly low storm threshold on a strict mode (which
+        // invalidates every page) must fire and collapse deferred batching.
+        let mut cfg = SimConfig::paper_default(ProtectionMode::LinuxDeferred);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        cfg.aging_factor = 0.0;
+        cfg.watchdog = crate::watchdog::WatchdogConfig {
+            enabled: true,
+            check_interval_ns: 100_000,
+            max_wipe_backlog: u32::MAX,
+            storm_invalidations: 1,
+            abort_after_degraded: 0,
+        };
+        let m = HostSim::new(cfg).run();
+        assert!(m.watchdog.storms > 0, "storm never detected");
+        assert!(m.watchdog.degraded, "storm did not degrade batching");
+        assert!(!m.watchdog.aborted);
+    }
+
+    #[test]
+    fn watchdog_abort_stops_the_run_early() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::LinuxDeferred);
+        cfg.warmup = 500_000;
+        cfg.measure = 20_000_000;
+        cfg.aging_factor = 0.0;
+        cfg.watchdog = crate::watchdog::WatchdogConfig {
+            enabled: true,
+            check_interval_ns: 100_000,
+            max_wipe_backlog: u32::MAX,
+            storm_invalidations: 1,
+            abort_after_degraded: 3,
+        };
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(cfg.end_time());
+        assert!(sim.watchdog_aborted(), "persistent storms never aborted");
+        assert!(
+            sim.now() < cfg.end_time(),
+            "aborted run still drained every event"
+        );
+        let m = sim.finish();
+        assert!(m.watchdog.aborted);
+    }
+
+    #[test]
+    fn disabled_watchdog_changes_nothing() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        let base = HostSim::new(cfg).run();
+        let mut on = cfg;
+        on.watchdog = crate::watchdog::WatchdogConfig {
+            enabled: true,
+            check_interval_ns: 100_000,
+            max_wipe_backlog: u32::MAX,
+            storm_invalidations: u64::MAX,
+            abort_after_degraded: 0,
+        };
+        let m = HostSim::new(on).run();
+        // Watchdog events ride the queue but consume no RNG and touch no
+        // state below their thresholds: all workload metrics match.
+        assert_eq!(base.rx_goodput_bytes, m.rx_goodput_bytes);
+        assert_eq!(base.iommu, m.iommu);
+        assert_eq!(base.latency, m.latency);
+        assert!(m.watchdog.checks > 0);
+        assert_eq!(m.watchdog.relief_drains, 0);
+        assert_eq!(m.watchdog.storms, 0);
     }
 
     #[test]

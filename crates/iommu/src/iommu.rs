@@ -530,6 +530,100 @@ impl Iommu {
         self.stats.invalidation_queue_entries += n;
     }
 
+    /// Serializes the full IOMMU state for checkpointing: page table
+    /// (physically — cached [`PageRef`]s must keep resolving identically),
+    /// both IOTLB arrays and the three PTcaches (logically, in recency
+    /// order), the hardware config, and counters.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        let pa = |w: &mut fns_snap::SnapWriter, v: &PhysAddr| w.u64(v.as_u64());
+        let pref = |w: &mut fns_snap::SnapWriter, v: &PageRef| {
+            let (idx, generation) = v.parts();
+            w.u32(idx);
+            w.u32(generation);
+        };
+        self.pt.snap(w);
+        self.iotlb.snap(w);
+        self.iotlb_huge.snap_with(w, pa);
+        self.ptc_l1.snap_with(w, pref);
+        self.ptc_l2.snap_with(w, pref);
+        self.ptc_l3.snap_with(w, pref);
+        w.usize(self.config.iotlb_entries);
+        w.usize(self.config.iotlb_huge_entries);
+        w.usize(self.config.ptcache_l1_entries);
+        w.usize(self.config.ptcache_l2_entries);
+        w.usize(self.config.ptcache_l3_entries);
+        w.opt(&self.config.iotlb_assoc, |w, v| w.usize(*v));
+        w.bool(self.config.verify_safety);
+        let s = &self.stats;
+        for v in [
+            s.translations,
+            s.iotlb_hits,
+            s.iotlb_misses,
+            s.ptcache_l3_misses,
+            s.ptcache_l2_misses,
+            s.ptcache_l1_misses,
+            s.memory_reads,
+            s.faults,
+            s.stale_iotlb_hits,
+            s.stale_ptcache_walks,
+            s.iotlb_invalidations,
+            s.ptcache_invalidations,
+            s.invalidation_queue_entries,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuilds an IOMMU captured by [`Iommu::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let pa = |r: &mut fns_snap::SnapReader| Ok(PhysAddr::new(r.u64()?));
+        let pref = |r: &mut fns_snap::SnapReader| {
+            let idx = r.u32()?;
+            let generation = r.u32()?;
+            Ok(PageRef::from_parts(idx, generation))
+        };
+        let pt = IoPageTable::unsnap(r)?;
+        let iotlb = Iotlb::unsnap(r)?;
+        let iotlb_huge = Lru64::unsnap_with(r, pa)?;
+        let ptc_l1 = Lru64::unsnap_with(r, pref)?;
+        let ptc_l2 = Lru64::unsnap_with(r, pref)?;
+        let ptc_l3 = Lru64::unsnap_with(r, pref)?;
+        let config = IommuConfig {
+            iotlb_entries: r.usize()?,
+            iotlb_huge_entries: r.usize()?,
+            ptcache_l1_entries: r.usize()?,
+            ptcache_l2_entries: r.usize()?,
+            ptcache_l3_entries: r.usize()?,
+            iotlb_assoc: r.opt(|r| r.usize())?,
+            verify_safety: r.bool()?,
+        };
+        let stats = IommuStats {
+            translations: r.u64()?,
+            iotlb_hits: r.u64()?,
+            iotlb_misses: r.u64()?,
+            ptcache_l3_misses: r.u64()?,
+            ptcache_l2_misses: r.u64()?,
+            ptcache_l1_misses: r.u64()?,
+            memory_reads: r.u64()?,
+            faults: r.u64()?,
+            stale_iotlb_hits: r.u64()?,
+            stale_ptcache_walks: r.u64()?,
+            iotlb_invalidations: r.u64()?,
+            ptcache_invalidations: r.u64()?,
+            invalidation_queue_entries: r.u64()?,
+        };
+        Ok(Self {
+            pt,
+            iotlb,
+            iotlb_huge,
+            ptc_l1,
+            ptc_l2,
+            ptc_l3,
+            config,
+            stats,
+        })
+    }
+
     /// Current IOTLB occupancy (test/inspection helper).
     pub fn iotlb_len(&self) -> usize {
         self.iotlb.len()

@@ -142,6 +142,45 @@ impl Iotlb {
             Iotlb::SetAssoc { sets } => sets.iter_mut().for_each(Lru64::clear),
         }
     }
+
+    /// Serializes the IOTLB (organization tag plus each LRU array's logical
+    /// content) for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        let pa = |w: &mut fns_snap::SnapWriter, v: &PhysAddr| w.u64(v.as_u64());
+        match self {
+            Iotlb::FullAssoc(c) => {
+                w.u8(0);
+                c.snap_with(w, pa);
+            }
+            Iotlb::SetAssoc { sets } => {
+                w.u8(1);
+                w.seq(sets.len());
+                for s in sets {
+                    s.snap_with(w, pa);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds an IOTLB captured by [`Iotlb::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let pa = |r: &mut fns_snap::SnapReader| Ok(PhysAddr::new(r.u64()?));
+        match r.u8()? {
+            0 => Ok(Iotlb::FullAssoc(Lru64::unsnap_with(r, pa)?)),
+            1 => {
+                let n = r.seq()?;
+                let mut sets = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    sets.push(Lru64::unsnap_with(r, pa)?);
+                }
+                Ok(Iotlb::SetAssoc { sets })
+            }
+            t => Err(fns_snap::SnapError::BadTag {
+                what: "iotlb organization",
+                tag: t as u64,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

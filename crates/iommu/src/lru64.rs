@@ -286,6 +286,48 @@ impl<V: Copy> Lru64<V> {
         }
         out
     }
+
+    /// Serializes the cache *logically*: capacity plus the `(key, value)`
+    /// pairs in MRU-to-LRU order, with `f` encoding each value. The
+    /// open-addressed table layout and arena slot assignment are not
+    /// captured — every observable behaviour (get/peek/insert/evict order)
+    /// depends only on the recency list, which is reproduced exactly.
+    pub fn snap_with(
+        &self,
+        w: &mut fns_snap::SnapWriter,
+        mut f: impl FnMut(&mut fns_snap::SnapWriter, &V),
+    ) {
+        w.usize(self.capacity);
+        w.seq(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.arena[cur as usize];
+            w.u64(n.key);
+            f(w, &n.value);
+            cur = n.next;
+        }
+    }
+
+    /// Rebuilds a cache captured by [`Lru64::snap_with`], with `f` decoding
+    /// each value. Entries are inserted LRU-first so the restored recency
+    /// order matches the snapshot.
+    pub fn unsnap_with(
+        r: &mut fns_snap::SnapReader,
+        mut f: impl FnMut(&mut fns_snap::SnapReader) -> Result<V, fns_snap::SnapError>,
+    ) -> Result<Self, fns_snap::SnapError> {
+        let capacity = r.usize()?;
+        let n = r.seq()?;
+        let mut pairs = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let key = r.u64()?;
+            pairs.push((key, f(r)?));
+        }
+        let mut cache = Lru64::new(capacity);
+        for (key, value) in pairs.into_iter().rev() {
+            cache.insert(key, value);
+        }
+        Ok(cache)
+    }
 }
 
 #[cfg(test)]

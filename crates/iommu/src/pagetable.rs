@@ -36,6 +36,20 @@ pub struct PageRef {
     generation: u32,
 }
 
+impl PageRef {
+    /// Raw `(idx, generation)` parts, for the crate's snapshot code: the
+    /// PTcache snapshots in [`crate::iommu`] must serialize cached refs
+    /// verbatim so they resolve (or go stale) identically after a restore.
+    pub(crate) fn parts(self) -> (u32, u32) {
+        (self.idx, self.generation)
+    }
+
+    /// Rebuilds a ref captured by [`PageRef::parts`].
+    pub(crate) fn from_parts(idx: u32, generation: u32) -> Self {
+        Self { idx, generation }
+    }
+}
+
 /// One page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PtEntry {
@@ -290,6 +304,122 @@ impl IoPageTable {
         slot.generation += 1;
         self.free.push(r.idx as usize);
         self.stats.pages_reclaimed += 1;
+    }
+
+    /// Serializes the page table *physically*: every slot (generation plus
+    /// page contents), the free list, root ref, and counters travel
+    /// verbatim, because cached [`PageRef`]s in the PTcaches index slots by
+    /// position and generation — a logically rebuilt table would invalidate
+    /// them. The `entries_pool` is deliberately dropped: pooled vectors are
+    /// all-`None` and only avoid heap churn, so restoring without them is
+    /// behaviorally identical.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.seq(self.slots.len());
+        for slot in &self.slots {
+            w.u32(slot.generation);
+            w.opt(&slot.page, |w, page| {
+                w.u8(page.level);
+                w.u16(page.live);
+                let populated = page.entries.iter().filter(|e| e.is_some()).count();
+                w.seq(populated);
+                for (i, e) in page.entries.iter().enumerate() {
+                    if let Some(e) = e {
+                        w.u32(i as u32);
+                        match e {
+                            PtEntry::Child(r) => {
+                                w.u8(0);
+                                w.u32(r.idx);
+                                w.u32(r.generation);
+                            }
+                            PtEntry::Leaf(pa) => {
+                                w.u8(1);
+                                w.u64(pa.as_u64());
+                            }
+                            PtEntry::HugeLeaf(pa) => {
+                                w.u8(2);
+                                w.u64(pa.as_u64());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        w.seq(self.free.len());
+        for &idx in &self.free {
+            w.usize(idx);
+        }
+        w.u32(self.root.idx);
+        w.u32(self.root.generation);
+        w.u64(self.stats.maps);
+        w.u64(self.stats.unmaps);
+        w.u64(self.stats.pages_allocated);
+        w.u64(self.stats.pages_reclaimed);
+    }
+
+    /// Rebuilds a page table captured by [`IoPageTable::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        use fns_snap::SnapError;
+        let n_slots = r.seq()?;
+        let mut slots = Vec::with_capacity(n_slots.min(1 << 20));
+        for _ in 0..n_slots {
+            let generation = r.u32()?;
+            let page = r.opt(|r| {
+                let level = r.u8()?;
+                let live = r.u16()?;
+                let populated = r.seq()?;
+                let mut entries = vec![None; ENTRIES_PER_PAGE];
+                for _ in 0..populated {
+                    let i = r.u32()? as usize;
+                    if i >= ENTRIES_PER_PAGE {
+                        return Err(SnapError::BadTag {
+                            what: "pt entry index",
+                            tag: i as u64,
+                        });
+                    }
+                    let tag = r.u8()?;
+                    entries[i] = Some(match tag {
+                        0 => PtEntry::Child(PageRef {
+                            idx: r.u32()?,
+                            generation: r.u32()?,
+                        }),
+                        1 => PtEntry::Leaf(PhysAddr::new(r.u64()?)),
+                        2 => PtEntry::HugeLeaf(PhysAddr::new(r.u64()?)),
+                        t => {
+                            return Err(SnapError::BadTag {
+                                what: "pt entry",
+                                tag: t as u64,
+                            })
+                        }
+                    });
+                }
+                Ok(PtPage {
+                    level,
+                    entries,
+                    live,
+                })
+            })?;
+            slots.push(Slot { generation, page });
+        }
+        let n_free = r.seq()?;
+        let mut free = Vec::with_capacity(n_free.min(1 << 20));
+        for _ in 0..n_free {
+            free.push(r.usize()?);
+        }
+        Ok(Self {
+            slots,
+            free,
+            entries_pool: Vec::new(),
+            root: PageRef {
+                idx: r.u32()?,
+                generation: r.u32()?,
+            },
+            stats: PtStats {
+                maps: r.u64()?,
+                unmaps: r.u64()?,
+                pages_allocated: r.u64()?,
+                pages_reclaimed: r.u64()?,
+            },
+        })
     }
 
     /// Checks whether a cached ref still points at a live page.

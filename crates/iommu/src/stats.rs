@@ -69,6 +69,42 @@ impl IommuStats {
                 - earlier.invalidation_queue_entries,
         }
     }
+
+    /// Serializes the counters in declaration order for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.translations);
+        w.u64(self.iotlb_hits);
+        w.u64(self.iotlb_misses);
+        w.u64(self.ptcache_l3_misses);
+        w.u64(self.ptcache_l2_misses);
+        w.u64(self.ptcache_l1_misses);
+        w.u64(self.memory_reads);
+        w.u64(self.faults);
+        w.u64(self.stale_iotlb_hits);
+        w.u64(self.stale_ptcache_walks);
+        w.u64(self.iotlb_invalidations);
+        w.u64(self.ptcache_invalidations);
+        w.u64(self.invalidation_queue_entries);
+    }
+
+    /// Rebuilds counters captured by [`IommuStats::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        Ok(Self {
+            translations: r.u64()?,
+            iotlb_hits: r.u64()?,
+            iotlb_misses: r.u64()?,
+            ptcache_l3_misses: r.u64()?,
+            ptcache_l2_misses: r.u64()?,
+            ptcache_l1_misses: r.u64()?,
+            memory_reads: r.u64()?,
+            faults: r.u64()?,
+            stale_iotlb_hits: r.u64()?,
+            stale_ptcache_walks: r.u64()?,
+            iotlb_invalidations: r.u64()?,
+            ptcache_invalidations: r.u64()?,
+            invalidation_queue_entries: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //! (for power-of-two sizes), so the active working set stays compact in the
 //! highest PT-L1/PT-L2 region — the compactness §2.2 of the paper assumes.
 
+use fns_snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::rbtree::RbIntervalTree;
 use crate::types::{Iova, IovaRange, IOVA_SPACE_TOP, PAGE_SHIFT};
 use crate::{AllocError, AllocStats, IovaAllocator};
@@ -135,6 +137,63 @@ impl RbTreeAllocator {
             .unwrap_or_else(|_| panic!("freeing unallocated IOVA range {range}"));
     }
 
+    /// Fragmentation of the allocated region: `(free_spans, largest_run)`
+    /// over the *interior* gaps between consecutive allocated ranges, in
+    /// pages. A freshly warmed top-down allocator reports `(0, 0)` — holes
+    /// only appear as the address space ages, which is exactly the decay
+    /// curve the soak plane samples.
+    pub fn fragmentation(&self) -> (u64, u64) {
+        let ranges = self.tree.iter_inorder();
+        let mut spans = 0u64;
+        let mut largest = 0u64;
+        for w in ranges.windows(2) {
+            let gap = w[1].0 - w[0].1 - 1;
+            if gap > 0 {
+                spans += 1;
+                largest = largest.max(gap);
+            }
+        }
+        (spans, largest)
+    }
+
+    /// Serializes the full allocator state for checkpointing. The interval
+    /// tree travels logically (in-order ranges, re-inserted on restore):
+    /// every query on it is shape-independent, while `search_start` — which
+    /// *does* steer future allocations — travels verbatim.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        let ranges = self.tree.iter_inorder();
+        w.seq(ranges.len());
+        for (lo, hi) in ranges {
+            w.u64(lo);
+            w.u64(hi);
+        }
+        w.u64(self.limit_pfn);
+        w.bool(self.align_to_size);
+        w.u64(self.search_start);
+        snap_alloc_stats(&self.stats, w);
+    }
+
+    /// Rebuilds an allocator captured by [`RbTreeAllocator::snap`].
+    pub fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.seq()?;
+        let mut tree = RbIntervalTree::new();
+        for _ in 0..n {
+            let lo = r.u64()?;
+            let hi = r.u64()?;
+            tree.insert(lo, hi).map_err(|_| SnapError::BadTag {
+                what: "overlapping iova range",
+                tag: lo,
+            })?;
+        }
+        Ok(Self {
+            tree,
+            limit_pfn: r.u64()?,
+            align_to_size: r.bool()?,
+            search_start: r.u64()?,
+            stats: unsnap_alloc_stats(r)?,
+        })
+    }
+
     /// Removes a range from the tree, reporting an unbalanced free as an
     /// error instead of panicking.
     pub(crate) fn try_free_range(&mut self, range: IovaRange) -> Result<(), AllocError> {
@@ -150,6 +209,26 @@ impl RbTreeAllocator {
         self.stats.tree_frees += 1;
         Ok(())
     }
+}
+
+/// Serializes an [`AllocStats`] (shared by both allocators' snapshots).
+pub(crate) fn snap_alloc_stats(s: &AllocStats, w: &mut SnapWriter) {
+    w.u64(s.allocs);
+    w.u64(s.frees);
+    w.u64(s.tree_allocs);
+    w.u64(s.tree_frees);
+    w.u64(s.failures);
+}
+
+/// Rebuilds an [`AllocStats`] captured by [`snap_alloc_stats`].
+pub(crate) fn unsnap_alloc_stats(r: &mut SnapReader) -> Result<AllocStats, SnapError> {
+    Ok(AllocStats {
+        allocs: r.u64()?,
+        frees: r.u64()?,
+        tree_allocs: r.u64()?,
+        tree_frees: r.u64()?,
+        failures: r.u64()?,
+    })
 }
 
 impl IovaAllocator for RbTreeAllocator {

@@ -81,6 +81,59 @@ impl Packet {
     pub fn is_data(&self) -> bool {
         matches!(self.kind, PacketKind::Data)
     }
+
+    /// Serializes the packet for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u32(self.flow.0);
+        w.u64(self.seq);
+        w.u32(self.bytes);
+        match self.kind {
+            PacketKind::Data => w.u8(0),
+            PacketKind::Ack {
+                ack_seq,
+                ecn_echo,
+                acked_pkts,
+            } => {
+                w.u8(1);
+                w.u64(ack_seq);
+                w.u32(ecn_echo);
+                w.u32(acked_pkts);
+            }
+        }
+        w.bool(self.ecn_marked);
+        w.bool(self.corrupted);
+        w.u64(self.sent_at);
+    }
+
+    /// Rebuilds a packet captured by [`Packet::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let flow = FlowId(r.u32()?);
+        let seq = r.u64()?;
+        let bytes = r.u32()?;
+        let kind = match r.u8()? {
+            0 => PacketKind::Data,
+            1 => PacketKind::Ack {
+                ack_seq: r.u64()?,
+                ecn_echo: r.u32()?,
+                acked_pkts: r.u32()?,
+            },
+            t => {
+                return Err(fns_snap::SnapError::BadTag {
+                    what: "packet kind",
+                    tag: t as u64,
+                })
+            }
+        };
+        Ok(Self {
+            flow,
+            seq,
+            bytes,
+            kind,
+            ecn_marked: r.bool()?,
+            corrupted: r.bool()?,
+            sent_at: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

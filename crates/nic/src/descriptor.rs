@@ -100,6 +100,33 @@ impl Descriptor {
     pub fn into_pages(self) -> Vec<DescriptorPage> {
         self.pages
     }
+
+    /// Serializes the descriptor (id, consumption cursor, page list) for
+    /// checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.id);
+        w.usize(self.next);
+        w.seq(self.pages.len());
+        for p in &self.pages {
+            w.u64(p.iova.as_u64());
+            w.u64(p.pa.as_u64());
+        }
+    }
+
+    /// Rebuilds a descriptor captured by [`Descriptor::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let id = r.u64()?;
+        let next = r.usize()?;
+        let n = r.seq()?;
+        let mut pages = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            pages.push(DescriptorPage {
+                iova: Iova::new(r.u64()?),
+                pa: PhysAddr::new(r.u64()?),
+            });
+        }
+        Ok(Self { id, pages, next })
+    }
 }
 
 #[cfg(test)]

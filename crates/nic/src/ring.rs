@@ -187,6 +187,33 @@ impl RxRing {
         self.descriptors.pop_front()
     }
 
+    /// Serializes the ring (configuration plus descriptors front-to-back)
+    /// for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.usize(self.capacity);
+        w.usize(self.replenish_threshold);
+        w.seq(self.descriptors.len());
+        for d in &self.descriptors {
+            d.snap(w);
+        }
+    }
+
+    /// Rebuilds a ring captured by [`RxRing::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let capacity = r.usize()?;
+        let replenish_threshold = r.usize()?;
+        let n = r.seq()?;
+        let mut descriptors = VecDeque::with_capacity(capacity.min(1 << 16));
+        for _ in 0..n {
+            descriptors.push_back(Descriptor::unsnap(r)?);
+        }
+        Ok(Self {
+            descriptors,
+            capacity,
+            replenish_threshold,
+        })
+    }
+
     /// Pops the head descriptor once fully consumed, reporting a
     /// still-live head as [`RingError::HeadLive`] instead of panicking.
     pub fn try_pop_consumed(&mut self) -> Result<Option<Descriptor>, RingError> {

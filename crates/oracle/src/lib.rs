@@ -459,6 +459,182 @@ impl SafetyOracle {
         }
     }
 
+    /// Serializes the full shadow model for checkpointing. The attached
+    /// trace handle is NOT serialized (the sim owns the ring and restores
+    /// it separately); reattach with [`SafetyOracle::set_trace`].
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.bool(self.contract.translates);
+        w.bool(self.contract.unmaps);
+        w.bool(self.contract.strict_safety);
+        w.bool(self.contract.ptcache_coherence);
+        w.bool(self.contract.invalidation_completeness);
+        w.opt(&self.contract.deferred_window, |w, &v| w.u64(v));
+        w.bool(self.fatal);
+        let mut pages: Vec<(u64, PageState)> = self.pages.iter().map(|(&k, &v)| (k, v)).collect();
+        pages.sort_unstable_by_key(|&(k, _)| k);
+        w.seq(pages.len());
+        for (pfn, state) in pages {
+            w.u64(pfn);
+            match state {
+                PageState::Mapped { pa_pfn, huge } => {
+                    w.u8(0);
+                    w.u64(pa_pfn);
+                    w.bool(huge);
+                }
+                PageState::Unmapped { invalidated } => {
+                    w.u8(1);
+                    w.bool(invalidated);
+                }
+            }
+        }
+        w.seq(self.pending_inval.len());
+        for &pfn in &self.pending_inval {
+            w.u64(pfn);
+        }
+        w.seq(self.pending_reclaim.len());
+        for &(level, key) in &self.pending_reclaim {
+            w.u8(level);
+            w.u64(key);
+        }
+        w.seq(self.live_iova.len());
+        for (&base, &pages) in &self.live_iova {
+            w.u64(base);
+            w.u64(pages);
+        }
+        w.seq(self.shadow_iotlb.len());
+        for &pfn in &self.shadow_iotlb {
+            w.u64(pfn);
+        }
+        w.seq(self.shadow_iotlb_huge.len());
+        for &key in &self.shadow_iotlb_huge {
+            w.u64(key);
+        }
+        for set in &self.shadow_ptc {
+            w.seq(set.len());
+            for &key in set {
+                w.u64(key);
+            }
+        }
+        w.u64(self.epochs_queued);
+        w.u64(self.epochs_applied);
+        w.u64(self.checks);
+        w.u64(self.ops);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.seq(self.samples.len());
+        for v in &self.samples {
+            w.u8(v.invariant.index() as u8);
+            w.u64(v.pfn);
+            w.u64(v.check);
+            w.str(&v.detail);
+        }
+    }
+
+    /// Rebuilds an oracle captured by [`SafetyOracle::snap`]. The trace
+    /// handle comes back `Off`; reattach via [`SafetyOracle::set_trace`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let contract = ModeContract {
+            translates: r.bool()?,
+            unmaps: r.bool()?,
+            strict_safety: r.bool()?,
+            ptcache_coherence: r.bool()?,
+            invalidation_completeness: r.bool()?,
+            deferred_window: r.opt(|r| r.u64())?,
+        };
+        let fatal = r.bool()?;
+        let n = r.seq()?;
+        let mut pages = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let pfn = r.u64()?;
+            let state = match r.u8()? {
+                0 => PageState::Mapped {
+                    pa_pfn: r.u64()?,
+                    huge: r.bool()?,
+                },
+                1 => PageState::Unmapped {
+                    invalidated: r.bool()?,
+                },
+                t => {
+                    return Err(fns_snap::SnapError::BadTag {
+                        what: "oracle page state",
+                        tag: t as u64,
+                    })
+                }
+            };
+            pages.insert(pfn, state);
+        }
+        let mut pending_inval = BTreeSet::new();
+        for _ in 0..r.seq()? {
+            pending_inval.insert(r.u64()?);
+        }
+        let mut pending_reclaim = BTreeSet::new();
+        for _ in 0..r.seq()? {
+            let level = r.u8()?;
+            pending_reclaim.insert((level, r.u64()?));
+        }
+        let mut live_iova = BTreeMap::new();
+        for _ in 0..r.seq()? {
+            let base = r.u64()?;
+            live_iova.insert(base, r.u64()?);
+        }
+        let mut shadow_iotlb = BTreeSet::new();
+        for _ in 0..r.seq()? {
+            shadow_iotlb.insert(r.u64()?);
+        }
+        let mut shadow_iotlb_huge = BTreeSet::new();
+        for _ in 0..r.seq()? {
+            shadow_iotlb_huge.insert(r.u64()?);
+        }
+        let mut shadow_ptc = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+        for set in &mut shadow_ptc {
+            for _ in 0..r.seq()? {
+                set.insert(r.u64()?);
+            }
+        }
+        let epochs_queued = r.u64()?;
+        let epochs_applied = r.u64()?;
+        let checks = r.u64()?;
+        let ops = r.u64()?;
+        let mut counts = [0u64; 5];
+        for c in &mut counts {
+            *c = r.u64()?;
+        }
+        let n = r.seq()?;
+        let mut samples = Vec::with_capacity(n.min(SAMPLE_CAP));
+        for _ in 0..n {
+            let idx = r.u8()? as usize;
+            let invariant = *Invariant::ALL.get(idx).ok_or(fns_snap::SnapError::BadTag {
+                what: "oracle invariant",
+                tag: idx as u64,
+            })?;
+            samples.push(Violation {
+                invariant,
+                pfn: r.u64()?,
+                check: r.u64()?,
+                detail: r.str()?.to_string(),
+            });
+        }
+        Ok(Self {
+            contract,
+            fatal,
+            pages,
+            pending_inval,
+            pending_reclaim,
+            live_iova,
+            shadow_iotlb,
+            shadow_iotlb_huge,
+            shadow_ptc,
+            epochs_queued,
+            epochs_applied,
+            checks,
+            ops,
+            counts,
+            samples,
+            trace: TraceHandle::Off,
+        })
+    }
+
     /// Differential cross-check, called by the driver right after it
     /// submits synchronous invalidations: no page of `range` may still
     /// have a live entry in the real IOTLB.
@@ -852,6 +1028,33 @@ impl AuditHandle {
     /// Attach a trace ring to the oracle (no-op when off).
     pub fn set_trace(&self, trace: TraceHandle) {
         forward!(self, set_trace(trace));
+    }
+
+    /// Serializes the handle (and the oracle behind it) for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        match self {
+            AuditHandle::Off => w.u8(0),
+            AuditHandle::On(o) => {
+                w.u8(1);
+                o.borrow().snap(w);
+            }
+        }
+    }
+
+    /// Rebuilds a handle captured by [`AuditHandle::snap`]. Clone the
+    /// result into every component that held the original, and reattach
+    /// the trace ring with [`AuditHandle::set_trace`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(AuditHandle::Off),
+            1 => Ok(AuditHandle::On(Rc::new(RefCell::new(
+                SafetyOracle::unsnap(r)?,
+            )))),
+            t => Err(fns_snap::SnapError::BadTag {
+                what: "audit handle",
+                tag: t as u64,
+            }),
+        }
     }
 
     /// Snapshot the run summary ([`AuditReport::default`] when off).

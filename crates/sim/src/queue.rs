@@ -483,6 +483,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Clock and sequencing counters `(now, total_popped, next_seq)` — the
+    /// checkpoint hook. A snapshot captures these, drains the pending
+    /// events in pop order, then rebuilds via [`EventQueue::set_counters`].
+    pub fn counters(&self) -> (Nanos, u64, u64) {
+        (self.now, self.popped, self.seq)
+    }
+
+    /// Overwrites the clock and sequencing counters — the restore hook.
+    ///
+    /// Protocol: zero the counters, re-push the drained events in their
+    /// original `(time, seq)` order (fresh ascending sequence numbers
+    /// preserve their relative order), then restore the captured counters.
+    /// The restored `next_seq` exceeds every re-assigned sequence number,
+    /// so later pushes tie-break after the re-pushed backlog exactly as
+    /// they would have in an uninterrupted run.
+    pub fn set_counters(&mut self, now: Nanos, popped: u64, seq: u64) {
+        self.now = now;
+        self.popped = popped;
+        self.seq = seq;
+    }
+
     /// Rewinds the queue to an empty, time-zero state while keeping its
     /// storage (node slab / heap buffer) allocated — the arena-reuse hook.
     pub fn reset(&mut self) {

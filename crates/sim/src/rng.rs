@@ -128,6 +128,17 @@ impl SimRng {
         assert!(len > 0, "index into empty slice");
         self.range(0, len as u64) as usize
     }
+
+    /// Raw xoshiro256++ state, for checkpointing. Restoring via
+    /// [`SimRng::from_state`] resumes the exact bit stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a captured [`SimRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use fns_snap::{SnapError, SnapReader, SnapWriter};
+
 /// A log-linear histogram for latency-like values, HDR-histogram style.
 ///
 /// Values are bucketed into octaves each split into 32 linear sub-buckets,
@@ -149,6 +151,26 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Serializes the full histogram state for checkpointing.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.u64_slice(&self.buckets);
+        w.u64(self.count);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Rebuilds a histogram captured by [`Histogram::snap`].
+    pub fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Self {
+            buckets: r.u64_vec()?,
+            count: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
 }
 
 /// Running mean/total tracker for per-page rates (e.g. misses per page).
@@ -199,6 +221,20 @@ impl MeanTracker {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Serializes the tracker for checkpointing (sum travels as IEEE bits).
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.f64(self.sum);
+        w.u64(self.count);
+    }
+
+    /// Rebuilds a tracker captured by [`MeanTracker::snap`].
+    pub fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Self {
+            sum: r.f64()?,
+            count: r.u64()?,
+        })
     }
 }
 
@@ -327,6 +363,51 @@ impl ReuseDistance {
     /// Returns `true` if no accesses were recorded.
     pub fn is_empty(&self) -> bool {
         self.n_accesses == 0
+    }
+
+    /// Serializes the full tracker state for checkpointing. The Fenwick
+    /// tree and markers are captured verbatim (physical state), the
+    /// position map sorted by key so the byte stream is deterministic.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.u64_slice(&self.tree);
+        w.u64_slice(&self.markers);
+        let mut pairs: Vec<(u64, usize)> = self.last_pos.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        w.seq(pairs.len());
+        for (k, v) in pairs {
+            w.u64(k);
+            w.usize(v);
+        }
+        w.seq(self.distances.len());
+        for d in &self.distances {
+            w.opt(d, |w, &v| w.u64(v));
+        }
+        w.usize(self.n_accesses);
+    }
+
+    /// Rebuilds a tracker captured by [`ReuseDistance::snap`].
+    pub fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let tree = r.u64_vec()?;
+        let markers = r.u64_vec()?;
+        let n = r.seq()?;
+        let mut last_pos = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u64()?;
+            let v = r.usize()?;
+            last_pos.insert(k, v);
+        }
+        let n = r.seq()?;
+        let mut distances = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            distances.push(r.opt(|r| r.u64())?);
+        }
+        Ok(Self {
+            tree,
+            markers,
+            last_pos,
+            distances,
+            n_accesses: r.usize()?,
+        })
     }
 
     /// Fraction of re-accesses whose reuse distance is at least `threshold`

@@ -134,6 +134,13 @@ pub fn chrome_trace_json(trace: &Trace, samples: &SampleSet, fault_kinds: &[&str
         counter(&mut w, "nic_buffer_bytes", s.at, s.nic_buffer_bytes);
         counter(&mut w, "switch_queue_bytes", s.at, s.switch_queue_bytes);
         counter(&mut w, "iova_live_bytes", s.at, s.iova_live_bytes);
+        counter(&mut w, "iova_free_spans", s.at, s.iova_free_spans);
+        counter(
+            &mut w,
+            "iova_largest_free_run",
+            s.at,
+            s.iova_largest_free_run,
+        );
     }
 
     w.end_array();

@@ -192,6 +192,120 @@ impl TraceData {
         }
     }
 
+    /// Serializes the payload as a tag byte plus fields (checkpointing).
+    pub fn snap(self, w: &mut fns_snap::SnapWriter) {
+        match self {
+            TraceData::Map { pages } => {
+                w.u8(0);
+                w.u32(pages);
+            }
+            TraceData::Unmap { pages } => {
+                w.u8(1);
+                w.u32(pages);
+            }
+            TraceData::IotlbHit => w.u8(2),
+            TraceData::IotlbMiss { reads } => {
+                w.u8(3);
+                w.u32(reads);
+            }
+            TraceData::TranslationFault => w.u8(4),
+            TraceData::PtcacheFill { level, evicted } => {
+                w.u8(5);
+                w.u8(level);
+                w.bool(evicted);
+            }
+            TraceData::PtcacheReclaim { entries } => {
+                w.u8(6);
+                w.u32(entries);
+            }
+            TraceData::InvEnqueue { entries, cost_ns } => {
+                w.u8(7);
+                w.u32(entries);
+                w.u64(cost_ns);
+            }
+            TraceData::InvDrain { epochs } => {
+                w.u8(8);
+                w.u32(epochs);
+            }
+            TraceData::InvFlush { cost_ns } => {
+                w.u8(9);
+                w.u64(cost_ns);
+            }
+            TraceData::InvBatchFallback { retries } => {
+                w.u8(10);
+                w.u32(retries);
+            }
+            TraceData::RingPost { core } => {
+                w.u8(11);
+                w.u8(core);
+            }
+            TraceData::RingComplete { core } => {
+                w.u8(12);
+                w.u8(core);
+            }
+            TraceData::RingOverrun { core } => {
+                w.u8(13);
+                w.u8(core);
+            }
+            TraceData::FaultInject { kind, visit } => {
+                w.u8(14);
+                w.u8(kind);
+                w.u64(visit);
+            }
+            TraceData::FaultRecover { kind } => {
+                w.u8(15);
+                w.u8(kind);
+            }
+            TraceData::AuditViolation { invariant, pfn } => {
+                w.u8(16);
+                w.u8(invariant);
+                w.u64(pfn);
+            }
+        }
+    }
+
+    /// Rebuilds a payload captured by [`TraceData::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => TraceData::Map { pages: r.u32()? },
+            1 => TraceData::Unmap { pages: r.u32()? },
+            2 => TraceData::IotlbHit,
+            3 => TraceData::IotlbMiss { reads: r.u32()? },
+            4 => TraceData::TranslationFault,
+            5 => TraceData::PtcacheFill {
+                level: r.u8()?,
+                evicted: r.bool()?,
+            },
+            6 => TraceData::PtcacheReclaim { entries: r.u32()? },
+            7 => TraceData::InvEnqueue {
+                entries: r.u32()?,
+                cost_ns: r.u64()?,
+            },
+            8 => TraceData::InvDrain { epochs: r.u32()? },
+            9 => TraceData::InvFlush { cost_ns: r.u64()? },
+            10 => TraceData::InvBatchFallback { retries: r.u32()? },
+            11 => TraceData::RingPost { core: r.u8()? },
+            12 => TraceData::RingComplete { core: r.u8()? },
+            13 => TraceData::RingOverrun { core: r.u8()? },
+            14 => TraceData::FaultInject {
+                kind: r.u8()?,
+                visit: r.u64()?,
+            },
+            15 => TraceData::FaultRecover { kind: r.u8()? },
+            16 => TraceData::AuditViolation {
+                invariant: r.u8()?,
+                pfn: r.u64()?,
+            },
+            t => {
+                return Err(fns_snap::SnapError::BadTag {
+                    what: "trace event",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
+
     /// Stable snake_case event name (Chrome `name` field).
     pub fn name(self) -> &'static str {
         match self {
@@ -360,6 +474,72 @@ impl TraceHandle {
         match self {
             TraceHandle::Off => Trace::default(),
             TraceHandle::On { rec, .. } => rec.borrow_mut().drain(),
+        }
+    }
+
+    /// Serializes the handle and the full ring state (verbatim: slot order,
+    /// head, drop count) for checkpointing. A restored ring continues to
+    /// overwrite and drain exactly as the original would have.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        match self {
+            TraceHandle::Off => w.u8(0),
+            TraceHandle::On { mask, rec } => {
+                w.u8(1);
+                w.u8(*mask);
+                let rec = rec.borrow();
+                w.u64(rec.now);
+                w.usize(rec.capacity);
+                w.usize(rec.head);
+                w.u64(rec.dropped);
+                w.seq(rec.events.len());
+                for ev in &rec.events {
+                    w.u64(ev.at);
+                    ev.data.snap(w);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a handle captured by [`TraceHandle::snap`]. The returned
+    /// handle owns a fresh ring; clone it into every component that held
+    /// the original.
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(TraceHandle::Off),
+            1 => {
+                let mask = r.u8()?;
+                let now = r.u64()?;
+                let capacity = r.usize()?;
+                let head = r.usize()?;
+                let dropped = r.u64()?;
+                let n = r.seq()?;
+                let mut events = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let at = r.u64()?;
+                    let data = TraceData::unsnap(r)?;
+                    events.push(TraceEvent { at, data });
+                }
+                if capacity == 0 || head >= capacity || events.len() > capacity {
+                    return Err(fns_snap::SnapError::BadTag {
+                        what: "trace ring geometry",
+                        tag: head as u64,
+                    });
+                }
+                Ok(TraceHandle::On {
+                    mask,
+                    rec: Rc::new(RefCell::new(Recorder {
+                        now,
+                        capacity,
+                        head,
+                        events,
+                        dropped,
+                    })),
+                })
+            }
+            t => Err(fns_snap::SnapError::BadTag {
+                what: "trace handle",
+                tag: t as u64,
+            }),
         }
     }
 }

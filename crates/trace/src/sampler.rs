@@ -71,6 +71,50 @@ pub struct Sample {
     pub switch_queue_bytes: u64,
     /// Outstanding IOVA-mapped bytes (live allocations × page size).
     pub iova_live_bytes: u64,
+    /// Free interior spans in the IOVA allocator (fragmentation gauge:
+    /// more spans at the same live footprint means a more shattered
+    /// address space).
+    pub iova_free_spans: u64,
+    /// Largest contiguous free run in the IOVA allocator, in pages.
+    pub iova_largest_free_run: u64,
+}
+
+impl Sample {
+    /// Serializes every gauge field for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.at);
+        w.u32(self.iotlb_occupancy);
+        w.u32(self.iotlb_hit_rate_bp);
+        w.u32(self.ptcache_l1);
+        w.u32(self.ptcache_l2);
+        w.u32(self.ptcache_l3);
+        w.u32(self.inv_queue_depth);
+        w.u32(self.ring_occupancy);
+        w.u64(self.nic_buffer_bytes);
+        w.u64(self.switch_queue_bytes);
+        w.u64(self.iova_live_bytes);
+        w.u64(self.iova_free_spans);
+        w.u64(self.iova_largest_free_run);
+    }
+
+    /// Rebuilds a sample captured by [`Sample::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        Ok(Self {
+            at: r.u64()?,
+            iotlb_occupancy: r.u32()?,
+            iotlb_hit_rate_bp: r.u32()?,
+            ptcache_l1: r.u32()?,
+            ptcache_l2: r.u32()?,
+            ptcache_l3: r.u32()?,
+            inv_queue_depth: r.u32()?,
+            ring_occupancy: r.u32()?,
+            nic_buffer_bytes: r.u64()?,
+            switch_queue_bytes: r.u64()?,
+            iova_live_bytes: r.u64()?,
+            iova_free_spans: r.u64()?,
+            iova_largest_free_run: r.u64()?,
+        })
+    }
 }
 
 /// The collected series, attached to `RunMetrics`.
@@ -151,6 +195,45 @@ impl Sampler {
     /// Consumes the sampler, yielding the collected series.
     pub fn take(self) -> SampleSet {
         self.set
+    }
+
+    /// Serializes the sampler (config, rolling-rate state, collected
+    /// series) for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.cfg.interval_ns);
+        w.u32(self.cfg.max_samples);
+        w.u64(self.prev_translations);
+        w.u64(self.prev_hits);
+        w.u64(self.set.interval_ns);
+        w.seq(self.set.samples.len());
+        for s in &self.set.samples {
+            s.snap(w);
+        }
+    }
+
+    /// Rebuilds a sampler captured by [`Sampler::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let cfg = ProbeConfig {
+            interval_ns: r.u64()?,
+            max_samples: r.u32()?,
+        };
+        let prev_translations = r.u64()?;
+        let prev_hits = r.u64()?;
+        let interval_ns = r.u64()?;
+        let n = r.seq()?;
+        let mut samples = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            samples.push(Sample::unsnap(r)?);
+        }
+        Ok(Self {
+            cfg,
+            prev_translations,
+            prev_hits,
+            set: SampleSet {
+                interval_ns,
+                samples,
+            },
+        })
     }
 }
 

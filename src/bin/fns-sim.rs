@@ -36,13 +36,26 @@
 //! `--audit-fatal` panics at the first violation instead (best combined
 //! with a shrunk reproducer from the MBT harness). Auditing consumes no
 //! RNG, so metrics match the unaudited run bit for bit.
+//!
+//! Soak & checkpointing (single-mode only): `--soak NAME` runs a
+//! long-horizon aging scenario from the soak registry (`churn`,
+//! `iova-frag`, `reclaim-storm`) with the degradation watchdog armed.
+//! `--snapshot-every MS` checkpoints the complete simulation state every
+//! MS sim-milliseconds to `<prefix>-<t>us.snap` files
+//! (`--snapshot-prefix`, default `fns-checkpoint`); `--resume PATH`
+//! restores one and continues — the final metrics are bit-identical to
+//! the uninterrupted run, provided the same configuration flags are
+//! passed (a fingerprint in the snapshot enforces this). A watchdog
+//! abort writes a final replayable artifact and exits with status 3.
+//! Configurations that cannot be checkpointed (e.g. `--audit-fatal`) are
+//! rejected with the named reason, never silently dropped.
 
 use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
 };
-use fns::core::{ProtectionMode, RunMetrics, SimConfig};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
 use fns::faults::{FaultConfig, FaultKind};
-use fns::harness::{SweepRunner, SCENARIOS};
+use fns::harness::{soak_config, SweepRunner, SCENARIOS, SOAK_SCENARIOS};
 use fns::oracle::AuditConfig;
 use fns::trace::{
     chrome_trace_json, JsonWriter, ProbeConfig, Span, TraceCategory, TraceConfig,
@@ -57,7 +70,7 @@ struct Args {
     mtu: u32,
     cores: Option<usize>,
     pages_per_desc: u32,
-    measure_ms: u64,
+    measure_ms: Option<u64>,
     seed: u64,
     msg_bytes: u64,
     faults: f64,
@@ -69,6 +82,10 @@ struct Args {
     metrics_json: Option<String>,
     audit: bool,
     audit_fatal: bool,
+    soak: Option<String>,
+    snapshot_every_ms: u64,
+    snapshot_prefix: String,
+    resume: Option<String>,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -99,6 +116,10 @@ fn usage() -> ! {
          \x20              [--metrics-json PATH]  dump full RunMetrics as JSON\n\
          \x20              [--audit]       attach the safety oracle; exit 1 on any violation\n\
          \x20              [--audit-fatal] panic at the first violation (implies --audit)\n\
+         \x20              [--soak NAME]   run a long-horizon aging scenario (single-mode)\n\
+         \x20              [--snapshot-every MS]  checkpoint every MS sim-ms (single-mode)\n\
+         \x20              [--snapshot-prefix P]  checkpoint file prefix (default fns-checkpoint)\n\
+         \x20              [--resume PATH] restore a checkpoint and continue (same flags required)\n\
          \x20              [--list-scenarios]  list the named scenario registry and exit\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
@@ -108,6 +129,10 @@ fn usage() -> ! {
 fn list_scenarios() -> ! {
     println!("named scenarios (canonical configs from the fns-harness registry):");
     for s in SCENARIOS {
+        println!("  {:<18} {}", s.name, s.description);
+    }
+    println!("soak scenarios (long-horizon aging runs, via --soak):");
+    for s in SOAK_SCENARIOS {
         println!("  {:<18} {}", s.name, s.description);
     }
     std::process::exit(0);
@@ -122,7 +147,7 @@ fn parse_args() -> Args {
         mtu: 4096,
         cores: None,
         pages_per_desc: 64,
-        measure_ms: 60,
+        measure_ms: None,
         seed: 1,
         msg_bytes: 8192,
         faults: 0.0,
@@ -134,6 +159,10 @@ fn parse_args() -> Args {
         metrics_json: None,
         audit: false,
         audit_fatal: false,
+        soak: None,
+        snapshot_every_ms: 0,
+        snapshot_prefix: "fns-checkpoint".into(),
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -150,7 +179,7 @@ fn parse_args() -> Args {
             "--mtu" => args.mtu = val().parse().unwrap_or_else(|_| usage()),
             "--cores" => args.cores = Some(val().parse().unwrap_or_else(|_| usage())),
             "--pages-per-desc" => args.pages_per_desc = val().parse().unwrap_or_else(|_| usage()),
-            "--measure-ms" => args.measure_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--measure-ms" => args.measure_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--msg" => args.msg_bytes = val().parse().unwrap_or_else(|_| usage()),
             "--faults" => {
@@ -183,6 +212,15 @@ fn parse_args() -> Args {
                 args.audit = true;
                 args.audit_fatal = true;
             }
+            "--soak" => args.soak = Some(val()),
+            "--snapshot-every" => {
+                args.snapshot_every_ms = val().parse().unwrap_or_else(|_| usage());
+                if args.snapshot_every_ms == 0 {
+                    usage()
+                }
+            }
+            "--snapshot-prefix" => args.snapshot_prefix = val(),
+            "--resume" => args.resume = Some(val()),
             "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -209,9 +247,37 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
         cfg.cores = c;
     }
     cfg.pages_per_descriptor = args.pages_per_desc;
-    cfg.measure = args.measure_ms * 1_000_000;
+    cfg.measure = args.measure_ms.unwrap_or(60) * 1_000_000;
     cfg.seed = args.seed;
     cfg.faults = FaultConfig::uniform(args.faults);
+    apply_telemetry_flags(args, &mut cfg);
+    cfg
+}
+
+/// Config for `--soak NAME`: the registry's soak shape (long horizon,
+/// probes on, watchdog armed), with the CLI overrides that make sense for
+/// a soak layered on top.
+fn build_soak_config(args: &Args, mode: ProtectionMode) -> SimConfig {
+    let name = args.soak.as_deref().expect("caller checked --soak");
+    let mut cfg = soak_config(name, mode).unwrap_or_else(|| {
+        eprintln!("fns-sim: unknown soak scenario '{name}' (see --list-scenarios)");
+        std::process::exit(2);
+    });
+    if let Some(ms) = args.measure_ms {
+        cfg.measure = ms * 1_000_000;
+    }
+    if let Some(c) = args.cores {
+        cfg.cores = c;
+    }
+    cfg.seed = args.seed;
+    if args.faults > 0.0 {
+        cfg.faults = FaultConfig::uniform(args.faults);
+    }
+    apply_telemetry_flags(args, &mut cfg);
+    cfg
+}
+
+fn apply_telemetry_flags(args: &Args, cfg: &mut SimConfig) {
     if args.trace_path.is_some() {
         cfg.trace = TraceConfig {
             mask: args.trace_mask,
@@ -227,7 +293,88 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
             fatal: args.audit_fatal,
         };
     }
-    cfg
+}
+
+/// Checkpoint file path at sim time `t` — zero-padded microseconds so the
+/// files sort lexically in time order.
+fn checkpoint_path(prefix: &str, t: u64) -> String {
+    format!("{}-{:010}us.snap", prefix, t / 1_000)
+}
+
+fn write_bytes_or_die(path: &str, contents: &[u8]) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("fns-sim: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// The checkpointed single-run path behind `--soak`, `--snapshot-every`
+/// and `--resume`: steps the simulation between checkpoint boundaries,
+/// writes each checkpoint to disk as soon as it is taken (so a killed run
+/// loses at most one interval), and converts a degradation-watchdog abort
+/// into a final replayable artifact. Returns the metrics and whether the
+/// watchdog aborted.
+fn run_checkpointed(args: &Args, mode: ProtectionMode) -> (RunMetrics, bool) {
+    let cfg = if args.soak.is_some() {
+        build_soak_config(args, mode)
+    } else {
+        build_config(args, mode)
+    };
+    if args.snapshot_every_ms > 0 || args.resume.is_some() {
+        if let Some(reason) = cfg.snapshot_ineligibility() {
+            eprintln!("fns-sim: this configuration cannot be checkpointed: {reason}");
+            std::process::exit(2);
+        }
+    }
+    let mut sim = match &args.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("fns-sim: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let sim = HostSim::restore(cfg, &bytes).unwrap_or_else(|e| {
+                eprintln!(
+                    "fns-sim: cannot resume from {path}: {e:?} (the resuming invocation \
+                     must rebuild the snapshotted configuration with the same flags)"
+                );
+                std::process::exit(1);
+            });
+            println!("resumed from {} at t={} ns", path, sim.now());
+            sim
+        }
+        None => HostSim::new(cfg),
+    };
+    let end = cfg.end_time();
+    let every = args.snapshot_every_ms * 1_000_000;
+    let mut aborted = false;
+    // A resumed run re-aligns to the original checkpoint grid, so its
+    // boundaries (and files) match the run it was carved out of.
+    let mut t = sim.now();
+    loop {
+        let next = t
+            .checked_div(every)
+            .map_or(end, |n| ((n + 1) * every).min(end));
+        sim.step_until(next);
+        t = next;
+        if sim.watchdog_aborted() {
+            let path = checkpoint_path(&args.snapshot_prefix, t);
+            write_bytes_or_die(&path, &sim.snapshot());
+            eprintln!(
+                "fns-sim: watchdog aborted the run at t={t} ns; replayable artifact -> {path}"
+            );
+            aborted = true;
+            break;
+        }
+        if t >= end {
+            break;
+        }
+        if every > 0 {
+            let path = checkpoint_path(&args.snapshot_prefix, t);
+            write_bytes_or_die(&path, &sim.snapshot());
+            println!("checkpoint: t={t} ns -> {path}");
+        }
+    }
+    (sim.finish(), aborted)
 }
 
 /// Output path for one mode of a (possibly multi-mode) sweep: the exact
@@ -309,6 +456,19 @@ fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
             m.faults.stale_dma_leaked,
         );
     }
+    if m.watchdog.enabled {
+        println!(
+            "{:>14}  watchdog: {} checks  {} relief-drains  {} storms  max-backlog {}  \
+             degraded {}  aborted {}",
+            "",
+            m.watchdog.checks,
+            m.watchdog.relief_drains,
+            m.watchdog.storms,
+            m.watchdog.max_backlog_seen,
+            m.watchdog.degraded,
+            m.watchdog.aborted,
+        );
+    }
     if args.workload == "rpc" && m.latency.count() > 0 {
         let p = |q: f64| m.latency.percentile(q) as f64 / 1000.0;
         println!(
@@ -325,26 +485,50 @@ fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
 
 fn main() {
     let args = parse_args();
-    println!(
-        "workload={} flows={} ring={} mtu={} pages/desc={} measure={}ms seed={}",
-        args.workload,
-        args.flows,
-        args.ring,
-        args.mtu,
-        args.pages_per_desc,
-        args.measure_ms,
-        args.seed
-    );
-    let runner = match args.jobs {
-        Some(n) => SweepRunner::new(n),
-        None => SweepRunner::from_env(),
-    };
+    match &args.soak {
+        Some(name) => println!(
+            "soak={} measure={}ms seed={}",
+            name,
+            args.measure_ms.unwrap_or(10_000),
+            args.seed
+        ),
+        None => println!(
+            "workload={} flows={} ring={} mtu={} pages/desc={} measure={}ms seed={}",
+            args.workload,
+            args.flows,
+            args.ring,
+            args.mtu,
+            args.pages_per_desc,
+            args.measure_ms.unwrap_or(60),
+            args.seed
+        ),
+    }
     let modes = args.modes.clone();
-    let configs = modes
-        .iter()
-        .map(|&mode| build_config(&args, mode))
-        .collect();
-    let results = runner.run_sims(configs);
+    let checkpointed = args.soak.is_some() || args.snapshot_every_ms > 0 || args.resume.is_some();
+    let mut aborted = false;
+    let results = if checkpointed {
+        if modes.len() > 1 {
+            eprintln!(
+                "fns-sim: --soak/--snapshot-every/--resume run a single mode \
+                 (got {}); pass --mode",
+                modes.len()
+            );
+            std::process::exit(2);
+        }
+        let (m, a) = run_checkpointed(&args, modes[0]);
+        aborted = a;
+        vec![m]
+    } else {
+        let runner = match args.jobs {
+            Some(n) => SweepRunner::new(n),
+            None => SweepRunner::from_env(),
+        };
+        let configs = modes
+            .iter()
+            .map(|&mode| build_config(&args, mode))
+            .collect();
+        runner.run_sims(configs)
+    };
     let mut audit_violations = 0u64;
     for (mode, m) in modes.iter().zip(results.iter()) {
         print_result(&args, *mode, m);
@@ -407,5 +591,8 @@ fn main() {
     if audit_violations > 0 {
         eprintln!("fns-sim: safety audit found {audit_violations} violation(s)");
         std::process::exit(1);
+    }
+    if aborted {
+        std::process::exit(3);
     }
 }

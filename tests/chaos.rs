@@ -216,3 +216,37 @@ fn deferred_mode_exposes_its_unsafety_window() {
         "deferred mode should leak stale translations between flushes"
     );
 }
+
+/// A fault-heavy run snapshotted mid-recovery (retries, backoffs, and
+/// descriptor recycles in flight) restores bit-identically: the recovery
+/// ladders' state rides inside the snapshot like everything else, and the
+/// chronological fault log of the resumed run matches the uninterrupted
+/// one entry for entry.
+#[test]
+fn mid_recovery_snapshot_restores_bit_identically() {
+    for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+        let cfg = chaos_config(mode, FaultConfig::uniform(0.05));
+        let golden = HostSim::new(cfg).run();
+        assert!(
+            golden.faults.total_injected() > 0,
+            "{mode}: fault plane never fired"
+        );
+        // Snapshot at several points across the run — early, mid-warmup
+        // churn, and deep in the measured window — so at least one lands
+        // with recoveries in flight.
+        for at in [300_000, 1_200_000, 2_100_000] {
+            let mut sim = HostSim::new(cfg);
+            sim.step_until(at);
+            let bytes = sim.snapshot();
+            drop(sim);
+            let resumed = HostSim::restore(cfg, &bytes)
+                .expect("chaos snapshot restores")
+                .run();
+            assert_eq!(
+                golden.fault_log, resumed.fault_log,
+                "{mode}: fault log diverged after restore at t={at}"
+            );
+            assert_eq!(golden, resumed, "{mode}: metrics diverged at t={at}");
+        }
+    }
+}

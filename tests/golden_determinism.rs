@@ -194,6 +194,40 @@ fn wheel_and_heap_queues_agree_end_to_end() {
 }
 
 #[test]
+fn snapshot_restore_pins_bit_identical_metrics_at_any_job_count() {
+    // The checkpoint plane must be invisible too: run-to-T → snapshot →
+    // restore → run-to-end equals the uninterrupted run bit for bit, for
+    // every protection mode, both queue backends, and under the parallel
+    // sweep runner at 1 and 8 workers.
+    let mut configs = Vec::new();
+    for mode in ProtectionMode::ALL {
+        for queue in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut cfg = iperf_config(mode, 2, 64);
+            cfg.cores = 2;
+            cfg.warmup = 500_000;
+            cfg.measure = 2_000_000;
+            cfg.aging_factor = 0.0;
+            cfg.queue = queue;
+            configs.push(cfg);
+        }
+    }
+    let golden = run_sequentially(&configs);
+    let interrupt = |cfg: SimConfig| {
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(1_200_000);
+        let bytes = sim.snapshot();
+        drop(sim);
+        HostSim::restore(cfg, &bytes)
+            .expect("a sim's own snapshot restores under its own config")
+            .run()
+    };
+    for jobs in [1, 8] {
+        let resumed = SweepRunner::new(jobs).map(configs.clone(), interrupt);
+        assert_identical(&golden, &resumed, &format!("snapshot/restore jobs={jobs}"));
+    }
+}
+
+#[test]
 fn repeated_parallel_sweeps_are_identical_to_each_other() {
     // Not just parallel == sequential: two parallel executions must agree
     // with each other even when thread scheduling differs.
