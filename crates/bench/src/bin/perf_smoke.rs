@@ -144,6 +144,16 @@ impl FigureResult {
     fn ns_per_translation(&self, wall_ns: u128) -> f64 {
         wall_ns as f64 / self.translations.max(1) as f64
     }
+    /// Share of the figure's modelled driver CPU spent in `span`, in
+    /// percent of the figure's span total (0 when the figure charges no
+    /// spans at all, e.g. a pure-IOMMU-off basket).
+    fn span_share_pct(&self, span: Span) -> f64 {
+        let total = self.spans.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.spans.get(span) as f64 * 100.0 / total as f64
+    }
 }
 
 struct CurvePoint {
@@ -249,7 +259,8 @@ fn main() {
         };
         println!(
             "{:>20}: {:2} runs  seq {:7.2} ms  par {:7.2} ms  speedup {:4.2}x  \
-             {:6.2} Mev/s seq  {:6.1} ns/event seq  {:6.1} ns/translation seq",
+             {:6.2} Mev/s seq  {:6.1} ns/event seq  {:6.1} ns/translation seq  \
+             inv-wait {:4.1}%",
             fig.name,
             fig.runs,
             seq_wall_ns as f64 / 1e6,
@@ -258,6 +269,7 @@ fn main() {
             fig.events_per_sec(seq_wall_ns) / 1e6,
             fig.ns_per_event(seq_wall_ns),
             fig.ns_per_translation(seq_wall_ns),
+            fig.span_share_pct(Span::InvalidationWait),
         );
         figures.push(fig);
     }
@@ -369,6 +381,19 @@ fn main() {
             w.field_u64(span.name(), f.spans.get(span));
         }
         w.end_object();
+        // The same buckets as shares of the figure's span total, so a
+        // ratchet on (say) invalidation_wait_pct needs no client-side
+        // arithmetic over the raw nanosecond counters.
+        w.key("span_shares_pct");
+        w.begin_object();
+        for span in Span::ALL {
+            w.field_f64(span.name(), f.span_share_pct(span));
+        }
+        w.end_object();
+        w.field_f64(
+            "invalidation_wait_pct",
+            f.span_share_pct(Span::InvalidationWait),
+        );
         w.end_object();
     }
     w.end_array();

@@ -172,6 +172,20 @@ pub struct SimConfig {
     /// (results are bit-identical either way — `tests/golden_determinism.rs`
     /// pins that).
     pub queue: QueueKind,
+    /// Coalesced invalidation batch-drain: per-page invalidation
+    /// submissions from the completion paths run as one pass over the
+    /// driver's flat pending ring instead of one bookkeeping-heavy call
+    /// per page. On by default; `false` restores the per-call reference
+    /// loop. Results are bit-identical either way — metrics, traces, and
+    /// oracle audit order (`tests/golden_determinism.rs` pins it).
+    pub coalesce_inv_drain: bool,
+    /// Analytic fast-forward in the timing wheel: when the occupancy
+    /// bitmasks prove nothing is schedulable before time T, the wheel
+    /// jumps its level bases to T in one pass instead of cascading one
+    /// level per settle. On by default; `false` restores the reference
+    /// cascade. A fast-forward is unobservable in any metric, trace, or
+    /// audit (`queue_equivalence.rs` + `tests/golden_determinism.rs`).
+    pub queue_fast_forward: bool,
     /// Degradation watchdog for long-horizon soak runs (see
     /// [`crate::watchdog`]). Off by default; a disabled watchdog changes
     /// no run by a single bit.
@@ -215,6 +229,8 @@ impl SimConfig {
             probes: ProbeConfig::off(),
             audit: AuditConfig::off(),
             queue: QueueKind::Wheel,
+            coalesce_inv_drain: true,
+            queue_fast_forward: true,
             watchdog: WatchdogConfig::off(),
         }
     }

@@ -104,7 +104,8 @@ pub struct DriverSalvage {
     chunks: PfnMap<ChunkCarver>,
     pinned_free: std::collections::VecDeque<DescriptorPage>,
     huge_frames: Vec<u64>,
-    epoch_pool: Vec<Vec<InvalidationRequest>>,
+    pending_wipe_reqs: std::collections::VecDeque<InvalidationRequest>,
+    pending_wipe_epochs: std::collections::VecDeque<u32>,
     page_pool: Vec<Vec<DescriptorPage>>,
     req_scratch: Vec<InvalidationRequest>,
     reclaim_scratch: Vec<fns_iommu::ReclaimedPage>,
@@ -150,10 +151,22 @@ pub struct DmaDriver {
     /// between wipes and walks that drives the paper's PTcache-L3 misses.
     /// The IOTLB-entry invalidation itself is always synchronous, so the
     /// strict safety property is unaffected.
-    pending_ptcache_wipes: std::collections::VecDeque<Vec<InvalidationRequest>>,
-    /// Retired wipe-epoch vectors, reused by `submit_invalidations` so the
-    /// steady-state unmap path allocates nothing.
-    epoch_pool: Vec<Vec<InvalidationRequest>>,
+    ///
+    /// Stored as a flat pending ring — requests in submission order plus a
+    /// parallel ring of per-epoch lengths — so queueing an epoch is a few
+    /// `Copy` pushes and retiring one is a run of front pops, with no
+    /// per-epoch vector to pool or chase.
+    pending_wipe_reqs: std::collections::VecDeque<InvalidationRequest>,
+    /// Epoch boundaries in [`DmaDriver::pending_wipe_reqs`]: entry `i` is
+    /// the length of the `i`-th oldest un-retired epoch.
+    pending_wipe_epochs: std::collections::VecDeque<u32>,
+    /// Scratch buffer handing a retired epoch to the audit hook as a slice.
+    epoch_scratch: Vec<InvalidationRequest>,
+    /// Coalesce per-page invalidation submissions into one ring pass (see
+    /// [`DmaDriver::submit_per_page_invalidations`]). Default on; the
+    /// per-call loop survives behind the switch as the reference for the
+    /// golden-determinism coalesced-vs-per-event pin.
+    coalesce_inv_drain: bool,
     /// Recycled descriptor-page vectors (from completed Rx descriptors and
     /// Tx packets), reused by `prepare_rx_descriptor`/`tx_map`.
     page_pool: Vec<Vec<DescriptorPage>>,
@@ -264,6 +277,8 @@ impl DmaDriver {
                 s.locality.reset();
                 s.req_scratch.clear();
                 s.reclaim_scratch.clear();
+                s.pending_wipe_reqs.clear();
+                s.pending_wipe_epochs.clear();
                 s
             }
             None => DriverSalvage {
@@ -272,7 +287,8 @@ impl DmaDriver {
                 chunks: PfnMap::default(),
                 pinned_free: std::collections::VecDeque::new(),
                 huge_frames: Vec::new(),
-                epoch_pool: Vec::new(),
+                pending_wipe_reqs: std::collections::VecDeque::new(),
+                pending_wipe_epochs: std::collections::VecDeque::new(),
                 page_pool: Vec::new(),
                 req_scratch: Vec::new(),
                 reclaim_scratch: Vec::new(),
@@ -296,8 +312,10 @@ impl DmaDriver {
             // Above the 16 GB frame-allocator range, 2 MB aligned.
             next_pinned_pfn: 8 << 20,
             huge_frames: parts.huge_frames,
-            pending_ptcache_wipes: std::collections::VecDeque::new(),
-            epoch_pool: parts.epoch_pool,
+            pending_wipe_reqs: parts.pending_wipe_reqs,
+            pending_wipe_epochs: parts.pending_wipe_epochs,
+            epoch_scratch: Vec::new(),
+            coalesce_inv_drain: true,
             page_pool: parts.page_pool,
             req_scratch: parts.req_scratch,
             reclaim_scratch: parts.reclaim_scratch,
@@ -318,19 +336,17 @@ impl DmaDriver {
     }
 
     /// Tears the driver down into its reusable storage (see
-    /// [`DriverSalvage`]). Outstanding wipe epochs are returned to the
-    /// epoch pool on the way out.
-    pub fn salvage(mut self) -> DriverSalvage {
-        while let Some(epoch) = self.pending_ptcache_wipes.pop_front() {
-            self.recycle_epoch(epoch);
-        }
+    /// [`DriverSalvage`]). Outstanding wipe epochs are discarded with the
+    /// run; the ring storage itself survives.
+    pub fn salvage(self) -> DriverSalvage {
         DriverSalvage {
             iommu: self.iommu,
             frames: self.frames,
             chunks: self.chunks,
             pinned_free: self.pinned_free,
             huge_frames: self.huge_frames,
-            epoch_pool: self.epoch_pool,
+            pending_wipe_reqs: self.pending_wipe_reqs,
+            pending_wipe_epochs: self.pending_wipe_epochs,
             page_pool: self.page_pool,
             req_scratch: self.req_scratch,
             reclaim_scratch: self.reclaim_scratch,
@@ -459,12 +475,12 @@ impl DmaDriver {
         self.recycle_pages(desc.into_pages());
     }
 
-    /// Returns a retired wipe epoch's storage to the pool.
-    fn recycle_epoch(&mut self, mut epoch: Vec<InvalidationRequest>) {
-        if self.epoch_pool.len() < POOL_CAP {
-            epoch.clear();
-            self.epoch_pool.push(epoch);
-        }
+    /// Enables or disables the coalesced per-page invalidation drain
+    /// (default on). Off routes completions through the legacy
+    /// one-`submit_invalidations`-call-per-page loop; results are
+    /// bit-identical either way (`tests/golden_determinism.rs` pins it).
+    pub fn set_coalesce_inv_drain(&mut self, on: bool) {
+        self.coalesce_inv_drain = on;
     }
 
     /// Submits one invalidation *epoch*: IOTLB entries are removed
@@ -484,7 +500,7 @@ impl DmaDriver {
         if reqs.is_empty() {
             return 0;
         }
-        let mut epoch = self.epoch_pool.pop().unwrap_or_default();
+        let epoch_mark = self.pending_wipe_reqs.len();
         for r in reqs {
             self.inv_submit_seq += 1;
             if let Sabotage::SkipRangeInvalidation { nth } = self.sabotage {
@@ -496,26 +512,19 @@ impl DmaDriver {
                 .invalidate_range(r.range, InvalidationScope::IotlbOnly);
             self.audit.on_invalidate(r.range);
             if r.scope != InvalidationScope::IotlbOnly {
-                epoch.push(*r);
+                self.pending_wipe_reqs.push_back(*r);
             }
         }
-        if epoch.is_empty() {
-            self.recycle_epoch(epoch);
-        } else {
+        let queued = self.pending_wipe_reqs.len() - epoch_mark;
+        if queued > 0 {
             self.audit.on_wipe_queued();
-            self.pending_ptcache_wipes.push_back(epoch);
+            self.pending_wipe_epochs.push_back(queued as u32);
         }
         self.iommu.note_queue_entries(reqs.len() as u64);
         // Backstop: if translations stall, retire wipes in bulk rather than
         // letting the queue grow without bound.
-        while self.pending_ptcache_wipes.len() > 1024 {
-            let epoch = self
-                .pending_ptcache_wipes
-                .pop_front()
-                .expect("non-empty queue");
-            Self::apply_epoch(&mut self.iommu, &epoch);
-            self.audit.on_wipe_applied(&epoch);
-            self.recycle_epoch(epoch);
+        while self.pending_wipe_epochs.len() > 1024 {
+            self.retire_front_epoch();
         }
         // Differential cross-check: no request submitted above may leave a
         // live IOTLB entry (the sabotaged one deliberately does).
@@ -575,17 +584,103 @@ impl DmaDriver {
         cost
     }
 
-    fn apply_epoch(iommu: &mut Iommu, epoch: &[InvalidationRequest]) {
-        for r in epoch {
-            match r.scope {
-                InvalidationScope::IotlbOnly => {}
-                InvalidationScope::IotlbAndLeafPtcache => {
-                    iommu.invalidate_ptcache_leaf(r.range);
+    /// Coalesced drain of one completion's per-page invalidations:
+    /// observationally bit-identical to calling
+    /// [`DmaDriver::submit_invalidations`] once per request with
+    /// `per_call_sync` — each page still pays its own queue
+    /// synchronization, still audits/traces in the same order, and still
+    /// retires as its own epoch — but executed as one pass over the flat
+    /// pending ring with no per-call bookkeeping. Returns the CPU wait.
+    fn submit_per_page_invalidations(&mut self, reqs: &[InvalidationRequest]) -> Nanos {
+        if reqs.is_empty() {
+            return 0;
+        }
+        if !self.coalesce_inv_drain {
+            // Reference path for the golden-determinism pin.
+            let mut cpu = 0;
+            for r in reqs {
+                cpu += self.submit_invalidations(std::slice::from_ref(r), true);
+            }
+            return cpu;
+        }
+        let per_cost = self.invq.cost_ns(1);
+        let tracing = self.trace.wants(TraceCategory::Invalidation);
+        let audit_on = self.audit.is_on();
+        for r in reqs {
+            self.inv_submit_seq += 1;
+            let sabotaged = matches!(
+                self.sabotage,
+                Sabotage::SkipRangeInvalidation { nth } if nth == self.inv_submit_seq
+            );
+            if !sabotaged {
+                self.iommu
+                    .invalidate_range(r.range, InvalidationScope::IotlbOnly);
+                self.audit.on_invalidate(r.range);
+                if r.scope != InvalidationScope::IotlbOnly {
+                    self.pending_wipe_reqs.push_back(*r);
+                    self.audit.on_wipe_queued();
+                    self.pending_wipe_epochs.push_back(1);
                 }
-                InvalidationScope::IotlbAndFullPtcache => {
-                    iommu.invalidate_ptcache_leaf(r.range);
-                    iommu.invalidate_ptcache_upper(r.range);
-                }
+            }
+            self.iommu.note_queue_entries(1);
+            while self.pending_wipe_epochs.len() > 1024 {
+                self.retire_front_epoch();
+            }
+            if audit_on {
+                self.audit.crosscheck_invalidated(&self.iommu, r.range);
+            }
+            if tracing {
+                self.trace.emit(TraceData::InvEnqueue {
+                    entries: 1,
+                    cost_ns: per_cost,
+                });
+            }
+        }
+        let cost = per_cost * reqs.len() as Nanos;
+        self.spans.charge(Span::InvalidationWait, cost);
+        self.invalidation_cpu_ns += cost;
+        cost
+    }
+
+    fn apply_request(iommu: &mut Iommu, r: &InvalidationRequest) {
+        match r.scope {
+            InvalidationScope::IotlbOnly => {}
+            InvalidationScope::IotlbAndLeafPtcache => {
+                iommu.invalidate_ptcache_leaf(r.range);
+            }
+            InvalidationScope::IotlbAndFullPtcache => {
+                iommu.invalidate_ptcache_leaf(r.range);
+                iommu.invalidate_ptcache_upper(r.range);
+            }
+        }
+    }
+
+    /// Pops the oldest pending epoch off the ring and applies its wipes.
+    /// The audit hook needs the epoch as a slice; the scratch copy is only
+    /// built when auditing is on.
+    fn retire_front_epoch(&mut self) {
+        let n = self
+            .pending_wipe_epochs
+            .pop_front()
+            .expect("non-empty epoch ring") as usize;
+        if self.audit.is_on() {
+            self.epoch_scratch.clear();
+            for _ in 0..n {
+                let r = self
+                    .pending_wipe_reqs
+                    .pop_front()
+                    .expect("request ring holds every queued epoch");
+                Self::apply_request(&mut self.iommu, &r);
+                self.epoch_scratch.push(r);
+            }
+            self.audit.on_wipe_applied(&self.epoch_scratch);
+        } else {
+            for _ in 0..n {
+                let r = self
+                    .pending_wipe_reqs
+                    .pop_front()
+                    .expect("request ring holds every queued epoch");
+                Self::apply_request(&mut self.iommu, &r);
             }
         }
     }
@@ -593,24 +688,18 @@ impl DmaDriver {
     /// Retires up to `max` queued PTcache wipe epochs (called by the
     /// datapath between translations).
     pub fn drain_ptcache_wipes(&mut self, max: usize) {
-        let mut drained = 0u32;
-        for _ in 0..max {
-            let Some(epoch) = self.pending_ptcache_wipes.pop_front() else {
-                break;
-            };
-            Self::apply_epoch(&mut self.iommu, &epoch);
-            self.audit.on_wipe_applied(&epoch);
-            self.recycle_epoch(epoch);
-            drained += 1;
+        let drained = max.min(self.pending_wipe_epochs.len()) as u32;
+        for _ in 0..drained {
+            self.retire_front_epoch();
         }
         if drained > 0 {
             self.trace.emit(TraceData::InvDrain { epochs: drained });
         }
     }
 
-    /// Queued-but-unretired PTcache wipes (test helper).
+    /// Queued-but-unretired PTcache wipe epochs (test helper).
     pub fn pending_wipes(&self) -> usize {
-        self.pending_ptcache_wipes.len()
+        self.pending_wipe_epochs.len()
     }
 
     /// Watchdog degradation hook (rung 2): collapses deferred-mode
@@ -660,7 +749,7 @@ impl DmaDriver {
     }
 
     /// Serializes the full driver state for checkpointing. Scratch pools
-    /// (`epoch_pool`, `page_pool`, `req_scratch`, `reclaim_scratch`) are
+    /// (`page_pool`, `req_scratch`, `reclaim_scratch`, `epoch_scratch`) are
     /// not serialized — they are behaviorally invisible storage caches and
     /// come back empty. The trace/audit/fault planes' *handles* are also
     /// excluded: the simulation owns those and reattaches them on restore.
@@ -693,12 +782,15 @@ impl DmaDriver {
         }
         w.u64(self.next_pinned_pfn);
         w.u64_slice(&self.huge_frames);
-        w.seq(self.pending_ptcache_wipes.len());
-        for epoch in &self.pending_ptcache_wipes {
-            w.seq(epoch.len());
-            for req in epoch {
-                Self::snap_request(w, req);
-            }
+        // The flat pending ring serializes as (epoch lengths, then the
+        // requests in submission order); both rings restore exactly.
+        w.seq(self.pending_wipe_epochs.len());
+        for &len in &self.pending_wipe_epochs {
+            w.u32(len);
+        }
+        w.seq(self.pending_wipe_reqs.len());
+        for req in &self.pending_wipe_reqs {
+            Self::snap_request(w, req);
         }
         self.locality.snap(w);
         w.usize(self.locality_cap);
@@ -764,14 +856,14 @@ impl DmaDriver {
         let next_pinned_pfn = r.u64()?;
         let huge_frames = r.u64_vec()?;
         let n = r.seq()?;
-        let mut pending_ptcache_wipes = std::collections::VecDeque::with_capacity(n.min(1 << 12));
+        let mut pending_wipe_epochs = std::collections::VecDeque::with_capacity(n.min(1 << 12));
         for _ in 0..n {
-            let m = r.seq()?;
-            let mut epoch = Vec::with_capacity(m.min(1 << 16));
-            for _ in 0..m {
-                epoch.push(Self::unsnap_request(r)?);
-            }
-            pending_ptcache_wipes.push_back(epoch);
+            pending_wipe_epochs.push_back(r.u32()?);
+        }
+        let n = r.seq()?;
+        let mut pending_wipe_reqs = std::collections::VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            pending_wipe_reqs.push_back(Self::unsnap_request(r)?);
         }
         let locality = ReuseDistance::unsnap(r)?;
         let locality_cap = r.usize()?;
@@ -811,8 +903,10 @@ impl DmaDriver {
             pinned_free,
             next_pinned_pfn,
             huge_frames,
-            pending_ptcache_wipes,
-            epoch_pool: Vec::new(),
+            pending_wipe_reqs,
+            pending_wipe_epochs,
+            epoch_scratch: Vec::new(),
+            coalesce_inv_drain: true,
             page_pool: Vec::new(),
             req_scratch: Vec::new(),
             reclaim_scratch: Vec::new(),
@@ -1278,10 +1372,9 @@ impl DmaDriver {
                 // Stock Linux: each page is its own dma_unmap call — one
                 // synchronization *and* one retirement epoch per page (the
                 // unmaps spread across the NAPI poll, interleaved with the
-                // NIC's ongoing walks).
-                for r in &reqs {
-                    cpu += self.submit_invalidations(std::slice::from_ref(r), true);
-                }
+                // NIC's ongoing walks). Submitted through the coalesced
+                // single-pass drain.
+                cpu += self.submit_per_page_invalidations(&reqs);
                 if self.mode.preserves_ptcache() {
                     self.reclaim_fixup(&reclaimed);
                 }
@@ -1517,10 +1610,9 @@ impl DmaDriver {
             }
         } else {
             // Stock Linux: each transmitted packet's unmap is its own
-            // invalidation + synchronization (its own retirement epoch).
-            for r in &reqs {
-                cpu += self.submit_invalidations(std::slice::from_ref(r), true);
-            }
+            // invalidation + synchronization (its own retirement epoch),
+            // submitted through the coalesced single-pass drain.
+            cpu += self.submit_per_page_invalidations(&reqs);
             if self.mode.preserves_ptcache() {
                 self.reclaim_fixup(&reclaimed);
             }

@@ -537,6 +537,35 @@ pub struct HostSim {
     sampler: Sampler,
     /// Degradation-watchdog state (inert unless `cfg.watchdog` enables it).
     wd: WatchdogState,
+    /// Reused hot-path buffers (see [`Scratch`]); never serialized.
+    scratch: Scratch,
+}
+
+/// Reusable buffers for the per-event hot paths. Every buffer is filled and
+/// fully drained within a single event handler — each is empty again before
+/// the handler returns — so none of this is observable state: snapshots skip
+/// it, and reuse saves only the per-event heap allocations.
+#[derive(Default)]
+struct Scratch {
+    /// Pages touched by the packet currently DMAing (`take_rx_pages`); the
+    /// caller translates from it and clears it.
+    rx_pages: Vec<Iova>,
+    /// Descriptors completed while taking Rx pages, drained to NAPI.
+    rx_completed: Vec<Descriptor>,
+    /// Packets pulled from a sender before entering a switch/Tx queue.
+    pkts: Vec<Packet>,
+    /// ACKs generated during a NAPI poll, mapped at poll end.
+    acks: Vec<(FlowId, fns_net::receiver::AckToSend)>,
+    /// DUT flows with newly acked bytes needing a Tx pump.
+    pump_flows: Vec<FlowId>,
+    /// DUT flows owing a fast retransmission.
+    fast_rtx: Vec<FlowId>,
+    /// Receivers touched this poll (GRO ACK flush set).
+    touched_rx: Vec<FlowId>,
+    /// Mapped transmissions (packet + pages) bound for the Tx queues.
+    mapped: Vec<(Packet, Vec<DescriptorPage>)>,
+    /// Peer flows to pump after peer-side app-boundary processing.
+    peer_pumps: Vec<FlowId>,
 }
 
 impl HostSim {
@@ -555,7 +584,7 @@ impl HostSim {
             cfg.pages_per_descriptor = 512;
         }
         let rng = SimRng::seed(cfg.seed);
-        let drv = DmaDriver::with_descriptor_pages_in(
+        let mut drv = DmaDriver::with_descriptor_pages_in(
             cfg.mode,
             cfg.cores,
             cfg.iommu,
@@ -565,10 +594,11 @@ impl HostSim {
             cfg.pages_per_descriptor as u64,
             arena.driver.take(),
         );
+        drv.set_coalesce_inv_drain(cfg.coalesce_inv_drain);
         // Recycle the event queue only when the configured implementation
         // matches; a sweep mixing wheel and heap runs rebuilds on the
         // transition.
-        let q = match arena.queue.take() {
+        let mut q = match arena.queue.take() {
             Some(mut q) if q.kind() == cfg.queue => {
                 q.reset();
                 q
@@ -577,6 +607,7 @@ impl HostSim {
             // backlog (the deepest observed backlogs stay well below this).
             _ => EventQueue::with_kind(cfg.queue, 4096),
         };
+        q.set_fast_forward(cfg.queue_fast_forward);
         let mut sim = Self {
             q,
             rng,
@@ -617,6 +648,7 @@ impl HostSim {
             trace: TraceHandle::default(),
             sampler: Sampler::new(cfg.probes),
             wd: WatchdogState::default(),
+            scratch: Scratch::default(),
             cfg,
         };
         sim.wd.report.enabled = sim.cfg.watchdog.enabled;
@@ -903,10 +935,18 @@ impl HostSim {
     /// back for the next call. Metrics are bit-identical to
     /// `HostSim::new(cfg).run()`.
     pub fn run_in(cfg: SimConfig, arena: &mut RunArena) -> RunMetrics {
-        let mut sim = Self::new_in(cfg, arena);
-        let end = sim.cfg.end_time();
-        sim.step_until(end);
-        sim.collect_into(end, Some(arena))
+        Self::new_in(cfg, arena).run_salvaging(arena)
+    }
+
+    /// Finishes a sim built with [`HostSim::new_in`]: runs to the configured
+    /// end time, collects metrics, and harvests the run's allocations back
+    /// into `arena` for the next construction. `run_in` is exactly
+    /// `new_in` + `run_salvaging`; the split exists so callers (e.g. the
+    /// profiling harness) can time construction and the event loop apart.
+    pub fn run_salvaging(mut self, arena: &mut RunArena) -> RunMetrics {
+        let end = self.cfg.end_time();
+        self.step_until(end);
+        self.collect_into(end, Some(arena))
     }
 
     /// Processes events up to (and including) time `t`.
@@ -918,6 +958,13 @@ impl HostSim {
             let (now, ev) = self.q.pop().expect("peeked event vanished");
             self.handle(now, ev);
         }
+    }
+
+    /// Queued-but-unretired PTcache wipe epochs in the driver's pending
+    /// ring. Debug/inspection helper: lets tests aim a snapshot at a
+    /// moment when the coalesced invalidation drain is mid-flight.
+    pub fn pending_wipe_epochs(&self) -> usize {
+        self.drv.pending_wipes()
     }
 
     /// Snapshot of the peer senders' transport state:
@@ -983,6 +1030,7 @@ impl HostSim {
             ev.snap(&mut w);
         }
         let mut q = EventQueue::with_kind(self.q.kind(), 4096);
+        q.set_fast_forward(self.cfg.queue_fast_forward);
         for (at, ev) in events {
             q.push(at, ev);
         }
@@ -1074,12 +1122,14 @@ impl HostSim {
         let seq = r.u64()?;
         let n = r.seq()?;
         let mut q = EventQueue::with_kind(cfg.queue, 4096);
+        q.set_fast_forward(cfg.queue_fast_forward);
         for _ in 0..n {
             let at = r.u64()?;
             q.push(at, Ev::unsnap(&mut r)?);
         }
         q.set_counters(qnow, popped, seq);
         let mut drv = DmaDriver::unsnap(&mut r, cfg.mode, cfg.cpu, cfg.faults)?;
+        drv.set_coalesce_inv_drain(cfg.coalesce_inv_drain);
         drv.set_audit(AuditHandle::unsnap(&mut r)?);
         let trace = TraceHandle::unsnap(&mut r)?;
         let n = r.seq()?;
@@ -1198,6 +1248,7 @@ impl HostSim {
             trace,
             sampler,
             wd,
+            scratch: Scratch::default(),
         })
     }
 
@@ -1383,14 +1434,15 @@ impl HostSim {
             return;
         };
         let mut emitted = false;
-        let mut to_send = Vec::new();
+        let mut to_send = std::mem::take(&mut self.scratch.pkts);
         while let Some(pkt) = s.next_packet(now) {
             to_send.push(pkt);
             emitted = true;
         }
-        for pkt in to_send {
+        for pkt in to_send.drain(..) {
             self.enqueue_to_dut(pkt);
         }
+        self.scratch.pkts = to_send;
         if emitted {
             self.schedule_to_dut_drain(now);
         }
@@ -1433,13 +1485,16 @@ impl HostSim {
         self.nic_pump(now);
     }
 
-    /// Takes Rx pages for a packet of `bytes`; returns the touched pages and
-    /// any descriptors that completed, or `None` if the ring is out of
-    /// descriptors (the packet cannot DMA yet).
-    fn take_rx_pages(&mut self, core: usize, bytes: u64) -> Option<Vec<Iova>> {
+    /// Takes Rx pages for a packet of `bytes`, leaving the touched pages in
+    /// `self.scratch.rx_pages` (the caller translates from there and clears
+    /// it) and feeding any completed descriptors to NAPI. Returns `false` —
+    /// with the scratch untouched — if the ring is out of descriptors (the
+    /// packet cannot DMA yet).
+    fn take_rx_pages(&mut self, core: usize, bytes: u64) -> bool {
+        debug_assert!(self.scratch.rx_pages.is_empty());
+        let mut touched = std::mem::take(&mut self.scratch.rx_pages);
+        let mut completed = std::mem::take(&mut self.scratch.rx_completed);
         let rs = &mut self.rings[core];
-        let mut touched = Vec::new();
-        let mut completed = Vec::new();
         // If the head descriptor is fully consumed but its last page is
         // still open and cannot hold this packet, post (close) that page so
         // the descriptor can complete and be replenished — otherwise a
@@ -1466,7 +1521,7 @@ impl HostSim {
         };
         let available = rs.ring.head_remaining() as u64
             + rs.ring.queued_behind_head() as u64 * self.cfg.pages_per_descriptor as u64;
-        let mut result = None;
+        let mut ok = false;
         if available >= needed {
             let rs = &mut self.rings[core];
             let mut remaining = bytes;
@@ -1496,12 +1551,14 @@ impl HostSim {
                     break;
                 }
             }
-            result = Some(touched);
+            ok = true;
         }
         if !completed.is_empty() {
-            self.napi[core].desc_done.extend(completed);
+            self.napi[core].desc_done.extend(completed.drain(..));
         }
-        result
+        self.scratch.rx_pages = touched;
+        self.scratch.rx_completed = completed;
+        ok
     }
 
     /// Records one closed page in the front descriptor; pops the descriptor
@@ -1530,23 +1587,24 @@ impl HostSim {
                 // driver gets to recycle it.
                 self.ensure_napi(now, core);
             }
-            let Some(pages) = taken else {
+            if !taken {
                 // Out of descriptors: leave the packet queued; the buffer
                 // will tail-drop behind it if the stall persists.
                 self.ring_drops += self.drain_if_hopeless(core);
                 break;
-            };
+            }
             let (pkt, bytes) = self.nic_buf.dequeue().expect("peeked packet");
             debug_assert_eq!(bytes, pkt.bytes as u64);
             // Retire pending PTcache wipes at page granularity — wipes and
             // walks interleave on real hardware (see DmaDriver docs).
-            self.drv.drain_ptcache_wipes(pages.len());
+            self.drv.drain_ptcache_wipes(self.scratch.rx_pages.len());
             // Translate every touched page (one translation per PCIe-level
             // page access; repeat touches hit the IOTLB).
             let mut reads = 0u32;
-            for &iova in &pages {
+            for &iova in &self.scratch.rx_pages {
                 reads += self.drv.translate(iova);
             }
+            self.scratch.rx_pages.clear();
             let lm = self.walk_read_ns();
             let l0 = (self.cfg.l0_rx_ns * pkt.bytes as u64)
                 .div_ceil(4096)
@@ -1612,9 +1670,9 @@ impl HostSim {
             self.cfg.cpu.per_batch_ns
         };
         self.napi[core].chained = false;
-        let mut acks: Vec<(FlowId, fns_net::receiver::AckToSend)> = Vec::new();
-        let mut pump_dut_flows: Vec<FlowId> = Vec::new();
-        let mut dut_fast_rtx: Vec<FlowId> = Vec::new();
+        let mut acks = std::mem::take(&mut self.scratch.acks);
+        let mut pump_dut_flows = std::mem::take(&mut self.scratch.pump_flows);
+        let mut dut_fast_rtx = std::mem::take(&mut self.scratch.fast_rtx);
         // 1. Replenish the ring first (mlx5 posts new WQEs at poll start),
         // so refills draw on IOVAs freed by *previous* polls rather than
         // immediately recycling this poll's frees.
@@ -1691,7 +1749,7 @@ impl HostSim {
         // 3. Rx packet completions.
         let mut processed = 0;
         let miss_factor = self.ring_miss_factor();
-        let mut touched_receivers: Vec<FlowId> = Vec::new();
+        let mut touched_receivers = std::mem::take(&mut self.scratch.touched_rx);
         while processed < NAPI_BUDGET {
             let Some(pkt) = self.napi[core].rx.pop_front() else {
                 break;
@@ -1734,7 +1792,7 @@ impl HostSim {
             }
         }
         // 4. Flush coalesced ACKs (GRO flush at poll end).
-        for flow in touched_receivers {
+        for flow in touched_receivers.drain(..) {
             if let Some(r) = self.dut_receivers.get_mut(flow) {
                 if let Some(a) = r.flush_ack() {
                     acks.push((flow, a));
@@ -1746,8 +1804,8 @@ impl HostSim {
         let app_work = self.process_app_boundaries(now, core, &mut pump_dut_flows);
         cpu += app_work;
         // 6. Map ACK transmissions (driver work happens in this context).
-        let mut mapped_acks: Vec<(Packet, Vec<DescriptorPage>)> = Vec::new();
-        for (flow, a) in acks {
+        let mut mapped_acks = std::mem::take(&mut self.scratch.mapped);
+        for (flow, a) in acks.drain(..) {
             // A failed ACK mapping (injected exhaustion) skips the ACK; the
             // peer's retransmission machinery re-elicits it.
             let Ok((pages, c)) = self.drv.tx_map(core, 1) else {
@@ -1758,7 +1816,7 @@ impl HostSim {
             mapped_acks.push((pkt, pages));
         }
         // 7. Fast retransmissions for DUT flows.
-        for flow in dut_fast_rtx {
+        for flow in dut_fast_rtx.drain(..) {
             if let Some(s) = self.dut_senders.get_mut(flow) {
                 let pkt = s.fast_retransmit_packet(now);
                 let n_pages = self.cfg.pages_for(pkt.bytes);
@@ -1773,15 +1831,20 @@ impl HostSim {
         // Charge the CPU and apply deferred effects at the finish time.
         let finish = self.cores[core].run(now, cpu);
         let any_tx = !mapped_acks.is_empty();
-        for (pkt, pages) in mapped_acks {
+        for (pkt, pages) in mapped_acks.drain(..) {
             self.tx_queues[core].push_back((pkt, pages));
         }
         if any_tx {
             self.q.push(finish, Ev::TxPump);
         }
-        for flow in pump_dut_flows {
+        for flow in pump_dut_flows.drain(..) {
             self.q.push(finish, Ev::DutPump(flow));
         }
+        self.scratch.acks = acks;
+        self.scratch.pump_flows = pump_dut_flows;
+        self.scratch.fast_rtx = dut_fast_rtx;
+        self.scratch.touched_rx = touched_receivers;
+        self.scratch.mapped = mapped_acks;
         // More work pending? Re-poll right after (chained: no IRQ cost).
         if !self.napi[core].rx.is_empty()
             || !self.napi[core].tx_done.is_empty()
@@ -1879,7 +1942,7 @@ impl HostSim {
     fn dut_pump(&mut self, now: Nanos, flow: FlowId) {
         let core = self.core_of.get(flow).copied().unwrap_or(0);
         let mut cpu = 0;
-        let mut to_map: Vec<Packet> = Vec::new();
+        let mut to_map = std::mem::take(&mut self.scratch.pkts);
         if let Some(s) = self.dut_senders.get_mut(flow) {
             while let Some(pkt) = s.next_packet(now) {
                 to_map.push(pkt);
@@ -1889,11 +1952,12 @@ impl HostSim {
             }
         }
         if to_map.is_empty() {
+            self.scratch.pkts = to_map;
             return;
         }
         cpu += to_map.len() as Nanos * self.cfg.cpu.per_packet_ns;
-        let mut mapped = Vec::new();
-        for pkt in to_map {
+        let mut mapped = std::mem::take(&mut self.scratch.mapped);
+        for pkt in to_map.drain(..) {
             let pages = self.cfg.pages_for(pkt.bytes);
             // Injected mapping exhaustion drops the packet pre-wire; the
             // sender's RTO treats it like any other loss.
@@ -1901,13 +1965,15 @@ impl HostSim {
                 continue;
             };
             cpu += c;
-            mapped.push((pkt, pg, core));
+            mapped.push((pkt, pg));
         }
         let finish = self.cores[core].run(now, cpu);
-        for (pkt, pages, c) in mapped {
-            self.tx_queues[c].push_back((pkt, pages));
+        for (pkt, pages) in mapped.drain(..) {
+            self.tx_queues[core].push_back((pkt, pages));
         }
         self.q.push(finish, Ev::TxPump);
+        self.scratch.pkts = to_map;
+        self.scratch.mapped = mapped;
     }
 
     fn tx_pump(&mut self, now: Nanos) {
@@ -2015,16 +2081,14 @@ impl HostSim {
             PacketKind::Data => {
                 // DUT→peer data: peer receiver generates ACKs that travel
                 // back to the DUT as inbound packets.
-                let mut acks = Vec::new();
-                if let Some(r) = self.peer_receivers.get_mut(pkt.flow) {
-                    if let Some(a) = r.on_data(&pkt, now) {
-                        acks.push(a);
-                    }
-                }
+                let ack = self
+                    .peer_receivers
+                    .get_mut(pkt.flow)
+                    .and_then(|r| r.on_data(&pkt, now));
                 // Peer-side app boundaries (closed-loop clients when the DUT
                 // is the server; response completion ends an RPC).
                 self.peer_app_boundaries(now);
-                for a in acks {
+                if let Some(a) = ack {
                     let ack = Packet::ack(pkt.flow, a.ack_seq, a.ecn_echo, a.acked_pkts, now);
                     self.enqueue_to_dut(ack);
                 }
@@ -2050,7 +2114,7 @@ impl HostSim {
         if !dut_is_server {
             // The peer runs the server: on each fully received request, it
             // queues a response back toward the DUT.
-            let mut pumps = Vec::new();
+            let mut pumps = std::mem::take(&mut self.scratch.peer_pumps);
             for conn in &mut self.rr_conns {
                 let Some(r) = self.peer_receivers.get(conn.outbound_flow) else {
                     continue;
@@ -2063,12 +2127,13 @@ impl HostSim {
                     }
                 }
             }
-            for f in pumps {
+            for f in pumps.drain(..) {
                 self.q.push(now + 2_000, Ev::PeerPump(f));
             }
+            self.scratch.peer_pumps = pumps;
             return;
         }
-        let mut pumps = Vec::new();
+        let mut pumps = std::mem::take(&mut self.scratch.peer_pumps);
         for conn in &mut self.rr_conns {
             let Some(r) = self.peer_receivers.get(conn.outbound_flow) else {
                 continue;
@@ -2088,9 +2153,10 @@ impl HostSim {
                 }
             }
         }
-        for f in pumps {
+        for f in pumps.drain(..) {
             self.q.push(now + 2_000, Ev::PeerPump(f));
         }
+        self.scratch.peer_pumps = pumps;
     }
 
     // ----- timers ---------------------------------------------------------------
@@ -2244,13 +2310,26 @@ mod tests {
         HostSim::new(cfg)
     }
 
+    /// Test shim over the scratch-based [`HostSim::take_rx_pages`]:
+    /// returns the touched pages as an owned list (`None` when the ring
+    /// is out of descriptors), clearing the scratch the way the DMA path
+    /// does.
+    fn take_pages(sim: &mut HostSim, core: usize, bytes: u64) -> Option<Vec<Iova>> {
+        if !sim.take_rx_pages(core, bytes) {
+            return None;
+        }
+        let pages = sim.scratch.rx_pages.clone();
+        sim.scratch.rx_pages.clear();
+        Some(pages)
+    }
+
     #[test]
     fn full_page_packets_take_one_fresh_page_each() {
         let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
-        let pages = sim.take_rx_pages(0, 4096).expect("ring filled");
+        let pages = take_pages(&mut sim, 0, 4096).expect("ring filled");
         assert_eq!(pages.len(), 1);
         assert!(sim.napi[0].desc_done.is_empty());
-        let pages2 = sim.take_rx_pages(0, 4096).expect("ring filled");
+        let pages2 = take_pages(&mut sim, 0, 4096).expect("ring filled");
         assert_ne!(pages[0], pages2[0]);
     }
 
@@ -2259,19 +2338,19 @@ mod tests {
         let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
         // 64 B ACK-sized packets round to one 256 B stride each: 16 fit in
         // a page, and all 16 translate the same IOVA.
-        let first = sim.take_rx_pages(0, 64).expect("ring filled");
+        let first = take_pages(&mut sim, 0, 64).expect("ring filled");
         for _ in 0..15 {
-            let pages = sim.take_rx_pages(0, 64).expect("ring filled");
+            let pages = take_pages(&mut sim, 0, 64).expect("ring filled");
             assert_eq!(pages, first, "strides pack into the open page");
         }
-        let next = sim.take_rx_pages(0, 64).expect("ring filled");
+        let next = take_pages(&mut sim, 0, 64).expect("ring filled");
         assert_ne!(next, first, "17th stride opens a fresh page");
     }
 
     #[test]
     fn oversized_packet_spans_pages() {
         let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
-        let pages = sim.take_rx_pages(0, 9000).expect("ring filled");
+        let pages = take_pages(&mut sim, 0, 9000).expect("ring filled");
         assert_eq!(pages.len(), 3, "9 KB = 3 pages");
         // Pages come from one descriptor in order, so they are consecutive
         // ring slots (not necessarily consecutive IOVAs under Linux mode).
@@ -2287,14 +2366,14 @@ mod tests {
         // small one starts in the open page's remaining strides and spills
         // into a fresh page.
         let mut sim = tiny_sim(ProtectionMode::LinuxStrict);
-        let small = sim.take_rx_pages(0, 64).expect("ring filled");
-        let big = sim.take_rx_pages(0, 4096).expect("ring filled");
+        let small = take_pages(&mut sim, 0, 64).expect("ring filled");
+        let big = take_pages(&mut sim, 0, 4096).expect("ring filled");
         assert_eq!(big.len(), 2, "spans the open page plus one fresh page");
         assert_eq!(big[0], small[0], "starts in the open page");
         assert_ne!(big[1], small[0]);
         // 64 B occupied one stride; 4096 B fills the rest (15 strides) plus
         // 256 B in the next page, leaving it open for the next packet.
-        let next = sim.take_rx_pages(0, 64).expect("ring filled");
+        let next = take_pages(&mut sim, 0, 64).expect("ring filled");
         assert_eq!(next[0], big[1], "next packet continues in the spill page");
     }
 
@@ -2302,7 +2381,7 @@ mod tests {
     fn descriptor_completes_after_64_closed_pages() {
         let mut sim = tiny_sim(ProtectionMode::FastAndSafe);
         for i in 0..128 {
-            sim.take_rx_pages(0, 4096).expect("ring filled");
+            take_pages(&mut sim, 0, 4096).expect("ring filled");
             if i < 63 {
                 assert_eq!(
                     sim.napi[0].desc_done.len(),
@@ -2326,11 +2405,11 @@ mod tests {
         let total_pages = sim.rings[0].ring.head_remaining() as u64
             + sim.rings[0].ring.queued_behind_head() as u64 * 64;
         for _ in 0..total_pages {
-            sim.take_rx_pages(0, 4096).expect("pages available");
+            take_pages(&mut sim, 0, 4096).expect("pages available");
         }
-        assert!(sim.take_rx_pages(0, 4096).is_none(), "ring exhausted");
+        assert!(take_pages(&mut sim, 0, 4096).is_none(), "ring exhausted");
         // A small packet cannot squeeze in either.
-        assert!(sim.take_rx_pages(0, 64).is_none());
+        assert!(take_pages(&mut sim, 0, 64).is_none());
     }
 
     #[test]
@@ -2624,7 +2703,8 @@ mod huge_debug {
             sim.rings[0].ring.head_remaining()
         );
         let got = sim.take_rx_pages(0, 4096);
-        assert!(got.is_some());
+        assert!(got, "ring out of descriptors");
+        sim.scratch.rx_pages.clear();
         // Drive arrival path manually.
         let pkt = Packet::data(FlowId(0), 0, 4096, 0);
         sim.nic_arrive(100, pkt);

@@ -11,7 +11,7 @@ use fns_iova::types::{Iova, IovaRange};
 use fns_mem::addr::PhysAddr;
 
 use crate::config::IommuConfig;
-use crate::iotlb::Iotlb;
+use crate::iotlb::{HugeTlbEntry, Iotlb, TlbEntry};
 use crate::lru64::Lru64;
 use crate::pagetable::{
     IoPageTable, PageRef, PtEntryView, PtError, ReclaimedPage, UnmapOutcome, WalkResult,
@@ -110,8 +110,8 @@ pub struct Iommu {
     pt: IoPageTable,
     iotlb: Iotlb,
     /// Huge-page IOTLB: key = 2 MB region (l4 page key), value = physical
-    /// base of the region.
-    iotlb_huge: Lru64<PhysAddr>,
+    /// base of the region plus the PT-L3 ref it was read through.
+    iotlb_huge: Lru64<HugeTlbEntry>,
     /// key: iova bits 39.. (one entry covers 512 GB) -> PT-L2 page.
     ptc_l1: Lru64<PageRef>,
     /// key: iova bits 30.. (1 GB) -> PT-L3 page.
@@ -227,23 +227,23 @@ impl Iommu {
     pub fn translate(&mut self, iova: Iova) -> Translation {
         self.stats.translations += 1;
         let pfn = iova.pfn();
-        if let Some(pa) = self.iotlb.get(pfn) {
+        if let Some(e) = self.iotlb.get(pfn) {
             self.stats.iotlb_hits += 1;
-            if self.config.verify_safety && self.pt.lookup(iova) != Some(pa) {
+            if self.config.verify_safety && !self.leaf_entry_current(e, iova) {
                 // The device reached memory through a stale translation —
                 // exactly what the strict safety property forbids.
                 self.stats.stale_iotlb_hits += 1;
             }
             return Translation::Ok {
-                pa,
+                pa: e.pa,
                 reads: 0,
                 iotlb_hit: true,
             };
         }
-        if let Some(base) = self.iotlb_huge.get(iova.l4_page_key()) {
+        if let Some(e) = self.iotlb_huge.get(iova.l4_page_key()) {
             self.stats.iotlb_hits += 1;
-            let pa = base.add((iova.pfn() % L4_SPAN_PFNS) << 12);
-            if self.config.verify_safety && self.pt.lookup(iova) != Some(pa) {
+            let pa = e.base.add((iova.pfn() % L4_SPAN_PFNS) << 12);
+            if self.config.verify_safety && !self.huge_entry_current(e, iova, pa) {
                 self.stats.stale_iotlb_hits += 1;
             }
             return Translation::Ok {
@@ -256,10 +256,38 @@ impl Iommu {
         self.walk(iova)
     }
 
+    /// Safety-monitor check for a 4 KB IOTLB hit: does the page table still
+    /// agree with the cached translation? The entry carries the PT-L4 ref
+    /// the walker read it from, so the common case is one generation check
+    /// plus one leaf-slot read — equivalent to a full root walk, because a
+    /// live ref is still attached at the same tree position (pages detach
+    /// only when reclaimed, which bumps the slot generation). Only a stale
+    /// ref (the page was reclaimed, and possibly a new PT-L4 page now
+    /// serves the region) needs the full `lookup`.
+    fn leaf_entry_current(&self, e: TlbEntry, iova: Iova) -> bool {
+        match self.pt.read_via(e.l4, iova) {
+            Ok(Some(PtEntryView::Leaf(cur))) => cur == e.pa,
+            Ok(_) => false,
+            Err(_) => self.pt.lookup(iova) == Some(e.pa),
+        }
+    }
+
+    /// Same check for a huge-page hit, through the cached PT-L3 ref. Any
+    /// outcome other than a live huge leaf (the region was re-split into
+    /// 4 KB mappings, unmapped, or the PT-L3 page reclaimed) falls back to
+    /// the full lookup — those transitions are rare by construction.
+    fn huge_entry_current(&self, e: HugeTlbEntry, iova: Iova, pa: PhysAddr) -> bool {
+        match self.pt.read_via(e.l3, iova) {
+            Ok(Some(PtEntryView::HugeLeaf(cur))) => cur == e.base,
+            _ => self.pt.lookup(iova) == Some(pa),
+        }
+    }
+
     /// Completes a huge-page walk: refill the huge IOTLB and return the
     /// 4 KB-granularity translation.
-    fn finish_huge(&mut self, iova: Iova, base: PhysAddr, reads: u32) -> Translation {
-        self.iotlb_huge.insert(iova.l4_page_key(), base);
+    fn finish_huge(&mut self, iova: Iova, base: PhysAddr, l3: PageRef, reads: u32) -> Translation {
+        self.iotlb_huge
+            .insert(iova.l4_page_key(), HugeTlbEntry { base, l3 });
         self.stats.memory_reads += reads as u64;
         Translation::Ok {
             pa: base.add((iova.pfn() % L4_SPAN_PFNS) << 12),
@@ -275,7 +303,7 @@ impl Iommu {
         if let Some(l4) = self.ptc_l3.get(iova.l4_page_key()) {
             match self.pt.read_via(l4, iova) {
                 Ok(Some(PtEntryView::Leaf(pa))) => {
-                    self.iotlb.insert(iova.pfn(), pa);
+                    self.iotlb.insert(iova.pfn(), TlbEntry { pa, l4 });
                     self.stats.memory_reads += 1;
                     return Translation::Ok {
                         pa,
@@ -309,7 +337,7 @@ impl Iommu {
                     return self.finish_from_l4(iova, l4, 2);
                 }
                 Ok(Some(PtEntryView::HugeLeaf(base))) => {
-                    return self.finish_huge(iova, base, 1);
+                    return self.finish_huge(iova, base, l3, 1);
                 }
                 Ok(Some(PtEntryView::Leaf(_))) => unreachable!("L3 page holds children"),
                 Ok(None) => {
@@ -334,7 +362,7 @@ impl Iommu {
                     }
                     Ok(Some(PtEntryView::HugeLeaf(base))) => {
                         self.ptc_l2.insert(iova.l3_page_key(), l3);
-                        return self.finish_huge(iova, base, 2);
+                        return self.finish_huge(iova, base, l3, 2);
                     }
                     Ok(None) => {
                         self.stats.memory_reads += 2;
@@ -364,7 +392,13 @@ impl Iommu {
                 self.ptc_l1.insert(iova.l2_page_key(), path.l2);
                 self.ptc_l2.insert(iova.l3_page_key(), path.l3);
                 self.ptc_l3.insert(iova.l4_page_key(), path.l4);
-                self.iotlb.insert(iova.pfn(), path.pa);
+                self.iotlb.insert(
+                    iova.pfn(),
+                    TlbEntry {
+                        pa: path.pa,
+                        l4: path.l4,
+                    },
+                );
                 self.stats.memory_reads += 4;
                 Translation::Ok {
                     pa: path.pa,
@@ -375,7 +409,7 @@ impl Iommu {
             Some(WalkResult::Huge { l2, l3, pa_base }) => {
                 self.ptc_l1.insert(iova.l2_page_key(), l2);
                 self.ptc_l2.insert(iova.l3_page_key(), l3);
-                self.finish_huge(iova, pa_base, 3)
+                self.finish_huge(iova, pa_base, l3, 3)
             }
             None => {
                 // The walk reads entries until it finds the absent one; the
@@ -394,7 +428,7 @@ impl Iommu {
         match self.pt.read_via(l4, iova) {
             Ok(Some(PtEntryView::Leaf(pa))) => {
                 self.ptc_l3.insert(iova.l4_page_key(), l4);
-                self.iotlb.insert(iova.pfn(), pa);
+                self.iotlb.insert(iova.pfn(), TlbEntry { pa, l4 });
                 self.stats.memory_reads += reads as u64;
                 Translation::Ok {
                     pa,
@@ -535,7 +569,6 @@ impl Iommu {
     /// both IOTLB arrays and the three PTcaches (logically, in recency
     /// order), the hardware config, and counters.
     pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
-        let pa = |w: &mut fns_snap::SnapWriter, v: &PhysAddr| w.u64(v.as_u64());
         let pref = |w: &mut fns_snap::SnapWriter, v: &PageRef| {
             let (idx, generation) = v.parts();
             w.u32(idx);
@@ -543,7 +576,13 @@ impl Iommu {
         };
         self.pt.snap(w);
         self.iotlb.snap(w);
-        self.iotlb_huge.snap_with(w, pa);
+        let huge = |w: &mut fns_snap::SnapWriter, v: &HugeTlbEntry| {
+            w.u64(v.base.as_u64());
+            let (idx, generation) = v.l3.parts();
+            w.u32(idx);
+            w.u32(generation);
+        };
+        self.iotlb_huge.snap_with(w, huge);
         self.ptc_l1.snap_with(w, pref);
         self.ptc_l2.snap_with(w, pref);
         self.ptc_l3.snap_with(w, pref);
@@ -576,7 +615,6 @@ impl Iommu {
 
     /// Rebuilds an IOMMU captured by [`Iommu::snap`].
     pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
-        let pa = |r: &mut fns_snap::SnapReader| Ok(PhysAddr::new(r.u64()?));
         let pref = |r: &mut fns_snap::SnapReader| {
             let idx = r.u32()?;
             let generation = r.u32()?;
@@ -584,7 +622,16 @@ impl Iommu {
         };
         let pt = IoPageTable::unsnap(r)?;
         let iotlb = Iotlb::unsnap(r)?;
-        let iotlb_huge = Lru64::unsnap_with(r, pa)?;
+        let huge = |r: &mut fns_snap::SnapReader| {
+            let base = PhysAddr::new(r.u64()?);
+            let idx = r.u32()?;
+            let generation = r.u32()?;
+            Ok(HugeTlbEntry {
+                base,
+                l3: PageRef::from_parts(idx, generation),
+            })
+        };
+        let iotlb_huge = Lru64::unsnap_with(r, huge)?;
         let ptc_l1 = Lru64::unsnap_with(r, pref)?;
         let ptc_l2 = Lru64::unsnap_with(r, pref)?;
         let ptc_l3 = Lru64::unsnap_with(r, pref)?;

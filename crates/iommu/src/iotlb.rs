@@ -10,32 +10,70 @@
 use fns_mem::addr::PhysAddr;
 
 use crate::lru64::Lru64;
+use crate::pagetable::PageRef;
 
-/// An IOTLB holding 4 KB translations (pfn -> physical address).
+/// One 4 KB IOTLB entry: the cached translation plus a generational
+/// reference to the PT-L4 page the walker read it from. Storing the ref
+/// alongside the payload (a struct-of-references layout mirroring how the
+/// PTcaches key pages) lets the safety monitor check "is this hit stale?"
+/// with a single generation check and one leaf-slot read instead of a full
+/// 4-level root walk per hit — the dominant cost of `verify_safety` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The translated physical address.
+    pub pa: PhysAddr,
+    /// The PT-L4 page the translation was read from.
+    pub l4: PageRef,
+}
+
+/// A huge-page (2 MB) IOTLB entry: the physical base plus the PT-L3 page
+/// holding the huge leaf, for the same one-read staleness check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HugeTlbEntry {
+    /// Physical base of the 2 MB region.
+    pub base: PhysAddr,
+    /// The PT-L3 page the huge leaf was read from.
+    pub l3: PageRef,
+}
+
+/// An IOTLB holding 4 KB translations (pfn -> [`TlbEntry`]).
 ///
 /// # Examples
 ///
 /// ```
-/// use fns_iommu::iotlb::Iotlb;
+/// use fns_iommu::iotlb::{Iotlb, TlbEntry};
+/// use fns_iommu::pagetable::{IoPageTable, WalkResult};
+/// use fns_iova::types::Iova;
 /// use fns_mem::addr::PhysAddr;
+///
+/// // Entries carry the PT-L4 ref the walker saw; build them from a walk.
+/// let mut pt = IoPageTable::new();
+/// let entry = |pt: &mut IoPageTable, pfn: u64| {
+///     pt.map(Iova::from_pfn(pfn), PhysAddr::from_pfn(10 + pfn)).unwrap();
+///     match pt.walk(Iova::from_pfn(pfn)).unwrap() {
+///         WalkResult::Page(p) => TlbEntry { pa: p.pa, l4: p.l4 },
+///         WalkResult::Huge { .. } => unreachable!(),
+///     }
+/// };
 ///
 /// // 8 entries, 2-way set associative = 4 sets indexed by pfn % 4.
 /// let mut tlb = Iotlb::new(8, Some(2));
-/// tlb.insert(0, PhysAddr::from_pfn(10));
-/// tlb.insert(4, PhysAddr::from_pfn(11)); // same set as pfn 0
-/// tlb.insert(8, PhysAddr::from_pfn(12)); // evicts pfn 0 (conflict)
+/// let e0 = entry(&mut pt, 0);
+/// tlb.insert(0, e0);
+/// tlb.insert(4, entry(&mut pt, 4)); // same set as pfn 0
+/// tlb.insert(8, entry(&mut pt, 8)); // evicts pfn 0 (conflict)
 /// assert!(tlb.get(0).is_none());
 /// assert!(tlb.get(4).is_some());
 /// ```
 #[derive(Debug, Clone)]
 pub enum Iotlb {
     /// One LRU array over all entries.
-    FullAssoc(Lru64<PhysAddr>),
+    FullAssoc(Lru64<TlbEntry>),
     /// `sets.len()` independent LRU arrays of `ways` entries, indexed by
     /// `pfn % sets.len()`.
     SetAssoc {
         /// The per-set LRU arrays.
-        sets: Vec<Lru64<PhysAddr>>,
+        sets: Vec<Lru64<TlbEntry>>,
     },
 }
 
@@ -64,12 +102,12 @@ impl Iotlb {
         }
     }
 
-    fn set_for(sets: &[Lru64<PhysAddr>], pfn: u64) -> usize {
+    fn set_for(sets: &[Lru64<TlbEntry>], pfn: u64) -> usize {
         (pfn % sets.len() as u64) as usize
     }
 
     /// Looks up a translation, refreshing recency on hit.
-    pub fn get(&mut self, pfn: u64) -> Option<PhysAddr> {
+    pub fn get(&mut self, pfn: u64) -> Option<TlbEntry> {
         match self {
             Iotlb::FullAssoc(c) => c.get(pfn),
             Iotlb::SetAssoc { sets } => {
@@ -83,7 +121,7 @@ impl Iotlb {
     /// audit tap: the safety oracle may inspect the IOTLB between
     /// simulated accesses without perturbing LRU order (which would change
     /// eviction behaviour and break audit-on/audit-off determinism).
-    pub fn peek(&self, pfn: u64) -> Option<PhysAddr> {
+    pub fn peek(&self, pfn: u64) -> Option<TlbEntry> {
         match self {
             Iotlb::FullAssoc(c) => c.peek(pfn),
             Iotlb::SetAssoc { sets } => {
@@ -99,20 +137,20 @@ impl Iotlb {
     }
 
     /// Inserts a translation, evicting within the (set-)LRU policy.
-    pub fn insert(&mut self, pfn: u64, pa: PhysAddr) {
+    pub fn insert(&mut self, pfn: u64, entry: TlbEntry) {
         match self {
             Iotlb::FullAssoc(c) => {
-                c.insert(pfn, pa);
+                c.insert(pfn, entry);
             }
             Iotlb::SetAssoc { sets } => {
                 let s = Self::set_for(sets, pfn);
-                sets[s].insert(pfn, pa);
+                sets[s].insert(pfn, entry);
             }
         }
     }
 
     /// Removes (invalidates) a translation.
-    pub fn remove(&mut self, pfn: u64) -> Option<PhysAddr> {
+    pub fn remove(&mut self, pfn: u64) -> Option<TlbEntry> {
         match self {
             Iotlb::FullAssoc(c) => c.remove(pfn),
             Iotlb::SetAssoc { sets } => {
@@ -146,17 +184,22 @@ impl Iotlb {
     /// Serializes the IOTLB (organization tag plus each LRU array's logical
     /// content) for checkpointing.
     pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
-        let pa = |w: &mut fns_snap::SnapWriter, v: &PhysAddr| w.u64(v.as_u64());
+        let entry = |w: &mut fns_snap::SnapWriter, v: &TlbEntry| {
+            w.u64(v.pa.as_u64());
+            let (idx, generation) = v.l4.parts();
+            w.u32(idx);
+            w.u32(generation);
+        };
         match self {
             Iotlb::FullAssoc(c) => {
                 w.u8(0);
-                c.snap_with(w, pa);
+                c.snap_with(w, entry);
             }
             Iotlb::SetAssoc { sets } => {
                 w.u8(1);
                 w.seq(sets.len());
                 for s in sets {
-                    s.snap_with(w, pa);
+                    s.snap_with(w, entry);
                 }
             }
         }
@@ -164,14 +207,22 @@ impl Iotlb {
 
     /// Rebuilds an IOTLB captured by [`Iotlb::snap`].
     pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
-        let pa = |r: &mut fns_snap::SnapReader| Ok(PhysAddr::new(r.u64()?));
+        let entry = |r: &mut fns_snap::SnapReader| {
+            let pa = PhysAddr::new(r.u64()?);
+            let idx = r.u32()?;
+            let generation = r.u32()?;
+            Ok(TlbEntry {
+                pa,
+                l4: PageRef::from_parts(idx, generation),
+            })
+        };
         match r.u8()? {
-            0 => Ok(Iotlb::FullAssoc(Lru64::unsnap_with(r, pa)?)),
+            0 => Ok(Iotlb::FullAssoc(Lru64::unsnap_with(r, entry)?)),
             1 => {
                 let n = r.seq()?;
                 let mut sets = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
-                    sets.push(Lru64::unsnap_with(r, pa)?);
+                    sets.push(Lru64::unsnap_with(r, entry)?);
                 }
                 Ok(Iotlb::SetAssoc { sets })
             }
@@ -187,8 +238,11 @@ impl Iotlb {
 mod tests {
     use super::*;
 
-    fn pa(v: u64) -> PhysAddr {
-        PhysAddr::from_pfn(v)
+    fn pa(v: u64) -> TlbEntry {
+        TlbEntry {
+            pa: PhysAddr::from_pfn(v),
+            l4: PageRef::from_parts(0, 0),
+        }
     }
 
     #[test]

@@ -111,6 +111,13 @@ impl<V: Copy> Lru64<V> {
     /// Finds the table slot holding `key`, if present.
     #[inline]
     fn find_slot(&self, key: u64) -> Option<usize> {
+        // Fast-out for empty caches: probing the table would touch a cold
+        // random slot. The huge-page IOTLB in a 4 KB-only workload (and
+        // every cache under IOMMU-off) stays permanently empty yet is
+        // probed on every invalidation.
+        if self.len == 0 {
+            return None;
+        }
         let mut slot = self.home_slot(key);
         loop {
             let idx = self.table[slot];

@@ -218,6 +218,19 @@ pub struct IoPageTable {
     /// `alloc_page` so the map/unmap churn of chunk-granular modes stops
     /// hitting the allocator for every 4 KB page-table page.
     entries_pool: Vec<Vec<Option<PtEntry>>>,
+    /// One-entry walk cache for `map`: the PT-L4 page the last map landed
+    /// in, keyed by 2 MB region (`pfn / L4_SPAN_PFNS`). Drivers map
+    /// descriptors as contiguous page runs, so nearly every map hits the
+    /// same leaf page as its predecessor and skips the root walk. A
+    /// generational `ref_state` check makes a hit exactly equivalent to a
+    /// fresh walk: a live ref is still attached at the same tree position,
+    /// because pages detach only when reclaimed (which bumps the
+    /// generation). Derived state — reset and snapshots drop it.
+    map_cache: Option<(u64, PageRef)>,
+    /// Same cache for `clear_leaf` (unmap runs), kept separate from
+    /// `map_cache` because churn interleaves unmaps of one descriptor with
+    /// maps of another in a different region.
+    unmap_cache: Option<(u64, PageRef)>,
     root: PageRef,
     stats: PtStats,
 }
@@ -235,6 +248,8 @@ impl IoPageTable {
             slots: Vec::new(),
             free: Vec::new(),
             entries_pool: Vec::new(),
+            map_cache: None,
+            unmap_cache: None,
             root: PageRef {
                 idx: 0,
                 generation: 0,
@@ -258,6 +273,8 @@ impl IoPageTable {
         }
         self.slots.clear();
         self.free.clear();
+        self.map_cache = None;
+        self.unmap_cache = None;
         self.stats = PtStats::default();
         self.root = PageRef {
             idx: 0,
@@ -409,6 +426,8 @@ impl IoPageTable {
             slots,
             free,
             entries_pool: Vec::new(),
+            map_cache: None,
+            unmap_cache: None,
             root: PageRef {
                 idx: r.u32()?,
                 generation: r.u32()?,
@@ -446,6 +465,12 @@ impl IoPageTable {
 
     /// Maps `iova -> pa`, allocating intermediate pages as needed.
     pub fn map(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
+        let region = iova.pfn() / L4_SPAN_PFNS;
+        if let Some((key, l4)) = self.map_cache {
+            if key == region && self.ref_state(l4) == RefState::Live {
+                return self.map_in_leaf(l4, iova, pa);
+            }
+        }
         let mut cur = self.root;
         for level in 1..=3u8 {
             let idx = iova.pt_index(level);
@@ -465,8 +490,14 @@ impl IoPageTable {
             };
             cur = next;
         }
+        self.map_cache = Some((region, cur));
+        self.map_in_leaf(cur, iova, pa)
+    }
+
+    /// Installs a leaf in a known-live PT-L4 page (the tail of `map`).
+    fn map_in_leaf(&mut self, l4: PageRef, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
         let idx = iova.pt_index(4);
-        let leaf = self.page_mut(cur);
+        let leaf = self.page_mut(l4);
         if leaf.entries[idx].is_some() {
             return Err(PtError::AlreadyMapped(iova.pfn()));
         }
@@ -650,13 +681,25 @@ impl IoPageTable {
     }
 
     fn clear_leaf(&mut self, iova: Iova) -> Result<(), PtError> {
-        let path = self.walk_path(iova).ok_or(PtError::NotMapped(iova.pfn()))?;
+        let region = iova.pfn() / L4_SPAN_PFNS;
+        let l4 = match self.unmap_cache {
+            Some((key, l4)) if key == region && self.ref_state(l4) == RefState::Live => l4,
+            _ => {
+                let path = self.walk_path(iova).ok_or(PtError::NotMapped(iova.pfn()))?;
+                self.unmap_cache = Some((region, path.l4));
+                path.l4
+            }
+        };
         let idx = iova.pt_index(4);
-        let leaf = self.page_mut(path.l4);
-        debug_assert!(leaf.entries[idx].is_some());
-        leaf.entries[idx] = None;
-        leaf.live -= 1;
-        Ok(())
+        let leaf = self.page_mut(l4);
+        match leaf.entries[idx] {
+            Some(PtEntry::Leaf(_)) => {
+                leaf.entries[idx] = None;
+                leaf.live -= 1;
+                Ok(())
+            }
+            _ => Err(PtError::NotMapped(iova.pfn())),
+        }
     }
 
     /// Reclaims all pages of `level` whose full span is inside `range`.

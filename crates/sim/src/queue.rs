@@ -118,6 +118,10 @@ struct Wheel<E> {
     spill: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
     len: usize,
     grew: u64,
+    /// Analytic fast-forward (see [`Wheel::settle`]). On by default; the
+    /// one-level-per-pass cascade is kept behind this switch as the
+    /// reference for the fast-forward-on-vs-off differential pins.
+    fast_forward: bool,
 }
 
 #[inline]
@@ -142,6 +146,7 @@ impl<E> Wheel<E> {
             spill: BinaryHeap::new(),
             len: 0,
             grew: 0,
+            fast_forward: true,
         }
     }
 
@@ -214,14 +219,46 @@ impl<E> Wheel<E> {
             }
             if let Some(l) = (1..LEVELS).find(|&l| self.occupied[l] != 0) {
                 // Drain the lowest occupied slot of the lowest occupied
-                // level one level down; its slot index pins level l-1's
-                // new block.
+                // level; its slot index pins level l-1's new block.
                 let s = self.occupied[l].trailing_zeros() as usize;
-                self.base[l - 1] = (self.base[l] << SLOT_BITS) | s as u64;
                 let mut cur = self.head[l][s];
                 self.head[l][s] = NIL;
                 self.tail[l][s] = NIL;
                 self.occupied[l] &= !(1u64 << s);
+                if self.fast_forward && l > 1 {
+                    // Analytic fast-forward. Every level below l is empty
+                    // (l is the lowest occupied level), so there is provably
+                    // no event before this slot's minimum timestamp T: jump
+                    // every lower base straight to T's blocks and park each
+                    // node at its final level in one relink, instead of
+                    // re-walking the whole slot once per intermediate level.
+                    // Traversal order is the slot's FIFO order and `place`
+                    // appends, so head/tail/base state after this pass is
+                    // bit-identical to what the cascade converges to.
+                    let mut min_at = Nanos::MAX;
+                    let mut probe = cur;
+                    while probe != NIL {
+                        let node = &self.nodes[probe as usize];
+                        min_at = min_at.min(node.at);
+                        probe = node.next;
+                    }
+                    for k in 0..l {
+                        self.base[k] = block(min_at, k);
+                    }
+                    while cur != NIL {
+                        let next = self.nodes[cur as usize].next;
+                        debug_assert_eq!(
+                            block(self.nodes[cur as usize].at, l - 1),
+                            self.base[l - 1]
+                        );
+                        self.place(cur);
+                        cur = next;
+                    }
+                    // The minimum landed at level 0 by construction.
+                    debug_assert_ne!(self.occupied[0], 0);
+                    return;
+                }
+                self.base[l - 1] = (self.base[l] << SLOT_BITS) | s as u64;
                 while cur != NIL {
                     let next = self.nodes[cur as usize].next;
                     let at = self.nodes[cur as usize].at;
@@ -375,6 +412,26 @@ impl<E> EventQueue<E> {
         match &self.imp {
             Imp::Wheel(_) => QueueKind::Wheel,
             Imp::Heap(..) => QueueKind::Heap,
+        }
+    }
+
+    /// Enables or disables the wheel's analytic fast-forward (on by
+    /// default). Off restores the one-level-per-pass reference cascade; the
+    /// pop stream — and in fact the wheel's entire internal state after
+    /// every settle — is bit-identical either way, pinned by
+    /// `tests/queue_equivalence.rs`. No-op on the heap backend.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        if let Imp::Wheel(w) = &mut self.imp {
+            w.fast_forward = on;
+        }
+    }
+
+    /// Whether the wheel's analytic fast-forward is enabled (always `true`
+    /// for the heap backend, which has nothing to cascade).
+    pub fn fast_forward(&self) -> bool {
+        match &self.imp {
+            Imp::Wheel(w) => w.fast_forward,
+            Imp::Heap(..) => true,
         }
     }
 

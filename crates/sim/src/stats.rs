@@ -6,6 +6,7 @@
 //! ([`ReuseDistance`]).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use fns_snap::{SnapError, SnapReader, SnapWriter};
 
@@ -270,9 +271,34 @@ pub struct ReuseDistance {
     // tree cannot be extended by zero-filling).
     tree: Vec<u64>,
     markers: Vec<u64>,
-    last_pos: HashMap<u64, usize>,
+    last_pos: HashMap<u64, usize, BuildHasherDefault<Mul64Hasher>>,
     distances: Vec<Option<u64>>,
     n_accesses: usize,
+}
+
+/// Multiply-shift hasher for the u64 page keys in `last_pos`. The tracker
+/// runs on every recorded page map, and the default SipHash is the single
+/// costliest part of that path; Fibonacci multiplication mixes 64-bit keys
+/// more than well enough for a position map nobody iterates. Only the
+/// lookup/insert behaviour of the map is observable, so the swap cannot
+/// change any recorded distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mul64Hasher(u64);
+
+impl Hasher for Mul64Hasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn finish(&self) -> u64 {
+        // The multiply pushes entropy toward the high bits; hashbrown takes
+        // its bucket index from the top, so no extra finalizer is needed.
+        self.0
+    }
 }
 
 impl ReuseDistance {
@@ -390,7 +416,8 @@ impl ReuseDistance {
         let tree = r.u64_vec()?;
         let markers = r.u64_vec()?;
         let n = r.seq()?;
-        let mut last_pos = HashMap::with_capacity(n);
+        let mut last_pos =
+            HashMap::with_capacity_and_hasher(n, BuildHasherDefault::<Mul64Hasher>::default());
         for _ in 0..n {
             let k = r.u64()?;
             let v = r.usize()?;

@@ -1,38 +1,58 @@
 //! Differential test: the hierarchical timing wheel must produce exactly
 //! the pop sequence of the reference binary heap — same timestamps, same
 //! FIFO tie order — over randomized schedules, the same way `lru64` was
-//! proven against the map-based `lru`.
+//! proven against the map-based `lru`. The wheel runs twice per script:
+//! once with the analytic fast-forward (the default) and once on the
+//! one-level-per-pass reference cascade, so every workload here also pins
+//! fast-forward-on against fast-forward-off.
 
 use fns_sim::queue::{EventQueue, QueueKind};
 use fns_sim::rng::SimRng;
 use fns_sim::Nanos;
 
-/// Drives both implementations through an identical push/pop script and
+/// Drives all three implementations — fast-forwarding wheel, cascading
+/// wheel, reference heap — through an identical push/pop script and
 /// asserts every observable agrees step for step.
 struct Pair {
     wheel: EventQueue<u32>,
+    cascade: EventQueue<u32>,
     heap: EventQueue<u32>,
 }
 
 impl Pair {
     fn with_capacity(capacity: usize) -> Self {
+        let wheel = EventQueue::with_kind(QueueKind::Wheel, capacity);
+        assert!(wheel.fast_forward(), "fast-forward must be the default");
+        let mut cascade = EventQueue::with_kind(QueueKind::Wheel, capacity);
+        cascade.set_fast_forward(false);
         Self {
-            wheel: EventQueue::with_kind(QueueKind::Wheel, capacity),
+            wheel,
+            cascade,
             heap: EventQueue::with_kind(QueueKind::Heap, capacity),
         }
     }
 
     fn push(&mut self, at: Nanos, id: u32) {
         self.wheel.push(at, id);
+        self.cascade.push(at, id);
         self.heap.push(at, id);
         assert_eq!(self.wheel.len(), self.heap.len());
+        assert_eq!(self.cascade.len(), self.heap.len());
     }
 
     fn pop(&mut self) -> Option<(Nanos, u32)> {
         let w = self.wheel.pop();
+        let c = self.cascade.pop();
         let h = self.heap.pop();
         assert_eq!(w, h, "pop diverged at event #{}", self.heap.total_popped());
+        assert_eq!(
+            c,
+            h,
+            "cascade pop diverged at event #{}",
+            self.heap.total_popped()
+        );
         assert_eq!(self.wheel.now(), self.heap.now());
+        assert_eq!(self.cascade.now(), self.heap.now());
         assert_eq!(self.wheel.total_popped(), self.heap.total_popped());
         w
     }
@@ -114,6 +134,43 @@ fn spill_dominated_workload_agrees() {
         }
     }
     pair.drain();
+}
+
+/// Idle-gap workload aimed squarely at the analytic fast-forward: single
+/// events (or small ties) parked multiple levels up with nothing below, so
+/// every settle proves a jump. `peek_time` is asserted before each pop —
+/// the fast-forwarded base registers must answer the same timestamp the
+/// cascade and the heap derive.
+#[test]
+fn idle_gaps_fast_forward_identically() {
+    let mut rng = SimRng::seed(0xFF00D);
+    let mut pair = Pair::with_capacity(8);
+    let mut id = 0u32;
+    for _ in 0..3_000 {
+        let now = pair.heap.now();
+        // Gaps spanning levels 1-3 and the occasional spill, with a burst
+        // of ties at the far timestamp to exercise FIFO across the jump.
+        let gap = match rng.range(0, 8) {
+            0..=2 => rng.range(1 << 7, 1 << 12),  // level 1-2
+            3..=5 => rng.range(1 << 13, 1 << 20), // level 2-3
+            6 => rng.range(1 << 20, 1 << 23),     // level 3
+            _ => rng.range(1 << 24, 1 << 26),     // spill
+        };
+        let t = now + gap;
+        for _ in 0..rng.range(1, 4) {
+            pair.push(t, id);
+            id += 1;
+        }
+        let pw = pair.wheel.peek_time();
+        let pc = pair.cascade.peek_time();
+        let ph = pair.heap.peek_time();
+        assert_eq!(pw, ph, "peek diverged at event #{id}");
+        assert_eq!(pc, ph, "cascade peek diverged at event #{id}");
+        while pair.pop().is_some() {
+            // Drain fully so the next push lands on an empty wheel whose
+            // bases were just fast-forwarded.
+        }
+    }
 }
 
 /// `reserve`/`with_capacity` paths: growth bookkeeping must not perturb

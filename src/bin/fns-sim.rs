@@ -418,6 +418,23 @@ fn print_profile(mode: ProtectionMode, m: &RunMetrics) {
             pct
         );
     }
+    // A one-line digest of where the modelled CPU went: the three largest
+    // buckets, largest first. This is the line perf triage greps for.
+    let mut ranked: Vec<Span> = Span::ALL.to_vec();
+    ranked.sort_by_key(|s| std::cmp::Reverse(m.spans.get(*s)));
+    let top: Vec<String> = ranked
+        .iter()
+        .take(3)
+        .map(|s| {
+            let pct = if total > 0 {
+                m.spans.get(*s) as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            format!("{} {:.1}%", s.name(), pct)
+        })
+        .collect();
+    println!("{:>14}  top spans: {}", "", top.join(", "));
 }
 
 fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {

@@ -217,6 +217,52 @@ fn deferred_mode_exposes_its_unsafety_window() {
     );
 }
 
+/// A snapshot taken *mid-drain* — while the driver's pending-wipe ring
+/// holds queued-but-unretired PTcache wipe epochs — must restore
+/// bit-identically. The coalesced invalidation batch-drain keeps that
+/// ring populated between completions and the next translation, so this
+/// pins the in-flight drain state (requests plus epoch boundaries)
+/// through the snapshot codec rather than hoping a fixed timestamp lands
+/// on a non-empty ring.
+#[test]
+fn mid_drain_snapshot_restores_with_pending_wipes_in_flight() {
+    // LinuxStrict queues a leaf-PTcache wipe per completed page, so the
+    // ring refills constantly; FastAndSafe preserves the PTcache and its
+    // ring stays empty — strict is the interesting case here.
+    let cfg = chaos_config(ProtectionMode::LinuxStrict, FaultConfig::disabled());
+    assert!(
+        cfg.coalesce_inv_drain,
+        "coalesced drain must be on by default"
+    );
+    let golden = HostSim::new(cfg).run();
+
+    // Walk the run in small steps until the pending ring is non-empty,
+    // then snapshot right there.
+    let mut sim = HostSim::new(cfg);
+    let mut at = 0;
+    while sim.pending_wipe_epochs() == 0 {
+        at += 10_000;
+        assert!(
+            at <= cfg.warmup + cfg.measure,
+            "pending-wipe ring never became non-empty in a strict run"
+        );
+        sim.step_until(at);
+    }
+    let pending = sim.pending_wipe_epochs();
+    assert!(pending > 0);
+    let bytes = sim.snapshot();
+    drop(sim);
+
+    let resumed = HostSim::restore(cfg, &bytes).expect("mid-drain snapshot restores");
+    assert_eq!(
+        resumed.pending_wipe_epochs(),
+        pending,
+        "restore dropped or invented pending wipe epochs"
+    );
+    let resumed = resumed.run();
+    assert_eq!(golden, resumed, "mid-drain snapshot diverged at t={at}");
+}
+
 /// A fault-heavy run snapshotted mid-recovery (retries, backoffs, and
 /// descriptor recycles in flight) restores bit-identically: the recovery
 /// ladders' state rides inside the snapshot like everything else, and the

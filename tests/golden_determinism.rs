@@ -228,6 +228,89 @@ fn snapshot_restore_pins_bit_identical_metrics_at_any_job_count() {
 }
 
 #[test]
+fn coalesced_drain_matches_per_event_submission() {
+    // The invalidation drain coalescer must be invisible: the same sweep
+    // with the coalescer disabled (one `submit_invalidations` call per
+    // page, the pre-coalescer reference) yields bit-identical metrics —
+    // including fault logs, traces, and sampler series — on both queue
+    // backends and at 1 and 8 workers.
+    let mut configs = fig2_shaped();
+    configs.extend(chaos_shaped());
+    // Fold in full telemetry + probes on one cell, and the heap backend on
+    // another, so trace streams and both queues are covered.
+    configs[0].trace = TraceConfig::all();
+    configs[0].probes = ProbeConfig::every(100_000);
+    configs[1].queue = QueueKind::Heap;
+    assert!(
+        configs.iter().all(|c| c.coalesce_inv_drain),
+        "the coalescer must be default-on"
+    );
+    let golden = run_sequentially(&configs);
+    let legacy_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.coalesce_inv_drain = false;
+            c
+        })
+        .collect();
+    let legacy = run_sequentially(&legacy_cfgs);
+    assert_identical(&golden, &legacy, "coalesced-vs-per-event");
+    for (a, b) in golden.iter().zip(&legacy) {
+        assert_eq!(a.trace, b.trace, "trace diverged with coalescer off");
+        assert_eq!(a.samples, b.samples, "samples diverged with coalescer off");
+    }
+    for jobs in [1, 8] {
+        let par = SweepRunner::new(jobs).run_sims(legacy_cfgs.clone());
+        assert_identical(&golden, &par, &format!("per-event drain jobs={jobs}"));
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_cascade() {
+    // The wheel's analytic fast-forward must be unobservable in any
+    // metric, trace, or audit: the same sweep with the fast-forward
+    // disabled (one-level-per-pass cascade) is bit-identical, and the heap
+    // backend — which has nothing to fast-forward — agrees with both.
+    let mut configs = fig2_shaped();
+    configs.extend(chaos_shaped());
+    configs[0].trace = TraceConfig::all();
+    configs[0].probes = ProbeConfig::every(100_000);
+    assert!(
+        configs.iter().all(|c| c.queue_fast_forward),
+        "fast-forward must be default-on"
+    );
+    let golden = run_sequentially(&configs);
+    let cascade_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.queue_fast_forward = false;
+            c
+        })
+        .collect();
+    let cascade = run_sequentially(&cascade_cfgs);
+    assert_identical(&golden, &cascade, "fast-forward-vs-cascade");
+    for (a, b) in golden.iter().zip(&cascade) {
+        assert_eq!(a.trace, b.trace, "trace diverged with fast-forward off");
+    }
+    let heap_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.queue = QueueKind::Heap;
+            c
+        })
+        .collect();
+    let heap = run_sequentially(&heap_cfgs);
+    assert_identical(&golden, &heap, "fast-forward-vs-heap");
+    for jobs in [1, 8] {
+        let par = SweepRunner::new(jobs).run_sims(cascade_cfgs.clone());
+        assert_identical(&golden, &par, &format!("cascade jobs={jobs}"));
+    }
+}
+
+#[test]
 fn repeated_parallel_sweeps_are_identical_to_each_other() {
     // Not just parallel == sequential: two parallel executions must agree
     // with each other even when thread scheduling differs.
