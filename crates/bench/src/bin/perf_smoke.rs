@@ -26,7 +26,7 @@ use std::time::Instant;
 use fns_apps::{iperf_config, redis_config};
 use fns_bench::SweepRunner;
 use fns_core::{HostSim, ProtectionMode, RunArena, RunMetrics, SimConfig};
-use fns_trace::{JsonWriter, Span, SpanSet};
+use fns_trace::{JsonWriter, ObserveConfig, RegMetric, RegistryReport, Span, SpanSet};
 
 /// Shortened windows: the basket must finish in CI seconds, not minutes.
 const SMOKE_WARMUP_NS: u64 = 5_000_000;
@@ -127,8 +127,14 @@ struct FigureResult {
     /// CPU-span attribution summed over the figure's runs (simulated CPU
     /// ns, not wall clock) — tracks where the modelled driver time goes.
     spans: SpanSet,
+    /// Registry percentiles from the observability-armed shadow pass,
+    /// aggregated over the figure's runs.
+    registry: RegistryReport,
     seq_wall_ns: u128,
     par_wall_ns: u128,
+    /// Wall clock of the fully-armed sequential pass; only timed for the
+    /// figure that carries the overhead gate.
+    obs_seq_wall_ns: Option<u128>,
 }
 
 impl FigureResult {
@@ -244,6 +250,41 @@ fn main() {
         }
         assert_snapshot_roundtrip(name, &configs, &seq[0]);
 
+        // Observability-armed shadow pass: same configs with every tier on
+        // (provenance + txn spans + registry + flight). Yields the registry
+        // percentiles for the JSON, doubles as a behavior-invisibility
+        // check against the bare pass, and — for fig2 — is timed to gate
+        // the instrumentation overhead.
+        let armed: Vec<SimConfig> = configs
+            .iter()
+            .map(|&c| {
+                let mut c = c;
+                c.observe = ObserveConfig::full();
+                c
+            })
+            .collect();
+        let (obs, obs_seq_wall_ns) = if name == "fig2_flow_sweep" {
+            let (obs, wall) = best_of(repeats, || sequential.run_sims(armed.clone()));
+            (obs, Some(wall))
+        } else {
+            (sequential.run_sims(armed), None)
+        };
+        for (i, (a, b)) in seq.iter().zip(&obs).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{name} run {i}: armed-observability metrics diverged from bare"
+            );
+        }
+        let mut registry = RegistryReport {
+            enabled: true,
+            stats: Vec::new(),
+            series: Vec::new(),
+        };
+        for m in &obs {
+            registry.stats.extend(m.registry.stats.iter().copied());
+        }
+
         let mut spans = SpanSet::default();
         for m in &seq {
             spans.merge(&m.spans);
@@ -254,8 +295,10 @@ fn main() {
             events: seq.iter().map(|m| m.events_processed).sum(),
             translations: seq.iter().map(|m| m.iommu.translations).sum(),
             spans,
+            registry,
             seq_wall_ns,
             par_wall_ns,
+            obs_seq_wall_ns,
         };
         println!(
             "{:>20}: {:2} runs  seq {:7.2} ms  par {:7.2} ms  speedup {:4.2}x  \
@@ -323,6 +366,33 @@ fn main() {
             "8-job basket speedup {basket_speedup:.2}x <= 1.5x on a {host_cpus}-CPU host"
         );
         println!("speedup assert PASSED: {basket_speedup:.2}x > 1.5x");
+    }
+
+    // Observability overhead gate: the fully-armed fig2 basket must keep
+    // >= 90% of the bare sequential event rate. Best-of-N minima on both
+    // sides strip scheduler noise; FNS_SKIP_OBS_OVERHEAD_ASSERT=1 escapes
+    // on hosts too noisy even for minima.
+    let fig2 = figures
+        .iter()
+        .find(|f| f.name == "fig2_flow_sweep")
+        .expect("fig2 in basket");
+    let obs_wall = fig2.obs_seq_wall_ns.expect("fig2 armed pass is timed");
+    let bare_rate = fig2.events_per_sec(fig2.seq_wall_ns);
+    let armed_rate = fig2.events_per_sec(obs_wall);
+    let overhead_pct = (1.0 - armed_rate / bare_rate) * 100.0;
+    println!(
+        "observability overhead (fig2): bare {:.2} Mev/s, armed {:.2} Mev/s, {overhead_pct:+.1}%",
+        bare_rate / 1e6,
+        armed_rate / 1e6,
+    );
+    if std::env::var("FNS_SKIP_OBS_OVERHEAD_ASSERT").is_ok() {
+        println!("observability overhead assert SKIPPED (FNS_SKIP_OBS_OVERHEAD_ASSERT set)");
+    } else {
+        assert!(
+            armed_rate >= 0.9 * bare_rate,
+            "full observability costs {overhead_pct:.1}% of fig2 sequential event rate (>10%)"
+        );
+        println!("observability overhead assert PASSED: {overhead_pct:.1}% <= 10%");
     }
 
     // Hand-rolled JSON through the fns-trace writer: the workspace is
@@ -394,6 +464,29 @@ fn main() {
             "invalidation_wait_pct",
             f.span_share_pct(Span::InvalidationWait),
         );
+        // Registry percentiles from the armed shadow pass: per metric,
+        // `(count, p50, p99, p999)` aggregated over the figure's runs.
+        w.key("registry");
+        w.begin_object();
+        for metric in RegMetric::ALL {
+            let (count, p50, p99, p999) = f.registry.percentiles(metric);
+            w.key(metric.name());
+            w.begin_object();
+            w.field_u64("count", count);
+            w.field_u64("p50", p50);
+            w.field_u64("p99", p99);
+            w.field_u64("p999", p999);
+            w.end_object();
+        }
+        w.end_object();
+        if let Some(obs_wall) = f.obs_seq_wall_ns {
+            w.field_f64("obs_seq_wall_ms", obs_wall as f64 / 1e6);
+            w.field_f64("obs_seq_events_per_sec", f.events_per_sec(obs_wall));
+            w.field_f64(
+                "obs_overhead_pct",
+                (1.0 - f.events_per_sec(obs_wall) / f.events_per_sec(f.seq_wall_ns)) * 100.0,
+            );
+        }
         w.end_object();
     }
     w.end_array();

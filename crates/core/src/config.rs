@@ -7,7 +7,7 @@ use fns_oracle::AuditConfig;
 use fns_pcie::PcieConfig;
 use fns_sim::queue::QueueKind;
 use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
-use fns_trace::{ProbeConfig, TraceConfig};
+use fns_trace::{ObserveConfig, ProbeConfig, TraceConfig};
 
 use crate::mode::ProtectionMode;
 use crate::watchdog::WatchdogConfig;
@@ -190,6 +190,11 @@ pub struct SimConfig {
     /// [`crate::watchdog`]). Off by default; a disabled watchdog changes
     /// no run by a single bit.
     pub watchdog: WatchdogConfig,
+    /// Causal observability plane: page provenance timelines, DMA
+    /// transaction spans, the percentile registry, and the flight
+    /// recorder (see [`fns_trace::recorder`]). Off by default; disabled
+    /// it changes no run by a single bit, armed it consumes no RNG.
+    pub observe: ObserveConfig,
 }
 
 impl SimConfig {
@@ -232,6 +237,7 @@ impl SimConfig {
             coalesce_inv_drain: true,
             queue_fast_forward: true,
             watchdog: WatchdogConfig::off(),
+            observe: ObserveConfig::off(),
         }
     }
 

@@ -27,7 +27,7 @@ use fns_nic::descriptor::{Descriptor, DescriptorPage};
 use fns_oracle::AuditHandle;
 use fns_sim::stats::ReuseDistance;
 use fns_sim::time::Nanos;
-use fns_trace::{Span, SpanSet, TraceCategory, TraceData, TraceHandle};
+use fns_trace::{ObsHandle, Span, SpanSet, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::CpuCosts;
 use crate::errors::DmaError;
@@ -198,6 +198,9 @@ pub struct DmaDriver {
     trace: TraceHandle,
     /// Safety-oracle handle (off by default; ~0 cost when off).
     audit: AuditHandle,
+    /// Causal observability plane (provenance/txn/registry); off by
+    /// default, shared with the simulation when armed.
+    obs: ObsHandle,
     /// Seeded test-only bug (always `None` outside the oracle corpus).
     sabotage: Sabotage,
     /// Whole-run ordinal of submitted invalidation requests, the
@@ -329,6 +332,7 @@ impl DmaDriver {
             faults: FaultPlane::disabled(),
             trace: TraceHandle::default(),
             audit: AuditHandle::default(),
+            obs: ObsHandle::default(),
             sabotage: Sabotage::None,
             inv_submit_seq: 0,
             next_desc_id: 0,
@@ -386,6 +390,13 @@ impl DmaDriver {
     /// The driver's safety-oracle handle (report access; off by default).
     pub fn audit(&self) -> &AuditHandle {
         &self.audit
+    }
+
+    /// Attaches the causal observability plane. Like the trace plane it
+    /// is installed after `init()`: provenance timelines start at
+    /// steady-state, not with init-time churn.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Arms a seeded test-only driver bug for the oracle corpus. Never
@@ -505,12 +516,16 @@ impl DmaDriver {
             self.inv_submit_seq += 1;
             if let Sabotage::SkipRangeInvalidation { nth } = self.sabotage {
                 if nth == self.inv_submit_seq {
+                    self.obs
+                        .on_inv_skipped(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
                     continue;
                 }
             }
             self.iommu
                 .invalidate_range(r.range, InvalidationScope::IotlbOnly);
             self.audit.on_invalidate(r.range);
+            self.obs
+                .on_inv_submit(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
             if r.scope != InvalidationScope::IotlbOnly {
                 self.pending_wipe_reqs.push_back(*r);
             }
@@ -616,11 +631,16 @@ impl DmaDriver {
                 self.iommu
                     .invalidate_range(r.range, InvalidationScope::IotlbOnly);
                 self.audit.on_invalidate(r.range);
+                self.obs
+                    .on_inv_submit(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
                 if r.scope != InvalidationScope::IotlbOnly {
                     self.pending_wipe_reqs.push_back(*r);
                     self.audit.on_wipe_queued();
                     self.pending_wipe_epochs.push_back(1);
                 }
+            } else {
+                self.obs
+                    .on_inv_skipped(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
             }
             self.iommu.note_queue_entries(1);
             while self.pending_wipe_epochs.len() > 1024 {
@@ -671,6 +691,8 @@ impl DmaDriver {
                     .pop_front()
                     .expect("request ring holds every queued epoch");
                 Self::apply_request(&mut self.iommu, &r);
+                self.obs
+                    .on_inv_complete(r.range.pfn_lo(), r.range.pages(), n as u64);
                 self.epoch_scratch.push(r);
             }
             self.audit.on_wipe_applied(&self.epoch_scratch);
@@ -681,6 +703,8 @@ impl DmaDriver {
                     .pop_front()
                     .expect("request ring holds every queued epoch");
                 Self::apply_request(&mut self.iommu, &r);
+                self.obs
+                    .on_inv_complete(r.range.pfn_lo(), r.range.pages(), n as u64);
             }
         }
     }
@@ -920,6 +944,7 @@ impl DmaDriver {
             faults,
             trace: TraceHandle::default(),
             audit: AuditHandle::default(),
+            obs: ObsHandle::default(),
             sabotage,
             inv_submit_seq,
             next_desc_id,
@@ -1089,6 +1114,27 @@ impl DmaDriver {
     /// mapped before the failing one are unwound, so the caller may simply
     /// retry on the next poll.
     pub fn prepare_rx_descriptor(&mut self, core: usize) -> Result<(Descriptor, Nanos), DmaError> {
+        let (desc, cpu) = self.prepare_rx_descriptor_inner(core)?;
+        if self.obs.is_on() {
+            // Open the transaction span and stamp per-page Map provenance
+            // (modes without live IOMMU mappings have no page lifecycle to
+            // record).
+            self.obs
+                .txn_start(desc.id(), core as u32, desc.len() as u32, cpu);
+            if !self.mode.is_pinned_pool() && self.mode != ProtectionMode::IommuOff {
+                for p in desc.pages() {
+                    self.obs
+                        .on_map(p.iova.pfn(), 1, core as u32, self.inv_submit_seq);
+                }
+            }
+        }
+        Ok((desc, cpu))
+    }
+
+    fn prepare_rx_descriptor_inner(
+        &mut self,
+        core: usize,
+    ) -> Result<(Descriptor, Nanos), DmaError> {
         if self.faults.roll(FaultKind::DescriptorExhaustion) {
             return Err(DmaError::DescriptorExhausted);
         }
@@ -1269,6 +1315,33 @@ impl DmaDriver {
     /// an unmapped page) — injected faults on the completion path (queue
     /// stalls) are recovered internally and never propagate.
     pub fn complete_rx_descriptor(
+        &mut self,
+        core: usize,
+        desc: &Descriptor,
+    ) -> Result<Nanos, DmaError> {
+        if !self.obs.is_on() {
+            return self.complete_rx_descriptor_inner(core, desc);
+        }
+        // Close the transaction span, charging it the invalidation-queue
+        // wait this completion actually paid, and stamp Unmap provenance.
+        let inv_before = self.invalidation_cpu_ns;
+        let cpu = self.complete_rx_descriptor_inner(core, desc)?;
+        if !self.mode.is_pinned_pool() && self.mode != ProtectionMode::IommuOff {
+            for p in desc.pages() {
+                self.obs
+                    .on_unmap(p.iova.pfn(), 1, core as u32, self.inv_submit_seq);
+            }
+        }
+        self.obs.txn_complete(
+            desc.id(),
+            core as u32,
+            self.iommu.domain_id(),
+            self.invalidation_cpu_ns - inv_before,
+        );
+        Ok(cpu)
+    }
+
+    fn complete_rx_descriptor_inner(
         &mut self,
         core: usize,
         desc: &Descriptor,
@@ -1650,6 +1723,18 @@ impl DmaDriver {
         }
         self.iommu.invalidate_for_reclaimed(reclaimed);
         self.audit.on_reclaim_fixup(reclaimed);
+        if self.obs.is_on() {
+            for r in reclaimed {
+                // Anchor the event at the base IOVA pfn of the span the
+                // reclaimed PT page mapped (level N covers 9(N-1) pfn bits).
+                let base_pfn = match r.level {
+                    4 => r.region_key << 9,
+                    3 => r.region_key << 18,
+                    _ => r.region_key << 27,
+                };
+                self.obs.on_reclaim(base_pfn, r.level);
+            }
+        }
     }
 
     /// Translates a device access; returns the number of page-walk memory
@@ -1663,6 +1748,9 @@ impl DmaDriver {
         }
         if self.trace.wants(TraceCategory::Translate) {
             return self.translate_traced(iova).reads();
+        }
+        if self.obs.wants_translate() {
+            return self.translate_observed(iova).reads();
         }
         let t = self.iommu.translate(iova);
         debug_assert!(
@@ -1679,6 +1767,8 @@ impl DmaDriver {
         let stale_before = self.iommu.stats().stale_ptcache_walks;
         let t = if self.trace.wants(TraceCategory::Translate) {
             self.translate_traced(iova)
+        } else if self.obs.wants_translate() {
+            self.translate_observed(iova)
         } else {
             let t = self.iommu.translate(iova);
             debug_assert!(
@@ -1711,6 +1801,20 @@ impl DmaDriver {
         }
     }
 
+    /// Observed-only translation: feeds the provenance/metrics plane from
+    /// the [`Translation`](fns_iommu::Translation) result itself, skipping
+    /// the stats/PTcache-length snapshots the full traced path pays for.
+    fn translate_observed(&mut self, iova: Iova) -> fns_iommu::Translation {
+        let t = self.iommu.translate(iova);
+        debug_assert!(
+            t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
+            "device fault on a supposedly mapped IOVA ({iova})"
+        );
+        self.obs
+            .on_translate(iova.pfn(), t.iotlb_hit(), t.reads() as u64);
+        t
+    }
+
     /// Traced translation: identical behaviour to [`DmaDriver::translate`]
     /// plus IOTLB/PTcache events derived from the counter deltas. Kept out
     /// of line so the untraced hot path stays branch-plus-call free.
@@ -1725,9 +1829,11 @@ impl DmaDriver {
         let after = self.iommu.stats();
         if after.iotlb_hits > before.iotlb_hits {
             self.trace.emit(TraceData::IotlbHit);
+            self.obs.on_translate(iova.pfn(), true, 0);
         }
         if after.iotlb_misses > before.iotlb_misses {
             self.trace.emit(TraceData::IotlbMiss { reads: t.reads() });
+            self.obs.on_translate(iova.pfn(), false, t.reads() as u64);
             // A PTcache miss at level N means the walk filled that level;
             // the fill evicted an entry when the cache did not grow.
             let lens_after = self.iommu.ptcache_lens();

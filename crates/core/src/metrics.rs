@@ -3,7 +3,9 @@
 use fns_iommu::IommuStats;
 use fns_sim::stats::Histogram;
 use fns_sim::time::{throughput_gbps, Nanos};
-use fns_trace::{JsonWriter, SampleSet, Span, SpanSet, Trace};
+use fns_trace::{
+    JsonWriter, ProvenanceDump, RegMetric, RegistryReport, SampleSet, Span, SpanSet, Trace, TxnDump,
+};
 
 /// Everything one simulation run measures (over the measurement window,
 /// after warmup).
@@ -75,6 +77,20 @@ pub struct RunMetrics {
     /// off). Relief drains, storm detections, and the per-page fallback
     /// flag land here so soak runs surface degradation in the metrics.
     pub watchdog: crate::watchdog::WatchdogReport,
+    /// Page-provenance timelines (default/empty unless
+    /// `SimConfig::observe.provenance` armed the book).
+    pub provenance: ProvenanceDump,
+    /// Completed DMA-transaction causal spans (default/empty unless
+    /// `SimConfig::observe.txn` armed the trace).
+    pub txns: TxnDump,
+    /// HDR registry report: per-(metric, domain, flow) percentiles plus
+    /// the streamed series (default/empty unless
+    /// `SimConfig::observe.registry` armed it).
+    pub registry: RegistryReport,
+    /// Flight-recorder crash ring, drained at end of run (empty unless
+    /// `SimConfig::observe.flight` armed it). On aborts the CLI flushes
+    /// the live ring instead; this copy is what a *completed* run kept.
+    pub flight: Trace,
 }
 
 impl RunMetrics {
@@ -294,6 +310,63 @@ impl RunMetrics {
         w.field_bool("degraded", self.watchdog.degraded);
         w.field_bool("aborted", self.watchdog.aborted);
         w.end_object();
+        w.key("provenance");
+        w.begin_object();
+        w.field_bool("enabled", self.provenance.enabled);
+        w.field_u64("pages_tracked", self.provenance.pages.len() as u64);
+        w.field_u64("dropped_pages", self.provenance.dropped_pages);
+        w.field_u64("window_dropped", self.provenance.window_dropped);
+        w.field_u64(
+            "events",
+            self.provenance
+                .pages
+                .iter()
+                .map(|p| p.events.len() as u64)
+                .sum(),
+        );
+        w.end_object();
+        w.key("txns");
+        w.begin_object();
+        w.field_bool("enabled", self.txns.enabled);
+        w.field_u64("records", self.txns.records.len() as u64);
+        w.field_u64("open", self.txns.open);
+        w.field_u64("dropped", self.txns.dropped);
+        w.end_object();
+        w.key("registry");
+        w.begin_object();
+        w.field_bool("enabled", self.registry.enabled);
+        w.field_u64("keys", self.registry.stats.len() as u64);
+        // All-key merged percentile triples per metric: the schema consumed
+        // by perf_smoke and external dashboards. Always present (zeros when
+        // the registry is off) so readers need no existence checks.
+        for metric in RegMetric::ALL {
+            let (count, p50, p99, p999) = self.registry.percentiles(metric);
+            w.key(metric.name());
+            w.begin_object();
+            w.field_u64("count", count);
+            w.field_u64("p50", p50);
+            w.field_u64("p99", p99);
+            w.field_u64("p999", p999);
+            w.end_object();
+        }
+        w.key("series");
+        w.begin_array();
+        for s in &self.registry.series {
+            w.begin_object();
+            w.field_u64("at", s.at);
+            w.field_u64("desc_p50", s.desc_p50);
+            w.field_u64("desc_p99", s.desc_p99);
+            w.field_u64("desc_p999", s.desc_p999);
+            w.field_u64("inv_wait_p99", s.inv_wait_p99);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.key("flight");
+        w.begin_object();
+        w.field_u64("events", self.flight.len() as u64);
+        w.field_u64("dropped", self.flight.dropped);
+        w.end_object();
         w.end_object();
         w.finish()
     }
@@ -332,6 +405,10 @@ mod tests {
             trace: Trace::default(),
             audit: Default::default(),
             watchdog: Default::default(),
+            provenance: Default::default(),
+            txns: Default::default(),
+            registry: Default::default(),
+            flight: Trace::default(),
         }
     }
 

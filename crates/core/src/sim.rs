@@ -37,7 +37,7 @@ use fns_sim::rng::SimRng;
 use fns_sim::stats::Histogram;
 use fns_sim::time::Nanos;
 use fns_snap::{fnv1a, SnapError, SnapReader, SnapWriter};
-use fns_trace::{Sample, Sampler, TraceCategory, TraceData, TraceHandle};
+use fns_trace::{ObsHandle, Sample, Sampler, Trace, TraceCategory, TraceData, TraceHandle};
 
 use crate::config::{SimConfig, Workload};
 use crate::driver::{DmaDriver, DriverSalvage};
@@ -533,6 +533,9 @@ pub struct HostSim {
     /// fault plane is enabled (fault records flow through the trace); the
     /// driver and both fault planes hold clones of the same recorder.
     trace: TraceHandle,
+    /// Causal observability plane (provenance/txn/registry); `Off` unless
+    /// `cfg.observe` arms a layer. The driver holds a clone.
+    obs: ObsHandle,
     /// Time-series gauge sampler (disabled unless `cfg.probes` enables it).
     sampler: Sampler,
     /// Degradation-watchdog state (inert unless `cfg.watchdog` enables it).
@@ -646,6 +649,7 @@ impl HostSim {
             warmed_up: false,
             net_faults: FaultPlane::disabled(),
             trace: TraceHandle::default(),
+            obs: ObsHandle::default(),
             sampler: Sampler::new(cfg.probes),
             wd: WatchdogState::default(),
             scratch: Scratch::default(),
@@ -680,12 +684,29 @@ impl HostSim {
         if sim.cfg.audit.enabled && mask != 0 {
             mask |= TraceCategory::Audit.bit();
         }
-        if mask != 0 {
-            sim.trace = TraceHandle::recording(mask, capacity);
+        // The flight recorder rides inside the trace handle: arming it
+        // creates a recording handle even with an empty category mask (an
+        // empty mask records nothing to the main ring, so drained traces
+        // stay identical to an untraced run).
+        let flight_cap = if sim.cfg.observe.flight {
+            sim.cfg.observe.flight_capacity.max(1) as usize
+        } else {
+            0
+        };
+        if mask != 0 || flight_cap > 0 {
+            sim.trace = TraceHandle::recording_with_flight(mask, capacity, flight_cap);
             sim.drv.set_trace(sim.trace.clone());
             // No-op unless auditing is on: violations then land in the
             // trace as audit_violation events alongside the datapath's.
             sim.drv.audit().set_trace(sim.trace.clone());
+        }
+        // The observer installs after init, like the trace plane:
+        // provenance timelines and transaction spans describe steady
+        // state, not ring-fill churn. It only reads the simulation, so
+        // armed runs stay bit-identical to bare runs.
+        if sim.cfg.observe.any() {
+            sim.obs = ObsHandle::recording(sim.cfg.observe);
+            sim.drv.set_obs(sim.obs.clone());
         }
         // Install the fault planes only after init: ring fill and aging
         // churn run fault-free so every configuration starts from the same
@@ -1097,6 +1118,7 @@ impl HostSim {
         self.net_faults.snap(&mut w);
         self.sampler.snap(&mut w);
         self.wd.snap(&mut w);
+        self.obs.snap(&mut w);
         w.finish()
     }
 
@@ -1201,12 +1223,14 @@ impl HostSim {
         let mut net_faults = FaultPlane::unsnap(cfg.faults, &mut r)?;
         let sampler = Sampler::unsnap(&mut r)?;
         let wd = WatchdogState::unsnap(&mut r)?;
+        let obs = ObsHandle::unsnap(&mut r)?;
         r.done()?;
         // Reattach the shared trace recorder everywhere the original held a
         // clone (the driver hands its own clone on to its fault plane).
         drv.set_trace(trace.clone());
         drv.audit().set_trace(trace.clone());
         net_faults.set_trace(trace.clone());
+        drv.set_obs(obs.clone());
         Ok(Self {
             cfg,
             q,
@@ -1246,6 +1270,7 @@ impl HostSim {
             warmed_up,
             net_faults,
             trace,
+            obs,
             sampler,
             wd,
             scratch: Scratch::default(),
@@ -1274,6 +1299,7 @@ impl HostSim {
 
     fn handle(&mut self, now: Nanos, ev: Ev) {
         self.trace.set_now(now);
+        self.obs.set_now(now);
         match ev {
             Ev::PeerPump(flow) => self.peer_pump(now, flow),
             Ev::ToDutDrain => self.drain_to_dut(now),
@@ -1363,6 +1389,27 @@ impl HostSim {
         self.drv.audit().violations()
     }
 
+    /// Deterministic provenance explanation for one IOVA pfn, rendered
+    /// from the live book (`None` unless `cfg.observe.provenance` armed
+    /// it). This is the `--explain-page` backend and is also called on
+    /// the failure-artifact path while the simulation still exists.
+    pub fn explain_page(&self, pfn: u64) -> Option<String> {
+        self.obs.explain_page(pfn)
+    }
+
+    /// Distinct pfns anchoring sampled oracle violations so far (empty
+    /// when auditing is off or clean).
+    pub fn violating_pfns(&self) -> Vec<u64> {
+        self.drv.audit().report().violating_pfns()
+    }
+
+    /// Non-consuming view of the flight-recorder crash ring (empty when
+    /// `cfg.observe.flight` never armed it). Used by abort/crash paths to
+    /// flush evidence while the run is still live.
+    pub fn flight_view(&self) -> Trace {
+        self.trace.flight_view()
+    }
+
     /// Arms a seeded driver bug (test/soak-bisect corpus only; see
     /// [`crate::driver::Sabotage`]). Serialized with the driver, so a
     /// checkpointed sabotage replays identically after restore.
@@ -1395,6 +1442,14 @@ impl HostSim {
             iova_free_spans,
             iova_largest_free_run,
         };
+        // The registry's occupancy gauges ride the sampler cadence: same
+        // probes, percentile-bucketed instead of time-series-boxed.
+        self.obs.gauge_sample(
+            now,
+            self.drv.iommu.domain_id(),
+            sample.ring_occupancy as u64,
+            sample.inv_queue_depth as u64,
+        );
         let pushed = self.sampler.push(sample);
         let next = now + self.sampler.interval_ns();
         if pushed && next <= self.cfg.end_time() {
@@ -2242,6 +2297,8 @@ impl HostSim {
         // view (chronological across the driver and wire planes).
         let trace = self.trace.drain();
         let fault_log = fns_faults::fault_log_from(&trace);
+        let (provenance, txns, registry) = self.obs.dump();
+        let flight = self.trace.drain_flight();
         let metrics = RunMetrics {
             window_ns: window,
             rx_goodput_bytes: rx_delivered - snap.rx_delivered,
@@ -2267,6 +2324,10 @@ impl HostSim {
             trace,
             audit: self.drv.audit().report(),
             watchdog: self.wd.report,
+            provenance,
+            txns,
+            registry,
+            flight,
         };
         // Harvest the run's storage back into the arena. Still-posted ring
         // descriptors feed the driver's page pool first, so the next run's

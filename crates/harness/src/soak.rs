@@ -59,12 +59,16 @@ fn soak_watchdog() -> WatchdogConfig {
 }
 
 /// Applies the common soak shaping to a figure-style config: long
-/// horizon, gauge probes sampling every 100 us, watchdog armed.
+/// horizon, gauge probes sampling every 100 us, watchdog armed, and the
+/// flight recorder auto-armed so a watchdog abort deep into the soak
+/// flushes the last events leading up to it (the crash ring is
+/// mask-independent, so this adds no instrumented-tier cost).
 fn soakify(mut cfg: SimConfig) -> SimConfig {
     cfg.measure = SOAK_MEASURE;
     cfg.probes.interval_ns = 100 * MICROS;
     cfg.probes.max_samples = 262_144;
     cfg.watchdog = soak_watchdog();
+    cfg.observe.flight = true;
     cfg
 }
 
@@ -329,6 +333,7 @@ mod tests {
             let cfg = (s.build)(ProtectionMode::FastAndSafe);
             assert!(cfg.watchdog.enabled, "{}: watchdog off", s.name);
             assert!(cfg.probes.interval_ns > 0, "{}: probes off", s.name);
+            assert!(cfg.observe.flight, "{}: flight recorder off", s.name);
             assert_eq!(
                 cfg.snapshot_ineligibility(),
                 None,

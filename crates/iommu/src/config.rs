@@ -29,6 +29,10 @@ pub struct IommuConfig {
     /// unmapped IOVAs as safety violations (models what a malicious device
     /// could reach; the check itself costs nothing in simulated time).
     pub verify_safety: bool,
+    /// Protection-domain ID this translation unit serves. Single-device
+    /// setups use domain 0; the observability registry keys its per-tenant
+    /// percentiles on it, ready for multi-device topologies.
+    pub domain: u16,
 }
 
 impl Default for IommuConfig {
@@ -41,6 +45,7 @@ impl Default for IommuConfig {
             ptcache_l3_entries: 16,
             iotlb_assoc: None,
             verify_safety: true,
+            domain: 0,
         }
     }
 }

@@ -80,6 +80,15 @@ impl Translation {
             Translation::Fault { .. } => None,
         }
     }
+
+    /// Whether the IOTLB satisfied the translation directly (a fault
+    /// necessarily missed).
+    pub fn iotlb_hit(&self) -> bool {
+        match *self {
+            Translation::Ok { iotlb_hit, .. } => iotlb_hit,
+            Translation::Fault { .. } => false,
+        }
+    }
 }
 
 /// The modelled IOMMU: page table, IOTLB, and page-structure caches.
@@ -593,6 +602,7 @@ impl Iommu {
         w.usize(self.config.ptcache_l3_entries);
         w.opt(&self.config.iotlb_assoc, |w, v| w.usize(*v));
         w.bool(self.config.verify_safety);
+        w.u64(self.config.domain as u64);
         let s = &self.stats;
         for v in [
             s.translations,
@@ -643,6 +653,7 @@ impl Iommu {
             ptcache_l3_entries: r.usize()?,
             iotlb_assoc: r.opt(|r| r.usize())?,
             verify_safety: r.bool()?,
+            domain: r.u64()? as u16,
         };
         let stats = IommuStats {
             translations: r.u64()?,
@@ -669,6 +680,11 @@ impl Iommu {
             config,
             stats,
         })
+    }
+
+    /// Protection-domain ID this unit serves (registry/tenant key).
+    pub fn domain_id(&self) -> u16 {
+        self.config.domain
     }
 
     /// Current IOTLB occupancy (test/inspection helper).

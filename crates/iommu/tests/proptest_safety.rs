@@ -81,7 +81,7 @@ proptest! {
     /// interleaving of map/translate/unmap ops under the strict policy.
     #[test]
     fn translate_matches_ground_truth(ops in proptest::collection::vec((0u8..3, 0u64..256), 1..400), preserve in any::<bool>()) {
-        let mut m = Iommu::new(IommuConfig { iotlb_entries: 8, iotlb_huge_entries: 4, ptcache_l1_entries: 2, ptcache_l2_entries: 2, ptcache_l3_entries: 4, iotlb_assoc: None, verify_safety: true });
+        let mut m = Iommu::new(IommuConfig { iotlb_entries: 8, iotlb_huge_entries: 4, ptcache_l1_entries: 2, ptcache_l2_entries: 2, ptcache_l3_entries: 4, iotlb_assoc: None, verify_safety: true, domain: 0 });
         let base = 0xF_0000u64;
         let mut mapped = std::collections::HashMap::new();
         let scope = if preserve { InvalidationScope::IotlbOnly } else { InvalidationScope::IotlbAndFullPtcache };
@@ -126,7 +126,7 @@ proptest! {
     /// holds (the paper's §2.2 accounting).
     #[test]
     fn read_accounting_identity(offsets in proptest::collection::vec(0u64..2048, 1..500)) {
-        let mut m = Iommu::new(IommuConfig { iotlb_entries: 16, iotlb_huge_entries: 4, ptcache_l1_entries: 4, ptcache_l2_entries: 4, ptcache_l3_entries: 4, iotlb_assoc: None, verify_safety: true });
+        let mut m = Iommu::new(IommuConfig { iotlb_entries: 16, iotlb_huge_entries: 4, ptcache_l1_entries: 4, ptcache_l2_entries: 4, ptcache_l3_entries: 4, iotlb_assoc: None, verify_safety: true, domain: 0 });
         let base = 0x50_0000u64;
         let mut mapped = std::collections::HashSet::new();
         for &off in &offsets {

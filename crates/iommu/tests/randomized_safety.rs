@@ -104,6 +104,7 @@ fn translate_matches_ground_truth() {
             ptcache_l3_entries: 4,
             iotlb_assoc: None,
             verify_safety: true,
+            domain: 0,
         });
         let base = 0xF_0000u64;
         let mut mapped = std::collections::HashMap::new();
@@ -172,6 +173,7 @@ fn read_accounting_identity() {
             ptcache_l3_entries: 4,
             iotlb_assoc: None,
             verify_safety: true,
+            domain: 0,
         });
         let base = 0x50_0000u64;
         let mut mapped = std::collections::HashSet::new();

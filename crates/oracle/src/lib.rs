@@ -235,6 +235,19 @@ impl AuditReport {
         self.violations == 0
     }
 
+    /// Distinct pfns the sampled violations anchor on, in detection order
+    /// — the pages whose provenance timelines a failure artifact should
+    /// explain.
+    pub fn violating_pfns(&self) -> Vec<u64> {
+        let mut pfns = Vec::new();
+        for v in &self.samples {
+            if !pfns.contains(&v.pfn) {
+                pfns.push(v.pfn);
+            }
+        }
+        pfns
+    }
+
     /// One-line summary for CLI output and failure artifacts.
     pub fn summary(&self) -> String {
         if !self.enabled {

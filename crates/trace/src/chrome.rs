@@ -11,6 +11,7 @@
 use crate::json::JsonWriter;
 use crate::record::{Trace, TraceData};
 use crate::sampler::SampleSet;
+use crate::txn::TxnDump;
 use fns_sim::time::Nanos;
 
 /// Formats sim-time `ns` as a Chrome `ts` value (microseconds) with a
@@ -46,13 +47,59 @@ fn counter(w: &mut JsonWriter, name: &str, at: Nanos, value: u64) {
     w.end_object();
 }
 
+fn txn_marker(w: &mut JsonWriter, name: &str, ph: &str, id: u64, at: Nanos, tid: u64) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", "txn");
+    w.field_str("ph", ph);
+    w.field_u64("id", id);
+    w.key("ts");
+    w.raw(&ts_micros(at));
+    w.field_u64("pid", 1);
+    w.field_u64("tid", tid);
+}
+
+fn txn_slice(w: &mut JsonWriter, name: &str, at: Nanos, dur_ns: Nanos, tid: u64) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", "txn");
+    w.field_str("ph", "X");
+    w.key("ts");
+    w.raw(&ts_micros(at));
+    w.key("dur");
+    w.raw(&ts_micros(dur_ns));
+    w.field_u64("pid", 1);
+    w.field_u64("tid", tid);
+    w.end_object();
+}
+
 /// Renders `trace` and `samples` as a Chrome `trace_event` JSON document.
 ///
 /// `fault_kinds` maps the `u8` kind index carried by fault events back to
 /// a human-readable name (pass `FaultKind::ALL` names); out-of-range
 /// indices fall back to the raw number.
 pub fn chrome_trace_json(trace: &Trace, samples: &SampleSet, fault_kinds: &[&str]) -> String {
-    let mut w = JsonWriter::with_capacity(128 * trace.len() + 256 * samples.len() + 256);
+    chrome_trace_json_with(trace, samples, fault_kinds, &TxnDump::default())
+}
+
+/// Like [`chrome_trace_json`], plus DMA transaction causal spans.
+///
+/// Each completed [`TxnRecord`](crate::txn::TxnRecord) becomes an async
+/// `b`/`e` span pair (`id` = descriptor ID, one track per preparing core)
+/// bracketing `X` child slices for the mapping and invalidation-wait
+/// phases, tied together by `s`/`f` flow events so Perfetto draws the
+/// causal arrow from preparation to completion. A run with zero events,
+/// samples, and transactions still yields a valid document with an empty
+/// `traceEvents` array.
+pub fn chrome_trace_json_with(
+    trace: &Trace,
+    samples: &SampleSet,
+    fault_kinds: &[&str],
+    txns: &TxnDump,
+) -> String {
+    let mut w = JsonWriter::with_capacity(
+        128 * trace.len() + 256 * samples.len() + 512 * txns.records.len() + 256,
+    );
     w.begin_object();
     w.key("traceEvents");
     w.begin_array();
@@ -143,6 +190,33 @@ pub fn chrome_trace_json(trace: &Trace, samples: &SampleSet, fault_kinds: &[&str
         );
     }
 
+    for rec in &txns.records {
+        let tid = rec.flow as u64 + 1;
+        // Parent async span: preparation → completion.
+        txn_marker(&mut w, "dma_txn", "b", rec.id, rec.start_ns, tid);
+        w.key("args");
+        w.begin_object();
+        w.field_u64("pages", rec.pages as u64);
+        w.end_object();
+        w.end_object();
+        // Child slices: where the span's CPU time actually went.
+        if rec.map_ns > 0 {
+            txn_slice(&mut w, "map_cpu", rec.start_ns, rec.map_ns, tid);
+        }
+        if rec.inv_wait_ns > 0 {
+            let at = rec.end_ns.saturating_sub(rec.inv_wait_ns);
+            txn_slice(&mut w, "inv_wait", at, rec.inv_wait_ns, tid);
+        }
+        txn_marker(&mut w, "dma_txn", "e", rec.id, rec.end_ns, tid);
+        w.end_object();
+        // Flow arrow from preparation to completion.
+        txn_marker(&mut w, "dma_flow", "s", rec.id, rec.start_ns, tid);
+        w.end_object();
+        txn_marker(&mut w, "dma_flow", "f", rec.id, rec.end_ns, tid);
+        w.field_str("bp", "e");
+        w.end_object();
+    }
+
     w.end_array();
     w.field_str("displayTimeUnit", "ns");
     w.end_object();
@@ -161,6 +235,68 @@ mod tests {
         assert_eq!(ts_micros(999), "0.999");
         assert_eq!(ts_micros(1_000), "1.000");
         assert_eq!(ts_micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn timestamps_survive_u64_extremes() {
+        // u64::MAX = 18_446_744_073_709_551_615 ns.
+        assert_eq!(ts_micros(u64::MAX), "18446744073709551.615");
+        assert_eq!(ts_micros(u64::MAX - 1), "18446744073709551.614");
+        assert_eq!(ts_micros(u64::MAX - 615), "18446744073709551.000");
+        assert_eq!(ts_micros(1), "0.001");
+    }
+
+    #[test]
+    fn empty_run_yields_a_valid_empty_trace_events_array() {
+        // Zero events of the selected categories, zero samples, zero
+        // transactions must still be a loadable document.
+        let json = chrome_trace_json(&Trace::default(), &SampleSet::default(), &[]);
+        assert_eq!(json, r#"{"traceEvents":[],"displayTimeUnit":"ns"}"#);
+        let with = chrome_trace_json_with(
+            &Trace::default(),
+            &SampleSet::default(),
+            &[],
+            &TxnDump::default(),
+        );
+        assert_eq!(with, json);
+    }
+
+    #[test]
+    fn txn_records_export_spans_slices_and_flow_arrows() {
+        let txns = TxnDump {
+            enabled: true,
+            records: vec![crate::txn::TxnRecord {
+                id: 7,
+                flow: 2,
+                pages: 64,
+                start_ns: 1_000,
+                map_ns: 200,
+                inv_wait_ns: 300,
+                end_ns: 5_000,
+            }],
+            open: 0,
+            dropped: 0,
+        };
+        let json = chrome_trace_json_with(&Trace::default(), &SampleSet::default(), &[], &txns);
+        assert!(json.contains(
+            r#"{"name":"dma_txn","cat":"txn","ph":"b","id":7,"ts":1.000,"pid":1,"tid":3,"args":{"pages":64}}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"map_cpu","cat":"txn","ph":"X","ts":1.000,"dur":0.200,"pid":1,"tid":3}"#
+        ));
+        // inv_wait child sits at end - inv_wait.
+        assert!(json.contains(
+            r#"{"name":"inv_wait","cat":"txn","ph":"X","ts":4.700,"dur":0.300,"pid":1,"tid":3}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"dma_txn","cat":"txn","ph":"e","id":7,"ts":5.000,"pid":1,"tid":3}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"dma_flow","cat":"txn","ph":"s","id":7,"ts":1.000,"pid":1,"tid":3}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"dma_flow","cat":"txn","ph":"f","id":7,"ts":5.000,"pid":1,"tid":3,"bp":"e"}"#
+        ));
     }
 
     #[test]

@@ -284,6 +284,39 @@ mod tests {
     }
 
     #[test]
+    fn escaping_boundary_values() {
+        // Empty string, the control-range boundary (0x1f escaped, 0x20
+        // passes), DEL (0x7f is not a JSON control char — passes through),
+        // and escapes inside keys.
+        let mut s = String::new();
+        escape_into(&mut s, "");
+        assert_eq!(s, "");
+        s.clear();
+        escape_into(&mut s, "\u{1f}\u{20}\u{7f}");
+        assert_eq!(s, "\\u001f \u{7f}");
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("a\"b", "c\\d");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a\"b":"c\\d"}"#);
+    }
+
+    #[test]
+    fn integer_extremes_format_exactly() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.u64(u64::MAX - 1);
+        w.u64(1);
+        w.i64(i64::MIN);
+        w.i64(i64::MAX);
+        w.end_array();
+        assert_eq!(
+            w.finish(),
+            "[18446744073709551614,1,-9223372036854775808,9223372036854775807]"
+        );
+    }
+
+    #[test]
     fn empty_containers() {
         let mut w = JsonWriter::new();
         w.begin_object();

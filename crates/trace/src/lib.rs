@@ -25,16 +25,27 @@
 
 pub mod chrome;
 pub mod json;
+pub mod metrics;
+pub mod provenance;
 pub mod record;
+pub mod recorder;
 pub mod sampler;
 pub mod span;
+pub mod txn;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with};
 pub use json::{escape_into, JsonWriter};
+pub use metrics::{LogHistogram, MetricsRegistry, RegMetric, RegSample, RegStat, RegistryReport};
+pub use provenance::{
+    PageEvent, PageEventKind, PageTimeline, ProvenanceBook, ProvenanceDump, DEFAULT_PROV_EVENTS,
+    DEFAULT_PROV_PAGES, DEVICE_FLOW,
+};
 pub use record::{
     Trace, TraceCategory, TraceConfig, TraceData, TraceEvent, TraceHandle, DEFAULT_TRACE_CAPACITY,
 };
+pub use recorder::{ObsHandle, ObserveConfig, Observer, DEFAULT_FLIGHT_CAPACITY, NO_FOCUS};
 pub use sampler::{ProbeConfig, Sample, SampleSet, Sampler};
 pub use span::{Span, SpanSet};
+pub use txn::{TxnDump, TxnRecord, TxnTrace, DEFAULT_TXN_CAPACITY};
 
 pub use fns_sim::time::Nanos;

@@ -403,6 +403,54 @@ impl Recorder {
         self.dropped = 0;
         Trace { events, dropped }
     }
+
+    fn view(&self) -> Trace {
+        let mut events = self.events.clone();
+        events.rotate_left(self.head);
+        Trace {
+            events,
+            dropped: self.dropped,
+        }
+    }
+
+    fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.now);
+        w.usize(self.capacity);
+        w.usize(self.head);
+        w.u64(self.dropped);
+        w.seq(self.events.len());
+        for ev in &self.events {
+            w.u64(ev.at);
+            ev.data.snap(w);
+        }
+    }
+
+    fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        let now = r.u64()?;
+        let capacity = r.usize()?;
+        let head = r.usize()?;
+        let dropped = r.u64()?;
+        let n = r.seq()?;
+        let mut events = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let at = r.u64()?;
+            let data = TraceData::unsnap(r)?;
+            events.push(TraceEvent { at, data });
+        }
+        if capacity == 0 || head >= capacity || events.len() > capacity {
+            return Err(fns_snap::SnapError::BadTag {
+                what: "trace ring geometry",
+                tag: head as u64,
+            });
+        }
+        Ok(Self {
+            now,
+            capacity,
+            head,
+            events,
+            dropped,
+        })
+    }
 }
 
 /// Enum-dispatch recorder handle held by every instrumented component.
@@ -422,15 +470,31 @@ pub enum TraceHandle {
         mask: u8,
         /// The shared ring.
         rec: Rc<RefCell<Recorder>>,
+        /// Optional flight-recorder crash ring: every emitted event lands
+        /// here *unconditionally* (no mask filter), so the last N events
+        /// before an abort are always available. An armed flight makes
+        /// [`TraceHandle::wants`] answer true for every category, so
+        /// sites that guard event construction behind it construct the
+        /// event for the crash ring even when its category is masked out
+        /// of the main ring.
+        flight: Option<Rc<RefCell<Recorder>>>,
     },
 }
 
 impl TraceHandle {
     /// A recording handle over a fresh ring of `capacity` events.
     pub fn recording(mask: u8, capacity: usize) -> Self {
+        Self::recording_with_flight(mask, capacity, 0)
+    }
+
+    /// A recording handle with an additional flight-recorder crash ring of
+    /// `flight_capacity` events (0 disables it).
+    pub fn recording_with_flight(mask: u8, capacity: usize, flight_capacity: usize) -> Self {
         TraceHandle::On {
             mask,
             rec: Rc::new(RefCell::new(Recorder::new(capacity.max(1)))),
+            flight: (flight_capacity > 0)
+                .then(|| Rc::new(RefCell::new(Recorder::new(flight_capacity)))),
         }
     }
 
@@ -439,13 +503,21 @@ impl TraceHandle {
         matches!(self, TraceHandle::On { .. })
     }
 
-    /// Whether events of `cat` would be recorded. Use this to guard
-    /// event-construction work that is not free (e.g. cache-state diffs).
+    /// Whether events of `cat` would be recorded — into the main ring
+    /// (mask bit set) or the flight-recorder crash ring. An armed flight
+    /// ring forces every category *except* [`TraceCategory::Translate`]:
+    /// per-translation microevents (IOTLB hit/miss, PTcache fills) would
+    /// both flood the crash window and slow the hot path; ask for them
+    /// explicitly via the mask when a crash dump needs them. Use this to
+    /// guard event-construction work that is not free (e.g. cache-state
+    /// diffs).
     #[inline]
     pub fn wants(&self, cat: TraceCategory) -> bool {
         match self {
             TraceHandle::Off => false,
-            TraceHandle::On { mask, .. } => mask & cat.bit() != 0,
+            TraceHandle::On { mask, flight, .. } => {
+                mask & cat.bit() != 0 || (flight.is_some() && cat != TraceCategory::Translate)
+            }
         }
     }
 
@@ -453,19 +525,37 @@ impl TraceHandle {
     /// stamped `now`. Called once per dispatched simulation event.
     #[inline]
     pub fn set_now(&self, now: Nanos) {
-        if let TraceHandle::On { rec, .. } = self {
+        if let TraceHandle::On { rec, flight, .. } = self {
             rec.borrow_mut().now = now;
+            if let Some(f) = flight {
+                f.borrow_mut().now = now;
+            }
         }
     }
 
-    /// Records `data` if its category is enabled.
+    /// Records `data` if its category is enabled; the flight ring (when
+    /// armed) receives every emitted event regardless of mask.
     #[inline]
     pub fn emit(&self, data: TraceData) {
-        if let TraceHandle::On { mask, rec } = self {
+        if let TraceHandle::On { mask, rec, flight } = self {
             if mask & data.category().bit() != 0 {
                 rec.borrow_mut().push(data);
             }
+            if let Some(f) = flight {
+                f.borrow_mut().push(data);
+            }
         }
+    }
+
+    /// Whether a flight-recorder crash ring is armed.
+    pub fn has_flight(&self) -> bool {
+        matches!(
+            self,
+            TraceHandle::On {
+                flight: Some(_),
+                ..
+            }
+        )
     }
 
     /// Drains the ring into a chronological [`Trace`]. On a disabled
@@ -477,25 +567,38 @@ impl TraceHandle {
         }
     }
 
+    /// Drains the flight ring (empty when not armed).
+    pub fn drain_flight(&self) -> Trace {
+        match self {
+            TraceHandle::On {
+                flight: Some(f), ..
+            } => f.borrow_mut().drain(),
+            _ => Trace::default(),
+        }
+    }
+
+    /// Non-consuming snapshot of the flight ring for mid-run crash dumps
+    /// (empty when not armed).
+    pub fn flight_view(&self) -> Trace {
+        match self {
+            TraceHandle::On {
+                flight: Some(f), ..
+            } => f.borrow().view(),
+            _ => Trace::default(),
+        }
+    }
+
     /// Serializes the handle and the full ring state (verbatim: slot order,
     /// head, drop count) for checkpointing. A restored ring continues to
     /// overwrite and drain exactly as the original would have.
     pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
         match self {
             TraceHandle::Off => w.u8(0),
-            TraceHandle::On { mask, rec } => {
+            TraceHandle::On { mask, rec, flight } => {
                 w.u8(1);
                 w.u8(*mask);
-                let rec = rec.borrow();
-                w.u64(rec.now);
-                w.usize(rec.capacity);
-                w.usize(rec.head);
-                w.u64(rec.dropped);
-                w.seq(rec.events.len());
-                for ev in &rec.events {
-                    w.u64(ev.at);
-                    ev.data.snap(w);
-                }
+                rec.borrow().snap(w);
+                w.opt(flight, |w, f| f.borrow().snap(w));
             }
         }
     }
@@ -508,32 +611,12 @@ impl TraceHandle {
             0 => Ok(TraceHandle::Off),
             1 => {
                 let mask = r.u8()?;
-                let now = r.u64()?;
-                let capacity = r.usize()?;
-                let head = r.usize()?;
-                let dropped = r.u64()?;
-                let n = r.seq()?;
-                let mut events = Vec::with_capacity(n.min(1 << 20));
-                for _ in 0..n {
-                    let at = r.u64()?;
-                    let data = TraceData::unsnap(r)?;
-                    events.push(TraceEvent { at, data });
-                }
-                if capacity == 0 || head >= capacity || events.len() > capacity {
-                    return Err(fns_snap::SnapError::BadTag {
-                        what: "trace ring geometry",
-                        tag: head as u64,
-                    });
-                }
+                let rec = Recorder::unsnap(r)?;
+                let flight = r.opt(Recorder::unsnap)?;
                 Ok(TraceHandle::On {
                     mask,
-                    rec: Rc::new(RefCell::new(Recorder {
-                        now,
-                        capacity,
-                        head,
-                        events,
-                        dropped,
-                    })),
+                    rec: Rc::new(RefCell::new(rec)),
+                    flight: flight.map(|f| Rc::new(RefCell::new(f))),
                 })
             }
             t => Err(fns_snap::SnapError::BadTag {
@@ -619,6 +702,49 @@ mod tests {
         assert_eq!(TraceCategory::parse_mask("fault"), Some(16));
         assert_eq!(TraceCategory::parse_mask("bogus"), None);
         assert_eq!(TraceCategory::parse_mask(""), Some(0));
+    }
+
+    #[test]
+    fn flight_ring_ignores_the_mask_and_keeps_latest() {
+        let h = TraceHandle::recording_with_flight(TraceCategory::Ring.bit(), 16, 2);
+        assert!(h.has_flight());
+        h.set_now(1);
+        h.emit(TraceData::Map { pages: 4 });
+        h.set_now(2);
+        h.emit(TraceData::RingPost { core: 0 });
+        h.set_now(3);
+        h.emit(TraceData::IotlbHit);
+        // Main ring saw only the masked-in category.
+        let t = h.drain();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].data, TraceData::RingPost { core: 0 });
+        // Flight ring saw everything, bounded at 2.
+        let f = h.flight_view();
+        assert_eq!(f.dropped, 1);
+        assert_eq!(f.events.len(), 2);
+        assert_eq!(f.events[0].at, 2);
+        assert_eq!(f.events[1].data, TraceData::IotlbHit);
+        // The view did not consume; drain matches it.
+        assert_eq!(h.drain_flight(), f);
+    }
+
+    #[test]
+    fn flight_ring_survives_snapshot() {
+        let h = TraceHandle::recording_with_flight(0, 4, 4);
+        h.set_now(9);
+        h.emit(TraceData::Unmap { pages: 2 });
+        let mut w = fns_snap::SnapWriter::new();
+        h.snap(&mut w);
+        let bytes = w.finish();
+        let mut r = fns_snap::SnapReader::new(&bytes).unwrap();
+        let back = TraceHandle::unsnap(&mut r).unwrap();
+        r.done().unwrap();
+        assert!(back.has_flight());
+        assert_eq!(back.flight_view(), h.flight_view());
+        assert!(back.drain().is_empty());
+        let mut w2 = fns_snap::SnapWriter::new();
+        back.snap(&mut w2);
+        assert_eq!(w2.finish(), bytes);
     }
 
     #[test]

@@ -31,6 +31,19 @@
 //! is deterministic: the same seed yields byte-identical files at any
 //! `--jobs` count.
 //!
+//! Observability: `--observe` arms the full causal plane — per-page
+//! provenance timelines, DMA-transaction spans (exported into the
+//! `--trace` Chrome JSON as flow-connected async spans), the HDR
+//! percentile registry (surfaced on stdout, in `--metrics-json`, and as a
+//! streamed time series), and the flight recorder (`--flight PATH` writes
+//! its last-events crash ring; abort paths flush it before dying).
+//! Individual layers arm via `--provenance`, `--txn`, `--registry`.
+//! `--explain-page IOVA` prints one page's full provenance timeline;
+//! `--explain-page violation` explains the pages the safety oracle
+//! flagged, and any audited violation with provenance armed also writes
+//! `target/failure_provenance.txt`. All of it is deterministic and
+//! RNG-free: armed or not, the simulated behaviour is bit-identical.
+//!
 //! Correctness: `--audit` attaches the `fns-oracle` reference model to
 //! every run and exits non-zero if any safety invariant was violated;
 //! `--audit-fatal` panics at the first violation instead (best combined
@@ -53,14 +66,23 @@
 use fns::apps::{
     bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
 };
-use fns::core::{HostSim, ProtectionMode, RunMetrics, SimConfig};
+use fns::core::{HostSim, ProtectionMode, RunMetrics, Sabotage, SimConfig};
 use fns::faults::{FaultConfig, FaultKind};
 use fns::harness::{soak_config, SweepRunner, SCENARIOS, SOAK_SCENARIOS};
 use fns::oracle::AuditConfig;
 use fns::trace::{
-    chrome_trace_json, JsonWriter, ProbeConfig, Span, TraceCategory, TraceConfig,
-    DEFAULT_TRACE_CAPACITY,
+    chrome_trace_json, chrome_trace_json_with, JsonWriter, ObserveConfig, ProbeConfig, RegMetric,
+    SampleSet, Span, TraceCategory, TraceConfig, DEFAULT_TRACE_CAPACITY,
 };
+
+/// What `--explain-page` should reconstruct.
+#[derive(Debug, Clone, Copy)]
+enum ExplainTarget {
+    /// The first page(s) the safety oracle flagged this run.
+    Violation,
+    /// A specific IOVA byte address (pfn = addr >> 12).
+    Iova(u64),
+}
 
 struct Args {
     modes: Vec<ProtectionMode>,
@@ -86,6 +108,14 @@ struct Args {
     snapshot_every_ms: u64,
     snapshot_prefix: String,
     resume: Option<String>,
+    observe: bool,
+    provenance: bool,
+    txn: bool,
+    registry: bool,
+    flight_path: Option<String>,
+    explain_page: Option<ExplainTarget>,
+    profile_top: Option<usize>,
+    sabotage_skip_inv: Option<u64>,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -120,6 +150,13 @@ fn usage() -> ! {
          \x20              [--snapshot-every MS]  checkpoint every MS sim-ms (single-mode)\n\
          \x20              [--snapshot-prefix P]  checkpoint file prefix (default fns-checkpoint)\n\
          \x20              [--resume PATH] restore a checkpoint and continue (same flags required)\n\
+         \x20              [--observe]     arm the full observability plane (provenance+txn+registry+flight)\n\
+         \x20              [--provenance]  record per-page provenance timelines\n\
+         \x20              [--txn]         record DMA-transaction causal spans (exported with --trace)\n\
+         \x20              [--registry]    record HDR latency/occupancy percentiles\n\
+         \x20              [--flight PATH] arm the flight recorder; write its crash ring as Chrome JSON\n\
+         \x20              [--explain-page IOVA|violation]  print a page's provenance timeline\n\
+         \x20              [--profile-top N]  limit the --profile table to the N largest spans\n\
          \x20              [--list-scenarios]  list the named scenario registry and exit\n\
          modes: off linux deferred linux+A linux+B fns hugepage damn"
     );
@@ -163,6 +200,14 @@ fn parse_args() -> Args {
         snapshot_every_ms: 0,
         snapshot_prefix: "fns-checkpoint".into(),
         resume: None,
+        observe: false,
+        provenance: false,
+        txn: false,
+        registry: false,
+        flight_path: None,
+        explain_page: None,
+        profile_top: None,
+        sabotage_skip_inv: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -221,6 +266,36 @@ fn parse_args() -> Args {
             }
             "--snapshot-prefix" => args.snapshot_prefix = val(),
             "--resume" => args.resume = Some(val()),
+            "--observe" => args.observe = true,
+            "--provenance" => args.provenance = true,
+            "--txn" => args.txn = true,
+            "--registry" => args.registry = true,
+            "--flight" => args.flight_path = Some(val()),
+            "--explain-page" => {
+                let v = val();
+                args.explain_page = Some(if v == "violation" {
+                    ExplainTarget::Violation
+                } else {
+                    let addr = match v.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => v.parse(),
+                    };
+                    ExplainTarget::Iova(addr.unwrap_or_else(|_| usage()))
+                });
+            }
+            "--profile-top" => {
+                let n: usize = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage()
+                }
+                args.profile_top = Some(n);
+            }
+            // Undocumented: seed the driver bug the sabotage plane models,
+            // so CI can exercise the violation -> provenance-artifact path
+            // end to end (single-mode only).
+            "--sabotage-skip-inv" => {
+                args.sabotage_skip_inv = Some(val().parse().unwrap_or_else(|_| usage()));
+            }
             "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -292,6 +367,26 @@ fn apply_telemetry_flags(args: &Args, cfg: &mut SimConfig) {
             enabled: true,
             fatal: args.audit_fatal,
         };
+    }
+    if args.observe {
+        cfg.observe = ObserveConfig::full();
+    }
+    if args.provenance || args.explain_page.is_some() {
+        cfg.observe.provenance = true;
+    }
+    if let Some(ExplainTarget::Iova(addr)) = args.explain_page {
+        // Focused book: track only the page being explained, so the
+        // timeline is never evicted no matter how long the run is.
+        cfg.observe.prov_focus = addr >> 12;
+    }
+    if args.txn {
+        cfg.observe.txn = true;
+    }
+    if args.registry {
+        cfg.observe.registry = true;
+    }
+    if args.flight_path.is_some() {
+        cfg.observe.flight = true;
     }
 }
 
@@ -396,45 +491,42 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
-fn print_profile(mode: ProtectionMode, m: &RunMetrics) {
+fn print_profile(mode: ProtectionMode, m: &RunMetrics, top: Option<usize>) {
     let total = m.spans.total_ns();
-    println!(
-        "{:>14}  CPU-span attribution ({} ns total):",
-        mode.label(),
-        total
-    );
-    for span in Span::ALL {
-        let ns = m.spans.get(span);
-        let pct = if total > 0 {
+    let pct = |ns: u64| {
+        if total > 0 {
             ns as f64 * 100.0 / total as f64
         } else {
             0.0
-        };
+        }
+    };
+    let mut ranked: Vec<Span> = Span::ALL.to_vec();
+    ranked.sort_by_key(|s| std::cmp::Reverse(m.spans.get(*s)));
+    // Digest first — the one-line summary perf triage greps for, ahead of
+    // the table so it survives a `| head -2`.
+    let digest: Vec<String> = ranked
+        .iter()
+        .take(3)
+        .map(|s| format!("{} {:.1}%", s.name(), pct(m.spans.get(*s))))
+        .collect();
+    println!(
+        "{:>14}  top spans: {}  ({} ns total)",
+        mode.label(),
+        digest.join(", "),
+        total
+    );
+    // Then the full attribution table (largest first), clipped to
+    // `--profile-top N` when given.
+    for span in ranked.iter().take(top.unwrap_or(Span::ALL.len())) {
+        let ns = m.spans.get(*span);
         println!(
             "{:>14}    {:<18} {:>14} ns  {:5.1}%",
             "",
             span.name(),
             ns,
-            pct
+            pct(ns)
         );
     }
-    // A one-line digest of where the modelled CPU went: the three largest
-    // buckets, largest first. This is the line perf triage greps for.
-    let mut ranked: Vec<Span> = Span::ALL.to_vec();
-    ranked.sort_by_key(|s| std::cmp::Reverse(m.spans.get(*s)));
-    let top: Vec<String> = ranked
-        .iter()
-        .take(3)
-        .map(|s| {
-            let pct = if total > 0 {
-                m.spans.get(*s) as f64 * 100.0 / total as f64
-            } else {
-                0.0
-            };
-            format!("{} {:.1}%", s.name(), pct)
-        })
-        .collect();
-    println!("{:>14}  top spans: {}", "", top.join(", "));
 }
 
 fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
@@ -486,6 +578,29 @@ fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
             m.watchdog.aborted,
         );
     }
+    if m.provenance.enabled || m.txns.enabled || m.registry.enabled {
+        println!(
+            "{:>14}  obs: provenance {} page(s) ({} dropped)  txns {} completed / {} open \
+             ({} dropped)  registry {} key(s)",
+            "",
+            m.provenance.pages.len(),
+            m.provenance.dropped_pages,
+            m.txns.records.len(),
+            m.txns.open,
+            m.txns.dropped,
+            m.registry.stats.len(),
+        );
+    }
+    if m.registry.enabled {
+        let (count, p50, p99, p999) = m.registry.percentiles(RegMetric::DescLatency);
+        let (_, _, inv_p99, _) = m.registry.percentiles(RegMetric::InvWait);
+        if count > 0 {
+            println!(
+                "{:>14}  desc latency ns: p50 {}  p99 {}  p999 {}  ({} descs)  inv-wait p99 {}",
+                "", p50, p99, p999, count, inv_p99,
+            );
+        }
+    }
     if args.workload == "rpc" && m.latency.count() > 0 {
         let p = |q: f64| m.latency.percentile(q) as f64 / 1000.0;
         println!(
@@ -535,6 +650,44 @@ fn main() {
         let (m, a) = run_checkpointed(&args, modes[0]);
         aborted = a;
         vec![m]
+    } else if args.sabotage_skip_inv.is_some() || (args.audit_fatal && args.flight_path.is_some()) {
+        // Instrumented single-run path: a seeded sabotage needs a hand on
+        // the driver before the run, and a fatal audit with the flight
+        // recorder armed needs the ring flushed when the oracle panics.
+        if modes.len() > 1 {
+            eprintln!(
+                "fns-sim: --sabotage-skip-inv / --audit-fatal --flight run a single mode \
+                 (got {}); pass --mode",
+                modes.len()
+            );
+            std::process::exit(2);
+        }
+        let cfg = build_config(&args, modes[0]);
+        let mut sim = HostSim::new(cfg);
+        if let Some(nth) = args.sabotage_skip_inv {
+            sim.set_sabotage(Sabotage::SkipRangeInvalidation { nth });
+        }
+        let end = cfg.end_time();
+        let stepped =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.step_until(end)));
+        if let Err(panic) = stepped {
+            // The fatal oracle (or anything else) panicked mid-run: flush
+            // the flight-recorder crash ring so the last events leading up
+            // to the abort survive as an artifact, then keep dying.
+            if let Some(path) = &args.flight_path {
+                let flight = sim.flight_view();
+                write_or_die(
+                    path,
+                    &chrome_trace_json(&flight, &SampleSet::default(), &[]),
+                );
+                eprintln!(
+                    "fns-sim: panic mid-run; flight recorder ({} events) -> {path}",
+                    flight.len()
+                );
+            }
+            std::panic::resume_unwind(panic);
+        }
+        vec![sim.finish()]
     } else {
         let runner = match args.jobs {
             Some(n) => SweepRunner::new(n),
@@ -565,7 +718,19 @@ fn main() {
             audit_violations += m.audit.violations;
         }
         if args.profile {
-            print_profile(*mode, m);
+            print_profile(*mode, m, args.profile_top);
+        }
+        if let Some(target) = &args.explain_page {
+            let pfns: Vec<u64> = match target {
+                ExplainTarget::Violation => m.audit.violating_pfns(),
+                ExplainTarget::Iova(addr) => vec![addr >> 12],
+            };
+            if pfns.is_empty() {
+                println!("{:>14}  explain: no violating pages this run", "");
+            }
+            for pfn in pfns {
+                print!("{}", m.provenance.explain(pfn));
+            }
         }
     }
     let multi = modes.len() > 1;
@@ -573,12 +738,33 @@ fn main() {
         let fault_kinds: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
         for (mode, m) in modes.iter().zip(results.iter()) {
             let out = mode_path(path, *mode, multi);
-            write_or_die(&out, &chrome_trace_json(&m.trace, &m.samples, &fault_kinds));
+            write_or_die(
+                &out,
+                &chrome_trace_json_with(&m.trace, &m.samples, &fault_kinds, &m.txns),
+            );
             println!(
-                "trace: {} events ({} dropped), {} samples -> {}",
+                "trace: {} events ({} dropped), {} samples, {} txn spans -> {}",
                 m.trace.len(),
                 m.trace.dropped,
                 m.samples.samples.len(),
+                m.txns.records.len(),
+                out
+            );
+        }
+    }
+    if let Some(path) = &args.flight_path {
+        // The crash ring of a *completed* run: the final window of events.
+        // (Abort paths flush the live ring before dying instead.)
+        for (mode, m) in modes.iter().zip(results.iter()) {
+            let out = mode_path(path, *mode, multi);
+            write_or_die(
+                &out,
+                &chrome_trace_json(&m.flight, &SampleSet::default(), &[]),
+            );
+            println!(
+                "flight: {} events ({} dropped) -> {}",
+                m.flight.len(),
+                m.flight.dropped,
                 out
             );
         }
@@ -606,6 +792,28 @@ fn main() {
         println!("metrics: {} run(s) -> {}", results.len(), path);
     }
     if audit_violations > 0 {
+        // Failure artifact: when provenance was armed, dump the violating
+        // pages' full timelines so the bug is diagnosable from the run
+        // that caught it (reproducible via `--explain-page violation`).
+        let mut artifact = String::new();
+        for (mode, m) in modes.iter().zip(results.iter()) {
+            if !m.provenance.enabled || m.audit.violations == 0 {
+                continue;
+            }
+            for pfn in m.audit.violating_pfns() {
+                artifact.push_str(&format!(
+                    "mode {}: violation at pfn {:#x}\n",
+                    mode.label(),
+                    pfn
+                ));
+                artifact.push_str(&m.provenance.explain(pfn));
+            }
+        }
+        if !artifact.is_empty() {
+            std::fs::create_dir_all("target").ok();
+            write_or_die("target/failure_provenance.txt", &artifact);
+            eprintln!("fns-sim: violating-page timelines -> target/failure_provenance.txt");
+        }
         eprintln!("fns-sim: safety audit found {audit_violations} violation(s)");
         std::process::exit(1);
     }

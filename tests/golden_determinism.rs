@@ -13,7 +13,7 @@ use fns::core::{HostSim, ProtectionMode, RunArena, RunMetrics, SimConfig};
 use fns::faults::FaultConfig;
 use fns::harness::SweepRunner;
 use fns::sim::queue::QueueKind;
-use fns::trace::{ProbeConfig, TraceConfig};
+use fns::trace::{ObserveConfig, ProbeConfig, TraceConfig};
 
 /// Fig2-shaped sweep points (shortened windows): flow counts crossed with
 /// the stock-overhead modes.
@@ -307,6 +307,90 @@ fn fast_forward_matches_reference_cascade() {
     for jobs in [1, 8] {
         let par = SweepRunner::new(jobs).run_sims(cascade_cfgs.clone());
         assert_identical(&golden, &par, &format!("cascade jobs={jobs}"));
+    }
+}
+
+#[test]
+fn observability_is_invisible_and_rng_free() {
+    // The causal observability plane (provenance book, txn spans, HDR
+    // registry, flight recorder) must be a pure observer: arming all of
+    // it changes nothing but the dumps themselves. Scrubbing the four
+    // dump fields from an armed run must yield the bare run bit for bit —
+    // which also pins that the plane consumes no RNG (any draw would fork
+    // the fault/workload streams and diverge every counter).
+    let mut configs = chaos_shaped();
+    // Include the gauge sampler on one cell: the registry rides its
+    // cadence, and the sampler series itself must not shift.
+    configs[0].probes = ProbeConfig::every(100_000);
+    let golden = run_sequentially(&configs);
+    let armed_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.observe = ObserveConfig::full();
+            c
+        })
+        .collect();
+    let armed = run_sequentially(&armed_cfgs);
+    for (i, m) in armed.iter().enumerate() {
+        assert!(m.provenance.enabled, "run {i}: provenance off");
+        assert!(!m.provenance.pages.is_empty(), "run {i}: no timelines");
+        assert!(m.txns.enabled, "run {i}: txns off");
+        assert!(m.registry.enabled, "run {i}: registry off");
+        assert!(!m.flight.is_empty(), "run {i}: flight ring empty");
+        // Heavily faulted cells can kill all traffic before a descriptor
+        // completes; require completed spans only where traffic flows.
+        if m.faults.total_injected() == 0 {
+            assert!(!m.txns.records.is_empty(), "run {i}: no txn records");
+            assert!(!m.registry.stats.is_empty(), "run {i}: no registry keys");
+        }
+    }
+    let scrubbed: Vec<RunMetrics> = armed
+        .into_iter()
+        .map(|mut m| {
+            m.provenance = Default::default();
+            m.txns = Default::default();
+            m.registry = Default::default();
+            m.flight = Default::default();
+            m
+        })
+        .collect();
+    assert_identical(&golden, &scrubbed, "observability-armed");
+    // And the armed plane itself replays identically under parallelism,
+    // dumps included.
+    for jobs in [1, 8] {
+        let par = SweepRunner::new(jobs).run_sims(armed_cfgs.clone());
+        let rerun = run_sequentially(&armed_cfgs);
+        assert_identical(&rerun, &par, &format!("armed observability jobs={jobs}"));
+    }
+}
+
+#[test]
+fn armed_observability_survives_checkpoint_restore() {
+    // Snapshot/restore with the full plane armed: the book, txn ring,
+    // registry, and flight ring serialize into the checkpoint and the
+    // resumed run's dumps equal the uninterrupted run's bit for bit
+    // (RunMetrics PartialEq covers all four fields).
+    for mode in [ProtectionMode::LinuxStrict, ProtectionMode::FastAndSafe] {
+        let mut cfg = iperf_config(mode, 2, 64);
+        cfg.cores = 2;
+        cfg.warmup = 500_000;
+        cfg.measure = 2_000_000;
+        cfg.aging_factor = 0.0;
+        cfg.observe = ObserveConfig::full();
+        let golden = HostSim::new(cfg).run();
+        assert!(
+            golden.provenance.enabled && !golden.flight.is_empty(),
+            "armed run recorded nothing"
+        );
+        let mut sim = HostSim::new(cfg);
+        sim.step_until(1_200_000);
+        let bytes = sim.snapshot();
+        drop(sim);
+        let resumed = HostSim::restore(cfg, &bytes)
+            .expect("armed snapshot restores")
+            .run();
+        assert_eq!(golden, resumed, "mode {:?}: armed resume diverged", mode);
     }
 }
 
