@@ -13,7 +13,9 @@
 //! * [`spdk`] — remote-storage client issuing block reads at IO-depth 8
 //!   (Figure 11c),
 //! * [`bidir`] — concurrent Rx+Tx data traffic on an Ice Lake-like host
-//!   (Figure 10).
+//!   (Figure 10),
+//! * [`topo`] — multi-device, multi-tenant topologies (fan-in, incast,
+//!   connection churn) behind one shared IOMMU.
 
 pub mod bidir;
 pub mod iperf;
@@ -21,6 +23,7 @@ pub mod nginx;
 pub mod redis;
 pub mod rpc;
 pub mod spdk;
+pub mod topo;
 
 pub use bidir::bidirectional_config;
 pub use iperf::iperf_config;
@@ -28,3 +31,4 @@ pub use nginx::nginx_config;
 pub use redis::redis_config;
 pub use rpc::rpc_config;
 pub use spdk::spdk_config;
+pub use topo::{churn_config, fanin_config, incast_config};

@@ -9,6 +9,7 @@ use fns_sim::queue::QueueKind;
 use fns_sim::time::{Bandwidth, Nanos, MICROS, MILLIS};
 use fns_trace::{ObserveConfig, ProbeConfig, TraceConfig};
 
+use crate::driver::Sabotage;
 use crate::mode::ProtectionMode;
 use crate::watchdog::WatchdogConfig;
 
@@ -51,6 +52,76 @@ impl Default for CpuCosts {
     }
 }
 
+/// The device topology behind the shared IOMMU.
+///
+/// Every device — each NIC and each storage-style DMA engine — is attached
+/// to its own PASID-style protection domain: domain `d` for NIC `d`
+/// (`0..nics`), then `nics + s` for storage device `s`. A NIC exposes
+/// `queues_per_nic` Rx/Tx queue pairs and flows are spread across them by
+/// receive-side scaling on the flow id, so one tenant's traffic can fan
+/// out over several rings while still translating in a single domain.
+///
+/// [`Topology::single_nic`] (1 NIC x 1 queue, no storage) is the legacy
+/// single-device shape: domain-0 tags are the identity, and runs are
+/// bit-identical to the pre-topology simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology {
+    /// NICs sharing the IOMMU (>= 1). Each is one protection domain.
+    pub nics: u16,
+    /// Rx/Tx queue pairs per NIC (>= 1). Queue `q` of NIC `d` is serviced
+    /// by core `(d * queues_per_nic + q) % cores`.
+    pub queues_per_nic: u16,
+    /// Storage-style DMA devices (NVMe-like), each its own domain after
+    /// the NICs.
+    pub storage_devices: u16,
+    /// Outstanding DMA reads per storage device (queue depth).
+    pub storage_queue_depth: u32,
+    /// Pages per storage IO (map, DMA-read every page, unmap).
+    pub storage_io_pages: u32,
+    /// Idle think time between a storage IO completing and the next issue
+    /// on that slot.
+    pub storage_think_ns: Nanos,
+}
+
+impl Topology {
+    /// The legacy shape: one NIC, one queue, no storage devices.
+    pub fn single_nic() -> Self {
+        Self {
+            nics: 1,
+            queues_per_nic: 1,
+            storage_devices: 0,
+            storage_queue_depth: 4,
+            storage_io_pages: 8,
+            storage_think_ns: 2 * MICROS,
+        }
+    }
+
+    /// Protection domains the IOMMU must serve: one per device.
+    pub fn domains(&self) -> u16 {
+        self.nics.max(1) + self.storage_devices
+    }
+
+    /// Total Rx/Tx rings across all NICs.
+    pub fn rings(&self) -> usize {
+        self.nics.max(1) as usize * self.queues_per_nic.max(1) as usize
+    }
+
+    /// Whether this is the bit-identical legacy single-device shape.
+    pub fn is_single(&self) -> bool {
+        self.nics <= 1 && self.queues_per_nic <= 1 && self.storage_devices == 0
+    }
+
+    /// The protection domain of NIC `nic`.
+    pub fn nic_domain(&self, nic: u16) -> u16 {
+        nic
+    }
+
+    /// The protection domain of storage device `dev`.
+    pub fn storage_domain(&self, dev: u16) -> u16 {
+        self.nics.max(1) + dev
+    }
+}
+
 /// The workload driving the simulation.
 #[derive(Debug, Clone, Copy)]
 pub enum Workload {
@@ -86,6 +157,24 @@ pub enum Workload {
         rpc_bytes: u64,
         /// Response size, bytes.
         response_bytes: u64,
+    },
+    /// Sustained connection churn: every flow sends `conn_bytes` and then
+    /// restarts as a fresh connection (congestion state reset, slow-start
+    /// again), so tens of thousands of short connections cycle through the
+    /// rings over a run. Stresses RSS spreading and the allocator's churn
+    /// path.
+    Churn {
+        /// Bytes per connection before it restarts.
+        conn_bytes: u64,
+    },
+    /// Incast bursts: all flows idle, then every `period_ns` each sender
+    /// releases a `burst_bytes` window at once — the load-balancer fan-in
+    /// pattern that overruns NIC buffers and spikes invalidation backlog.
+    Incast {
+        /// Bytes each sender releases per burst.
+        burst_bytes: u64,
+        /// Quiet interval between burst fronts.
+        period_ns: Nanos,
     },
 }
 
@@ -127,6 +216,17 @@ pub struct SimConfig {
     /// Cross-core shift for Tx completion processing (0 = same core; 1 =
     /// next core, Linux IRQ-steering-style). Drives allocator-cache mixing.
     pub tx_completion_core_shift: usize,
+    /// Device topology behind the shared IOMMU. [`Topology::single_nic`]
+    /// is the legacy single-device shape; anything wider attaches each
+    /// device to its own protection domain and spreads flows across
+    /// per-queue rings by RSS. The IOMMU's domain count is derived from
+    /// this at init ([`Topology::domains`]), overriding `iommu.domains`.
+    pub topology: Topology,
+    /// Seeded driver bug, armed *before* driver init so sabotages that
+    /// only bite during buffer-pool setup (pinned/huge modes) still
+    /// trigger. [`Sabotage::None`] (the default) changes no run by a
+    /// single bit.
+    pub sabotage: Sabotage,
     /// Hardware models.
     pub iommu: IommuConfig,
     pub pcie: PcieConfig,
@@ -216,6 +316,8 @@ impl SimConfig {
             ack_coalesce: 16,
             irq_delay_ns: 25 * MICROS,
             tx_completion_core_shift: 1,
+            topology: Topology::single_nic(),
+            sabotage: Sabotage::None,
             iommu: IommuConfig::default(),
             pcie: PcieConfig::gen3_x16(),
             memory: MemoryModel::cascade_lake(),

@@ -91,6 +91,24 @@ pub enum Sabotage {
     /// Never run the deferred-mode threshold flush: the invalidation
     /// backlog grows without bound.
     SkipDeferredFlush,
+    /// On the `nth` (1-based, whole-run ordinal) successful map operation
+    /// (Rx descriptor preparation or Tx map), additionally map the
+    /// operation's first page into the *next* protection domain, touch it
+    /// once from that domain, and tear the stray PTE down again without
+    /// invalidating — a driver bug that installs a mapping in the wrong
+    /// PASID and leaves the victim domain a stale IOTLB entry onto another
+    /// tenant's frame. No-op in single-domain topologies.
+    CrossDomainLeak {
+        /// Ordinal of the map operation to corrupt.
+        nth: u64,
+    },
+    /// Drop every domain-scoped invalidation submitted for a non-zero
+    /// domain (its IOTLB entries survive the unmap), and leak frames freed
+    /// by non-zero domains straight to the global pool instead of their
+    /// per-domain quarantine — together modelling a driver that forgot
+    /// domain scoping entirely, so one tenant's stale entries end up
+    /// resolving to frames another tenant now owns.
+    SkipDomainScopedInvalidation,
 }
 
 /// Storage harvested from a finished [`DmaDriver`] — the driver's share of
@@ -102,8 +120,9 @@ pub struct DriverSalvage {
     iommu: Iommu,
     frames: FrameAllocator,
     chunks: PfnMap<ChunkCarver>,
-    pinned_free: std::collections::VecDeque<DescriptorPage>,
-    huge_frames: Vec<u64>,
+    pinned_free: Vec<std::collections::VecDeque<DescriptorPage>>,
+    huge_frames: Vec<Vec<u64>>,
+    quarantine: Vec<Vec<u64>>,
     pending_wipe_reqs: std::collections::VecDeque<InvalidationRequest>,
     pending_wipe_epochs: std::collections::VecDeque<u32>,
     page_pool: Vec<Vec<DescriptorPage>>,
@@ -124,10 +143,16 @@ pub struct DmaDriver {
     /// Pages per Rx descriptor (64 for CX-5-style multi-page descriptors,
     /// 1 for single-page-descriptor devices).
     rx_desc_pages: u64,
-    /// Per-core current Tx chunk (base pfn), for contiguous modes.
+    /// Simulated cores (the carving-slot stride).
+    cores: usize,
+    /// Protection domains sharing the IOMMU (1 = legacy single device).
+    domains: u16,
+    /// Per-(core, domain) current Tx chunk (base pfn), for contiguous
+    /// modes; indexed `core * domains + domain`.
     tx_chunk: Vec<Option<u64>>,
-    /// Per-core current Rx carving chunk, used by contiguous modes when
-    /// descriptors are smaller than a chunk (cross-descriptor carving, §3).
+    /// Per-(core, domain) current Rx carving chunk, used by contiguous
+    /// modes when descriptors are smaller than a chunk (cross-descriptor
+    /// carving, §3); same indexing as `tx_chunk`.
     rx_chunk: Vec<Option<u64>>,
     /// Live Tx chunks by base pfn.
     chunks: PfnMap<ChunkCarver>,
@@ -135,14 +160,23 @@ pub struct DmaDriver {
     deferred_pending: u32,
     deferred_threshold: u32,
     /// Pinned-pool modes (HugepagePinned / DamnRecycle): permanently mapped
-    /// buffer slots recycled without unmap or invalidation.
-    pinned_free: std::collections::VecDeque<DescriptorPage>,
+    /// buffer slots recycled without unmap or invalidation, one pool per
+    /// protection domain (a pinned buffer must never migrate tenants).
+    pinned_free: Vec<std::collections::VecDeque<DescriptorPage>>,
     /// Physical backing for pinned hugepages, carved from a reserved region
     /// above the frame allocator's range (contiguous 2 MB-aligned frames).
     next_pinned_pfn: u64,
     /// Recycled 2 MB physical regions for the strict huge-Rx mode
-    /// (FnsHugeStrict): base pfns of free 2 MB-aligned frame runs.
-    huge_frames: Vec<u64>,
+    /// (FnsHugeStrict): base pfns of free 2 MB-aligned frame runs, one
+    /// recycle list per protection domain.
+    huge_frames: Vec<Vec<u64>>,
+    /// Multi-domain frame quarantine: frames freed by a domain are parked
+    /// on that domain's list and preferentially re-allocated to the same
+    /// domain, so a frame never migrates tenants while a (legitimately)
+    /// deferred stale IOTLB entry could still reach it. Empty (bypassed)
+    /// in single-domain topologies — the global [`FrameAllocator`] then
+    /// behaves exactly as before.
+    quarantine: Vec<Vec<u64>>,
     /// PTcache wipes queued by full-scope invalidations, drained interleaved
     /// with translations. On real hardware the invalidation descriptors
     /// retire concurrently with the NIC's ongoing DMA walks, so each wipe
@@ -206,6 +240,10 @@ pub struct DmaDriver {
     /// Whole-run ordinal of submitted invalidation requests, the
     /// coordinate system for [`Sabotage::SkipRangeInvalidation`].
     inv_submit_seq: u64,
+    /// Whole-run ordinal of successful map operations, the coordinate
+    /// system for [`Sabotage::CrossDomainLeak`]. Only advanced while that
+    /// sabotage is armed, so unsabotaged runs stay bit-identical.
+    map_ops: u64,
     next_desc_id: u64,
 }
 
@@ -269,14 +307,30 @@ impl DmaDriver {
         rx_desc_pages: u64,
         salvage: Option<DriverSalvage>,
     ) -> Self {
+        let domains = iommu_cfg.domains.max(1);
+        // The quarantine only exists in multi-domain topologies; with one
+        // domain the global frame allocator's exact legacy behaviour (and
+        // bit-identical RNG/metric trajectory) is preserved.
+        let quarantine_domains = if domains > 1 { domains as usize } else { 0 };
         let parts = match salvage {
             Some(mut s) => {
                 s.iommu.reset(iommu_cfg);
                 // 16 GB of DMA-able memory: far more than any workload needs.
                 s.frames.reset(4 << 20);
                 s.chunks.clear();
-                s.pinned_free.clear();
-                s.huge_frames.clear();
+                for q in &mut s.pinned_free {
+                    q.clear();
+                }
+                s.pinned_free
+                    .resize_with(domains as usize, Default::default);
+                for v in &mut s.huge_frames {
+                    v.clear();
+                }
+                s.huge_frames.resize_with(domains as usize, Vec::new);
+                for v in &mut s.quarantine {
+                    v.clear();
+                }
+                s.quarantine.resize_with(quarantine_domains, Vec::new);
                 s.locality.reset();
                 s.req_scratch.clear();
                 s.reclaim_scratch.clear();
@@ -288,8 +342,9 @@ impl DmaDriver {
                 iommu: Iommu::new(iommu_cfg),
                 frames: FrameAllocator::new(4 << 20),
                 chunks: PfnMap::default(),
-                pinned_free: std::collections::VecDeque::new(),
-                huge_frames: Vec::new(),
+                pinned_free: vec![std::collections::VecDeque::new(); domains as usize],
+                huge_frames: vec![Vec::new(); domains as usize],
+                quarantine: vec![Vec::new(); quarantine_domains],
                 pending_wipe_reqs: std::collections::VecDeque::new(),
                 pending_wipe_epochs: std::collections::VecDeque::new(),
                 page_pool: Vec::new(),
@@ -306,8 +361,10 @@ impl DmaDriver {
             invq: InvalidationQueue::default(),
             costs,
             rx_desc_pages,
-            tx_chunk: vec![None; cores],
-            rx_chunk: vec![None; cores],
+            cores,
+            domains,
+            tx_chunk: vec![None; cores * domains as usize],
+            rx_chunk: vec![None; cores * domains as usize],
             chunks: parts.chunks,
             deferred_pending: 0,
             deferred_threshold,
@@ -315,6 +372,7 @@ impl DmaDriver {
             // Above the 16 GB frame-allocator range, 2 MB aligned.
             next_pinned_pfn: 8 << 20,
             huge_frames: parts.huge_frames,
+            quarantine: parts.quarantine,
             pending_wipe_reqs: parts.pending_wipe_reqs,
             pending_wipe_epochs: parts.pending_wipe_epochs,
             epoch_scratch: Vec::new(),
@@ -335,6 +393,7 @@ impl DmaDriver {
             obs: ObsHandle::default(),
             sabotage: Sabotage::None,
             inv_submit_seq: 0,
+            map_ops: 0,
             next_desc_id: 0,
         }
     }
@@ -349,6 +408,7 @@ impl DmaDriver {
             chunks: self.chunks,
             pinned_free: self.pinned_free,
             huge_frames: self.huge_frames,
+            quarantine: self.quarantine,
             pending_wipe_reqs: self.pending_wipe_reqs,
             pending_wipe_epochs: self.pending_wipe_epochs,
             page_pool: self.page_pool,
@@ -361,6 +421,11 @@ impl DmaDriver {
     /// The active protection mode.
     pub fn mode(&self) -> ProtectionMode {
         self.mode
+    }
+
+    /// Protection domains sharing the IOMMU (1 = legacy single device).
+    pub fn domains(&self) -> u16 {
+        self.domains
     }
 
     /// Installs a fault-injection plane for the driver-side sites. The
@@ -434,7 +499,7 @@ impl DmaDriver {
         if self.mode == ProtectionMode::IommuOff {
             return;
         }
-        let cores = self.tx_chunk.len();
+        let cores = self.cores;
         let mut live: Vec<IovaRange> = Vec::with_capacity(pages as usize);
         for i in 0..pages {
             let r = self
@@ -521,9 +586,14 @@ impl DmaDriver {
                     continue;
                 }
             }
+            if self.sabotage == Sabotage::SkipDomainScopedInvalidation && r.domain != 0 {
+                self.obs
+                    .on_inv_skipped(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
+                continue;
+            }
             self.iommu
-                .invalidate_range(r.range, InvalidationScope::IotlbOnly);
-            self.audit.on_invalidate(r.range);
+                .invalidate_range_in(r.domain, r.range, InvalidationScope::IotlbOnly);
+            self.audit.on_invalidate(r.domain, r.range);
             self.obs
                 .on_inv_submit(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
             if r.scope != InvalidationScope::IotlbOnly {
@@ -545,7 +615,8 @@ impl DmaDriver {
         // live IOTLB entry (the sabotaged one deliberately does).
         if self.audit.is_on() {
             for r in reqs {
-                self.audit.crosscheck_invalidated(&self.iommu, r.range);
+                self.audit
+                    .crosscheck_invalidated(r.domain, &self.iommu, r.range);
             }
         }
         // The IOTLB entries are gone at this point in *every* outcome below
@@ -565,6 +636,7 @@ impl DmaDriver {
                 .map(|r| InvalidationRequest {
                     range: r.range,
                     scope: InvalidationScope::IotlbOnly,
+                    domain: r.domain,
                 })
                 .collect();
             let report = self
@@ -626,11 +698,12 @@ impl DmaDriver {
             let sabotaged = matches!(
                 self.sabotage,
                 Sabotage::SkipRangeInvalidation { nth } if nth == self.inv_submit_seq
-            );
+            ) || (self.sabotage == Sabotage::SkipDomainScopedInvalidation
+                && r.domain != 0);
             if !sabotaged {
                 self.iommu
-                    .invalidate_range(r.range, InvalidationScope::IotlbOnly);
-                self.audit.on_invalidate(r.range);
+                    .invalidate_range_in(r.domain, r.range, InvalidationScope::IotlbOnly);
+                self.audit.on_invalidate(r.domain, r.range);
                 self.obs
                     .on_inv_submit(r.range.pfn_lo(), r.range.pages(), self.inv_submit_seq);
                 if r.scope != InvalidationScope::IotlbOnly {
@@ -647,7 +720,8 @@ impl DmaDriver {
                 self.retire_front_epoch();
             }
             if audit_on {
-                self.audit.crosscheck_invalidated(&self.iommu, r.range);
+                self.audit
+                    .crosscheck_invalidated(r.domain, &self.iommu, r.range);
             }
             if tracing {
                 self.trace.emit(TraceData::InvEnqueue {
@@ -666,11 +740,11 @@ impl DmaDriver {
         match r.scope {
             InvalidationScope::IotlbOnly => {}
             InvalidationScope::IotlbAndLeafPtcache => {
-                iommu.invalidate_ptcache_leaf(r.range);
+                iommu.invalidate_ptcache_leaf_in(r.domain, r.range);
             }
             InvalidationScope::IotlbAndFullPtcache => {
-                iommu.invalidate_ptcache_leaf(r.range);
-                iommu.invalidate_ptcache_upper(r.range);
+                iommu.invalidate_ptcache_leaf_in(r.domain, r.range);
+                iommu.invalidate_ptcache_upper_in(r.domain, r.range);
             }
         }
     }
@@ -748,6 +822,7 @@ impl DmaDriver {
             InvalidationScope::IotlbAndLeafPtcache => 1,
             InvalidationScope::IotlbAndFullPtcache => 2,
         });
+        w.u64(r.domain as u64);
     }
 
     fn unsnap_request(
@@ -766,9 +841,11 @@ impl DmaDriver {
                 })
             }
         };
+        let domain = r.u64()? as u16;
         Ok(InvalidationRequest {
             range: IovaRange::new(base, pages),
             scope,
+            domain,
         })
     }
 
@@ -800,12 +877,22 @@ impl DmaDriver {
         w.u32(self.deferred_pending);
         w.u32(self.deferred_threshold);
         w.seq(self.pinned_free.len());
-        for p in &self.pinned_free {
-            w.u64(p.iova.as_u64());
-            w.u64(p.pa.as_u64());
+        for pool in &self.pinned_free {
+            w.seq(pool.len());
+            for p in pool {
+                w.u64(p.iova.as_u64());
+                w.u64(p.pa.as_u64());
+            }
         }
         w.u64(self.next_pinned_pfn);
-        w.u64_slice(&self.huge_frames);
+        w.seq(self.huge_frames.len());
+        for v in &self.huge_frames {
+            w.u64_slice(v);
+        }
+        w.seq(self.quarantine.len());
+        for v in &self.quarantine {
+            w.u64_slice(v);
+        }
         // The flat pending ring serializes as (epoch lengths, then the
         // requests in submission order); both rings restore exactly.
         w.seq(self.pending_wipe_epochs.len());
@@ -832,8 +919,14 @@ impl DmaDriver {
             }
             Sabotage::SkipReclaimFixup => w.u8(2),
             Sabotage::SkipDeferredFlush => w.u8(3),
+            Sabotage::CrossDomainLeak { nth } => {
+                w.u8(4);
+                w.u64(nth);
+            }
+            Sabotage::SkipDomainScopedInvalidation => w.u8(5),
         }
         w.u64(self.inv_submit_seq);
+        w.u64(self.map_ops);
         w.u64(self.next_desc_id);
     }
 
@@ -871,14 +964,28 @@ impl DmaDriver {
         let deferred_pending = r.u32()?;
         let deferred_threshold = r.u32()?;
         let n = r.seq()?;
-        let mut pinned_free = std::collections::VecDeque::with_capacity(n.min(1 << 20));
+        let mut pinned_free = Vec::with_capacity(n.min(1 << 10));
         for _ in 0..n {
-            let iova = Iova::new(r.u64()?);
-            let pa = PhysAddr::new(r.u64()?);
-            pinned_free.push_back(DescriptorPage { iova, pa });
+            let len = r.seq()?;
+            let mut pool = std::collections::VecDeque::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                let iova = Iova::new(r.u64()?);
+                let pa = PhysAddr::new(r.u64()?);
+                pool.push_back(DescriptorPage { iova, pa });
+            }
+            pinned_free.push(pool);
         }
         let next_pinned_pfn = r.u64()?;
-        let huge_frames = r.u64_vec()?;
+        let n = r.seq()?;
+        let mut huge_frames = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            huge_frames.push(r.u64_vec()?);
+        }
+        let n = r.seq()?;
+        let mut quarantine = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            quarantine.push(r.u64_vec()?);
+        }
         let n = r.seq()?;
         let mut pending_wipe_epochs = std::collections::VecDeque::with_capacity(n.min(1 << 12));
         for _ in 0..n {
@@ -902,6 +1009,8 @@ impl DmaDriver {
             1 => Sabotage::SkipRangeInvalidation { nth: r.u64()? },
             2 => Sabotage::SkipReclaimFixup,
             3 => Sabotage::SkipDeferredFlush,
+            4 => Sabotage::CrossDomainLeak { nth: r.u64()? },
+            5 => Sabotage::SkipDomainScopedInvalidation,
             t => {
                 return Err(fns_snap::SnapError::BadTag {
                     what: "sabotage",
@@ -910,7 +1019,10 @@ impl DmaDriver {
             }
         };
         let inv_submit_seq = r.u64()?;
+        let map_ops = r.u64()?;
         let next_desc_id = r.u64()?;
+        let domains = iommu.domains().max(1);
+        let cores = tx_chunk.len() / domains as usize;
         Ok(Self {
             mode,
             iommu,
@@ -919,6 +1031,8 @@ impl DmaDriver {
             invq: InvalidationQueue::default(),
             costs,
             rx_desc_pages,
+            cores,
+            domains,
             tx_chunk,
             rx_chunk,
             chunks,
@@ -927,6 +1041,7 @@ impl DmaDriver {
             pinned_free,
             next_pinned_pfn,
             huge_frames,
+            quarantine,
             pending_wipe_reqs,
             pending_wipe_epochs,
             epoch_scratch: Vec::new(),
@@ -947,6 +1062,7 @@ impl DmaDriver {
             obs: ObsHandle::default(),
             sabotage,
             inv_submit_seq,
+            map_ops,
             next_desc_id,
         })
     }
@@ -988,24 +1104,56 @@ impl DmaDriver {
         Ok(r)
     }
 
-    /// Allocates a physical frame under fault injection.
-    fn alloc_frame(&mut self) -> Result<PhysAddr, DmaError> {
+    /// Allocates a physical frame for `d` under fault injection. In
+    /// multi-domain topologies the domain's quarantine list is drained
+    /// first, so recycled frames stay within the tenant that freed them;
+    /// the global allocator only hands out frames no other domain has
+    /// touched (or has fully relinquished through the single-domain path).
+    fn alloc_frame_in(&mut self, d: u16) -> Result<PhysAddr, DmaError> {
+        if let Some(q) = self.quarantine.get_mut(d as usize) {
+            if let Some(pfn) = q.pop() {
+                return Ok(PhysAddr::from_pfn(pfn));
+            }
+        }
         Ok(self.frames.alloc_with(&mut self.faults)?)
     }
 
-    /// Takes `n` buffer slots from the pinned pool, growing it as needed
+    /// Returns a frame freed by `d`. Single-domain: straight back to the
+    /// global allocator (exact legacy behaviour). Multi-domain: parked on
+    /// the domain's quarantine list — unless
+    /// [`Sabotage::SkipDomainScopedInvalidation`] is armed and `d` is a
+    /// non-zero domain, which leaks the frame to the global pool where
+    /// another tenant can pick it up while `d`'s stale IOTLB entries still
+    /// point at it.
+    fn free_frame_in(&mut self, d: u16, pa: PhysAddr) -> Result<(), DmaError> {
+        if self.quarantine.is_empty()
+            || (self.sabotage == Sabotage::SkipDomainScopedInvalidation && d != 0)
+        {
+            self.frames.free(pa)?;
+            return Ok(());
+        }
+        self.quarantine[d as usize].push(pa.pfn());
+        Ok(())
+    }
+
+    /// Takes `n` buffer slots from `d`'s pinned pool, growing it as needed
     /// (pinned-pool modes only). On failure the pool keeps whatever growth
     /// already landed — slots are never leaked, only deferred.
-    fn take_pinned(&mut self, core: usize, n: usize) -> Result<Vec<DescriptorPage>, DmaError> {
-        while self.pinned_free.len() < n {
-            self.grow_pinned(core)?;
+    fn take_pinned(
+        &mut self,
+        d: u16,
+        core: usize,
+        n: usize,
+    ) -> Result<Vec<DescriptorPage>, DmaError> {
+        while self.pinned_free[d as usize].len() < n {
+            self.grow_pinned(d, core)?;
         }
         let mut slots = self.take_page_vec(n);
-        slots.extend(self.pinned_free.drain(..n));
+        slots.extend(self.pinned_free[d as usize].drain(..n));
         Ok(slots)
     }
 
-    fn grow_pinned(&mut self, core: usize) -> Result<(), DmaError> {
+    fn grow_pinned(&mut self, d: u16, core: usize) -> Result<(), DmaError> {
         match self.mode {
             ProtectionMode::HugepagePinned => {
                 // One 2 MB hugepage: a 512-page aligned IOVA chunk mapped to
@@ -1013,10 +1161,10 @@ impl DmaDriver {
                 let chunk = self.alloc_iova(HUGE_PAGES, core)?;
                 let pa_base = PhysAddr::from_pfn(self.next_pinned_pfn);
                 self.next_pinned_pfn += HUGE_PAGES;
-                self.iommu.map_huge(chunk.base(), pa_base)?;
-                self.audit.on_map_huge(chunk.base(), pa_base);
+                self.iommu.map_huge_in(d, chunk.base(), pa_base)?;
+                self.audit.on_map_huge(d, chunk.base(), pa_base);
                 for i in 0..HUGE_PAGES {
-                    self.pinned_free.push_back(DescriptorPage {
+                    self.pinned_free[d as usize].push_back(DescriptorPage {
                         iova: chunk.page(i),
                         pa: pa_base.add(i << 12),
                     });
@@ -1026,19 +1174,18 @@ impl DmaDriver {
                 // DAMN grows its pre-mapped pool 64 pages at a time through
                 // the ordinary allocator + 4 KB mappings.
                 for _ in 0..64 {
-                    let pa = self.alloc_frame()?;
+                    let pa = self.alloc_frame_in(d)?;
                     let r = match self.alloc_iova(1, core) {
                         Ok(r) => r,
                         Err(e) => {
                             // Return the orphaned frame before bailing.
-                            self.frames.free(pa).expect("fresh frame refused");
+                            self.free_frame_in(d, pa).expect("fresh frame refused");
                             return Err(e);
                         }
                     };
-                    self.iommu.map(r.base(), pa)?;
-                    self.audit.on_map(r.base(), pa);
-                    self.pinned_free
-                        .push_back(DescriptorPage { iova: r.base(), pa });
+                    self.iommu.map_in(d, r.base(), pa)?;
+                    self.audit.on_map(d, r.base(), pa);
+                    self.pinned_free[d as usize].push_back(DescriptorPage { iova: r.base(), pa });
                 }
             }
             _ => unreachable!("pinned pool used by pool modes only"),
@@ -1084,23 +1231,24 @@ impl DmaDriver {
     /// frame. The pages were never handed to the device, so nothing can have
     /// cached their translations; only reclaimed page-table pages need the
     /// preserve-mode fixup.
-    fn unwind_pages(&mut self, core: usize, pages: &[DescriptorPage]) {
+    fn unwind_pages(&mut self, d: u16, core: usize, pages: &[DescriptorPage]) {
         let mut reclaimed = Vec::new();
         for p in pages {
             let range = IovaRange::new(p.iova, 1);
             let out = self
                 .iommu
-                .unmap_range(range)
+                .unmap_range_in(d, range)
                 .expect("unwinding a just-mapped page");
-            self.audit.on_pt_reclaimed(&out.reclaimed);
-            self.audit.on_unwound(range);
+            self.audit.on_pt_reclaimed(d, &out.reclaimed);
+            self.audit.on_unwound(d, range);
             reclaimed.extend(out.reclaimed);
             self.release_iova_page(p.iova, core)
                 .expect("unwinding a just-allocated IOVA");
-            self.frames.free(p.pa).expect("unwinding a fresh frame");
+            self.free_frame_in(d, p.pa)
+                .expect("unwinding a fresh frame");
         }
-        self.iommu.invalidate_for_reclaimed(&reclaimed);
-        self.audit.on_reclaim_fixup(&reclaimed);
+        self.iommu.invalidate_for_reclaimed_in(d, &reclaimed);
+        self.audit.on_reclaim_fixup(d, &reclaimed);
     }
 
     /// Prepares one Rx descriptor for `core`: allocates frames, assigns
@@ -1114,7 +1262,22 @@ impl DmaDriver {
     /// mapped before the failing one are unwound, so the caller may simply
     /// retry on the next poll.
     pub fn prepare_rx_descriptor(&mut self, core: usize) -> Result<(Descriptor, Nanos), DmaError> {
-        let (desc, cpu) = self.prepare_rx_descriptor_inner(core)?;
+        self.prepare_rx_descriptor_in(0, core)
+    }
+
+    /// [`DmaDriver::prepare_rx_descriptor`] for the device attached to
+    /// protection domain `d`.
+    pub fn prepare_rx_descriptor_in(
+        &mut self,
+        d: u16,
+        core: usize,
+    ) -> Result<(Descriptor, Nanos), DmaError> {
+        let (desc, cpu) = self.prepare_rx_descriptor_inner(d, core)?;
+        if !matches!(self.sabotage, Sabotage::None) {
+            if let Some(&first) = desc.pages().first() {
+                self.maybe_cross_domain_leak(d, first);
+            }
+        }
         if self.obs.is_on() {
             // Open the transaction span and stamp per-page Map provenance
             // (modes without live IOMMU mappings have no page lifecycle to
@@ -1133,6 +1296,7 @@ impl DmaDriver {
 
     fn prepare_rx_descriptor_inner(
         &mut self,
+        d: u16,
         core: usize,
     ) -> Result<(Descriptor, Nanos), DmaError> {
         if self.faults.roll(FaultKind::DescriptorExhaustion) {
@@ -1149,19 +1313,19 @@ impl DmaDriver {
             );
             let before = self.alloc.stats();
             let chunk = self.alloc_iova(HUGE_PAGES, core)?;
-            let base_pfn = self.huge_frames.pop().unwrap_or_else(|| {
+            let base_pfn = self.huge_frames[d as usize].pop().unwrap_or_else(|| {
                 let b = self.next_pinned_pfn;
                 self.next_pinned_pfn += HUGE_PAGES;
                 b
             });
             let pa_base = PhysAddr::from_pfn(base_pfn);
-            if let Err(e) = self.iommu.map_huge(chunk.base(), pa_base) {
-                self.huge_frames.push(base_pfn);
+            if let Err(e) = self.iommu.map_huge_in(d, chunk.base(), pa_base) {
+                self.huge_frames[d as usize].push(base_pfn);
                 self.audit.on_free(chunk);
                 self.alloc.free(chunk, core);
                 return Err(e.into());
             }
-            self.audit.on_map_huge(chunk.base(), pa_base);
+            self.audit.on_map_huge(d, chunk.base(), pa_base);
             for i in 0..HUGE_PAGES {
                 let iova = chunk.page(i);
                 self.record_locality(iova);
@@ -1181,7 +1345,7 @@ impl DmaDriver {
         }
         if self.mode.is_pinned_pool() {
             self.recycle_pages(pages);
-            let slots = self.take_pinned(core, n as usize)?;
+            let slots = self.take_pinned(d, core, n as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
             }
@@ -1193,11 +1357,12 @@ impl DmaDriver {
         }
         if self.mode == ProtectionMode::IommuOff {
             for _ in 0..n {
-                let pa = match self.alloc_frame() {
+                let pa = match self.alloc_frame_in(d) {
                     Ok(pa) => pa,
                     Err(e) => {
-                        for p in &pages {
-                            self.frames.free(p.pa).expect("unwinding a fresh frame");
+                        for p in std::mem::take(&mut pages) {
+                            self.free_frame_in(d, p.pa)
+                                .expect("unwinding a fresh frame");
                         }
                         return Err(e);
                     }
@@ -1217,33 +1382,34 @@ impl DmaDriver {
             if n >= TX_CHUNK_PAGES {
                 let chunk = self.alloc_iova(n, core)?;
                 for i in 0..n {
-                    let pa = match self.alloc_frame() {
+                    let pa = match self.alloc_frame_in(d) {
                         Ok(pa) => pa,
                         Err(e) => {
                             // The chunk was allocated whole (not carved), so
                             // undo the page mappings and return it whole.
                             let mut reclaimed = Vec::new();
-                            for p in &pages {
+                            for p in std::mem::take(&mut pages) {
                                 let r1 = IovaRange::new(p.iova, 1);
                                 let out = self
                                     .iommu
-                                    .unmap_range(r1)
+                                    .unmap_range_in(d, r1)
                                     .expect("unwinding a just-mapped page");
-                                self.audit.on_pt_reclaimed(&out.reclaimed);
-                                self.audit.on_unwound(r1);
+                                self.audit.on_pt_reclaimed(d, &out.reclaimed);
+                                self.audit.on_unwound(d, r1);
                                 reclaimed.extend(out.reclaimed);
-                                self.frames.free(p.pa).expect("unwinding a fresh frame");
+                                self.free_frame_in(d, p.pa)
+                                    .expect("unwinding a fresh frame");
                             }
-                            self.iommu.invalidate_for_reclaimed(&reclaimed);
-                            self.audit.on_reclaim_fixup(&reclaimed);
+                            self.iommu.invalidate_for_reclaimed_in(d, &reclaimed);
+                            self.audit.on_reclaim_fixup(d, &reclaimed);
                             self.audit.on_free(chunk);
                             self.alloc.free(chunk, core);
                             return Err(e);
                         }
                     };
                     let iova = chunk.page(i);
-                    self.iommu.map(iova, pa)?;
-                    self.audit.on_map(iova, pa);
+                    self.iommu.map_in(d, iova, pa)?;
+                    self.audit.on_map(d, iova, pa);
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
@@ -1251,47 +1417,47 @@ impl DmaDriver {
                 // Small descriptors: carve contiguous pages from a chunk
                 // spanning descriptors, exactly like the Tx datapath (§3).
                 for _ in 0..n {
-                    let pa = match self.alloc_frame() {
+                    let pa = match self.alloc_frame_in(d) {
                         Ok(pa) => pa,
                         Err(e) => {
-                            self.unwind_pages(core, &pages);
+                            self.unwind_pages(d, core, &pages);
                             return Err(e);
                         }
                     };
-                    let iova = match self.carve_page(core, false) {
+                    let iova = match self.carve_page(d, core, false) {
                         Ok(iova) => iova,
                         Err(e) => {
-                            self.frames.free(pa).expect("unwinding a fresh frame");
-                            self.unwind_pages(core, &pages);
+                            self.free_frame_in(d, pa).expect("unwinding a fresh frame");
+                            self.unwind_pages(d, core, &pages);
                             return Err(e);
                         }
                     };
-                    self.iommu.map(iova, pa)?;
-                    self.audit.on_map(iova, pa);
+                    self.iommu.map_in(d, iova, pa)?;
+                    self.audit.on_map(d, iova, pa);
                     self.record_locality(iova);
                     pages.push(DescriptorPage { iova, pa });
                 }
             }
         } else {
             for _ in 0..n {
-                let pa = match self.alloc_frame() {
+                let pa = match self.alloc_frame_in(d) {
                     Ok(pa) => pa,
                     Err(e) => {
-                        self.unwind_pages(core, &pages);
+                        self.unwind_pages(d, core, &pages);
                         return Err(e);
                     }
                 };
                 let r = match self.alloc_iova(1, core) {
                     Ok(r) => r,
                     Err(e) => {
-                        self.frames.free(pa).expect("unwinding a fresh frame");
-                        self.unwind_pages(core, &pages);
+                        self.free_frame_in(d, pa).expect("unwinding a fresh frame");
+                        self.unwind_pages(d, core, &pages);
                         return Err(e);
                     }
                 };
                 let iova = r.base();
-                self.iommu.map(iova, pa)?;
-                self.audit.on_map(iova, pa);
+                self.iommu.map_in(d, iova, pa)?;
+                self.audit.on_map(d, iova, pa);
                 self.record_locality(iova);
                 pages.push(DescriptorPage { iova, pa });
             }
@@ -1319,13 +1485,24 @@ impl DmaDriver {
         core: usize,
         desc: &Descriptor,
     ) -> Result<Nanos, DmaError> {
+        self.complete_rx_descriptor_in(0, core, desc)
+    }
+
+    /// [`DmaDriver::complete_rx_descriptor`] for the device attached to
+    /// protection domain `d` (the domain that prepared the descriptor).
+    pub fn complete_rx_descriptor_in(
+        &mut self,
+        d: u16,
+        core: usize,
+        desc: &Descriptor,
+    ) -> Result<Nanos, DmaError> {
         if !self.obs.is_on() {
-            return self.complete_rx_descriptor_inner(core, desc);
+            return self.complete_rx_descriptor_inner(d, core, desc);
         }
         // Close the transaction span, charging it the invalidation-queue
         // wait this completion actually paid, and stamp Unmap provenance.
         let inv_before = self.invalidation_cpu_ns;
-        let cpu = self.complete_rx_descriptor_inner(core, desc)?;
+        let cpu = self.complete_rx_descriptor_inner(d, core, desc)?;
         if !self.mode.is_pinned_pool() && self.mode != ProtectionMode::IommuOff {
             for p in desc.pages() {
                 self.obs
@@ -1335,7 +1512,7 @@ impl DmaDriver {
         self.obs.txn_complete(
             desc.id(),
             core as u32,
-            self.iommu.domain_id(),
+            d,
             self.invalidation_cpu_ns - inv_before,
         );
         Ok(cpu)
@@ -1343,6 +1520,7 @@ impl DmaDriver {
 
     fn complete_rx_descriptor_inner(
         &mut self,
+        d: u16,
         core: usize,
         desc: &Descriptor,
     ) -> Result<Nanos, DmaError> {
@@ -1351,19 +1529,20 @@ impl DmaDriver {
             // the (single) huge IOTLB entry, release IOVA + frames.
             let before = self.alloc.stats();
             let base = desc.pages()[0].iova;
-            self.iommu.unmap_huge(base)?;
+            self.iommu.unmap_huge_in(d, base)?;
             let range = IovaRange::new(base, desc.len() as u64);
-            self.audit.on_unmap(range);
+            self.audit.on_unmap(d, range);
             let mut cpu = self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
             cpu += self.submit_invalidations(
                 &[InvalidationRequest {
                     range,
                     scope: InvalidationScope::IotlbOnly,
+                    domain: d,
                 }],
                 false,
             );
-            self.huge_frames.push(desc.pages()[0].pa.pfn());
+            self.huge_frames[d as usize].push(desc.pages()[0].pa.pfn());
             self.alloc.try_free(range, core)?;
             self.audit.on_free(range);
             let alloc_cost = self.alloc_cost_since(before);
@@ -1378,7 +1557,7 @@ impl DmaDriver {
         if self.mode.is_pinned_pool() {
             // No unmap, no invalidation: the device keeps access (this is
             // exactly the weaker safety property of these schemes).
-            self.pinned_free.extend(desc.pages().iter().copied());
+            self.pinned_free[d as usize].extend(desc.pages().iter().copied());
             let cpu = desc.len() as Nanos * self.costs.alloc_cache_ns / 2;
             self.spans.charge(Span::Completion, cpu);
             self.map_cpu_ns += cpu;
@@ -1387,7 +1566,7 @@ impl DmaDriver {
         }
         if self.mode == ProtectionMode::IommuOff {
             for p in desc.pages() {
-                self.frames.free(p.pa)?;
+                self.free_frame_in(d, p.pa)?;
             }
             return Ok(0);
         }
@@ -1401,7 +1580,7 @@ impl DmaDriver {
             // chunks: unmap at descriptor granularity through the common
             // carved-buffer path (§3's generality case). Rx invalidations
             // wipe leaf-level PTcache entries only.
-            return self.complete_pages(core, desc.pages(), scope);
+            return self.complete_pages(d, core, desc.pages(), scope);
         }
         let before = self.alloc.stats();
         let mut cpu = 0;
@@ -1409,14 +1588,21 @@ impl DmaDriver {
             // One unmap op covering the whole 256 KB chunk + one ranged
             // invalidation-queue entry (Figure 6b).
             let range = IovaRange::new(desc.pages()[0].iova, desc.len() as u64);
-            let out = self.iommu.unmap_range(range)?;
-            self.audit.on_unmap(range);
-            self.audit.on_pt_reclaimed(&out.reclaimed);
+            let out = self.iommu.unmap_range_in(d, range)?;
+            self.audit.on_unmap(d, range);
+            self.audit.on_pt_reclaimed(d, &out.reclaimed);
             cpu += self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
-            cpu += self.submit_invalidations(&[InvalidationRequest { range, scope }], false);
+            cpu += self.submit_invalidations(
+                &[InvalidationRequest {
+                    range,
+                    scope,
+                    domain: d,
+                }],
+                false,
+            );
             if self.mode.preserves_ptcache() {
-                self.reclaim_fixup(&out.reclaimed);
+                self.reclaim_fixup(d, &out.reclaimed);
             }
             self.alloc.try_free(range, core)?;
             self.audit.on_free(range);
@@ -1427,12 +1613,16 @@ impl DmaDriver {
             let mut reclaimed = std::mem::take(&mut self.reclaim_scratch);
             for p in desc.pages() {
                 let range = IovaRange::new(p.iova, 1);
-                let out = self.iommu.unmap_range(range)?;
-                self.audit.on_unmap(range);
-                self.audit.on_pt_reclaimed(&out.reclaimed);
+                let out = self.iommu.unmap_range_in(d, range)?;
+                self.audit.on_unmap(d, range);
+                self.audit.on_pt_reclaimed(d, &out.reclaimed);
                 reclaimed.extend(out.reclaimed);
                 cpu += self.costs.unmap_ns;
-                reqs.push(InvalidationRequest { range, scope });
+                reqs.push(InvalidationRequest {
+                    range,
+                    scope,
+                    domain: d,
+                });
                 self.alloc.try_free(range, core)?;
                 self.audit.on_free(range);
             }
@@ -1449,7 +1639,7 @@ impl DmaDriver {
                 // single-pass drain.
                 cpu += self.submit_per_page_invalidations(&reqs);
                 if self.mode.preserves_ptcache() {
-                    self.reclaim_fixup(&reclaimed);
+                    self.reclaim_fixup(d, &reclaimed);
                 }
             }
             reqs.clear();
@@ -1458,7 +1648,7 @@ impl DmaDriver {
             self.reclaim_scratch = reclaimed;
         }
         for p in desc.pages() {
-            self.frames.free(p.pa)?;
+            self.free_frame_in(d, p.pa)?;
         }
         let alloc_cost = self.alloc_cost_since(before);
         cpu += alloc_cost;
@@ -1503,10 +1693,36 @@ impl DmaDriver {
         core: usize,
         pages: u32,
     ) -> Result<(Vec<DescriptorPage>, Nanos), DmaError> {
+        self.tx_map_in(0, core, pages)
+    }
+
+    /// [`DmaDriver::tx_map`] for the device attached to protection domain
+    /// `d`.
+    pub fn tx_map_in(
+        &mut self,
+        d: u16,
+        core: usize,
+        pages: u32,
+    ) -> Result<(Vec<DescriptorPage>, Nanos), DmaError> {
+        let (out, cpu) = self.tx_map_inner(d, core, pages)?;
+        if !matches!(self.sabotage, Sabotage::None) {
+            if let Some(&first) = out.first() {
+                self.maybe_cross_domain_leak(d, first);
+            }
+        }
+        Ok((out, cpu))
+    }
+
+    fn tx_map_inner(
+        &mut self,
+        d: u16,
+        core: usize,
+        pages: u32,
+    ) -> Result<(Vec<DescriptorPage>, Nanos), DmaError> {
         let mut out: Vec<DescriptorPage> = self.take_page_vec(pages as usize);
         if self.mode.is_pinned_pool() {
             self.recycle_pages(out);
-            let slots = self.take_pinned(core, pages as usize)?;
+            let slots = self.take_pinned(d, core, pages as usize)?;
             for s in &slots {
                 self.record_locality(s.iova);
             }
@@ -1517,11 +1733,12 @@ impl DmaDriver {
         }
         if self.mode == ProtectionMode::IommuOff {
             for _ in 0..pages {
-                let pa = match self.alloc_frame() {
+                let pa = match self.alloc_frame_in(d) {
                     Ok(pa) => pa,
                     Err(e) => {
-                        for p in &out {
-                            self.frames.free(p.pa).expect("unwinding a fresh frame");
+                        for p in std::mem::take(&mut out) {
+                            self.free_frame_in(d, p.pa)
+                                .expect("unwinding a fresh frame");
                         }
                         return Err(e);
                     }
@@ -1536,28 +1753,28 @@ impl DmaDriver {
         let before = self.alloc.stats();
         let mut cpu = 0;
         for _ in 0..pages {
-            let pa = match self.alloc_frame() {
+            let pa = match self.alloc_frame_in(d) {
                 Ok(pa) => pa,
                 Err(e) => {
-                    self.unwind_pages(core, &out);
+                    self.unwind_pages(d, core, &out);
                     return Err(e);
                 }
             };
             let iova = if self.mode.contiguous_iova() {
-                self.carve_page(core, true)
+                self.carve_page(d, core, true)
             } else {
                 self.alloc_iova(1, core).map(|r| r.base())
             };
             let iova = match iova {
                 Ok(iova) => iova,
                 Err(e) => {
-                    self.frames.free(pa).expect("unwinding a fresh frame");
-                    self.unwind_pages(core, &out);
+                    self.free_frame_in(d, pa).expect("unwinding a fresh frame");
+                    self.unwind_pages(d, core, &out);
                     return Err(e);
                 }
             };
-            self.iommu.map(iova, pa)?;
-            self.audit.on_map(iova, pa);
+            self.iommu.map_in(d, iova, pa)?;
+            self.audit.on_map(d, iova, pa);
             self.record_locality(iova);
             out.push(DescriptorPage { iova, pa });
         }
@@ -1571,12 +1788,13 @@ impl DmaDriver {
         Ok((out, cpu))
     }
 
-    fn carve_page(&mut self, core: usize, is_tx: bool) -> Result<Iova, DmaError> {
+    fn carve_page(&mut self, d: u16, core: usize, is_tx: bool) -> Result<Iova, DmaError> {
+        let slot_idx = core * self.domains as usize + d as usize;
         loop {
             let slot = if is_tx {
-                &mut self.tx_chunk[core]
+                &mut self.tx_chunk[slot_idx]
             } else {
-                &mut self.rx_chunk[core]
+                &mut self.rx_chunk[slot_idx]
             };
             if let Some(base) = *slot {
                 let carver = self.chunks.get_mut(&base).expect("chunk vanished");
@@ -1588,9 +1806,9 @@ impl DmaDriver {
             let chunk = self.alloc_iova(TX_CHUNK_PAGES, core)?;
             let base = chunk.pfn_lo();
             if is_tx {
-                self.tx_chunk[core] = Some(base);
+                self.tx_chunk[slot_idx] = Some(base);
             } else {
-                self.rx_chunk[core] = Some(base);
+                self.rx_chunk[slot_idx] = Some(base);
             }
             self.chunks.insert(base, ChunkCarver::new(chunk));
         }
@@ -1609,8 +1827,19 @@ impl DmaDriver {
         core: usize,
         pages: &[DescriptorPage],
     ) -> Result<Nanos, DmaError> {
+        self.tx_complete_in(0, core, pages)
+    }
+
+    /// [`DmaDriver::tx_complete`] for the device attached to protection
+    /// domain `d` (the domain that mapped the pages).
+    pub fn tx_complete_in(
+        &mut self,
+        d: u16,
+        core: usize,
+        pages: &[DescriptorPage],
+    ) -> Result<Nanos, DmaError> {
         if self.mode.is_pinned_pool() {
-            self.pinned_free.extend(pages.iter().copied());
+            self.pinned_free[d as usize].extend(pages.iter().copied());
             let cpu = pages.len() as Nanos * self.costs.alloc_cache_ns / 2;
             self.spans.charge(Span::Completion, cpu);
             self.map_cpu_ns += cpu;
@@ -1619,7 +1848,7 @@ impl DmaDriver {
         }
         if self.mode == ProtectionMode::IommuOff {
             for p in pages {
-                self.frames.free(p.pa)?;
+                self.free_frame_in(d, p.pa)?;
             }
             return Ok(0);
         }
@@ -1630,7 +1859,7 @@ impl DmaDriver {
         } else {
             InvalidationScope::IotlbAndFullPtcache
         };
-        self.complete_pages(core, pages, scope)
+        self.complete_pages(d, core, pages, scope)
     }
 
     /// Common completion path for page-at-a-time-mapped buffers (Tx packets
@@ -1639,6 +1868,7 @@ impl DmaDriver {
     /// chunks, release frames and IOVAs.
     fn complete_pages(
         &mut self,
+        d: u16,
         core: usize,
         pages: &[DescriptorPage],
         scope: InvalidationScope,
@@ -1649,9 +1879,9 @@ impl DmaDriver {
         let mut reclaimed = std::mem::take(&mut self.reclaim_scratch);
         for p in pages {
             let range = IovaRange::new(p.iova, 1);
-            let out = self.iommu.unmap_range(range)?;
-            self.audit.on_unmap(range);
-            self.audit.on_pt_reclaimed(&out.reclaimed);
+            let out = self.iommu.unmap_range_in(d, range)?;
+            self.audit.on_unmap(d, range);
+            self.audit.on_pt_reclaimed(d, &out.reclaimed);
             reclaimed.extend(out.reclaimed);
             cpu += self.costs.unmap_ns;
             self.spans.charge(Span::Unmap, self.costs.unmap_ns);
@@ -1663,15 +1893,23 @@ impl DmaDriver {
                     {
                         last.range = IovaRange::new(last.range.base(), last.range.pages() + 1);
                     }
-                    _ => reqs.push(InvalidationRequest { range, scope }),
+                    _ => reqs.push(InvalidationRequest {
+                        range,
+                        scope,
+                        domain: d,
+                    }),
                 }
             } else {
-                reqs.push(InvalidationRequest { range, scope });
+                reqs.push(InvalidationRequest {
+                    range,
+                    scope,
+                    domain: d,
+                });
             }
             // IOVA release: chunk modes retire whole chunks; page modes free
             // each page to this core's magazine.
             self.release_iova_page(p.iova, core)?;
-            self.frames.free(p.pa)?;
+            self.free_frame_in(d, p.pa)?;
         }
         if self.mode == ProtectionMode::LinuxDeferred {
             self.deferred_pending += pages.len() as u32;
@@ -1679,7 +1917,7 @@ impl DmaDriver {
         } else if self.mode.batched_invalidation() {
             cpu += self.submit_invalidations(&reqs, false);
             if self.mode.preserves_ptcache() {
-                self.reclaim_fixup(&reclaimed);
+                self.reclaim_fixup(d, &reclaimed);
             }
         } else {
             // Stock Linux: each transmitted packet's unmap is its own
@@ -1687,7 +1925,7 @@ impl DmaDriver {
             // submitted through the coalesced single-pass drain.
             cpu += self.submit_per_page_invalidations(&reqs);
             if self.mode.preserves_ptcache() {
-                self.reclaim_fixup(&reclaimed);
+                self.reclaim_fixup(d, &reclaimed);
             }
         }
         reqs.clear();
@@ -1716,13 +1954,13 @@ impl DmaDriver {
 
     /// The preserve-mode synchronous PTcache fixup for reclaimed PT pages
     /// (the paper's Figure 5 rule), with its trace and audit bookkeeping.
-    fn reclaim_fixup(&mut self, reclaimed: &[fns_iommu::ReclaimedPage]) {
+    fn reclaim_fixup(&mut self, d: u16, reclaimed: &[fns_iommu::ReclaimedPage]) {
         self.note_reclaim(reclaimed);
         if self.sabotage == Sabotage::SkipReclaimFixup {
             return;
         }
-        self.iommu.invalidate_for_reclaimed(reclaimed);
-        self.audit.on_reclaim_fixup(reclaimed);
+        self.iommu.invalidate_for_reclaimed_in(d, reclaimed);
+        self.audit.on_reclaim_fixup(d, reclaimed);
         if self.obs.is_on() {
             for r in reclaimed {
                 // Anchor the event at the base IOVA pfn of the span the
@@ -1737,22 +1975,58 @@ impl DmaDriver {
         }
     }
 
+    /// Seeded cross-domain corruption (see [`Sabotage::CrossDomainLeak`]):
+    /// on the `nth` map op, briefly alias the op's first page into the next
+    /// domain's address space, touch it from there, and tear the stray PTE
+    /// down without invalidating. Audited and unaudited runs perform the
+    /// same IOMMU cache work, so arming the oracle never changes the
+    /// trajectory.
+    fn maybe_cross_domain_leak(&mut self, d: u16, page: DescriptorPage) {
+        let Sabotage::CrossDomainLeak { nth } = self.sabotage else {
+            return;
+        };
+        self.map_ops += 1;
+        if self.map_ops != nth || self.domains < 2 || self.mode == ProtectionMode::IommuOff {
+            return;
+        }
+        let victim = (d + 1) % self.domains;
+        // Raw map, no audit bookkeeping: a buggy driver installing a PTE in
+        // the wrong PASID's page table.
+        self.iommu
+            .map_in(victim, page.iova, page.pa)
+            .expect("leaked IOVA collides in the victim domain");
+        // The victim device touches the alias once — audited like any other
+        // device access, which is where CrossDomainIsolation must fire.
+        self.probe_translate_in(victim, page.iova);
+        // Raw teardown with NO invalidation: the victim's IOTLB keeps the
+        // stale cross-tenant entry, and the IOVA stays reusable.
+        self.iommu
+            .unmap_range_in(victim, IovaRange::new(page.iova, 1))
+            .expect("tearing down the leaked PTE");
+    }
+
     /// Translates a device access; returns the number of page-walk memory
     /// reads (0 for IOMMU-off or IOTLB hits).
     pub fn translate(&mut self, iova: Iova) -> u32 {
+        self.translate_in(0, iova)
+    }
+
+    /// [`DmaDriver::translate`] for the device attached to protection
+    /// domain `d`.
+    pub fn translate_in(&mut self, d: u16, iova: Iova) -> u32 {
         if self.mode == ProtectionMode::IommuOff {
             return 0;
         }
         if self.audit.is_on() {
-            return self.translate_audited(iova).reads();
+            return self.translate_audited(d, iova).reads();
         }
         if self.trace.wants(TraceCategory::Translate) {
-            return self.translate_traced(iova).reads();
+            return self.translate_traced(d, iova).reads();
         }
         if self.obs.wants_translate() {
-            return self.translate_observed(iova).reads();
+            return self.translate_observed(d, iova).reads();
         }
-        let t = self.iommu.translate(iova);
+        let t = self.iommu.translate_in(d, iova);
         debug_assert!(
             t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
             "device fault on a supposedly mapped IOVA ({iova})"
@@ -1763,14 +2037,14 @@ impl DmaDriver {
     /// Audited translation: wraps the (possibly traced) translation with
     /// the oracle's per-access check, feeding it the stale-walk counter
     /// delta as ground truth for PT use-after-free.
-    fn translate_audited(&mut self, iova: Iova) -> fns_iommu::Translation {
+    fn translate_audited(&mut self, d: u16, iova: Iova) -> fns_iommu::Translation {
         let stale_before = self.iommu.stats().stale_ptcache_walks;
         let t = if self.trace.wants(TraceCategory::Translate) {
-            self.translate_traced(iova)
+            self.translate_traced(d, iova)
         } else if self.obs.wants_translate() {
-            self.translate_observed(iova)
+            self.translate_observed(d, iova)
         } else {
-            let t = self.iommu.translate(iova);
+            let t = self.iommu.translate_in(d, iova);
             debug_assert!(
                 t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
                 "device fault on a supposedly mapped IOVA ({iova})"
@@ -1778,7 +2052,7 @@ impl DmaDriver {
             t
         };
         let stale = self.iommu.stats().stale_ptcache_walks - stale_before;
-        self.audit.on_translate(iova, t.pa(), stale);
+        self.audit.on_translate(d, iova, t.pa(), stale);
         t
     }
 
@@ -1787,25 +2061,34 @@ impl DmaDriver {
     /// never debug-asserted — faulting is the expected strict-mode
     /// outcome. Returns whether the access leaked through.
     pub fn probe_translate(&mut self, iova: Iova) -> bool {
+        self.probe_translate_in(0, iova)
+    }
+
+    /// [`DmaDriver::probe_translate`] issued from protection domain `d`.
+    pub fn probe_translate_in(&mut self, d: u16, iova: Iova) -> bool {
         if self.mode == ProtectionMode::IommuOff {
             return false;
         }
         if self.audit.is_on() {
             let stale_before = self.iommu.stats().stale_ptcache_walks;
-            let pa = self.iommu.translate_checked(iova).ok().map(|(pa, _)| pa);
+            let pa = self
+                .iommu
+                .translate_checked_in(d, iova)
+                .ok()
+                .map(|(pa, _)| pa);
             let stale = self.iommu.stats().stale_ptcache_walks - stale_before;
-            self.audit.on_translate(iova, pa, stale);
+            self.audit.on_translate(d, iova, pa, stale);
             pa.is_some()
         } else {
-            self.iommu.translate_checked(iova).is_ok()
+            self.iommu.translate_checked_in(d, iova).is_ok()
         }
     }
 
     /// Observed-only translation: feeds the provenance/metrics plane from
     /// the [`Translation`](fns_iommu::Translation) result itself, skipping
     /// the stats/PTcache-length snapshots the full traced path pays for.
-    fn translate_observed(&mut self, iova: Iova) -> fns_iommu::Translation {
-        let t = self.iommu.translate(iova);
+    fn translate_observed(&mut self, d: u16, iova: Iova) -> fns_iommu::Translation {
+        let t = self.iommu.translate_in(d, iova);
         debug_assert!(
             t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
             "device fault on a supposedly mapped IOVA ({iova})"
@@ -1818,10 +2101,10 @@ impl DmaDriver {
     /// Traced translation: identical behaviour to [`DmaDriver::translate`]
     /// plus IOTLB/PTcache events derived from the counter deltas. Kept out
     /// of line so the untraced hot path stays branch-plus-call free.
-    fn translate_traced(&mut self, iova: Iova) -> fns_iommu::Translation {
+    fn translate_traced(&mut self, d: u16, iova: Iova) -> fns_iommu::Translation {
         let before = self.iommu.stats();
         let lens_before = self.iommu.ptcache_lens();
-        let t = self.iommu.translate(iova);
+        let t = self.iommu.translate_in(d, iova);
         debug_assert!(
             t.pa().is_some() || self.mode == ProtectionMode::LinuxDeferred,
             "device fault on a supposedly mapped IOVA ({iova})"

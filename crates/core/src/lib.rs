@@ -28,7 +28,7 @@ pub mod resources;
 pub mod sim;
 pub mod watchdog;
 
-pub use config::{CpuCosts, SimConfig, Workload};
+pub use config::{CpuCosts, SimConfig, Topology, Workload};
 pub use driver::{DmaDriver, Sabotage};
 pub use errors::DmaError;
 pub use metrics::RunMetrics;

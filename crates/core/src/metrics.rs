@@ -1,6 +1,6 @@
 //! Per-run results in the units the paper reports.
 
-use fns_iommu::IommuStats;
+use fns_iommu::{DomainStats, IommuStats};
 use fns_sim::stats::Histogram;
 use fns_sim::time::{throughput_gbps, Nanos};
 use fns_trace::{
@@ -27,6 +27,19 @@ pub struct RunMetrics {
     pub tx_packets: u64,
     /// IOMMU counter delta over the window.
     pub iommu: IommuStats,
+    /// Per-protection-domain translation counter deltas over the window,
+    /// indexed by domain id (one entry per device in the topology; a
+    /// single entry for legacy single-device runs). Tenant-attributable
+    /// pressure and staleness — the sum over domains of `translations`
+    /// equals `iommu.translations`.
+    pub domains: Vec<DomainStats>,
+    /// Storage-device DMA reads completed over the window (0 without
+    /// storage devices in the topology).
+    pub storage_ios: u64,
+    /// Bytes those storage IOs moved.
+    pub storage_bytes: u64,
+    /// Connections that completed and restarted under the churn workload.
+    pub churned_conns: u64,
     /// Per-core CPU busy fractions.
     pub cpu_utilization: Vec<f64>,
     /// RPC / request latency histogram (ns), when the workload measures one.
@@ -207,6 +220,23 @@ impl RunMetrics {
             self.iommu.invalidation_queue_entries,
         );
         w.end_object();
+        // Per-tenant registry: one object per protection domain, keyed by
+        // position. Always present (a single domain-0 entry on legacy
+        // runs) so dashboards need no topology-aware existence checks.
+        w.key("domains");
+        w.begin_array();
+        for d in &self.domains {
+            w.begin_object();
+            w.field_u64("translations", d.translations);
+            w.field_u64("iotlb_hits", d.iotlb_hits);
+            w.field_u64("stale_iotlb_hits", d.stale_iotlb_hits);
+            w.field_u64("faults", d.faults);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("storage_ios", self.storage_ios);
+        w.field_u64("storage_bytes", self.storage_bytes);
+        w.field_u64("churned_conns", self.churned_conns);
         w.key("cpu_utilization");
         w.begin_array();
         for &u in &self.cpu_utilization {
@@ -390,6 +420,10 @@ mod tests {
                 memory_reads: 700_000,
                 ..Default::default()
             },
+            domains: vec![DomainStats::default()],
+            storage_ios: 0,
+            storage_bytes: 0,
+            churned_conns: 0,
             cpu_utilization: vec![0.2, 0.6, 0.4],
             latency: Histogram::new(),
             stale_iotlb_hits: 0,

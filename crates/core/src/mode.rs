@@ -130,6 +130,12 @@ impl ProtectionMode {
     /// invalidation completeness; PTcache-preserving modes additionally
     /// claim coherence via synchronous reclaim fixups; pinned pools claim
     /// only stable mappings (`unmaps: false`); `IommuOff` claims nothing.
+    ///
+    /// Every IOMMU-enabled mode claims cross-domain isolation — per-device
+    /// protection domains are exactly what the IOMMU provides, regardless
+    /// of how lazily a mode invalidates *within* a domain. `IommuOff`
+    /// cannot claim it: devices use physical addresses, so nothing
+    /// separates the tenants.
     pub fn contract(self, deferred_window: u64) -> fns_oracle::ModeContract {
         fns_oracle::ModeContract {
             translates: self.iommu_enabled(),
@@ -137,6 +143,7 @@ impl ProtectionMode {
             strict_safety: self.is_strict_safe(),
             ptcache_coherence: self.preserves_ptcache(),
             invalidation_completeness: self.is_strict_safe(),
+            domain_isolation: self.iommu_enabled(),
             deferred_window: (self == ProtectionMode::LinuxDeferred).then_some(deferred_window),
         }
     }

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use fns_faults::{FaultKind, FaultPlane};
 use fns_iova::types::Iova;
 use fns_mem::addr::PhysAddr;
-use fns_net::packet::{FlowId, Packet, PacketKind};
+use fns_net::packet::{rss_queue, FlowId, Packet, PacketKind};
 use fns_net::receiver::FlowReceiver;
 use fns_net::sender::{DctcpConfig, DctcpSender};
 use fns_net::switchq::SwitchQueue;
@@ -111,6 +111,24 @@ enum Ev {
     /// Degradation-watchdog check (only scheduled when the watchdog is
     /// enabled).
     WatchdogCheck,
+    /// A storage-class DMA device issues one queued IO: map pages in its
+    /// own protection domain, translate them, DMA-read through the Tx
+    /// pipe. Only scheduled when the topology has storage devices.
+    StorageIssue {
+        /// Storage device index (domain `topology.storage_domain(dev)`).
+        dev: u16,
+    },
+    /// A storage IO's DMA finished: complete (unmap + invalidate) its
+    /// pages and schedule the next issue after the device's think time.
+    StorageDone {
+        dev: u16,
+        /// Core the completion is charged to.
+        core: usize,
+        pages: Vec<DescriptorPage>,
+    },
+    /// Synchronized incast front: every peer flow deposits one burst at
+    /// once. Only scheduled under [`Workload::Incast`].
+    IncastKick,
 }
 
 impl Ev {
@@ -165,6 +183,21 @@ impl Ev {
             Ev::WarmupDone => w.u8(12),
             Ev::Sample => w.u8(13),
             Ev::WatchdogCheck => w.u8(14),
+            Ev::StorageIssue { dev } => {
+                w.u8(15);
+                w.u64(u64::from(*dev));
+            }
+            Ev::StorageDone { dev, core, pages } => {
+                w.u8(16);
+                w.u64(u64::from(*dev));
+                w.usize(*core);
+                w.seq(pages.len());
+                for p in pages {
+                    w.u64(p.iova.as_u64());
+                    w.u64(p.pa.as_u64());
+                }
+            }
+            Ev::IncastKick => w.u8(17),
         }
     }
 
@@ -204,6 +237,23 @@ impl Ev {
             12 => Ev::WarmupDone,
             13 => Ev::Sample,
             14 => Ev::WatchdogCheck,
+            15 => Ev::StorageIssue {
+                dev: r.u64()? as u16,
+            },
+            16 => {
+                let dev = r.u64()? as u16;
+                let core = r.usize()?;
+                let n = r.seq()?;
+                let mut pages = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pages.push(DescriptorPage {
+                        iova: Iova::new(r.u64()?),
+                        pa: PhysAddr::new(r.u64()?),
+                    });
+                }
+                Ev::StorageDone { dev, core, pages }
+            }
+            17 => Ev::IncastKick,
             t => {
                 return Err(SnapError::BadTag {
                     what: "sim event",
@@ -214,7 +264,10 @@ impl Ev {
     }
 }
 
-/// Per-core Rx ring state with stride packing.
+/// Per-queue Rx ring state with stride packing. In the single-NIC
+/// topology ring index == core index (the legacy shape); in multi-device
+/// topologies ring `r` belongs to NIC `r / queues_per_nic` and is
+/// serviced by core `r % cores`.
 struct RingState {
     ring: RxRing,
     /// Currently open (partially filled) page of the front descriptor.
@@ -250,12 +303,16 @@ struct NapiState {
     /// IRQ entry cost).
     chained: bool,
     rx: VecDeque<Packet>,
-    /// Fully consumed Rx descriptors awaiting driver completion. Queued at
-    /// DMA-start (page-consume) time; NAPI processes them one interrupt
-    /// period later, by which point the last page's DMA write has long
-    /// finished, so the strict unmap-after-DMA ordering holds.
-    desc_done: VecDeque<Descriptor>,
-    tx_done: VecDeque<Vec<DescriptorPage>>,
+    /// Fully consumed Rx descriptors awaiting driver completion, tagged
+    /// with the protection domain that prepared them (a core can service
+    /// queues of several NICs). Queued at DMA-start (page-consume) time;
+    /// NAPI processes them one interrupt period later, by which point the
+    /// last page's DMA write has long finished, so the strict
+    /// unmap-after-DMA ordering holds.
+    desc_done: VecDeque<(u16, Descriptor)>,
+    /// Transmitted page lists awaiting completion, tagged with the owning
+    /// flow's domain.
+    tx_done: VecDeque<(u16, Vec<DescriptorPage>)>,
 }
 
 impl NapiState {
@@ -267,11 +324,13 @@ impl NapiState {
             pkt.snap(w);
         }
         w.seq(self.desc_done.len());
-        for d in &self.desc_done {
+        for (dom, d) in &self.desc_done {
+            w.u64(u64::from(*dom));
             d.snap(w);
         }
         w.seq(self.tx_done.len());
-        for pages in &self.tx_done {
+        for (dom, pages) in &self.tx_done {
+            w.u64(u64::from(*dom));
             w.seq(pages.len());
             for p in pages {
                 w.u64(p.iova.as_u64());
@@ -291,11 +350,13 @@ impl NapiState {
         let n = r.seq()?;
         let mut desc_done = VecDeque::with_capacity(n.min(1 << 16));
         for _ in 0..n {
-            desc_done.push_back(Descriptor::unsnap(r)?);
+            let dom = r.u64()? as u16;
+            desc_done.push_back((dom, Descriptor::unsnap(r)?));
         }
         let n = r.seq()?;
         let mut tx_done = VecDeque::with_capacity(n.min(1 << 16));
         for _ in 0..n {
+            let dom = r.u64()? as u16;
             let m = r.seq()?;
             let mut pages = Vec::with_capacity(m.min(1 << 16));
             for _ in 0..m {
@@ -304,7 +365,7 @@ impl NapiState {
                     pa: PhysAddr::new(r.u64()?),
                 });
             }
-            tx_done.push_back(pages);
+            tx_done.push_back((dom, pages));
         }
         Ok(Self {
             scheduled,
@@ -368,6 +429,9 @@ impl RrConn {
 #[derive(Default, Clone)]
 struct Snapshot {
     iommu: fns_iommu::IommuStats,
+    /// Per-domain counter marks (same moment as `iommu`), so the reported
+    /// window attributes translations tenant by tenant.
+    domains: Vec<fns_iommu::DomainStats>,
     rx_delivered: u64,
     tx_delivered: u64,
     nic_enq: u64,
@@ -375,6 +439,9 @@ struct Snapshot {
     ring_drops: u64,
     switch_drops: u64,
     tx_pkts: u64,
+    churned_conns: u64,
+    storage_ios: u64,
+    storage_bytes: u64,
     core_busy: Vec<Nanos>,
     locality_mark: usize,
 }
@@ -382,6 +449,10 @@ struct Snapshot {
 impl Snapshot {
     fn snap(&self, w: &mut SnapWriter) {
         self.iommu.snap(w);
+        w.seq(self.domains.len());
+        for d in &self.domains {
+            d.snap(w);
+        }
         w.u64(self.rx_delivered);
         w.u64(self.tx_delivered);
         w.u64(self.nic_enq);
@@ -389,13 +460,23 @@ impl Snapshot {
         w.u64(self.ring_drops);
         w.u64(self.switch_drops);
         w.u64(self.tx_pkts);
+        w.u64(self.churned_conns);
+        w.u64(self.storage_ios);
+        w.u64(self.storage_bytes);
         w.u64_slice(&self.core_busy);
         w.usize(self.locality_mark);
     }
 
     fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let iommu = fns_iommu::IommuStats::unsnap(r)?;
+        let n = r.seq()?;
+        let mut domains = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            domains.push(fns_iommu::DomainStats::unsnap(r)?);
+        }
         Ok(Self {
-            iommu: fns_iommu::IommuStats::unsnap(r)?,
+            iommu,
+            domains,
             rx_delivered: r.u64()?,
             tx_delivered: r.u64()?,
             nic_enq: r.u64()?,
@@ -403,6 +484,9 @@ impl Snapshot {
             ring_drops: r.u64()?,
             switch_drops: r.u64()?,
             tx_pkts: r.u64()?,
+            churned_conns: r.u64()?,
+            storage_ios: r.u64()?,
+            storage_bytes: r.u64()?,
             core_busy: r.u64_vec()?,
             locality_mark: r.usize()?,
         })
@@ -476,7 +560,11 @@ pub struct HostSim {
     rng: SimRng,
     drv: DmaDriver,
     rings: Vec<RingState>,
-    nic_buf: NicBuffer<Packet>,
+    /// One input buffer per NIC (index = NIC = protection domain). The
+    /// single-NIC topology has exactly one, preserving the legacy shape.
+    nic_bufs: Vec<NicBuffer<Packet>>,
+    /// Round-robin cursor over the NIC buffers for DMA-start arbitration.
+    nic_rr: usize,
     /// The Rx-direction translation pipeline (walker + write-buffer drain):
     /// per-page service is exactly the paper's §2.2 model,
     /// `reads x lm + l0`. ACK transmissions translate here too — the
@@ -520,6 +608,14 @@ pub struct HostSim {
     /// buffer overflow but reported together.
     ring_drops: u64,
     tx_pkts_sent: u64,
+    /// Next in-order byte boundary completing a connection, per churn flow
+    /// (only populated under [`Workload::Churn`]).
+    churn_next: FlowTable<u64>,
+    /// Connections completed and restarted (churn workload).
+    churned_conns: u64,
+    /// Storage-device IOs completed / bytes DMA-read.
+    storage_ios: u64,
+    storage_bytes: u64,
     /// Memory-traffic accounting for walk-latency inflation.
     mem_epoch_start: Nanos,
     mem_epoch_bytes: u64,
@@ -586,6 +682,10 @@ impl HostSim {
             // huge mapping is exactly one descriptor.
             cfg.pages_per_descriptor = 512;
         }
+        // The IOMMU serves one protection domain per device: derive the
+        // domain count from the topology (a directly configured larger
+        // count is honored, e.g. for harness replays).
+        cfg.iommu.domains = cfg.iommu.domains.max(cfg.topology.domains());
         let rng = SimRng::seed(cfg.seed);
         let mut drv = DmaDriver::with_descriptor_pages_in(
             cfg.mode,
@@ -616,7 +716,10 @@ impl HostSim {
             rng,
             drv,
             rings: Vec::new(),
-            nic_buf: NicBuffer::new(cfg.nic_buffer_bytes),
+            nic_bufs: (0..cfg.topology.nics.max(1))
+                .map(|_| NicBuffer::new(cfg.nic_buffer_bytes))
+                .collect(),
+            nic_rr: 0,
             pipe: SerialResource::new(),
             tx_pipe: SerialResource::new(),
             cores: (0..cfg.cores).map(|_| SerialResource::new()).collect(),
@@ -642,6 +745,10 @@ impl HostSim {
             latency: Histogram::new(),
             ring_drops: 0,
             tx_pkts_sent: 0,
+            churn_next: FlowTable::new(),
+            churned_conns: 0,
+            storage_ios: 0,
+            storage_bytes: 0,
             mem_epoch_start: 0,
             mem_epoch_bytes: 0,
             mem_util: 0.0,
@@ -667,6 +774,12 @@ impl HostSim {
             let contract = sim.cfg.mode.contract(window);
             sim.drv
                 .set_audit(AuditHandle::recording(contract, sim.cfg.audit.fatal));
+        }
+        // Seeded driver bugs arm before init so sabotages in pinned/huge
+        // modes (whose mappings happen at init) can trigger. `None` — the
+        // default — changes no run by a single bit.
+        if !matches!(sim.cfg.sabotage, crate::driver::Sabotage::None) {
+            sim.drv.set_sabotage(sim.cfg.sabotage);
         }
         sim.init();
         // Create the trace recorder only after init: ring-fill and aging
@@ -731,6 +844,74 @@ impl HostSim {
         sim
     }
 
+    // ----- topology geometry ------------------------------------------------
+    //
+    // Every helper collapses to the legacy identity in the single-NIC
+    // topology (ring == core, domain 0, one NIC buffer), so a
+    // `Topology::single_nic()` run is bit-identical to the pre-topology
+    // simulation.
+
+    fn ring_count(&self) -> usize {
+        if self.cfg.topology.is_single() {
+            self.cfg.cores
+        } else {
+            self.cfg.topology.rings()
+        }
+    }
+
+    fn ring_core(&self, ring: usize) -> usize {
+        if self.cfg.topology.is_single() {
+            ring
+        } else {
+            ring % self.cfg.cores
+        }
+    }
+
+    fn ring_domain(&self, ring: usize) -> u16 {
+        if self.cfg.topology.is_single() {
+            0
+        } else {
+            (ring / self.cfg.topology.queues_per_nic.max(1) as usize) as u16
+        }
+    }
+
+    fn ring_nic(&self, ring: usize) -> usize {
+        if self.cfg.topology.is_single() {
+            0
+        } else {
+            ring / self.cfg.topology.queues_per_nic.max(1) as usize
+        }
+    }
+
+    /// The Rx queue a packet's flow hashes to: the legacy per-core ring in
+    /// the single-NIC shape, an RSS-spread (NIC, queue) ring otherwise.
+    fn ring_for_packet(&self, pkt: &Packet) -> usize {
+        if self.cfg.topology.is_single() {
+            self.core_of
+                .get(pkt.flow)
+                .copied()
+                .unwrap_or((pkt.flow.0 as usize) % self.cfg.cores)
+        } else {
+            rss_queue(pkt.flow, self.cfg.topology.rings())
+        }
+    }
+
+    /// The protection domain a flow's traffic maps/translates in (the NIC
+    /// its RSS hash lands on). Domain 0 always in the single-NIC shape.
+    fn flow_domain(&self, flow: FlowId) -> u16 {
+        if self.cfg.topology.is_single() {
+            0
+        } else {
+            self.ring_domain(rss_queue(flow, self.cfg.topology.rings()))
+        }
+    }
+
+    /// The core servicing a flow's RSS ring (multi-device topologies home
+    /// flows by queue, not round-robin).
+    fn home_core(&self, flow: FlowId) -> usize {
+        self.ring_core(rss_queue(flow, self.cfg.topology.rings()))
+    }
+
     fn init(&mut self) {
         // Age the allocator to long-running steady state before anything
         // else touches it.
@@ -739,9 +920,11 @@ impl HostSim {
             let mut aging_rng = self.rng.fork(0xA6E);
             self.drv.age_allocator(&mut aging_rng, aged_pages);
         }
-        // Fill the Rx rings.
+        // Fill the Rx rings, each in its owning device's domain.
         let descs = self.cfg.ring_descriptors();
-        for core in 0..self.cfg.cores {
+        for r in 0..self.ring_count() {
+            let core = self.ring_core(r);
+            let dom = self.ring_domain(r);
             // Replenish whenever a slot is free (mlx5 keeps its RQ full);
             // anything lazier can strand a few pages below what a jumbo
             // packet needs when descriptors are large and few.
@@ -751,7 +934,7 @@ impl HostSim {
                 // real resource bug, not an injected one.
                 let (d, _) = self
                     .drv
-                    .prepare_rx_descriptor(core)
+                    .prepare_rx_descriptor_in(dom, core)
                     .expect("fault-free init fill");
                 ring.push(d);
             }
@@ -765,6 +948,15 @@ impl HostSim {
             self.churn_rings();
         }
         self.init_workload();
+        // Storage devices start with their queues full of outstanding IOs,
+        // issue times staggered so device queues do not phase-lock.
+        let topo = self.cfg.topology;
+        for dev in 0..topo.storage_devices {
+            for slot in 0..topo.storage_queue_depth {
+                let at = 1 + (u64::from(dev) * 131 + u64::from(slot) * 211) % 100_000;
+                self.q.push(at, Ev::StorageIssue { dev });
+            }
+        }
         self.q.push(self.cfg.warmup, Ev::WarmupDone);
     }
 
@@ -781,31 +973,36 @@ impl HostSim {
         let descs = self.cfg.ring_descriptors();
         for _ in 0..ROUNDS {
             for _ in 0..descs {
-                for core in 0..self.cfg.cores {
+                for r in 0..self.ring_count() {
+                    let core = self.ring_core(r);
+                    let dom = self.ring_domain(r);
                     // Consume + complete the head descriptor.
-                    let rs = &mut self.rings[core];
+                    let rs = &mut self.rings[r];
                     let head = rs.ring.head_mut().expect("ring filled at init");
                     while head.consume_page().is_some() {}
                     let d = rs.ring.pop_consumed().expect("fully consumed");
                     self.drv
-                        .complete_rx_descriptor(core, &d)
+                        .complete_rx_descriptor_in(dom, core, &d)
                         .expect("fault-free init churn");
                     self.drv.recycle_descriptor(d);
                     // Interposed ACK-style Tx churn, freed on another core.
                     for _ in 0..rng.range(0, 24) {
-                        let (pages, _) = self.drv.tx_map(core, 1).expect("fault-free init churn");
+                        let (pages, _) = self
+                            .drv
+                            .tx_map_in(dom, core, 1)
+                            .expect("fault-free init churn");
                         let comp =
                             (core + 1 + rng.index(self.cfg.cores.max(2) - 1)) % self.cfg.cores;
                         self.drv
-                            .tx_complete(comp, &pages)
+                            .tx_complete_in(dom, comp, &pages)
                             .expect("fault-free init churn");
                         self.drv.recycle_pages(pages);
                     }
                     let (fresh, _) = self
                         .drv
-                        .prepare_rx_descriptor(core)
+                        .prepare_rx_descriptor_in(dom, core)
                         .expect("fault-free init churn");
-                    self.rings[core].ring.push(fresh);
+                    self.rings[r].ring.push(fresh);
                 }
             }
         }
@@ -851,22 +1048,41 @@ impl HostSim {
 
     fn init_workload(&mut self) {
         let cores = self.cfg.cores;
+        let single = self.cfg.topology.is_single();
         match self.cfg.workload {
             Workload::IperfRx => {
                 for i in 0..self.cfg.flows {
-                    self.add_peer_flow(FlowId(i), i as usize % cores, true);
+                    let flow = FlowId(i);
+                    let core = if single {
+                        i as usize % cores
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_peer_flow(flow, core, true);
                 }
             }
             Workload::Bidirectional { tx_flows } => {
                 // Rx flows on the first half of the cores, Tx flows on the
-                // second half (the paper runs them on distinct cores).
+                // second half (the paper runs them on distinct cores). In
+                // multi-device topologies RSS decides the homing instead.
                 let rx_cores = (cores - tx_flows as usize).max(1);
                 for i in 0..self.cfg.flows {
-                    self.add_peer_flow(FlowId(i), i as usize % rx_cores, true);
+                    let flow = FlowId(i);
+                    let core = if single {
+                        i as usize % rx_cores
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_peer_flow(flow, core, true);
                 }
                 for j in 0..tx_flows {
-                    let core = rx_cores + (j as usize % (cores - rx_cores).max(1));
-                    self.add_dut_flow(FlowId(TX_FLOW_BASE + j), core.min(cores - 1), true);
+                    let flow = FlowId(TX_FLOW_BASE + j);
+                    let core = if single {
+                        (rx_cores + (j as usize % (cores - rx_cores).max(1))).min(cores - 1)
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_dut_flow(flow, core, true);
                 }
             }
             Workload::RequestResponse {
@@ -877,7 +1093,14 @@ impl HostSim {
                 ..
             } => {
                 for i in 0..self.cfg.flows {
-                    let core = i as usize % cores;
+                    // The conn's core must be where its inbound data lands:
+                    // round-robin in the legacy shape, the RSS ring's core
+                    // otherwise.
+                    let core = if single {
+                        i as usize % cores
+                    } else {
+                        self.home_core(FlowId(i))
+                    };
                     let client_flow = FlowId(i);
                     let server_flow = FlowId(TX_FLOW_BASE + i);
                     if dut_is_server {
@@ -920,12 +1143,23 @@ impl HostSim {
                 // iperf flows on all but the last core.
                 let iperf_cores = (cores - 1).max(1);
                 for i in 0..self.cfg.flows {
-                    self.add_peer_flow(FlowId(i), i as usize % iperf_cores, true);
+                    let flow = FlowId(i);
+                    let core = if single {
+                        i as usize % iperf_cores
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_peer_flow(flow, core, true);
                 }
-                // RPC connection on the last core, closed loop, depth 1.
-                let rpc_core = cores - 1;
+                // RPC connection on the last core, closed loop, depth 1
+                // (RSS-homed like everything else in multi-device shapes).
                 let req_flow = FlowId(self.cfg.flows);
                 let resp_flow = FlowId(TX_FLOW_BASE + self.cfg.flows);
+                let rpc_core = if single {
+                    cores - 1
+                } else {
+                    self.home_core(req_flow)
+                };
                 self.add_peer_flow(req_flow, rpc_core, false);
                 self.add_dut_flow(resp_flow, rpc_core, false);
                 self.peer_senders
@@ -940,6 +1174,40 @@ impl HostSim {
                     issue_times: VecDeque::from([0]),
                     core: rpc_core,
                 });
+            }
+            Workload::Churn { conn_bytes } => {
+                // Bounded connections: each flow deposits one connection's
+                // worth of bytes; NAPI detects the completed boundary and
+                // restarts the connection (see process_churn_boundaries).
+                let conn_bytes = conn_bytes.max(1);
+                for i in 0..self.cfg.flows {
+                    let flow = FlowId(i);
+                    let core = if single {
+                        i as usize % cores
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_peer_flow(flow, core, false);
+                    self.peer_senders
+                        .get_mut(flow)
+                        .expect("just inserted")
+                        .enqueue_app_bytes(conn_bytes);
+                    self.churn_next.insert(flow, conn_bytes);
+                }
+            }
+            Workload::Incast { .. } => {
+                // Flows start idle; the first kick releases the first burst
+                // on every sender at once.
+                for i in 0..self.cfg.flows {
+                    let flow = FlowId(i);
+                    let core = if single {
+                        i as usize % cores
+                    } else {
+                        self.home_core(flow)
+                    };
+                    self.add_peer_flow(flow, core, false);
+                }
+                self.q.push(1, Ev::IncastKick);
             }
         }
     }
@@ -1064,7 +1332,11 @@ impl HostSim {
         for rs in &self.rings {
             rs.snap(&mut w);
         }
-        self.nic_buf.snap_with(&mut w, |w, p| p.snap(w));
+        w.seq(self.nic_bufs.len());
+        for b in &self.nic_bufs {
+            b.snap_with(&mut w, |w, p| p.snap(w));
+        }
+        w.usize(self.nic_rr);
         self.pipe.snap(&mut w);
         self.tx_pipe.snap(&mut w);
         w.seq(self.cores.len());
@@ -1095,6 +1367,7 @@ impl HostSim {
         self.dut_senders.snap_with(&mut w, |w, s| s.snap(w));
         self.peer_receivers.snap_with(&mut w, |w, r| r.snap(w));
         self.core_of.snap_with(&mut w, |w, &c| w.usize(c));
+        self.churn_next.snap_with(&mut w, |w, &b| w.u64(b));
         self.to_dut.snap(&mut w);
         self.to_dut_link.snap(&mut w);
         w.bool(self.to_dut_draining);
@@ -1110,6 +1383,9 @@ impl HostSim {
         self.latency.snap(&mut w);
         w.u64(self.ring_drops);
         w.u64(self.tx_pkts_sent);
+        w.u64(self.churned_conns);
+        w.u64(self.storage_ios);
+        w.u64(self.storage_bytes);
         w.u64(self.mem_epoch_start);
         w.u64(self.mem_epoch_bytes);
         w.f64(self.mem_util);
@@ -1134,6 +1410,7 @@ impl HostSim {
         if cfg.mode.huge_rx() {
             cfg.pages_per_descriptor = 512;
         }
+        cfg.iommu.domains = cfg.iommu.domains.max(cfg.topology.domains());
         let mut r = SnapReader::new(bytes)?;
         if r.u64()? != config_fingerprint(&cfg) {
             return Err(SnapError::ConfigMismatch { what: "SimConfig" });
@@ -1159,7 +1436,12 @@ impl HostSim {
         for _ in 0..n {
             rings.push(RingState::unsnap(&mut r)?);
         }
-        let nic_buf = NicBuffer::unsnap_with(&mut r, Packet::unsnap)?;
+        let n = r.seq()?;
+        let mut nic_bufs = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            nic_bufs.push(NicBuffer::unsnap_with(&mut r, Packet::unsnap)?);
+        }
+        let nic_rr = r.usize()?;
         let pipe = SerialResource::unsnap(&mut r)?;
         let tx_pipe = SerialResource::unsnap(&mut r)?;
         let n = r.seq()?;
@@ -1199,6 +1481,7 @@ impl HostSim {
         let dut_senders = FlowTable::unsnap_with(&mut r, DctcpSender::unsnap)?;
         let peer_receivers = FlowTable::unsnap_with(&mut r, FlowReceiver::unsnap)?;
         let core_of = FlowTable::unsnap_with(&mut r, |r| r.usize())?;
+        let churn_next = FlowTable::unsnap_with(&mut r, |r| r.u64())?;
         let to_dut = SwitchQueue::unsnap(&mut r)?;
         let to_dut_link = SerialResource::unsnap(&mut r)?;
         let to_dut_draining = r.bool()?;
@@ -1215,6 +1498,9 @@ impl HostSim {
         let latency = Histogram::unsnap(&mut r)?;
         let ring_drops = r.u64()?;
         let tx_pkts_sent = r.u64()?;
+        let churned_conns = r.u64()?;
+        let storage_ios = r.u64()?;
+        let storage_bytes = r.u64()?;
         let mem_epoch_start = r.u64()?;
         let mem_epoch_bytes = r.u64()?;
         let mem_util = r.f64()?;
@@ -1237,7 +1523,8 @@ impl HostSim {
             rng,
             drv,
             rings,
-            nic_buf,
+            nic_bufs,
+            nic_rr,
             pipe,
             tx_pipe,
             cores,
@@ -1263,6 +1550,10 @@ impl HostSim {
             latency,
             ring_drops,
             tx_pkts_sent,
+            churn_next,
+            churned_conns,
+            storage_ios,
+            storage_bytes,
             mem_epoch_start,
             mem_epoch_bytes,
             mem_util,
@@ -1316,6 +1607,9 @@ impl HostSim {
             Ev::WarmupDone => self.take_snapshot(),
             Ev::Sample => self.take_sample(now),
             Ev::WatchdogCheck => self.watchdog_check(now),
+            Ev::StorageIssue { dev } => self.storage_issue(now, dev),
+            Ev::StorageDone { dev, core, pages } => self.storage_done(now, dev, core, pages),
+            Ev::IncastKick => self.incast_kick(now),
         }
     }
 
@@ -1436,7 +1730,7 @@ impl HostSim {
             ptcache_l3: l3 as u32,
             inv_queue_depth: self.drv.pending_wipes() as u32,
             ring_occupancy: self.rings.iter().map(|r| r.ring.len() as u32).sum(),
-            nic_buffer_bytes: self.nic_buf.used_bytes(),
+            nic_buffer_bytes: self.nic_bufs.iter().map(|b| b.used_bytes()).sum(),
             switch_queue_bytes: self.to_dut.used_bytes(),
             iova_live_bytes: self.drv.allocator().live_pages() * 4096,
             iova_free_spans,
@@ -1444,12 +1738,26 @@ impl HostSim {
         };
         // The registry's occupancy gauges ride the sampler cadence: same
         // probes, percentile-bucketed instead of time-series-boxed.
-        self.obs.gauge_sample(
-            now,
-            self.drv.iommu.domain_id(),
-            sample.ring_occupancy as u64,
-            sample.inv_queue_depth as u64,
-        );
+        let domains = self.drv.iommu.domain_stats().len();
+        if domains <= 1 {
+            self.obs.gauge_sample(
+                now,
+                self.drv.iommu.domain_id(),
+                sample.ring_occupancy as u64,
+                sample.inv_queue_depth as u64,
+            );
+        } else {
+            // Per-tenant gauges: each domain's own queue occupancy against
+            // the shared invalidation backlog.
+            for d in 0..domains as u16 {
+                let occ: u64 = (0..self.ring_count())
+                    .filter(|&r| self.ring_domain(r) == d)
+                    .map(|r| self.rings[r].ring.len() as u64)
+                    .sum();
+                self.obs
+                    .gauge_sample(now, d, occ, sample.inv_queue_depth as u64);
+            }
+        }
         let pushed = self.sampler.push(sample);
         let next = now + self.sampler.interval_ns();
         if pushed && next <= self.cfg.end_time() {
@@ -1536,7 +1844,8 @@ impl HostSim {
 
     fn nic_arrive(&mut self, now: Nanos, pkt: Packet) {
         let bytes = pkt.bytes as u64;
-        self.nic_buf.enqueue(pkt, bytes);
+        let nic = self.ring_nic(self.ring_for_packet(&pkt));
+        self.nic_bufs[nic].enqueue(pkt, bytes);
         self.nic_pump(now);
     }
 
@@ -1545,11 +1854,11 @@ impl HostSim {
     /// it) and feeding any completed descriptors to NAPI. Returns `false` —
     /// with the scratch untouched — if the ring is out of descriptors (the
     /// packet cannot DMA yet).
-    fn take_rx_pages(&mut self, core: usize, bytes: u64) -> bool {
+    fn take_rx_pages(&mut self, ring: usize, bytes: u64) -> bool {
         debug_assert!(self.scratch.rx_pages.is_empty());
         let mut touched = std::mem::take(&mut self.scratch.rx_pages);
         let mut completed = std::mem::take(&mut self.scratch.rx_completed);
-        let rs = &mut self.rings[core];
+        let rs = &mut self.rings[ring];
         // If the head descriptor is fully consumed but its last page is
         // still open and cannot hold this packet, post (close) that page so
         // the descriptor can complete and be replenished — otherwise a
@@ -1578,7 +1887,7 @@ impl HostSim {
             + rs.ring.queued_behind_head() as u64 * self.cfg.pages_per_descriptor as u64;
         let mut ok = false;
         if available >= needed {
-            let rs = &mut self.rings[core];
+            let rs = &mut self.rings[ring];
             let mut remaining = bytes;
             loop {
                 if rs.open.is_none() {
@@ -1609,7 +1918,11 @@ impl HostSim {
             ok = true;
         }
         if !completed.is_empty() {
-            self.napi[core].desc_done.extend(completed.drain(..));
+            let core = self.ring_core(ring);
+            let dom = self.ring_domain(ring);
+            self.napi[core]
+                .desc_done
+                .extend(completed.drain(..).map(|d| (dom, d)));
         }
         self.scratch.rx_pages = touched;
         self.scratch.rx_completed = completed;
@@ -1630,44 +1943,61 @@ impl HostSim {
     }
 
     fn nic_pump(&mut self, now: Nanos) {
-        while self.rx_inflight < RX_WINDOW_PKTS {
-            let Some(&pkt) = self.nic_buf_peek() else {
-                break;
-            };
-            let core = self.core_for_packet(&pkt);
-            let had_desc_done = !self.napi[core].desc_done.is_empty();
-            let taken = self.take_rx_pages(core, pkt.bytes as u64);
-            if !self.napi[core].desc_done.is_empty() && !had_desc_done {
-                // A forced page-post completed a descriptor; make sure the
-                // driver gets to recycle it.
-                self.ensure_napi(now, core);
+        // Round-robin across NIC ingress buffers: each iteration of the
+        // outer loop admits at most one packet, scanning the NICs starting
+        // at `nic_rr` so no single device can monopolise the DMA window.
+        // With a single NIC this degenerates to the legacy head-of-line
+        // peek/dequeue loop (identical order, identical stall behaviour).
+        let nnics = self.nic_bufs.len();
+        'outer: while self.rx_inflight < RX_WINDOW_PKTS {
+            for i in 0..nnics {
+                let nic = (self.nic_rr + i) % nnics;
+                let Some(&pkt) = self.nic_bufs[nic].peek_packet() else {
+                    continue;
+                };
+                let ring = self.ring_for_packet(&pkt);
+                let core = self.ring_core(ring);
+                let had_desc_done = !self.napi[core].desc_done.is_empty();
+                let taken = self.take_rx_pages(ring, pkt.bytes as u64);
+                if !self.napi[core].desc_done.is_empty() && !had_desc_done {
+                    // A forced page-post completed a descriptor; make sure
+                    // the driver gets to recycle it.
+                    self.ensure_napi(now, core);
+                }
+                if !taken {
+                    // Out of descriptors: leave the packet queued; the buffer
+                    // will tail-drop behind it if the stall persists. Other
+                    // NICs still get their turn this round.
+                    self.ring_drops += self.drain_if_hopeless(core);
+                    continue;
+                }
+                let (pkt, bytes) = self.nic_bufs[nic].dequeue().expect("peeked packet");
+                debug_assert_eq!(bytes, pkt.bytes as u64);
+                self.nic_rr = (nic + 1) % nnics;
+                let dom = self.ring_domain(ring);
+                // Retire pending PTcache wipes at page granularity — wipes
+                // and walks interleave on real hardware (see DmaDriver docs).
+                self.drv.drain_ptcache_wipes(self.scratch.rx_pages.len());
+                // Translate every touched page (one translation per
+                // PCIe-level page access; repeat touches hit the IOTLB),
+                // within the issuing device's protection domain.
+                let mut reads = 0u32;
+                for &iova in &self.scratch.rx_pages {
+                    reads += self.drv.translate_in(dom, iova);
+                }
+                self.scratch.rx_pages.clear();
+                let lm = self.walk_read_ns();
+                let l0 = (self.cfg.l0_rx_ns * pkt.bytes as u64)
+                    .div_ceil(4096)
+                    .max(10);
+                self.note_mem_traffic(now, pkt.bytes as u64 + reads as u64 * 64);
+                let done = self.pipe.run(now, reads as u64 * lm + l0);
+                self.rx_inflight += 1;
+                self.q.push(done, Ev::RxDmaDone { core, pkt });
+                continue 'outer;
             }
-            if !taken {
-                // Out of descriptors: leave the packet queued; the buffer
-                // will tail-drop behind it if the stall persists.
-                self.ring_drops += self.drain_if_hopeless(core);
-                break;
-            }
-            let (pkt, bytes) = self.nic_buf.dequeue().expect("peeked packet");
-            debug_assert_eq!(bytes, pkt.bytes as u64);
-            // Retire pending PTcache wipes at page granularity — wipes and
-            // walks interleave on real hardware (see DmaDriver docs).
-            self.drv.drain_ptcache_wipes(self.scratch.rx_pages.len());
-            // Translate every touched page (one translation per PCIe-level
-            // page access; repeat touches hit the IOTLB).
-            let mut reads = 0u32;
-            for &iova in &self.scratch.rx_pages {
-                reads += self.drv.translate(iova);
-            }
-            self.scratch.rx_pages.clear();
-            let lm = self.walk_read_ns();
-            let l0 = (self.cfg.l0_rx_ns * pkt.bytes as u64)
-                .div_ceil(4096)
-                .max(10);
-            self.note_mem_traffic(now, pkt.bytes as u64 + reads as u64 * 64);
-            let done = self.pipe.run(now, reads as u64 * lm + l0);
-            self.rx_inflight += 1;
-            self.q.push(done, Ev::RxDmaDone { core, pkt });
+            // Every NIC is either empty or stalled on descriptors.
+            break;
         }
     }
 
@@ -1675,23 +2005,6 @@ impl HostSim {
     /// starved (none: we rely on buffer tail-drop; hook kept for clarity).
     fn drain_if_hopeless(&mut self, _core: usize) -> u64 {
         0
-    }
-
-    fn nic_buf_peek(&self) -> Option<&Packet> {
-        self.nic_buf_head()
-    }
-
-    fn nic_buf_head(&self) -> Option<&Packet> {
-        // NicBuffer has no peek-of-packet; emulate via head_bytes +
-        // internal access. We add a tiny accessor below instead.
-        self.nic_buf.peek_packet()
-    }
-
-    fn core_for_packet(&self, pkt: &Packet) -> usize {
-        self.core_of
-            .get(pkt.flow)
-            .copied()
-            .unwrap_or((pkt.flow.0 as usize) % self.cfg.cores)
     }
 
     fn rx_dma_done(&mut self, now: Nanos, core: usize, pkt: Packet) {
@@ -1728,51 +2041,69 @@ impl HostSim {
         let mut acks = std::mem::take(&mut self.scratch.acks);
         let mut pump_dut_flows = std::mem::take(&mut self.scratch.pump_flows);
         let mut dut_fast_rtx = std::mem::take(&mut self.scratch.fast_rtx);
-        // 1. Replenish the ring first (mlx5 posts new WQEs at poll start),
-        // so refills draw on IOVAs freed by *previous* polls rather than
-        // immediately recycling this poll's frees.
-        while self.rings[core].ring.needs_replenish() && self.rings[core].ring.free_slots() > 0 {
-            let (d, c) = match self.drv.prepare_rx_descriptor(core) {
-                Ok(dc) => dc,
-                Err(_) => {
-                    // Descriptor/frame/IOVA exhaustion (real or injected):
-                    // the ring runs shallow this poll and the NIC tail-drops
-                    // behind it. Account it as a ring drop and retry on the
-                    // next poll — graceful degradation, not a crash.
+        // 1. Replenish every ring homed on this core first (mlx5 posts new
+        // WQEs at poll start), so refills draw on IOVAs freed by *previous*
+        // polls rather than immediately recycling this poll's frees. In the
+        // single-NIC shape the stride visits exactly ring == core; in
+        // multi-device shapes the core services ring core, core+cores, ...
+        // each refilled in its owning device's domain.
+        let nrings = self.ring_count();
+        let mut r = core;
+        let mut exhausted = false;
+        while r < nrings && !exhausted {
+            let dom = self.ring_domain(r);
+            while self.rings[r].ring.needs_replenish() && self.rings[r].ring.free_slots() > 0 {
+                let (d, c) = match self.drv.prepare_rx_descriptor_in(dom, core) {
+                    Ok(dc) => dc,
+                    Err(_) => {
+                        // Descriptor/frame/IOVA exhaustion (real or
+                        // injected): the ring runs shallow this poll and the
+                        // NIC tail-drops behind it. Account it as a ring
+                        // drop and retry on the next poll — graceful
+                        // degradation, not a crash.
+                        self.ring_drops += 1;
+                        exhausted = true;
+                        break;
+                    }
+                };
+                cpu += c;
+                if let Err((d, _overrun)) = self.rings[r].ring.push_with(d, &mut self.net_faults) {
+                    // Injected ring overrun: the producer index raced past
+                    // the consumer and the descriptor never landed. Recycle
+                    // it (unmap + invalidate + free) so no resources leak,
+                    // charge the recycle to this poll, and count the lost
+                    // slot.
+                    if self.trace.wants(TraceCategory::Ring) {
+                        self.trace.emit(TraceData::RingOverrun { core: core as u8 });
+                    }
+                    cpu += self
+                        .drv
+                        .complete_rx_descriptor_in(dom, core, &d)
+                        .expect("recycling a refused descriptor");
+                    self.drv.recycle_descriptor(d);
+                    self.drv.faults_mut().note_descriptor_recycle();
+                    self.drv.faults_mut().note_recovery(FaultKind::RingOverrun);
                     self.ring_drops += 1;
+                    exhausted = true;
                     break;
                 }
-            };
-            cpu += c;
-            if let Err((d, _overrun)) = self.rings[core].ring.push_with(d, &mut self.net_faults) {
-                // Injected ring overrun: the producer index raced past the
-                // consumer and the descriptor never landed. Recycle it
-                // (unmap + invalidate + free) so no resources leak, charge
-                // the recycle to this poll, and count the lost slot.
                 if self.trace.wants(TraceCategory::Ring) {
-                    self.trace.emit(TraceData::RingOverrun { core: core as u8 });
+                    self.trace.emit(TraceData::RingPost { core: core as u8 });
                 }
-                cpu += self
-                    .drv
-                    .complete_rx_descriptor(core, &d)
-                    .expect("recycling a refused descriptor");
-                self.drv.recycle_descriptor(d);
-                self.drv.faults_mut().note_descriptor_recycle();
-                self.drv.faults_mut().note_recovery(FaultKind::RingOverrun);
-                self.ring_drops += 1;
-                break;
             }
-            if self.trace.wants(TraceCategory::Ring) {
-                self.trace.emit(TraceData::RingPost { core: core as u8 });
-            }
+            r += self.cfg.cores;
         }
-        // 2. Tx completions (unmap + invalidate transmitted pages).
-        while let Some(pages) = self.napi[core].tx_done.pop_front() {
-            cpu += self.drv.tx_complete(core, &pages).expect("Tx completion");
+        // 2. Tx completions (unmap + invalidate transmitted pages), each in
+        // the domain they were mapped in.
+        while let Some((dom, pages)) = self.napi[core].tx_done.pop_front() {
+            cpu += self
+                .drv
+                .tx_complete_in(dom, core, &pages)
+                .expect("Tx completion");
             self.drv.recycle_pages(pages);
         }
         // 2b. Rx descriptor completions: unmap, invalidate, recycle.
-        while let Some(d) = self.napi[core].desc_done.pop_front() {
+        while let Some((dom, d)) = self.napi[core].desc_done.pop_front() {
             let probe = d.pages()[0].iova;
             if self.trace.wants(TraceCategory::Ring) {
                 self.trace
@@ -1780,7 +2111,7 @@ impl HostSim {
             }
             cpu += self
                 .drv
-                .complete_rx_descriptor(core, &d)
+                .complete_rx_descriptor_in(dom, core, &d)
                 .expect("Rx completion");
             self.drv.recycle_descriptor(d);
             // Injected stale-DMA probe: the device races one last access
@@ -1792,7 +2123,7 @@ impl HostSim {
             if self.drv.faults().is_enabled()
                 && self.drv.faults_mut().roll(FaultKind::TranslationFault)
             {
-                let leaked = self.drv.probe_translate(probe);
+                let leaked = self.drv.probe_translate_in(dom, probe);
                 self.drv.faults_mut().note_stale_probe(leaked);
                 if !leaked {
                     self.drv
@@ -1858,12 +2189,16 @@ impl HostSim {
         // connections homed on this core.
         let app_work = self.process_app_boundaries(now, core, &mut pump_dut_flows);
         cpu += app_work;
+        // 5b. Connection-churn boundaries: tear down and restart finished
+        // connections homed on this core.
+        cpu += self.process_churn_boundaries(now, core);
         // 6. Map ACK transmissions (driver work happens in this context).
         let mut mapped_acks = std::mem::take(&mut self.scratch.mapped);
         for (flow, a) in acks.drain(..) {
             // A failed ACK mapping (injected exhaustion) skips the ACK; the
             // peer's retransmission machinery re-elicits it.
-            let Ok((pages, c)) = self.drv.tx_map(core, 1) else {
+            let dom = self.flow_domain(flow);
+            let Ok((pages, c)) = self.drv.tx_map_in(dom, core, 1) else {
                 continue;
             };
             cpu += c;
@@ -1876,7 +2211,8 @@ impl HostSim {
                 let pkt = s.fast_retransmit_packet(now);
                 let n_pages = self.cfg.pages_for(pkt.bytes);
                 // A failed mapping drops the retransmission; RTO recovers.
-                let Ok((pages, c)) = self.drv.tx_map(core, n_pages) else {
+                let dom = self.flow_domain(flow);
+                let Ok((pages, c)) = self.drv.tx_map_in(dom, core, n_pages) else {
                     continue;
                 };
                 cpu += c;
@@ -1992,6 +2328,54 @@ impl HostSim {
         cpu
     }
 
+    /// Detects connections that delivered their configured byte budget under
+    /// [`Workload::Churn`], "closes" them, and restarts the sender from a
+    /// fresh congestion state — modelling sustained connection churn without
+    /// re-keying the flow tables (sequence numbers stay continuous; only the
+    /// transport state resets). Returns CPU ns charged to the poll.
+    fn process_churn_boundaries(&mut self, now: Nanos, core: usize) -> Nanos {
+        let Workload::Churn { conn_bytes } = self.cfg.workload else {
+            return 0;
+        };
+        let conn_bytes = conn_bytes.max(1);
+        let mut cpu = 0;
+        let mut pumps = std::mem::take(&mut self.scratch.peer_pumps);
+        for i in 0..self.cfg.flows {
+            let flow = FlowId(i);
+            if self.core_of.get(flow).copied() != Some(core) {
+                continue;
+            }
+            let Some(delivered) = self.dut_receivers.get(flow).map(|r| r.delivered_bytes) else {
+                continue;
+            };
+            let Some(&boundary) = self.churn_next.get(flow) else {
+                continue;
+            };
+            let mut next = boundary;
+            while delivered >= next {
+                next += conn_bytes;
+                self.churned_conns += 1;
+                // Accept/teardown cost of one connection turnover.
+                cpu += self.cfg.cpu.per_batch_ns;
+                if let Some(s) = self.peer_senders.get_mut(flow) {
+                    s.restart_connection();
+                    s.enqueue_app_bytes(conn_bytes);
+                }
+                pumps.push(flow);
+            }
+            if next != boundary {
+                self.churn_next.insert(flow, next);
+            }
+        }
+        for f in pumps.drain(..) {
+            // The restarted connection's first burst leaves after a short
+            // client-side connect/think delay.
+            self.q.push(now + 2_000, Ev::PeerPump(f));
+        }
+        self.scratch.peer_pumps = pumps;
+        cpu
+    }
+
     // ----- DUT transmit path -------------------------------------------------
 
     fn dut_pump(&mut self, now: Nanos, flow: FlowId) {
@@ -2011,12 +2395,13 @@ impl HostSim {
             return;
         }
         cpu += to_map.len() as Nanos * self.cfg.cpu.per_packet_ns;
+        let dom = self.flow_domain(flow);
         let mut mapped = std::mem::take(&mut self.scratch.mapped);
         for pkt in to_map.drain(..) {
             let pages = self.cfg.pages_for(pkt.bytes);
             // Injected mapping exhaustion drops the packet pre-wire; the
             // sender's RTO treats it like any other loss.
-            let Ok((pg, c)) = self.drv.tx_map(core, pages) else {
+            let Ok((pg, c)) = self.drv.tx_map_in(dom, core, pages) else {
                 continue;
             };
             cpu += c;
@@ -2048,9 +2433,10 @@ impl HostSim {
                 break;
             };
             self.drv.drain_ptcache_wipes(pages.len());
+            let dom = self.flow_domain(pkt.flow);
             let mut reads = 0u32;
             for p in &pages {
-                reads += self.drv.translate(p.iova);
+                reads += self.drv.translate_in(dom, p.iova);
             }
             let lm = self.walk_read_ns();
             self.note_mem_traffic(now, pkt.bytes as u64 + reads as u64 * 64);
@@ -2073,11 +2459,94 @@ impl HostSim {
         // The packet enters the DUT→peer link.
         self.enqueue_to_peer(pkt);
         self.schedule_to_peer_drain(now);
-        // Tx completion lands on the (possibly shifted) completion core.
+        // Tx completion lands on the (possibly shifted) completion core,
+        // tagged with the domain the pages were mapped in so the completing
+        // core unmaps in the right address space.
         let comp_core = (core + self.cfg.tx_completion_core_shift) % self.cfg.cores;
-        self.napi[comp_core].tx_done.push_back(pages);
+        let dom = self.flow_domain(pkt.flow);
+        self.napi[comp_core].tx_done.push_back((dom, pages));
         self.ensure_napi(now, comp_core);
         self.tx_pump(now);
+    }
+
+    // ----- storage-class DMA devices ----------------------------------------
+
+    /// One storage IO issue: map `storage_io_pages` in the device's own
+    /// protection domain, translate every page, and DMA through the bulk Tx
+    /// pipe. Mapping failure (injected exhaustion) retries after the think
+    /// time, like a driver re-queueing a starved request.
+    fn storage_issue(&mut self, now: Nanos, dev: u16) {
+        let topo = self.cfg.topology;
+        let dom = topo.storage_domain(dev);
+        let core = dev as usize % self.cfg.cores;
+        let Ok((pg, c)) = self.drv.tx_map_in(dom, core, topo.storage_io_pages) else {
+            self.q
+                .push(now + topo.storage_think_ns.max(1), Ev::StorageIssue { dev });
+            return;
+        };
+        let finish = self.cores[core].run(now, c);
+        self.drv.drain_ptcache_wipes(pg.len());
+        let mut reads = 0u32;
+        for p in &pg {
+            reads += self.drv.translate_in(dom, p.iova);
+        }
+        let lm = self.walk_read_ns();
+        let pages = pg.len() as u64;
+        self.note_mem_traffic(now, pages * 4096 + reads as u64 * 64);
+        let service = reads as u64 * lm + self.cfg.l0_tx_ns * pages;
+        let done = self.tx_pipe.run(finish.max(now), service);
+        self.q.push(
+            done,
+            Ev::StorageDone {
+                dev,
+                core,
+                pages: pg,
+            },
+        );
+    }
+
+    /// Storage IO completion: unmap + invalidate in the device's domain,
+    /// recycle the pages, and schedule the next issue after the think time.
+    fn storage_done(&mut self, now: Nanos, dev: u16, core: usize, pages: Vec<DescriptorPage>) {
+        let topo = self.cfg.topology;
+        let dom = topo.storage_domain(dev);
+        let io_pages = pages.len() as u64;
+        let c = self
+            .drv
+            .tx_complete_in(dom, core, &pages)
+            .expect("storage completion");
+        self.drv.recycle_pages(pages);
+        let finish = self.cores[core].run(now, c);
+        self.storage_ios += 1;
+        self.storage_bytes += io_pages * 4096;
+        let next = finish.max(now) + topo.storage_think_ns.max(1);
+        if next <= self.cfg.end_time() {
+            self.q.push(next, Ev::StorageIssue { dev });
+        }
+    }
+
+    /// Incast front: every peer sender deposits one burst (with per-flow
+    /// jitter so the fan-in collides at the switch, not in the event queue),
+    /// then the kick re-arms for the next period.
+    fn incast_kick(&mut self, now: Nanos) {
+        let Workload::Incast {
+            burst_bytes,
+            period_ns,
+        } = self.cfg.workload
+        else {
+            return;
+        };
+        for i in 0..self.cfg.flows {
+            let flow = FlowId(i);
+            if let Some(s) = self.peer_senders.get_mut(flow) {
+                s.enqueue_app_bytes(burst_bytes);
+            }
+            self.q.push(now + 1 + u64::from(i) * 53, Ev::PeerPump(flow));
+        }
+        let next = now + period_ns.max(1);
+        if next <= self.cfg.end_time() {
+            self.q.push(next, Ev::IncastKick);
+        }
     }
 
     fn schedule_to_peer_drain(&mut self, now: Nanos) {
@@ -2255,17 +2724,21 @@ impl HostSim {
         self.warmed_up = true;
         self.snapshot = Snapshot {
             iommu: self.drv.iommu.stats(),
+            domains: self.drv.iommu.domain_stats().to_vec(),
             rx_delivered: self.dut_receivers.values().map(|r| r.delivered_bytes).sum(),
             tx_delivered: self
                 .peer_receivers
                 .values()
                 .map(|r| r.delivered_bytes)
                 .sum(),
-            nic_enq: self.nic_buf.enqueued_packets(),
-            nic_drops: self.nic_buf.dropped_packets(),
+            nic_enq: self.nic_bufs.iter().map(|b| b.enqueued_packets()).sum(),
+            nic_drops: self.nic_bufs.iter().map(|b| b.dropped_packets()).sum(),
             ring_drops: self.ring_drops,
             switch_drops: self.to_dut.drops,
             tx_pkts: self.tx_pkts_sent,
+            churned_conns: self.churned_conns,
+            storage_ios: self.storage_ios,
+            storage_bytes: self.storage_bytes,
             core_busy: self.cores.iter().map(|c| c.busy_time()).collect(),
             locality_mark: self.drv.locality.len(),
         };
@@ -2299,18 +2772,33 @@ impl HostSim {
         let fault_log = fns_faults::fault_log_from(&trace);
         let (provenance, txns, registry) = self.obs.dump();
         let flight = self.trace.drain_flight();
+        let zero = fns_iommu::DomainStats::default();
+        let domains: Vec<fns_iommu::DomainStats> = self
+            .drv
+            .iommu
+            .domain_stats()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.delta(snap.domains.get(i).unwrap_or(&zero)))
+            .collect();
+        let nic_enq_now: u64 = self.nic_bufs.iter().map(|b| b.enqueued_packets()).sum();
+        let nic_drops_now: u64 = self.nic_bufs.iter().map(|b| b.dropped_packets()).sum();
         let metrics = RunMetrics {
             window_ns: window,
             rx_goodput_bytes: rx_delivered - snap.rx_delivered,
             tx_goodput_bytes: tx_delivered - snap.tx_delivered,
-            rx_packets: self.nic_buf.enqueued_packets() - snap.nic_enq,
-            nic_drops: (self.nic_buf.dropped_packets() - snap.nic_drops)
+            rx_packets: nic_enq_now - snap.nic_enq,
+            nic_drops: (nic_drops_now - snap.nic_drops)
                 + (self.ring_drops - snap.ring_drops)
                 + (self.to_dut.drops - snap.switch_drops),
             tx_packets: self.tx_pkts_sent - snap.tx_pkts,
             stale_iotlb_hits: iommu.stale_iotlb_hits,
             stale_ptcache_walks: iommu.stale_ptcache_walks,
             iommu,
+            domains,
+            storage_ios: self.storage_ios - snap.storage_ios,
+            storage_bytes: self.storage_bytes - snap.storage_bytes,
+            churned_conns: self.churned_conns - snap.churned_conns,
             cpu_utilization,
             latency: self.latency,
             locality_distances: self.drv.locality.distances()[snap.locality_mark..].to_vec(),
@@ -2361,6 +2849,7 @@ impl HostSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Topology;
     use crate::mode::ProtectionMode;
 
     fn tiny_sim(mode: ProtectionMode) -> HostSim {
@@ -2507,6 +2996,13 @@ mod tests {
                 rpc_bytes: 1024,
                 response_bytes: 64,
             },
+            Workload::Churn {
+                conn_bytes: 64 * 1024,
+            },
+            Workload::Incast {
+                burst_bytes: 128 * 1024,
+                period_ns: 500_000,
+            },
         ];
         for w in workloads {
             let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
@@ -2519,7 +3015,42 @@ mod tests {
                 m.rx_goodput_bytes + m.tx_goodput_bytes > 0,
                 "{w:?}: nothing moved"
             );
+            if let Workload::Churn { .. } = w {
+                assert!(m.churned_conns > 0, "churn workload never churned");
+            }
         }
+    }
+
+    #[test]
+    fn multi_device_topology_runs_and_attributes_domains() {
+        let mut cfg = SimConfig::paper_default(ProtectionMode::FastAndSafe);
+        cfg.topology = Topology {
+            nics: 2,
+            queues_per_nic: 2,
+            storage_devices: 1,
+            ..Topology::single_nic()
+        };
+        cfg.cores = 6;
+        cfg.warmup = 2_000_000;
+        cfg.measure = 5_000_000;
+        let m = HostSim::new(cfg).run();
+        assert!(m.rx_goodput_bytes > 0, "multi-NIC topology moved no data");
+        // One domain per NIC plus one per storage device.
+        assert_eq!(m.domains.len(), 3, "expected 3 protection domains");
+        let per_domain: u64 = m.domains.iter().map(|d| d.translations).sum();
+        assert_eq!(
+            per_domain, m.iommu.translations,
+            "per-domain translation attribution must partition the total"
+        );
+        assert!(
+            m.domains[0].translations > 0 && m.domains[1].translations > 0,
+            "both NIC domains should translate (RSS spreads flows)"
+        );
+        assert!(m.storage_ios > 0, "storage device issued no IOs");
+        assert!(
+            m.domains[2].translations > 0,
+            "storage domain should translate its own IOs"
+        );
     }
 
     #[test]
@@ -2771,8 +3302,8 @@ mod huge_debug {
         sim.nic_arrive(100, pkt);
         println!(
             "nic enq={} drop={} rx_inflight={}",
-            sim.nic_buf.enqueued_packets(),
-            sim.nic_buf.dropped_packets(),
+            sim.nic_bufs[0].enqueued_packets(),
+            sim.nic_bufs[0].dropped_packets(),
             sim.rx_inflight
         );
         assert_eq!(sim.rx_inflight, 1);

@@ -78,6 +78,15 @@ pub enum Op {
         /// Epoch budget minus one.
         max: u8,
     },
+    /// Switch the issuing device: subsequent ops run from protection
+    /// domain `d` modulo the configured domain count. Ops that touch an
+    /// object created earlier (complete, DMA, stale probe) always act in
+    /// the object's own domain, so removing a `SetDomain` never turns a
+    /// later op into a cross-domain access by accident.
+    SetDomain {
+        /// Domain selector (modulo [`MbtConfig::domains`]).
+        d: u8,
+    },
 }
 
 /// Driver shape for one replay: everything that changes which invariants
@@ -90,6 +99,8 @@ pub struct MbtConfig {
     pub desc_pages: u64,
     /// Deferred-mode flush threshold.
     pub deferred_threshold: u32,
+    /// Protection domains sharing the IOMMU (1 = classic single device).
+    pub domains: u16,
     /// Seeded driver bug, [`Sabotage::None`] for clean replays.
     pub sabotage: Sabotage,
 }
@@ -103,6 +114,7 @@ impl MbtConfig {
             mode,
             desc_pages: if mode.huge_rx() { 512 } else { 64 },
             deferred_threshold: 256,
+            domains: 1,
             sabotage: Sabotage::None,
         }
     }
@@ -117,10 +129,14 @@ impl MbtConfig {
 /// Replays `ops` through a fresh audited driver and returns the oracle's
 /// report. Deterministic: same config + ops ⇒ identical report.
 pub fn replay(cfg: MbtConfig, ops: &[Op]) -> AuditReport {
+    let domains = cfg.domains.max(1);
     let mut drv = DmaDriver::with_descriptor_pages(
         cfg.mode,
         2,
-        IommuConfig::default(),
+        IommuConfig {
+            domains,
+            ..IommuConfig::default()
+        },
         CpuCosts::default(),
         cfg.deferred_threshold,
         0,
@@ -132,75 +148,83 @@ pub fn replay(cfg: MbtConfig, ops: &[Op]) -> AuditReport {
     ));
     drv.set_sabotage(cfg.sabotage);
 
-    let mut live_rx: Vec<fns_nic::descriptor::Descriptor> = Vec::new();
-    let mut live_tx: Vec<Vec<DescriptorPage>> = Vec::new();
-    let mut freed: VecDeque<fns_iova::Iova> = VecDeque::new();
+    // Live objects remember the domain that created them: completions,
+    // device DMA, and stale probes always act as the owning device, so the
+    // only cross-domain traffic in a replay is what a sabotage injects.
+    let mut cur: u16 = 0;
+    let mut live_rx: Vec<(u16, fns_nic::descriptor::Descriptor)> = Vec::new();
+    let mut live_tx: Vec<(u16, Vec<DescriptorPage>)> = Vec::new();
+    let mut freed: VecDeque<(u16, fns_iova::Iova)> = VecDeque::new();
 
     for &op in ops {
         match op {
             Op::PrepareRx => {
                 if live_rx.len() < LIVE_CAP {
                     let (desc, _) = drv
-                        .prepare_rx_descriptor(0)
+                        .prepare_rx_descriptor_in(cur, 0)
                         .expect("fault-free replay: prepare_rx");
-                    live_rx.push(desc);
+                    live_rx.push((cur, desc));
                 }
             }
             Op::CompleteRx { sel } => {
                 if !live_rx.is_empty() {
-                    let desc = live_rx.remove(sel as usize % live_rx.len());
+                    let (d, desc) = live_rx.remove(sel as usize % live_rx.len());
                     if freed.len() == FREED_CAP {
                         freed.pop_front();
                     }
-                    freed.push_back(desc.pages()[0].iova);
-                    drv.complete_rx_descriptor(0, &desc)
+                    freed.push_back((d, desc.pages()[0].iova));
+                    drv.complete_rx_descriptor_in(d, 0, &desc)
                         .expect("fault-free replay: complete_rx");
                 }
             }
             Op::DmaRx { sel } => {
                 if !live_rx.is_empty() {
                     let idx = sel as usize % live_rx.len();
+                    let d = live_rx[idx].0;
                     let pages: Vec<fns_iova::Iova> =
-                        live_rx[idx].pages().iter().map(|p| p.iova).collect();
+                        live_rx[idx].1.pages().iter().map(|p| p.iova).collect();
                     // The datapath contract: queued PTcache wipes are
                     // drained before the NIC touches memory.
                     drv.drain_ptcache_wipes(pages.len());
                     for iova in pages {
-                        drv.translate(iova);
+                        drv.translate_in(d, iova);
                     }
                 }
             }
             Op::TxMap { pages } => {
                 if live_tx.len() < LIVE_CAP {
                     let n = u32::from(pages.clamp(1, 8));
-                    let (mapped, _) = drv.tx_map(1, n).expect("fault-free replay: tx_map");
+                    let (mapped, _) = drv.tx_map_in(cur, 1, n).expect("fault-free replay: tx_map");
                     drv.drain_ptcache_wipes(mapped.len());
                     for p in &mapped {
-                        drv.translate(p.iova);
+                        drv.translate_in(cur, p.iova);
                     }
-                    live_tx.push(mapped);
+                    live_tx.push((cur, mapped));
                 }
             }
             Op::TxComplete { sel } => {
                 if !live_tx.is_empty() {
-                    let pages = live_tx.remove(sel as usize % live_tx.len());
+                    let (d, pages) = live_tx.remove(sel as usize % live_tx.len());
                     if freed.len() == FREED_CAP {
                         freed.pop_front();
                     }
-                    freed.push_back(pages[0].iova);
-                    drv.tx_complete(1, &pages)
+                    freed.push_back((d, pages[0].iova));
+                    drv.tx_complete_in(d, 1, &pages)
                         .expect("fault-free replay: tx_complete");
                 }
             }
             Op::StaleProbe { sel } => {
                 if !freed.is_empty() {
-                    let iova = freed[sel as usize % freed.len()];
+                    let (d, iova) = freed[sel as usize % freed.len()];
                     drv.drain_ptcache_wipes(usize::MAX);
-                    drv.probe_translate(iova);
+                    drv.probe_translate_in(d, iova);
                 }
             }
             Op::Drain { max } => {
                 drv.drain_ptcache_wipes(max as usize + 1);
+            }
+            Op::SetDomain { d } => {
+                cur = u16::from(d) % domains;
             }
         }
     }
@@ -224,6 +248,35 @@ pub fn generate(seed: u64, len: usize) -> Vec<Op> {
             12..=13 => Op::TxComplete { sel },
             14 => Op::StaleProbe { sel },
             _ => Op::Drain { max: sel % 4 },
+        });
+    }
+    ops
+}
+
+/// Generates a seeded random op sequence that also hops between `domains`
+/// issuing devices. Identical to [`generate`] when `domains <= 1`; with
+/// more domains, device switches season the interleaving so descriptors
+/// from different tenants cycle through the shared IOMMU concurrently.
+pub fn generate_multi(seed: u64, len: usize, domains: u16) -> Vec<Op> {
+    if domains <= 1 {
+        return generate(seed, len);
+    }
+    let mut rng = SimRng::seed(seed);
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.range(0, 18);
+        let sel = rng.range(0, 256) as u8;
+        ops.push(match roll {
+            0..=2 => Op::PrepareRx,
+            3..=5 => Op::CompleteRx { sel },
+            6..=9 => Op::DmaRx { sel },
+            10..=11 => Op::TxMap { pages: sel % 8 + 1 },
+            12..=13 => Op::TxComplete { sel },
+            14 => Op::StaleProbe { sel },
+            15 => Op::Drain { max: sel % 4 },
+            _ => Op::SetDomain {
+                d: sel % domains as u8,
+            },
         });
     }
     ops
@@ -283,6 +336,7 @@ pub fn ops_to_text(ops: &[Op]) -> String {
             Op::TxComplete { sel } => s.push_str(&format!("tx-complete {sel}")),
             Op::StaleProbe { sel } => s.push_str(&format!("stale-probe {sel}")),
             Op::Drain { max } => s.push_str(&format!("drain {max}")),
+            Op::SetDomain { d } => s.push_str(&format!("set-domain {d}")),
         }
         s.push('\n');
     }
@@ -318,6 +372,9 @@ fn parse_op(line: &str) -> Result<Op, String> {
         }),
         "drain" => Ok(Op::Drain {
             max: arg(&mut parts)?,
+        }),
+        "set-domain" => Ok(Op::SetDomain {
+            d: arg(&mut parts)?,
         }),
         other => Err(format!("unknown op '{other}'")),
     }
@@ -365,6 +422,15 @@ fn parse_sabotage(text: &str) -> Result<Sabotage, String> {
         }
         Some("skip-reclaim-fixup") => Ok(Sabotage::SkipReclaimFixup),
         Some("skip-deferred-flush") => Ok(Sabotage::SkipDeferredFlush),
+        Some("cross-domain-leak") => {
+            let nth = parts
+                .next()
+                .ok_or("cross-domain-leak needs an ordinal")?
+                .parse::<u64>()
+                .map_err(|e| e.to_string())?;
+            Ok(Sabotage::CrossDomainLeak { nth })
+        }
+        Some("skip-domain-scoped-invalidation") => Ok(Sabotage::SkipDomainScopedInvalidation),
         Some(other) => Err(format!("unknown sabotage '{other}'")),
     }
 }
@@ -377,6 +443,8 @@ fn sabotage_to_text(s: Sabotage) -> String {
         }
         Sabotage::SkipReclaimFixup => "skip-reclaim-fixup".to_string(),
         Sabotage::SkipDeferredFlush => "skip-deferred-flush".to_string(),
+        Sabotage::CrossDomainLeak { nth } => format!("cross-domain-leak {nth}"),
+        Sabotage::SkipDomainScopedInvalidation => "skip-domain-scoped-invalidation".to_string(),
     }
 }
 
@@ -384,10 +452,11 @@ impl CorpusCase {
     /// Serializes the case into the corpus file format.
     pub fn to_text(&self) -> String {
         format!(
-            "mode: {}\ndesc-pages: {}\ndeferred-threshold: {}\nsabotage: {}\nexpect: {}\nops:\n{}",
+            "mode: {}\ndesc-pages: {}\ndeferred-threshold: {}\ndomains: {}\nsabotage: {}\nexpect: {}\nops:\n{}",
             self.cfg.mode.label(),
             self.cfg.desc_pages,
             self.cfg.deferred_threshold,
+            self.cfg.domains,
             sabotage_to_text(self.cfg.sabotage),
             self.expect.name(),
             ops_to_text(&self.ops),
@@ -400,6 +469,7 @@ impl CorpusCase {
         let mut mode = None;
         let mut desc_pages = None;
         let mut threshold = None;
+        let mut domains = None;
         let mut sabotage = Sabotage::None;
         let mut expect = None;
         let mut lines = text.lines();
@@ -421,6 +491,7 @@ impl CorpusCase {
                 "deferred-threshold" => {
                     threshold = Some(value.parse::<u32>().map_err(|e| e.to_string())?)
                 }
+                "domains" => domains = Some(value.parse::<u16>().map_err(|e| e.to_string())?),
                 "sabotage" => sabotage = parse_sabotage(value)?,
                 "expect" => {
                     expect = Some(
@@ -441,6 +512,7 @@ impl CorpusCase {
                 mode,
                 desc_pages: desc_pages.unwrap_or(64),
                 deferred_threshold: threshold.unwrap_or(256),
+                domains: domains.unwrap_or(1),
                 sabotage,
             },
             expect: expect.ok_or("missing 'expect:' header")?,
@@ -505,8 +577,95 @@ mod tests {
     }
 
     #[test]
+    fn clean_multi_domain_replay_has_no_violations_in_every_mode() {
+        let ops = generate_multi(0xD0D0, 200, 3);
+        assert!(
+            ops.iter().any(|o| matches!(o, Op::SetDomain { .. })),
+            "multi-domain generator never switched devices"
+        );
+        for mode in ProtectionMode::ALL {
+            let cfg = MbtConfig {
+                domains: 3,
+                ..MbtConfig::for_mode(mode)
+            };
+            let report = replay(cfg, &ops);
+            assert!(
+                report.is_clean(),
+                "{}: {:?}",
+                mode.label(),
+                report.samples.first()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_domain_leak_is_caught_and_shrinks_small() {
+        let cfg = MbtConfig {
+            domains: 2,
+            sabotage: Sabotage::CrossDomainLeak { nth: 1 },
+            ..MbtConfig::for_mode(ProtectionMode::FastAndSafe)
+        };
+        let ops = generate_multi(11, 150, 2);
+        let report = replay(cfg, &ops);
+        assert!(
+            violates(&report, Some(Invariant::CrossDomainIsolation)),
+            "leak went unnoticed: {report:?}"
+        );
+        let small = shrink(cfg, &ops, Some(Invariant::CrossDomainIsolation));
+        assert!(
+            violates(&replay(cfg, &small), Some(Invariant::CrossDomainIsolation)),
+            "shrunk trace no longer violates"
+        );
+        assert!(
+            small.len() <= 20,
+            "shrunk trace still has {} ops: {small:?}",
+            small.len()
+        );
+    }
+
+    #[test]
+    fn skipped_domain_scoped_invalidation_leaks_across_tenants() {
+        // Even inside the deferred window — where stale IOTLB hits are
+        // tolerated within a domain — a stale hit that resolves to a frame
+        // another tenant now owns is an isolation violation.
+        let cfg = MbtConfig {
+            domains: 2,
+            sabotage: Sabotage::SkipDomainScopedInvalidation,
+            ..MbtConfig::for_mode(ProtectionMode::LinuxDeferred)
+        };
+        let ops = parse_ops(concat!(
+            "set-domain 1\n",
+            "prepare-rx\n",
+            "dma-rx 0\n",
+            "complete-rx 0\n",
+            "set-domain 0\n",
+            "prepare-rx\n",
+            "stale-probe 0\n",
+        ))
+        .unwrap();
+        let report = replay(cfg, &ops);
+        assert!(
+            violates(&report, Some(Invariant::CrossDomainIsolation)),
+            "cross-tenant frame reuse went unnoticed: {report:?}"
+        );
+        // The same trace without the sabotage is clean: quarantined frames
+        // never migrate between tenants.
+        let clean = MbtConfig {
+            sabotage: Sabotage::None,
+            ..cfg
+        };
+        assert!(replay(clean, &ops).is_clean());
+    }
+
+    #[test]
     fn ops_roundtrip_through_text() {
         let ops = generate(3, 40);
+        assert_eq!(parse_ops(&ops_to_text(&ops)).unwrap(), ops);
+    }
+
+    #[test]
+    fn multi_domain_ops_roundtrip_through_text() {
+        let ops = generate_multi(5, 60, 4);
         assert_eq!(parse_ops(&ops_to_text(&ops)).unwrap(), ops);
     }
 
@@ -517,6 +676,7 @@ mod tests {
                 mode: ProtectionMode::LinuxStrict,
                 desc_pages: 64,
                 deferred_threshold: 128,
+                domains: 2,
                 sabotage: Sabotage::SkipRangeInvalidation { nth: 2 },
             },
             expect: Invariant::InvalidationCompleteness,

@@ -55,6 +55,21 @@ pub const SCENARIOS: &[Scenario] = &[
         description: "RPC echo with latency histogram, 4 KB messages (fig 9)",
         build: |mode| fns_apps::rpc_config(mode, 4096),
     },
+    Scenario {
+        name: "mt-fanin",
+        description: "multi-tenant LB fan-in: 64 flows over 2 NICs x 4 queues + storage domain",
+        build: |mode| fns_apps::fanin_config(mode, 64),
+    },
+    Scenario {
+        name: "mt-incast",
+        description: "multi-tenant incast: 32 synchronized 64 KB bursts into 2 NICs + storage",
+        build: |mode| fns_apps::incast_config(mode, 32, 64 * 1024),
+    },
+    Scenario {
+        name: "mt-churn",
+        description: "multi-tenant churn: 48 conns restarting every 256 KB across 3 domains",
+        build: |mode| fns_apps::churn_config(mode, 48, 256 * 1024),
+    },
 ];
 
 /// Names of all registered scenarios, in display order.

@@ -33,6 +33,14 @@ pub struct IommuConfig {
     /// setups use domain 0; the observability registry keys its per-tenant
     /// percentiles on it, ready for multi-device topologies.
     pub domain: u16,
+    /// Number of protection domains the unit translates for (PASID-style
+    /// multi-device sharing). Each domain owns an isolated IO page table,
+    /// and every IOTLB/PTcache entry is tagged with its domain so one
+    /// tenant's cached translations can never serve another tenant's
+    /// device. 1 (the default) is the single-device legacy shape: domain 0
+    /// tags are the identity, so single-domain behaviour is bit-identical
+    /// to the pre-domain model.
+    pub domains: u16,
 }
 
 impl Default for IommuConfig {
@@ -46,6 +54,7 @@ impl Default for IommuConfig {
             iotlb_assoc: None,
             verify_safety: true,
             domain: 0,
+            domains: 1,
         }
     }
 }

@@ -125,6 +125,7 @@ impl InvalidationQueue {
                         req.range.iter_pages().map(|p| InvalidationRequest {
                             range: IovaRange::new(p, 1),
                             scope: req.scope,
+                            domain: req.domain,
                         })
                     })
                     .collect();
@@ -166,6 +167,7 @@ mod tests {
         let batch = [InvalidationRequest {
             range: r,
             scope: InvalidationScope::IotlbOnly,
+            domain: 0,
         }];
         let mut plane = FaultPlane::disabled();
         let rep = q.execute_with(&mut m, &batch, &mut plane);
@@ -190,6 +192,7 @@ mod tests {
         let batch = [InvalidationRequest {
             range: r,
             scope: InvalidationScope::IotlbOnly,
+            domain: 0,
         }];
         let rep = q.execute_with(&mut m, &batch, &mut plane);
         // One stall, first retry rolls visit 3 (misses): recovered.
@@ -217,6 +220,7 @@ mod tests {
         let batch = [InvalidationRequest {
             range: r,
             scope: InvalidationScope::IotlbOnly,
+            domain: 0,
         }];
         let rep = q.execute_with(&mut m, &batch, &mut plane);
         assert_eq!(rep.retries, MAX_INVALIDATION_RETRIES);

@@ -20,6 +20,9 @@ pub struct InvalidationRequest {
     /// Whether the page-structure caches are preserved (F&S) or wiped
     /// (stock Linux).
     pub scope: InvalidationScope,
+    /// Protection domain the descriptor names: only that domain's tagged
+    /// IOTLB/PTcache entries are wiped (single-device setups always say 0).
+    pub domain: u16,
 }
 
 /// Cost model of the hardware invalidation queue.
@@ -60,7 +63,7 @@ impl InvalidationQueue {
             return 0;
         }
         for req in batch {
-            iommu.invalidate_range(req.range, req.scope);
+            iommu.invalidate_range_in(req.domain, req.range, req.scope);
         }
         iommu.note_queue_entries(batch.len() as u64);
         self.sync_overhead_ns + self.per_entry_ns * batch.len() as Nanos
@@ -111,10 +114,12 @@ mod tests {
                 InvalidationRequest {
                     range: r1,
                     scope: InvalidationScope::IotlbAndFullPtcache,
+                    domain: 0,
                 },
                 InvalidationRequest {
                     range: r2,
                     scope: InvalidationScope::IotlbAndFullPtcache,
+                    domain: 0,
                 },
             ],
         );

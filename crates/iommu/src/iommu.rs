@@ -6,6 +6,20 @@
 //! the four page-table levels must actually be read from memory). In the
 //! best case a walk costs a single memory read (the PT-L4 leaf entry), in
 //! the worst case four.
+//!
+//! # Protection domains
+//!
+//! One hardware unit can translate for several devices, each attached to
+//! its own *protection domain* (PASID-style). Every domain owns an
+//! isolated IO page table, and every IOTLB/PTcache entry is tagged with
+//! the domain it was filled for, so a cached translation can only ever
+//! serve the domain whose walk produced it. Invalidation is domain-scoped:
+//! wiping a range in domain 2 leaves domain 3's entries (even for the same
+//! IOVAs) untouched — exactly the behaviour a per-device invalidation
+//! descriptor has on real hardware, and exactly the behaviour the
+//! `CrossDomainIsolation` oracle invariant audits. Domain 0's tags are the
+//! identity, so a single-domain unit is bit-identical to the pre-domain
+//! model.
 
 use fns_iova::types::{Iova, IovaRange};
 use fns_mem::addr::PhysAddr;
@@ -17,7 +31,15 @@ use crate::pagetable::{
     IoPageTable, PageRef, PtEntryView, PtError, ReclaimedPage, UnmapOutcome, WalkResult,
     L4_SPAN_PFNS,
 };
-use crate::stats::IommuStats;
+use crate::stats::{DomainStats, IommuStats};
+
+/// Tags a cache key with its protection domain. IOVAs are 48-bit, so every
+/// key space (pfn and the three page-region keys) fits below bit 48 and the
+/// domain can ride in the high bits. Domain 0 is the identity tag.
+#[inline]
+fn dk(d: u16, key: u64) -> u64 {
+    key | (d as u64) << 48
+}
 
 /// What an invalidation request should wipe.
 ///
@@ -91,7 +113,8 @@ impl Translation {
     }
 }
 
-/// The modelled IOMMU: page table, IOTLB, and page-structure caches.
+/// The modelled IOMMU: per-domain page tables, a shared domain-tagged
+/// IOTLB, and shared domain-tagged page-structure caches.
 ///
 /// # Examples
 ///
@@ -116,26 +139,32 @@ impl Translation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Iommu {
-    pt: IoPageTable,
+    /// One isolated IO page table per protection domain; index = domain ID.
+    /// Single-domain configs hold exactly one, preserving the legacy shape.
+    pts: Vec<IoPageTable>,
     iotlb: Iotlb,
-    /// Huge-page IOTLB: key = 2 MB region (l4 page key), value = physical
-    /// base of the region plus the PT-L3 ref it was read through.
+    /// Huge-page IOTLB: key = domain-tagged 2 MB region (l4 page key),
+    /// value = physical base of the region plus the PT-L3 ref it was read
+    /// through.
     iotlb_huge: Lru64<HugeTlbEntry>,
-    /// key: iova bits 39.. (one entry covers 512 GB) -> PT-L2 page.
+    /// key: domain-tagged iova bits 39.. (512 GB) -> PT-L2 page.
     ptc_l1: Lru64<PageRef>,
-    /// key: iova bits 30.. (1 GB) -> PT-L3 page.
+    /// key: domain-tagged iova bits 30.. (1 GB) -> PT-L3 page.
     ptc_l2: Lru64<PageRef>,
-    /// key: iova bits 21.. (2 MB) -> PT-L4 page.
+    /// key: domain-tagged iova bits 21.. (2 MB) -> PT-L4 page.
     ptc_l3: Lru64<PageRef>,
     config: IommuConfig,
     stats: IommuStats,
+    /// Per-domain counter slices (len = `config.domains`).
+    dstats: Vec<DomainStats>,
 }
 
 impl Iommu {
     /// Creates an IOMMU with the given hardware configuration.
     pub fn new(config: IommuConfig) -> Self {
+        let domains = config.domains.max(1) as usize;
         Self {
-            pt: IoPageTable::new(),
+            pts: (0..domains).map(|_| IoPageTable::new()).collect(),
             iotlb: Iotlb::new(config.iotlb_entries, config.iotlb_assoc),
             iotlb_huge: Lru64::new(config.iotlb_huge_entries),
             ptc_l1: Lru64::new(config.ptcache_l1_entries),
@@ -143,22 +172,26 @@ impl Iommu {
             ptc_l3: Lru64::new(config.ptcache_l3_entries),
             config,
             stats: IommuStats::default(),
+            dstats: vec![DomainStats::default(); domains],
         }
     }
 
     /// Rewinds to the freshly-constructed state for `config`, reusing the
-    /// page-table slab and cache tables when the hardware shape is
+    /// page-table slabs and cache tables when the hardware shape is
     /// unchanged (the common case across a sweep) — the arena hook for
     /// back-to-back runs. Behaviorally identical to `Iommu::new(config)`.
     pub fn reset(&mut self, config: IommuConfig) {
         if config == self.config {
-            self.pt.reset();
+            for pt in &mut self.pts {
+                pt.reset();
+            }
             self.iotlb.clear();
             self.iotlb_huge.clear();
             self.ptc_l1.clear();
             self.ptc_l2.clear();
             self.ptc_l3.clear();
             self.stats = IommuStats::default();
+            self.dstats.fill(DomainStats::default());
         } else {
             *self = Iommu::new(config);
         }
@@ -169,9 +202,19 @@ impl Iommu {
         self.config
     }
 
-    /// Read access to the IO page table.
+    /// Number of protection domains this unit translates for.
+    pub fn domains(&self) -> u16 {
+        self.pts.len() as u16
+    }
+
+    /// Read access to domain 0's IO page table.
     pub fn page_table(&self) -> &IoPageTable {
-        &self.pt
+        &self.pts[0]
+    }
+
+    /// Read access to `d`'s IO page table.
+    pub fn page_table_in(&self, d: u16) -> &IoPageTable {
+        &self.pts[d as usize]
     }
 
     /// Performance counters.
@@ -179,51 +222,96 @@ impl Iommu {
         self.stats
     }
 
-    /// Whether any IOTLB entry (4 KB or huge) would serve `iova`, without
-    /// touching LRU recency state or counters. Audit tap for the safety
-    /// oracle's invalidation cross-check; never used by the datapath.
+    /// Per-domain counter slices (index = domain ID).
+    pub fn domain_stats(&self) -> &[DomainStats] {
+        &self.dstats
+    }
+
+    /// Whether any IOTLB entry (4 KB or huge) would serve `iova` issued by
+    /// domain 0, without touching LRU recency state or counters.
     pub fn iotlb_contains(&self, iova: Iova) -> bool {
-        self.iotlb.contains(iova.pfn()) || self.iotlb_huge.contains(iova.l4_page_key())
+        self.iotlb_contains_in(0, iova)
     }
 
-    /// Maps `iova -> pa` in the IO page table (driver-side operation; does
-    /// not touch the hardware caches).
+    /// Whether any IOTLB entry (4 KB or huge) would serve `iova` issued by
+    /// domain `d`, without touching LRU recency state or counters. Audit
+    /// tap for the safety oracle's invalidation cross-check; never used by
+    /// the datapath.
+    pub fn iotlb_contains_in(&self, d: u16, iova: Iova) -> bool {
+        self.iotlb.contains(dk(d, iova.pfn()))
+            || self.iotlb_huge.contains(dk(d, iova.l4_page_key()))
+    }
+
+    /// Maps `iova -> pa` in domain 0's IO page table.
     pub fn map(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
-        self.pt.map(iova, pa)
+        self.map_in(0, iova, pa)
     }
 
-    /// Maps a 2 MB huge page (see [`IoPageTable::map_huge`]), first
-    /// collapsing any empty PT-L4 directory left in the slot by earlier
-    /// 4 KB mappings — with the mandatory PTcache fixup for the reclaimed
-    /// page.
+    /// Maps `iova -> pa` in domain `d`'s IO page table (driver-side
+    /// operation; does not touch the hardware caches).
+    pub fn map_in(&mut self, d: u16, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
+        self.pts[d as usize].map(iova, pa)
+    }
+
+    /// Maps a 2 MB huge page in domain 0 (see [`Iommu::map_huge_in`]).
     pub fn map_huge(&mut self, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
-        if let Some(reclaimed) = self.pt.collapse_empty_l4(iova) {
-            self.invalidate_for_reclaimed(&[reclaimed]);
+        self.map_huge_in(0, iova, pa)
+    }
+
+    /// Maps a 2 MB huge page in domain `d` (see [`IoPageTable::map_huge`]),
+    /// first collapsing any empty PT-L4 directory left in the slot by
+    /// earlier 4 KB mappings — with the mandatory PTcache fixup for the
+    /// reclaimed page.
+    pub fn map_huge_in(&mut self, d: u16, iova: Iova, pa: PhysAddr) -> Result<(), PtError> {
+        if let Some(reclaimed) = self.pts[d as usize].collapse_empty_l4(iova) {
+            self.invalidate_for_reclaimed_in(d, &[reclaimed]);
         }
-        self.pt.map_huge(iova, pa)
+        self.pts[d as usize].map_huge(iova, pa)
     }
 
-    /// Unmaps a 2 MB huge mapping (no cache invalidation — policy's job).
+    /// Unmaps a 2 MB huge mapping from domain 0.
     pub fn unmap_huge(&mut self, iova: Iova) -> Result<(), PtError> {
-        self.pt.unmap_huge(iova)
+        self.unmap_huge_in(0, iova)
     }
 
-    /// Unmaps `range` in a single operation (Linux reclamation rule applies;
-    /// see [`IoPageTable::unmap_range`]). Does *not* invalidate any caches —
-    /// that is the protection policy's job, which is the whole point of the
-    /// paper.
+    /// Unmaps a 2 MB huge mapping from domain `d` (no cache invalidation —
+    /// policy's job).
+    pub fn unmap_huge_in(&mut self, d: u16, iova: Iova) -> Result<(), PtError> {
+        self.pts[d as usize].unmap_huge(iova)
+    }
+
+    /// Unmaps `range` from domain 0 in a single operation.
     pub fn unmap_range(&mut self, range: IovaRange) -> Result<UnmapOutcome, PtError> {
-        self.pt.unmap_range(range)
+        self.unmap_range_in(0, range)
     }
 
-    /// Translates one device access, surfacing a failed translation as a
-    /// typed [`crate::fault::IommuFault::Translation`] (the DMAR-fault view
-    /// of [`Iommu::translate`]).
+    /// Unmaps `range` from domain `d` in a single operation (Linux
+    /// reclamation rule applies; see [`IoPageTable::unmap_range`]). Does
+    /// *not* invalidate any caches — that is the protection policy's job,
+    /// which is the whole point of the paper.
+    pub fn unmap_range_in(&mut self, d: u16, range: IovaRange) -> Result<UnmapOutcome, PtError> {
+        self.pts[d as usize].unmap_range(range)
+    }
+
+    /// Translates one domain-0 device access, surfacing a failed
+    /// translation as a typed fault.
     pub fn translate_checked(
         &mut self,
         iova: Iova,
     ) -> Result<(PhysAddr, u32), crate::fault::IommuFault> {
-        match self.translate(iova) {
+        self.translate_checked_in(0, iova)
+    }
+
+    /// Translates one device access issued by domain `d`, surfacing a
+    /// failed translation as a typed
+    /// [`crate::fault::IommuFault::Translation`] (the DMAR-fault view of
+    /// [`Iommu::translate_in`]).
+    pub fn translate_checked_in(
+        &mut self,
+        d: u16,
+        iova: Iova,
+    ) -> Result<(PhysAddr, u32), crate::fault::IommuFault> {
+        match self.translate_in(d, iova) {
             Translation::Ok { pa, reads, .. } => Ok((pa, reads)),
             Translation::Fault { reads } => {
                 Err(crate::fault::IommuFault::Translation { iova, reads })
@@ -231,17 +319,27 @@ impl Iommu {
         }
     }
 
-    /// Translates one device access. This is the hot path: IOTLB, then the
-    /// page-structure caches, then (partial) page-table walk.
+    /// Translates one domain-0 device access.
     pub fn translate(&mut self, iova: Iova) -> Translation {
+        self.translate_in(0, iova)
+    }
+
+    /// Translates one device access issued by domain `d`. This is the hot
+    /// path: IOTLB, then the page-structure caches, then (partial)
+    /// page-table walk — every lookup keyed by the issuing domain's tag.
+    pub fn translate_in(&mut self, d: u16, iova: Iova) -> Translation {
         self.stats.translations += 1;
+        let di = d as usize;
+        self.dstats[di].translations += 1;
         let pfn = iova.pfn();
-        if let Some(e) = self.iotlb.get(pfn) {
+        if let Some(e) = self.iotlb.get(dk(d, pfn)) {
             self.stats.iotlb_hits += 1;
-            if self.config.verify_safety && !self.leaf_entry_current(e, iova) {
+            self.dstats[di].iotlb_hits += 1;
+            if self.config.verify_safety && !self.leaf_entry_current(di, e, iova) {
                 // The device reached memory through a stale translation —
                 // exactly what the strict safety property forbids.
                 self.stats.stale_iotlb_hits += 1;
+                self.dstats[di].stale_iotlb_hits += 1;
             }
             return Translation::Ok {
                 pa: e.pa,
@@ -249,11 +347,13 @@ impl Iommu {
                 iotlb_hit: true,
             };
         }
-        if let Some(e) = self.iotlb_huge.get(iova.l4_page_key()) {
+        if let Some(e) = self.iotlb_huge.get(dk(d, iova.l4_page_key())) {
             self.stats.iotlb_hits += 1;
+            self.dstats[di].iotlb_hits += 1;
             let pa = e.base.add((iova.pfn() % L4_SPAN_PFNS) << 12);
-            if self.config.verify_safety && !self.huge_entry_current(e, iova, pa) {
+            if self.config.verify_safety && !self.huge_entry_current(di, e, iova, pa) {
                 self.stats.stale_iotlb_hits += 1;
+                self.dstats[di].stale_iotlb_hits += 1;
             }
             return Translation::Ok {
                 pa,
@@ -262,22 +362,26 @@ impl Iommu {
             };
         }
         self.stats.iotlb_misses += 1;
-        self.walk(iova)
+        let t = self.walk(d, iova);
+        if matches!(t, Translation::Fault { .. }) {
+            self.dstats[di].faults += 1;
+        }
+        t
     }
 
-    /// Safety-monitor check for a 4 KB IOTLB hit: does the page table still
-    /// agree with the cached translation? The entry carries the PT-L4 ref
-    /// the walker read it from, so the common case is one generation check
-    /// plus one leaf-slot read — equivalent to a full root walk, because a
-    /// live ref is still attached at the same tree position (pages detach
-    /// only when reclaimed, which bumps the slot generation). Only a stale
-    /// ref (the page was reclaimed, and possibly a new PT-L4 page now
-    /// serves the region) needs the full `lookup`.
-    fn leaf_entry_current(&self, e: TlbEntry, iova: Iova) -> bool {
-        match self.pt.read_via(e.l4, iova) {
+    /// Safety-monitor check for a 4 KB IOTLB hit: does the issuing domain's
+    /// page table still agree with the cached translation? The entry
+    /// carries the PT-L4 ref the walker read it from, so the common case is
+    /// one generation check plus one leaf-slot read — equivalent to a full
+    /// root walk, because a live ref is still attached at the same tree
+    /// position (pages detach only when reclaimed, which bumps the slot
+    /// generation). Only a stale ref (the page was reclaimed, and possibly
+    /// a new PT-L4 page now serves the region) needs the full `lookup`.
+    fn leaf_entry_current(&self, di: usize, e: TlbEntry, iova: Iova) -> bool {
+        match self.pts[di].read_via(e.l4, iova) {
             Ok(Some(PtEntryView::Leaf(cur))) => cur == e.pa,
             Ok(_) => false,
-            Err(_) => self.pt.lookup(iova) == Some(e.pa),
+            Err(_) => self.pts[di].lookup(iova) == Some(e.pa),
         }
     }
 
@@ -285,18 +389,25 @@ impl Iommu {
     /// outcome other than a live huge leaf (the region was re-split into
     /// 4 KB mappings, unmapped, or the PT-L3 page reclaimed) falls back to
     /// the full lookup — those transitions are rare by construction.
-    fn huge_entry_current(&self, e: HugeTlbEntry, iova: Iova, pa: PhysAddr) -> bool {
-        match self.pt.read_via(e.l3, iova) {
+    fn huge_entry_current(&self, di: usize, e: HugeTlbEntry, iova: Iova, pa: PhysAddr) -> bool {
+        match self.pts[di].read_via(e.l3, iova) {
             Ok(Some(PtEntryView::HugeLeaf(cur))) => cur == e.base,
-            _ => self.pt.lookup(iova) == Some(pa),
+            _ => self.pts[di].lookup(iova) == Some(pa),
         }
     }
 
     /// Completes a huge-page walk: refill the huge IOTLB and return the
     /// 4 KB-granularity translation.
-    fn finish_huge(&mut self, iova: Iova, base: PhysAddr, l3: PageRef, reads: u32) -> Translation {
+    fn finish_huge(
+        &mut self,
+        d: u16,
+        iova: Iova,
+        base: PhysAddr,
+        l3: PageRef,
+        reads: u32,
+    ) -> Translation {
         self.iotlb_huge
-            .insert(iova.l4_page_key(), HugeTlbEntry { base, l3 });
+            .insert(dk(d, iova.l4_page_key()), HugeTlbEntry { base, l3 });
         self.stats.memory_reads += reads as u64;
         Translation::Ok {
             pa: base.add((iova.pfn() % L4_SPAN_PFNS) << 12),
@@ -306,13 +417,14 @@ impl Iommu {
     }
 
     /// Page-table walk after an IOTLB miss, using the deepest live
-    /// page-structure cache hit.
-    fn walk(&mut self, iova: Iova) -> Translation {
+    /// page-structure cache hit tagged for the issuing domain.
+    fn walk(&mut self, d: u16, iova: Iova) -> Translation {
+        let di = d as usize;
         // PTcache-L3: directly locates the PT-L4 leaf page (1 read).
-        if let Some(l4) = self.ptc_l3.get(iova.l4_page_key()) {
-            match self.pt.read_via(l4, iova) {
+        if let Some(l4) = self.ptc_l3.get(dk(d, iova.l4_page_key())) {
+            match self.pts[di].read_via(l4, iova) {
                 Ok(Some(PtEntryView::Leaf(pa))) => {
-                    self.iotlb.insert(iova.pfn(), TlbEntry { pa, l4 });
+                    self.iotlb.insert(dk(d, iova.pfn()), TlbEntry { pa, l4 });
                     self.stats.memory_reads += 1;
                     return Translation::Ok {
                         pa,
@@ -334,19 +446,19 @@ impl Iommu {
                     // violation, drop the poisoned entry, and continue with
                     // a deeper lookup so the simulation stays deterministic.
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l3.remove(iova.l4_page_key());
+                    self.ptc_l3.remove(dk(d, iova.l4_page_key()));
                 }
             }
         }
         self.stats.ptcache_l3_misses += 1;
         // PTcache-L2: locates the PT-L3 page (2 reads: L3 entry + L4 entry).
-        if let Some(l3) = self.ptc_l2.get(iova.l3_page_key()) {
-            match self.pt.read_via(l3, iova) {
+        if let Some(l3) = self.ptc_l2.get(dk(d, iova.l3_page_key())) {
+            match self.pts[di].read_via(l3, iova) {
                 Ok(Some(PtEntryView::Child(l4))) => {
-                    return self.finish_from_l4(iova, l4, 2);
+                    return self.finish_from_l4(d, iova, l4, 2);
                 }
                 Ok(Some(PtEntryView::HugeLeaf(base))) => {
-                    return self.finish_huge(iova, base, l3, 1);
+                    return self.finish_huge(d, iova, base, l3, 1);
                 }
                 Ok(Some(PtEntryView::Leaf(_))) => unreachable!("L3 page holds children"),
                 Ok(None) => {
@@ -356,22 +468,22 @@ impl Iommu {
                 }
                 Err(_) => {
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l2.remove(iova.l3_page_key());
+                    self.ptc_l2.remove(dk(d, iova.l3_page_key()));
                 }
             }
         }
         self.stats.ptcache_l2_misses += 1;
         // PTcache-L1: locates the PT-L2 page (3 reads).
-        if let Some(l2) = self.ptc_l1.get(iova.l2_page_key()) {
-            match self.pt.read_via(l2, iova) {
-                Ok(Some(PtEntryView::Child(l3))) => match self.pt.read_via(l3, iova) {
+        if let Some(l2) = self.ptc_l1.get(dk(d, iova.l2_page_key())) {
+            match self.pts[di].read_via(l2, iova) {
+                Ok(Some(PtEntryView::Child(l3))) => match self.pts[di].read_via(l3, iova) {
                     Ok(Some(PtEntryView::Child(l4))) => {
-                        self.ptc_l2.insert(iova.l3_page_key(), l3);
-                        return self.finish_from_l4(iova, l4, 3);
+                        self.ptc_l2.insert(dk(d, iova.l3_page_key()), l3);
+                        return self.finish_from_l4(d, iova, l4, 3);
                     }
                     Ok(Some(PtEntryView::HugeLeaf(base))) => {
-                        self.ptc_l2.insert(iova.l3_page_key(), l3);
-                        return self.finish_huge(iova, base, l3, 2);
+                        self.ptc_l2.insert(dk(d, iova.l3_page_key()), l3);
+                        return self.finish_huge(d, iova, base, l3, 2);
                     }
                     Ok(None) => {
                         self.stats.memory_reads += 2;
@@ -390,19 +502,19 @@ impl Iommu {
                 }
                 Err(_) => {
                     self.stats.stale_ptcache_walks += 1;
-                    self.ptc_l1.remove(iova.l2_page_key());
+                    self.ptc_l1.remove(dk(d, iova.l2_page_key()));
                 }
             }
         }
         self.stats.ptcache_l1_misses += 1;
         // Full walk from the root (4 reads for 4 KB pages, 3 for huge).
-        match self.pt.walk(iova) {
+        match self.pts[di].walk(iova) {
             Some(WalkResult::Page(path)) => {
-                self.ptc_l1.insert(iova.l2_page_key(), path.l2);
-                self.ptc_l2.insert(iova.l3_page_key(), path.l3);
-                self.ptc_l3.insert(iova.l4_page_key(), path.l4);
+                self.ptc_l1.insert(dk(d, iova.l2_page_key()), path.l2);
+                self.ptc_l2.insert(dk(d, iova.l3_page_key()), path.l3);
+                self.ptc_l3.insert(dk(d, iova.l4_page_key()), path.l4);
                 self.iotlb.insert(
-                    iova.pfn(),
+                    dk(d, iova.pfn()),
                     TlbEntry {
                         pa: path.pa,
                         l4: path.l4,
@@ -416,9 +528,9 @@ impl Iommu {
                 }
             }
             Some(WalkResult::Huge { l2, l3, pa_base }) => {
-                self.ptc_l1.insert(iova.l2_page_key(), l2);
-                self.ptc_l2.insert(iova.l3_page_key(), l3);
-                self.finish_huge(iova, pa_base, l3, 3)
+                self.ptc_l1.insert(dk(d, iova.l2_page_key()), l2);
+                self.ptc_l2.insert(dk(d, iova.l3_page_key()), l3);
+                self.finish_huge(d, iova, pa_base, l3, 3)
             }
             None => {
                 // The walk reads entries until it finds the absent one; the
@@ -432,12 +544,12 @@ impl Iommu {
     }
 
     /// Completes a walk from a known-live PT-L4 ref, refilling PTcache-L3
-    /// and the IOTLB.
-    fn finish_from_l4(&mut self, iova: Iova, l4: PageRef, reads: u32) -> Translation {
-        match self.pt.read_via(l4, iova) {
+    /// and the IOTLB under the issuing domain's tag.
+    fn finish_from_l4(&mut self, d: u16, iova: Iova, l4: PageRef, reads: u32) -> Translation {
+        match self.pts[d as usize].read_via(l4, iova) {
             Ok(Some(PtEntryView::Leaf(pa))) => {
-                self.ptc_l3.insert(iova.l4_page_key(), l4);
-                self.iotlb.insert(iova.pfn(), TlbEntry { pa, l4 });
+                self.ptc_l3.insert(dk(d, iova.l4_page_key()), l4);
+                self.iotlb.insert(dk(d, iova.pfn()), TlbEntry { pa, l4 });
                 self.stats.memory_reads += reads as u64;
                 Translation::Ok {
                     pa,
@@ -454,11 +566,19 @@ impl Iommu {
         }
     }
 
-    /// Executes one invalidation over `range`: always removes the covered
-    /// IOTLB entries, then wipes page-structure cache entries per `scope`.
+    /// Executes one invalidation over `range` in domain 0.
     pub fn invalidate_range(&mut self, range: IovaRange, scope: InvalidationScope) {
+        self.invalidate_range_in(0, range, scope);
+    }
+
+    /// Executes one invalidation over `range` scoped to domain `d`: always
+    /// removes the covered IOTLB entries carrying `d`'s tag, then wipes
+    /// page-structure cache entries per `scope`. Other domains' entries —
+    /// even for the same IOVAs — are untouched, as on real hardware where
+    /// the invalidation descriptor names a single domain.
+    pub fn invalidate_range_in(&mut self, d: u16, range: IovaRange, scope: InvalidationScope) {
         for iova in range.iter_pages() {
-            if self.iotlb.remove(iova.pfn()).is_some() {
+            if self.iotlb.remove(dk(d, iova.pfn())).is_some() {
                 self.stats.iotlb_invalidations += 1;
             }
         }
@@ -466,31 +586,36 @@ impl Iommu {
             let lo = range.base().l4_page_key();
             let hi = range.page(range.pages() - 1).l4_page_key();
             for key in lo..=hi {
-                if self.iotlb_huge.remove(key).is_some() {
+                if self.iotlb_huge.remove(dk(d, key)).is_some() {
                     self.stats.iotlb_invalidations += 1;
                 }
             }
         }
         match scope {
             InvalidationScope::IotlbOnly => {}
-            InvalidationScope::IotlbAndLeafPtcache => self.invalidate_ptcache_leaf(range),
+            InvalidationScope::IotlbAndLeafPtcache => self.invalidate_ptcache_leaf_in(d, range),
             InvalidationScope::IotlbAndFullPtcache => {
-                self.invalidate_ptcache_leaf(range);
-                self.invalidate_ptcache_upper(range);
+                self.invalidate_ptcache_leaf_in(d, range);
+                self.invalidate_ptcache_upper_in(d, range);
             }
         }
     }
 
-    /// Wipes leaf-level (PTcache-L3) entries overlapping `range`, plus any
-    /// upper-level entry whose *entire span* lies inside the range (required
-    /// for safety when a large unmap reclaims intermediate pages). Exposed
-    /// separately so the datapath can model wipes retiring concurrently with
-    /// ongoing walks.
+    /// Domain-0 wrapper for [`Iommu::invalidate_ptcache_leaf_in`].
     pub fn invalidate_ptcache_leaf(&mut self, range: IovaRange) {
+        self.invalidate_ptcache_leaf_in(0, range);
+    }
+
+    /// Wipes leaf-level (PTcache-L3) entries of domain `d` overlapping
+    /// `range`, plus any upper-level entry whose *entire span* lies inside
+    /// the range (required for safety when a large unmap reclaims
+    /// intermediate pages). Exposed separately so the datapath can model
+    /// wipes retiring concurrently with ongoing walks.
+    pub fn invalidate_ptcache_leaf_in(&mut self, d: u16, range: IovaRange) {
         let lo = range.base();
         let hi = range.page(range.pages() - 1);
         for key in lo.l4_page_key()..=hi.l4_page_key() {
-            if self.ptc_l3.remove(key).is_some() {
+            if self.ptc_l3.remove(dk(d, key)).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
@@ -501,7 +626,7 @@ impl Iommu {
             let first = range.pfn_lo().div_ceil(crate::pagetable::L3_SPAN_PFNS);
             let mut region = first;
             while (region + 1) * crate::pagetable::L3_SPAN_PFNS - 1 <= range.pfn_hi() {
-                if self.ptc_l2.remove(region).is_some() {
+                if self.ptc_l2.remove(dk(d, region)).is_some() {
                     self.stats.ptcache_invalidations += 1;
                 }
                 region += 1;
@@ -511,7 +636,7 @@ impl Iommu {
             let first = range.pfn_lo().div_ceil(crate::pagetable::L2_SPAN_PFNS);
             let mut region = first;
             while (region + 1) * crate::pagetable::L2_SPAN_PFNS - 1 <= range.pfn_hi() {
-                if self.ptc_l1.remove(region).is_some() {
+                if self.ptc_l1.remove(dk(d, region)).is_some() {
                     self.stats.ptcache_invalidations += 1;
                 }
                 region += 1;
@@ -519,26 +644,32 @@ impl Iommu {
         }
     }
 
-    /// Wipes the upper-level (PTcache-L1/L2) entries covering `range` — the
-    /// collateral damage the paper attributes to Tx-path invalidations.
+    /// Domain-0 wrapper for [`Iommu::invalidate_ptcache_upper_in`].
     pub fn invalidate_ptcache_upper(&mut self, range: IovaRange) {
+        self.invalidate_ptcache_upper_in(0, range);
+    }
+
+    /// Wipes the upper-level (PTcache-L1/L2) entries of domain `d` covering
+    /// `range` — the collateral damage the paper attributes to Tx-path
+    /// invalidations.
+    pub fn invalidate_ptcache_upper_in(&mut self, d: u16, range: IovaRange) {
         let lo = range.base();
         let hi = range.page(range.pages() - 1);
         for key in lo.l3_page_key()..=hi.l3_page_key() {
-            if self.ptc_l2.remove(key).is_some() {
+            if self.ptc_l2.remove(dk(d, key)).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
         for key in lo.l2_page_key()..=hi.l2_page_key() {
-            if self.ptc_l1.remove(key).is_some() {
+            if self.ptc_l1.remove(dk(d, key)).is_some() {
                 self.stats.ptcache_invalidations += 1;
             }
         }
     }
 
-    /// Global flush: empties the IOTLB and all page-structure caches (the
-    /// deferred/lazy mode's batched flush, and the nuclear option for
-    /// domain teardown).
+    /// Global flush: empties the IOTLB and all page-structure caches across
+    /// *every* domain (the deferred/lazy mode's batched flush, and the
+    /// nuclear option for domain teardown).
     pub fn invalidate_all(&mut self) {
         self.stats.iotlb_invalidations += (self.iotlb.len() + self.iotlb_huge.len()) as u64;
         self.iotlb_huge.clear();
@@ -550,15 +681,20 @@ impl Iommu {
         self.ptc_l3.clear();
     }
 
-    /// Invalidates exactly the PTcache entries made stale by reclaimed
-    /// page-table pages — the F&S rule that keeps PTcache preservation safe
-    /// in the rare reclamation case (§3).
+    /// Domain-0 wrapper for [`Iommu::invalidate_for_reclaimed_in`].
     pub fn invalidate_for_reclaimed(&mut self, reclaimed: &[ReclaimedPage]) {
+        self.invalidate_for_reclaimed_in(0, reclaimed);
+    }
+
+    /// Invalidates exactly the PTcache entries of domain `d` made stale by
+    /// reclaimed page-table pages — the F&S rule that keeps PTcache
+    /// preservation safe in the rare reclamation case (§3).
+    pub fn invalidate_for_reclaimed_in(&mut self, d: u16, reclaimed: &[ReclaimedPage]) {
         for r in reclaimed {
             let removed = match r.level {
-                4 => self.ptc_l3.remove(r.region_key).is_some(),
-                3 => self.ptc_l2.remove(r.region_key).is_some(),
-                2 => self.ptc_l1.remove(r.region_key).is_some(),
+                4 => self.ptc_l3.remove(dk(d, r.region_key)).is_some(),
+                3 => self.ptc_l2.remove(dk(d, r.region_key)).is_some(),
+                2 => self.ptc_l1.remove(dk(d, r.region_key)).is_some(),
                 _ => unreachable!("root is never reclaimed"),
             };
             if removed {
@@ -573,17 +709,17 @@ impl Iommu {
         self.stats.invalidation_queue_entries += n;
     }
 
-    /// Serializes the full IOMMU state for checkpointing: page table
+    /// Serializes the full IOMMU state for checkpointing: page tables
     /// (physically — cached [`PageRef`]s must keep resolving identically),
     /// both IOTLB arrays and the three PTcaches (logically, in recency
-    /// order), the hardware config, and counters.
+    /// order), the hardware config, and counters (global + per-domain).
     pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
         let pref = |w: &mut fns_snap::SnapWriter, v: &PageRef| {
             let (idx, generation) = v.parts();
             w.u32(idx);
             w.u32(generation);
         };
-        self.pt.snap(w);
+        self.pts[0].snap(w);
         self.iotlb.snap(w);
         let huge = |w: &mut fns_snap::SnapWriter, v: &HugeTlbEntry| {
             w.u64(v.base.as_u64());
@@ -621,6 +757,15 @@ impl Iommu {
         ] {
             w.u64(v);
         }
+        // Multi-domain extension rides after the legacy layout: domain
+        // count, then the page tables and counter slices of domains 1..N.
+        w.u64(self.pts.len() as u64);
+        for pt in &self.pts[1..] {
+            pt.snap(w);
+        }
+        for ds in &self.dstats {
+            ds.snap(w);
+        }
     }
 
     /// Rebuilds an IOMMU captured by [`Iommu::snap`].
@@ -630,7 +775,7 @@ impl Iommu {
             let generation = r.u32()?;
             Ok(PageRef::from_parts(idx, generation))
         };
-        let pt = IoPageTable::unsnap(r)?;
+        let pt0 = IoPageTable::unsnap(r)?;
         let iotlb = Iotlb::unsnap(r)?;
         let huge = |r: &mut fns_snap::SnapReader| {
             let base = PhysAddr::new(r.u64()?);
@@ -645,16 +790,14 @@ impl Iommu {
         let ptc_l1 = Lru64::unsnap_with(r, pref)?;
         let ptc_l2 = Lru64::unsnap_with(r, pref)?;
         let ptc_l3 = Lru64::unsnap_with(r, pref)?;
-        let config = IommuConfig {
-            iotlb_entries: r.usize()?,
-            iotlb_huge_entries: r.usize()?,
-            ptcache_l1_entries: r.usize()?,
-            ptcache_l2_entries: r.usize()?,
-            ptcache_l3_entries: r.usize()?,
-            iotlb_assoc: r.opt(|r| r.usize())?,
-            verify_safety: r.bool()?,
-            domain: r.u64()? as u16,
-        };
+        let iotlb_entries = r.usize()?;
+        let iotlb_huge_entries = r.usize()?;
+        let ptcache_l1_entries = r.usize()?;
+        let ptcache_l2_entries = r.usize()?;
+        let ptcache_l3_entries = r.usize()?;
+        let iotlb_assoc = r.opt(|r| r.usize())?;
+        let verify_safety = r.bool()?;
+        let domain = r.u64()? as u16;
         let stats = IommuStats {
             translations: r.u64()?,
             iotlb_hits: r.u64()?,
@@ -670,8 +813,29 @@ impl Iommu {
             ptcache_invalidations: r.u64()?,
             invalidation_queue_entries: r.u64()?,
         };
+        let domains = r.u64()? as usize;
+        let mut pts = Vec::with_capacity(domains);
+        pts.push(pt0);
+        for _ in 1..domains {
+            pts.push(IoPageTable::unsnap(r)?);
+        }
+        let mut dstats = Vec::with_capacity(domains);
+        for _ in 0..domains {
+            dstats.push(DomainStats::unsnap(r)?);
+        }
+        let config = IommuConfig {
+            iotlb_entries,
+            iotlb_huge_entries,
+            ptcache_l1_entries,
+            ptcache_l2_entries,
+            ptcache_l3_entries,
+            iotlb_assoc,
+            verify_safety,
+            domain,
+            domains: domains as u16,
+        };
         Ok(Self {
-            pt,
+            pts,
             iotlb,
             iotlb_huge,
             ptc_l1,
@@ -679,6 +843,7 @@ impl Iommu {
             ptc_l3,
             config,
             stats,
+            dstats,
         })
     }
 
@@ -916,5 +1081,119 @@ mod tests {
         assert_eq!(t.reads(), 2);
         assert_eq!(t.pa(), Some(pa(3)));
         assert_eq!(Translation::Fault { reads: 4 }.pa(), None);
+    }
+
+    fn mmu_domains(n: u16) -> Iommu {
+        Iommu::new(IommuConfig {
+            domains: n,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn domains_have_isolated_page_tables() {
+        let mut m = mmu_domains(2);
+        let i = iova(0x4242);
+        m.map_in(0, i, pa(10)).unwrap();
+        m.map_in(1, i, pa(20)).unwrap();
+        assert_eq!(m.translate_in(0, i).pa(), Some(pa(10)));
+        assert_eq!(m.translate_in(1, i).pa(), Some(pa(20)));
+        // The IOTLB now holds both tagged entries; each keeps serving its
+        // own domain's physical page.
+        assert_eq!(m.translate_in(0, i).pa(), Some(pa(10)));
+        assert_eq!(m.translate_in(1, i).pa(), Some(pa(20)));
+        assert_eq!(m.domain_stats()[0].translations, 2);
+        assert_eq!(m.domain_stats()[1].translations, 2);
+    }
+
+    #[test]
+    fn cached_entries_never_cross_domains() {
+        let mut m = mmu_domains(2);
+        let i = iova(0x6000);
+        m.map_in(0, i, pa(33)).unwrap();
+        m.translate_in(0, i); // fills domain 0's tagged IOTLB/PTcache entries
+        assert!(m.iotlb_contains_in(0, i));
+        assert!(!m.iotlb_contains_in(1, i));
+        // Domain 1 never mapped this IOVA: it must fault, not ride domain
+        // 0's cached walk.
+        assert!(matches!(m.translate_in(1, i), Translation::Fault { .. }));
+        assert_eq!(m.domain_stats()[1].faults, 1);
+        assert_eq!(m.domain_stats()[0].faults, 0);
+    }
+
+    #[test]
+    fn invalidation_is_domain_scoped() {
+        let mut m = mmu_domains(3);
+        let i = iova(0x8000);
+        for d in 0..3u16 {
+            m.map_in(d, i, pa(100 + d as u64)).unwrap();
+            m.translate_in(d, i);
+        }
+        // Scoped invalidation of domain 1 leaves 0 and 2 cached.
+        m.unmap_range_in(1, IovaRange::new(i, 1)).unwrap();
+        m.invalidate_range_in(
+            1,
+            IovaRange::new(i, 1),
+            InvalidationScope::IotlbAndFullPtcache,
+        );
+        assert!(m.iotlb_contains_in(0, i));
+        assert!(!m.iotlb_contains_in(1, i));
+        assert!(m.iotlb_contains_in(2, i));
+        assert!(matches!(m.translate_in(1, i), Translation::Fault { .. }));
+        assert_eq!(m.translate_in(0, i).pa(), Some(pa(100)));
+        assert_eq!(m.translate_in(2, i).pa(), Some(pa(102)));
+        assert_eq!(m.stats().stale_iotlb_hits, 0);
+    }
+
+    #[test]
+    fn skipping_scoped_invalidation_leaks_only_in_that_domain() {
+        let mut m = mmu_domains(2);
+        let i = iova(0x9000);
+        m.map_in(0, i, pa(7)).unwrap();
+        m.map_in(1, i, pa(8)).unwrap();
+        m.translate_in(0, i);
+        m.translate_in(1, i);
+        // Domain 1 unmaps but skips its invalidation: only *its* stale
+        // entry leaks; domain 0's translation stays legitimately valid.
+        m.unmap_range_in(1, IovaRange::new(i, 1)).unwrap();
+        let t = m.translate_in(1, i);
+        assert_eq!(t.pa(), Some(pa(8)), "stale tagged entry still serves");
+        assert_eq!(m.domain_stats()[1].stale_iotlb_hits, 1);
+        assert_eq!(m.domain_stats()[0].stale_iotlb_hits, 0);
+        assert_eq!(m.translate_in(0, i).pa(), Some(pa(7)));
+    }
+
+    #[test]
+    fn invalidate_all_flushes_every_domain() {
+        let mut m = mmu_domains(2);
+        let i = iova(0xA000);
+        m.map_in(0, i, pa(1)).unwrap();
+        m.map_in(1, i, pa(2)).unwrap();
+        m.translate_in(0, i);
+        m.translate_in(1, i);
+        m.invalidate_all();
+        assert!(!m.iotlb_contains_in(0, i));
+        assert!(!m.iotlb_contains_in(1, i));
+        assert_eq!(m.iotlb_len(), 0);
+    }
+
+    #[test]
+    fn multi_domain_state_snapshots_round_trip() {
+        let mut m = mmu_domains(2);
+        let i = iova(0xB000);
+        m.map_in(0, i, pa(5)).unwrap();
+        m.map_in(1, i, pa(6)).unwrap();
+        m.translate_in(0, i);
+        m.translate_in(1, i);
+        let mut w = fns_snap::SnapWriter::new();
+        m.snap(&mut w);
+        let bytes = w.finish();
+        let mut r = fns_snap::SnapReader::new(&bytes).unwrap();
+        let mut back = Iommu::unsnap(&mut r).unwrap();
+        assert_eq!(back.domains(), 2);
+        assert_eq!(back.domain_stats(), m.domain_stats());
+        // Restored tagged entries still translate per-domain.
+        assert_eq!(back.translate_in(0, i).pa(), Some(pa(5)));
+        assert_eq!(back.translate_in(1, i).pa(), Some(pa(6)));
     }
 }

@@ -33,4 +33,4 @@ pub use fault::{InvalidationReport, IommuFault, MAX_INVALIDATION_RETRIES};
 pub use invalidation::{InvalidationQueue, InvalidationRequest};
 pub use iommu::{InvalidationScope, Iommu, Translation};
 pub use pagetable::{IoPageTable, PtError, ReclaimedPage, UnmapOutcome};
-pub use stats::IommuStats;
+pub use stats::{DomainStats, IommuStats};

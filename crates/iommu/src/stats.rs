@@ -40,6 +40,55 @@ pub struct IommuStats {
     pub invalidation_queue_entries: u64,
 }
 
+/// Per-protection-domain slice of the translation counters. Multi-device
+/// topologies key one of these per domain so tenant-level pressure (and
+/// tenant-level stale hits — the isolation signal) stays attributable
+/// after the shared-unit counters aggregate everything together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Address translations issued by this domain's device(s).
+    pub translations: u64,
+    /// IOTLB hits (4 KB or huge) on this domain's tagged entries.
+    pub iotlb_hits: u64,
+    /// Stale IOTLB hits charged to this domain — in a correctly scoped
+    /// system a domain's staleness is its own; a nonzero count here paired
+    /// with a `CrossDomainIsolation` violation means the staleness crossed
+    /// a tenant boundary.
+    pub stale_iotlb_hits: u64,
+    /// Translation faults taken by this domain's device(s).
+    pub faults: u64,
+}
+
+impl DomainStats {
+    /// Difference of two snapshots (`self` after, `earlier` before).
+    pub fn delta(&self, earlier: &DomainStats) -> DomainStats {
+        DomainStats {
+            translations: self.translations - earlier.translations,
+            iotlb_hits: self.iotlb_hits - earlier.iotlb_hits,
+            stale_iotlb_hits: self.stale_iotlb_hits - earlier.stale_iotlb_hits,
+            faults: self.faults - earlier.faults,
+        }
+    }
+
+    /// Serializes the counters in declaration order for checkpointing.
+    pub fn snap(&self, w: &mut fns_snap::SnapWriter) {
+        w.u64(self.translations);
+        w.u64(self.iotlb_hits);
+        w.u64(self.stale_iotlb_hits);
+        w.u64(self.faults);
+    }
+
+    /// Rebuilds counters captured by [`DomainStats::snap`].
+    pub fn unsnap(r: &mut fns_snap::SnapReader) -> Result<Self, fns_snap::SnapError> {
+        Ok(Self {
+            translations: r.u64()?,
+            iotlb_hits: r.u64()?,
+            stale_iotlb_hits: r.u64()?,
+            faults: r.u64()?,
+        })
+    }
+}
+
 impl IommuStats {
     /// Average memory reads per translation.
     pub fn reads_per_translation(&self) -> f64 {

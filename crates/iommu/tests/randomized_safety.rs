@@ -105,6 +105,7 @@ fn translate_matches_ground_truth() {
             iotlb_assoc: None,
             verify_safety: true,
             domain: 0,
+            domains: 1,
         });
         let base = 0xF_0000u64;
         let mut mapped = std::collections::HashMap::new();
@@ -174,6 +175,7 @@ fn read_accounting_identity() {
             iotlb_assoc: None,
             verify_safety: true,
             domain: 0,
+            domains: 1,
         });
         let base = 0x50_0000u64;
         let mut mapped = std::collections::HashSet::new();

@@ -46,6 +46,25 @@ pub struct Packet {
 /// Wire size of a pure ACK.
 pub const ACK_BYTES: u32 = 64;
 
+/// RSS indirection: spreads a flow over `queues` receive queues the way a
+/// NIC's Toeplitz hash spreads 5-tuples — a fixed avalanche mix of the flow
+/// id, reduced modulo the queue count. Deterministic (the simulation relies
+/// on replaying the same spread) and well-distributed even for the small
+/// consecutive flow ids the generators hand out.
+pub fn rss_queue(flow: FlowId, queues: usize) -> usize {
+    if queues <= 1 {
+        return 0;
+    }
+    // SplitMix64 finalizer: full-period avalanche on 64 bits.
+    let mut h = u64::from(flow.0) ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % queues as u64) as usize
+}
+
 impl Packet {
     /// Creates a data packet.
     pub fn data(flow: FlowId, seq: u64, bytes: u32, sent_at: Nanos) -> Self {

@@ -181,6 +181,27 @@ impl DctcpSender {
         !self.unbounded && self.snd_una == self.app_limit
     }
 
+    /// Restarts the connection for churn workloads: congestion state resets
+    /// to a fresh connection (initial cwnd, slow start, cleared DCTCP alpha
+    /// and recovery state, initial RTT guess) while the byte stream
+    /// continues where it left off. Keeping `snd_una`/`snd_nxt` means the
+    /// receiver's cumulative-ACK state stays valid across the restart, so
+    /// the sim models a new connection's *congestion* behaviour — the part
+    /// that stresses mapping churn — without re-plumbing per-flow tables.
+    pub fn restart_connection(&mut self) {
+        self.cwnd = self.cfg.mss as u64 * self.cfg.init_cwnd_segments as u64;
+        self.ssthresh = u64::MAX;
+        self.alpha = 0.0;
+        self.window_marked = 0;
+        self.window_acked = 0;
+        self.window_end = self.snd_nxt;
+        self.last_cut_window_end = self.snd_una;
+        self.dup_acks = 0;
+        self.recovery_high = None;
+        self.srtt = 50_000;
+        self.rto_backoff = 0;
+    }
+
     /// Emits the next data packet if the window and app data allow.
     pub fn next_packet(&mut self, now: Nanos) -> Option<Packet> {
         let limit = if self.unbounded {

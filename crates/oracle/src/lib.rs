@@ -18,6 +18,10 @@
 //!    covered by an IOTLB invalidation before the next device access, with
 //!    batched range invalidations credited correctly; deferred mode gets a
 //!    documented bounded backlog instead.
+//! 4. **Cross-domain isolation** — in multi-device topologies every audited
+//!    translation resolves to a frame owned by the issuing device's
+//!    protection domain; a stale IOTLB hit that crosses a tenant boundary
+//!    is a violation even inside a deferred window.
 //!
 //! The model is naive on purpose: plain `BTreeMap`/`BTreeSet` bookkeeping,
 //! no caching tricks, no shared code with the production-path crates it
@@ -39,6 +43,26 @@ use fns_trace::{TraceData, TraceHandle};
 
 /// Pages spanned by one leaf (L4) page-table page / huge mapping.
 const L4_SPAN_PFNS: u64 = 512;
+
+/// Bit position where the protection-domain tag rides in shadow-model keys
+/// (IOVAs are 48-bit, so every pfn/region key fits below it).
+const DOMAIN_SHIFT: u32 = 48;
+
+/// Tags a pfn/region key with its protection domain; domain 0 is the
+/// identity, so single-domain shadow state matches the legacy keying.
+fn dkey(d: u16, key: u64) -> u64 {
+    key | (d as u64) << DOMAIN_SHIFT
+}
+
+/// The pfn/region-key half of a tagged shadow key.
+fn key_pfn(k: u64) -> u64 {
+    k & ((1u64 << DOMAIN_SHIFT) - 1)
+}
+
+/// The domain half of a tagged shadow key.
+fn key_domain(k: u64) -> u16 {
+    (k >> DOMAIN_SHIFT) as u16
+}
 
 /// Cap on retained violation samples; counters keep exact totals beyond it.
 const SAMPLE_CAP: usize = 64;
@@ -94,6 +118,13 @@ pub struct ModeContract {
     /// Claims every unmap is covered by an invalidation before the next
     /// device access.
     pub invalidation_completeness: bool,
+    /// Claims cross-domain isolation: every audited translation resolves to
+    /// a frame owned by the issuing device's protection domain. Unlike the
+    /// other claims this one has *no* deferred exception — a stale IOTLB
+    /// hit that crosses a tenant boundary is a violation even inside the
+    /// documented deferred window, because the window only excuses reuse
+    /// within the tenant that deferred the invalidation.
+    pub domain_isolation: bool,
     /// Deferred mode's documented exception: the invalidation backlog may
     /// grow to this many pages before a full flush must have happened.
     pub deferred_window: Option<u64>,
@@ -108,6 +139,7 @@ impl ModeContract {
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: false,
             deferred_window: None,
         }
     }
@@ -132,16 +164,22 @@ pub enum Invariant {
     /// IOVA allocator discipline: overlapping allocations or frees of
     /// ranges the model does not hold live.
     IovaDiscipline,
+    /// A translation issued by one protection domain resolved to a frame
+    /// owned by another domain — a tenant read or wrote another tenant's
+    /// memory. Checked even inside deferred windows: staleness never
+    /// excuses crossing a domain boundary.
+    CrossDomainIsolation,
 }
 
 impl Invariant {
     /// Every invariant, in `index()` order.
-    pub const ALL: [Invariant; 5] = [
+    pub const ALL: [Invariant; 6] = [
         Invariant::StrictSafety,
         Invariant::MappingIntegrity,
         Invariant::InvalidationCompleteness,
         Invariant::PtcacheCoherence,
         Invariant::IovaDiscipline,
+        Invariant::CrossDomainIsolation,
     ];
 
     /// Stable dense index for counters and trace records.
@@ -152,6 +190,7 @@ impl Invariant {
             Invariant::InvalidationCompleteness => 2,
             Invariant::PtcacheCoherence => 3,
             Invariant::IovaDiscipline => 4,
+            Invariant::CrossDomainIsolation => 5,
         }
     }
 
@@ -163,6 +202,7 @@ impl Invariant {
             Invariant::InvalidationCompleteness => "invalidation-completeness",
             Invariant::PtcacheCoherence => "ptcache-coherence",
             Invariant::IovaDiscipline => "iova-discipline",
+            Invariant::CrossDomainIsolation => "cross-domain-isolation",
         }
     }
 
@@ -207,7 +247,7 @@ pub struct AuditReport {
     /// Total violations across all invariants.
     pub violations: u64,
     /// Per-invariant totals, indexed by [`Invariant::index`].
-    pub by_invariant: [u64; 5],
+    pub by_invariant: [u64; 6],
     /// Invalidation-queue epochs queued / applied over the run.
     pub epochs_queued: u64,
     /// See [`AuditReport::epochs_queued`].
@@ -275,31 +315,35 @@ pub trait SafetyAuditor {
     fn on_alloc(&mut self, range: IovaRange);
     /// An IOVA range returned to the allocator.
     fn on_free(&mut self, range: IovaRange);
-    /// A 4K page was mapped at `pa`.
-    fn on_map(&mut self, iova: Iova, pa: PhysAddr);
-    /// A 2MB-aligned 512-page span was mapped starting at `pa_base`.
-    fn on_map_huge(&mut self, base: Iova, pa_base: PhysAddr);
-    /// A range was unmapped by the datapath (device may still race it).
-    fn on_unmap(&mut self, range: IovaRange);
-    /// A range was unmapped during error unwind, before any device access
-    /// could have observed it.
-    fn on_unwound(&mut self, range: IovaRange);
-    /// A synchronous IOTLB invalidation covered `range`.
-    fn on_invalidate(&mut self, range: IovaRange);
-    /// A global invalidation (IOTLB + PTcaches) completed.
+    /// Domain `d` mapped a 4K page at `pa`.
+    fn on_map(&mut self, d: u16, iova: Iova, pa: PhysAddr);
+    /// Domain `d` mapped a 2MB-aligned 512-page span starting at `pa_base`.
+    fn on_map_huge(&mut self, d: u16, base: Iova, pa_base: PhysAddr);
+    /// A range was unmapped from domain `d` by the datapath (device may
+    /// still race it).
+    fn on_unmap(&mut self, d: u16, range: IovaRange);
+    /// A range was unmapped from domain `d` during error unwind, before
+    /// any device access could have observed it.
+    fn on_unwound(&mut self, d: u16, range: IovaRange);
+    /// A synchronous IOTLB invalidation scoped to domain `d` covered
+    /// `range`.
+    fn on_invalidate(&mut self, d: u16, range: IovaRange);
+    /// A global invalidation (IOTLB + PTcaches, every domain) completed.
     fn on_invalidate_all(&mut self);
-    /// Unmapping reclaimed these page-table pages.
-    fn on_pt_reclaimed(&mut self, reclaimed: &[ReclaimedPage]);
-    /// The PTcache fixup for these reclaimed PT pages completed.
-    fn on_reclaim_fixup(&mut self, reclaimed: &[ReclaimedPage]);
+    /// Unmapping reclaimed these page-table pages of domain `d`.
+    fn on_pt_reclaimed(&mut self, d: u16, reclaimed: &[ReclaimedPage]);
+    /// The PTcache fixup for these reclaimed PT pages of domain `d`
+    /// completed.
+    fn on_reclaim_fixup(&mut self, d: u16, reclaimed: &[ReclaimedPage]);
     /// A PTcache-wipe epoch was queued on the invalidation queue.
     fn on_wipe_queued(&mut self);
-    /// A queued PTcache-wipe epoch was applied.
+    /// A queued PTcache-wipe epoch was applied (each request names its
+    /// domain).
     fn on_wipe_applied(&mut self, epoch: &[InvalidationRequest]);
-    /// A device-side translation of `iova` completed; `pa` is its outcome
-    /// and `stale_walks` how many reclaimed PT pages the real walk
-    /// consulted while serving it (ground truth from the IOMMU model).
-    fn on_translate(&mut self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64);
+    /// A device in domain `d` translated `iova`; `pa` is the outcome and
+    /// `stale_walks` how many reclaimed PT pages the real walk consulted
+    /// while serving it (ground truth from the IOMMU model).
+    fn on_translate(&mut self, d: u16, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64);
 }
 
 /// The naive reference model. See the crate docs for the invariants.
@@ -307,27 +351,38 @@ pub trait SafetyAuditor {
 pub struct SafetyOracle {
     contract: ModeContract,
     fatal: bool,
-    /// Per-page lifecycle, keyed by IOVA pfn. Pages absent were never mapped.
+    /// Per-page lifecycle, keyed by domain-tagged IOVA pfn ([`dkey`]).
+    /// Pages absent were never mapped in that domain.
     pages: HashMap<u64, PageState>,
-    /// Unmapped pages whose covering IOTLB invalidation has not happened.
+    /// Unmapped pages whose covering IOTLB invalidation has not happened
+    /// (domain-tagged pfns).
     pending_inval: BTreeSet<u64>,
     /// Reclaimed PT pages whose PTcache fixup has not happened, as
-    /// `(level, region_key)`.
+    /// `(level, domain-tagged region_key)`.
     pending_reclaim: BTreeSet<(u8, u64)>,
-    /// Live IOVA allocations: base pfn → page count.
+    /// Live IOVA allocations: base pfn → page count. The allocator is
+    /// shared across domains, so these keys are untagged.
     live_iova: BTreeMap<u64, u64>,
-    /// Pfns that may be cached in the real 4K IOTLB.
+    /// Domain-tagged pfns that may be cached in the real 4K IOTLB.
     shadow_iotlb: BTreeSet<u64>,
-    /// L4 keys that may be cached in the real huge-entry IOTLB.
+    /// Domain-tagged L4 keys that may be cached in the real huge-entry
+    /// IOTLB.
     shadow_iotlb_huge: BTreeSet<u64>,
-    /// Region keys possibly live in PTcache L3/L2/L1 (indexed 0/1/2 =
-    /// keys at L4/L3/L2 granularity, mirroring `ReclaimedPage::level`).
+    /// Domain-tagged region keys possibly live in PTcache L3/L2/L1
+    /// (indexed 0/1/2 = keys at L4/L3/L2 granularity, mirroring
+    /// `ReclaimedPage::level`).
     shadow_ptc: [BTreeSet<u64>; 3],
+    /// Which protection domain owns each physical frame: pa pfn → the
+    /// domain that mapped it most recently. Ownership is *not* cleared on
+    /// unmap — the latest map wins — so a stale translation that lands on
+    /// a frame after it moved to another tenant is caught as a
+    /// cross-domain leak rather than laundered by the unmap.
+    owners: HashMap<u64, u16>,
     epochs_queued: u64,
     epochs_applied: u64,
     checks: u64,
     ops: u64,
-    counts: [u64; 5],
+    counts: [u64; 6],
     samples: Vec<Violation>,
     trace: TraceHandle,
 }
@@ -345,11 +400,12 @@ impl SafetyOracle {
             shadow_iotlb: BTreeSet::new(),
             shadow_iotlb_huge: BTreeSet::new(),
             shadow_ptc: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+            owners: HashMap::new(),
             epochs_queued: 0,
             epochs_applied: 0,
             checks: 0,
             ops: 0,
-            counts: [0; 5],
+            counts: [0; 6],
             samples: Vec::new(),
             trace: TraceHandle::Off,
         }
@@ -413,20 +469,21 @@ impl SafetyOracle {
         }
     }
 
-    /// Mark one page invalidated: clear backlog and shadow entries, and
-    /// complete the `Unmapped{false} → Unmapped{true}` transition.
-    fn invalidate_pfn(&mut self, pfn: u64) {
-        self.pending_inval.remove(&pfn);
-        self.shadow_iotlb.remove(&pfn);
-        if let Some(PageState::Unmapped { invalidated }) = self.pages.get_mut(&pfn) {
+    /// Mark one page invalidated (key is domain-tagged): clear backlog and
+    /// shadow entries, and complete the `Unmapped{false} → Unmapped{true}`
+    /// transition.
+    fn invalidate_pfn(&mut self, key: u64) {
+        self.pending_inval.remove(&key);
+        self.shadow_iotlb.remove(&key);
+        if let Some(PageState::Unmapped { invalidated }) = self.pages.get_mut(&key) {
             *invalidated = true;
         }
     }
 
-    /// Remove huge-IOTLB shadow entries for every L4 span fully covered
-    /// by `range` (a huge entry is only credited as invalidated when the
-    /// whole 512-page span it maps was invalidated).
-    fn invalidate_covered_huge(&mut self, range: IovaRange) {
+    /// Remove huge-IOTLB shadow entries of domain `d` for every L4 span
+    /// fully covered by `range` (a huge entry is only credited as
+    /// invalidated when the whole 512-page span it maps was invalidated).
+    fn invalidate_covered_huge(&mut self, d: u16, range: IovaRange) {
         let lo = range.pfn_lo();
         let hi = range.pfn_hi();
         let mut key = range.base().l4_page_key();
@@ -434,26 +491,28 @@ impl SafetyOracle {
             key += 1;
         }
         while key * L4_SPAN_PFNS + (L4_SPAN_PFNS - 1) <= hi {
-            self.shadow_iotlb_huge.remove(&key);
+            self.shadow_iotlb_huge.remove(&dkey(d, key));
             key += 1;
         }
     }
 
-    /// Drop `pending_reclaim` entries (and PTcache shadows) for keys of
-    /// `level` whose region intersects `range`.
-    fn credit_reclaim_wipe(&mut self, level: u8, range: IovaRange) {
+    /// Drop `pending_reclaim` entries (and PTcache shadows) of domain `d`
+    /// for keys of `level` whose region intersects `range`. Domain tags
+    /// occupy the high bits of the key, so tagging both range endpoints
+    /// keeps the BTree range scan within one domain.
+    fn credit_reclaim_wipe(&mut self, level: u8, d: u16, range: IovaRange) {
         let (klo, khi) = match level {
             4 => (
-                range.base().l4_page_key(),
-                range.page(range.pages() - 1).l4_page_key(),
+                dkey(d, range.base().l4_page_key()),
+                dkey(d, range.page(range.pages() - 1).l4_page_key()),
             ),
             3 => (
-                range.base().l3_page_key(),
-                range.page(range.pages() - 1).l3_page_key(),
+                dkey(d, range.base().l3_page_key()),
+                dkey(d, range.page(range.pages() - 1).l3_page_key()),
             ),
             2 => (
-                range.base().l2_page_key(),
-                range.page(range.pages() - 1).l2_page_key(),
+                dkey(d, range.base().l2_page_key()),
+                dkey(d, range.page(range.pages() - 1).l2_page_key()),
             ),
             _ => return,
         };
@@ -481,6 +540,7 @@ impl SafetyOracle {
         w.bool(self.contract.strict_safety);
         w.bool(self.contract.ptcache_coherence);
         w.bool(self.contract.invalidation_completeness);
+        w.bool(self.contract.domain_isolation);
         w.opt(&self.contract.deferred_window, |w, &v| w.u64(v));
         w.bool(self.fatal);
         let mut pages: Vec<(u64, PageState)> = self.pages.iter().map(|(&k, &v)| (k, v)).collect();
@@ -542,6 +602,13 @@ impl SafetyOracle {
             w.u64(v.check);
             w.str(&v.detail);
         }
+        let mut owners: Vec<(u64, u16)> = self.owners.iter().map(|(&k, &v)| (k, v)).collect();
+        owners.sort_unstable_by_key(|&(k, _)| k);
+        w.seq(owners.len());
+        for (pfn, d) in owners {
+            w.u64(pfn);
+            w.u64(d as u64);
+        }
     }
 
     /// Rebuilds an oracle captured by [`SafetyOracle::snap`]. The trace
@@ -553,6 +620,7 @@ impl SafetyOracle {
             strict_safety: r.bool()?,
             ptcache_coherence: r.bool()?,
             invalidation_completeness: r.bool()?,
+            domain_isolation: r.bool()?,
             deferred_window: r.opt(|r| r.u64())?,
         };
         let fatal = r.bool()?;
@@ -609,7 +677,7 @@ impl SafetyOracle {
         let epochs_applied = r.u64()?;
         let checks = r.u64()?;
         let ops = r.u64()?;
-        let mut counts = [0u64; 5];
+        let mut counts = [0u64; 6];
         for c in &mut counts {
             *c = r.u64()?;
         }
@@ -628,6 +696,12 @@ impl SafetyOracle {
                 detail: r.str()?.to_string(),
             });
         }
+        let n = r.seq()?;
+        let mut owners = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let pfn = r.u64()?;
+            owners.insert(pfn, r.u64()? as u16);
+        }
         Ok(Self {
             contract,
             fatal,
@@ -638,6 +712,7 @@ impl SafetyOracle {
             shadow_iotlb,
             shadow_iotlb_huge,
             shadow_ptc,
+            owners,
             epochs_queued,
             epochs_applied,
             checks,
@@ -649,11 +724,12 @@ impl SafetyOracle {
     }
 
     /// Differential cross-check, called by the driver right after it
-    /// submits synchronous invalidations: no page of `range` may still
-    /// have a live entry in the real IOTLB.
-    pub fn crosscheck_invalidated(&mut self, iommu: &Iommu, range: IovaRange) {
+    /// submits synchronous invalidations for domain `d`: no page of
+    /// `range` may still have a live entry tagged with `d` in the real
+    /// IOTLB.
+    pub fn crosscheck_invalidated(&mut self, d: u16, iommu: &Iommu, range: IovaRange) {
         for iova in range.iter_pages() {
-            if iommu.iotlb_contains(iova) {
+            if iommu.iotlb_contains_in(d, iova) {
                 self.record(
                     Invariant::InvalidationCompleteness,
                     iova.pfn(),
@@ -715,38 +791,41 @@ impl SafetyAuditor for SafetyOracle {
         }
     }
 
-    fn on_map(&mut self, iova: Iova, pa: PhysAddr) {
+    fn on_map(&mut self, d: u16, iova: Iova, pa: PhysAddr) {
         self.ops += 1;
-        let pfn = iova.pfn();
+        let pk = dkey(d, iova.pfn());
         self.pages.insert(
-            pfn,
+            pk,
             PageState::Mapped {
                 pa_pfn: pa.pfn(),
                 huge: false,
             },
         );
+        self.owners.insert(pa.pfn(), d);
         // A remap launders any still-pending invalidation: the entry that
         // might be cached now translates to a *live* page again, so the
         // hazard the backlog tracked no longer exists for this pfn.
-        self.pending_inval.remove(&pfn);
+        self.pending_inval.remove(&pk);
     }
 
-    fn on_map_huge(&mut self, base: Iova, pa_base: PhysAddr) {
+    fn on_map_huge(&mut self, d: u16, base: Iova, pa_base: PhysAddr) {
         for i in 0..L4_SPAN_PFNS {
             self.ops += 1;
             let iova = base.add(i << 12);
+            let pk = dkey(d, iova.pfn());
             self.pages.insert(
-                iova.pfn(),
+                pk,
                 PageState::Mapped {
                     pa_pfn: pa_base.pfn() + i,
                     huge: true,
                 },
             );
-            self.pending_inval.remove(&iova.pfn());
+            self.owners.insert(pa_base.pfn() + i, d);
+            self.pending_inval.remove(&pk);
         }
     }
 
-    fn on_unmap(&mut self, range: IovaRange) {
+    fn on_unmap(&mut self, d: u16, range: IovaRange) {
         if !self.contract.unmaps && self.contract.translates {
             self.record(
                 Invariant::MappingIntegrity,
@@ -761,43 +840,45 @@ impl SafetyAuditor for SafetyOracle {
         for iova in range.iter_pages() {
             self.ops += 1;
             let pfn = iova.pfn();
+            let pk = dkey(d, pfn);
             match self
                 .pages
-                .insert(pfn, PageState::Unmapped { invalidated: false })
+                .insert(pk, PageState::Unmapped { invalidated: false })
             {
                 Some(PageState::Mapped { .. }) => {}
                 prior => self.record(
                     Invariant::MappingIntegrity,
                     pfn,
                     format!(
-                        "unmap of pfn {:#x} which the model holds as {:?}",
-                        pfn, prior
+                        "unmap of pfn {:#x} (domain {}) which the model holds as {:?}",
+                        pfn, d, prior
                     ),
                 ),
             }
-            self.pending_inval.insert(pfn);
+            self.pending_inval.insert(pk);
         }
     }
 
-    fn on_unwound(&mut self, range: IovaRange) {
+    fn on_unwound(&mut self, d: u16, range: IovaRange) {
         // Unwound pages were mapped and torn down inside one driver call;
         // no device access can have cached them, so they carry no pending
         // invalidation. Strict modes still invalidate defensively — model
         // that as already-invalidated either way.
         for iova in range.iter_pages() {
             self.ops += 1;
+            let pk = dkey(d, iova.pfn());
             self.pages
-                .insert(iova.pfn(), PageState::Unmapped { invalidated: true });
-            self.pending_inval.remove(&iova.pfn());
+                .insert(pk, PageState::Unmapped { invalidated: true });
+            self.pending_inval.remove(&pk);
         }
     }
 
-    fn on_invalidate(&mut self, range: IovaRange) {
+    fn on_invalidate(&mut self, d: u16, range: IovaRange) {
         self.ops += 1;
         for iova in range.iter_pages() {
-            self.invalidate_pfn(iova.pfn());
+            self.invalidate_pfn(dkey(d, iova.pfn()));
         }
-        self.invalidate_covered_huge(range);
+        self.invalidate_covered_huge(d, range);
     }
 
     fn on_invalidate_all(&mut self) {
@@ -816,19 +897,21 @@ impl SafetyAuditor for SafetyOracle {
         }
     }
 
-    fn on_pt_reclaimed(&mut self, reclaimed: &[ReclaimedPage]) {
+    fn on_pt_reclaimed(&mut self, d: u16, reclaimed: &[ReclaimedPage]) {
         for r in reclaimed {
             self.ops += 1;
-            self.pending_reclaim.insert((r.level, r.region_key));
+            self.pending_reclaim
+                .insert((r.level, dkey(d, r.region_key)));
         }
     }
 
-    fn on_reclaim_fixup(&mut self, reclaimed: &[ReclaimedPage]) {
+    fn on_reclaim_fixup(&mut self, d: u16, reclaimed: &[ReclaimedPage]) {
         for r in reclaimed {
             self.ops += 1;
-            self.pending_reclaim.remove(&(r.level, r.region_key));
+            self.pending_reclaim
+                .remove(&(r.level, dkey(d, r.region_key)));
             if (2..=4).contains(&r.level) {
-                self.shadow_ptc[(4 - r.level) as usize].remove(&r.region_key);
+                self.shadow_ptc[(4 - r.level) as usize].remove(&dkey(d, r.region_key));
             }
         }
     }
@@ -853,23 +936,24 @@ impl SafetyAuditor for SafetyOracle {
             match req.scope {
                 InvalidationScope::IotlbOnly => {}
                 InvalidationScope::IotlbAndLeafPtcache => {
-                    self.credit_reclaim_wipe(4, req.range);
+                    self.credit_reclaim_wipe(4, req.domain, req.range);
                 }
                 InvalidationScope::IotlbAndFullPtcache => {
-                    self.credit_reclaim_wipe(4, req.range);
-                    self.credit_reclaim_wipe(3, req.range);
-                    self.credit_reclaim_wipe(2, req.range);
+                    self.credit_reclaim_wipe(4, req.domain, req.range);
+                    self.credit_reclaim_wipe(3, req.domain, req.range);
+                    self.credit_reclaim_wipe(2, req.domain, req.range);
                 }
             }
         }
     }
 
-    fn on_translate(&mut self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
+    fn on_translate(&mut self, d: u16, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
         if !self.contract.translates {
             return;
         }
         self.checks += 1;
         let pfn = iova.pfn();
+        let pk = dkey(d, pfn);
 
         // Ground truth from the IOMMU model: the walk consulted a PT page
         // that was reclaimed. This is a PT use-after-free in any mode.
@@ -892,13 +976,14 @@ impl SafetyAuditor for SafetyOracle {
             if let Some(&(level, key)) = self.pending_reclaim.iter().next() {
                 self.record(
                     Invariant::PtcacheCoherence,
-                    key,
+                    key_pfn(key),
                     format!(
                         "{} reclaimed PT page(s) awaiting fixup at device access \
-                         (first: level {} key {:#x})",
+                         (first: level {} key {:#x} domain {})",
                         self.pending_reclaim.len(),
                         level,
-                        key
+                        key_pfn(key),
+                        key_domain(key)
                     ),
                 );
             }
@@ -908,12 +993,13 @@ impl SafetyAuditor for SafetyOracle {
             let first = *self.pending_inval.iter().next().unwrap();
             self.record(
                 Invariant::InvalidationCompleteness,
-                first,
+                key_pfn(first),
                 format!(
                     "{} unmapped page(s) not yet invalidated at device access \
-                     (first pfn {:#x})",
+                     (first pfn {:#x} domain {})",
                     self.pending_inval.len(),
-                    first
+                    key_pfn(first),
+                    key_domain(first)
                 ),
             );
         }
@@ -923,7 +1009,7 @@ impl SafetyAuditor for SafetyOracle {
                 let first = *self.pending_inval.iter().next().unwrap();
                 self.record(
                     Invariant::InvalidationCompleteness,
-                    first,
+                    key_pfn(first),
                     format!(
                         "deferred invalidation backlog {} exceeds its bounded window {}",
                         self.pending_inval.len(),
@@ -933,7 +1019,34 @@ impl SafetyAuditor for SafetyOracle {
             }
         }
 
-        match (self.pages.get(&pfn).copied(), pa) {
+        // Cross-domain isolation: a successful translation must land on a
+        // frame owned by the issuing device's domain. Checked before the
+        // per-page lifecycle so a cross-tenant hit is named as such, and
+        // deliberately NOT excused by the deferred window — staleness is
+        // tolerable within the tenant that deferred the invalidation, but
+        // never across a tenant boundary.
+        if self.contract.domain_isolation {
+            if let Some(got) = pa {
+                if let Some(&owner) = self.owners.get(&got.pfn()) {
+                    if owner != d {
+                        self.record(
+                            Invariant::CrossDomainIsolation,
+                            pfn,
+                            format!(
+                                "domain {} translated iova pfn {:#x} to frame {:#x} \
+                                 owned by domain {}",
+                                d,
+                                pfn,
+                                got.pfn(),
+                                owner
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        match (self.pages.get(&pk).copied(), pa) {
             (None, Some(got)) => self.record(
                 Invariant::StrictSafety,
                 pfn,
@@ -962,13 +1075,13 @@ impl SafetyAuditor for SafetyOracle {
                     );
                 }
                 if huge {
-                    self.shadow_iotlb_huge.insert(iova.l4_page_key());
+                    self.shadow_iotlb_huge.insert(dkey(d, iova.l4_page_key()));
                 } else {
-                    self.shadow_iotlb.insert(pfn);
+                    self.shadow_iotlb.insert(pk);
                 }
-                self.shadow_ptc[0].insert(iova.l4_page_key());
-                self.shadow_ptc[1].insert(iova.l3_page_key());
-                self.shadow_ptc[2].insert(iova.l2_page_key());
+                self.shadow_ptc[0].insert(dkey(d, iova.l4_page_key()));
+                self.shadow_ptc[1].insert(dkey(d, iova.l3_page_key()));
+                self.shadow_ptc[2].insert(dkey(d, iova.l2_page_key()));
             }
             (Some(PageState::Mapped { .. }), None) => self.record(
                 Invariant::MappingIntegrity,
@@ -1100,32 +1213,32 @@ impl AuditHandle {
 
     /// See [`SafetyAuditor::on_map`].
     #[inline]
-    pub fn on_map(&self, iova: Iova, pa: PhysAddr) {
-        forward!(self, on_map(iova, pa));
+    pub fn on_map(&self, d: u16, iova: Iova, pa: PhysAddr) {
+        forward!(self, on_map(d, iova, pa));
     }
 
     /// See [`SafetyAuditor::on_map_huge`].
     #[inline]
-    pub fn on_map_huge(&self, base: Iova, pa_base: PhysAddr) {
-        forward!(self, on_map_huge(base, pa_base));
+    pub fn on_map_huge(&self, d: u16, base: Iova, pa_base: PhysAddr) {
+        forward!(self, on_map_huge(d, base, pa_base));
     }
 
     /// See [`SafetyAuditor::on_unmap`].
     #[inline]
-    pub fn on_unmap(&self, range: IovaRange) {
-        forward!(self, on_unmap(range));
+    pub fn on_unmap(&self, d: u16, range: IovaRange) {
+        forward!(self, on_unmap(d, range));
     }
 
     /// See [`SafetyAuditor::on_unwound`].
     #[inline]
-    pub fn on_unwound(&self, range: IovaRange) {
-        forward!(self, on_unwound(range));
+    pub fn on_unwound(&self, d: u16, range: IovaRange) {
+        forward!(self, on_unwound(d, range));
     }
 
     /// See [`SafetyAuditor::on_invalidate`].
     #[inline]
-    pub fn on_invalidate(&self, range: IovaRange) {
-        forward!(self, on_invalidate(range));
+    pub fn on_invalidate(&self, d: u16, range: IovaRange) {
+        forward!(self, on_invalidate(d, range));
     }
 
     /// See [`SafetyAuditor::on_invalidate_all`].
@@ -1136,14 +1249,14 @@ impl AuditHandle {
 
     /// See [`SafetyAuditor::on_pt_reclaimed`].
     #[inline]
-    pub fn on_pt_reclaimed(&self, reclaimed: &[ReclaimedPage]) {
-        forward!(self, on_pt_reclaimed(reclaimed));
+    pub fn on_pt_reclaimed(&self, d: u16, reclaimed: &[ReclaimedPage]) {
+        forward!(self, on_pt_reclaimed(d, reclaimed));
     }
 
     /// See [`SafetyAuditor::on_reclaim_fixup`].
     #[inline]
-    pub fn on_reclaim_fixup(&self, reclaimed: &[ReclaimedPage]) {
-        forward!(self, on_reclaim_fixup(reclaimed));
+    pub fn on_reclaim_fixup(&self, d: u16, reclaimed: &[ReclaimedPage]) {
+        forward!(self, on_reclaim_fixup(d, reclaimed));
     }
 
     /// See [`SafetyAuditor::on_wipe_queued`].
@@ -1160,15 +1273,15 @@ impl AuditHandle {
 
     /// See [`SafetyAuditor::on_translate`].
     #[inline]
-    pub fn on_translate(&self, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
-        forward!(self, on_translate(iova, pa, stale_walks));
+    pub fn on_translate(&self, d: u16, iova: Iova, pa: Option<PhysAddr>, stale_walks: u64) {
+        forward!(self, on_translate(d, iova, pa, stale_walks));
     }
 
     /// See [`SafetyOracle::crosscheck_invalidated`].
     #[inline]
-    pub fn crosscheck_invalidated(&self, iommu: &Iommu, range: IovaRange) {
+    pub fn crosscheck_invalidated(&self, d: u16, iommu: &Iommu, range: IovaRange) {
         if let AuditHandle::On(o) = self {
-            o.borrow_mut().crosscheck_invalidated(iommu, range);
+            o.borrow_mut().crosscheck_invalidated(d, iommu, range);
         }
     }
 }
@@ -1184,6 +1297,7 @@ mod tests {
             strict_safety: true,
             ptcache_coherence: true,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         }
     }
@@ -1195,6 +1309,7 @@ mod tests {
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: true,
             deferred_window: Some(window),
         }
     }
@@ -1212,12 +1327,12 @@ mod tests {
         let mut o = SafetyOracle::new(strict(), false);
         let r = IovaRange::new(iova(0x40), 1);
         o.on_alloc(r);
-        o.on_map(iova(0x40), pa(0x100));
-        o.on_translate(iova(0x40), Some(pa(0x100)), 0);
-        o.on_unmap(r);
-        o.on_invalidate(r);
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        o.on_unmap(0, r);
+        o.on_invalidate(0, r);
         o.on_free(r);
-        o.on_translate(iova(0x40), None, 0);
+        o.on_translate(0, iova(0x40), None, 0);
         assert_eq!(o.violations(), 0, "{:?}", o.report().samples);
         assert_eq!(o.report().checks, 2);
     }
@@ -1225,10 +1340,10 @@ mod tests {
     #[test]
     fn translate_after_unmap_is_strict_violation() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map(iova(7), pa(9));
-        o.on_unmap(IovaRange::new(iova(7), 1));
-        o.on_invalidate(IovaRange::new(iova(7), 1));
-        o.on_translate(iova(7), Some(pa(9)), 0);
+        o.on_map(0, iova(7), pa(9));
+        o.on_unmap(0, IovaRange::new(iova(7), 1));
+        o.on_invalidate(0, IovaRange::new(iova(7), 1));
+        o.on_translate(0, iova(7), Some(pa(9)), 0);
         let rep = o.report();
         assert_eq!(rep.of(Invariant::StrictSafety), 1);
     }
@@ -1236,14 +1351,14 @@ mod tests {
     #[test]
     fn pending_invalidation_at_access_is_incompleteness() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map(iova(7), pa(9));
-        o.on_map(iova(8), pa(10));
-        o.on_unmap(IovaRange::new(iova(7), 1));
+        o.on_map(0, iova(7), pa(9));
+        o.on_map(0, iova(8), pa(10));
+        o.on_unmap(0, IovaRange::new(iova(7), 1));
         // Access another page while pfn 7's invalidation is outstanding.
-        o.on_translate(iova(8), Some(pa(10)), 0);
+        o.on_translate(0, iova(8), Some(pa(10)), 0);
         assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
         // Strict-safety also fires if the *unmapped* page itself translates.
-        o.on_translate(iova(7), Some(pa(9)), 0);
+        o.on_translate(0, iova(7), Some(pa(9)), 0);
         assert_eq!(o.report().of(Invariant::StrictSafety), 1);
     }
 
@@ -1251,47 +1366,47 @@ mod tests {
     fn deferred_window_is_tolerated_until_bound() {
         let mut o = SafetyOracle::new(deferred(4), false);
         for p in 0..4 {
-            o.on_map(iova(p), pa(100 + p));
-            o.on_unmap(IovaRange::new(iova(p), 1));
+            o.on_map(0, iova(p), pa(100 + p));
+            o.on_unmap(0, IovaRange::new(iova(p), 1));
         }
         // Stale hit inside the window: allowed.
-        o.on_translate(iova(0), Some(pa(100)), 0);
+        o.on_translate(0, iova(0), Some(pa(100)), 0);
         assert_eq!(o.violations(), 0);
         // Fifth pending unmap exceeds the bound.
-        o.on_map(iova(4), pa(104));
-        o.on_unmap(IovaRange::new(iova(4), 1));
-        o.on_translate(iova(0), Some(pa(100)), 0);
+        o.on_map(0, iova(4), pa(104));
+        o.on_unmap(0, IovaRange::new(iova(4), 1));
+        o.on_translate(0, iova(0), Some(pa(100)), 0);
         assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
         // A full flush drains the backlog and completes the invalidations.
         o.on_invalidate_all();
-        o.on_translate(iova(9), None, 0);
+        o.on_translate(0, iova(9), None, 0);
         assert_eq!(o.violations(), 1);
         // Post-flush success on a drained page is a violation even here.
-        o.on_translate(iova(0), Some(pa(100)), 0);
+        o.on_translate(0, iova(0), Some(pa(100)), 0);
         assert_eq!(o.report().of(Invariant::StrictSafety), 1);
     }
 
     #[test]
     fn stale_walk_ground_truth_is_ptcache_violation() {
         let mut o = SafetyOracle::new(deferred(1000), false);
-        o.on_map(iova(1), pa(2));
-        o.on_translate(iova(1), Some(pa(2)), 1);
+        o.on_map(0, iova(1), pa(2));
+        o.on_translate(0, iova(1), Some(pa(2)), 1);
         assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
     }
 
     #[test]
     fn pending_reclaim_fixup_is_coherence_violation_in_preserving_modes() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map(iova(1), pa(2));
+        o.on_map(0, iova(1), pa(2));
         let reclaimed = [ReclaimedPage {
             level: 4,
             region_key: 0,
         }];
-        o.on_pt_reclaimed(&reclaimed);
-        o.on_translate(iova(1), Some(pa(2)), 0);
+        o.on_pt_reclaimed(0, &reclaimed);
+        o.on_translate(0, iova(1), Some(pa(2)), 0);
         assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
-        o.on_reclaim_fixup(&reclaimed);
-        o.on_translate(iova(1), Some(pa(2)), 0);
+        o.on_reclaim_fixup(0, &reclaimed);
+        o.on_translate(0, iova(1), Some(pa(2)), 0);
         assert_eq!(o.report().of(Invariant::PtcacheCoherence), 1);
     }
 
@@ -1302,11 +1417,12 @@ mod tests {
             level: 4,
             region_key: 1,
         }];
-        o.on_pt_reclaimed(&reclaimed);
+        o.on_pt_reclaimed(0, &reclaimed);
         o.on_wipe_queued();
         let epoch = [InvalidationRequest {
             range: IovaRange::new(iova(512), 512),
             scope: InvalidationScope::IotlbAndLeafPtcache,
+            domain: 0,
         }];
         o.on_wipe_applied(&epoch);
         assert_eq!(o.report().pending_reclaim, 0);
@@ -1317,8 +1433,8 @@ mod tests {
     #[test]
     fn pa_mismatch_is_mapping_integrity() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map(iova(3), pa(50));
-        o.on_translate(iova(3), Some(pa(51)), 0);
+        o.on_map(0, iova(3), pa(50));
+        o.on_translate(0, iova(3), Some(pa(51)), 0);
         assert_eq!(o.report().of(Invariant::MappingIntegrity), 1);
     }
 
@@ -1335,25 +1451,25 @@ mod tests {
     #[test]
     fn unwound_pages_carry_no_pending_invalidation() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map(iova(5), pa(6));
-        o.on_unwound(IovaRange::new(iova(5), 1));
-        o.on_translate(iova(9), None, 0);
+        o.on_map(0, iova(5), pa(6));
+        o.on_unwound(0, IovaRange::new(iova(5), 1));
+        o.on_translate(0, iova(9), None, 0);
         assert_eq!(o.violations(), 0);
         // But a later successful translation of the unwound page is stale.
-        o.on_translate(iova(5), Some(pa(6)), 0);
+        o.on_translate(0, iova(5), Some(pa(6)), 0);
         assert_eq!(o.report().of(Invariant::StrictSafety), 1);
     }
 
     #[test]
     fn huge_invalidation_credit_requires_full_span() {
         let mut o = SafetyOracle::new(strict(), false);
-        o.on_map_huge(iova(512), pa(0x4000));
-        o.on_translate(iova(513), Some(pa(0x4001)), 0);
+        o.on_map_huge(0, iova(512), pa(0x4000));
+        o.on_translate(0, iova(513), Some(pa(0x4001)), 0);
         assert!(o.shadow_iotlb_huge.contains(&1));
         // Partial-range invalidation must not credit the huge entry.
-        o.on_invalidate(IovaRange::new(iova(512), 64));
+        o.on_invalidate(0, IovaRange::new(iova(512), 64));
         assert!(o.shadow_iotlb_huge.contains(&1));
-        o.on_invalidate(IovaRange::new(iova(512), 512));
+        o.on_invalidate(0, IovaRange::new(iova(512), 512));
         assert!(!o.shadow_iotlb_huge.contains(&1));
         assert_eq!(o.violations(), 0);
     }
@@ -1361,8 +1477,8 @@ mod tests {
     #[test]
     fn off_handle_is_inert_and_reports_default() {
         let h = AuditHandle::default();
-        h.on_map(iova(1), pa(1));
-        h.on_translate(iova(1), None, 5);
+        h.on_map(0, iova(1), pa(1));
+        h.on_translate(0, iova(1), None, 5);
         assert!(!h.is_on());
         assert_eq!(h.report(), AuditReport::default());
         assert!(h.report().is_clean());
@@ -1372,7 +1488,7 @@ mod tests {
     fn fatal_oracle_panics_on_first_violation() {
         let res = std::panic::catch_unwind(|| {
             let mut o = SafetyOracle::new(strict(), true);
-            o.on_translate(iova(1), Some(pa(1)), 0);
+            o.on_translate(0, iova(1), Some(pa(1)), 0);
         });
         assert!(res.is_err());
     }
@@ -1383,5 +1499,85 @@ mod tests {
             assert_eq!(Invariant::from_name(inv.name()), Some(inv));
         }
         assert_eq!(Invariant::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn cross_domain_translation_is_isolation_violation() {
+        let mut o = SafetyOracle::new(strict(), false);
+        // Domain 0 owns frame 0x100; domain 1 maps the same frame (the
+        // CrossDomainLeak sabotage shape) and ownership moves to domain 1.
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_map(1, iova(0x80), pa(0x100));
+        // Domain 0's still-live mapping now lands on domain 1's frame.
+        o.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        assert_eq!(o.report().of(Invariant::CrossDomainIsolation), 1);
+        // The thieving domain's own access is clean (it owns the frame).
+        o.on_translate(1, iova(0x80), Some(pa(0x100)), 0);
+        assert_eq!(o.report().of(Invariant::CrossDomainIsolation), 1);
+    }
+
+    #[test]
+    fn same_iova_in_two_domains_stays_isolated() {
+        // A shared IOVA allocator never hands out the same live range
+        // twice, but after free+realloc two domains may hold the same pfn
+        // over time — the tagged shadow state must keep them apart.
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_map(1, iova(0x41), pa(0x200));
+        o.on_unmap(0, IovaRange::new(iova(0x40), 1));
+        o.on_invalidate(0, IovaRange::new(iova(0x40), 1));
+        // Domain 1's page is still live and clean.
+        o.on_translate(1, iova(0x41), Some(pa(0x200)), 0);
+        assert_eq!(o.violations(), 0, "{:?}", o.report().samples);
+    }
+
+    #[test]
+    fn cross_domain_stale_hit_fires_even_inside_deferred_window() {
+        let mut o = SafetyOracle::new(deferred(1000), false);
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_unmap(0, IovaRange::new(iova(0x40), 1));
+        // Within the window a same-domain stale hit is tolerated...
+        o.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        assert_eq!(o.violations(), 0);
+        // ...but once the frame moves to another tenant, the same stale
+        // hit is a cross-domain leak, window or not.
+        o.on_map(1, iova(0x80), pa(0x100));
+        o.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        assert_eq!(o.report().of(Invariant::CrossDomainIsolation), 1);
+    }
+
+    #[test]
+    fn domain_scoped_invalidation_does_not_credit_other_domains() {
+        let mut o = SafetyOracle::new(strict(), false);
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_map(1, iova(0x50), pa(0x200));
+        o.on_unmap(0, IovaRange::new(iova(0x40), 1));
+        o.on_unmap(1, IovaRange::new(iova(0x50), 1));
+        // Domain 0's scoped invalidation covers the same pfn range but
+        // must not complete domain 1's pending invalidation.
+        o.on_invalidate(0, IovaRange::new(iova(0x40), 0x20));
+        o.on_translate(0, iova(0x60), None, 0);
+        assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
+        o.on_invalidate(1, IovaRange::new(iova(0x50), 1));
+        o.on_translate(0, iova(0x60), None, 0);
+        assert_eq!(o.report().of(Invariant::InvalidationCompleteness), 1);
+    }
+
+    #[test]
+    fn multi_domain_oracle_snapshots_round_trip() {
+        let mut o = SafetyOracle::new(deferred(8), false);
+        o.on_map(0, iova(0x40), pa(0x100));
+        o.on_map(1, iova(0x80), pa(0x100));
+        o.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        assert_eq!(o.report().of(Invariant::CrossDomainIsolation), 1);
+        let mut w = fns_snap::SnapWriter::new();
+        o.snap(&mut w);
+        let bytes = w.finish();
+        let mut r = fns_snap::SnapReader::new(&bytes).unwrap();
+        let mut back = SafetyOracle::unsnap(&mut r).unwrap();
+        assert_eq!(back.report(), o.report());
+        // Restored ownership keeps catching the same leak.
+        back.on_translate(0, iova(0x40), Some(pa(0x100)), 0);
+        assert_eq!(back.report().of(Invariant::CrossDomainIsolation), 2);
     }
 }

@@ -16,7 +16,7 @@
 //! this tool exits non-zero rather than writing a vacuous corpus file.
 
 use fns::core::{ProtectionMode, Sabotage};
-use fns::harness::mbt::{generate, replay, shrink, violates, CorpusCase, MbtConfig, Op};
+use fns::harness::mbt::{generate_multi, replay, shrink, violates, CorpusCase, MbtConfig, Op};
 use fns::oracle::Invariant;
 
 struct Case {
@@ -92,6 +92,37 @@ fn cases() -> Vec<Case> {
             seed: 0x4E6,
             len: 150,
         },
+        Case {
+            file: "cross_domain_leak.txt",
+            comment: "Two tenants behind one IOMMU: the first map op is aliased \
+                      into the other tenant's domain and torn down without \
+                      invalidation, so the victim keeps a stale IOTLB entry \
+                      onto a frame it never owned",
+            cfg: MbtConfig {
+                domains: 2,
+                sabotage: Sabotage::CrossDomainLeak { nth: 1 },
+                ..MbtConfig::for_mode(ProtectionMode::FastAndSafe)
+            },
+            expect: Invariant::CrossDomainIsolation,
+            seed: 11,
+            len: 150,
+        },
+        Case {
+            file: "skip_domain_scoped_inval.txt",
+            comment: "Deferred mode with domain scoping forgotten: a non-zero \
+                      domain's invalidations are dropped and its freed frames \
+                      skip quarantine, so its stale IOTLB entries resolve to \
+                      frames the other tenant now owns — a violation even \
+                      inside the deferred window",
+            cfg: MbtConfig {
+                domains: 2,
+                sabotage: Sabotage::SkipDomainScopedInvalidation,
+                ..MbtConfig::for_mode(ProtectionMode::LinuxDeferred)
+            },
+            expect: Invariant::CrossDomainIsolation,
+            seed: 0x14C,
+            len: 200,
+        },
     ]
 }
 
@@ -100,7 +131,7 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create tests/corpus");
     let mut failed = false;
     for case in cases() {
-        let ops = generate(case.seed, case.len);
+        let ops = generate_multi(case.seed, case.len, case.cfg.domains);
         let report = replay(case.cfg, &ops);
         if !violates(&report, Some(case.expect)) {
             eprintln!(

@@ -64,7 +64,8 @@
 //! rejected with the named reason, never silently dropped.
 
 use fns::apps::{
-    bidirectional_config, iperf_config, nginx_config, redis_config, rpc_config, spdk_config,
+    bidirectional_config, churn_config, fanin_config, incast_config, iperf_config, nginx_config,
+    redis_config, rpc_config, spdk_config,
 };
 use fns::core::{HostSim, ProtectionMode, RunMetrics, Sabotage, SimConfig};
 use fns::faults::{FaultConfig, FaultKind};
@@ -116,6 +117,10 @@ struct Args {
     explain_page: Option<ExplainTarget>,
     profile_top: Option<usize>,
     sabotage_skip_inv: Option<u64>,
+    sabotage_xleak: Option<u64>,
+    nics: Option<u16>,
+    queues: Option<u16>,
+    storage: Option<u16>,
 }
 
 fn parse_mode(s: &str) -> Option<ProtectionMode> {
@@ -134,8 +139,10 @@ fn parse_mode(s: &str) -> Option<ProtectionMode> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fns-sim [--mode M|--all-modes] [--workload iperf|bidir|redis|nginx|spdk|rpc]\n\
+        "usage: fns-sim [--mode M|--all-modes]\n\
+         \x20              [--workload iperf|bidir|redis|nginx|spdk|rpc|fanin|incast|churn]\n\
          \x20              [--flows N] [--ring N] [--mtu BYTES] [--cores N]\n\
+         \x20              [--nics N] [--queues N] [--storage N]   multi-device topology overrides\n\
          \x20              [--pages-per-desc N] [--measure-ms N] [--seed N] [--msg BYTES]\n\
          \x20              [--faults P]    inject faults at every site with probability P in [0,1]\n\
          \x20              [--jobs N]      run multi-mode sweeps on N worker threads\n\
@@ -208,6 +215,10 @@ fn parse_args() -> Args {
         explain_page: None,
         profile_top: None,
         sabotage_skip_inv: None,
+        sabotage_xleak: None,
+        nics: None,
+        queues: None,
+        storage: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -296,6 +307,26 @@ fn parse_args() -> Args {
             "--sabotage-skip-inv" => {
                 args.sabotage_skip_inv = Some(val().parse().unwrap_or_else(|_| usage()));
             }
+            // Undocumented: seed a cross-domain leak (map op `nth` aliased
+            // into the next tenant's domain) for the multi-tenant CI smoke.
+            "--sabotage-xleak" => {
+                args.sabotage_xleak = Some(val().parse().unwrap_or_else(|_| usage()));
+            }
+            "--nics" => {
+                let n: u16 = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage()
+                }
+                args.nics = Some(n);
+            }
+            "--queues" => {
+                let n: u16 = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage()
+                }
+                args.queues = Some(n);
+            }
+            "--storage" => args.storage = Some(val().parse().unwrap_or_else(|_| usage())),
             "--list-scenarios" => list_scenarios(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -312,6 +343,9 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
         "nginx" => nginx_config(mode, args.msg_bytes),
         "spdk" => spdk_config(mode, args.msg_bytes),
         "rpc" => rpc_config(mode, args.msg_bytes),
+        "fanin" | "mt-fanin" => fanin_config(mode, args.flows),
+        "incast" | "mt-incast" => incast_config(mode, args.flows, args.msg_bytes),
+        "churn" | "mt-churn" => churn_config(mode, args.flows, args.msg_bytes),
         _ => usage(),
     };
     if args.workload == "iperf" {
@@ -320,6 +354,20 @@ fn build_config(args: &Args, mode: ProtectionMode) -> SimConfig {
     }
     if let Some(c) = args.cores {
         cfg.cores = c;
+    }
+    // Topology overrides layer on top of whatever the workload chose (the
+    // mt-* workloads default to 2 NICs x 4 queues + 1 storage device).
+    if let Some(n) = args.nics {
+        cfg.topology.nics = n;
+    }
+    if let Some(q) = args.queues {
+        cfg.topology.queues_per_nic = q;
+    }
+    if let Some(s) = args.storage {
+        cfg.topology.storage_devices = s;
+    }
+    if let Some(nth) = args.sabotage_xleak {
+        cfg.sabotage = Sabotage::CrossDomainLeak { nth };
     }
     cfg.pages_per_descriptor = args.pages_per_desc;
     cfg.measure = args.measure_ms.unwrap_or(60) * 1_000_000;
@@ -551,6 +599,14 @@ fn print_result(args: &Args, mode: ProtectionMode, m: &RunMetrics) {
             "weakened"
         },
     );
+    if m.domains.len() > 1 {
+        for (d, ds) in m.domains.iter().enumerate() {
+            println!(
+                "{:>14}  domain {}: {} translations  {} iotlb-hits  {} stale-hits  {} faults",
+                "", d, ds.translations, ds.iotlb_hits, ds.stale_iotlb_hits, ds.faults,
+            );
+        }
+    }
     if args.faults > 0.0 {
         println!(
             "{:>14}  faults: {} injected  {} recovered  {} inv-retries  {} batch-fallbacks  \
@@ -799,6 +855,18 @@ fn main() {
         for (mode, m) in modes.iter().zip(results.iter()) {
             if !m.provenance.enabled || m.audit.violations == 0 {
                 continue;
+            }
+            // Name every violated invariant up front (the smoke greps for
+            // e.g. `cross-domain-isolation`), then dump the page timelines.
+            for v in &m.audit.samples {
+                artifact.push_str(&format!(
+                    "mode {}: [{}] pfn {:#x} at check {}: {}\n",
+                    mode.label(),
+                    v.invariant.name(),
+                    v.pfn,
+                    v.check,
+                    v.detail
+                ));
             }
             for pfn in m.audit.violating_pfns() {
                 artifact.push_str(&format!(

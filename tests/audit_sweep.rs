@@ -216,6 +216,49 @@ fn audit_does_not_perturb_the_simulation() {
     assert_eq!(audited, plain, "auditing changed the simulation");
 }
 
+/// A seeded cross-domain leak (a map op aliased into the next tenant's
+/// domain, touched, and torn down without invalidation) must be caught and
+/// *named* by the oracle in every IOMMU-enabled protection mode — deferred
+/// windows excuse same-domain staleness, never cross-domain resolution.
+/// IommuOff is exempt by contract: with no translation there is no domain
+/// to cross (`mode_contracts` pins `domain_isolation == iommu_enabled()`).
+#[test]
+fn cross_domain_leak_is_caught_in_every_mode() {
+    use fns::core::Sabotage;
+    let mut keys = Vec::new();
+    let mut configs = Vec::new();
+    for mode in ProtectionMode::ALL {
+        let mut cfg = audit_cell(
+            fns::apps::fanin_config(mode, 16),
+            1,
+            FaultConfig::disabled(),
+        );
+        cfg.sabotage = Sabotage::CrossDomainLeak { nth: 40 };
+        keys.push(mode);
+        configs.push(cfg);
+    }
+    let results = SweepRunner::from_env().run_sims(configs);
+    for (mode, m) in keys.into_iter().zip(results) {
+        if !mode.iommu_enabled() {
+            assert!(
+                m.audit.is_clean(),
+                "{mode}: leak sabotage is a translation-layer bug; IOMMU-off has no translations"
+            );
+            continue;
+        }
+        let caught = m
+            .audit
+            .samples
+            .iter()
+            .any(|v| v.invariant.name() == "cross-domain-isolation");
+        assert!(
+            caught,
+            "{mode}: seeded cross-domain leak went undetected ({})",
+            m.audit.summary()
+        );
+    }
+}
+
 /// The scenario registry drives this sweep: a scenario added without a
 /// name (or a renamed one) would silently shrink the matrix.
 #[test]
@@ -229,7 +272,10 @@ fn sweep_covers_the_whole_registry() {
             "redis",
             "nginx",
             "spdk",
-            "rpc"
+            "rpc",
+            "mt-fanin",
+            "mt-incast",
+            "mt-churn"
         ]
     );
 }

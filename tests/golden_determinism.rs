@@ -394,6 +394,96 @@ fn armed_observability_survives_checkpoint_restore() {
     }
 }
 
+/// Multi-device, multi-tenant scenarios (2 NICs × 4 queues + a storage
+/// DMA device, three protection domains) with shortened windows.
+fn multi_device_shaped() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for mode in [
+        ProtectionMode::LinuxDeferred,
+        ProtectionMode::FastAndSafe,
+        ProtectionMode::IommuOff,
+    ] {
+        for cfg in [
+            fns::apps::fanin_config(mode, 24),
+            fns::apps::incast_config(mode, 12, 64 * 1024),
+            fns::apps::churn_config(mode, 16, 128 * 1024),
+        ] {
+            let mut c = cfg;
+            c.warmup = 1_000_000;
+            c.measure = 3_000_000;
+            c.aging_factor = 0.0;
+            configs.push(c);
+        }
+    }
+    configs
+}
+
+#[test]
+fn multi_device_sweep_is_identical_under_parallelism_and_queues() {
+    // The tentpole topology must be as deterministic as the single-NIC
+    // shape: per-domain attribution, storage completions, and churn
+    // restarts all ride the same event order at any job count and on
+    // either queue backend.
+    let configs = multi_device_shaped();
+    let golden = run_sequentially(&configs);
+    for m in &golden {
+        assert_eq!(m.domains.len(), 3, "expected three protection domains");
+    }
+    for jobs in [1, 8] {
+        let par = SweepRunner::new(jobs).run_sims(configs.clone());
+        assert_identical(&golden, &par, &format!("multi-device jobs={jobs}"));
+    }
+    let heap_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.queue = QueueKind::Heap;
+            c
+        })
+        .collect();
+    let heap = run_sequentially(&heap_cfgs);
+    assert_identical(&golden, &heap, "multi-device wheel-vs-heap");
+}
+
+#[test]
+fn multi_device_audit_is_invisible_and_restore_safe() {
+    // Audited multi-device runs must equal unaudited runs bit for bit
+    // (modulo the audit report), and a snapshot → restore round-trip
+    // mid-run must resume onto the identical trajectory with the whole
+    // multi-device state (per-NIC buffers, per-ring descriptors,
+    // per-domain IOMMU stats, churn boundaries) in the checkpoint.
+    let configs = multi_device_shaped();
+    let golden = run_sequentially(&configs);
+    let audited_cfgs: Vec<SimConfig> = configs
+        .iter()
+        .map(|cfg| {
+            let mut c = *cfg;
+            c.audit = fns::oracle::AuditConfig::on();
+            c
+        })
+        .collect();
+    let audited = run_sequentially(&audited_cfgs);
+    for (i, (plain, aud)) in golden.iter().zip(&audited).enumerate() {
+        assert!(aud.audit.is_clean(), "run {i}: audit violations");
+        let mut scrubbed = aud.clone();
+        scrubbed.audit = Default::default();
+        assert_eq!(&scrubbed, plain, "run {i}: auditing changed the run");
+    }
+    let resumed: Vec<RunMetrics> = configs
+        .iter()
+        .map(|cfg| {
+            let mut sim = HostSim::new(*cfg);
+            sim.step_until(1_500_000);
+            let bytes = sim.snapshot();
+            drop(sim);
+            HostSim::restore(*cfg, &bytes)
+                .expect("multi-device snapshot restores")
+                .run()
+        })
+        .collect();
+    assert_identical(&golden, &resumed, "multi-device snapshot/restore");
+}
+
 #[test]
 fn repeated_parallel_sweeps_are_identical_to_each_other() {
     // Not just parallel == sequential: two parallel executions must agree

@@ -16,7 +16,10 @@ const WINDOW: u64 = 320;
 /// invalidation completeness; PTcache-preserving modes additionally claim
 /// coherence; deferred mode claims only its documented bounded window;
 /// pinned pools promise stable mappings and never unmap; IOMMU-off claims
-/// nothing at all.
+/// nothing at all. Every IOMMU-enabled mode — however lazily it
+/// invalidates within a tenant — claims cross-domain isolation: protection
+/// domains are hardware state, not a driver policy, so only IOMMU-off
+/// (physical addresses, nothing separating tenants) drops the claim.
 const EXPECTED: &[(&str, ModeContract)] = &[
     (
         "iommu-off",
@@ -26,6 +29,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: false,
             deferred_window: None,
         },
     ),
@@ -37,6 +41,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: true,
             ptcache_coherence: false,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -48,6 +53,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: true,
             deferred_window: Some(WINDOW),
         },
     ),
@@ -59,6 +65,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: true,
             ptcache_coherence: true,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -70,6 +77,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: true,
             ptcache_coherence: false,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -81,6 +89,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: true,
             ptcache_coherence: true,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -92,6 +101,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -103,6 +113,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: false,
             ptcache_coherence: false,
             invalidation_completeness: false,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -114,6 +125,7 @@ const EXPECTED: &[(&str, ModeContract)] = &[
             strict_safety: true,
             ptcache_coherence: true,
             invalidation_completeness: true,
+            domain_isolation: true,
             deferred_window: None,
         },
     ),
@@ -162,6 +174,9 @@ fn contract_claims_match_mode_predicates() {
             "{}",
             mode.label()
         );
+        // Domain isolation rides on the IOMMU being on, nothing else: a
+        // deferred or pinned-pool mode is still a wall between tenants.
+        assert_eq!(c.domain_isolation, mode.iommu_enabled(), "{}", mode.label());
         // Strictness and completeness travel together: an unmap you never
         // invalidate is exactly the stale window strictness forbids.
         assert_eq!(

@@ -22,6 +22,8 @@ const CORPUS: &[&str] = &[
     "skip_reclaim_fixup.txt",
     "skip_deferred_flush.txt",
     "skip_inval_huge.txt",
+    "cross_domain_leak.txt",
+    "skip_domain_scoped_inval.txt",
 ];
 
 fn load(file: &str) -> CorpusCase {
@@ -77,6 +79,10 @@ fn corpus_covers_multiple_invariant_classes() {
     assert!(
         classes.len() >= 2,
         "corpus only covers {classes:?} — add another class"
+    );
+    assert!(
+        classes.contains("cross-domain-isolation"),
+        "corpus lost its multi-tenant reproducers: {classes:?}"
     );
 }
 
