@@ -31,4 +31,4 @@ pub use nginx::nginx_config;
 pub use redis::redis_config;
 pub use rpc::rpc_config;
 pub use spdk::spdk_config;
-pub use topo::{churn_config, fanin_config, incast_config};
+pub use topo::{churn_config, dc_scale_config, fanin_config, incast_config};

@@ -73,6 +73,28 @@ pub fn churn_config(mode: ProtectionMode, conns: u32, conn_bytes: u64) -> SimCon
     cfg
 }
 
+/// Datacenter-scale fan-in: 20 480 unbounded flows RSS-spread over
+/// 8 NICs × 4 queues plus 2 storage devices — 10 isolation domains, the
+/// ROADMAP's tens-of-thousands-of-flows regime. Ships with `shards: 1`
+/// so the sharded engine (one shard per NIC) carries it by default;
+/// `--shards N` raises the worker-thread cap without changing a bit of
+/// the result. Peer-only flows (`IperfRx`) keep every id below the
+/// `TX_FLOW_BASE` segment split at this flow count.
+pub fn dc_scale_config(mode: ProtectionMode) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.flows = 20_480;
+    cfg.cores = 32;
+    cfg.workload = Workload::IperfRx;
+    cfg.topology = Topology {
+        nics: 8,
+        queues_per_nic: 4,
+        storage_devices: 2,
+        ..Topology::single_nic()
+    };
+    cfg.shards = 1;
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +110,25 @@ mod tests {
             assert_eq!(cfg.topology.rings(), 8);
             assert!(!cfg.topology.is_single());
         }
+    }
+
+    #[test]
+    fn dc_scale_is_datacenter_sized_and_sharded() {
+        let cfg = dc_scale_config(ProtectionMode::FastAndSafe);
+        assert!(cfg.flows >= 20_000);
+        assert_eq!(cfg.topology.domains(), 10);
+        assert_eq!(cfg.topology.rings(), 32);
+        assert_eq!(cfg.shards, 1, "sharded engine on by default");
+        // One shard per NIC, every flow and device accounted for.
+        let specs = fns_core::plan_shards(&cfg);
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs.iter().map(|s| s.cfg.flows).sum::<u32>(), cfg.flows);
+        assert_eq!(
+            specs
+                .iter()
+                .map(|s| s.cfg.topology.storage_devices)
+                .sum::<u16>(),
+            2
+        );
     }
 }

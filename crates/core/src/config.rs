@@ -295,6 +295,20 @@ pub struct SimConfig {
     /// recorder (see [`fns_trace::recorder`]). Off by default; disabled
     /// it changes no run by a single bit, armed it consumes no RNG.
     pub observe: ObserveConfig,
+    /// Intra-run parallelism: worker threads for the sharded sim-time
+    /// engine (see [`crate::shard`]). `0` — the default — runs the legacy
+    /// monolithic [`crate::HostSim`] event loop, bit-identical to every
+    /// prior release. Any value `>= 1` engages the sharded engine: the
+    /// shard *partition* is a pure function of the topology/core count,
+    /// so `shards: 1`, `2`, and `4` all produce byte-identical
+    /// `RunMetrics` — the knob only caps how many worker threads advance
+    /// shards concurrently (`tests/golden_determinism.rs` pins it).
+    pub shards: usize,
+    /// Bounded sim-time epoch between shard barriers (sharded engine
+    /// only). Shards advance independently inside an epoch; shared-IOMMU
+    /// effects cross at the barrier in canonical (epoch, domain, seq)
+    /// order. Ignored when `shards == 0`.
+    pub shard_epoch_ns: Nanos,
 }
 
 impl SimConfig {
@@ -340,6 +354,8 @@ impl SimConfig {
             queue_fast_forward: true,
             watchdog: WatchdogConfig::off(),
             observe: ObserveConfig::off(),
+            shards: 0,
+            shard_epoch_ns: 100 * MICROS,
         }
     }
 

@@ -101,6 +101,16 @@ impl<T> FlowTable<T> {
         self.len = 0;
     }
 
+    /// Pre-sizes the segments for `low` peer-side flows and `high`
+    /// DUT-side flows, so datacenter-scale scenarios (tens of thousands
+    /// of flows) fill the table without the doubling reallocations that
+    /// `insert`'s incremental `resize_with` would otherwise trigger.
+    /// Capacity-only: no observable state changes.
+    pub fn reserve(&mut self, low: usize, high: usize) {
+        self.low.reserve(low.saturating_sub(self.low.len()));
+        self.high.reserve(high.saturating_sub(self.high.len()));
+    }
+
     /// Inserts (or replaces) the state for `flow`; returns the old value.
     pub fn insert(&mut self, flow: FlowId, value: T) -> Option<T> {
         let (hi, idx) = split(flow);
@@ -200,6 +210,12 @@ impl FlowSet {
     /// Creates an empty set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sizes both segments (see [`FlowTable::reserve`]).
+    pub fn reserve(&mut self, low: usize, high: usize) {
+        self.low.reserve(low.saturating_sub(self.low.len()));
+        self.high.reserve(high.saturating_sub(self.high.len()));
     }
 
     /// Adds `flow`; returns `true` if it was not already present.

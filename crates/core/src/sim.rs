@@ -69,7 +69,7 @@ const NET_FAULT_SALT: u64 = 0xFA18;
 /// `SimConfig` is plain data with a total `Debug` rendering, so hashing the
 /// debug string covers every field — including ones added later — without a
 /// hand-maintained field list.
-fn config_fingerprint(cfg: &SimConfig) -> u64 {
+pub(crate) fn config_fingerprint(cfg: &SimConfig) -> u64 {
     fnv1a(format!("{cfg:?}").as_bytes())
 }
 
@@ -620,6 +620,14 @@ pub struct HostSim {
     mem_epoch_start: Nanos,
     mem_epoch_bytes: u64,
     mem_util: f64,
+    /// Cumulative DMA bytes this sim has pushed through `note_mem_traffic`
+    /// — the monotone counter behind [`HostSim::epoch_digest`], which
+    /// exports per-epoch deltas to sibling shards of the sharded engine.
+    dma_bytes_total: u64,
+    /// `dma_bytes_total` as of the last drained epoch digest.
+    epoch_dma_mark: u64,
+    /// `invalidation_queue_entries` as of the last drained epoch digest.
+    epoch_inv_mark: u64,
     snapshot: Snapshot,
     warmed_up: bool,
     /// Fault plane for the wire (switch-queue) sites. The driver-side plane
@@ -752,6 +760,9 @@ impl HostSim {
             mem_epoch_start: 0,
             mem_epoch_bytes: 0,
             mem_util: 0.0,
+            dma_bytes_total: 0,
+            epoch_dma_mark: 0,
+            epoch_inv_mark: 0,
             snapshot: Snapshot::default(),
             warmed_up: false,
             net_faults: FaultPlane::disabled(),
@@ -1049,6 +1060,24 @@ impl HostSim {
     fn init_workload(&mut self) {
         let cores = self.cfg.cores;
         let single = self.cfg.topology.is_single();
+        // Pre-size the dense flow tables: dc-scale scenarios insert tens
+        // of thousands of flows, and growing segment-by-segment through
+        // `insert`'s incremental resize would pay repeated doubling
+        // reallocations during construction.
+        let low = self.cfg.flows as usize + 1;
+        let high = match self.cfg.workload {
+            Workload::Bidirectional { tx_flows } => tx_flows as usize,
+            Workload::RequestResponse { .. } => self.cfg.flows as usize,
+            Workload::RpcColocated { .. } => self.cfg.flows as usize + 1,
+            _ => 0,
+        };
+        self.peer_senders.reserve(low, high);
+        self.dut_receivers.reserve(low, high);
+        self.dut_senders.reserve(low, high);
+        self.peer_receivers.reserve(low, high);
+        self.core_of.reserve(low, high);
+        self.rto_armed_peer.reserve(low, high);
+        self.rto_armed_dut.reserve(low, high);
         match self.cfg.workload {
             Workload::IperfRx => {
                 for i in 0..self.cfg.flows {
@@ -1389,6 +1418,9 @@ impl HostSim {
         w.u64(self.mem_epoch_start);
         w.u64(self.mem_epoch_bytes);
         w.f64(self.mem_util);
+        w.u64(self.dma_bytes_total);
+        w.u64(self.epoch_dma_mark);
+        w.u64(self.epoch_inv_mark);
         self.snapshot.snap(&mut w);
         w.bool(self.warmed_up);
         self.net_faults.snap(&mut w);
@@ -1504,6 +1536,9 @@ impl HostSim {
         let mem_epoch_start = r.u64()?;
         let mem_epoch_bytes = r.u64()?;
         let mem_util = r.f64()?;
+        let dma_bytes_total = r.u64()?;
+        let epoch_dma_mark = r.u64()?;
+        let epoch_inv_mark = r.u64()?;
         let snapshot = Snapshot::unsnap(&mut r)?;
         let warmed_up = r.bool()?;
         let mut net_faults = FaultPlane::unsnap(cfg.faults, &mut r)?;
@@ -1557,6 +1592,9 @@ impl HostSim {
             mem_epoch_start,
             mem_epoch_bytes,
             mem_util,
+            dma_bytes_total,
+            epoch_dma_mark,
+            epoch_inv_mark,
             snapshot,
             warmed_up,
             net_faults,
@@ -1580,10 +1618,37 @@ impl HostSim {
             self.mem_epoch_bytes = 0;
         }
         self.mem_epoch_bytes += bytes;
+        self.dma_bytes_total += bytes;
     }
 
     fn walk_read_ns(&self) -> Nanos {
         self.cfg.memory.walk_read_ns(self.mem_util)
+    }
+
+    /// Drains the shard-coupling digest: (DMA bytes, invalidation-queue
+    /// entries) this sim generated since the previous drain. The sharded
+    /// engine calls this **only at global epoch barriers** — the drain
+    /// advances the marks, so calling it at an arbitrary intermediate time
+    /// would silently swallow traffic that siblings were owed.
+    pub fn epoch_digest(&mut self) -> (u64, u64) {
+        let inv_total = self.drv.iommu.stats().invalidation_queue_entries;
+        let dma = self.dma_bytes_total - self.epoch_dma_mark;
+        let inv = inv_total - self.epoch_inv_mark;
+        self.epoch_dma_mark = self.dma_bytes_total;
+        self.epoch_inv_mark = inv_total;
+        (dma, inv)
+    }
+
+    /// Folds sibling shards' previous-epoch digest into this shard's
+    /// memory-utilization accounting: their DMA traffic plus one 64-byte
+    /// invalidation-queue descriptor per entry contend for the same
+    /// physical memory fabric, inflating this shard's walk latency via
+    /// `mem_util`. Deliberately latency-only — no translation state is
+    /// touched, so the safety oracle's view is unaffected — and it does
+    /// **not** feed `dma_bytes_total` (ambient bytes must not echo back
+    /// to siblings as if this shard had generated them).
+    pub fn absorb_ambient(&mut self, dma_bytes: u64, inv_entries: u64) {
+        self.mem_epoch_bytes += dma_bytes + 64 * inv_entries;
     }
 
     // ----- event dispatch --------------------------------------------------

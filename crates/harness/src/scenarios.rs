@@ -70,6 +70,11 @@ pub const SCENARIOS: &[Scenario] = &[
         description: "multi-tenant churn: 48 conns restarting every 256 KB across 3 domains",
         build: |mode| fns_apps::churn_config(mode, 48, 256 * 1024),
     },
+    Scenario {
+        name: "dc-scale",
+        description: "datacenter scale: 20480 flows over 8 NICs x 4 queues + 2 storage, sharded",
+        build: fns_apps::dc_scale_config,
+    },
 ];
 
 /// Names of all registered scenarios, in display order.

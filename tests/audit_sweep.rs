@@ -275,7 +275,8 @@ fn sweep_covers_the_whole_registry() {
             "rpc",
             "mt-fanin",
             "mt-incast",
-            "mt-churn"
+            "mt-churn",
+            "dc-scale"
         ]
     );
 }
